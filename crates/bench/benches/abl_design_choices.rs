@@ -1,0 +1,101 @@
+//! Ablation benches A1–A4: the design choices behind the paper's results.
+//!
+//! * A1 — latency tolerance: the SC'02 question ("would 80 ms kill it?").
+//! * A2 — direct GFS access vs GridFTP staging (the §1 motivation).
+//! * A3 — block size × pipelining (why GPFS's large blocks + deep
+//!   prefetch are what make a WAN filesystem work).
+//! * A4 — RAID parity penalty: the proposed explanation for Fig. 11's
+//!   read/write gap.
+
+use gfs_bench::{header, table};
+use scenarios::ablations::{blocksize_streams, gfs_vs_gridftp, A2Config};
+use scenarios::production::{
+    fig11_config_no_parity_penalty, run_latency_sweep, run_scaling_point, Direction,
+    ProductionConfig,
+};
+use simcore::MBYTE;
+
+fn main() {
+    // ----------------------------------------------------------------
+    header("A1 — throughput vs RTT (deep windows vs small windows)");
+    let rtts = [1u64, 10, 40, 80, 120, 160, 200];
+    let deep = run_latency_sweep(&rtts, 16 * MBYTE);
+    let shallow = run_latency_sweep(&rtts, 256 * 1024);
+    let rows: Vec<Vec<String>> = rtts
+        .iter()
+        .enumerate()
+        .map(|(i, rtt)| {
+            vec![
+                format!("{rtt}"),
+                format!("{:.0}", deep[i].1),
+                format!("{:.0}", shallow[i].1),
+            ]
+        })
+        .collect();
+    table(&["RTT ms", "16MB-window MB/s", "256KB-window MB/s"], &rows);
+    println!("  -> the paper's 80 ms SDSC-Baltimore RTT is survivable exactly");
+    println!("     because GPFS keeps many megabytes in flight per connection.");
+
+    // ----------------------------------------------------------------
+    header("A2 — direct GFS access vs GridFTP staging (NVO-style dataset)");
+    let fractions = [0.001, 0.01, 0.05, 0.1, 0.25, 0.5, 1.0];
+    let pts = gfs_vs_gridftp(&A2Config::default(), &fractions);
+    let rows: Vec<Vec<String>> = pts
+        .iter()
+        .map(|p| {
+            vec![
+                format!("{:.1}%", p.fraction * 100.0),
+                format!("{:.0}", p.gfs_seconds),
+                format!("{:.0}", p.gridftp_seconds),
+                format!("{:.1}x", p.gridftp_seconds / p.gfs_seconds),
+            ]
+        })
+        .collect();
+    table(
+        &["touched", "GFS s", "GridFTP stage s", "staging penalty"],
+        &rows,
+    );
+    println!("  -> \"the application may treat the very large dataset more as a");
+    println!("     database\" (§1): partial access wins by orders of magnitude.");
+
+    // ----------------------------------------------------------------
+    header("A3 — block size x pipelining at 80 ms RTT, 8 NSD servers");
+    let blocks = [64 * 1024u64, 256 * 1024, MBYTE, 4 * MBYTE, 16 * MBYTE];
+    let sw = blocksize_streams(&blocks, &[8], false);
+    let pl = blocksize_streams(&blocks, &[8], true);
+    let rows: Vec<Vec<String>> = blocks
+        .iter()
+        .enumerate()
+        .map(|(i, b)| {
+            vec![
+                format!("{}", b / 1024),
+                format!("{:.0}", sw[i].mbyte_per_sec),
+                format!("{:.0}", pl[i].mbyte_per_sec),
+            ]
+        })
+        .collect();
+    table(&["block KiB", "stop-and-wait MB/s", "pipelined MB/s"], &rows);
+
+    // ----------------------------------------------------------------
+    header("A4 — Fig. 11 write gap with and without the RAID-5 destage penalty");
+    let with = ProductionConfig::default();
+    let without = fig11_config_no_parity_penalty();
+    let mut rows = Vec::new();
+    for (label, cfg) in [("8+P SATA (paper hw)", with), ("no parity penalty", without)] {
+        let r = run_scaling_point(cfg.clone(), 96, Direction::Read);
+        let w = run_scaling_point(cfg, 96, Direction::Write);
+        rows.push(vec![
+            label.to_string(),
+            format!("{:.2}", r.aggregate_gbyte_per_sec()),
+            format!("{:.2}", w.aggregate_gbyte_per_sec()),
+            format!(
+                "{:.2}",
+                w.aggregate_gbyte_per_sec() / r.aggregate_gbyte_per_sec()
+            ),
+        ]);
+    }
+    table(&["farm", "read GB/s", "write GB/s", "w/r"], &rows);
+    println!("  -> the paper's \"not yet understood\" read/write discrepancy");
+    println!("     disappears when the RAID-5 write path is made symmetric:");
+    println!("     the gap is the SATA destage/parity ceiling, not GPFS.");
+}

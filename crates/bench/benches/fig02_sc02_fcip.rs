@@ -1,0 +1,34 @@
+//! Figure 2 — SC'02 GFS performance between SDSC and Baltimore.
+//!
+//! Regenerates the read-throughput-over-time curve of the FCIP-extended
+//! SAN demonstration: 8 GbE FCIP tunnels across an 80 ms-RTT WAN, QFS
+//! exported with SANergy, ~720 MB/s sustained of an 8 Gb/s ceiling.
+
+use gfs_bench::{chart, compare, downsample, header, verdict};
+use scenarios::sc02::{run, Sc02Config};
+
+fn main() {
+    header("Figure 2 — SC'02 FCIP read performance, SDSC -> Baltimore");
+    let cfg = Sc02Config::default();
+    println!(
+        "  config: {} tunnels, one-way {} (RTT 80 ms), {} credits/tunnel",
+        cfg.tunnels,
+        cfg.one_way,
+        cfg.fcip.bb_credits
+    );
+    let r = run(cfg);
+
+    chart(&downsample(&r.series, 30), 1.0, "MB/s", 50);
+    println!();
+    verdict("sustained read rate (MB/s)", r.paper_mbs, r.steady.mean, 0.10);
+    compare(
+        "theoretical ceiling",
+        "1000 MB/s",
+        &format!("{:.0} MB/s", r.ceiling_mbs),
+    );
+    compare(
+        "rate stability (stddev/mean)",
+        "\"very sustainable\"",
+        &format!("{:.1}%", 100.0 * r.steady.stddev / r.steady.mean),
+    );
+}

@@ -1,0 +1,32 @@
+//! Figure 5 — SC'03 bandwidth: the first native WAN-GPFS.
+//!
+//! Regenerates the SciNet 10 GbE uplink utilization curve: peak 8.96 Gb/s,
+//! sustained over 1 GB/s, and the dip where the visualization application
+//! "terminat[ed] normally as it ran out of data and was restarted".
+
+use gfs_bench::{chart, compare, downsample, header, verdict};
+use scenarios::sc03::{run, Sc03Config};
+
+fn main() {
+    header("Figure 5 — SC'03 WAN-GPFS bandwidth (Phoenix show floor -> TeraGrid)");
+    let cfg = Sc03Config::default();
+    println!(
+        "  config: {} booth NSD servers, 10 GbE SciNet uplink, dip at {}",
+        cfg.booth_servers, cfg.dip_at
+    );
+    let r = run(cfg);
+
+    chart(&downsample(&r.series, 45), 1.0, "Gb/s", 50);
+    println!();
+    verdict("peak transfer rate (Gb/s)", r.paper_peak_gbs, r.peak_gbs, 0.05);
+    compare(
+        "sustained rate",
+        "> 8 Gb/s (1 GB/s)",
+        &format!("{:.2} Gb/s", r.steady_gbs),
+    );
+    compare(
+        "visualization-restart dip",
+        "visible",
+        &format!("{:.2} Gb/s floor", r.dip_gbs),
+    );
+}

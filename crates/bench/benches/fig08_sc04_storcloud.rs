@@ -1,0 +1,48 @@
+//! Figure 8 — SC'04 transfer rates (SciNet Bandwidth Challenge).
+//!
+//! Regenerates the three per-link curves and the aggregate: individual
+//! 10 Gb/s links wandering between 7 and 9 Gb/s, the aggregate stable
+//! near 24 Gb/s, momentary peak above 26, alternating reads and writes.
+
+use gfs_bench::{chart, downsample, header, table, verdict};
+use scenarios::sc04::{run, Sc04Config};
+
+fn main() {
+    header("Figure 8 — SC'04 StorCloud transfer rates, show floor <-> SDSC/NCSA");
+    let cfg = Sc04Config::default();
+    println!(
+        "  config: {} x 10 GbE SciNet links, {} alternation windows",
+        cfg.scinet_links, cfg.alternation
+    );
+    let r = run(cfg);
+
+    let mut rows = Vec::new();
+    for (i, s) in r.link_steady.iter().enumerate() {
+        rows.push(vec![
+            format!("scinet-{i}"),
+            format!("{:.2}", s.min),
+            format!("{:.2}", s.mean),
+            format!("{:.2}", s.max),
+        ]);
+    }
+    rows.push(vec![
+        "aggregate".into(),
+        format!("{:.2}", r.aggregate_steady.min),
+        format!("{:.2}", r.aggregate_steady.mean),
+        format!("{:.2}", r.aggregate_steady.max),
+    ]);
+    table(&["link", "min Gb/s", "mean Gb/s", "max Gb/s"], &rows);
+    println!();
+    chart(&downsample(&r.aggregate, 40), 1.0, "Gb/s (aggregate)", 50);
+    println!();
+    verdict("aggregate rate (Gb/s)", 24.0, r.aggregate_steady.mean, 0.08);
+    verdict("momentary peak (Gb/s)", 27.0, r.peak_gbs, 0.08);
+    for (i, s) in r.link_steady.iter().enumerate() {
+        verdict(
+            &format!("link {i} within 7-9 Gb/s band (mean)"),
+            8.0,
+            s.mean,
+            0.13,
+        );
+    }
+}

@@ -1,0 +1,132 @@
+//! # gfs-bench — reporting helpers for the figure/table harnesses
+//!
+//! Every figure and table of the paper has a `cargo bench` target in
+//! `benches/` (plain `main` binaries, `harness = false`). Each prints the
+//! series or rows the paper reports plus a paper-vs-measured comparison
+//! block. This library holds the shared formatting.
+
+use simcore::TimeSeries;
+
+/// Print a section header.
+pub fn header(title: &str) {
+    println!();
+    println!("=== {title} ===");
+}
+
+/// Print a paper-vs-measured comparison row.
+pub fn compare(metric: &str, paper: &str, measured: &str) {
+    println!("  {metric:<46} paper: {paper:>12}   measured: {measured:>12}");
+}
+
+/// Print a table of rows with a header.
+pub fn table(columns: &[&str], rows: &[Vec<String>]) {
+    let widths: Vec<usize> = columns
+        .iter()
+        .enumerate()
+        .map(|(i, c)| {
+            rows.iter()
+                .map(|r| r.get(i).map_or(0, String::len))
+                .max()
+                .unwrap_or(0)
+                .max(c.len())
+        })
+        .collect();
+    let head: Vec<String> = columns
+        .iter()
+        .zip(&widths)
+        .map(|(c, w)| format!("{c:>w$}"))
+        .collect();
+    println!("  {}", head.join("  "));
+    let rule: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    println!("  {}", rule.join("  "));
+    for r in rows {
+        let cells: Vec<String> = r
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect();
+        println!("  {}", cells.join("  "));
+    }
+}
+
+/// Render a time series as an ASCII strip chart (the "figure").
+///
+/// `scale` converts the stored values into display units; `unit` labels
+/// them. Each output row is one sample bucket.
+pub fn chart(series: &TimeSeries, scale: f64, unit: &str, width: usize) {
+    if series.points.is_empty() {
+        println!("  (empty series)");
+        return;
+    }
+    let max = series
+        .points
+        .iter()
+        .map(|p| p.value * scale)
+        .fold(0.0, f64::max);
+    let max = if max <= 0.0 { 1.0 } else { max };
+    println!("  {} [0 .. {max:.1} {unit}]", series.name);
+    for p in &series.points {
+        let v = p.value * scale;
+        let n = ((v / max) * width as f64).round() as usize;
+        println!(
+            "  {:>7.1}s |{:<width$}| {v:>8.1}",
+            p.t.as_secs_f64(),
+            "#".repeat(n.min(width)),
+        );
+    }
+}
+
+/// Downsample a series to at most `n` points (averaging buckets) so charts
+/// stay terminal-sized.
+pub fn downsample(series: &TimeSeries, n: usize) -> TimeSeries {
+    if series.points.len() <= n || n == 0 {
+        return series.clone();
+    }
+    let mut out = TimeSeries::new(series.name.clone());
+    let chunk = series.points.len().div_ceil(n);
+    for block in series.points.chunks(chunk) {
+        let t = block.last().expect("nonempty chunk").t;
+        let mean = block.iter().map(|p| p.value).sum::<f64>() / block.len() as f64;
+        out.push(t, mean);
+    }
+    out
+}
+
+/// Shape verdict helper: measured within `tol` (relative) of paper value.
+pub fn verdict(metric: &str, paper: f64, measured: f64, tol: f64) {
+    let rel = if paper.abs() < f64::EPSILON {
+        0.0
+    } else {
+        (measured - paper).abs() / paper.abs()
+    };
+    let mark = if rel <= tol { "OK " } else { "OFF" };
+    println!(
+        "  [{mark}] {metric:<42} paper {paper:>10.2}  measured {measured:>10.2}  ({:+.1}%)",
+        100.0 * (measured - paper) / paper
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::SimTime;
+
+    #[test]
+    fn downsample_preserves_mean_roughly() {
+        let mut s = TimeSeries::new("x");
+        for i in 0..100u64 {
+            s.push(SimTime::from_secs(i), 10.0);
+        }
+        let d = downsample(&s, 10);
+        assert!(d.points.len() <= 10);
+        assert!((d.mean() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn downsample_short_series_untouched() {
+        let mut s = TimeSeries::new("x");
+        s.push(SimTime::from_secs(0), 1.0);
+        let d = downsample(&s, 10);
+        assert_eq!(d.points.len(), 1);
+    }
+}

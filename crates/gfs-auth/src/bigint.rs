@@ -1,0 +1,574 @@
+//! Arbitrary-precision unsigned integers, from scratch.
+//!
+//! The paper's §6 contribution is GPFS 2.3's RSA-keypair multi-cluster
+//! authentication. Reproducing it without external crypto crates requires a
+//! bignum substrate: this module provides exactly the operations RSA needs
+//! (add/sub/mul, division with remainder, modular exponentiation, gcd and
+//! modular inverse) over little-endian `u32` limbs.
+//!
+//! The implementation favours clarity and testability over speed: schoolbook
+//! multiplication and binary long division are ample for the 256–1024-bit
+//! moduli the simulation uses.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// An arbitrary-precision unsigned integer (little-endian `u32` limbs, no
+/// trailing zero limbs; zero is the empty limb vector).
+#[derive(Clone, PartialEq, Eq, Default, Hash)]
+pub struct BigUint {
+    limbs: Vec<u32>,
+}
+
+impl BigUint {
+    /// Zero.
+    pub fn zero() -> Self {
+        BigUint { limbs: Vec::new() }
+    }
+
+    /// One.
+    pub fn one() -> Self {
+        BigUint::from_u64(1)
+    }
+
+    /// From a machine integer.
+    pub fn from_u64(v: u64) -> Self {
+        let mut limbs = vec![v as u32, (v >> 32) as u32];
+        while limbs.last() == Some(&0) {
+            limbs.pop();
+        }
+        BigUint { limbs }
+    }
+
+    /// From big-endian bytes.
+    pub fn from_be_bytes(bytes: &[u8]) -> Self {
+        let mut limbs = Vec::with_capacity(bytes.len() / 4 + 1);
+        let mut chunk_iter = bytes.rchunks(4);
+        for chunk in &mut chunk_iter {
+            let mut v = 0u32;
+            for b in chunk {
+                v = (v << 8) | u32::from(*b);
+            }
+            limbs.push(v);
+        }
+        let mut out = BigUint { limbs };
+        out.normalize();
+        out
+    }
+
+    /// To big-endian bytes (no leading zeros; zero encodes as empty).
+    pub fn to_be_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.limbs.len() * 4);
+        for limb in self.limbs.iter().rev() {
+            out.extend_from_slice(&limb.to_be_bytes());
+        }
+        while out.first() == Some(&0) {
+            out.remove(0);
+        }
+        out
+    }
+
+    fn normalize(&mut self) {
+        while self.limbs.last() == Some(&0) {
+            self.limbs.pop();
+        }
+    }
+
+    /// True iff zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// True iff the low bit is set.
+    pub fn is_odd(&self) -> bool {
+        self.limbs.first().is_some_and(|l| l & 1 == 1)
+    }
+
+    /// Value of this integer as `u64`, if it fits.
+    pub fn to_u64(&self) -> Option<u64> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(u64::from(self.limbs[0])),
+            2 => Some(u64::from(self.limbs[0]) | (u64::from(self.limbs[1]) << 32)),
+            _ => None,
+        }
+    }
+
+    /// Number of significant bits (0 for zero).
+    pub fn bits(&self) -> u32 {
+        match self.limbs.last() {
+            None => 0,
+            Some(top) => (self.limbs.len() as u32 - 1) * 32 + (32 - top.leading_zeros()),
+        }
+    }
+
+    /// Test bit `i` (little-endian index).
+    pub fn bit(&self, i: u32) -> bool {
+        let limb = (i / 32) as usize;
+        self.limbs
+            .get(limb)
+            .is_some_and(|l| (l >> (i % 32)) & 1 == 1)
+    }
+
+    /// `self + rhs`.
+    pub fn add(&self, rhs: &BigUint) -> BigUint {
+        let n = self.limbs.len().max(rhs.limbs.len());
+        let mut out = Vec::with_capacity(n + 1);
+        let mut carry = 0u64;
+        for i in 0..n {
+            let a = u64::from(*self.limbs.get(i).unwrap_or(&0));
+            let b = u64::from(*rhs.limbs.get(i).unwrap_or(&0));
+            let s = a + b + carry;
+            out.push(s as u32);
+            carry = s >> 32;
+        }
+        if carry > 0 {
+            out.push(carry as u32);
+        }
+        let mut r = BigUint { limbs: out };
+        r.normalize();
+        r
+    }
+
+    /// `self - rhs`; panics on underflow (always a logic error here).
+    pub fn sub(&self, rhs: &BigUint) -> BigUint {
+        assert!(self >= rhs, "BigUint subtraction underflow");
+        let mut out = Vec::with_capacity(self.limbs.len());
+        let mut borrow = 0i64;
+        for i in 0..self.limbs.len() {
+            let a = i64::from(self.limbs[i]);
+            let b = i64::from(*rhs.limbs.get(i).unwrap_or(&0));
+            let mut d = a - b - borrow;
+            if d < 0 {
+                d += 1 << 32;
+                borrow = 1;
+            } else {
+                borrow = 0;
+            }
+            out.push(d as u32);
+        }
+        debug_assert_eq!(borrow, 0);
+        let mut r = BigUint { limbs: out };
+        r.normalize();
+        r
+    }
+
+    /// `self * rhs` (schoolbook).
+    pub fn mul(&self, rhs: &BigUint) -> BigUint {
+        if self.is_zero() || rhs.is_zero() {
+            return BigUint::zero();
+        }
+        let mut out = vec![0u32; self.limbs.len() + rhs.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            let mut carry = 0u64;
+            for (j, &b) in rhs.limbs.iter().enumerate() {
+                let cur = u64::from(out[i + j]) + u64::from(a) * u64::from(b) + carry;
+                out[i + j] = cur as u32;
+                carry = cur >> 32;
+            }
+            let mut k = i + rhs.limbs.len();
+            while carry > 0 {
+                let cur = u64::from(out[k]) + carry;
+                out[k] = cur as u32;
+                carry = cur >> 32;
+                k += 1;
+            }
+        }
+        let mut r = BigUint { limbs: out };
+        r.normalize();
+        r
+    }
+
+    /// Left shift by `n` bits.
+    pub fn shl(&self, n: u32) -> BigUint {
+        if self.is_zero() {
+            return BigUint::zero();
+        }
+        let limb_shift = (n / 32) as usize;
+        let bit_shift = n % 32;
+        let mut out = vec![0u32; limb_shift];
+        if bit_shift == 0 {
+            out.extend_from_slice(&self.limbs);
+        } else {
+            let mut carry = 0u32;
+            for &l in &self.limbs {
+                out.push((l << bit_shift) | carry);
+                carry = l >> (32 - bit_shift);
+            }
+            if carry > 0 {
+                out.push(carry);
+            }
+        }
+        let mut r = BigUint { limbs: out };
+        r.normalize();
+        r
+    }
+
+    /// Right shift by one bit.
+    pub fn shr1(&self) -> BigUint {
+        let mut out = vec![0u32; self.limbs.len()];
+        let mut carry = 0u32;
+        for (i, &l) in self.limbs.iter().enumerate().rev() {
+            out[i] = (l >> 1) | (carry << 31);
+            carry = l & 1;
+        }
+        let mut r = BigUint { limbs: out };
+        r.normalize();
+        r
+    }
+
+    /// In-place `self -= rhs`; caller guarantees `self >= rhs`.
+    fn sub_assign(&mut self, rhs: &BigUint) {
+        debug_assert!(&*self >= rhs, "BigUint subtraction underflow");
+        let mut borrow = 0i64;
+        for i in 0..self.limbs.len() {
+            let a = i64::from(self.limbs[i]);
+            let b = i64::from(*rhs.limbs.get(i).unwrap_or(&0));
+            let mut d = a - b - borrow;
+            if d < 0 {
+                d += 1 << 32;
+                borrow = 1;
+            } else {
+                borrow = 0;
+            }
+            self.limbs[i] = d as u32;
+        }
+        debug_assert_eq!(borrow, 0);
+        self.normalize();
+    }
+
+    /// In-place right shift by one bit.
+    fn shr1_assign(&mut self) {
+        let mut carry = 0u32;
+        for l in self.limbs.iter_mut().rev() {
+            let new_carry = *l & 1;
+            *l = (*l >> 1) | (carry << 31);
+            carry = new_carry;
+        }
+        self.normalize();
+    }
+
+    /// Set bit `i` (little-endian index) to one.
+    fn set_bit(&mut self, i: u32) {
+        let limb = (i / 32) as usize;
+        if self.limbs.len() <= limb {
+            self.limbs.resize(limb + 1, 0);
+        }
+        self.limbs[limb] |= 1 << (i % 32);
+    }
+
+    /// `(quotient, remainder)` of `self / rhs`; panics on division by zero.
+    pub fn div_rem(&self, rhs: &BigUint) -> (BigUint, BigUint) {
+        assert!(!rhs.is_zero(), "BigUint division by zero");
+        if self < rhs {
+            return (BigUint::zero(), self.clone());
+        }
+        let shift = self.bits() - rhs.bits();
+        let mut rem = self.clone();
+        let mut quot = BigUint::zero();
+        // Walk the divisor down from the aligned position, shifting the
+        // aligned copy right one bit per step (no per-step allocation).
+        let mut d = rhs.shl(shift);
+        for s in (0..=shift).rev() {
+            if rem >= d {
+                rem.sub_assign(&d);
+                quot.set_bit(s);
+            }
+            d.shr1_assign();
+        }
+        quot.normalize();
+        (quot, rem)
+    }
+
+    /// `self mod m`.
+    pub fn rem(&self, m: &BigUint) -> BigUint {
+        self.div_rem(m).1
+    }
+
+    /// `(self * rhs) mod m`.
+    pub fn mulmod(&self, rhs: &BigUint, m: &BigUint) -> BigUint {
+        self.mul(rhs).rem(m)
+    }
+
+    /// `self^exp mod m` (left-to-right square and multiply).
+    pub fn modpow(&self, exp: &BigUint, m: &BigUint) -> BigUint {
+        assert!(!m.is_zero(), "modpow modulus is zero");
+        if m == &BigUint::one() {
+            return BigUint::zero();
+        }
+        let base = self.rem(m);
+        let mut result = BigUint::one();
+        let nbits = exp.bits();
+        for i in (0..nbits).rev() {
+            result = result.mulmod(&result, m);
+            if exp.bit(i) {
+                result = result.mulmod(&base, m);
+            }
+        }
+        result
+    }
+
+    /// Greatest common divisor (Euclid).
+    pub fn gcd(&self, rhs: &BigUint) -> BigUint {
+        let (mut a, mut b) = (self.clone(), rhs.clone());
+        while !b.is_zero() {
+            let r = a.rem(&b);
+            a = b;
+            b = r;
+        }
+        a
+    }
+
+    /// Modular inverse of `self` mod `m`, if coprime (extended Euclid).
+    pub fn modinv(&self, m: &BigUint) -> Option<BigUint> {
+        // Track Bezout coefficient for `self` as a signed pair (neg, mag).
+        let (mut r0, mut r1) = (m.clone(), self.rem(m));
+        let (mut t0, mut t1) = ((false, BigUint::zero()), (false, BigUint::one()));
+        while !r1.is_zero() {
+            let (q, r2) = r0.div_rem(&r1);
+            // t2 = t0 - q*t1 with sign tracking.
+            let qt1 = q.mul(&t1.1);
+            let t2 = signed_sub(&t0, &(t1.0, qt1));
+            r0 = r1;
+            r1 = r2;
+            t0 = t1;
+            t1 = t2;
+        }
+        if r0 != BigUint::one() {
+            return None; // not coprime
+        }
+        // Normalize t0 into [0, m).
+        let mag = t0.1.rem(m);
+        Some(if t0.0 && !mag.is_zero() {
+            m.sub(&mag)
+        } else {
+            mag
+        })
+    }
+}
+
+/// `(a_neg, a) - (b_neg, b)` with sign tracking.
+fn signed_sub(a: &(bool, BigUint), b: &(bool, BigUint)) -> (bool, BigUint) {
+    match (a.0, b.0) {
+        // a - b with both nonnegative.
+        (false, false) => {
+            if a.1 >= b.1 {
+                (false, a.1.sub(&b.1))
+            } else {
+                (true, b.1.sub(&a.1))
+            }
+        }
+        // a - (-b) = a + b
+        (false, true) => (false, a.1.add(&b.1)),
+        // -a - b = -(a + b)
+        (true, false) => (true, a.1.add(&b.1)),
+        // -a - (-b) = b - a
+        (true, true) => {
+            if b.1 >= a.1 {
+                (false, b.1.sub(&a.1))
+            } else {
+                (true, a.1.sub(&b.1))
+            }
+        }
+    }
+}
+
+impl PartialOrd for BigUint {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BigUint {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match self.limbs.len().cmp(&other.limbs.len()) {
+            Ordering::Equal => {
+                for (a, b) in self.limbs.iter().rev().zip(other.limbs.iter().rev()) {
+                    match a.cmp(b) {
+                        Ordering::Equal => continue,
+                        ord => return ord,
+                    }
+                }
+                Ordering::Equal
+            }
+            ord => ord,
+        }
+    }
+}
+
+impl fmt::Debug for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return write!(f, "0x0");
+        }
+        write!(f, "0x")?;
+        for (i, l) in self.limbs.iter().rev().enumerate() {
+            if i == 0 {
+                write!(f, "{l:x}")?;
+            } else {
+                write!(f, "{l:08x}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(v: u64) -> BigUint {
+        BigUint::from_u64(v)
+    }
+
+    #[test]
+    fn u64_roundtrip() {
+        for v in [0u64, 1, 0xffff_ffff, 0x1_0000_0000, u64::MAX] {
+            assert_eq!(BigUint::from_u64(v).to_u64(), Some(v));
+        }
+    }
+
+    #[test]
+    fn byte_roundtrip() {
+        let x = BigUint::from_be_bytes(&[0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09]);
+        assert_eq!(
+            x.to_be_bytes(),
+            vec![0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09]
+        );
+        // Leading zeros stripped.
+        let y = BigUint::from_be_bytes(&[0, 0, 0x12]);
+        assert_eq!(y.to_be_bytes(), vec![0x12]);
+    }
+
+    #[test]
+    fn add_sub_inverse() {
+        let x = b(u64::MAX).mul(&b(12345));
+        let y = b(0xdead_beef);
+        assert_eq!(x.add(&y).sub(&y), x);
+    }
+
+    #[test]
+    fn add_carries_across_limbs() {
+        let x = b(0xffff_ffff_ffff_ffff);
+        let one = BigUint::one();
+        let s = x.add(&one);
+        assert_eq!(s.bits(), 65);
+        assert_eq!(s.sub(&one), x);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn sub_underflow_panics() {
+        b(1).sub(&b(2));
+    }
+
+    #[test]
+    fn mul_known_values() {
+        assert_eq!(b(123456789).mul(&b(987654321)).to_u64(), Some(121932631112635269));
+        assert_eq!(b(0).mul(&b(5)), BigUint::zero());
+        // (2^64 - 1)^2 = 2^128 - 2^65 + 1
+        let m = b(u64::MAX).mul(&b(u64::MAX));
+        assert_eq!(m.bits(), 128);
+        let expect = BigUint::one()
+            .shl(128)
+            .sub(&BigUint::one().shl(65))
+            .add(&BigUint::one());
+        assert_eq!(m, expect);
+    }
+
+    #[test]
+    fn shifts() {
+        assert_eq!(b(1).shl(40).to_u64(), Some(1 << 40));
+        assert_eq!(b(0b1011).shr1().to_u64(), Some(0b101));
+        let big = b(0xdead_beef).shl(100);
+        assert_eq!(big.bits(), 132);
+    }
+
+    #[test]
+    fn div_rem_identity() {
+        let n = b(0xdead_beef_cafe_babe).mul(&b(0x1234_5678_9abc_def0)).add(&b(42));
+        let d = b(0x1234_5678_9abc_def0);
+        let (q, r) = n.div_rem(&d);
+        assert_eq!(q.mul(&d).add(&r), n);
+        assert!(r < d);
+    }
+
+    #[test]
+    fn div_small_cases() {
+        assert_eq!(b(100).div_rem(&b(7)), (b(14), b(2)));
+        assert_eq!(b(5).div_rem(&b(10)), (b(0), b(5)));
+        assert_eq!(b(10).div_rem(&b(10)), (b(1), b(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_by_zero_panics() {
+        b(1).div_rem(&BigUint::zero());
+    }
+
+    #[test]
+    fn modpow_fermat() {
+        // 2^(p-1) ≡ 1 mod p for prime p.
+        let p = b(1_000_000_007);
+        let r = b(2).modpow(&b(1_000_000_006), &p);
+        assert_eq!(r, BigUint::one());
+    }
+
+    #[test]
+    fn modpow_small() {
+        assert_eq!(b(3).modpow(&b(4), &b(100)).to_u64(), Some(81));
+        assert_eq!(b(5).modpow(&b(0), &b(7)), BigUint::one());
+        assert_eq!(b(5).modpow(&b(3), &BigUint::one()), BigUint::zero());
+    }
+
+    #[test]
+    fn gcd_cases() {
+        assert_eq!(b(48).gcd(&b(18)), b(6));
+        assert_eq!(b(17).gcd(&b(13)), b(1));
+        assert_eq!(b(0).gcd(&b(5)), b(5));
+    }
+
+    #[test]
+    fn modinv_roundtrip() {
+        let m = b(1_000_000_007);
+        for v in [2u64, 3, 65537, 123456789] {
+            let x = b(v);
+            let inv = x.modinv(&m).expect("coprime");
+            assert_eq!(x.mulmod(&inv, &m), BigUint::one(), "inv of {v}");
+        }
+    }
+
+    #[test]
+    fn modinv_non_coprime_is_none() {
+        assert_eq!(b(6).modinv(&b(9)), None);
+    }
+
+    #[test]
+    fn modinv_large() {
+        // e = 65537 mod (a 128-bit even modulus-like value): use a known
+        // odd modulus built from primes.
+        let p = b(0xffff_fffb); // 4294967291, prime
+        let q = b(0xffff_ffef); // 4294967279, prime
+        let phi = p.sub(&BigUint::one()).mul(&q.sub(&BigUint::one()));
+        let e = b(65537);
+        let d = e.modinv(&phi).expect("e coprime to phi");
+        assert_eq!(e.mulmod(&d, &phi), BigUint::one());
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(b(5) < b(6));
+        assert!(b(1).shl(64) > b(u64::MAX));
+        assert_eq!(b(7).cmp(&b(7)), Ordering::Equal);
+    }
+
+    #[test]
+    fn bit_access() {
+        let x = b(0b1010_0001);
+        assert!(x.bit(0));
+        assert!(!x.bit(1));
+        assert!(x.bit(5));
+        assert!(x.bit(7));
+        assert!(!x.bit(100));
+    }
+}

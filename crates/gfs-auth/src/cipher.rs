@@ -1,0 +1,141 @@
+//! Symmetric stream cipher for `cipherList` filesystem-traffic encryption
+//! (paper §6.2: "a new configuration option, cipherList, is used ... to
+//! enable encryption of all filesystem traffic if desired").
+//!
+//! The cipher is RC4-class (a keyed byte permutation generator). GPFS
+//! shipped stronger ciphers; RC4 is used here because the reproduction
+//! needs the *mechanism* (session-keyed symmetric encryption of NSD
+//! traffic, with the session key exchanged under RSA), not 2020s-grade
+//! confidentiality. Do not reuse outside the simulation.
+
+/// RC4 keystream generator state.
+#[derive(Clone)]
+pub struct StreamCipher {
+    s: [u8; 256],
+    i: u8,
+    j: u8,
+}
+
+impl StreamCipher {
+    /// Key-schedule a new cipher. Keys of 5–256 bytes are accepted.
+    pub fn new(key: &[u8]) -> Self {
+        assert!(
+            !key.is_empty() && key.len() <= 256,
+            "key must be 1..=256 bytes"
+        );
+        let mut s = [0u8; 256];
+        for (i, v) in s.iter_mut().enumerate() {
+            *v = i as u8;
+        }
+        let mut j = 0u8;
+        for i in 0..256 {
+            j = j
+                .wrapping_add(s[i])
+                .wrapping_add(key[i % key.len()]);
+            s.swap(i, j as usize);
+        }
+        StreamCipher { s, i: 0, j: 0 }
+    }
+
+    /// Next keystream byte.
+    fn next(&mut self) -> u8 {
+        self.i = self.i.wrapping_add(1);
+        self.j = self.j.wrapping_add(self.s[self.i as usize]);
+        self.s.swap(self.i as usize, self.j as usize);
+        self.s[self.s[self.i as usize].wrapping_add(self.s[self.j as usize]) as usize]
+    }
+
+    /// XOR the keystream into `data` in place. Encryption and decryption
+    /// are the same operation at the same stream position.
+    pub fn apply(&mut self, data: &mut [u8]) {
+        for b in data {
+            *b ^= self.next();
+        }
+    }
+
+    /// Convenience: encrypt a copy.
+    pub fn process(&mut self, data: &[u8]) -> Vec<u8> {
+        let mut out = data.to_vec();
+        self.apply(&mut out);
+        out
+    }
+}
+
+/// Cipher modes selectable per cluster pair — the `cipherList` setting.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum CipherMode {
+    /// RSA authentication only; filesystem traffic in the clear
+    /// (`cipherList AUTHONLY`).
+    #[default]
+    AuthOnly,
+    /// RSA authentication plus traffic encryption under a session key.
+    Encrypt,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(data: &[u8]) -> String {
+        data.iter().map(|b| format!("{b:02X}")).collect()
+    }
+
+    #[test]
+    fn known_vector_key() {
+        // Classic RC4 test vector: key "Key", plaintext "Plaintext".
+        let mut c = StreamCipher::new(b"Key");
+        assert_eq!(hex(&c.process(b"Plaintext")), "BBF316E8D940AF0AD3");
+    }
+
+    #[test]
+    fn known_vector_wiki() {
+        let mut c = StreamCipher::new(b"Wiki");
+        assert_eq!(hex(&c.process(b"pedia")), "1021BF0420");
+    }
+
+    #[test]
+    fn known_vector_secret() {
+        let mut c = StreamCipher::new(b"Secret");
+        assert_eq!(
+            hex(&c.process(b"Attack at dawn")),
+            "45A01F645FC35B383552544B9BF5"
+        );
+    }
+
+    #[test]
+    fn roundtrip() {
+        let key = b"session-key-from-rsa-exchange";
+        let msg = b"NSD read reply: block 42 of /gpfs-wan/nvo/catalog.fits";
+        let mut enc = StreamCipher::new(key);
+        let ct = enc.process(msg);
+        assert_ne!(&ct[..], &msg[..]);
+        let mut dec = StreamCipher::new(key);
+        assert_eq!(dec.process(&ct), msg.to_vec());
+    }
+
+    #[test]
+    fn wrong_key_garbles() {
+        let mut enc = StreamCipher::new(b"right-key");
+        let ct = enc.process(b"confidential");
+        let mut dec = StreamCipher::new(b"wrong-key");
+        assert_ne!(dec.process(&ct), b"confidential".to_vec());
+    }
+
+    #[test]
+    fn stream_position_matters() {
+        // Two messages on one session must decrypt in order.
+        let key = b"k1";
+        let mut enc = StreamCipher::new(key);
+        let c1 = enc.process(b"first");
+        let c2 = enc.process(b"second");
+        let mut dec = StreamCipher::new(key);
+        assert_eq!(dec.process(&c1), b"first".to_vec());
+        assert_eq!(dec.process(&c2), b"second".to_vec());
+    }
+
+    #[test]
+    #[should_panic(expected = "key must be")]
+    fn empty_key_rejected() {
+        StreamCipher::new(b"");
+    }
+}

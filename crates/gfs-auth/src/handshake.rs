@@ -1,0 +1,566 @@
+//! The GPFS 2.3 multi-cluster trust workflow and mount handshake
+//! (paper §6.2) as a pure protocol state machine.
+//!
+//! Reproduced workflow, matching the paper step for step:
+//!
+//! 1. Each cluster's administrator generates an RSA keypair (`mmauth
+//!    genkey` → [`ClusterAuth::new`]).
+//! 2. Administrators exchange *public* keys out of band (e-mail in the
+//!    paper) — here, by handing [`PublicKey`] values across.
+//! 3. The exporting cluster registers the remote cluster and grants
+//!    per-filesystem access (`mmauth add` / `mmauth grant`, including the
+//!    PTF 2 per-fs read-only/read-write control).
+//! 4. The importing cluster defines the remote cluster and filesystem
+//!    (`mmremotecluster add`, `mmremotefs add`).
+//! 5. At mount time the clusters run a challenge–response: the server
+//!    issues a nonce, the client signs it, the server verifies against the
+//!    registered key and (optionally, `cipherList`) returns a session key
+//!    encrypted under the client's public key.
+//!
+//! Network timing is supplied by the `gfs` crate; this module is pure logic
+//! so the protocol can be tested exhaustively without a simulator.
+
+use crate::cipher::CipherMode;
+use crate::rsa::{KeyPair, PublicKey, Signature};
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::collections::BTreeMap;
+
+/// Per-filesystem access level granted to a remote cluster (PTF 2 added the
+/// ro/rw distinction).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum AccessMode {
+    /// May mount read-only.
+    ReadOnly,
+    /// May mount read-write.
+    ReadWrite,
+}
+
+/// Why a mount attempt was refused.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum AuthError {
+    /// The requesting cluster was never `mmauth add`ed.
+    UnknownCluster(String),
+    /// Signature did not verify against the registered public key.
+    BadSignature,
+    /// Cluster is known but has no grant for this filesystem.
+    NoGrant { cluster: String, fs: String },
+    /// Grant exists but is read-only and read-write was requested.
+    ReadOnlyGrant { cluster: String, fs: String },
+    /// Challenge replay or unknown challenge.
+    StaleChallenge,
+}
+
+/// What the exporting cluster records about one remote cluster.
+#[derive(Clone, Debug)]
+pub struct RemoteGrant {
+    /// The remote cluster's accepted public keys. Normally one; two while
+    /// the remote rotates its key (`mmauth genkey new` → propagate →
+    /// `mmauth genkey commit`), so mounts never break mid-rotation.
+    pub keys: Vec<PublicKey>,
+    /// Per-filesystem access grants.
+    pub fs_access: BTreeMap<String, AccessMode>,
+}
+
+impl RemoteGrant {
+    /// The newest accepted key (used to encrypt session keys).
+    pub fn current_key(&self) -> &PublicKey {
+        self.keys.last().expect("grant always holds at least one key")
+    }
+}
+
+/// A granted mount session returned to the client.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SessionGrant {
+    /// Filesystem the session is for.
+    pub fs: String,
+    /// Effective access mode.
+    pub mode: AccessMode,
+    /// Session key for `cipherList` encryption, RSA-encrypted to the
+    /// client; `None` when the pair runs `AUTHONLY`.
+    pub encrypted_session_key: Option<Vec<u8>>,
+}
+
+/// A nonce challenge issued by the serving cluster.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Challenge {
+    /// Which challenge (for replay protection).
+    pub id: u64,
+    /// The nonce to sign.
+    pub nonce: [u8; 32],
+}
+
+/// The authentication state of one cluster: its own keypair plus everything
+/// `mmauth` manages.
+pub struct ClusterAuth {
+    /// This cluster's name (e.g. `"sdsc.teragrid"`).
+    pub name: String,
+    keypair: KeyPair,
+    /// A staged replacement keypair (`mmauth genkey new`), not yet active.
+    staged: Option<KeyPair>,
+    /// Traffic policy for sessions this cluster serves.
+    pub cipher_mode: CipherMode,
+    granted: BTreeMap<String, RemoteGrant>,
+    outstanding: BTreeMap<u64, ([u8; 32], String)>,
+    next_challenge: u64,
+}
+
+impl ClusterAuth {
+    /// `mmauth genkey new`: create the cluster's keypair.
+    pub fn new(name: impl Into<String>, key_bits: u32, rng: &mut StdRng) -> Self {
+        ClusterAuth {
+            name: name.into(),
+            keypair: KeyPair::generate(key_bits, rng),
+            staged: None,
+            cipher_mode: CipherMode::AuthOnly,
+            granted: BTreeMap::new(),
+            outstanding: BTreeMap::new(),
+            next_challenge: 0,
+        }
+    }
+
+    /// The public key to hand to peer administrators out of band.
+    pub fn public_key(&self) -> PublicKey {
+        self.keypair.public.clone()
+    }
+
+    /// `mmauth add <cluster> -k <keyfile>`: register a remote cluster's key.
+    pub fn mmauth_add(&mut self, cluster: impl Into<String>, key: PublicKey) {
+        self.granted.insert(
+            cluster.into(),
+            RemoteGrant {
+                keys: vec![key],
+                fs_access: BTreeMap::new(),
+            },
+        );
+    }
+
+    /// `mmauth update <cluster> -k <newkey>`: accept an additional key for
+    /// a remote cluster during its key rotation. Both old and new keys
+    /// authenticate until [`ClusterAuth::mmauth_finalize_key`] is called.
+    pub fn mmauth_update_key(&mut self, cluster: &str, key: PublicKey) {
+        let g = self
+            .granted
+            .get_mut(cluster)
+            .unwrap_or_else(|| panic!("mmauth update: unknown cluster {cluster}"));
+        if !g.keys.contains(&key) {
+            g.keys.push(key);
+        }
+    }
+
+    /// Drop every accepted key for `cluster` except the newest (rotation
+    /// complete on the remote side).
+    pub fn mmauth_finalize_key(&mut self, cluster: &str) {
+        if let Some(g) = self.granted.get_mut(cluster) {
+            let latest = g.keys.pop().expect("at least one key");
+            g.keys.clear();
+            g.keys.push(latest);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Own-key rotation (two-phase, so peers can be updated in between)
+    // ------------------------------------------------------------------
+
+    /// `mmauth genkey new`: stage a replacement keypair and return its
+    /// public half for out-of-band distribution to peers. The *old* key
+    /// keeps signing until [`ClusterAuth::genkey_commit`].
+    pub fn genkey_new(&mut self, key_bits: u32, rng: &mut StdRng) -> PublicKey {
+        let kp = KeyPair::generate(key_bits, rng);
+        let public = kp.public.clone();
+        self.staged = Some(kp);
+        public
+    }
+
+    /// `mmauth genkey commit`: switch signing to the staged keypair.
+    /// Panics if nothing was staged — matching the real command's refusal.
+    pub fn genkey_commit(&mut self) {
+        self.keypair = self
+            .staged
+            .take()
+            .expect("mmauth genkey commit: no staged key (run genkey new first)");
+    }
+
+    /// `mmauth grant <cluster> -f <fs> [-a ro|rw]`: allow a filesystem.
+    /// Panics if the cluster was never added — mirroring the real command's
+    /// refusal.
+    pub fn mmauth_grant(&mut self, cluster: &str, fs: impl Into<String>, mode: AccessMode) {
+        self.granted
+            .get_mut(cluster)
+            .unwrap_or_else(|| panic!("mmauth grant: unknown cluster {cluster}"))
+            .fs_access
+            .insert(fs.into(), mode);
+    }
+
+    /// `mmauth deny <cluster> -f <fs>`: revoke a filesystem grant.
+    pub fn mmauth_deny(&mut self, cluster: &str, fs: &str) {
+        if let Some(g) = self.granted.get_mut(cluster) {
+            g.fs_access.remove(fs);
+        }
+    }
+
+    /// `mmauth delete <cluster>`: drop the cluster entirely.
+    pub fn mmauth_delete(&mut self, cluster: &str) {
+        self.granted.remove(cluster);
+    }
+
+    /// Snapshot of the grant table for `mmauth show`-style listings:
+    /// (remote cluster name, [(filesystem, mode)]).
+    pub fn granted_clusters(&self) -> Vec<(String, Vec<(String, AccessMode)>)> {
+        self.granted
+            .iter()
+            .map(|(name, g)| {
+                (
+                    name.clone(),
+                    g.fs_access
+                        .iter()
+                        .map(|(fs, m)| (fs.clone(), *m))
+                        .collect(),
+                )
+            })
+            .collect()
+    }
+
+    /// Is `cluster` granted `mode` (or better) on `fs`?
+    pub fn check_grant(&self, cluster: &str, fs: &str, mode: AccessMode) -> Result<(), AuthError> {
+        let g = self
+            .granted
+            .get(cluster)
+            .ok_or_else(|| AuthError::UnknownCluster(cluster.into()))?;
+        match g.fs_access.get(fs) {
+            None => Err(AuthError::NoGrant {
+                cluster: cluster.into(),
+                fs: fs.into(),
+            }),
+            Some(AccessMode::ReadOnly) if mode == AccessMode::ReadWrite => {
+                Err(AuthError::ReadOnlyGrant {
+                    cluster: cluster.into(),
+                    fs: fs.into(),
+                })
+            }
+            Some(_) => Ok(()),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Server side of the mount handshake
+    // ------------------------------------------------------------------
+
+    /// Step 1 (server): issue a challenge for a mount attempt by
+    /// `client_cluster`.
+    pub fn issue_challenge(&mut self, client_cluster: &str, rng: &mut StdRng) -> Challenge {
+        let mut nonce = [0u8; 32];
+        rng.fill(&mut nonce);
+        let id = self.next_challenge;
+        self.next_challenge += 1;
+        self.outstanding.insert(id, (nonce, client_cluster.into()));
+        Challenge { id, nonce }
+    }
+
+    /// Step 3 (server): verify the client's signed response and mint a
+    /// session. Consumes the challenge (replay protection).
+    pub fn verify_response(
+        &mut self,
+        challenge_id: u64,
+        response: &MountResponse,
+        rng: &mut StdRng,
+    ) -> Result<SessionGrant, AuthError> {
+        let (nonce, expected_cluster) = self
+            .outstanding
+            .remove(&challenge_id)
+            .ok_or(AuthError::StaleChallenge)?;
+        if expected_cluster != response.cluster {
+            return Err(AuthError::StaleChallenge);
+        }
+        let grant = self
+            .granted
+            .get(&response.cluster)
+            .ok_or_else(|| AuthError::UnknownCluster(response.cluster.clone()))?;
+        let payload = MountResponse::payload(&nonce, &response.cluster, &response.fs, response.mode);
+        if !grant
+            .keys
+            .iter()
+            .any(|k| k.verify(&payload, &response.signature))
+        {
+            return Err(AuthError::BadSignature);
+        }
+        self.check_grant(&response.cluster, &response.fs, response.mode)?;
+        let encrypted_session_key = match self.cipher_mode {
+            CipherMode::AuthOnly => None,
+            CipherMode::Encrypt => {
+                let mut key = [0u8; 32];
+                rng.fill(&mut key);
+                Some(
+                    grant
+                        .current_key()
+                        .encrypt(&key)
+                        .expect("32-byte session key fits any modulus in use"),
+                )
+            }
+        };
+        Ok(SessionGrant {
+            fs: response.fs.clone(),
+            mode: response.mode,
+            encrypted_session_key,
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Client side of the mount handshake
+    // ------------------------------------------------------------------
+
+    /// Step 2 (client): sign the server's challenge for a mount request.
+    pub fn respond(&self, challenge: &Challenge, fs: &str, mode: AccessMode) -> MountResponse {
+        let payload = MountResponse::payload(&challenge.nonce, &self.name, fs, mode);
+        MountResponse {
+            cluster: self.name.clone(),
+            fs: fs.into(),
+            mode,
+            signature: self.keypair.sign(&payload),
+        }
+    }
+
+    /// Step 4 (client): recover the session key from a grant, if any.
+    pub fn open_session_key(&self, grant: &SessionGrant) -> Option<Vec<u8>> {
+        grant
+            .encrypted_session_key
+            .as_ref()
+            .map(|ct| self.keypair.decrypt(ct).expect("own key decrypts"))
+    }
+}
+
+/// The client's signed answer to a challenge.
+#[derive(Clone, Debug)]
+pub struct MountResponse {
+    /// Requesting cluster name.
+    pub cluster: String,
+    /// Filesystem requested.
+    pub fs: String,
+    /// Mode requested.
+    pub mode: AccessMode,
+    /// Signature over (nonce, cluster, fs, mode).
+    pub signature: Signature,
+}
+
+impl MountResponse {
+    fn payload(nonce: &[u8; 32], cluster: &str, fs: &str, mode: AccessMode) -> Vec<u8> {
+        let mut p = Vec::with_capacity(64 + cluster.len() + fs.len());
+        p.extend_from_slice(nonce);
+        p.extend(cluster.as_bytes());
+        p.push(0);
+        p.extend(fs.as_bytes());
+        p.push(match mode {
+            AccessMode::ReadOnly => 1,
+            AccessMode::ReadWrite => 2,
+        });
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    /// Build the paper's §6.2 setup: SDSC exports, ANL imports.
+    fn pair() -> (ClusterAuth, ClusterAuth, StdRng) {
+        let mut r = rng(11);
+        let mut sdsc = ClusterAuth::new("sdsc.teragrid", 512, &mut r);
+        let anl = ClusterAuth::new("anl.teragrid", 512, &mut r);
+        // Out-of-band key exchange + mmauth add/grant.
+        sdsc.mmauth_add("anl.teragrid", anl.public_key());
+        sdsc.mmauth_grant("anl.teragrid", "gpfs-wan", AccessMode::ReadWrite);
+        (sdsc, anl, r)
+    }
+
+    fn run_handshake(
+        server: &mut ClusterAuth,
+        client: &ClusterAuth,
+        fs: &str,
+        mode: AccessMode,
+        r: &mut StdRng,
+    ) -> Result<SessionGrant, AuthError> {
+        let ch = server.issue_challenge(&client.name, r);
+        let resp = client.respond(&ch, fs, mode);
+        server.verify_response(ch.id, &resp, r)
+    }
+
+    #[test]
+    fn successful_mount_rw() {
+        let (mut sdsc, anl, mut r) = pair();
+        let grant = run_handshake(&mut sdsc, &anl, "gpfs-wan", AccessMode::ReadWrite, &mut r)
+            .expect("mount should succeed");
+        assert_eq!(grant.mode, AccessMode::ReadWrite);
+        assert_eq!(grant.fs, "gpfs-wan");
+        assert!(grant.encrypted_session_key.is_none(), "AUTHONLY default");
+    }
+
+    #[test]
+    fn unknown_cluster_rejected() {
+        let (mut sdsc, _anl, mut r) = pair();
+        let rogue = ClusterAuth::new("rogue.cluster", 512, &mut rng(55));
+        let err = run_handshake(&mut sdsc, &rogue, "gpfs-wan", AccessMode::ReadOnly, &mut r)
+            .unwrap_err();
+        assert_eq!(err, AuthError::UnknownCluster("rogue.cluster".into()));
+    }
+
+    #[test]
+    fn impersonation_with_wrong_key_rejected() {
+        let (mut sdsc, _anl, mut r) = pair();
+        // An attacker claims to be anl.teragrid but signs with its own key.
+        let fake = ClusterAuth::new("anl.teragrid", 512, &mut rng(56));
+        let err = run_handshake(&mut sdsc, &fake, "gpfs-wan", AccessMode::ReadWrite, &mut r)
+            .unwrap_err();
+        assert_eq!(err, AuthError::BadSignature);
+    }
+
+    #[test]
+    fn ungrated_fs_rejected() {
+        let (mut sdsc, anl, mut r) = pair();
+        let err =
+            run_handshake(&mut sdsc, &anl, "gpfs-scratch", AccessMode::ReadOnly, &mut r)
+                .unwrap_err();
+        assert!(matches!(err, AuthError::NoGrant { .. }));
+    }
+
+    #[test]
+    fn ptf2_readonly_grant_blocks_rw_mount() {
+        let (mut sdsc, anl, mut r) = pair();
+        sdsc.mmauth_grant("anl.teragrid", "gpfs-wan", AccessMode::ReadOnly);
+        let err = run_handshake(&mut sdsc, &anl, "gpfs-wan", AccessMode::ReadWrite, &mut r)
+            .unwrap_err();
+        assert!(matches!(err, AuthError::ReadOnlyGrant { .. }));
+        // But read-only mount still succeeds.
+        let ok = run_handshake(&mut sdsc, &anl, "gpfs-wan", AccessMode::ReadOnly, &mut r);
+        assert_eq!(ok.unwrap().mode, AccessMode::ReadOnly);
+    }
+
+    #[test]
+    fn revocation_takes_effect() {
+        let (mut sdsc, anl, mut r) = pair();
+        run_handshake(&mut sdsc, &anl, "gpfs-wan", AccessMode::ReadWrite, &mut r).unwrap();
+        sdsc.mmauth_deny("anl.teragrid", "gpfs-wan");
+        let err = run_handshake(&mut sdsc, &anl, "gpfs-wan", AccessMode::ReadOnly, &mut r)
+            .unwrap_err();
+        assert!(matches!(err, AuthError::NoGrant { .. }));
+    }
+
+    #[test]
+    fn challenge_replay_rejected() {
+        let (mut sdsc, anl, mut r) = pair();
+        let ch = sdsc.issue_challenge(&anl.name, &mut r);
+        let resp = anl.respond(&ch, "gpfs-wan", AccessMode::ReadWrite);
+        sdsc.verify_response(ch.id, &resp, &mut r).unwrap();
+        // Replaying the same response must fail: challenge consumed.
+        let err = sdsc.verify_response(ch.id, &resp, &mut r).unwrap_err();
+        assert_eq!(err, AuthError::StaleChallenge);
+    }
+
+    #[test]
+    fn challenge_bound_to_cluster() {
+        let (mut sdsc, anl, mut r) = pair();
+        let ncsa = ClusterAuth::new("ncsa.teragrid", 512, &mut rng(57));
+        sdsc.mmauth_add("ncsa.teragrid", ncsa.public_key());
+        sdsc.mmauth_grant("ncsa.teragrid", "gpfs-wan", AccessMode::ReadWrite);
+        // Challenge issued for ANL answered by NCSA: rejected.
+        let ch = sdsc.issue_challenge(&anl.name, &mut r);
+        let resp = ncsa.respond(&ch, "gpfs-wan", AccessMode::ReadWrite);
+        let err = sdsc.verify_response(ch.id, &resp, &mut r).unwrap_err();
+        assert_eq!(err, AuthError::StaleChallenge);
+    }
+
+    #[test]
+    fn cipherlist_encrypt_delivers_session_key() {
+        let (mut sdsc, anl, mut r) = pair();
+        sdsc.cipher_mode = CipherMode::Encrypt;
+        let grant =
+            run_handshake(&mut sdsc, &anl, "gpfs-wan", AccessMode::ReadWrite, &mut r).unwrap();
+        let key = anl.open_session_key(&grant).expect("session key present");
+        assert_eq!(key.len(), 32);
+        // The key encrypts/decrypts traffic end to end.
+        let mut enc = crate::cipher::StreamCipher::new(&key);
+        let ct = enc.process(b"nsd data block");
+        let mut dec = crate::cipher::StreamCipher::new(&key);
+        assert_eq!(dec.process(&ct), b"nsd data block".to_vec());
+    }
+
+    #[test]
+    fn mmauth_delete_removes_trust() {
+        let (mut sdsc, anl, mut r) = pair();
+        sdsc.mmauth_delete("anl.teragrid");
+        let err = run_handshake(&mut sdsc, &anl, "gpfs-wan", AccessMode::ReadOnly, &mut r)
+            .unwrap_err();
+        assert!(matches!(err, AuthError::UnknownCluster(_)));
+    }
+
+    #[test]
+    fn key_rotation_two_phase() {
+        let (mut sdsc, mut anl, mut r) = pair();
+        // ANL stages a new key and distributes it; SDSC accepts both.
+        let new_pub = anl.genkey_new(512, &mut r);
+        sdsc.mmauth_update_key("anl.teragrid", new_pub.clone());
+        // Old key still signs (not yet committed): mount works.
+        run_handshake(&mut sdsc, &anl, "gpfs-wan", AccessMode::ReadWrite, &mut r).unwrap();
+        // Commit: new key signs; SDSC accepts it too.
+        anl.genkey_commit();
+        assert_eq!(anl.public_key(), new_pub);
+        run_handshake(&mut sdsc, &anl, "gpfs-wan", AccessMode::ReadWrite, &mut r).unwrap();
+        // Finalize: only the new key remains accepted.
+        sdsc.mmauth_finalize_key("anl.teragrid");
+        run_handshake(&mut sdsc, &anl, "gpfs-wan", AccessMode::ReadWrite, &mut r).unwrap();
+    }
+
+    #[test]
+    fn old_key_rejected_after_finalize() {
+        let (mut sdsc, mut anl, mut r) = pair();
+        // Keep a copy of the pre-rotation signer.
+        let old_anl = ClusterAuth::new("anl.teragrid", 512, &mut rng(11 + 1));
+        // (old_anl is a stand-in "stolen old key" signer: register its key
+        // first so it would have authenticated before rotation.)
+        sdsc.mmauth_add("anl.teragrid", old_anl.public_key());
+        sdsc.mmauth_grant("anl.teragrid", "gpfs-wan", AccessMode::ReadWrite);
+        run_handshake(&mut sdsc, &old_anl, "gpfs-wan", AccessMode::ReadWrite, &mut r).unwrap();
+        // Rotation: the real ANL distributes a new key; after finalize the
+        // old (possibly compromised) key must stop working.
+        let new_pub = anl.genkey_new(512, &mut r);
+        sdsc.mmauth_update_key("anl.teragrid", new_pub);
+        anl.genkey_commit();
+        sdsc.mmauth_finalize_key("anl.teragrid");
+        let err = run_handshake(&mut sdsc, &old_anl, "gpfs-wan", AccessMode::ReadWrite, &mut r)
+            .unwrap_err();
+        assert_eq!(err, AuthError::BadSignature);
+        run_handshake(&mut sdsc, &anl, "gpfs-wan", AccessMode::ReadWrite, &mut r).unwrap();
+    }
+
+    #[test]
+    fn mid_rotation_session_keys_use_newest_key() {
+        let (mut sdsc, mut anl, mut r) = pair();
+        sdsc.cipher_mode = CipherMode::Encrypt;
+        let new_pub = anl.genkey_new(512, &mut r);
+        sdsc.mmauth_update_key("anl.teragrid", new_pub);
+        anl.genkey_commit();
+        // Session key is encrypted to the newest accepted key, which the
+        // committed client can open.
+        let grant = run_handshake(&mut sdsc, &anl, "gpfs-wan", AccessMode::ReadWrite, &mut r)
+            .unwrap();
+        assert!(anl.open_session_key(&grant).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "no staged key")]
+    fn commit_without_stage_panics() {
+        let mut c = ClusterAuth::new("x", 384, &mut rng(1));
+        c.genkey_commit();
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown cluster")]
+    fn grant_before_add_panics() {
+        let mut c = ClusterAuth::new("x", 384, &mut rng(1));
+        c.mmauth_grant("never-added", "fs", AccessMode::ReadOnly);
+    }
+}

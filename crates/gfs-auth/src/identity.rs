@@ -1,0 +1,312 @@
+//! GSI-style identities: distinguished names, CA-signed certificates, and
+//! grid-mapfiles.
+//!
+//! Paper §6: a TeraGrid user holds *different UIDs at different sites*, but
+//! owns one GSI certificate. Data on a central Global File System should
+//! belong to the certificate holder, not to whichever local account wrote
+//! it. This module provides the identity substrate: a certificate authority
+//! issues DN certificates, each site's grid-mapfile maps DNs to local
+//! accounts, and [`GlobalIdentityService`] resolves the same person across
+//! sites.
+
+use crate::rsa::{KeyPair, PublicKey, Signature};
+use rand::rngs::StdRng;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// An X.509-style distinguished name, e.g. `"/C=US/O=SDSC/CN=Phil Andrews"`.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Dn(pub String);
+
+impl Dn {
+    /// Build from a string.
+    pub fn new(s: impl Into<String>) -> Self {
+        Dn(s.into())
+    }
+}
+
+impl fmt::Display for Dn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// A certificate binding a DN to a public key, signed by a CA.
+#[derive(Clone, Debug)]
+pub struct Certificate {
+    /// Holder.
+    pub subject: Dn,
+    /// Issuing authority.
+    pub issuer: Dn,
+    /// Holder's public key.
+    pub public_key: PublicKey,
+    /// CA signature over (subject, issuer, key).
+    pub signature: Signature,
+}
+
+impl Certificate {
+    /// The byte string the CA signs.
+    fn tbs(subject: &Dn, issuer: &Dn, key: &PublicKey) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend(subject.0.as_bytes());
+        out.push(0);
+        out.extend(issuer.0.as_bytes());
+        out.push(0);
+        out.extend(key.n.to_be_bytes());
+        out.extend(key.e.to_be_bytes());
+        out
+    }
+}
+
+/// A certificate authority (e.g. the TeraGrid CA).
+pub struct CertAuthority {
+    /// CA's own name.
+    pub name: Dn,
+    keypair: KeyPair,
+}
+
+impl CertAuthority {
+    /// Create a CA with a fresh keypair.
+    pub fn new(name: Dn, key_bits: u32, rng: &mut StdRng) -> Self {
+        CertAuthority {
+            name,
+            keypair: KeyPair::generate(key_bits, rng),
+        }
+    }
+
+    /// Issue a certificate for `subject` holding `key`.
+    pub fn issue(&self, subject: Dn, key: PublicKey) -> Certificate {
+        let tbs = Certificate::tbs(&subject, &self.name, &key);
+        Certificate {
+            subject,
+            issuer: self.name.clone(),
+            public_key: key,
+            signature: self.keypair.sign(&tbs),
+        }
+    }
+
+    /// Verify that a certificate was issued by this CA and is untampered.
+    pub fn verify(&self, cert: &Certificate) -> bool {
+        cert.issuer == self.name
+            && self.keypair.public.verify(
+                &Certificate::tbs(&cert.subject, &cert.issuer, &cert.public_key),
+                &cert.signature,
+            )
+    }
+}
+
+/// A user's credential: certificate plus private key, able to sign
+/// requests (standing in for a GSI proxy).
+pub struct UserCredential {
+    /// The user's certificate.
+    pub cert: Certificate,
+    keypair: KeyPair,
+}
+
+impl UserCredential {
+    /// Create a credential: generate a keypair and have `ca` certify it.
+    pub fn issue(ca: &CertAuthority, subject: Dn, key_bits: u32, rng: &mut StdRng) -> Self {
+        let keypair = KeyPair::generate(key_bits, rng);
+        let cert = ca.issue(subject, keypair.public.clone());
+        UserCredential { cert, keypair }
+    }
+
+    /// Sign an arbitrary request payload.
+    pub fn sign(&self, payload: &[u8]) -> Signature {
+        self.keypair.sign(payload)
+    }
+}
+
+/// A local account at one site.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LocalAccount {
+    /// Login name at the site.
+    pub username: String,
+    /// Numeric UID — *different per site*, the paper's core §6 problem.
+    pub uid: u32,
+    /// Primary group.
+    pub gid: u32,
+}
+
+/// One site's grid-mapfile: DN → local account.
+#[derive(Default, Debug, Clone)]
+pub struct GridMapFile {
+    entries: BTreeMap<Dn, LocalAccount>,
+}
+
+impl GridMapFile {
+    /// Empty mapfile.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add or replace a mapping.
+    pub fn insert(&mut self, dn: Dn, account: LocalAccount) {
+        self.entries.insert(dn, account);
+    }
+
+    /// Resolve a DN to the local account, if mapped.
+    pub fn lookup(&self, dn: &Dn) -> Option<&LocalAccount> {
+        self.entries.get(dn)
+    }
+
+    /// Reverse lookup: which DN owns this local UID?
+    pub fn dn_for_uid(&self, uid: u32) -> Option<&Dn> {
+        self.entries
+            .iter()
+            .find(|(_, acc)| acc.uid == uid)
+            .map(|(dn, _)| dn)
+    }
+
+    /// Number of mapped users.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no users are mapped.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Cross-site identity resolution: the piece SDSC's GSI extension adds on
+/// top of per-site grid-mapfiles. File ownership on the central GFS is
+/// recorded by DN; any site can translate its local UIDs to DNs and back.
+#[derive(Default)]
+pub struct GlobalIdentityService {
+    site_maps: BTreeMap<String, GridMapFile>,
+}
+
+impl GlobalIdentityService {
+    /// Empty service.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Install (or replace) a site's grid-mapfile.
+    pub fn register_site(&mut self, site: impl Into<String>, map: GridMapFile) {
+        self.site_maps.insert(site.into(), map);
+    }
+
+    /// The DN behind `uid` at `site`.
+    pub fn dn_at(&self, site: &str, uid: u32) -> Option<&Dn> {
+        self.site_maps.get(site)?.dn_for_uid(uid)
+    }
+
+    /// The local account of `dn` at `site`.
+    pub fn account_at(&self, site: &str, dn: &Dn) -> Option<&LocalAccount> {
+        self.site_maps.get(site)?.lookup(dn)
+    }
+
+    /// Translate a UID between two sites through the common DN — the
+    /// operation that makes "his data belongs to him, not to one of his
+    /// accounts" (paper §6) work.
+    pub fn translate_uid(&self, from_site: &str, uid: u32, to_site: &str) -> Option<u32> {
+        let dn = self.dn_at(from_site, uid)?;
+        Some(self.account_at(to_site, dn)?.uid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    fn ca() -> CertAuthority {
+        CertAuthority::new(Dn::new("/C=US/O=TeraGrid/CN=CA"), 512, &mut rng(1))
+    }
+
+    #[test]
+    fn issued_certificate_verifies() {
+        let ca = ca();
+        let user = UserCredential::issue(&ca, Dn::new("/C=US/O=SDSC/CN=Alice"), 512, &mut rng(2));
+        assert!(ca.verify(&user.cert));
+    }
+
+    #[test]
+    fn foreign_certificate_rejected() {
+        let ca1 = ca();
+        let ca2 = CertAuthority::new(Dn::new("/C=US/O=Rogue/CN=CA"), 512, &mut rng(3));
+        let user = UserCredential::issue(&ca2, Dn::new("/CN=Mallory"), 512, &mut rng(4));
+        assert!(!ca1.verify(&user.cert));
+    }
+
+    #[test]
+    fn tampered_subject_rejected() {
+        let ca = ca();
+        let user = UserCredential::issue(&ca, Dn::new("/CN=Alice"), 512, &mut rng(5));
+        let mut cert = user.cert.clone();
+        cert.subject = Dn::new("/CN=Alice-the-admin");
+        assert!(!ca.verify(&cert));
+    }
+
+    #[test]
+    fn user_signature_verifies_with_cert_key() {
+        let ca = ca();
+        let user = UserCredential::issue(&ca, Dn::new("/CN=Alice"), 512, &mut rng(6));
+        let sig = user.sign(b"open /gpfs-wan/nvo rw");
+        assert!(user.cert.public_key.verify(b"open /gpfs-wan/nvo rw", &sig));
+        assert!(!user.cert.public_key.verify(b"open /gpfs-wan/nvo ro", &sig));
+    }
+
+    fn alice() -> Dn {
+        Dn::new("/C=US/O=NPACI/CN=Alice Researcher")
+    }
+
+    fn service() -> GlobalIdentityService {
+        // Alice has uid 5012 at SDSC, 71003 at NCSA, 880 at ANL — the
+        // paper's exact scenario.
+        let mut svc = GlobalIdentityService::new();
+        for (site, uid) in [("sdsc", 5012u32), ("ncsa", 71003), ("anl", 880)] {
+            let mut map = GridMapFile::new();
+            map.insert(
+                alice(),
+                LocalAccount {
+                    username: "alice".into(),
+                    uid,
+                    gid: 100,
+                },
+            );
+            svc.register_site(site, map);
+        }
+        svc
+    }
+
+    #[test]
+    fn uid_translation_across_sites() {
+        let svc = service();
+        assert_eq!(svc.translate_uid("sdsc", 5012, "ncsa"), Some(71003));
+        assert_eq!(svc.translate_uid("ncsa", 71003, "anl"), Some(880));
+        assert_eq!(svc.translate_uid("sdsc", 9999, "ncsa"), None);
+        assert_eq!(svc.translate_uid("nowhere", 5012, "ncsa"), None);
+    }
+
+    #[test]
+    fn dn_resolution() {
+        let svc = service();
+        assert_eq!(svc.dn_at("anl", 880), Some(&alice()));
+        assert_eq!(svc.account_at("sdsc", &alice()).unwrap().uid, 5012);
+    }
+
+    #[test]
+    fn mapfile_basics() {
+        let mut m = GridMapFile::new();
+        assert!(m.is_empty());
+        m.insert(
+            alice(),
+            LocalAccount {
+                username: "alice".into(),
+                uid: 1,
+                gid: 1,
+            },
+        );
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.lookup(&alice()).unwrap().username, "alice");
+        assert_eq!(m.dn_for_uid(1), Some(&alice()));
+        assert_eq!(m.dn_for_uid(2), None);
+    }
+}

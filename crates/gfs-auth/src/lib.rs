@@ -1,0 +1,35 @@
+//! # gfs-auth — authentication substrate for the Global File System
+//!
+//! Everything the paper's §6 ("Authentication") needs, built from scratch:
+//!
+//! * [`bigint`] — arbitrary-precision unsigned integers.
+//! * [`prime`] — Miller–Rabin prime generation.
+//! * [`mod@sha256`] — SHA-256 with exactly-derived constants.
+//! * [`rsa`] — keypairs, signatures, small-payload encryption.
+//! * [`cipher`] — stream cipher for `cipherList` traffic encryption.
+//! * [`identity`] — GSI DNs, CA-signed certificates, grid-mapfiles, and
+//!   cross-site UID translation (the paper's core identity problem).
+//! * [`handshake`] — the GPFS 2.3 `mmauth` trust workflow and the
+//!   challenge–response mount handshake, including PTF 2 per-filesystem
+//!   read-only/read-write grants.
+//!
+//! All of it is pure logic: the `gfs` crate supplies simulated network
+//! timing around these primitives.
+
+pub mod bigint;
+pub mod cipher;
+pub mod handshake;
+pub mod identity;
+pub mod prime;
+pub mod rsa;
+pub mod sha256;
+
+pub use bigint::BigUint;
+pub use cipher::{CipherMode, StreamCipher};
+pub use handshake::{AccessMode, AuthError, Challenge, ClusterAuth, MountResponse, SessionGrant};
+pub use identity::{
+    CertAuthority, Certificate, Dn, GlobalIdentityService, GridMapFile, LocalAccount,
+    UserCredential,
+};
+pub use rsa::{KeyPair, PublicKey, Signature};
+pub use sha256::{sha256, Sha256};

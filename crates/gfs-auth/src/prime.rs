@@ -1,0 +1,176 @@
+//! Probabilistic prime generation: small-prime sieving plus Miller–Rabin.
+
+use crate::bigint::BigUint;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Small primes used to cheaply reject most composite candidates.
+const SMALL_PRIMES: [u64; 30] = [
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89,
+    97, 101, 103, 107, 109, 113,
+];
+
+/// Miller–Rabin probabilistic primality test with `rounds` random bases.
+/// Error probability ≤ 4^-rounds for composite inputs.
+pub fn is_probable_prime(n: &BigUint, rounds: u32, rng: &mut StdRng) -> bool {
+    if let Some(v) = n.to_u64() {
+        if v < 2 {
+            return false;
+        }
+        if SMALL_PRIMES.contains(&v) {
+            return true;
+        }
+    }
+    for p in SMALL_PRIMES {
+        let pb = BigUint::from_u64(p);
+        if &pb >= n {
+            break;
+        }
+        if n.rem(&pb).is_zero() {
+            return false;
+        }
+    }
+    // Write n-1 = d * 2^r with d odd.
+    let one = BigUint::one();
+    let n_minus_1 = n.sub(&one);
+    let mut d = n_minus_1.clone();
+    let mut r = 0u32;
+    while !d.is_odd() {
+        d = d.shr1();
+        r += 1;
+    }
+    'witness: for _ in 0..rounds {
+        let a = random_below(rng, &n_minus_1.sub(&BigUint::from_u64(2))).add(&BigUint::from_u64(2));
+        let mut x = a.modpow(&d, n);
+        if x == one || x == n_minus_1 {
+            continue;
+        }
+        for _ in 0..r.saturating_sub(1) {
+            x = x.mulmod(&x, n);
+            if x == n_minus_1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Uniform random value in `[0, bound]`.
+fn random_below(rng: &mut StdRng, bound: &BigUint) -> BigUint {
+    let bits = bound.bits().max(1);
+    let nbytes = bits.div_ceil(8) as usize;
+    loop {
+        let mut bytes = vec![0u8; nbytes];
+        rng.fill(&mut bytes[..]);
+        // Mask excess top bits so the loop terminates quickly.
+        let excess = (nbytes as u32 * 8).saturating_sub(bits);
+        if excess > 0 {
+            bytes[0] &= 0xff >> excess;
+        }
+        let v = BigUint::from_be_bytes(&bytes);
+        if &v <= bound {
+            return v;
+        }
+    }
+}
+
+/// Generate a random probable prime of exactly `bits` bits.
+pub fn gen_prime(bits: u32, rng: &mut StdRng) -> BigUint {
+    assert!(bits >= 8, "prime size too small: {bits} bits");
+    loop {
+        let nbytes = (bits as usize).div_ceil(8);
+        let mut bytes = vec![0u8; nbytes];
+        rng.fill(&mut bytes[..]);
+        let mut cand = BigUint::from_be_bytes(&bytes);
+        // Force exact bit length and oddness.
+        cand = cand.rem(&BigUint::one().shl(bits));
+        let top = BigUint::one().shl(bits - 1);
+        if cand < top {
+            cand = cand.add(&top);
+        }
+        if !cand.is_odd() {
+            cand = cand.add(&BigUint::one());
+        }
+        if cand.bits() != bits {
+            continue;
+        }
+        if is_probable_prime(&cand, 16, rng) {
+            return cand;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore_seed::rng;
+
+    // Tiny local helper: gfs-auth doesn't depend on simcore, so derive a
+    // deterministic StdRng directly.
+    mod simcore_seed {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        pub fn rng(seed: u64) -> StdRng {
+            StdRng::seed_from_u64(seed)
+        }
+    }
+
+    #[test]
+    fn known_primes_accepted() {
+        let mut r = rng(1);
+        for p in [2u64, 3, 5, 7, 104729, 1_000_000_007, 0xffff_fffb] {
+            assert!(
+                is_probable_prime(&BigUint::from_u64(p), 16, &mut r),
+                "{p} should be prime"
+            );
+        }
+    }
+
+    #[test]
+    fn known_composites_rejected() {
+        let mut r = rng(2);
+        for c in [0u64, 1, 4, 561, 1_000_000_008, 104729 * 2, 0xffff_fffb - 2] {
+            assert!(
+                !is_probable_prime(&BigUint::from_u64(c), 16, &mut r),
+                "{c} should be composite"
+            );
+        }
+    }
+
+    #[test]
+    fn carmichael_numbers_rejected() {
+        // Fermat pseudoprimes that fool a^n-1 tests; Miller-Rabin must not.
+        let mut r = rng(3);
+        for c in [561u64, 1105, 1729, 2465, 2821, 6601, 8911] {
+            assert!(
+                !is_probable_prime(&BigUint::from_u64(c), 16, &mut r),
+                "Carmichael {c} accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn generated_primes_have_exact_bits() {
+        let mut r = rng(4);
+        for bits in [16u32, 24, 64, 128] {
+            let p = gen_prime(bits, &mut r);
+            assert_eq!(p.bits(), bits, "wrong size for {bits}-bit prime");
+            assert!(p.is_odd());
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = gen_prime(64, &mut rng(99));
+        let b = gen_prime(64, &mut rng(99));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn distinct_seeds_distinct_primes() {
+        let a = gen_prime(64, &mut rng(1));
+        let b = gen_prime(64, &mut rng(2));
+        assert_ne!(a, b);
+    }
+}

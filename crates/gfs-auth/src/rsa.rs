@@ -1,0 +1,242 @@
+//! RSA keypairs, signatures and small-payload encryption — the mechanism
+//! GPFS 2.3 GA uses to authenticate clusters to each other (paper §6.2).
+//!
+//! Signatures are "hash-then-pad-then-exponentiate" in the PKCS#1 v1.5
+//! spirit: the SHA-256 digest of the message is deterministically padded to
+//! the modulus width and raised to the private exponent. Key sizes in the
+//! simulation default to 512 bits — ample to exercise the protocol and keep
+//! tests fast; this is a protocol reproduction, not a security product.
+
+use crate::bigint::BigUint;
+use crate::prime::gen_prime;
+use crate::sha256::sha256;
+use rand::rngs::StdRng;
+
+/// Public half of a keypair — what `mmauth` writes into the exchange file.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PublicKey {
+    /// Modulus `n = p*q`.
+    pub n: BigUint,
+    /// Public exponent (65537).
+    pub e: BigUint,
+}
+
+/// A full keypair, held by a cluster's configuration servers.
+#[derive(Clone, Debug)]
+pub struct KeyPair {
+    /// Public half.
+    pub public: PublicKey,
+    d: BigUint,
+}
+
+/// A detached signature.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Signature(pub Vec<u8>);
+
+/// Errors from RSA operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RsaError {
+    /// Payload does not fit under the modulus.
+    MessageTooLarge,
+}
+
+const PUBLIC_EXPONENT: u64 = 65537;
+
+impl KeyPair {
+    /// Generate a keypair with a modulus of about `bits` bits.
+    pub fn generate(bits: u32, rng: &mut StdRng) -> KeyPair {
+        assert!(
+            bits >= 384,
+            "modulus too small for digest padding: {bits} bits (need >= 384)"
+        );
+        let e = BigUint::from_u64(PUBLIC_EXPONENT);
+        loop {
+            let p = gen_prime(bits / 2, rng);
+            let q = gen_prime(bits - bits / 2, rng);
+            if p == q {
+                continue;
+            }
+            let n = p.mul(&q);
+            let phi = p.sub(&BigUint::one()).mul(&q.sub(&BigUint::one()));
+            if let Some(d) = e.modinv(&phi) {
+                return KeyPair {
+                    public: PublicKey { n, e },
+                    d,
+                };
+            }
+            // e not coprime to phi (rare): retry with new primes.
+        }
+    }
+
+    /// Modulus size in bytes.
+    pub fn modulus_len(&self) -> usize {
+        (self.public.n.bits() as usize).div_ceil(8)
+    }
+
+    /// Sign a message: pad its SHA-256 digest to the modulus width, then
+    /// exponentiate with the private key.
+    pub fn sign(&self, msg: &[u8]) -> Signature {
+        let em = pad_digest(&sha256(msg), self.modulus_len());
+        let m = BigUint::from_be_bytes(&em);
+        debug_assert!(m < self.public.n);
+        let s = m.modpow(&self.d, &self.public.n);
+        Signature(s.to_be_bytes())
+    }
+
+    /// Decrypt a small payload encrypted with [`PublicKey::encrypt`].
+    pub fn decrypt(&self, ct: &[u8]) -> Result<Vec<u8>, RsaError> {
+        let c = BigUint::from_be_bytes(ct);
+        if c >= self.public.n {
+            return Err(RsaError::MessageTooLarge);
+        }
+        let m = c.modpow(&self.d, &self.public.n);
+        Ok(unpad_payload(&m.to_be_bytes()))
+    }
+}
+
+impl PublicKey {
+    /// Verify a signature produced by [`KeyPair::sign`].
+    pub fn verify(&self, msg: &[u8], sig: &Signature) -> bool {
+        let s = BigUint::from_be_bytes(&sig.0);
+        if s >= self.n {
+            return false;
+        }
+        let em = s.modpow(&self.e, &self.n).to_be_bytes();
+        let k = (self.n.bits() as usize).div_ceil(8);
+        let expect = pad_digest(&sha256(msg), k);
+        // to_be_bytes strips leading zeros; compare right-aligned.
+        let mut full = vec![0u8; k];
+        if em.len() > k {
+            return false;
+        }
+        full[k - em.len()..].copy_from_slice(&em);
+        full == expect
+    }
+
+    /// Encrypt a small payload (≤ modulus_len - 11 bytes), e.g. a session
+    /// key for `cipherList` traffic encryption.
+    pub fn encrypt(&self, payload: &[u8]) -> Result<Vec<u8>, RsaError> {
+        let k = (self.n.bits() as usize).div_ceil(8);
+        if payload.len() + 11 > k {
+            return Err(RsaError::MessageTooLarge);
+        }
+        // Deterministic 0x00 0x02 0xFF.. 0x00 padding (no random filler:
+        // the simulation values reproducibility over CCA hardening).
+        let mut em = vec![0xffu8; k];
+        em[0] = 0x00;
+        em[1] = 0x02;
+        em[k - payload.len() - 1] = 0x00;
+        em[k - payload.len()..].copy_from_slice(payload);
+        let m = BigUint::from_be_bytes(&em);
+        let c = m.modpow(&self.e, &self.n);
+        Ok(c.to_be_bytes())
+    }
+
+    /// Stable fingerprint of the key (hash of `n || e`), used in `mmauth
+    /// show` style listings.
+    pub fn fingerprint(&self) -> String {
+        let mut data = self.n.to_be_bytes();
+        data.extend(self.e.to_be_bytes());
+        crate::sha256::hex(&sha256(&data))[..16].to_string()
+    }
+}
+
+/// Deterministic full-width padding of a digest (PKCS#1 v1.5 type-1 shape).
+fn pad_digest(digest: &[u8; 32], k: usize) -> Vec<u8> {
+    assert!(k >= 32 + 11, "modulus too small for digest");
+    let mut em = vec![0xffu8; k];
+    em[0] = 0x00;
+    em[1] = 0x01;
+    em[k - 33] = 0x00;
+    em[k - 32..].copy_from_slice(digest);
+    em
+}
+
+/// Strip the encryption padding applied by [`PublicKey::encrypt`].
+fn unpad_payload(em: &[u8]) -> Vec<u8> {
+    // em arrives with leading zeros stripped; find the 0x00 separator after
+    // the 0xFF filler run.
+    match em.iter().position(|b| *b == 0x00) {
+        Some(i) => em[i + 1..].to_vec(),
+        None => em.to_vec(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    fn keypair() -> KeyPair {
+        KeyPair::generate(512, &mut rng(7))
+    }
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let kp = keypair();
+        let msg = b"cluster sdsc.teragrid requests mount of /gpfs-wan";
+        let sig = kp.sign(msg);
+        assert!(kp.public.verify(msg, &sig));
+    }
+
+    #[test]
+    fn tampered_message_rejected() {
+        let kp = keypair();
+        let sig = kp.sign(b"mount read-only");
+        assert!(!kp.public.verify(b"mount read-write", &sig));
+    }
+
+    #[test]
+    fn tampered_signature_rejected() {
+        let kp = keypair();
+        let mut sig = kp.sign(b"hello");
+        sig.0[0] ^= 1;
+        assert!(!kp.public.verify(b"hello", &sig));
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let kp1 = keypair();
+        let kp2 = KeyPair::generate(512, &mut rng(8));
+        let sig = kp1.sign(b"hello");
+        assert!(!kp2.public.verify(b"hello", &sig));
+    }
+
+    #[test]
+    fn encrypt_decrypt_roundtrip() {
+        let kp = keypair();
+        let session_key = b"0123456789abcdef0123456789abcdef"; // 32 bytes
+        let ct = kp.public.encrypt(session_key).unwrap();
+        let pt = kp.decrypt(&ct).unwrap();
+        assert_eq!(pt, session_key);
+    }
+
+    #[test]
+    fn oversized_payload_rejected() {
+        let kp = keypair();
+        let too_big = vec![0xabu8; kp.modulus_len()];
+        assert_eq!(
+            kp.public.encrypt(&too_big),
+            Err(RsaError::MessageTooLarge)
+        );
+    }
+
+    #[test]
+    fn keygen_is_deterministic() {
+        let a = KeyPair::generate(384, &mut rng(42));
+        let b = KeyPair::generate(384, &mut rng(42));
+        assert_eq!(a.public, b.public);
+    }
+
+    #[test]
+    fn fingerprints_distinguish_keys() {
+        let a = KeyPair::generate(384, &mut rng(1));
+        let b = KeyPair::generate(384, &mut rng(2));
+        assert_ne!(a.public.fingerprint(), b.public.fingerprint());
+        assert_eq!(a.public.fingerprint().len(), 16);
+    }
+}

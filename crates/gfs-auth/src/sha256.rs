@@ -1,0 +1,270 @@
+//! SHA-256, from scratch.
+//!
+//! Used as the digest for RSA signatures in the multi-cluster handshake and
+//! for data-integrity checks. The round constants are not transcribed from
+//! a table (transcription errors are silent and catastrophic) — they are
+//! *derived* at first use from exact integer square/cube roots of the first
+//! primes, then verified against the standard test vectors in the tests.
+
+use std::sync::OnceLock;
+
+/// Digest size in bytes.
+pub const DIGEST_LEN: usize = 32;
+
+/// First `n` primes.
+fn primes(n: usize) -> Vec<u64> {
+    let mut out = Vec::with_capacity(n);
+    let mut c = 2u64;
+    while out.len() < n {
+        if out.iter().all(|p| !c.is_multiple_of(*p)) {
+            out.push(c);
+        }
+        c += 1;
+    }
+    out
+}
+
+/// `floor(sqrt(x))` for u128 by binary search.
+fn isqrt(x: u128) -> u128 {
+    let (mut lo, mut hi) = (0u128, 1u128 << 64);
+    while lo < hi {
+        let mid = (lo + hi).div_ceil(2);
+        if mid.checked_mul(mid).is_some_and(|m| m <= x) {
+            lo = mid;
+        } else {
+            hi = mid - 1;
+        }
+    }
+    lo
+}
+
+/// `floor(cbrt(x))` for u128 by binary search.
+fn icbrt(x: u128) -> u128 {
+    let (mut lo, mut hi) = (0u128, 1u128 << 43);
+    while lo < hi {
+        let mid = (lo + hi).div_ceil(2);
+        let cube = mid
+            .checked_mul(mid)
+            .and_then(|m| m.checked_mul(mid));
+        if cube.is_some_and(|c| c <= x) {
+            lo = mid;
+        } else {
+            hi = mid - 1;
+        }
+    }
+    lo
+}
+
+/// Initial hash state: fractional bits of sqrt(p) for the first 8 primes.
+fn h0() -> [u32; 8] {
+    let mut h = [0u32; 8];
+    for (i, p) in primes(8).into_iter().enumerate() {
+        // frac(sqrt(p)) * 2^32 == isqrt(p << 64) mod 2^32
+        h[i] = (isqrt((p as u128) << 64) & 0xffff_ffff) as u32;
+    }
+    h
+}
+
+/// Round constants: fractional bits of cbrt(p) for the first 64 primes.
+fn k() -> &'static [u32; 64] {
+    static K: OnceLock<[u32; 64]> = OnceLock::new();
+    K.get_or_init(|| {
+        let mut k = [0u32; 64];
+        for (i, p) in primes(64).into_iter().enumerate() {
+            // frac(cbrt(p)) * 2^32 == icbrt(p << 96) mod 2^32
+            k[i] = (icbrt((p as u128) << 96) & 0xffff_ffff) as u32;
+        }
+        k
+    })
+}
+
+/// Streaming SHA-256 context.
+#[derive(Clone)]
+pub struct Sha256 {
+    state: [u32; 8],
+    buf: [u8; 64],
+    buf_len: usize,
+    total_len: u64,
+}
+
+impl Default for Sha256 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sha256 {
+    /// Fresh context.
+    pub fn new() -> Self {
+        Sha256 {
+            state: h0(),
+            buf: [0; 64],
+            buf_len: 0,
+            total_len: 0,
+        }
+    }
+
+    /// Absorb bytes.
+    pub fn update(&mut self, mut data: &[u8]) {
+        self.total_len = self.total_len.wrapping_add(data.len() as u64);
+        if self.buf_len > 0 {
+            let take = (64 - self.buf_len).min(data.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
+            self.buf_len += take;
+            data = &data[take..];
+            if self.buf_len == 64 {
+                let block = self.buf;
+                self.compress(&block);
+                self.buf_len = 0;
+            }
+        }
+        while data.len() >= 64 {
+            let mut block = [0u8; 64];
+            block.copy_from_slice(&data[..64]);
+            self.compress(&block);
+            data = &data[64..];
+        }
+        if !data.is_empty() {
+            self.buf[..data.len()].copy_from_slice(data);
+            self.buf_len = data.len();
+        }
+    }
+
+    /// Finish and produce the digest.
+    pub fn finalize(mut self) -> [u8; DIGEST_LEN] {
+        let bit_len = self.total_len.wrapping_mul(8);
+        // Padding: 0x80, zeros, 8-byte big-endian bit length.
+        self.update(&[0x80]);
+        while self.buf_len != 56 {
+            self.update(&[0]);
+        }
+        self.total_len = self.total_len.wrapping_sub(8); // don't double count
+        self.update(&bit_len.to_be_bytes());
+        let mut out = [0u8; DIGEST_LEN];
+        for (i, s) in self.state.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&s.to_be_bytes());
+        }
+        out
+    }
+
+    fn compress(&mut self, block: &[u8; 64]) {
+        let k = k();
+        let mut w = [0u32; 64];
+        for i in 0..16 {
+            w[i] = u32::from_be_bytes([
+                block[i * 4],
+                block[i * 4 + 1],
+                block[i * 4 + 2],
+                block[i * 4 + 3],
+            ]);
+        }
+        for i in 16..64 {
+            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+            w[i] = w[i - 16]
+                .wrapping_add(s0)
+                .wrapping_add(w[i - 7])
+                .wrapping_add(s1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
+        for i in 0..64 {
+            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+            let ch = (e & f) ^ (!e & g);
+            let t1 = h
+                .wrapping_add(s1)
+                .wrapping_add(ch)
+                .wrapping_add(k[i])
+                .wrapping_add(w[i]);
+            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+            let maj = (a & b) ^ (a & c) ^ (b & c);
+            let t2 = s0.wrapping_add(maj);
+            h = g;
+            g = f;
+            f = e;
+            e = d.wrapping_add(t1);
+            d = c;
+            c = b;
+            b = a;
+            a = t1.wrapping_add(t2);
+        }
+        self.state[0] = self.state[0].wrapping_add(a);
+        self.state[1] = self.state[1].wrapping_add(b);
+        self.state[2] = self.state[2].wrapping_add(c);
+        self.state[3] = self.state[3].wrapping_add(d);
+        self.state[4] = self.state[4].wrapping_add(e);
+        self.state[5] = self.state[5].wrapping_add(f);
+        self.state[6] = self.state[6].wrapping_add(g);
+        self.state[7] = self.state[7].wrapping_add(h);
+    }
+}
+
+/// One-shot digest.
+pub fn sha256(data: &[u8]) -> [u8; DIGEST_LEN] {
+    let mut h = Sha256::new();
+    h.update(data);
+    h.finalize()
+}
+
+/// Lowercase hex of a digest.
+pub fn hex(digest: &[u8]) -> String {
+    digest.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_vector() {
+        assert_eq!(
+            hex(&sha256(b"")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        );
+    }
+
+    #[test]
+    fn abc_vector() {
+        assert_eq!(
+            hex(&sha256(b"abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+    }
+
+    #[test]
+    fn two_block_vector() {
+        // NIST vector for the 56-byte message (forces two-block padding).
+        assert_eq!(
+            hex(&sha256(
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+            )),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+        );
+    }
+
+    #[test]
+    fn streaming_equals_oneshot() {
+        let data: Vec<u8> = (0..1000u32).map(|i| (i % 251) as u8).collect();
+        let oneshot = sha256(&data);
+        for chunk in [1usize, 3, 63, 64, 65, 500] {
+            let mut h = Sha256::new();
+            for c in data.chunks(chunk) {
+                h.update(c);
+            }
+            assert_eq!(h.finalize(), oneshot, "chunk size {chunk}");
+        }
+    }
+
+    #[test]
+    fn derived_constants_match_known_first_values() {
+        // Spot-check the derivation against universally known constants.
+        assert_eq!(h0()[0], 0x6a09e667);
+        assert_eq!(h0()[7], 0x5be0cd19);
+        assert_eq!(k()[0], 0x428a2f98);
+        assert_eq!(k()[63], 0xc67178f2);
+    }
+
+    #[test]
+    fn different_inputs_differ() {
+        assert_ne!(sha256(b"cluster-a"), sha256(b"cluster-b"));
+    }
+}

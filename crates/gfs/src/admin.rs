@@ -1,0 +1,121 @@
+//! Administrative workflow helpers: the command sequences a TeraGrid site
+//! administrator would run, bundled for scenarios and examples.
+
+use crate::types::ClusterId;
+use crate::world::{GfsWorld, RemoteClusterDef, RemoteFsDef};
+use gfs_auth::handshake::AccessMode;
+use simnet::NodeId;
+
+/// Perform the full §6.2 trust setup between two clusters for one
+/// filesystem, equivalent to:
+///
+/// ```text
+/// (export side)  mmauth add <importer> -k importer.pub
+///                mmauth grant <importer> -f <device> [-a ro|rw]
+/// (import side)  mmremotecluster add <exporter> -n <contact>
+///                mmremotefs add <device> -f <device> -C <exporter>
+/// ```
+///
+/// The "out-of-band public key exchange" of the paper (e-mail between
+/// administrators) is the direct key copy below.
+pub fn connect_clusters(
+    w: &mut GfsWorld,
+    exporter: ClusterId,
+    importer: ClusterId,
+    device: &str,
+    mode: AccessMode,
+    contact: NodeId,
+) {
+    assert_ne!(exporter, importer, "a cluster cannot import from itself");
+    let importer_key = w.clusters[importer.0 as usize].auth.public_key();
+    let importer_name = w.clusters[importer.0 as usize].name.clone();
+    let exporter_name = w.clusters[exporter.0 as usize].name.clone();
+
+    let exp = &mut w.clusters[exporter.0 as usize];
+    exp.auth.mmauth_add(importer_name, importer_key);
+    let imp_name = w.clusters[importer.0 as usize].name.clone();
+    w.clusters[exporter.0 as usize]
+        .auth
+        .mmauth_grant(&imp_name, device, mode);
+
+    let imp = &mut w.clusters[importer.0 as usize];
+    imp.remote_clusters
+        .insert(exporter_name.clone(), RemoteClusterDef { contact });
+    imp.remote_fs.insert(
+        device.to_string(),
+        RemoteFsDef {
+            cluster: exporter_name,
+            remote_device: device.to_string(),
+        },
+    );
+}
+
+/// Revoke a previously established export (PTF 2 per-fs control).
+pub fn disconnect_fs(w: &mut GfsWorld, exporter: ClusterId, importer: ClusterId, device: &str) {
+    let imp_name = w.clusters[importer.0 as usize].name.clone();
+    w.clusters[exporter.0 as usize]
+        .auth
+        .mmauth_deny(&imp_name, device);
+    w.clusters[importer.0 as usize].remote_fs.remove(device);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fscore::FsConfig;
+    use crate::world::{FsParams, WorldBuilder};
+    use simcore::{Bandwidth, SimDuration};
+
+    #[test]
+    fn connect_wires_both_sides() {
+        let mut b = WorldBuilder::new(1);
+        b.key_bits(384);
+        let n1 = b.topo().node("a");
+        let n2 = b.topo().node("b");
+        b.topo()
+            .duplex_link(n1, n2, Bandwidth::gbit(1.0), SimDuration::from_millis(10), "l");
+        let ca = b.cluster("a.grid");
+        let cb = b.cluster("b.grid");
+        b.filesystem(
+            ca,
+            FsParams::ideal(
+                FsConfig::small_test("fs0"),
+                n1,
+                vec![n1],
+                Bandwidth::gbyte(1.0),
+                SimDuration::from_micros(100),
+            ),
+        );
+        let (_sim, mut w) = b.build();
+        connect_clusters(&mut w, ca, cb, "fs0", AccessMode::ReadOnly, n1);
+        // Export side has the grant.
+        assert!(w.clusters[ca.0 as usize]
+            .auth
+            .check_grant("b.grid", "fs0", AccessMode::ReadOnly)
+            .is_ok());
+        assert!(w.clusters[ca.0 as usize]
+            .auth
+            .check_grant("b.grid", "fs0", AccessMode::ReadWrite)
+            .is_err());
+        // Import side resolves the device.
+        assert!(w.resolve_device(cb, "fs0").is_some());
+        // Disconnect removes both.
+        disconnect_fs(&mut w, ca, cb, "fs0");
+        assert!(w.clusters[ca.0 as usize]
+            .auth
+            .check_grant("b.grid", "fs0", AccessMode::ReadOnly)
+            .is_err());
+        assert!(w.resolve_device(cb, "fs0").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot import from itself")]
+    fn self_import_rejected() {
+        let mut b = WorldBuilder::new(1);
+        b.key_bits(384);
+        b.topo().node("a");
+        let ca = b.cluster("a.grid");
+        let (_sim, mut w) = b.build();
+        connect_clusters(&mut w, ca, ca, "fs0", AccessMode::ReadOnly, NodeId(0));
+    }
+}

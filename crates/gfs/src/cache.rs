@@ -1,0 +1,336 @@
+//! Client page pool: block cache with LRU eviction, dirty tracking for
+//! write-behind, and sequential-access detection for prefetch.
+//!
+//! GPFS clients cache file blocks in a pinned "page pool"; streaming
+//! performance over the WAN comes from deep prefetch (reads) and
+//! write-behind (writes) keeping many blocks in flight — that is what makes
+//! the 80 ms SDSC–Baltimore RTT survivable (paper §2).
+
+use crate::types::{FsId, InodeId};
+use bytes::Bytes;
+use std::collections::{HashMap, VecDeque};
+
+/// Key of one cached block.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct PageKey {
+    /// Filesystem.
+    pub fs: FsId,
+    /// File.
+    pub inode: InodeId,
+    /// Block index within the file.
+    pub block: u64,
+}
+
+/// One cached page.
+#[derive(Clone, Debug)]
+struct Page {
+    data: Bytes,
+    dirty: bool,
+}
+
+/// Eviction result: a dirty page that must be flushed before the frame is
+/// reused.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DirtyPage {
+    /// Which block.
+    pub key: PageKey,
+    /// Its contents.
+    pub data: Bytes,
+}
+
+/// A fixed-capacity block cache with LRU replacement.
+#[derive(Debug)]
+pub struct PagePool {
+    capacity_pages: usize,
+    pages: HashMap<PageKey, Page>,
+    lru: VecDeque<PageKey>,
+    /// Hit/miss counters.
+    pub hits: u64,
+    /// Cache misses.
+    pub misses: u64,
+}
+
+impl PagePool {
+    /// Pool holding at most `capacity_pages` blocks.
+    pub fn new(capacity_pages: usize) -> Self {
+        assert!(capacity_pages > 0, "page pool needs at least one page");
+        PagePool {
+            capacity_pages,
+            pages: HashMap::new(),
+            lru: VecDeque::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    fn touch(&mut self, key: PageKey) {
+        if let Some(pos) = self.lru.iter().position(|k| *k == key) {
+            self.lru.remove(pos);
+        }
+        self.lru.push_back(key);
+    }
+
+    /// Look up a block, updating LRU order and counters.
+    pub fn get(&mut self, key: PageKey) -> Option<Bytes> {
+        if let Some(p) = self.pages.get(&key) {
+            let data = p.data.clone();
+            self.touch(key);
+            self.hits += 1;
+            Some(data)
+        } else {
+            self.misses += 1;
+            None
+        }
+    }
+
+    /// Peek without counting or LRU movement (used by flush logic).
+    pub fn peek(&self, key: PageKey) -> Option<&Bytes> {
+        self.pages.get(&key).map(|p| &p.data)
+    }
+
+    /// Is the block resident? (no counter effect)
+    pub fn contains(&self, key: PageKey) -> bool {
+        self.pages.contains_key(&key)
+    }
+
+    /// Insert a clean block (e.g. from an NSD read or prefetch). Returns
+    /// any dirty pages evicted to make room — the caller must flush them.
+    pub fn insert_clean(&mut self, key: PageKey, data: Bytes) -> Vec<DirtyPage> {
+        self.insert(key, data, false)
+    }
+
+    /// Insert or overwrite a block as dirty (a client write). Returns
+    /// evicted dirty pages the caller must flush.
+    pub fn insert_dirty(&mut self, key: PageKey, data: Bytes) -> Vec<DirtyPage> {
+        self.insert(key, data, true)
+    }
+
+    fn insert(&mut self, key: PageKey, data: Bytes, dirty: bool) -> Vec<DirtyPage> {
+        let mut evicted = Vec::new();
+        if let Some(existing) = self.pages.get_mut(&key) {
+            existing.data = data;
+            existing.dirty = existing.dirty || dirty;
+            self.touch(key);
+            return evicted;
+        }
+        while self.pages.len() >= self.capacity_pages {
+            let Some(victim) = self.lru.pop_front() else {
+                break;
+            };
+            if let Some(p) = self.pages.remove(&victim) {
+                if p.dirty {
+                    evicted.push(DirtyPage {
+                        key: victim,
+                        data: p.data,
+                    });
+                }
+            }
+        }
+        self.pages.insert(key, Page { data, dirty });
+        self.lru.push_back(key);
+        evicted
+    }
+
+    /// Mark a block clean after a successful flush.
+    pub fn mark_clean(&mut self, key: PageKey) {
+        if let Some(p) = self.pages.get_mut(&key) {
+            p.dirty = false;
+        }
+    }
+
+    /// All dirty pages of one file (for fsync/close).
+    pub fn dirty_pages_of(&self, fs: FsId, inode: InodeId) -> Vec<DirtyPage> {
+        let mut out: Vec<DirtyPage> = self
+            .pages
+            .iter()
+            .filter(|(k, p)| k.fs == fs && k.inode == inode && p.dirty)
+            .map(|(k, p)| DirtyPage {
+                key: *k,
+                data: p.data.clone(),
+            })
+            .collect();
+        out.sort_by_key(|d| d.key.block);
+        out
+    }
+
+    /// Drop every page of one file (on unlink or revoke).
+    pub fn invalidate_file(&mut self, fs: FsId, inode: InodeId) {
+        self.pages.retain(|k, _| !(k.fs == fs && k.inode == inode));
+        self.lru.retain(|k| !(k.fs == fs && k.inode == inode));
+    }
+
+    /// Number of resident pages.
+    pub fn len(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.pages.is_empty()
+    }
+}
+
+/// Sequential-access detector driving prefetch depth, per open file.
+///
+/// GPFS widens prefetch as a sequential pattern establishes itself; this
+/// implements the same ramp: each consecutive sequential access doubles the
+/// prefetch window up to `max_depth` blocks, and any random access resets.
+#[derive(Clone, Debug)]
+pub struct PrefetchState {
+    next_expected: Option<u64>,
+    depth: u32,
+    max_depth: u32,
+}
+
+impl PrefetchState {
+    /// New detector with a maximum prefetch depth in blocks.
+    pub fn new(max_depth: u32) -> Self {
+        PrefetchState {
+            next_expected: None,
+            depth: 0,
+            max_depth,
+        }
+    }
+
+    /// Record an access to `block`; returns how many blocks ahead to
+    /// prefetch after this access.
+    pub fn observe(&mut self, block: u64) -> u32 {
+        if self.next_expected == Some(block) {
+            self.depth = (self.depth * 2).clamp(1, self.max_depth);
+        } else {
+            self.depth = 0;
+        }
+        self.next_expected = Some(block + 1);
+        self.depth
+    }
+
+    /// Current prefetch depth.
+    pub fn depth(&self) -> u32 {
+        self.depth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(b: u64) -> PageKey {
+        PageKey {
+            fs: FsId(0),
+            inode: InodeId(1),
+            block: b,
+        }
+    }
+
+    fn data(b: u8) -> Bytes {
+        Bytes::from(vec![b; 16])
+    }
+
+    #[test]
+    fn hit_and_miss_counting() {
+        let mut p = PagePool::new(4);
+        assert!(p.get(key(0)).is_none());
+        p.insert_clean(key(0), data(1));
+        assert_eq!(p.get(key(0)).unwrap(), data(1));
+        assert_eq!(p.hits, 1);
+        assert_eq!(p.misses, 1);
+    }
+
+    #[test]
+    fn lru_evicts_oldest_clean_silently() {
+        let mut p = PagePool::new(2);
+        p.insert_clean(key(0), data(0));
+        p.insert_clean(key(1), data(1));
+        let evicted = p.insert_clean(key(2), data(2));
+        assert!(evicted.is_empty(), "clean eviction needs no flush");
+        assert!(!p.contains(key(0)));
+        assert!(p.contains(key(1)));
+        assert!(p.contains(key(2)));
+    }
+
+    #[test]
+    fn get_refreshes_lru_position() {
+        let mut p = PagePool::new(2);
+        p.insert_clean(key(0), data(0));
+        p.insert_clean(key(1), data(1));
+        p.get(key(0)); // 0 becomes most recent
+        p.insert_clean(key(2), data(2));
+        assert!(p.contains(key(0)));
+        assert!(!p.contains(key(1)));
+    }
+
+    #[test]
+    fn dirty_eviction_returns_page() {
+        let mut p = PagePool::new(1);
+        p.insert_dirty(key(0), data(7));
+        let evicted = p.insert_clean(key(1), data(1));
+        assert_eq!(evicted.len(), 1);
+        assert_eq!(evicted[0].key, key(0));
+        assert_eq!(evicted[0].data, data(7));
+    }
+
+    #[test]
+    fn overwrite_keeps_dirty_bit() {
+        let mut p = PagePool::new(2);
+        p.insert_dirty(key(0), data(1));
+        p.insert_clean(key(0), data(2)); // e.g. reread: must stay dirty
+        let d = p.dirty_pages_of(FsId(0), InodeId(1));
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].data, data(2));
+    }
+
+    #[test]
+    fn mark_clean_after_flush() {
+        let mut p = PagePool::new(2);
+        p.insert_dirty(key(0), data(1));
+        p.mark_clean(key(0));
+        assert!(p.dirty_pages_of(FsId(0), InodeId(1)).is_empty());
+    }
+
+    #[test]
+    fn dirty_pages_sorted_by_block() {
+        let mut p = PagePool::new(8);
+        for b in [5u64, 1, 3] {
+            p.insert_dirty(key(b), data(b as u8));
+        }
+        let d = p.dirty_pages_of(FsId(0), InodeId(1));
+        let blocks: Vec<u64> = d.iter().map(|x| x.key.block).collect();
+        assert_eq!(blocks, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn invalidate_file_drops_pages() {
+        let mut p = PagePool::new(8);
+        p.insert_dirty(key(0), data(0));
+        p.insert_clean(
+            PageKey {
+                fs: FsId(0),
+                inode: InodeId(2),
+                block: 0,
+            },
+            data(9),
+        );
+        p.invalidate_file(FsId(0), InodeId(1));
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn prefetch_ramps_and_resets() {
+        let mut pf = PrefetchState::new(16);
+        assert_eq!(pf.observe(0), 0); // first access: unknown pattern
+        assert_eq!(pf.observe(1), 1);
+        assert_eq!(pf.observe(2), 2);
+        assert_eq!(pf.observe(3), 4);
+        assert_eq!(pf.observe(4), 8);
+        assert_eq!(pf.observe(5), 16);
+        assert_eq!(pf.observe(6), 16); // clamped
+        assert_eq!(pf.observe(100), 0); // random access resets
+        assert_eq!(pf.observe(101), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one page")]
+    fn zero_capacity_rejected() {
+        PagePool::new(0);
+    }
+}

@@ -1,0 +1,898 @@
+//! The shared-disk filesystem core: superblock, inodes, directories, and
+//! striped block allocation over Network Shared Disks.
+//!
+//! This is the state that, in real GPFS, lives on the shared disks and is
+//! manipulated under token protection by whichever node needs to. The
+//! simulation keeps one authoritative copy (the disks *are* shared — every
+//! cluster ultimately reads the same LUNs) and charges network/disk time in
+//! the client layer.
+//!
+//! Deliberate simplifications, documented for the record:
+//! * Block pointers are a flat per-file vector rather than GPFS's
+//!   direct/indirect tree — identical semantics, simpler bookkeeping.
+//! * Allocation is round-robin striping with a per-NSD free list; GPFS's
+//!   allocation-region maps matter for multi-node allocator contention,
+//!   which we summarize in the client layer's message costs.
+
+use crate::types::{BlockAddr, FsError, InodeId, Owner, split_path};
+use bytes::Bytes;
+use std::collections::BTreeMap;
+
+/// Whether file contents are materialized.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DataMode {
+    /// Block payloads are stored — end-to-end byte fidelity (tests,
+    /// examples).
+    Stored,
+    /// Only sizes/placement are tracked — TB-scale throughput runs.
+    Synthetic,
+}
+
+/// One NSD's allocation bookkeeping.
+#[derive(Clone, Debug)]
+struct NsdAlloc {
+    total_blocks: u64,
+    next: u64,
+    freed: Vec<u64>,
+}
+
+impl NsdAlloc {
+    fn free_count(&self) -> u64 {
+        self.total_blocks - self.next + self.freed.len() as u64
+    }
+
+    fn alloc(&mut self) -> Option<u64> {
+        if let Some(b) = self.freed.pop() {
+            return Some(b);
+        }
+        if self.next < self.total_blocks {
+            let b = self.next;
+            self.next += 1;
+            Some(b)
+        } else {
+            None
+        }
+    }
+
+    fn free(&mut self, block: u64) {
+        debug_assert!(block < self.next, "freeing never-allocated block");
+        self.freed.push(block);
+    }
+}
+
+/// Filesystem geometry, fixed at `mmcrfs` time.
+#[derive(Clone, Debug)]
+pub struct FsConfig {
+    /// Device name, e.g. `"gpfs-wan"`.
+    pub name: String,
+    /// Filesystem block size (GPFS favours large blocks; the paper's
+    /// Fig. 11 runs used 1 MiB transfers over such blocks).
+    pub block_size: u64,
+    /// Blocks per NSD.
+    pub nsd_blocks: u64,
+    /// Number of NSDs in the stripe group.
+    pub nsd_count: u32,
+    /// Whether payloads are stored.
+    pub data_mode: DataMode,
+}
+
+impl FsConfig {
+    /// Small stored-data filesystem for tests and examples.
+    pub fn small_test(name: impl Into<String>) -> Self {
+        FsConfig {
+            name: name.into(),
+            block_size: 64 * 1024,
+            nsd_blocks: 4096,
+            nsd_count: 8,
+            data_mode: DataMode::Stored,
+        }
+    }
+}
+
+/// What an inode is.
+#[derive(Clone, Debug)]
+pub enum InodeKind {
+    /// Regular file: size plus block pointers (None = hole).
+    File {
+        /// Size in bytes.
+        size: u64,
+        /// Block pointer per block index.
+        blocks: Vec<Option<BlockAddr>>,
+    },
+    /// Directory: name → inode.
+    Dir {
+        /// Entries.
+        entries: BTreeMap<String, InodeId>,
+    },
+}
+
+/// One inode.
+#[derive(Clone, Debug)]
+pub struct Inode {
+    /// Its id.
+    pub id: InodeId,
+    /// File or directory payload.
+    pub kind: InodeKind,
+    /// Ownership (with optional grid DN — the §6 extension).
+    pub owner: Owner,
+    /// Creation time, ns.
+    pub ctime_ns: u64,
+    /// Last modification, ns.
+    pub mtime_ns: u64,
+}
+
+impl Inode {
+    /// File size (0 for directories).
+    pub fn size(&self) -> u64 {
+        match &self.kind {
+            InodeKind::File { size, .. } => *size,
+            InodeKind::Dir { .. } => 0,
+        }
+    }
+
+    /// Is this a directory?
+    pub fn is_dir(&self) -> bool {
+        matches!(self.kind, InodeKind::Dir { .. })
+    }
+}
+
+/// `stat`-style record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FileAttr {
+    /// Inode number.
+    pub inode: InodeId,
+    /// Size in bytes.
+    pub size: u64,
+    /// Directory?
+    pub is_dir: bool,
+    /// Owning UID.
+    pub uid: u32,
+    /// Owning GID.
+    pub gid: u32,
+    /// Grid DN, if recorded.
+    pub dn: Option<String>,
+    /// Modification time, ns.
+    pub mtime_ns: u64,
+}
+
+/// The filesystem core.
+#[derive(Debug)]
+pub struct FsCore {
+    /// Geometry.
+    pub config: FsConfig,
+    inodes: Vec<Option<Inode>>,
+    alloc: Vec<NsdAlloc>,
+    data: BTreeMap<(u32, u64), Bytes>,
+}
+
+/// The root directory's inode id.
+pub const ROOT: InodeId = InodeId(0);
+
+impl FsCore {
+    /// `mmcrfs`: create an empty filesystem.
+    pub fn create(config: FsConfig) -> Self {
+        assert!(config.block_size > 0 && config.nsd_count > 0 && config.nsd_blocks > 0);
+        let root = Inode {
+            id: ROOT,
+            kind: InodeKind::Dir {
+                entries: BTreeMap::new(),
+            },
+            owner: Owner::local(0, 0),
+            ctime_ns: 0,
+            mtime_ns: 0,
+        };
+        let alloc = (0..config.nsd_count)
+            .map(|_| NsdAlloc {
+                total_blocks: config.nsd_blocks,
+                next: 0,
+                freed: Vec::new(),
+            })
+            .collect();
+        FsCore {
+            config,
+            inodes: vec![Some(root)],
+            alloc,
+            data: BTreeMap::new(),
+        }
+    }
+
+    /// Total free blocks across all NSDs.
+    pub fn free_blocks(&self) -> u64 {
+        self.alloc.iter().map(NsdAlloc::free_count).sum()
+    }
+
+    /// Access an inode.
+    pub fn inode(&self, id: InodeId) -> Result<&Inode, FsError> {
+        self.inodes
+            .get(id.0 as usize)
+            .and_then(Option::as_ref)
+            .ok_or_else(|| FsError::NotFound(format!("inode {}", id.0)))
+    }
+
+    fn inode_mut(&mut self, id: InodeId) -> Result<&mut Inode, FsError> {
+        self.inodes
+            .get_mut(id.0 as usize)
+            .and_then(Option::as_mut)
+            .ok_or_else(|| FsError::NotFound(format!("inode {}", id.0)))
+    }
+
+    /// Resolve an absolute path to an inode.
+    pub fn lookup(&self, path: &str) -> Result<InodeId, FsError> {
+        let comps = split_path(path)?;
+        let mut cur = ROOT;
+        for c in comps {
+            match &self.inode(cur)?.kind {
+                InodeKind::Dir { entries } => {
+                    cur = *entries
+                        .get(c)
+                        .ok_or_else(|| FsError::NotFound(path.to_string()))?;
+                }
+                InodeKind::File { .. } => {
+                    return Err(FsError::NotADirectory(path.to_string()));
+                }
+            }
+        }
+        Ok(cur)
+    }
+
+    /// Resolve the parent directory of `path` and the final component.
+    fn parent_of<'p>(&self, path: &'p str) -> Result<(InodeId, &'p str), FsError> {
+        let comps = split_path(path)?;
+        let Some((last, dirs)) = comps.split_last() else {
+            return Err(FsError::InvalidArgument("path is root".into()));
+        };
+        let mut cur = ROOT;
+        for c in dirs {
+            match &self.inode(cur)?.kind {
+                InodeKind::Dir { entries } => {
+                    cur = *entries
+                        .get(*c)
+                        .ok_or_else(|| FsError::NotFound(path.to_string()))?;
+                }
+                InodeKind::File { .. } => {
+                    return Err(FsError::NotADirectory(path.to_string()));
+                }
+            }
+        }
+        Ok((cur, last))
+    }
+
+    fn new_inode(&mut self, kind: InodeKind, owner: Owner, now_ns: u64) -> InodeId {
+        let id = InodeId(self.inodes.len() as u64);
+        self.inodes.push(Some(Inode {
+            id,
+            kind,
+            owner,
+            ctime_ns: now_ns,
+            mtime_ns: now_ns,
+        }));
+        id
+    }
+
+    /// Create a directory.
+    pub fn mkdir(&mut self, path: &str, owner: Owner, now_ns: u64) -> Result<InodeId, FsError> {
+        let (parent, name) = self.parent_of(path)?;
+        let name = name.to_string();
+        if !self.inode(parent)?.is_dir() {
+            return Err(FsError::NotADirectory(path.to_string()));
+        }
+        if let InodeKind::Dir { entries } = &self.inode(parent)?.kind {
+            if entries.contains_key(&name) {
+                return Err(FsError::AlreadyExists(path.to_string()));
+            }
+        }
+        let id = self.new_inode(
+            InodeKind::Dir {
+                entries: BTreeMap::new(),
+            },
+            owner,
+            now_ns,
+        );
+        if let InodeKind::Dir { entries } = &mut self.inode_mut(parent)?.kind {
+            entries.insert(name, id);
+        }
+        Ok(id)
+    }
+
+    /// Create an empty regular file.
+    pub fn create_file(
+        &mut self,
+        path: &str,
+        owner: Owner,
+        now_ns: u64,
+    ) -> Result<InodeId, FsError> {
+        let (parent, name) = self.parent_of(path)?;
+        let name = name.to_string();
+        if let InodeKind::Dir { entries } = &self.inode(parent)?.kind {
+            if entries.contains_key(&name) {
+                return Err(FsError::AlreadyExists(path.to_string()));
+            }
+        } else {
+            return Err(FsError::NotADirectory(path.to_string()));
+        }
+        let id = self.new_inode(
+            InodeKind::File {
+                size: 0,
+                blocks: Vec::new(),
+            },
+            owner,
+            now_ns,
+        );
+        if let InodeKind::Dir { entries } = &mut self.inode_mut(parent)?.kind {
+            entries.insert(name, id);
+        }
+        Ok(id)
+    }
+
+    /// `stat`.
+    pub fn stat(&self, path: &str) -> Result<FileAttr, FsError> {
+        let id = self.lookup(path)?;
+        let ino = self.inode(id)?;
+        Ok(FileAttr {
+            inode: id,
+            size: ino.size(),
+            is_dir: ino.is_dir(),
+            uid: ino.owner.uid,
+            gid: ino.owner.gid,
+            dn: ino.owner.dn.as_ref().map(|d| d.0.clone()),
+            mtime_ns: ino.mtime_ns,
+        })
+    }
+
+    /// List a directory's entry names.
+    pub fn readdir(&self, path: &str) -> Result<Vec<String>, FsError> {
+        let id = self.lookup(path)?;
+        match &self.inode(id)?.kind {
+            InodeKind::Dir { entries } => Ok(entries.keys().cloned().collect()),
+            InodeKind::File { .. } => Err(FsError::NotADirectory(path.to_string())),
+        }
+    }
+
+    /// Remove a file (frees its blocks) or an empty directory.
+    pub fn unlink(&mut self, path: &str) -> Result<(), FsError> {
+        let (parent, name) = self.parent_of(path)?;
+        let name = name.to_string();
+        let id = self.lookup(path)?;
+        match &self.inode(id)?.kind {
+            InodeKind::Dir { entries } if !entries.is_empty() => {
+                return Err(FsError::NotEmpty(path.to_string()));
+            }
+            _ => {}
+        }
+        // Free data blocks.
+        if let InodeKind::File { blocks, .. } = &self.inode(id)?.kind {
+            for addr in blocks.iter().flatten().copied().collect::<Vec<_>>() {
+                self.alloc[addr.nsd as usize].free(addr.block);
+                self.data.remove(&(addr.nsd, addr.block));
+            }
+        }
+        if let InodeKind::Dir { entries } = &mut self.inode_mut(parent)?.kind {
+            entries.remove(&name);
+        }
+        self.inodes[id.0 as usize] = None;
+        Ok(())
+    }
+
+    /// Rename a file or directory (same-filesystem move).
+    pub fn rename(&mut self, from: &str, to: &str) -> Result<(), FsError> {
+        let id = self.lookup(from)?;
+        let (to_parent, to_name) = self.parent_of(to)?;
+        let to_name = to_name.to_string();
+        if let InodeKind::Dir { entries } = &self.inode(to_parent)?.kind {
+            if entries.contains_key(&to_name) {
+                return Err(FsError::AlreadyExists(to.to_string()));
+            }
+        } else {
+            return Err(FsError::NotADirectory(to.to_string()));
+        }
+        let (from_parent, from_name) = self.parent_of(from)?;
+        let from_name = from_name.to_string();
+        if let InodeKind::Dir { entries } = &mut self.inode_mut(from_parent)?.kind {
+            entries.remove(&from_name);
+        }
+        if let InodeKind::Dir { entries } = &mut self.inode_mut(to_parent)?.kind {
+            entries.insert(to_name, id);
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Block mapping and data
+    // ------------------------------------------------------------------
+
+    /// The block addresses covering byte range `[offset, offset+len)`, one
+    /// entry per block index (None for holes or past EOF).
+    pub fn block_map(
+        &self,
+        inode: InodeId,
+        offset: u64,
+        len: u64,
+    ) -> Result<Vec<(u64, Option<BlockAddr>)>, FsError> {
+        let bs = self.config.block_size;
+        let ino = self.inode(inode)?;
+        let InodeKind::File { blocks, .. } = &ino.kind else {
+            return Err(FsError::IsADirectory(format!("inode {}", inode.0)));
+        };
+        let first = offset / bs;
+        let last = (offset + len).div_ceil(bs);
+        Ok((first..last)
+            .map(|b| (b, blocks.get(b as usize).copied().flatten()))
+            .collect())
+    }
+
+    /// Ensure a block exists for writing at `block_idx`, allocating with
+    /// round-robin striping (`(inode + block) % nsd_count` picks the NSD, as
+    /// GPFS round-robins a file's blocks across the stripe group).
+    pub fn ensure_block(&mut self, inode: InodeId, block_idx: u64) -> Result<BlockAddr, FsError> {
+        let nsd_count = self.config.nsd_count;
+        let start_nsd = ((inode.0 + block_idx) % nsd_count as u64) as u32;
+        {
+            let ino = self.inode(inode)?;
+            let InodeKind::File { blocks, .. } = &ino.kind else {
+                return Err(FsError::IsADirectory(format!("inode {}", inode.0)));
+            };
+            if let Some(Some(addr)) = blocks.get(block_idx as usize) {
+                return Ok(*addr);
+            }
+        }
+        // Try the home NSD first, then spill round-robin (GPFS does the
+        // same when a disk fills).
+        let mut chosen = None;
+        for i in 0..nsd_count {
+            let nsd = (start_nsd + i) % nsd_count;
+            if let Some(b) = self.alloc[nsd as usize].alloc() {
+                chosen = Some(BlockAddr { nsd, block: b });
+                break;
+            }
+        }
+        let addr = chosen.ok_or(FsError::NoSpace)?;
+        let ino = self.inode_mut(inode)?;
+        let InodeKind::File { blocks, .. } = &mut ino.kind else {
+            unreachable!("checked above");
+        };
+        if blocks.len() <= block_idx as usize {
+            blocks.resize(block_idx as usize + 1, None);
+        }
+        blocks[block_idx as usize] = Some(addr);
+        Ok(addr)
+    }
+
+    /// Record a write's effect on file size and mtime.
+    pub fn note_write(
+        &mut self,
+        inode: InodeId,
+        offset: u64,
+        len: u64,
+        now_ns: u64,
+    ) -> Result<(), FsError> {
+        let ino = self.inode_mut(inode)?;
+        let InodeKind::File { size, .. } = &mut ino.kind else {
+            return Err(FsError::IsADirectory(format!("inode {}", inode.0)));
+        };
+        *size = (*size).max(offset + len);
+        ino.mtime_ns = now_ns;
+        Ok(())
+    }
+
+    /// Truncate to `new_size`, freeing whole blocks beyond it.
+    pub fn truncate(&mut self, inode: InodeId, new_size: u64, now_ns: u64) -> Result<(), FsError> {
+        let bs = self.config.block_size;
+        let keep_blocks = new_size.div_ceil(bs) as usize;
+        let freed: Vec<BlockAddr> = {
+            let ino = self.inode_mut(inode)?;
+            let InodeKind::File { size, blocks } = &mut ino.kind else {
+                return Err(FsError::IsADirectory(format!("inode {}", inode.0)));
+            };
+            *size = new_size;
+            ino.mtime_ns = now_ns;
+            if blocks.len() > keep_blocks {
+                blocks.drain(keep_blocks..).flatten().collect()
+            } else {
+                // Truncate-up: extend coverage with holes so the size
+                // invariant (`size <= blocks.len() * block_size`) holds.
+                blocks.resize(keep_blocks, None);
+                Vec::new()
+            }
+        };
+        for addr in freed {
+            self.alloc[addr.nsd as usize].free(addr.block);
+            self.data.remove(&(addr.nsd, addr.block));
+        }
+        // Zero the tail of a partial final block: bytes past the new EOF
+        // must read as zeros if the file is later extended (POSIX
+        // truncate semantics). Only stored data needs the scrub.
+        if self.config.data_mode == DataMode::Stored && !new_size.is_multiple_of(bs) {
+            let last_idx = (new_size / bs) as usize;
+            let addr = {
+                let ino = self.inode(inode)?;
+                let InodeKind::File { blocks, .. } = &ino.kind else {
+                    unreachable!("checked above");
+                };
+                blocks.get(last_idx).copied().flatten()
+            };
+            if let Some(addr) = addr {
+                let mut data = self.get_block_data(addr).to_vec();
+                let keep = (new_size % bs) as usize;
+                if data.len() > keep {
+                    data[keep..].fill(0);
+                    self.put_block_data(addr, Bytes::from(data));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// `mmadddisk`: grow the stripe group by `count` new NSDs of the
+    /// configured size. New allocations immediately use them; existing
+    /// data stays where it is until [`FsCore::restripe`].
+    pub fn add_nsds(&mut self, count: u32) {
+        assert!(count > 0);
+        for _ in 0..count {
+            self.alloc.push(NsdAlloc {
+                total_blocks: self.config.nsd_blocks,
+                next: 0,
+                freed: Vec::new(),
+            });
+        }
+        self.config.nsd_count += count;
+    }
+
+    /// `mmrestripefs -b`: rebalance every file's blocks across the
+    /// (possibly grown) stripe group, moving data so that consecutive
+    /// blocks round-robin over all NSDs again. Returns the number of
+    /// blocks that physically moved (the I/O a real restripe would do).
+    pub fn restripe(&mut self) -> u64 {
+        let nsd_count = self.config.nsd_count;
+        let ids: Vec<InodeId> = self.live_inodes().collect();
+        let mut moved = 0u64;
+        for id in ids {
+            let block_count = {
+                let Ok(ino) = self.inode(id) else { continue };
+                match &ino.kind {
+                    InodeKind::File { blocks, .. } => blocks.len() as u64,
+                    InodeKind::Dir { .. } => continue,
+                }
+            };
+            for b in 0..block_count {
+                let home = ((id.0 + b) % u64::from(nsd_count)) as u32;
+                let cur = {
+                    let InodeKind::File { blocks, .. } = &self.inode(id).expect("live").kind
+                    else {
+                        unreachable!()
+                    };
+                    blocks[b as usize]
+                };
+                let Some(cur) = cur else { continue };
+                if cur.nsd == home {
+                    continue;
+                }
+                // Move the block home if the home NSD has space.
+                let Some(new_block) = self.alloc[home as usize].alloc() else {
+                    continue;
+                };
+                let new_addr = BlockAddr {
+                    nsd: home,
+                    block: new_block,
+                };
+                // Relocate stored data, free the old block.
+                if let Some(data) = self.data.remove(&(cur.nsd, cur.block)) {
+                    self.data.insert((new_addr.nsd, new_addr.block), data);
+                }
+                self.alloc[cur.nsd as usize].free(cur.block);
+                let ino = self.inode_mut(id).expect("live");
+                let InodeKind::File { blocks, .. } = &mut ino.kind else {
+                    unreachable!()
+                };
+                blocks[b as usize] = Some(new_addr);
+                moved += 1;
+            }
+        }
+        moved
+    }
+
+    /// Per-NSD used-block counts (for balance reporting).
+    pub fn nsd_usage(&self) -> Vec<u64> {
+        self.alloc
+            .iter()
+            .map(|a| a.total_blocks - a.free_count())
+            .collect()
+    }
+
+    /// Ids of all live inodes (for `fsck` and statistics).
+    pub fn live_inodes(&self) -> impl Iterator<Item = InodeId> + '_ {
+        self.inodes
+            .iter()
+            .enumerate()
+            .filter(|(_, i)| i.is_some())
+            .map(|(idx, _)| InodeId(idx as u64))
+    }
+
+    /// Test hook: overwrite a block pointer without freeing the old block,
+    /// simulating metadata corruption for `fsck` validation.
+    #[doc(hidden)]
+    pub fn corrupt_block_pointer_for_test(
+        &mut self,
+        inode: InodeId,
+        block_idx: u64,
+        addr: BlockAddr,
+    ) {
+        let ino = self.inode_mut(inode).expect("inode exists");
+        let InodeKind::File { blocks, .. } = &mut ino.kind else {
+            panic!("not a file");
+        };
+        blocks[block_idx as usize] = Some(addr);
+    }
+
+    /// Store a block payload (Stored mode only; Synthetic is a no-op).
+    pub fn put_block_data(&mut self, addr: BlockAddr, data: Bytes) {
+        if self.config.data_mode == DataMode::Stored {
+            self.data.insert((addr.nsd, addr.block), data);
+        }
+    }
+
+    /// Fetch a block payload; absent blocks read as zeros in Stored mode.
+    pub fn get_block_data(&self, addr: BlockAddr) -> Bytes {
+        match self.config.data_mode {
+            DataMode::Stored => self
+                .data
+                .get(&(addr.nsd, addr.block))
+                .cloned()
+                .unwrap_or_else(|| Bytes::from(vec![0u8; self.config.block_size as usize])),
+            DataMode::Synthetic => Bytes::from(vec![0u8; self.config.block_size as usize]),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fs() -> FsCore {
+        FsCore::create(FsConfig::small_test("t"))
+    }
+
+    fn owner() -> Owner {
+        Owner::local(500, 100)
+    }
+
+    #[test]
+    fn mkdir_create_lookup() {
+        let mut f = fs();
+        f.mkdir("/data", owner(), 1).unwrap();
+        f.mkdir("/data/nvo", owner(), 2).unwrap();
+        let id = f.create_file("/data/nvo/catalog.fits", owner(), 3).unwrap();
+        assert_eq!(f.lookup("/data/nvo/catalog.fits").unwrap(), id);
+        assert_eq!(f.readdir("/data").unwrap(), vec!["nvo".to_string()]);
+    }
+
+    #[test]
+    fn duplicate_create_rejected() {
+        let mut f = fs();
+        f.create_file("/a", owner(), 1).unwrap();
+        assert_eq!(
+            f.create_file("/a", owner(), 2),
+            Err(FsError::AlreadyExists("/a".into()))
+        );
+        assert_eq!(
+            f.mkdir("/a", owner(), 2),
+            Err(FsError::AlreadyExists("/a".into()))
+        );
+    }
+
+    #[test]
+    fn lookup_through_file_fails() {
+        let mut f = fs();
+        f.create_file("/a", owner(), 1).unwrap();
+        assert!(matches!(
+            f.lookup("/a/b"),
+            Err(FsError::NotADirectory(_))
+        ));
+    }
+
+    #[test]
+    fn missing_parent_fails() {
+        let mut f = fs();
+        assert!(matches!(
+            f.create_file("/no/such/file", owner(), 1),
+            Err(FsError::NotFound(_))
+        ));
+    }
+
+    #[test]
+    fn striping_round_robins_across_nsds() {
+        let mut f = fs();
+        let id = f.create_file("/big", owner(), 1).unwrap();
+        let addrs: Vec<BlockAddr> = (0..8).map(|b| f.ensure_block(id, b).unwrap()).collect();
+        let nsds: std::collections::BTreeSet<u32> = addrs.iter().map(|a| a.nsd).collect();
+        assert_eq!(nsds.len(), 8, "8 consecutive blocks hit 8 distinct NSDs");
+    }
+
+    #[test]
+    fn ensure_block_is_idempotent() {
+        let mut f = fs();
+        let id = f.create_file("/x", owner(), 1).unwrap();
+        let a1 = f.ensure_block(id, 0).unwrap();
+        let a2 = f.ensure_block(id, 0).unwrap();
+        assert_eq!(a1, a2);
+    }
+
+    #[test]
+    fn size_and_mtime_track_writes() {
+        let mut f = fs();
+        let id = f.create_file("/x", owner(), 1).unwrap();
+        f.note_write(id, 100, 50, 7).unwrap();
+        let st = f.stat("/x").unwrap();
+        assert_eq!(st.size, 150);
+        assert_eq!(st.mtime_ns, 7);
+        // Overlapping earlier write doesn't shrink.
+        f.note_write(id, 0, 10, 9).unwrap();
+        assert_eq!(f.stat("/x").unwrap().size, 150);
+    }
+
+    #[test]
+    fn block_map_reports_holes() {
+        let mut f = fs();
+        let id = f.create_file("/sparse", owner(), 1).unwrap();
+        let bs = f.config.block_size;
+        f.ensure_block(id, 2).unwrap();
+        f.note_write(id, 2 * bs, bs, 2).unwrap();
+        let map = f.block_map(id, 0, 3 * bs).unwrap();
+        assert_eq!(map.len(), 3);
+        assert!(map[0].1.is_none());
+        assert!(map[1].1.is_none());
+        assert!(map[2].1.is_some());
+    }
+
+    #[test]
+    fn unlink_frees_blocks() {
+        let mut f = fs();
+        let before = f.free_blocks();
+        let id = f.create_file("/x", owner(), 1).unwrap();
+        for b in 0..10 {
+            f.ensure_block(id, b).unwrap();
+        }
+        assert_eq!(f.free_blocks(), before - 10);
+        f.unlink("/x").unwrap();
+        assert_eq!(f.free_blocks(), before);
+        assert!(f.lookup("/x").is_err());
+    }
+
+    #[test]
+    fn unlink_nonempty_dir_rejected() {
+        let mut f = fs();
+        f.mkdir("/d", owner(), 1).unwrap();
+        f.create_file("/d/x", owner(), 2).unwrap();
+        assert!(matches!(f.unlink("/d"), Err(FsError::NotEmpty(_))));
+        f.unlink("/d/x").unwrap();
+        f.unlink("/d").unwrap();
+    }
+
+    #[test]
+    fn truncate_frees_tail() {
+        let mut f = fs();
+        let id = f.create_file("/x", owner(), 1).unwrap();
+        let bs = f.config.block_size;
+        for b in 0..4 {
+            f.ensure_block(id, b).unwrap();
+        }
+        f.note_write(id, 0, 4 * bs, 2).unwrap();
+        let before = f.free_blocks();
+        f.truncate(id, bs + 1, 3).unwrap();
+        assert_eq!(f.free_blocks(), before + 2); // blocks 2,3 freed
+        assert_eq!(f.stat("/x").unwrap().size, bs + 1);
+    }
+
+    #[test]
+    fn rename_moves_entry() {
+        let mut f = fs();
+        f.mkdir("/a", owner(), 1).unwrap();
+        f.mkdir("/b", owner(), 1).unwrap();
+        let id = f.create_file("/a/x", owner(), 2).unwrap();
+        f.rename("/a/x", "/b/y").unwrap();
+        assert!(f.lookup("/a/x").is_err());
+        assert_eq!(f.lookup("/b/y").unwrap(), id);
+    }
+
+    #[test]
+    fn stored_data_roundtrip() {
+        let mut f = fs();
+        let id = f.create_file("/x", owner(), 1).unwrap();
+        let addr = f.ensure_block(id, 0).unwrap();
+        let payload = Bytes::from(vec![0xabu8; f.config.block_size as usize]);
+        f.put_block_data(addr, payload.clone());
+        assert_eq!(f.get_block_data(addr), payload);
+    }
+
+    #[test]
+    fn unwritten_block_reads_zeros() {
+        let mut f = fs();
+        let id = f.create_file("/x", owner(), 1).unwrap();
+        let addr = f.ensure_block(id, 0).unwrap();
+        let z = f.get_block_data(addr);
+        assert!(z.iter().all(|b| *b == 0));
+        assert_eq!(z.len(), f.config.block_size as usize);
+    }
+
+    #[test]
+    fn allocation_exhaustion_is_enospc() {
+        let mut f = FsCore::create(FsConfig {
+            name: "tiny".into(),
+            block_size: 1024,
+            nsd_blocks: 2,
+            nsd_count: 2,
+            data_mode: DataMode::Stored,
+        });
+        let id = f.create_file("/x", owner(), 1).unwrap();
+        for b in 0..4 {
+            f.ensure_block(id, b).unwrap();
+        }
+        assert_eq!(f.ensure_block(id, 4), Err(FsError::NoSpace));
+        // Freeing makes space again.
+        f.truncate(id, 0, 2).unwrap();
+        assert!(f.ensure_block(id, 0).is_ok());
+    }
+
+    #[test]
+    fn add_nsds_then_restripe_rebalances() {
+        // The §8 expansion: start with 4 NSDs, fill a file, double the
+        // stripe group, restripe, and verify the spread and the data.
+        let mut f = FsCore::create(FsConfig {
+            name: "grow".into(),
+            block_size: 4096,
+            nsd_blocks: 1024,
+            nsd_count: 4,
+            data_mode: DataMode::Stored,
+        });
+        let id = f.create_file("/big", owner(), 1).unwrap();
+        for b in 0..64 {
+            let addr = f.ensure_block(id, b).unwrap();
+            f.put_block_data(addr, Bytes::from(vec![b as u8; 4096]));
+        }
+        f.note_write(id, 0, 64 * 4096, 2).unwrap();
+        // All on the first 4 NSDs.
+        let usage = f.nsd_usage();
+        assert_eq!(usage.len(), 4);
+        assert!(usage.iter().all(|u| *u == 16));
+
+        f.add_nsds(4);
+        assert_eq!(f.config.nsd_count, 8);
+        let moved = f.restripe();
+        assert!(moved > 0, "restripe moved nothing");
+        // Balanced: every NSD now holds 8 blocks.
+        let usage = f.nsd_usage();
+        assert_eq!(usage.len(), 8);
+        assert!(
+            usage.iter().all(|u| *u == 8),
+            "unbalanced after restripe: {usage:?}"
+        );
+        // Data survived the moves.
+        for b in 0..64u64 {
+            let addr = f.block_map(id, b * 4096, 1).unwrap()[0].1.unwrap();
+            let data = f.get_block_data(addr);
+            assert!(data.iter().all(|x| *x == b as u8), "block {b} corrupted");
+        }
+        // And the filesystem is still consistent.
+        assert!(crate::fsck::fsck(&f).is_clean());
+    }
+
+    #[test]
+    fn restripe_is_idempotent() {
+        let mut f = fs();
+        let id = f.create_file("/x", owner(), 1).unwrap();
+        for b in 0..32 {
+            f.ensure_block(id, b).unwrap();
+        }
+        assert_eq!(f.restripe(), 0, "balanced fs must not move blocks");
+    }
+
+    #[test]
+    fn dn_ownership_recorded() {
+        let mut f = fs();
+        let dn = gfs_auth::identity::Dn::new("/C=US/O=SDSC/CN=Alice");
+        f.create_file("/owned", Owner::grid(5012, 100, dn.clone()), 1)
+            .unwrap();
+        let st = f.stat("/owned").unwrap();
+        assert_eq!(st.dn.as_deref(), Some("/C=US/O=SDSC/CN=Alice"));
+        assert_eq!(st.uid, 5012);
+    }
+}

@@ -1,0 +1,232 @@
+//! HSM integration — the §8 plan, implemented: "Eventually we would like
+//! the GFS disk to form an integral part of a HSM, with an automatic
+//! migration of unused data to tape, and the automatic recall of
+//! requested data from deeper archive."
+//!
+//! [`HsmLink`] pairs a filesystem with an [`hsm::Hsm`] manager. Files
+//! register with the HSM on close; a policy pass migrates cold files
+//! (freeing their GFS blocks but keeping the inode as a *stub*, the
+//! classic HSM punch-hole); opening a stubbed file triggers a recall,
+//! whose tape time the caller pays before I/O proceeds.
+
+use crate::fscore::FsCore;
+use crate::types::{FsError, InodeId};
+use hsm::{Hsm, HsmFileId};
+use simcore::{SimDuration, SimTime};
+use std::collections::BTreeMap;
+
+/// Residency of a file as the filesystem sees it.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StubState {
+    /// Data on GFS disk.
+    Resident,
+    /// Data migrated; inode is a stub, blocks freed.
+    Stubbed,
+}
+
+/// The filesystem↔HSM coupling for one filesystem.
+pub struct HsmLink {
+    /// The archive manager.
+    pub hsm: Hsm,
+    by_inode: BTreeMap<InodeId, HsmFileId>,
+    state: BTreeMap<InodeId, StubState>,
+    next_id: u64,
+}
+
+impl HsmLink {
+    /// Couple a filesystem to an HSM manager.
+    pub fn new(hsm: Hsm) -> Self {
+        HsmLink {
+            hsm,
+            by_inode: BTreeMap::new(),
+            state: BTreeMap::new(),
+            next_id: 0,
+        }
+    }
+
+    /// Register (or refresh) a file with the archive after it is written.
+    /// Files register once; later closes refresh the access time.
+    pub fn register(&mut self, now: SimTime, fs: &FsCore, inode: InodeId) -> Result<(), FsError> {
+        let size = fs.inode(inode)?.size().max(1);
+        match self.by_inode.get(&inode) {
+            Some(id) => {
+                self.hsm.access(now, *id);
+            }
+            None => {
+                let id = HsmFileId(self.next_id);
+                self.next_id += 1;
+                self.hsm.ingest(now, id, size);
+                self.by_inode.insert(inode, id);
+                self.state.insert(inode, StubState::Resident);
+            }
+        }
+        Ok(())
+    }
+
+    /// Run the migration policy: every file the HSM has moved to tape-only
+    /// gets its GFS blocks punched out (stubbed). Returns the stubs made.
+    pub fn apply_policy(&mut self, now: SimTime, fs: &mut FsCore) -> Vec<InodeId> {
+        self.hsm.run_migration(now);
+        let mut stubbed = Vec::new();
+        for (&inode, &hsm_id) in &self.by_inode {
+            let Some(f) = self.hsm.file(hsm_id) else {
+                continue;
+            };
+            if f.residency == hsm::Residency::TapeOnly
+                && self.state.get(&inode) == Some(&StubState::Resident)
+            {
+                // Punch the file's blocks out of the GFS disk, keep size.
+                let size = fs.inode(inode).map(|i| i.size()).unwrap_or(0);
+                if fs.truncate(inode, 0, now.as_nanos()).is_ok() {
+                    let _ = fs.truncate(inode, size, now.as_nanos());
+                    self.state.insert(inode, StubState::Stubbed);
+                    stubbed.push(inode);
+                }
+            }
+        }
+        stubbed
+    }
+
+    /// Called on open: if the file is a stub, start a recall. Returns the
+    /// extra delay before the open may complete (zero when resident).
+    pub fn on_open(&mut self, now: SimTime, inode: InodeId) -> SimDuration {
+        let Some(&hsm_id) = self.by_inode.get(&inode) else {
+            return SimDuration::ZERO; // never archived
+        };
+        match self.state.get(&inode) {
+            Some(StubState::Stubbed) => {
+                let out = self
+                    .hsm
+                    .access(now, hsm_id)
+                    .expect("registered file exists in hsm");
+                self.state.insert(inode, StubState::Resident);
+                out.available_at.since(now)
+            }
+            _ => {
+                self.hsm.access(now, hsm_id);
+                SimDuration::ZERO
+            }
+        }
+    }
+
+    /// Residency of a file.
+    pub fn stub_state(&self, inode: InodeId) -> Option<StubState> {
+        self.state.get(&inode).copied()
+    }
+
+    /// Forget a deleted file everywhere.
+    pub fn on_unlink(&mut self, inode: InodeId) {
+        if let Some(id) = self.by_inode.remove(&inode) {
+            self.hsm.delete(id);
+        }
+        self.state.remove(&inode);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fscore::{FsConfig, FsCore};
+    use crate::types::Owner;
+    use hsm::{HsmPolicy, TapeLibrary, TapeSpec};
+    use simcore::GBYTE;
+
+    fn setup(disk_gb: u64) -> (FsCore, HsmLink) {
+        let fs = FsCore::create(FsConfig {
+            name: "hsm-fs".into(),
+            block_size: 1 << 20,
+            nsd_blocks: 1 << 16,
+            nsd_count: 8,
+            data_mode: crate::fscore::DataMode::Synthetic,
+        });
+        let link = HsmLink::new(Hsm::new(
+            HsmPolicy::with_capacity(disk_gb * GBYTE),
+            TapeLibrary::new(TapeSpec::stk_2005(), 4),
+            None,
+        ));
+        (fs, link)
+    }
+
+    /// Create a file of `gb` gigabytes with allocated blocks.
+    fn mkfile(fs: &mut FsCore, name: &str, gb: u64, t: u64) -> InodeId {
+        let id = fs.create_file(name, Owner::local(1, 1), t).unwrap();
+        let blocks = (gb * GBYTE).div_ceil(1 << 20);
+        for b in 0..blocks {
+            fs.ensure_block(id, b).unwrap();
+        }
+        fs.note_write(id, 0, gb * GBYTE, t).unwrap();
+        id
+    }
+
+    #[test]
+    fn cold_files_stub_and_recall() {
+        let (mut fs, mut link) = setup(100);
+        let free0 = fs.free_blocks();
+        let mut inodes = Vec::new();
+        // Fill past the 90% watermark: 24 x 4 GB = 96 GB.
+        for i in 0..24 {
+            let t = SimTime::from_secs(i);
+            let id = mkfile(&mut fs, &format!("/f{i}"), 4, i);
+            link.register(t, &fs, id).unwrap();
+            inodes.push(id);
+        }
+        let stubbed = link.apply_policy(SimTime::from_secs(100), &mut fs);
+        assert!(!stubbed.is_empty(), "watermark policy must stub files");
+        // Stubs freed GFS blocks but kept sizes.
+        assert!(fs.free_blocks() > free0 - 24 * 4096);
+        let victim = stubbed[0];
+        assert_eq!(fs.inode(victim).unwrap().size(), 4 * GBYTE);
+        assert_eq!(link.stub_state(victim), Some(StubState::Stubbed));
+        // Opening the stub pays tape recall time.
+        let delay = link.on_open(SimTime::from_secs(200), victim);
+        assert!(
+            delay > SimDuration::from_secs(100),
+            "recall of 4 GB should take tape-minutes, got {delay}"
+        );
+        assert_eq!(link.stub_state(victim), Some(StubState::Resident));
+        // Second open: instant.
+        assert_eq!(
+            link.on_open(SimTime::from_secs(2000), victim),
+            SimDuration::ZERO
+        );
+    }
+
+    #[test]
+    fn resident_files_open_instantly() {
+        let (mut fs, mut link) = setup(100);
+        let id = mkfile(&mut fs, "/hot", 4, 0);
+        link.register(SimTime::ZERO, &fs, id).unwrap();
+        assert_eq!(link.on_open(SimTime::from_secs(5), id), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn unarchived_files_unaffected() {
+        let (mut fs, mut link) = setup(100);
+        let id = mkfile(&mut fs, "/never-registered", 1, 0);
+        assert_eq!(link.on_open(SimTime::from_secs(1), id), SimDuration::ZERO);
+        assert_eq!(link.stub_state(id), None);
+    }
+
+    #[test]
+    fn unlink_cleans_both_sides() {
+        let (mut fs, mut link) = setup(100);
+        let id = mkfile(&mut fs, "/gone", 2, 0);
+        link.register(SimTime::ZERO, &fs, id).unwrap();
+        link.on_unlink(id);
+        fs.unlink("/gone").unwrap();
+        assert_eq!(link.stub_state(id), None);
+        assert_eq!(link.on_open(SimTime::from_secs(1), id), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn fsck_stays_clean_across_stub_recall() {
+        let (mut fs, mut link) = setup(100);
+        for i in 0..24 {
+            let id = mkfile(&mut fs, &format!("/f{i}"), 4, i);
+            link.register(SimTime::from_secs(i), &fs, id).unwrap();
+        }
+        link.apply_policy(SimTime::from_secs(100), &mut fs);
+        let report = crate::fsck::fsck(&fs);
+        assert!(report.is_clean(), "stubbed fs dirty: {:?}", report.errors);
+    }
+}

@@ -1,0 +1,43 @@
+//! # gfs — a wide-area shared-disk parallel filesystem
+//!
+//! The paper's primary artifact, rebuilt from scratch: a GPFS-class
+//! parallel filesystem whose disks (NSDs — Network Shared Disks) are served
+//! over TCP/IP by NSD servers, mountable across wide-area networks and
+//! across administrative domains with RSA cluster authentication.
+//!
+//! Layered as the real system is:
+//!
+//! * [`fscore`] — on-disk state: inodes, directories, striped allocation.
+//! * [`tokens`] — distributed byte-range token management.
+//! * [`cache`] — client page pool, prefetch, write-behind.
+//! * [`client`] — the operation path (mounts, POSIX-style ops) sequenced
+//!   over simulated RPCs, NSD service and bulk flows.
+//! * [`world`] — scenario assembly: clusters, filesystems, clients.
+//!
+//! Additional layers (streaming data path, MPI-IO, SAN-client mode) are in
+//! sibling modules.
+#![allow(clippy::type_complexity)] // Sim callback signatures are inherent to the event-driven style
+#![allow(clippy::too_many_arguments)] // op-path plumbing carries (sim, world, ids...) by design
+pub mod admin;
+pub mod cache;
+pub mod client;
+pub mod commands;
+pub mod fscore;
+pub mod fsck;
+pub mod hsmlink;
+pub mod mpiio;
+pub mod sanfs;
+pub mod stream;
+pub mod tokens;
+pub mod types;
+pub mod world;
+
+pub use cache::{PagePool, PrefetchState};
+pub use fsck::{fsck, FsckError, FsckReport};
+pub use fscore::{DataMode, FileAttr, FsConfig, FsCore};
+pub use tokens::{ByteRange, TokenManager, TokenMode};
+pub use types::{
+    BlockAddr, ClientId, ClusterId, FsError, FsId, Handle, InodeId, NsdId, OpenFlags, Owner,
+};
+pub use stream::{gfs_stream, run_stream, StreamDir, StreamSpec};
+pub use world::{FsParams, GfsWorld, NsdBacking, ProtocolCosts, WorldBuilder};

@@ -1,0 +1,402 @@
+//! Distributed byte-range token management.
+//!
+//! GPFS serializes concurrent file access with *tokens*: a client must hold
+//! a read or write token covering a byte range before caching data from it.
+//! The token manager grants tokens and, on conflict, tells the requester
+//! which existing holders must be revoked first (each revocation is a
+//! round-trip the client pays — the paper's §6.2 notes that "nodes in
+//! various clusters may need to communicate with each other to negotiate
+//! file and byte-range locks", which is why RSA keys are shared among all
+//! mounting clusters).
+//!
+//! This module is pure logic; the client layer charges message costs for
+//! the revocations this module reports.
+
+use crate::types::{ClientId, InodeId};
+use std::collections::BTreeMap;
+
+/// Token strength.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TokenMode {
+    /// Shared: many readers may overlap.
+    Read,
+    /// Exclusive: conflicts with every other holder.
+    Write,
+}
+
+/// A half-open byte range `[start, end)`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ByteRange {
+    /// Inclusive start.
+    pub start: u64,
+    /// Exclusive end.
+    pub end: u64,
+}
+
+impl ByteRange {
+    /// Construct; panics on empty/inverted ranges.
+    pub fn new(start: u64, end: u64) -> Self {
+        assert!(start < end, "empty byte range {start}..{end}");
+        ByteRange { start, end }
+    }
+
+    /// The whole-file range.
+    pub fn whole() -> Self {
+        ByteRange {
+            start: 0,
+            end: u64::MAX,
+        }
+    }
+
+    /// Do two ranges overlap?
+    pub fn overlaps(&self, other: &ByteRange) -> bool {
+        self.start < other.end && other.start < self.end
+    }
+
+    /// Does `self` fully contain `other`?
+    pub fn contains(&self, other: &ByteRange) -> bool {
+        self.start <= other.start && other.end <= self.end
+    }
+}
+
+/// One granted token.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Grant {
+    /// Holder.
+    pub client: ClientId,
+    /// Covered range.
+    pub range: ByteRange,
+    /// Strength.
+    pub mode: TokenMode,
+}
+
+/// Outcome of an acquire: the grant that will be installed plus the
+/// revocations that must complete first.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AcquireOutcome {
+    /// True when the request was already covered by an existing grant to
+    /// the same client (no messages needed at all).
+    pub already_held: bool,
+    /// Conflicting grants that were revoked; the caller charges one
+    /// revocation round-trip per distinct client listed.
+    pub revoked: Vec<Grant>,
+}
+
+impl AcquireOutcome {
+    /// Number of distinct clients that had to give up tokens.
+    pub fn distinct_revoked_clients(&self) -> usize {
+        let mut cs: Vec<ClientId> = self.revoked.iter().map(|g| g.client).collect();
+        cs.sort();
+        cs.dedup();
+        cs.len()
+    }
+}
+
+/// The token manager for one filesystem.
+#[derive(Default, Debug)]
+pub struct TokenManager {
+    grants: BTreeMap<InodeId, Vec<Grant>>,
+    /// Counters for reports.
+    pub acquires: u64,
+    /// Total revocations performed.
+    pub revocations: u64,
+}
+
+impl TokenManager {
+    /// Empty manager.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Acquire a token for `client` on `inode` over `range` in `mode`,
+    /// revoking conflicting grants held by other clients.
+    pub fn acquire(
+        &mut self,
+        inode: InodeId,
+        client: ClientId,
+        range: ByteRange,
+        mode: TokenMode,
+    ) -> AcquireOutcome {
+        self.acquires += 1;
+        let grants = self.grants.entry(inode).or_default();
+
+        // Fast path: an existing grant to this client already covers the
+        // request at sufficient strength.
+        let covered = grants.iter().any(|g| {
+            g.client == client
+                && g.range.contains(&range)
+                && (g.mode == TokenMode::Write || mode == TokenMode::Read)
+        });
+        if covered {
+            return AcquireOutcome {
+                already_held: true,
+                revoked: Vec::new(),
+            };
+        }
+
+        // Collect conflicts from other clients.
+        let conflicts = |g: &Grant| -> bool {
+            g.client != client
+                && g.range.overlaps(&range)
+                && (mode == TokenMode::Write || g.mode == TokenMode::Write)
+        };
+        let mut revoked = Vec::new();
+        grants.retain(|g| {
+            if conflicts(g) {
+                revoked.push(*g);
+                false
+            } else {
+                true
+            }
+        });
+        self.revocations += revoked.len() as u64;
+
+        // Subsume this client's overlapping grants of the SAME mode into
+        // one. Different-mode grants are left alone: merging a Read grant
+        // into a Write acquire would silently extend write authority over
+        // bytes whose conflicts were never revoked.
+        let mut new_range = range;
+        loop {
+            let before = new_range;
+            grants.retain(|g| {
+                if g.client == client && g.mode == mode && g.range.overlaps(&new_range) {
+                    new_range = ByteRange {
+                        start: new_range.start.min(g.range.start),
+                        end: new_range.end.max(g.range.end),
+                    };
+                    false
+                } else {
+                    true
+                }
+            });
+            if new_range == before {
+                break;
+            }
+        }
+        // A widened write union can newly overlap other clients' grants;
+        // clamp the union to the requested range plus same-mode merges —
+        // which is what `new_range` already is — and additionally drop own
+        // weaker grants fully contained in a new write grant (tidiness).
+        if mode == TokenMode::Write {
+            grants.retain(|g| {
+                !(g.client == client
+                    && g.mode == TokenMode::Read
+                    && new_range.contains(&g.range))
+            });
+        }
+        grants.push(Grant {
+            client,
+            range: new_range,
+            mode,
+        });
+
+        AcquireOutcome {
+            already_held: false,
+            revoked,
+        }
+    }
+
+    /// Release every token `client` holds on `inode` (file close).
+    pub fn release_all(&mut self, inode: InodeId, client: ClientId) {
+        if let Some(grants) = self.grants.get_mut(&inode) {
+            grants.retain(|g| g.client != client);
+            if grants.is_empty() {
+                self.grants.remove(&inode);
+            }
+        }
+    }
+
+    /// Release every token `client` holds anywhere (unmount/expel).
+    pub fn release_client(&mut self, client: ClientId) {
+        self.grants.retain(|_, grants| {
+            grants.retain(|g| g.client != client);
+            !grants.is_empty()
+        });
+    }
+
+    /// Current grants on an inode (for tests and introspection).
+    pub fn grants(&self, inode: InodeId) -> &[Grant] {
+        self.grants.get(&inode).map_or(&[], Vec::as_slice)
+    }
+
+    /// Does `client` hold a token covering `range` at strength `mode`?
+    pub fn holds(
+        &self,
+        inode: InodeId,
+        client: ClientId,
+        range: ByteRange,
+        mode: TokenMode,
+    ) -> bool {
+        self.grants(inode).iter().any(|g| {
+            g.client == client
+                && g.range.contains(&range)
+                && (g.mode == TokenMode::Write || mode == TokenMode::Read)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const INO: InodeId = InodeId(1);
+    const C1: ClientId = ClientId(1);
+    const C2: ClientId = ClientId(2);
+    const C3: ClientId = ClientId(3);
+
+    fn r(a: u64, b: u64) -> ByteRange {
+        ByteRange::new(a, b)
+    }
+
+    #[test]
+    fn range_overlap_rules() {
+        assert!(r(0, 10).overlaps(&r(5, 15)));
+        assert!(!r(0, 10).overlaps(&r(10, 20))); // half-open: touch is no overlap
+        assert!(r(0, 100).contains(&r(10, 20)));
+        assert!(!r(10, 20).contains(&r(10, 21)));
+    }
+
+    #[test]
+    fn readers_share() {
+        let mut tm = TokenManager::new();
+        let o1 = tm.acquire(INO, C1, r(0, 100), TokenMode::Read);
+        let o2 = tm.acquire(INO, C2, r(50, 150), TokenMode::Read);
+        assert!(o1.revoked.is_empty());
+        assert!(o2.revoked.is_empty());
+        assert!(tm.holds(INO, C1, r(0, 100), TokenMode::Read));
+        assert!(tm.holds(INO, C2, r(50, 150), TokenMode::Read));
+    }
+
+    #[test]
+    fn writer_revokes_overlapping_readers() {
+        let mut tm = TokenManager::new();
+        tm.acquire(INO, C1, r(0, 100), TokenMode::Read);
+        tm.acquire(INO, C2, r(50, 150), TokenMode::Read);
+        let o = tm.acquire(INO, C3, r(60, 70), TokenMode::Write);
+        assert_eq!(o.revoked.len(), 2);
+        assert_eq!(o.distinct_revoked_clients(), 2);
+        assert!(!tm.holds(INO, C1, r(0, 100), TokenMode::Read));
+        assert!(tm.holds(INO, C3, r(60, 70), TokenMode::Write));
+    }
+
+    #[test]
+    fn disjoint_writers_coexist() {
+        // The pattern MPI-IO depends on: each rank writes its own region
+        // with zero token traffic after the first acquire.
+        let mut tm = TokenManager::new();
+        for (i, c) in [C1, C2, C3].into_iter().enumerate() {
+            let base = i as u64 * 1000;
+            let o = tm.acquire(INO, c, r(base, base + 1000), TokenMode::Write);
+            assert!(o.revoked.is_empty(), "rank {i} caused revocations");
+        }
+        assert_eq!(tm.grants(INO).len(), 3);
+    }
+
+    #[test]
+    fn repeat_acquire_is_free() {
+        let mut tm = TokenManager::new();
+        tm.acquire(INO, C1, r(0, 1000), TokenMode::Write);
+        let o = tm.acquire(INO, C1, r(100, 200), TokenMode::Write);
+        assert!(o.already_held);
+        // Write token satisfies read requests too.
+        let o = tm.acquire(INO, C1, r(100, 200), TokenMode::Read);
+        assert!(o.already_held);
+    }
+
+    #[test]
+    fn read_token_does_not_satisfy_write() {
+        let mut tm = TokenManager::new();
+        tm.acquire(INO, C1, r(0, 1000), TokenMode::Read);
+        let o = tm.acquire(INO, C1, r(0, 10), TokenMode::Write);
+        assert!(!o.already_held);
+        assert!(tm.holds(INO, C1, r(0, 10), TokenMode::Write));
+    }
+
+    #[test]
+    fn own_grants_merge() {
+        let mut tm = TokenManager::new();
+        tm.acquire(INO, C1, r(0, 100), TokenMode::Read);
+        tm.acquire(INO, C1, r(50, 200), TokenMode::Read);
+        assert_eq!(tm.grants(INO).len(), 1);
+        assert!(tm.holds(INO, C1, r(0, 200), TokenMode::Read));
+    }
+
+    #[test]
+    fn cross_mode_grants_do_not_merge() {
+        // Merging a Read into a Write union would extend write authority
+        // over bytes whose conflicts were never revoked — the bug found by
+        // the `tokens_never_grant_conflicts` property test. Instead the
+        // grants coexist.
+        let mut tm = TokenManager::new();
+        tm.acquire(INO, C1, r(0, 100), TokenMode::Write);
+        tm.acquire(INO, C1, r(50, 200), TokenMode::Read);
+        assert!(tm.holds(INO, C1, r(0, 100), TokenMode::Write));
+        assert!(tm.holds(INO, C1, r(50, 200), TokenMode::Read));
+        // Critically: no write authority beyond the requested range.
+        assert!(!tm.holds(INO, C1, r(100, 200), TokenMode::Write));
+    }
+
+    #[test]
+    fn write_acquire_absorbs_contained_read_grants() {
+        let mut tm = TokenManager::new();
+        tm.acquire(INO, C1, r(50, 80), TokenMode::Read);
+        tm.acquire(INO, C1, r(0, 100), TokenMode::Write);
+        assert_eq!(tm.grants(INO).len(), 1);
+        assert!(tm.holds(INO, C1, r(50, 80), TokenMode::Write));
+    }
+
+    #[test]
+    fn chained_same_mode_merges_reach_fixpoint() {
+        let mut tm = TokenManager::new();
+        tm.acquire(INO, C1, r(0, 10), TokenMode::Read);
+        tm.acquire(INO, C1, r(20, 30), TokenMode::Read);
+        // Bridging acquire merges all three into one grant.
+        tm.acquire(INO, C1, r(5, 25), TokenMode::Read);
+        assert_eq!(tm.grants(INO).len(), 1);
+        assert!(tm.holds(INO, C1, r(0, 30), TokenMode::Read));
+    }
+
+    #[test]
+    fn writer_to_writer_handoff() {
+        let mut tm = TokenManager::new();
+        tm.acquire(INO, C1, ByteRange::whole(), TokenMode::Write);
+        let o = tm.acquire(INO, C2, r(0, 10), TokenMode::Write);
+        assert_eq!(o.revoked.len(), 1);
+        assert_eq!(o.revoked[0].client, C1);
+        assert_eq!(tm.revocations, 1);
+    }
+
+    #[test]
+    fn release_all_frees_ranges() {
+        let mut tm = TokenManager::new();
+        tm.acquire(INO, C1, ByteRange::whole(), TokenMode::Write);
+        tm.release_all(INO, C1);
+        let o = tm.acquire(INO, C2, r(0, 10), TokenMode::Write);
+        assert!(o.revoked.is_empty());
+    }
+
+    #[test]
+    fn release_client_spans_inodes() {
+        let mut tm = TokenManager::new();
+        tm.acquire(InodeId(1), C1, r(0, 10), TokenMode::Write);
+        tm.acquire(InodeId(2), C1, r(0, 10), TokenMode::Write);
+        tm.release_client(C1);
+        assert!(tm.grants(InodeId(1)).is_empty());
+        assert!(tm.grants(InodeId(2)).is_empty());
+    }
+
+    #[test]
+    fn reader_coexists_with_disjoint_writer() {
+        let mut tm = TokenManager::new();
+        tm.acquire(INO, C1, r(0, 100), TokenMode::Write);
+        let o = tm.acquire(INO, C2, r(100, 200), TokenMode::Read);
+        assert!(o.revoked.is_empty());
+        assert!(tm.holds(INO, C1, r(0, 100), TokenMode::Write));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty byte range")]
+    fn empty_range_rejected() {
+        ByteRange::new(5, 5);
+    }
+}

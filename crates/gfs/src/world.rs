@@ -1,0 +1,588 @@
+//! The simulation world: network + storage + clusters + filesystems +
+//! clients, composed into one type driven by `simcore::Sim`.
+//!
+//! A [`GfsWorld`] is built once per scenario via [`WorldBuilder`] and then
+//! mutated only through simulation events. Scenario- or benchmark-specific
+//! state rides in the `ext` slot so callbacks can reach it.
+
+use crate::cache::{PagePool, PrefetchState};
+use crate::fscore::{FsConfig, FsCore};
+use crate::tokens::{ByteRange, TokenManager, TokenMode};
+use crate::types::{ClientId, ClusterId, FsId, Handle, InodeId, NsdId, OpenFlags};
+use gfs_auth::handshake::{AccessMode, ClusterAuth};
+use rand::rngs::StdRng;
+use simcore::{det_rng, Bandwidth, Sim, SimDuration, SimTime};
+use simnet::{NetWorld, Network, NodeId, Topology, TopologyBuilder};
+use simsan::{Array, ArraySpec};
+use std::any::Any;
+use std::collections::BTreeMap;
+
+/// How an NSD's physical service time is modeled.
+#[derive(Clone, Debug)]
+pub enum NsdBacking {
+    /// Detailed: requests go through an [`Array`] queue model.
+    Array {
+        /// Index into `GfsWorld::arrays`.
+        array: usize,
+        /// RAID set within the array.
+        set: u32,
+    },
+    /// Idealized: a serialization queue at `rate` with fixed `latency` —
+    /// used by tests and by scenarios whose storage is already represented
+    /// as flow-graph links.
+    Ideal {
+        /// Service rate, bytes/sec.
+        rate: f64,
+        /// Fixed per-request latency.
+        latency: SimDuration,
+    },
+}
+
+/// Runtime queue state per NSD.
+#[derive(Clone, Debug)]
+pub struct NsdState {
+    /// Service model.
+    pub backing: NsdBacking,
+    /// Busy-until for the Ideal model's serialization queue.
+    pub busy_until: SimTime,
+}
+
+impl NsdState {
+    /// Compute the service completion time of one request at `now`.
+    pub fn serve(&mut self, arrays: &mut [Array], now: SimTime, kind: simsan::IoKind, offset: u64, bytes: u64) -> SimTime {
+        match self.backing {
+            NsdBacking::Array { array, set } => arrays[array].submit(now, set, kind, offset, bytes),
+            NsdBacking::Ideal { rate, latency } => {
+                let start = self.busy_until.max(now);
+                let done = start + latency + SimDuration::from_secs_f64(bytes as f64 / rate);
+                self.busy_until = done;
+                done
+            }
+        }
+    }
+}
+
+/// One filesystem instance: core state plus its serving infrastructure.
+pub struct FsInstance {
+    /// On-disk state.
+    pub core: FsCore,
+    /// Byte-range token manager (runs on the manager node).
+    pub tokens: TokenManager,
+    /// Filesystem/token/configuration manager node.
+    pub manager_node: NodeId,
+    /// The owning (serving) cluster.
+    pub owning_cluster: ClusterId,
+    /// NSD server nodes; NSD `i` is served by `nsd_servers[i % len]`.
+    pub nsd_servers: Vec<NodeId>,
+    /// Optional storage pseudo-nodes behind each server (farm-attached
+    /// links); when present, streaming flows terminate there so media
+    /// capacity participates in the bottleneck analysis. Parallel to
+    /// `nsd_servers`; empty means "use the server node itself".
+    pub storage_nodes: Vec<NodeId>,
+    /// Per-NSD service state (same length as `core.config.nsd_count`).
+    pub nsds: Vec<NsdState>,
+    /// Whether remote clusters may mount it (any grant required too).
+    pub exported: bool,
+    /// NSD server nodes currently marked failed; requests route to the
+    /// next healthy server in the ring (GPFS primary/backup NSD serving).
+    pub down_servers: std::collections::BTreeSet<NodeId>,
+}
+
+impl FsInstance {
+    /// The server node responsible for an NSD: its home server, or —
+    /// when that server is failed — the next healthy one in the ring.
+    /// Panics when every server is down (the filesystem is unavailable,
+    /// as it would be in GPFS once quorum of NSD servers is lost).
+    pub fn server_of(&self, nsd: NsdId) -> NodeId {
+        let n = self.nsd_servers.len();
+        let start = nsd.0 as usize % n;
+        for k in 0..n {
+            let cand = self.nsd_servers[(start + k) % n];
+            if !self.down_servers.contains(&cand) {
+                return cand;
+            }
+        }
+        panic!("no NSD server available for {nsd:?}: all servers failed")
+    }
+
+    /// Mark an NSD server failed (its NSDs fail over to the ring).
+    pub fn fail_server(&mut self, node: NodeId) {
+        self.down_servers.insert(node);
+    }
+
+    /// Bring a failed server back.
+    pub fn restore_server(&mut self, node: NodeId) {
+        self.down_servers.remove(&node);
+    }
+
+    /// The streaming endpoint behind server slot `i`: the storage
+    /// pseudo-node when one was attached, otherwise the server itself.
+    pub fn stream_endpoint(&self, i: usize) -> NodeId {
+        self.storage_nodes
+            .get(i)
+            .copied()
+            .unwrap_or(self.nsd_servers[i % self.nsd_servers.len()])
+    }
+}
+
+/// An `mmremotecluster` entry on the importing side.
+#[derive(Clone, Debug)]
+pub struct RemoteClusterDef {
+    /// Contact nodes used for authentication (we keep one).
+    pub contact: NodeId,
+}
+
+/// An `mmremotefs` entry: local device name → remote (cluster, device).
+#[derive(Clone, Debug)]
+pub struct RemoteFsDef {
+    /// Remote cluster name.
+    pub cluster: String,
+    /// Device name in the remote cluster.
+    pub remote_device: String,
+}
+
+/// One GPFS cluster (administrative domain).
+pub struct Cluster {
+    /// Its id.
+    pub id: ClusterId,
+    /// Its name, e.g. `"sdsc.teragrid"`.
+    pub name: String,
+    /// `mmauth` state: keypair, grants, cipher policy.
+    pub auth: ClusterAuth,
+    /// `mmremotecluster` entries.
+    pub remote_clusters: BTreeMap<String, RemoteClusterDef>,
+    /// `mmremotefs` entries.
+    pub remote_fs: BTreeMap<String, RemoteFsDef>,
+}
+
+/// A mounted filesystem at a client.
+#[derive(Clone, Debug)]
+pub struct Mount {
+    /// Which filesystem.
+    pub fs: FsId,
+    /// Effective access.
+    pub mode: AccessMode,
+    /// Session key when `cipherList` encryption is active.
+    pub session_key: Option<Vec<u8>>,
+}
+
+/// An open file at a client.
+#[derive(Clone, Debug)]
+pub struct OpenFile {
+    /// Filesystem.
+    pub fs: FsId,
+    /// Inode.
+    pub inode: InodeId,
+    /// Open mode.
+    pub flags: OpenFlags,
+    /// Path (for diagnostics).
+    pub path: String,
+}
+
+/// One mounting node.
+pub struct Client {
+    /// Its id.
+    pub id: ClientId,
+    /// Where it sits in the topology.
+    pub node: NodeId,
+    /// Its administrative domain.
+    pub cluster: ClusterId,
+    /// Block cache.
+    pub pool: PagePool,
+    /// Mounted devices by local device name.
+    pub mounts: BTreeMap<String, Mount>,
+    /// Open handles.
+    pub handles: BTreeMap<Handle, OpenFile>,
+    /// Prefetch detector per handle.
+    pub prefetch: BTreeMap<Handle, PrefetchState>,
+    /// Client-side mirror of held tokens.
+    pub held_tokens: BTreeMap<(FsId, InodeId), Vec<(ByteRange, TokenMode)>>,
+    /// Operations currently applying data under a held token, per inode.
+    /// Token revocations are deferred while this is nonzero — GPFS's
+    /// daemon likewise completes in-flight operations before honouring a
+    /// revoke, which is what makes individual writes atomic.
+    pub inflight: BTreeMap<(FsId, InodeId), u32>,
+}
+
+impl Client {
+    /// Does the client-side token mirror cover the request?
+    pub fn holds_token(&self, fs: FsId, inode: InodeId, range: ByteRange, mode: TokenMode) -> bool {
+        self.held_tokens
+            .get(&(fs, inode))
+            .is_some_and(|grants| {
+                grants.iter().any(|(r, m)| {
+                    r.contains(&range) && (*m == TokenMode::Write || mode == TokenMode::Read)
+                })
+            })
+    }
+}
+
+/// Tunable protocol constants.
+#[derive(Clone, Debug)]
+pub struct ProtocolCosts {
+    /// Size of a metadata/token RPC request or reply on the wire.
+    pub rpc_bytes: u64,
+    /// Time to compute one RSA signature (2005-era hardware).
+    pub sign_time: SimDuration,
+    /// Time to verify one RSA signature.
+    pub verify_time: SimDuration,
+    /// TCP window for block-fetch flows (bytes); models the per-connection
+    /// socket buffer GPFS configures.
+    pub flow_window: u64,
+}
+
+impl Default for ProtocolCosts {
+    fn default() -> Self {
+        ProtocolCosts {
+            rpc_bytes: 256,
+            sign_time: SimDuration::from_millis(3),
+            verify_time: SimDuration::from_millis(1),
+            flow_window: 16 * 1024 * 1024,
+        }
+    }
+}
+
+/// The world.
+pub struct GfsWorld {
+    /// The network (flows + messages).
+    pub net: Network<GfsWorld>,
+    /// Detailed storage arrays (referenced by `NsdBacking::Array`).
+    pub arrays: Vec<Array>,
+    /// Filesystems by [`FsId`].
+    pub fss: Vec<FsInstance>,
+    /// Clusters by [`ClusterId`].
+    pub clusters: Vec<Cluster>,
+    /// Clients by [`ClientId`].
+    pub clients: Vec<Client>,
+    /// Deterministic randomness for protocol nonces etc.
+    pub rng: StdRng,
+    /// Protocol cost knobs.
+    pub costs: ProtocolCosts,
+    /// Scenario/benchmark extension state.
+    pub ext: Box<dyn Any>,
+    pub(crate) next_handle: u64,
+}
+
+impl NetWorld for GfsWorld {
+    fn net(&mut self) -> &mut Network<GfsWorld> {
+        &mut self.net
+    }
+}
+
+impl GfsWorld {
+    /// Fresh handle id.
+    pub fn alloc_handle(&mut self) -> Handle {
+        self.next_handle += 1;
+        Handle(self.next_handle)
+    }
+
+    /// Cluster by name.
+    pub fn cluster_by_name(&self, name: &str) -> Option<ClusterId> {
+        self.clusters
+            .iter()
+            .position(|c| c.name == name)
+            .map(|i| ClusterId(i as u32))
+    }
+
+    /// Filesystem owned by `cluster` with device name `device`.
+    pub fn fs_by_device(&self, cluster: ClusterId, device: &str) -> Option<FsId> {
+        self.fss
+            .iter()
+            .position(|f| f.owning_cluster == cluster && f.core.config.name == device)
+            .map(|i| FsId(i as u32))
+    }
+
+    /// Resolve what a device name means for a client's cluster: either a
+    /// local filesystem or an `mmremotefs` mapping.
+    pub fn resolve_device(&self, cluster: ClusterId, device: &str) -> Option<(FsId, bool)> {
+        if let Some(fs) = self.fs_by_device(cluster, device) {
+            return Some((fs, false));
+        }
+        let c = &self.clusters[cluster.0 as usize];
+        let rfs = c.remote_fs.get(device)?;
+        let remote = self.cluster_by_name(&rfs.cluster)?;
+        let fs = self.fs_by_device(remote, &rfs.remote_device)?;
+        Some((fs, true))
+    }
+
+    /// Typed access to the extension slot.
+    pub fn ext_mut<T: 'static>(&mut self) -> &mut T {
+        self.ext
+            .downcast_mut::<T>()
+            .expect("world extension has unexpected type")
+    }
+
+    /// Typed read access to the extension slot.
+    pub fn ext_ref<T: 'static>(&self) -> &T {
+        self.ext
+            .downcast_ref::<T>()
+            .expect("world extension has unexpected type")
+    }
+}
+
+/// Filesystem construction parameters for the builder.
+pub struct FsParams {
+    /// Core geometry.
+    pub config: FsConfig,
+    /// Manager node.
+    pub manager: NodeId,
+    /// NSD server nodes.
+    pub nsd_servers: Vec<NodeId>,
+    /// Storage pseudo-nodes behind the servers (see
+    /// [`FsInstance::storage_nodes`]); empty for none.
+    pub storage_nodes: Vec<NodeId>,
+    /// Per-NSD backing; if shorter than `nsd_count`, the last entry repeats.
+    pub backing: Vec<NsdBacking>,
+    /// Export to remote clusters?
+    pub exported: bool,
+}
+
+impl FsParams {
+    /// Idealized backing with one template for all NSDs.
+    pub fn ideal(
+        config: FsConfig,
+        manager: NodeId,
+        nsd_servers: Vec<NodeId>,
+        rate: Bandwidth,
+        latency: SimDuration,
+    ) -> Self {
+        FsParams {
+            config,
+            manager,
+            nsd_servers,
+            storage_nodes: Vec::new(),
+            backing: vec![NsdBacking::Ideal {
+                rate: rate.bytes_per_sec(),
+                latency,
+            }],
+            exported: true,
+        }
+    }
+}
+
+/// Assembles a [`GfsWorld`]. Topology edits happen through
+/// [`WorldBuilder::topo`]; everything else through dedicated methods.
+pub struct WorldBuilder {
+    seed: u64,
+    topo: TopologyBuilder,
+    key_bits: u32,
+    clusters: Vec<(String, Vec<NodeId>)>,
+    fss: Vec<(usize, FsParams)>,
+    clients: Vec<(usize, NodeId, usize)>,
+    arrays: Vec<ArraySpec>,
+}
+
+impl WorldBuilder {
+    /// Start building with a global seed.
+    pub fn new(seed: u64) -> Self {
+        WorldBuilder {
+            seed,
+            topo: TopologyBuilder::new(),
+            key_bits: 512,
+            clusters: Vec::new(),
+            fss: Vec::new(),
+            clients: Vec::new(),
+            arrays: Vec::new(),
+        }
+    }
+
+    /// RSA modulus size for cluster keys (smaller = faster tests).
+    pub fn key_bits(&mut self, bits: u32) -> &mut Self {
+        self.key_bits = bits;
+        self
+    }
+
+    /// Access the topology builder.
+    pub fn topo(&mut self) -> &mut TopologyBuilder {
+        &mut self.topo
+    }
+
+    /// Declare a cluster; returns its id.
+    pub fn cluster(&mut self, name: impl Into<String>) -> ClusterId {
+        let id = ClusterId(self.clusters.len() as u32);
+        self.clusters.push((name.into(), Vec::new()));
+        id
+    }
+
+    /// Declare a detailed storage array; returns its index for
+    /// [`NsdBacking::Array`].
+    pub fn array(&mut self, spec: ArraySpec) -> usize {
+        self.arrays.push(spec);
+        self.arrays.len() - 1
+    }
+
+    /// Declare a filesystem owned by `cluster`.
+    pub fn filesystem(&mut self, cluster: ClusterId, params: FsParams) -> FsId {
+        assert!(
+            !params.nsd_servers.is_empty(),
+            "filesystem needs at least one NSD server"
+        );
+        assert!(!params.backing.is_empty(), "filesystem needs backing");
+        let id = FsId(self.fss.len() as u32);
+        self.fss.push((cluster.0 as usize, params));
+        id
+    }
+
+    /// Declare a client node in `cluster` at `node` with a page pool of
+    /// `pool_pages` blocks.
+    pub fn client(&mut self, cluster: ClusterId, node: NodeId, pool_pages: usize) -> ClientId {
+        let id = ClientId(self.clients.len() as u32);
+        self.clients.push((cluster.0 as usize, node, pool_pages));
+        id
+    }
+
+    /// Build the world and a fresh simulation.
+    pub fn build(self) -> (Sim<GfsWorld>, GfsWorld) {
+        let topo: Topology = self.topo.build();
+        let mut rng = det_rng(self.seed, "gfs-world");
+        let clusters: Vec<Cluster> = self
+            .clusters
+            .into_iter()
+            .enumerate()
+            .map(|(i, (name, _nodes))| Cluster {
+                id: ClusterId(i as u32),
+                auth: ClusterAuth::new(name.clone(), self.key_bits, &mut rng),
+                name,
+                remote_clusters: BTreeMap::new(),
+                remote_fs: BTreeMap::new(),
+            })
+            .collect();
+        let arrays: Vec<Array> = self.arrays.into_iter().map(Array::new).collect();
+        let fss: Vec<FsInstance> = self
+            .fss
+            .into_iter()
+            .map(|(cl, p)| {
+                let nsd_count = p.config.nsd_count;
+                let nsds = (0..nsd_count)
+                    .map(|i| NsdState {
+                        backing: p.backing[(i as usize).min(p.backing.len() - 1)].clone(),
+                        busy_until: SimTime::ZERO,
+                    })
+                    .collect();
+                assert!(
+                    p.storage_nodes.is_empty() || p.storage_nodes.len() == p.nsd_servers.len(),
+                    "storage_nodes must be empty or match nsd_servers"
+                );
+                FsInstance {
+                    core: FsCore::create(p.config),
+                    tokens: TokenManager::new(),
+                    manager_node: p.manager,
+                    owning_cluster: ClusterId(cl as u32),
+                    nsd_servers: p.nsd_servers,
+                    storage_nodes: p.storage_nodes,
+                    nsds,
+                    exported: p.exported,
+                    down_servers: std::collections::BTreeSet::new(),
+                }
+            })
+            .collect();
+        let clients: Vec<Client> = self
+            .clients
+            .into_iter()
+            .enumerate()
+            .map(|(i, (cl, node, pool))| Client {
+                id: ClientId(i as u32),
+                node,
+                cluster: ClusterId(cl as u32),
+                pool: PagePool::new(pool),
+                mounts: BTreeMap::new(),
+                handles: BTreeMap::new(),
+                prefetch: BTreeMap::new(),
+                held_tokens: BTreeMap::new(),
+                inflight: BTreeMap::new(),
+            })
+            .collect();
+        let world = GfsWorld {
+            net: Network::new(topo, self.seed),
+            arrays,
+            fss,
+            clusters,
+            clients,
+            rng,
+            costs: ProtocolCosts::default(),
+            ext: Box::new(()),
+            next_handle: 0,
+        };
+        (Sim::new(), world)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::MBYTE;
+
+    fn tiny() -> (Sim<GfsWorld>, GfsWorld, ClientId, FsId) {
+        let mut b = WorldBuilder::new(1);
+        b.key_bits(384);
+        let mgr = b.topo().node("mgr");
+        let cli = b.topo().node("cli");
+        b.topo().duplex_link(
+            cli,
+            mgr,
+            Bandwidth::gbit(1.0),
+            SimDuration::from_micros(100),
+            "lan",
+        );
+        let cl = b.cluster("test.cluster");
+        let fs = b.filesystem(
+            cl,
+            FsParams::ideal(
+                FsConfig::small_test("gpfs0"),
+                mgr,
+                vec![mgr],
+                Bandwidth::mbyte(400.0),
+                SimDuration::from_micros(500),
+            ),
+        );
+        let c = b.client(cl, cli, 64);
+        let (sim, w) = b.build();
+        (sim, w, c, fs)
+    }
+
+    #[test]
+    fn build_produces_consistent_world() {
+        let (_sim, w, c, fs) = tiny();
+        assert_eq!(w.clients[c.0 as usize].node, w.net.topo().find_node("cli").unwrap());
+        assert_eq!(w.fss[fs.0 as usize].core.config.name, "gpfs0");
+        assert_eq!(w.fss[fs.0 as usize].nsds.len(), 8);
+        assert_eq!(w.cluster_by_name("test.cluster"), Some(ClusterId(0)));
+        assert_eq!(w.cluster_by_name("nope"), None);
+    }
+
+    #[test]
+    fn resolve_local_device() {
+        let (_sim, w, _c, fs) = tiny();
+        assert_eq!(w.resolve_device(ClusterId(0), "gpfs0"), Some((fs, false)));
+        assert_eq!(w.resolve_device(ClusterId(0), "missing"), None);
+    }
+
+    #[test]
+    fn nsd_server_round_robin() {
+        let (_sim, w, _c, fs) = tiny();
+        let inst = &w.fss[fs.0 as usize];
+        // One server serves all NSDs here.
+        assert_eq!(inst.server_of(NsdId(0)), inst.server_of(NsdId(7)));
+    }
+
+    #[test]
+    fn ideal_backing_serializes() {
+        let (_sim, mut w, _c, fs) = tiny();
+        let inst = &mut w.fss[fs.0 as usize];
+        let t1 = inst.nsds[0].serve(&mut w.arrays, SimTime::ZERO, simsan::IoKind::Read, 0, MBYTE);
+        let t2 = inst.nsds[0].serve(&mut w.arrays, SimTime::ZERO, simsan::IoKind::Read, 0, MBYTE);
+        assert!(t2 > t1, "second request must queue");
+        // Distinct NSD has its own queue.
+        let t3 = inst.nsds[1].serve(&mut w.arrays, SimTime::ZERO, simsan::IoKind::Read, 0, MBYTE);
+        assert_eq!(t3, t1);
+    }
+
+    #[test]
+    fn ext_slot_roundtrip() {
+        let (_sim, mut w, ..) = tiny();
+        w.ext = Box::new(42u32);
+        assert_eq!(*w.ext_ref::<u32>(), 42);
+        *w.ext_mut::<u32>() += 1;
+        assert_eq!(*w.ext_ref::<u32>(), 43);
+    }
+}

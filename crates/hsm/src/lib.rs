@@ -1,0 +1,18 @@
+//! # hsm — hierarchical storage management
+//!
+//! The archival tier behind the Global File System. The paper's §8 future
+//! work makes the GFS disk "an integral part of a HSM, with automatic
+//! migration of unused data to tape, and the automatic recall of requested
+//! data from deeper archive", plus remote second copies between sites
+//! (SDSC ↔ PSC). This crate provides:
+//!
+//! * [`tape`] — silo/drive service-time models (mount, locate, stream).
+//! * [`manager`] — watermark-driven LRU migration, transparent recall,
+//!   optional dual-copy archiving, and a "local catastrophe" survival
+//!   report for the §8 copyright-library argument.
+
+pub mod manager;
+pub mod tape;
+
+pub use manager::{AccessOutcome, Hsm, HsmFile, HsmFileId, HsmPolicy, Residency};
+pub use tape::{TapeLibrary, TapeSpec};

@@ -1,0 +1,408 @@
+//! The hierarchical storage manager: watermark-driven migration of cold
+//! data from GFS disk to tape, automatic recall on access, and the remote
+//! second copy the paper's §8 describes ("SDSC and the Pittsburgh
+//! Supercomputing Center are already providing remote second copies for
+//! each other's archives").
+//!
+//! §8's policy argument is implemented literally: "it is much more
+//! satisfactory to allow an automatic, algorithmic approach where data is
+//! migrated to tape storage as it is less used and recalled when needed."
+
+use crate::tape::TapeLibrary;
+use serde::{Deserialize, Serialize};
+use simcore::SimTime;
+use std::collections::BTreeMap;
+
+/// Identifies a file in the HSM namespace.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct HsmFileId(pub u64);
+
+/// Where a file's bytes currently live.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum Residency {
+    /// On disk only (not yet archived).
+    DiskOnly,
+    /// On disk and on tape (premigrated — disk copy droppable for free).
+    Both,
+    /// On tape only (disk space reclaimed).
+    TapeOnly,
+}
+
+/// Per-file record.
+#[derive(Clone, Debug)]
+pub struct HsmFile {
+    /// Size in bytes.
+    pub size: u64,
+    /// Residency state.
+    pub residency: Residency,
+    /// Last access time (drives the LRU policy).
+    pub last_access: SimTime,
+    /// Tape copies held (1 = local archive, 2 = + remote second copy).
+    pub tape_copies: u32,
+}
+
+/// Outcome of an access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AccessOutcome {
+    /// When the data is readable from disk (now, unless recalled).
+    pub available_at: SimTime,
+    /// Whether a tape recall was needed.
+    pub recalled: bool,
+}
+
+/// Migration/capacity policy.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct HsmPolicy {
+    /// Disk capacity in bytes.
+    pub disk_capacity: u64,
+    /// Start migrating when disk use exceeds this fraction.
+    pub high_watermark: f64,
+    /// Migrate until disk use falls below this fraction.
+    pub low_watermark: f64,
+    /// Keep a remote second copy of every archived file?
+    pub dual_copy: bool,
+}
+
+impl HsmPolicy {
+    /// A typical configuration: migrate at 90 % full down to 75 %.
+    pub fn with_capacity(disk_capacity: u64) -> Self {
+        HsmPolicy {
+            disk_capacity,
+            high_watermark: 0.90,
+            low_watermark: 0.75,
+            dual_copy: false,
+        }
+    }
+}
+
+/// The manager.
+pub struct Hsm {
+    /// Policy knobs.
+    pub policy: HsmPolicy,
+    /// The local tape library.
+    pub library: TapeLibrary,
+    /// The remote second-copy library (used when `policy.dual_copy`).
+    pub remote_library: Option<TapeLibrary>,
+    files: BTreeMap<HsmFileId, HsmFile>,
+    disk_used: u64,
+    /// Counters.
+    pub migrations: u64,
+    /// Recalls performed.
+    pub recalls: u64,
+}
+
+impl Hsm {
+    /// New manager over a library.
+    pub fn new(policy: HsmPolicy, library: TapeLibrary, remote: Option<TapeLibrary>) -> Self {
+        assert!(policy.low_watermark < policy.high_watermark);
+        assert!(policy.high_watermark <= 1.0 && policy.low_watermark > 0.0);
+        assert!(
+            !policy.dual_copy || remote.is_some(),
+            "dual_copy requires a remote library"
+        );
+        Hsm {
+            policy,
+            library,
+            remote_library: remote,
+            files: BTreeMap::new(),
+            disk_used: 0,
+            migrations: 0,
+            recalls: 0,
+        }
+    }
+
+    /// Current disk usage in bytes.
+    pub fn disk_used(&self) -> u64 {
+        self.disk_used
+    }
+
+    /// Current disk usage as a fraction of capacity.
+    pub fn disk_fill(&self) -> f64 {
+        self.disk_used as f64 / self.policy.disk_capacity as f64
+    }
+
+    /// Look up a file.
+    pub fn file(&self, id: HsmFileId) -> Option<&HsmFile> {
+        self.files.get(&id)
+    }
+
+    /// Ingest a new file onto disk at `now`. Triggers watermark migration
+    /// if the disk crosses the high watermark. Returns the time the ingest
+    /// (including any forced migrations needed for space) completes.
+    pub fn ingest(&mut self, now: SimTime, id: HsmFileId, size: u64) -> SimTime {
+        assert!(size > 0, "empty file");
+        assert!(
+            size <= self.policy.disk_capacity,
+            "file larger than disk cache"
+        );
+        assert!(!self.files.contains_key(&id), "duplicate HSM file id");
+        self.files.insert(
+            id,
+            HsmFile {
+                size,
+                residency: Residency::DiskOnly,
+                last_access: now,
+                tape_copies: 0,
+            },
+        );
+        self.disk_used += size;
+        self.run_migration(now)
+    }
+
+    /// Access a file at `now`: recalls from tape when necessary.
+    pub fn access(&mut self, now: SimTime, id: HsmFileId) -> Option<AccessOutcome> {
+        let f = self.files.get_mut(&id)?;
+        f.last_access = now;
+        match f.residency {
+            Residency::DiskOnly | Residency::Both => Some(AccessOutcome {
+                available_at: now,
+                recalled: false,
+            }),
+            Residency::TapeOnly => {
+                let size = f.size;
+                f.residency = Residency::Both;
+                self.recalls += 1;
+                self.disk_used += size;
+                let ready = self.library.submit(now, size, false);
+                // Recall may itself push us over the watermark.
+                let settled = self.run_migration(now);
+                Some(AccessOutcome {
+                    available_at: ready.max(settled),
+                    recalled: true,
+                })
+            }
+        }
+    }
+
+    /// Delete a file everywhere.
+    pub fn delete(&mut self, id: HsmFileId) -> bool {
+        match self.files.remove(&id) {
+            Some(f) => {
+                if f.residency != Residency::TapeOnly {
+                    self.disk_used -= f.size;
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Run the watermark policy at `now`; returns when the migration work
+    /// completes (now, if nothing to do).
+    ///
+    /// Two-step policy, cheapest first: drop disk copies of already-taped
+    /// (`Both`) files for free, then write the coldest `DiskOnly` files to
+    /// tape (and the remote library when dual-copy is on) and drop them.
+    pub fn run_migration(&mut self, now: SimTime) -> SimTime {
+        let high = (self.policy.high_watermark * self.policy.disk_capacity as f64) as u64;
+        let low = (self.policy.low_watermark * self.policy.disk_capacity as f64) as u64;
+        if self.disk_used <= high {
+            return now;
+        }
+        let mut done = now;
+
+        // Step 1: free premigrated copies, coldest first.
+        let mut both: Vec<(SimTime, HsmFileId)> = self
+            .files
+            .iter()
+            .filter(|(_, f)| f.residency == Residency::Both)
+            .map(|(id, f)| (f.last_access, *id))
+            .collect();
+        both.sort();
+        for (_, id) in both {
+            if self.disk_used <= low {
+                return done;
+            }
+            let f = self.files.get_mut(&id).expect("listed above");
+            f.residency = Residency::TapeOnly;
+            self.disk_used -= f.size;
+        }
+
+        // Step 2: migrate cold DiskOnly files to tape.
+        let mut cold: Vec<(SimTime, HsmFileId)> = self
+            .files
+            .iter()
+            .filter(|(_, f)| f.residency == Residency::DiskOnly)
+            .map(|(id, f)| (f.last_access, *id))
+            .collect();
+        cold.sort();
+        for (_, id) in cold {
+            if self.disk_used <= low {
+                break;
+            }
+            let (size, copies) = {
+                let f = self.files.get_mut(&id).expect("listed above");
+                f.residency = Residency::TapeOnly;
+                f.tape_copies = 1;
+                (f.size, &mut 0)
+            };
+            let _ = copies;
+            self.disk_used -= size;
+            self.migrations += 1;
+            done = done.max(self.library.submit(now, size, true));
+            if self.policy.dual_copy {
+                let remote = self
+                    .remote_library
+                    .as_mut()
+                    .expect("checked in constructor");
+                done = done.max(remote.submit(now, size, true));
+                self.files.get_mut(&id).expect("exists").tape_copies = 2;
+            } else {
+                self.files.get_mut(&id).expect("exists").tape_copies = 1;
+            }
+        }
+        done
+    }
+
+    /// Simulate loss of the local disk + library ("local catastrophe",
+    /// §8's copyright-library argument): files survive iff a second copy
+    /// exists. Returns (survivors, lost).
+    pub fn catastrophe_report(&self) -> (usize, usize) {
+        let survivors = self.files.values().filter(|f| f.tape_copies >= 2).count();
+        (survivors, self.files.len() - survivors)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tape::TapeSpec;
+    use simcore::GBYTE;
+
+    fn hsm(capacity_gb: u64, dual: bool) -> Hsm {
+        let policy = HsmPolicy {
+            disk_capacity: capacity_gb * GBYTE,
+            high_watermark: 0.9,
+            low_watermark: 0.7,
+            dual_copy: dual,
+        };
+        let lib = TapeLibrary::new(TapeSpec::stk_2005(), 4);
+        let remote = dual.then(|| TapeLibrary::new(TapeSpec::stk_2005(), 4));
+        Hsm::new(policy, lib, remote)
+    }
+
+    #[test]
+    fn ingest_below_watermark_is_instant() {
+        let mut h = hsm(100, false);
+        let t = h.ingest(SimTime::ZERO, HsmFileId(1), 10 * GBYTE);
+        assert_eq!(t, SimTime::ZERO);
+        assert_eq!(h.disk_used(), 10 * GBYTE);
+        assert_eq!(h.migrations, 0);
+    }
+
+    #[test]
+    fn crossing_high_watermark_migrates_lru_to_low() {
+        let mut h = hsm(100, false);
+        // Fill to 88 GB with files accessed at increasing times.
+        for i in 0..22u64 {
+            h.ingest(SimTime::from_secs(i), HsmFileId(i), 4 * GBYTE);
+        }
+        assert_eq!(h.migrations, 0);
+        // Next ingest crosses 90 GB: migrate down to ≤70 GB.
+        h.ingest(SimTime::from_secs(100), HsmFileId(99), 4 * GBYTE);
+        assert!(h.migrations > 0);
+        assert!(h.disk_fill() <= 0.71, "fill {} after migration", h.disk_fill());
+        // Oldest files went to tape first.
+        assert_eq!(h.file(HsmFileId(0)).unwrap().residency, Residency::TapeOnly);
+        // Newest file stayed.
+        assert_eq!(
+            h.file(HsmFileId(99)).unwrap().residency,
+            Residency::DiskOnly
+        );
+    }
+
+    #[test]
+    fn access_recalls_from_tape() {
+        let mut h = hsm(100, false);
+        for i in 0..23u64 {
+            h.ingest(SimTime::from_secs(i), HsmFileId(i), 4 * GBYTE);
+        }
+        h.ingest(SimTime::from_secs(100), HsmFileId(99), 4 * GBYTE);
+        assert_eq!(h.file(HsmFileId(0)).unwrap().residency, Residency::TapeOnly);
+        let now = SimTime::from_secs(1000);
+        let out = h.access(now, HsmFileId(0)).unwrap();
+        assert!(out.recalled);
+        assert!(out.available_at > now, "recall takes tape time");
+        assert_eq!(h.recalls, 1);
+        assert_eq!(h.file(HsmFileId(0)).unwrap().residency, Residency::Both);
+    }
+
+    #[test]
+    fn warm_access_is_instant_and_protects_from_migration() {
+        let mut h = hsm(100, false);
+        for i in 0..20u64 {
+            h.ingest(SimTime::from_secs(i), HsmFileId(i), 4 * GBYTE);
+        }
+        // Touch file 0 to make it the hottest.
+        let out = h.access(SimTime::from_secs(50), HsmFileId(0)).unwrap();
+        assert!(!out.recalled);
+        // Force migration pressure.
+        for i in 100..104u64 {
+            h.ingest(SimTime::from_secs(i), HsmFileId(i), 4 * GBYTE);
+        }
+        // File 0 was recently touched: still on disk; file 1 (coldest) not.
+        assert_ne!(h.file(HsmFileId(0)).unwrap().residency, Residency::TapeOnly);
+        assert_eq!(h.file(HsmFileId(1)).unwrap().residency, Residency::TapeOnly);
+    }
+
+    #[test]
+    fn premigrated_copies_dropped_for_free() {
+        let mut h = hsm(100, false);
+        for i in 0..23u64 {
+            h.ingest(SimTime::from_secs(i), HsmFileId(i), 4 * GBYTE);
+        }
+        h.ingest(SimTime::from_secs(100), HsmFileId(99), 4 * GBYTE);
+        // Recall a migrated file -> residency Both.
+        h.access(SimTime::from_secs(200), HsmFileId(0)).unwrap();
+        let tape_jobs_before = h.library.jobs;
+        // Pressure again: the Both copy must drop without new tape writes
+        // (it is the only reclaimable space at step 1).
+        for i in 300..304u64 {
+            h.ingest(SimTime::from_secs(i), HsmFileId(i), 4 * GBYTE);
+        }
+        assert_eq!(h.file(HsmFileId(0)).unwrap().residency, Residency::TapeOnly);
+        // Step-1 reclaim wrote nothing for file 0 (its copy existed); any
+        // new jobs are step-2 migrations of other files.
+        assert!(h.library.bytes_written >= (tape_jobs_before - 1) * 4 * GBYTE);
+    }
+
+    #[test]
+    fn dual_copy_survives_catastrophe() {
+        let mut h = hsm(100, true);
+        for i in 0..25u64 {
+            h.ingest(SimTime::from_secs(i), HsmFileId(i), 4 * GBYTE);
+        }
+        let (survivors, lost) = h.catastrophe_report();
+        assert!(survivors > 0, "dual-copy files must survive");
+        // Files still DiskOnly have no second copy yet.
+        assert!(lost > 0);
+        // Every survivor has 2 copies.
+        assert!(h
+            .files
+            .values()
+            .filter(|f| f.tape_copies >= 2)
+            .all(|f| f.residency == Residency::TapeOnly));
+        // The remote library saw the same archived bytes as the local one.
+        assert_eq!(
+            h.remote_library.as_ref().unwrap().bytes_written,
+            h.library.bytes_written
+        );
+    }
+
+    #[test]
+    fn delete_frees_disk() {
+        let mut h = hsm(100, false);
+        h.ingest(SimTime::ZERO, HsmFileId(1), 10 * GBYTE);
+        assert!(h.delete(HsmFileId(1)));
+        assert_eq!(h.disk_used(), 0);
+        assert!(!h.delete(HsmFileId(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate HSM file id")]
+    fn duplicate_id_rejected() {
+        let mut h = hsm(100, false);
+        h.ingest(SimTime::ZERO, HsmFileId(1), GBYTE);
+        h.ingest(SimTime::ZERO, HsmFileId(1), GBYTE);
+    }
+}

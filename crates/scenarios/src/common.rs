@@ -1,0 +1,116 @@
+//! Shared constants and helpers for the paper's testbeds.
+
+use simcore::{SimTime, TimeSeries};
+
+/// TCP/IP+Ethernet protocol efficiency on a clean path: the fraction of
+/// line rate available as goodput (the SC'03 peak of 8.96 Gb/s on a
+/// 10 GbE link is ~0.9 of line rate).
+pub const TCP_EFF: f64 = 0.94;
+
+/// NSD server software efficiency: interrupt/copy overhead of a 2005 IA64
+/// server pushing a GbE NIC from the filesystem daemon.
+pub const NSD_SERVER_EFF: f64 = 0.80;
+
+/// One-way propagation delays used across scenarios (milliseconds).
+pub mod delay_ms {
+    /// SDSC ↔ LA hub.
+    pub const SDSC_LA: u64 = 2;
+    /// LA ↔ Chicago backbone.
+    pub const LA_CHICAGO: u64 = 25;
+    /// Chicago ↔ NCSA.
+    pub const CHICAGO_NCSA: u64 = 3;
+    /// Chicago ↔ ANL.
+    pub const CHICAGO_ANL: u64 = 1;
+    /// SDSC ↔ Baltimore show floor (80 ms RTT measured in the paper §2).
+    pub const SDSC_BALTIMORE_ONEWAY: u64 = 40;
+    /// Show floor (Pittsburgh/Phoenix) ↔ TeraGrid hub.
+    pub const SHOWFLOOR_HUB: u64 = 12;
+}
+
+/// Extract a named series from a monitoring dump; panics with a helpful
+/// message when absent (a scenario bug).
+pub fn series_named(series: &[TimeSeries], name: &str) -> TimeSeries {
+    series
+        .iter()
+        .find(|s| s.name == name)
+        .unwrap_or_else(|| {
+            let names: Vec<&str> = series.iter().map(|s| s.name.as_str()).collect();
+            panic!("series {name:?} not found; have {names:?}")
+        })
+        .clone()
+}
+
+/// Sum several series point-wise (they share the same sampling clock);
+/// used for "aggregate" curves like Fig. 8's.
+pub fn sum_series(name: &str, inputs: &[TimeSeries]) -> TimeSeries {
+    let mut out = TimeSeries::new(name);
+    let Some(first) = inputs.first() else {
+        return out;
+    };
+    for (i, p) in first.points.iter().enumerate() {
+        let total: f64 = inputs
+            .iter()
+            .map(|s| s.points.get(i).map_or(0.0, |q| q.value))
+            .sum();
+        out.push(p.t, total);
+    }
+    out
+}
+
+/// Combine the two directions of a duplex link (`name>` and `name<`) into
+/// one utilization curve.
+pub fn duplex_sum(series: &[TimeSeries], base: &str) -> TimeSeries {
+    let fwd = series_named(series, &format!("{base}>"));
+    let rev = series_named(series, &format!("{base}<"));
+    sum_series(base, &[fwd, rev])
+}
+
+/// Mean of a series between two instants (seconds), for steady-state
+/// summaries that skip ramp-up and tail.
+pub fn steady_mean(s: &TimeSeries, from_s: u64, to_s: u64) -> f64 {
+    s.mean_between(SimTime::from_secs(from_s), SimTime::from_secs(to_s))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::SimTime;
+
+    fn ts(name: &str, vals: &[f64]) -> TimeSeries {
+        let mut s = TimeSeries::new(name);
+        for (i, v) in vals.iter().enumerate() {
+            s.push(SimTime::from_secs(i as u64), *v);
+        }
+        s
+    }
+
+    #[test]
+    fn sum_series_pointwise() {
+        let a = ts("a", &[1.0, 2.0, 3.0]);
+        let b = ts("b", &[10.0, 20.0, 30.0]);
+        let s = sum_series("sum", &[a, b]);
+        let vals: Vec<f64> = s.points.iter().map(|p| p.value).collect();
+        assert_eq!(vals, vec![11.0, 22.0, 33.0]);
+    }
+
+    #[test]
+    fn sum_series_handles_length_mismatch() {
+        let a = ts("a", &[1.0, 2.0, 3.0]);
+        let b = ts("b", &[10.0]);
+        let s = sum_series("sum", &[a, b]);
+        let vals: Vec<f64> = s.points.iter().map(|p| p.value).collect();
+        assert_eq!(vals, vec![11.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not found")]
+    fn series_named_panics_with_names() {
+        series_named(&[ts("x", &[1.0])], "y");
+    }
+
+    #[test]
+    fn steady_mean_window() {
+        let s = ts("a", &[0.0, 10.0, 10.0, 10.0, 0.0]);
+        assert_eq!(steady_mean(&s, 1, 4), 10.0);
+    }
+}

@@ -1,0 +1,291 @@
+//! SC'03 (paper §3, Figs. 3–5): the first *native* WAN-GPFS — pre-release
+//! IBM GPFS served from 40 dual-IA64 nodes in the SDSC booth at Phoenix,
+//! mounted across the TeraGrid at SDSC and NCSA through a 10 GbE SciNet
+//! uplink.
+//!
+//! Paper result (Fig. 5): peak 8.96 Gb/s on the 10 Gb/s link, over 1 GB/s
+//! sustained, and a visible dip when the visualization application "ran
+//! out of data and was restarted".
+//!
+//! Sequence modeled: data produced at SDSC is copied onto the show-floor
+//! filesystem; visualization clients at SDSC and NCSA then read it back
+//! until they exhaust their input, restart after a gap, and continue.
+
+use crate::common::{self, TCP_EFF};
+use gfs::fscore::{DataMode, FsConfig};
+use gfs::stream::{gfs_stream, StreamDir};
+use gfs::world::{FsParams, GfsWorld, WorldBuilder};
+use gfs::types::{ClientId, FsId};
+use simcore::{Bandwidth, Sim, SimDuration, SimTime, Summary, TimeSeries, GBIT};
+use simnet::Network;
+
+/// Scenario parameters.
+#[derive(Clone, Debug)]
+pub struct Sc03Config {
+    /// NSD server nodes in the booth (40 in the paper).
+    pub booth_servers: u32,
+    /// Total run length.
+    pub duration: SimDuration,
+    /// When the visualization input is sized to run dry (the Fig. 5 dip).
+    pub dip_at: SimDuration,
+    /// Restart gap after running dry.
+    pub restart_gap: SimDuration,
+    /// SciNet uplink efficiency (link-level goodput fraction).
+    pub uplink_eff: f64,
+    /// Per-tick capacity wander of the loaded uplink.
+    pub uplink_jitter: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Sc03Config {
+    fn default() -> Self {
+        Sc03Config {
+            booth_servers: 40,
+            duration: SimDuration::from_secs(90),
+            dip_at: SimDuration::from_secs(55),
+            restart_gap: SimDuration::from_secs(4),
+            uplink_eff: 0.885,
+            uplink_jitter: 0.012,
+            seed: 2003,
+        }
+    }
+}
+
+/// Scenario output.
+#[derive(Clone, Debug)]
+pub struct Sc03Result {
+    /// Gb/s through the SciNet uplink (both directions summed) per second
+    /// — the Fig. 5 curve.
+    pub series: TimeSeries,
+    /// Peak rate, Gb/s.
+    pub peak_gbs: f64,
+    /// Steady mean before the dip, Gb/s.
+    pub steady_gbs: f64,
+    /// Minimum during the dip window, Gb/s.
+    pub dip_gbs: f64,
+    /// Paper values for comparison.
+    pub paper_peak_gbs: f64,
+}
+
+struct Nodes {
+    booth_client_src: ClientId,
+    sdsc_vis: ClientId,
+    ncsa_vis: ClientId,
+    fs: FsId,
+}
+
+/// Run the SC'03 demonstration.
+pub fn run(cfg: Sc03Config) -> Sc03Result {
+    let mut b = WorldBuilder::new(cfg.seed);
+    b.key_bits(384);
+
+    // Booth: server farm node behind the booth switch; SciNet uplink to
+    // the TeraGrid hub; SDSC and NCSA at 30 Gb/s site links.
+    let servers = b.topo().node("booth-servers");
+    let booth_sw = b.topo().node("booth-sw");
+    let hub = b.topo().node("tg-hub");
+    let sdsc = b.topo().node("sdsc");
+    let ncsa = b.topo().node("ncsa");
+    // 40 servers × GbE into the booth switch.
+    b.topo().duplex_link(
+        servers,
+        booth_sw,
+        Bandwidth::gbit(f64::from(cfg.booth_servers)).scaled(TCP_EFF),
+        SimDuration::from_micros(30),
+        "booth-lan",
+    );
+    let (up, down) = b.topo().duplex_link(
+        booth_sw,
+        hub,
+        Bandwidth::gbit(10.0).scaled(cfg.uplink_eff),
+        SimDuration::from_millis(common::delay_ms::SHOWFLOOR_HUB),
+        "scinet",
+    );
+    b.topo().set_jitter(up, cfg.uplink_jitter);
+    b.topo().set_jitter(down, cfg.uplink_jitter);
+    b.topo().duplex_link(
+        hub,
+        sdsc,
+        Bandwidth::gbit(30.0).scaled(TCP_EFF),
+        SimDuration::from_millis(common::delay_ms::SDSC_LA + common::delay_ms::LA_CHICAGO),
+        "sdsc-site",
+    );
+    b.topo().duplex_link(
+        hub,
+        ncsa,
+        Bandwidth::gbit(30.0).scaled(TCP_EFF),
+        SimDuration::from_millis(common::delay_ms::CHICAGO_NCSA + 10),
+        "ncsa-site",
+    );
+
+    let booth = b.cluster("sc03-booth");
+    let fs = b.filesystem(
+        booth,
+        FsParams::ideal(
+            FsConfig {
+                name: "gpfs-sc03".into(),
+                block_size: 1 << 20,
+                nsd_blocks: 1 << 24,
+                nsd_count: cfg.booth_servers,
+                data_mode: DataMode::Synthetic,
+            },
+            servers,
+            vec![servers],
+            // Booth disk (StorCloud-era FC): comfortably above the uplink.
+            Bandwidth::gbyte(3.0),
+            SimDuration::from_micros(200),
+        ),
+    );
+    // "Clients": the SDSC data producer, and visualization consumers at
+    // SDSC and NCSA (each an aggregate of the 32 IA64 vis nodes).
+    let src = b.client(booth, sdsc, 16);
+    let vis_sdsc = b.client(booth, sdsc, 16);
+    let vis_ncsa = b.client(booth, ncsa, 16);
+    let (mut sim, mut w) = b.build();
+
+    Network::enable_monitoring(&mut sim, &mut w, SimDuration::from_secs(1));
+
+    let nodes = Nodes {
+        booth_client_src: src,
+        sdsc_vis: vis_sdsc,
+        ncsa_vis: vis_ncsa,
+        fs,
+    };
+
+    // Uplink goodput estimate for sizing phases.
+    let uplink = 10.0 * GBIT * cfg.uplink_eff;
+
+    // Visualization input sized to run dry at `dip_at`, then a refill
+    // larger than the remaining window.
+    struct PhaseCfg {
+        vis_bytes_until_dip: u64,
+        restart_gap: SimDuration,
+        refill_bytes: u64,
+    }
+    let vis_window = (cfg.dip_at.as_secs_f64() - 20.0).max(5.0);
+    let phase = PhaseCfg {
+        vis_bytes_until_dip: (uplink * vis_window) as u64,
+        restart_gap: cfg.restart_gap,
+        refill_bytes: (uplink * cfg.duration.as_secs_f64()) as u64,
+    };
+
+    // Phase 1: copy data from SDSC onto the booth filesystem (uplink-bound
+    // writes) for the first ~20 s.
+    let copy_bytes = (uplink * 20.0) as u64;
+    gfs_stream(
+        &mut sim,
+        &mut w,
+        nodes.booth_client_src,
+        nodes.fs,
+        copy_bytes,
+        StreamDir::Write,
+        0,
+        move |sim, w| start_visualization(sim, w, nodes, phase),
+    );
+
+    fn start_visualization(sim: &mut Sim<GfsWorld>, w: &mut GfsWorld, nodes: Nodes, p: PhaseCfg) {
+        // Both sites read concurrently; together they drain the uplink.
+        // NCSA's share mirrors SDSC's ("rates ... virtually identical").
+        let half = p.vis_bytes_until_dip / 2;
+        let gap = p.restart_gap;
+        let refill = p.refill_bytes;
+        let sdsc_vis = nodes.sdsc_vis;
+        let ncsa_vis = nodes.ncsa_vis;
+        let fs = nodes.fs;
+        gfs_stream(sim, w, sdsc_vis, fs, half, StreamDir::Read, 0, move |sim, _w| {
+            // Ran out of data: restart after the gap with refilled input.
+            sim.after(gap, move |sim, w| {
+                gfs_stream(sim, w, sdsc_vis, fs, refill / 2, StreamDir::Read, 0, |_s, _w| {});
+            });
+        });
+        gfs_stream(sim, w, ncsa_vis, fs, half, StreamDir::Read, 0, move |sim, _w| {
+            sim.after(gap, move |sim, w| {
+                gfs_stream(sim, w, ncsa_vis, fs, refill / 2, StreamDir::Read, 0, |_s, _w| {});
+            });
+        });
+    }
+
+    let horizon = SimTime::ZERO + cfg.duration;
+    sim.set_horizon(horizon);
+    sim.run(&mut w);
+    let all = w.net.finish_monitoring(horizon);
+    let mut series = common::duplex_sum(&all, "scinet");
+    for p in &mut series.points {
+        p.value /= GBIT; // report Gb/s like the paper's axis
+    }
+    let dip_s = cfg.dip_at.as_secs_f64() as u64;
+    let steady = Summary::of(
+        &series
+            .points
+            .iter()
+            .filter(|p| p.t > SimTime::from_secs(3) && p.t < SimTime::from_secs(dip_s - 3))
+            .map(|p| p.value)
+            .collect::<Vec<_>>(),
+    );
+    let dip = series
+        .points
+        .iter()
+        .filter(|p| {
+            p.t >= SimTime::from_secs(dip_s.saturating_sub(2)) && p.t <= SimTime::from_secs(dip_s + 6)
+        })
+        .map(|p| p.value)
+        .fold(f64::INFINITY, f64::min);
+    Sc03Result {
+        peak_gbs: series.max(),
+        steady_gbs: steady.mean,
+        dip_gbs: dip,
+        series,
+        paper_peak_gbs: 8.96,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduces_fig5_shape() {
+        let r = run(Sc03Config::default());
+        // Peak close to the paper's 8.96 Gb/s on a 10 GbE link.
+        assert!(
+            (r.peak_gbs - r.paper_peak_gbs).abs() < 0.25,
+            "peak {:.2} Gb/s vs paper {:.2}",
+            r.peak_gbs,
+            r.paper_peak_gbs
+        );
+        // Sustained comfortably above 1 GB/s (8 Gb/s).
+        assert!(
+            r.steady_gbs > 8.0,
+            "steady {:.2} Gb/s not > 8 (1 GB/s)",
+            r.steady_gbs
+        );
+        // The visualization-restart dip is visible and deep.
+        assert!(
+            r.dip_gbs < 0.5 * r.steady_gbs,
+            "dip {:.2} Gb/s not visible against steady {:.2}",
+            r.dip_gbs,
+            r.steady_gbs
+        );
+    }
+
+    #[test]
+    fn traffic_recovers_after_dip() {
+        let r = run(Sc03Config::default());
+        // Average over the post-restart tail is back near steady state.
+        let tail = common::steady_mean(&r.series, 65, 88);
+        assert!(
+            tail > 0.9 * r.steady_gbs,
+            "post-dip tail {:.2} vs steady {:.2}",
+            tail,
+            r.steady_gbs
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = run(Sc03Config::default());
+        let b = run(Sc03Config::default());
+        assert_eq!(a.series.points, b.series.points);
+    }
+}

@@ -1,0 +1,183 @@
+//! The TeraGrid as of early 2004 (paper §4, Fig. 6): a 40 Gb/s extensible
+//! backplane between a Los Angeles hub and a Chicago hub, with the five
+//! sites attached at 30 Gb/s:
+//!
+//! * **SDSC** — data-intensive: 4 TF Intel + 1.1 TF Power4, 500 TB disk.
+//! * **NCSA** — compute-intensive: 10 TF Intel, 221 TB disk.
+//! * **Caltech** — data collection/analysis: 0.4 TF, 80 TB.
+//! * **ANL** — visualization: 1.25 TF, 96 vis nodes, 20 TB.
+//! * **PSC** — heterogeneity: 6.3 TF Compaq EV7.
+//!
+//! Scenario builders attach their servers/clients to the site edge nodes
+//! this module returns.
+
+use crate::common::{delay_ms, TCP_EFF};
+use simcore::{Bandwidth, SimDuration};
+use simnet::{NodeId, TopologyBuilder};
+
+/// Site identifiers on the 2004 TeraGrid.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Site {
+    /// San Diego Supercomputer Center.
+    Sdsc,
+    /// National Center for Supercomputing Applications.
+    Ncsa,
+    /// California Institute of Technology.
+    Caltech,
+    /// Argonne National Laboratory.
+    Anl,
+    /// Pittsburgh Supercomputing Center.
+    Psc,
+}
+
+impl Site {
+    /// All sites.
+    pub const ALL: [Site; 5] = [Site::Sdsc, Site::Ncsa, Site::Caltech, Site::Anl, Site::Psc];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Site::Sdsc => "sdsc",
+            Site::Ncsa => "ncsa",
+            Site::Caltech => "caltech",
+            Site::Anl => "anl",
+            Site::Psc => "psc",
+        }
+    }
+
+    /// Which hub the site homes to, and the one-way delay to it.
+    fn attachment(self) -> (Hub, SimDuration) {
+        match self {
+            Site::Sdsc => (Hub::La, SimDuration::from_millis(delay_ms::SDSC_LA)),
+            Site::Caltech => (Hub::La, SimDuration::from_millis(1)),
+            Site::Ncsa => (Hub::Chicago, SimDuration::from_millis(delay_ms::CHICAGO_NCSA)),
+            Site::Anl => (Hub::Chicago, SimDuration::from_millis(delay_ms::CHICAGO_ANL)),
+            Site::Psc => (Hub::Chicago, SimDuration::from_millis(3)),
+        }
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Hub {
+    La,
+    Chicago,
+}
+
+/// The built backbone: hubs plus one edge node per site.
+#[derive(Clone, Debug)]
+pub struct TeraGrid {
+    /// Los Angeles hub.
+    pub hub_la: NodeId,
+    /// Chicago hub.
+    pub hub_chicago: NodeId,
+    edges: [NodeId; 5],
+}
+
+impl TeraGrid {
+    /// A site's edge node (attach clusters/clients here).
+    pub fn site(&self, s: Site) -> NodeId {
+        self.edges[s as usize]
+    }
+}
+
+/// Build the Fig. 6 backbone into `b`.
+pub fn build(b: &mut TopologyBuilder) -> TeraGrid {
+    let hub_la = b.node("la-hub");
+    let hub_chicago = b.node("chicago-hub");
+    // The 40 Gb/s extensible backplane.
+    b.duplex_link(
+        hub_la,
+        hub_chicago,
+        Bandwidth::gbit(40.0).scaled(TCP_EFF),
+        SimDuration::from_millis(delay_ms::LA_CHICAGO),
+        "backplane",
+    );
+    let mut edges = [hub_la; 5];
+    for s in Site::ALL {
+        let edge = b.node(s.name());
+        let (hub, delay) = s.attachment();
+        let hub_node = match hub {
+            Hub::La => hub_la,
+            Hub::Chicago => hub_chicago,
+        };
+        b.duplex_link(
+            edge,
+            hub_node,
+            Bandwidth::gbit(30.0).scaled(TCP_EFF),
+            delay,
+            format!("{}-site", s.name()),
+        );
+        edges[s as usize] = edge;
+    }
+    TeraGrid {
+        hub_la,
+        hub_chicago,
+        edges,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::TopologyBuilder;
+
+    fn grid() -> (simnet::Topology, TeraGrid) {
+        let mut b = TopologyBuilder::new();
+        let tg = build(&mut b);
+        (b.build(), tg)
+    }
+
+    #[test]
+    fn coast_to_coast_routes_through_both_hubs() {
+        let (t, tg) = grid();
+        let path = t.route(tg.site(Site::Sdsc), tg.site(Site::Ncsa)).unwrap();
+        assert_eq!(path.len(), 3, "SDSC->NCSA is site->LA->Chicago->site");
+        // One-way: 2 + 25 + 3 = 30 ms.
+        assert_eq!(t.path_delay(&path), SimDuration::from_millis(30));
+    }
+
+    #[test]
+    fn same_hub_sites_skip_the_backplane() {
+        let (t, tg) = grid();
+        let path = t.route(tg.site(Site::Ncsa), tg.site(Site::Anl)).unwrap();
+        assert_eq!(path.len(), 2, "NCSA->ANL stays in Chicago");
+    }
+
+    #[test]
+    fn backplane_is_the_transcontinental_bottleneck() {
+        let (t, tg) = grid();
+        let path = t.route(tg.site(Site::Caltech), tg.site(Site::Psc)).unwrap();
+        // min(30, 40, 30) Gb/s x TCP_EFF: site links bind.
+        let cap = t.path_capacity(&path);
+        let site = Bandwidth::gbit(30.0).scaled(TCP_EFF).bytes_per_sec();
+        assert!((cap - site).abs() < 1.0);
+    }
+
+    #[test]
+    fn all_site_pairs_reachable() {
+        let (t, tg) = grid();
+        for a in Site::ALL {
+            for b_ in Site::ALL {
+                if a != b_ {
+                    assert!(
+                        t.route(tg.site(a), tg.site(b_)).is_some(),
+                        "{:?} cannot reach {:?}",
+                        a,
+                        b_
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rtts_match_the_teragrid_scale() {
+        // The paper quotes 60-80 ms coast-to-coast RTTs; SDSC<->NCSA here
+        // is 60 ms round trip.
+        let (t, tg) = grid();
+        let fwd = t.route(tg.site(Site::Sdsc), tg.site(Site::Ncsa)).unwrap();
+        let back = t.route(tg.site(Site::Ncsa), tg.site(Site::Sdsc)).unwrap();
+        let rtt = t.path_delay(&fwd) + t.path_delay(&back);
+        assert_eq!(rtt, SimDuration::from_millis(60));
+    }
+}

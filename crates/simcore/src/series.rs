@@ -1,0 +1,227 @@
+//! Time-series instrumentation.
+//!
+//! The paper's figures are bandwidth-over-time plots produced by SciNet's
+//! link monitoring (Figs. 2, 5, 8). [`RateSeries`] reproduces that
+//! measurement style: byte completions are recorded with timestamps and then
+//! bucketed into fixed windows, yielding a rate sample per window.
+
+use crate::time::{SimDuration, SimTime};
+use crate::units::Bandwidth;
+use serde::{Deserialize, Serialize};
+
+/// A single `(time, value)` sample.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SeriesPoint {
+    /// Sample timestamp (window end for bucketed rates).
+    pub t: SimTime,
+    /// Sample value; unit depends on the series.
+    pub value: f64,
+}
+
+/// A generic named series of `(time, value)` points.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct TimeSeries {
+    /// Display name, e.g. `"link0 Gb/s"`.
+    pub name: String,
+    /// Samples in nondecreasing time order.
+    pub points: Vec<SeriesPoint>,
+}
+
+impl TimeSeries {
+    /// Empty series with a name.
+    pub fn new(name: impl Into<String>) -> Self {
+        TimeSeries {
+            name: name.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Append a sample; times must be nondecreasing.
+    pub fn push(&mut self, t: SimTime, value: f64) {
+        debug_assert!(
+            self.points.last().is_none_or(|p| p.t <= t),
+            "series {} not in time order",
+            self.name
+        );
+        self.points.push(SeriesPoint { t, value });
+    }
+
+    /// Maximum value, or 0 for an empty series.
+    pub fn max(&self) -> f64 {
+        self.points.iter().map(|p| p.value).fold(0.0, f64::max)
+    }
+
+    /// Mean value, or 0 for an empty series.
+    pub fn mean(&self) -> f64 {
+        if self.points.is_empty() {
+            return 0.0;
+        }
+        self.points.iter().map(|p| p.value).sum::<f64>() / self.points.len() as f64
+    }
+
+    /// Mean over points with `t` in `[from, to)`.
+    pub fn mean_between(&self, from: SimTime, to: SimTime) -> f64 {
+        let vals: Vec<f64> = self
+            .points
+            .iter()
+            .filter(|p| p.t >= from && p.t < to)
+            .map(|p| p.value)
+            .collect();
+        if vals.is_empty() {
+            0.0
+        } else {
+            vals.iter().sum::<f64>() / vals.len() as f64
+        }
+    }
+}
+
+/// Records byte completions and buckets them into fixed windows, producing a
+/// bandwidth sample per window — the SciNet-monitor view of a link.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RateSeries {
+    /// Display name, e.g. `"SDSC->Baltimore read"`.
+    pub name: String,
+    window: SimDuration,
+    /// Start of the current open window.
+    window_start: SimTime,
+    /// Bytes accumulated in the current open window.
+    acc: u64,
+    /// Total bytes ever recorded.
+    total: u64,
+    points: Vec<SeriesPoint>, // value = bytes/sec over the window
+}
+
+impl RateSeries {
+    /// New recorder with the given bucketing window.
+    pub fn new(name: impl Into<String>, window: SimDuration) -> Self {
+        assert!(!window.is_zero(), "rate window must be positive");
+        RateSeries {
+            name: name.into(),
+            window,
+            window_start: SimTime::ZERO,
+            acc: 0,
+            total: 0,
+            points: Vec::new(),
+        }
+    }
+
+    /// Record `bytes` completing at time `t`. Calls must be nondecreasing in
+    /// time; windows that pass with no traffic emit zero-rate samples.
+    pub fn record(&mut self, t: SimTime, bytes: u64) {
+        self.roll_to(t);
+        self.acc += bytes;
+        self.total += bytes;
+    }
+
+    /// Close out windows up to `t` (exclusive), emitting one sample each.
+    fn roll_to(&mut self, t: SimTime) {
+        while t >= self.window_start + self.window {
+            let end = self.window_start + self.window;
+            let rate = self.acc as f64 / self.window.as_secs_f64();
+            self.points.push(SeriesPoint { t: end, value: rate });
+            self.acc = 0;
+            self.window_start = end;
+        }
+    }
+
+    /// Finish recording at `t`: flush complete windows and (if nonempty) a
+    /// final partial window, then return the series in bytes/sec.
+    pub fn finish(mut self, t: SimTime) -> TimeSeries {
+        self.roll_to(t);
+        if self.acc > 0 {
+            let span = t.since(self.window_start);
+            if !span.is_zero() {
+                let rate = self.acc as f64 / span.as_secs_f64();
+                self.points.push(SeriesPoint { t, value: rate });
+            }
+        }
+        TimeSeries {
+            name: self.name,
+            points: self.points,
+        }
+    }
+
+    /// Total bytes recorded so far.
+    pub fn total_bytes(&self) -> u64 {
+        self.total
+    }
+
+    /// Overall mean rate from t=0 to `t`.
+    pub fn mean_rate(&self, t: SimTime) -> Bandwidth {
+        let secs = t.as_secs_f64();
+        if secs <= 0.0 {
+            Bandwidth::ZERO
+        } else {
+            Bandwidth(self.total as f64 / secs)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::MBYTE;
+
+    #[test]
+    fn buckets_rates_per_window() {
+        let mut rs = RateSeries::new("r", SimDuration::from_secs(1));
+        // 100 MB in second 0, 200 MB in second 1.
+        rs.record(SimTime::from_millis(500), 100 * MBYTE);
+        rs.record(SimTime::from_millis(1500), 200 * MBYTE);
+        let ts = rs.finish(SimTime::from_secs(2));
+        assert_eq!(ts.points.len(), 2);
+        assert!((ts.points[0].value - 100e6).abs() < 1.0);
+        assert!((ts.points[1].value - 200e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn idle_windows_emit_zero() {
+        let mut rs = RateSeries::new("r", SimDuration::from_secs(1));
+        rs.record(SimTime::from_millis(100), MBYTE);
+        rs.record(SimTime::from_millis(3100), MBYTE);
+        let ts = rs.finish(SimTime::from_secs(4));
+        // windows: [0,1) has data, [1,2) zero, [2,3) zero, [3,4) has data
+        assert_eq!(ts.points.len(), 4);
+        assert_eq!(ts.points[1].value, 0.0);
+        assert_eq!(ts.points[2].value, 0.0);
+    }
+
+    #[test]
+    fn partial_final_window() {
+        let mut rs = RateSeries::new("r", SimDuration::from_secs(1));
+        rs.record(SimTime::from_millis(1200), 50 * MBYTE);
+        let ts = rs.finish(SimTime::from_millis(1500));
+        // [0,1): zero; [1, 1.5): 50 MB over 0.5s = 100 MB/s
+        assert_eq!(ts.points.len(), 2);
+        assert!((ts.points[1].value - 100e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn mean_rate_overall() {
+        let mut rs = RateSeries::new("r", SimDuration::from_secs(1));
+        rs.record(SimTime::from_secs(1), 10 * MBYTE);
+        rs.record(SimTime::from_secs(9), 10 * MBYTE);
+        let m = rs.mean_rate(SimTime::from_secs(10));
+        assert!((m.as_mbyte_per_sec() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn timeseries_stats() {
+        let mut ts = TimeSeries::new("x");
+        ts.push(SimTime::from_secs(0), 1.0);
+        ts.push(SimTime::from_secs(1), 3.0);
+        ts.push(SimTime::from_secs(2), 5.0);
+        assert_eq!(ts.max(), 5.0);
+        assert_eq!(ts.mean(), 3.0);
+        assert_eq!(
+            ts.mean_between(SimTime::from_secs(1), SimTime::from_secs(3)),
+            4.0
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "rate window must be positive")]
+    fn zero_window_rejected() {
+        let _ = RateSeries::new("bad", SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,274 @@
+//! The discrete-event engine.
+//!
+//! [`Sim<W>`] owns a time-ordered heap of boxed `FnOnce` actions over a world
+//! `W`. Domain crates (network, SAN, filesystem) define world types that
+//! compose their state and drive them through this one engine, so every
+//! queue, link and disk in a scenario shares a single causal timeline.
+
+use crate::time::{SimDuration, SimTime};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A scheduled action: the only kind of event the engine knows about.
+pub type Action<W> = Box<dyn FnOnce(&mut Sim<W>, &mut W)>;
+
+struct Entry<W> {
+    at: SimTime,
+    seq: u64,
+    act: Action<W>,
+}
+
+impl<W> PartialEq for Entry<W> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<W> Eq for Entry<W> {}
+impl<W> PartialOrd for Entry<W> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<W> Ord for Entry<W> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
+        // first. seq breaks ties FIFO.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Discrete-event scheduler over a world type `W`.
+pub struct Sim<W> {
+    now: SimTime,
+    seq: u64,
+    executed: u64,
+    heap: BinaryHeap<Entry<W>>,
+    /// Optional hard stop; events scheduled later than this are kept but not
+    /// executed by [`Sim::run`].
+    horizon: Option<SimTime>,
+}
+
+impl<W> Default for Sim<W> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<W> Sim<W> {
+    /// A fresh simulation at t = 0 with an empty event queue.
+    pub fn new() -> Self {
+        Sim {
+            now: SimTime::ZERO,
+            seq: 0,
+            executed: 0,
+            heap: BinaryHeap::new(),
+            horizon: None,
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events executed so far (for engine benchmarks and tests).
+    pub fn executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Number of events still queued.
+    pub fn pending(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Set a hard horizon: [`Sim::run`] stops before executing any event
+    /// scheduled strictly after `t`.
+    pub fn set_horizon(&mut self, t: SimTime) {
+        self.horizon = Some(t);
+    }
+
+    /// Schedule `act` at absolute time `at`. Scheduling in the past panics —
+    /// that is always a logic error in a causal simulation.
+    pub fn at(&mut self, at: SimTime, act: impl FnOnce(&mut Sim<W>, &mut W) + 'static) {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: now={:?}, requested={at:?}",
+            self.now
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry {
+            at,
+            seq,
+            act: Box::new(act),
+        });
+    }
+
+    /// Schedule `act` after a relative delay.
+    pub fn after(&mut self, delay: SimDuration, act: impl FnOnce(&mut Sim<W>, &mut W) + 'static) {
+        self.at(self.now + delay, act);
+    }
+
+    /// Schedule `act` "immediately" (at the current instant, after all
+    /// already-queued same-instant events).
+    pub fn immediately(&mut self, act: impl FnOnce(&mut Sim<W>, &mut W) + 'static) {
+        self.at(self.now, act);
+    }
+
+    /// Execute exactly one event if any is due (and within the horizon).
+    /// Returns `false` when the queue is exhausted or the horizon reached.
+    pub fn step(&mut self, world: &mut W) -> bool {
+        if let Some(h) = self.horizon {
+            if self.heap.peek().is_some_and(|e| e.at > h) {
+                return false;
+            }
+        }
+        match self.heap.pop() {
+            Some(e) => {
+                debug_assert!(e.at >= self.now, "event heap violated time order");
+                self.now = e.at;
+                self.executed += 1;
+                (e.act)(self, world);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Run until the event queue drains or the horizon is reached.
+    pub fn run(&mut self, world: &mut W) {
+        while self.step(world) {}
+    }
+
+    /// Run until predicate `done` returns true (checked after each event),
+    /// the queue drains, or the horizon is reached. Returns true iff the
+    /// predicate fired.
+    pub fn run_until(&mut self, world: &mut W, mut done: impl FnMut(&W) -> bool) -> bool {
+        loop {
+            if done(world) {
+                return true;
+            }
+            if !self.step(world) {
+                return false;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Default)]
+    struct Log {
+        entries: Vec<(u64, &'static str)>,
+    }
+
+    #[test]
+    fn events_execute_in_time_order() {
+        let mut sim: Sim<Log> = Sim::new();
+        let mut log = Log::default();
+        sim.at(SimTime::from_millis(30), |s, w: &mut Log| {
+            w.entries.push((s.now().as_nanos(), "c"))
+        });
+        sim.at(SimTime::from_millis(10), |s, w: &mut Log| {
+            w.entries.push((s.now().as_nanos(), "a"))
+        });
+        sim.at(SimTime::from_millis(20), |s, w: &mut Log| {
+            w.entries.push((s.now().as_nanos(), "b"))
+        });
+        sim.run(&mut log);
+        let names: Vec<_> = log.entries.iter().map(|e| e.1).collect();
+        assert_eq!(names, vec!["a", "b", "c"]);
+        assert_eq!(sim.executed(), 3);
+    }
+
+    #[test]
+    fn same_instant_events_are_fifo() {
+        let mut sim: Sim<Log> = Sim::new();
+        let mut log = Log::default();
+        let t = SimTime::from_secs(1);
+        for name in ["first", "second", "third"] {
+            sim.at(t, move |s, w: &mut Log| {
+                w.entries.push((s.now().as_nanos(), name))
+            });
+        }
+        sim.run(&mut log);
+        let names: Vec<_> = log.entries.iter().map(|e| e.1).collect();
+        assert_eq!(names, vec!["first", "second", "third"]);
+    }
+
+    #[test]
+    fn handlers_can_schedule_followups() {
+        let mut sim: Sim<Log> = Sim::new();
+        let mut log = Log::default();
+        sim.after(SimDuration::from_secs(1), |s, _w: &mut Log| {
+            s.after(SimDuration::from_secs(2), |s2, w2: &mut Log| {
+                w2.entries.push((s2.now().as_nanos(), "chained"));
+            });
+        });
+        sim.run(&mut log);
+        assert_eq!(log.entries, vec![(3_000_000_000, "chained")]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_into_past_panics() {
+        let mut sim: Sim<Log> = Sim::new();
+        let mut log = Log::default();
+        sim.after(SimDuration::from_secs(5), |s, _w: &mut Log| {
+            s.at(SimTime::from_secs(1), |_, _| {});
+        });
+        sim.run(&mut log);
+    }
+
+    #[test]
+    fn horizon_stops_run() {
+        let mut sim: Sim<Log> = Sim::new();
+        let mut log = Log::default();
+        sim.at(SimTime::from_secs(1), |s, w: &mut Log| {
+            w.entries.push((s.now().as_nanos(), "in"))
+        });
+        sim.at(SimTime::from_secs(10), |s, w: &mut Log| {
+            w.entries.push((s.now().as_nanos(), "out"))
+        });
+        sim.set_horizon(SimTime::from_secs(5));
+        sim.run(&mut log);
+        assert_eq!(log.entries.len(), 1);
+        assert_eq!(sim.pending(), 1);
+    }
+
+    #[test]
+    fn run_until_predicate() {
+        let mut sim: Sim<Log> = Sim::new();
+        let mut log = Log::default();
+        for i in 0..100u64 {
+            sim.at(SimTime::from_secs(i), |s, w: &mut Log| {
+                w.entries.push((s.now().as_nanos(), "tick"))
+            });
+        }
+        let hit = sim.run_until(&mut log, |w| w.entries.len() >= 10);
+        assert!(hit);
+        assert_eq!(log.entries.len(), 10);
+        // The rest stay queued.
+        assert_eq!(sim.pending(), 90);
+    }
+
+    #[test]
+    fn immediately_runs_at_current_instant() {
+        let mut sim: Sim<Log> = Sim::new();
+        let mut log = Log::default();
+        sim.after(SimDuration::from_secs(2), |s, _w: &mut Log| {
+            let t = s.now();
+            s.immediately(move |s2, w2: &mut Log| {
+                assert_eq!(s2.now(), t);
+                w2.entries.push((s2.now().as_nanos(), "imm"));
+            });
+        });
+        sim.run(&mut log);
+        assert_eq!(log.entries.len(), 1);
+    }
+}

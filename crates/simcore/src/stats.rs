@@ -1,0 +1,94 @@
+//! Small summary-statistics helper used by the benchmark harnesses when
+//! reporting paper-vs-measured numbers.
+
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics over a set of samples.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of samples.
+    pub n: usize,
+    /// Minimum, or 0 when empty.
+    pub min: f64,
+    /// Maximum, or 0 when empty.
+    pub max: f64,
+    /// Arithmetic mean, or 0 when empty.
+    pub mean: f64,
+    /// Population standard deviation, or 0 when empty.
+    pub stddev: f64,
+    /// Median (lower of the two middle samples for even n).
+    pub median: f64,
+    /// 95th percentile (nearest-rank).
+    pub p95: f64,
+}
+
+impl Summary {
+    /// Compute a summary; NaN samples are ignored.
+    pub fn of(samples: &[f64]) -> Summary {
+        let mut xs: Vec<f64> = samples.iter().copied().filter(|x| x.is_finite()).collect();
+        if xs.is_empty() {
+            return Summary::default();
+        }
+        xs.sort_by(|a, b| a.partial_cmp(b).expect("no NaN after filter"));
+        let n = xs.len();
+        let sum: f64 = xs.iter().sum();
+        let mean = sum / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        let rank = |q: f64| -> f64 {
+            let idx = ((q * n as f64).ceil() as usize).clamp(1, n) - 1;
+            xs[idx]
+        };
+        Summary {
+            n,
+            min: xs[0],
+            max: xs[n - 1],
+            mean,
+            stddev: var.sqrt(),
+            median: xs[(n - 1) / 2],
+            p95: rank(0.95),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_zeroed() {
+        assert_eq!(Summary::of(&[]), Summary::default());
+    }
+
+    #[test]
+    fn basic_stats() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(s.n, 5);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.median, 3.0);
+        assert!((s.stddev - 2.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nan_filtered() {
+        let s = Summary::of(&[f64::NAN, 2.0, 4.0]);
+        assert_eq!(s.n, 2);
+        assert_eq!(s.mean, 3.0);
+    }
+
+    #[test]
+    fn p95_nearest_rank() {
+        let xs: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let s = Summary::of(&xs);
+        assert_eq!(s.p95, 95.0);
+    }
+
+    #[test]
+    fn unsorted_input_ok() {
+        let s = Summary::of(&[5.0, 1.0, 3.0]);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.median, 3.0);
+    }
+}

@@ -1,0 +1,211 @@
+//! Data-size and bandwidth units.
+//!
+//! The paper mixes units freely (Gb/s links, MB/s transfer rates, TB
+//! datasets). To keep every crate honest, sizes are always **bytes** (`u64`)
+//! and rates are always **bytes per second** (`f64`), with named constructors
+//! for the units the paper uses.
+
+use crate::time::SimDuration;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Bytes in a kilobyte (decimal, as used for disk/network marketing numbers).
+pub const KBYTE: u64 = 1_000;
+/// Bytes in a megabyte.
+pub const MBYTE: u64 = 1_000_000;
+/// Bytes in a gigabyte.
+pub const GBYTE: u64 = 1_000_000_000;
+/// Bytes in a terabyte.
+pub const TBYTE: u64 = 1_000_000_000_000;
+/// Bytes per second of a 1 Mb/s link.
+pub const MBIT: f64 = 1_000_000.0 / 8.0;
+/// Bytes per second of a 1 Gb/s link.
+pub const GBIT: f64 = 1_000_000_000.0 / 8.0;
+
+/// Binary kibibyte — filesystem block sizes are powers of two.
+pub const KIB: u64 = 1 << 10;
+/// Binary mebibyte.
+pub const MIB: u64 = 1 << 20;
+/// Binary gibibyte.
+pub const GIB: u64 = 1 << 30;
+
+/// A byte count with human-readable formatting.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct ByteSize(pub u64);
+
+impl ByteSize {
+    /// Kilobytes (decimal).
+    pub const fn kb(n: u64) -> Self {
+        ByteSize(n * KBYTE)
+    }
+    /// Megabytes (decimal).
+    pub const fn mb(n: u64) -> Self {
+        ByteSize(n * MBYTE)
+    }
+    /// Gigabytes (decimal).
+    pub const fn gb(n: u64) -> Self {
+        ByteSize(n * GBYTE)
+    }
+    /// Terabytes (decimal).
+    pub const fn tb(n: u64) -> Self {
+        ByteSize(n * TBYTE)
+    }
+    /// Mebibytes (binary) — used for filesystem block sizes.
+    pub const fn mib(n: u64) -> Self {
+        ByteSize(n * MIB)
+    }
+    /// Kibibytes (binary).
+    pub const fn kib(n: u64) -> Self {
+        ByteSize(n * KIB)
+    }
+    /// Raw byte count.
+    pub const fn bytes(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Debug for ByteSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for ByteSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let b = self.0;
+        if b >= TBYTE {
+            write!(f, "{:.2}TB", b as f64 / TBYTE as f64)
+        } else if b >= GBYTE {
+            write!(f, "{:.2}GB", b as f64 / GBYTE as f64)
+        } else if b >= MBYTE {
+            write!(f, "{:.2}MB", b as f64 / MBYTE as f64)
+        } else if b >= KBYTE {
+            write!(f, "{:.2}KB", b as f64 / KBYTE as f64)
+        } else {
+            write!(f, "{b}B")
+        }
+    }
+}
+
+/// A data rate in bytes per second.
+///
+/// Stored as `f64` because rates are the output of the max-min fair-share
+/// solver; they are never used as exact quantities, only to compute
+/// durations.
+#[derive(Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct Bandwidth(pub f64);
+
+impl Bandwidth {
+    /// Zero rate.
+    pub const ZERO: Bandwidth = Bandwidth(0.0);
+
+    /// From megabits per second.
+    pub fn mbit(n: f64) -> Self {
+        Bandwidth(n * MBIT)
+    }
+    /// From gigabits per second (the unit for every link in the paper).
+    pub fn gbit(n: f64) -> Self {
+        Bandwidth(n * GBIT)
+    }
+    /// From megabytes per second (the unit for every result in the paper).
+    pub fn mbyte(n: f64) -> Self {
+        Bandwidth(n * MBYTE as f64)
+    }
+    /// From gigabytes per second.
+    pub fn gbyte(n: f64) -> Self {
+        Bandwidth(n * GBYTE as f64)
+    }
+
+    /// Bytes per second.
+    pub fn bytes_per_sec(self) -> f64 {
+        self.0
+    }
+    /// Megabytes per second — the paper's reporting unit (Figs. 2, 11).
+    pub fn as_mbyte_per_sec(self) -> f64 {
+        self.0 / MBYTE as f64
+    }
+    /// Gigabits per second — the paper's reporting unit (Figs. 5, 8).
+    pub fn as_gbit_per_sec(self) -> f64 {
+        self.0 / GBIT
+    }
+
+    /// Time to move `bytes` at this rate. Returns [`SimDuration::MAX`] for a
+    /// zero/invalid rate so stalled flows never "complete".
+    pub fn time_for(self, bytes: u64) -> SimDuration {
+        if self.0 <= 0.0 {
+            return SimDuration::MAX;
+        }
+        SimDuration::from_secs_f64(bytes as f64 / self.0)
+    }
+
+    /// Scale by a dimensionless efficiency factor.
+    pub fn scaled(self, factor: f64) -> Bandwidth {
+        Bandwidth(self.0 * factor)
+    }
+}
+
+impl fmt::Debug for Bandwidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for Bandwidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= GBYTE as f64 {
+            write!(f, "{:.2}GB/s", self.0 / GBYTE as f64)
+        } else if self.0 >= MBYTE as f64 {
+            write!(f, "{:.1}MB/s", self.0 / MBYTE as f64)
+        } else if self.0 >= KBYTE as f64 {
+            write!(f, "{:.1}KB/s", self.0 / KBYTE as f64)
+        } else {
+            write!(f, "{:.1}B/s", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gbit_link_rates() {
+        // A GbE link moves 125 MB/s.
+        let gbe = Bandwidth::gbit(1.0);
+        assert!((gbe.as_mbyte_per_sec() - 125.0).abs() < 1e-9);
+        // 10 GbE is 10 Gb/s.
+        assert!((Bandwidth::gbit(10.0).as_gbit_per_sec() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn time_for_transfer() {
+        // 1 GB at 1 GB/s takes one second.
+        let d = Bandwidth::gbyte(1.0).time_for(GBYTE);
+        assert_eq!(d, SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn time_for_zero_rate_is_infinite() {
+        assert_eq!(Bandwidth::ZERO.time_for(1), SimDuration::MAX);
+    }
+
+    #[test]
+    fn bytesize_constructors() {
+        assert_eq!(ByteSize::tb(50).bytes(), 50 * TBYTE); // NVO dataset
+        assert_eq!(ByteSize::mib(1).bytes(), 1 << 20); // MPI-IO transfer size
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", ByteSize::gb(536)), "536.00GB");
+        assert_eq!(format!("{}", Bandwidth::mbyte(720.0)), "720.0MB/s");
+        assert_eq!(format!("{}", Bandwidth::gbyte(6.0)), "6.00GB/s");
+    }
+
+    #[test]
+    fn scaled_efficiency() {
+        let raw = Bandwidth::gbit(10.0);
+        let goodput = raw.scaled(0.94);
+        assert!((goodput.as_gbit_per_sec() - 9.4).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,308 @@
+//! Max-min fair bandwidth allocation with per-flow rate caps
+//! (water-filling / progressive-filling algorithm).
+//!
+//! This is the analytical heart of every throughput number in the paper:
+//! long-lived bulk TCP flows sharing wide-area links converge to
+//! approximately max-min fair rates, and a flow whose TCP window is smaller
+//! than the bandwidth-delay product is additionally capped at
+//! `window / RTT`. The solver raises all flow rates uniformly; the first
+//! constraint to bind is either a link saturating (freezing all flows
+//! crossing it) or a flow hitting its individual cap (freezing that flow).
+
+/// One flow as seen by the solver.
+#[derive(Clone, Debug)]
+pub struct SolverFlow<'a> {
+    /// Directed link indices this flow traverses.
+    pub path: &'a [u32],
+    /// Individual rate cap in bytes/sec (`f64::INFINITY` when unlimited);
+    /// typically `window / RTT`.
+    pub cap: f64,
+}
+
+/// Compute max-min fair rates.
+///
+/// * `link_capacity[l]` — capacity of link `l` in bytes/sec.
+/// * returns one rate per flow, in bytes/sec.
+///
+/// Runs in `O(iterations × Σ|path|)`; each iteration freezes at least one
+/// link or flow, so iterations ≤ links + flows.
+pub fn allocate(link_capacity: &[f64], flows: &[SolverFlow<'_>]) -> Vec<f64> {
+    let nf = flows.len();
+    let nl = link_capacity.len();
+    if nf == 0 {
+        return Vec::new();
+    }
+
+    let mut rate = vec![0.0f64; nf];
+    let mut frozen = vec![false; nf];
+    // Flows with an empty path (loopback) are only cap-limited.
+    let mut active_on_link = vec![0usize; nl];
+    let mut residual: Vec<f64> = link_capacity.to_vec();
+    let mut link_saturated = vec![false; nl];
+
+    for f in flows {
+        for &l in f.path {
+            active_on_link[l as usize] += 1;
+        }
+    }
+
+    let mut unfrozen = nf;
+    // Uniform fill level reached so far by all still-unfrozen flows.
+    let mut level = 0.0f64;
+
+    while unfrozen > 0 {
+        // Smallest additional increment at which a constraint binds.
+        let mut delta = f64::INFINITY;
+        for l in 0..nl {
+            if !link_saturated[l] && active_on_link[l] > 0 {
+                delta = delta.min(residual[l] / active_on_link[l] as f64);
+            }
+        }
+        for (i, f) in flows.iter().enumerate() {
+            if !frozen[i] {
+                delta = delta.min(f.cap - level);
+            }
+        }
+        if !delta.is_finite() {
+            // No binding constraint: remaining flows are unconstrained
+            // (empty paths, infinite caps). Give them "infinite" rate.
+            for i in 0..nf {
+                if !frozen[i] {
+                    rate[i] = f64::INFINITY;
+                }
+            }
+            break;
+        }
+        let delta = delta.max(0.0);
+
+        // Raise every unfrozen flow by delta.
+        level += delta;
+        for i in 0..nf {
+            if !frozen[i] {
+                rate[i] = level;
+            }
+        }
+        for l in 0..nl {
+            if active_on_link[l] > 0 && !link_saturated[l] {
+                residual[l] -= delta * active_on_link[l] as f64;
+            }
+        }
+
+        // Freeze flows that hit their cap.
+        let mut newly_frozen = Vec::new();
+        for (i, f) in flows.iter().enumerate() {
+            if !frozen[i] && level >= f.cap - 1e-9 {
+                newly_frozen.push(i);
+            }
+        }
+        // Freeze links that saturated, and all unfrozen flows crossing them.
+        for l in 0..nl {
+            if !link_saturated[l] && active_on_link[l] > 0 && residual[l] <= 1e-6 {
+                link_saturated[l] = true;
+                for (i, f) in flows.iter().enumerate() {
+                    if !frozen[i] && f.path.contains(&(l as u32)) && !newly_frozen.contains(&i) {
+                        newly_frozen.push(i);
+                    }
+                }
+            }
+        }
+
+        if newly_frozen.is_empty() {
+            // Numerical corner: delta was ~0 but nothing crossed a
+            // threshold. Freeze the flow closest to its cap to guarantee
+            // progress.
+            let i = (0..nf)
+                .filter(|&i| !frozen[i])
+                .min_by(|&a, &b| {
+                    (flows[a].cap - level)
+                        .partial_cmp(&(flows[b].cap - level))
+                        .expect("caps are not NaN")
+                })
+                .expect("unfrozen flow exists");
+            newly_frozen.push(i);
+        }
+
+        for i in newly_frozen {
+            frozen[i] = true;
+            unfrozen -= 1;
+            for &l in flows[i].path {
+                active_on_link[l as usize] -= 1;
+            }
+        }
+    }
+    rate
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-6 * b.abs().max(1.0)
+    }
+
+    #[test]
+    fn single_flow_takes_link() {
+        let rates = allocate(
+            &[100.0],
+            &[SolverFlow {
+                path: &[0],
+                cap: f64::INFINITY,
+            }],
+        );
+        assert!(close(rates[0], 100.0));
+    }
+
+    #[test]
+    fn equal_split_on_shared_link() {
+        let f = SolverFlow {
+            path: &[0],
+            cap: f64::INFINITY,
+        };
+        let rates = allocate(&[90.0], &[f.clone(), f.clone(), f]);
+        for r in rates {
+            assert!(close(r, 30.0));
+        }
+    }
+
+    #[test]
+    fn window_cap_binds_before_link() {
+        // One capped flow and one open flow share a 100-unit link: the
+        // capped flow gets its cap, the open flow gets the rest.
+        let rates = allocate(
+            &[100.0],
+            &[
+                SolverFlow {
+                    path: &[0],
+                    cap: 10.0,
+                },
+                SolverFlow {
+                    path: &[0],
+                    cap: f64::INFINITY,
+                },
+            ],
+        );
+        assert!(close(rates[0], 10.0));
+        assert!(close(rates[1], 90.0));
+    }
+
+    #[test]
+    fn classic_max_min_three_flows_two_links() {
+        // Link0 cap 10 shared by f0 and f2; link1 cap 100 shared by f1, f2.
+        // f0 = f2 = 5 (bottleneck link0), f1 = 95.
+        let rates = allocate(
+            &[10.0, 100.0],
+            &[
+                SolverFlow {
+                    path: &[0],
+                    cap: f64::INFINITY,
+                },
+                SolverFlow {
+                    path: &[1],
+                    cap: f64::INFINITY,
+                },
+                SolverFlow {
+                    path: &[0, 1],
+                    cap: f64::INFINITY,
+                },
+            ],
+        );
+        assert!(close(rates[0], 5.0));
+        assert!(close(rates[1], 95.0));
+        assert!(close(rates[2], 5.0));
+    }
+
+    #[test]
+    fn empty_path_uncapped_flow_is_infinite() {
+        let rates = allocate(
+            &[10.0],
+            &[SolverFlow {
+                path: &[],
+                cap: f64::INFINITY,
+            }],
+        );
+        assert!(rates[0].is_infinite());
+    }
+
+    #[test]
+    fn empty_path_capped_flow_gets_cap() {
+        let rates = allocate(
+            &[],
+            &[SolverFlow {
+                path: &[],
+                cap: 42.0,
+            }],
+        );
+        assert!(close(rates[0], 42.0));
+    }
+
+    #[test]
+    fn no_flows() {
+        assert!(allocate(&[10.0], &[]).is_empty());
+    }
+
+    #[test]
+    fn conservation_and_capacity_respected() {
+        // Randomized-ish topology checked for feasibility invariants.
+        let caps = [50.0, 80.0, 20.0, 100.0];
+        let paths: Vec<Vec<u32>> = vec![
+            vec![0, 1],
+            vec![1, 2],
+            vec![0, 2, 3],
+            vec![3],
+            vec![0],
+            vec![2],
+        ];
+        let flows: Vec<SolverFlow> = paths
+            .iter()
+            .enumerate()
+            .map(|(i, p)| SolverFlow {
+                path: p,
+                cap: if i % 2 == 0 { 15.0 } else { f64::INFINITY },
+            })
+            .collect();
+        let rates = allocate(&caps, &flows);
+        // No link over capacity.
+        for (l, &c) in caps.iter().enumerate() {
+            let used: f64 = flows
+                .iter()
+                .zip(&rates)
+                .filter(|(f, _)| f.path.contains(&(l as u32)))
+                .map(|(_, r)| r)
+                .sum();
+            assert!(used <= c + 1e-6, "link {l} over capacity: {used} > {c}");
+        }
+        // No flow over its cap.
+        for (f, r) in flows.iter().zip(&rates) {
+            assert!(*r <= f.cap + 1e-6);
+        }
+        // Every flow got something positive.
+        for r in &rates {
+            assert!(*r > 0.0);
+        }
+    }
+
+    #[test]
+    fn bottleneck_flow_does_not_starve_parallel_flows() {
+        // The paper's SC'04 setup: three parallel 10 Gb/s links. Flows pinned
+        // to distinct links must each saturate their own link.
+        let caps = [10.0, 10.0, 10.0];
+        let flows = [
+            SolverFlow {
+                path: &[0u32][..],
+                cap: f64::INFINITY,
+            },
+            SolverFlow {
+                path: &[1u32][..],
+                cap: f64::INFINITY,
+            },
+            SolverFlow {
+                path: &[2u32][..],
+                cap: f64::INFINITY,
+            },
+        ];
+        let rates = allocate(&caps, &flows);
+        let agg: f64 = rates.iter().sum();
+        assert!(close(agg, 30.0));
+    }
+}

@@ -1,0 +1,784 @@
+//! The fluid flow engine: long-lived bulk transfers over a routed topology,
+//! re-solved to max-min fair rates whenever the active flow set changes.
+//!
+//! ## Model
+//!
+//! * A **flow** is `bytes` of bulk data from `src` to `dst`, optionally
+//!   window-capped (`window / RTT`, the TCP bandwidth-delay-product limit).
+//!   Rates come from [`crate::fairshare::allocate`].
+//! * **Settling** advances every flow's remaining-byte count to the current
+//!   instant at its last-computed rate. The engine settles before any state
+//!   change, so rates are piecewise-constant and exact.
+//! * An **epoch** counter invalidates stale completion events after any
+//!   rate change (the classic fluid-simulation trick).
+//! * **Messages** are control-plane RPCs: they experience path latency,
+//!   serialization at path capacity and a fixed software overhead, but do
+//!   not consume modeled bandwidth (GPFS daemon traffic is negligible next
+//!   to NSD bulk data).
+//! * **Monitoring** takes a bandwidth sample per link and per flow-tag every
+//!   window — the same view SciNet's monitors gave the paper's authors —
+//!   and optionally re-draws jittered link capacities each tick.
+
+use crate::topology::{LinkId, NodeId, Topology};
+use crate::fairshare::{allocate, SolverFlow};
+use rand::rngs::StdRng;
+use simcore::{det_rng, Action, RateSeries, Sim, SimDuration, SimTime, TimeSeries};
+use std::collections::BTreeMap;
+
+/// Worlds that embed a [`Network`] keyed to themselves.
+pub trait NetWorld: Sized + 'static {
+    /// Access the embedded network.
+    fn net(&mut self) -> &mut Network<Self>;
+}
+
+/// Identifies an active flow.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct FlowId(pub u64);
+
+/// Parameters of a new flow.
+#[derive(Clone, Debug)]
+pub struct FlowSpec {
+    /// Source node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Payload size in bytes (must be > 0).
+    pub bytes: u64,
+    /// Optional TCP-style window in bytes; caps the flow at `window / RTT`.
+    pub window: Option<u64>,
+    /// Accounting tag; monitored flows aggregate per tag (e.g. read vs
+    /// write, or per remote site).
+    pub tag: u32,
+}
+
+impl FlowSpec {
+    /// Unwindowed, untagged bulk flow.
+    pub fn bulk(src: NodeId, dst: NodeId, bytes: u64) -> Self {
+        FlowSpec {
+            src,
+            dst,
+            bytes,
+            window: None,
+            tag: 0,
+        }
+    }
+
+    /// Set the window.
+    pub fn with_window(mut self, window: u64) -> Self {
+        self.window = Some(window);
+        self
+    }
+
+    /// Set the accounting tag.
+    pub fn with_tag(mut self, tag: u32) -> Self {
+        self.tag = tag;
+        self
+    }
+}
+
+/// Rates above this are treated as "instantaneous" to avoid `inf * 0` NaNs.
+const RATE_CLAMP: f64 = 1e15;
+/// A flow with fewer remaining bytes than this is drained.
+const DRAIN_EPS: f64 = 1.0;
+
+struct FlowState<W> {
+    path: Vec<LinkId>,
+    path_u32: Vec<u32>,
+    cap: f64,
+    remaining: f64,
+    rate: f64,
+    tag: u32,
+    delivery_delay: SimDuration,
+    on_complete: Option<Action<W>>,
+}
+
+struct Monitor {
+    window: SimDuration,
+    link_series: Vec<RateSeries>,
+    tag_series: BTreeMap<u32, RateSeries>,
+    tag_names: BTreeMap<u32, String>,
+    enabled_links: Vec<bool>,
+}
+
+/// The flow-level network simulator. Embed one in your world and implement
+/// [`NetWorld`]; drive it through the associated functions that take
+/// `(&mut Sim<W>, &mut W)`.
+pub struct Network<W> {
+    topo: Topology,
+    effective_capacity: Vec<f64>,
+    flows: BTreeMap<u64, FlowState<W>>,
+    next_id: u64,
+    epoch: u64,
+    last_settle: SimTime,
+    monitor: Option<Monitor>,
+    rng: StdRng,
+    /// Fixed software/NIC overhead added to every control message.
+    pub msg_overhead: SimDuration,
+    total_delivered: f64,
+}
+
+impl<W: NetWorld> Network<W> {
+    /// Wrap a topology. `seed` drives link-capacity jitter only.
+    pub fn new(topo: Topology, seed: u64) -> Self {
+        let caps: Vec<f64> = topo.links().iter().map(|l| l.capacity).collect();
+        Network {
+            topo,
+            effective_capacity: caps,
+            flows: BTreeMap::new(),
+            next_id: 0,
+            epoch: 0,
+            last_settle: SimTime::ZERO,
+            monitor: None,
+            rng: det_rng(seed, "simnet"),
+            msg_overhead: SimDuration::from_micros(30),
+            total_delivered: 0.0,
+        }
+    }
+
+    /// The underlying topology.
+    pub fn topo(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Number of currently active flows.
+    pub fn active_flows(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Total bytes fully drained from all flows so far.
+    pub fn total_delivered(&self) -> u64 {
+        self.total_delivered as u64
+    }
+
+    /// Current rate of a flow in bytes/sec, if active.
+    pub fn flow_rate(&self, id: FlowId) -> Option<f64> {
+        self.flows.get(&id.0).map(|f| f.rate)
+    }
+
+    /// Remaining bytes of a flow, if active.
+    pub fn flow_remaining(&self, id: FlowId) -> Option<u64> {
+        self.flows.get(&id.0).map(|f| f.remaining.max(0.0) as u64)
+    }
+
+    /// Sum of active flow rates crossing a link (bytes/sec).
+    pub fn link_throughput(&self, link: LinkId) -> f64 {
+        self.flows
+            .values()
+            .filter(|f| f.path.contains(&link))
+            .map(|f| f.rate)
+            .sum()
+    }
+
+    /// Round-trip propagation time between two nodes (twice the one-way
+    /// shortest-path delay plus two message overheads).
+    pub fn rtt(&self, a: NodeId, b: NodeId) -> SimDuration {
+        let fwd = self
+            .topo
+            .route(a, b)
+            .map(|p| self.topo.path_delay(&p))
+            .unwrap_or(SimDuration::MAX);
+        let back = self
+            .topo
+            .route(b, a)
+            .map(|p| self.topo.path_delay(&p))
+            .unwrap_or(SimDuration::MAX);
+        fwd + back + self.msg_overhead * 2
+    }
+
+    // ------------------------------------------------------------------
+    // Flow lifecycle
+    // ------------------------------------------------------------------
+
+    /// Start a bulk flow; `on_complete` fires when the final byte arrives at
+    /// the destination.
+    pub fn start_flow(
+        sim: &mut Sim<W>,
+        w: &mut W,
+        spec: FlowSpec,
+        on_complete: impl FnOnce(&mut Sim<W>, &mut W) + 'static,
+    ) -> FlowId {
+        assert!(spec.bytes > 0, "flows must carry at least one byte");
+        let now = sim.now();
+        let id;
+        {
+            let net = w.net();
+            net.settle(now);
+            let path = net
+                .topo
+                .route(spec.src, spec.dst)
+                .unwrap_or_else(|| panic!("no route {:?} -> {:?}", spec.src, spec.dst));
+            let delivery_delay = net.topo.path_delay(&path);
+            let rtt = {
+                // Window cap uses the full round trip as TCP would see it.
+                let back = net
+                    .topo
+                    .route(spec.dst, spec.src)
+                    .map(|p| net.topo.path_delay(&p))
+                    .unwrap_or(delivery_delay);
+                delivery_delay + back
+            };
+            let cap = match spec.window {
+                Some(wnd) => {
+                    let rtt_s = rtt.as_secs_f64().max(1e-9);
+                    wnd as f64 / rtt_s
+                }
+                None => f64::INFINITY,
+            };
+            id = net.next_id;
+            net.next_id += 1;
+            let path_u32 = path.iter().map(|l| l.0).collect();
+            net.flows.insert(
+                id,
+                FlowState {
+                    path,
+                    path_u32,
+                    cap,
+                    remaining: spec.bytes as f64,
+                    rate: 0.0,
+                    tag: spec.tag,
+                    delivery_delay,
+                    on_complete: Some(Box::new(on_complete)),
+                },
+            );
+            net.recompute();
+        }
+        Self::schedule_tick(sim, w);
+        FlowId(id)
+    }
+
+    /// Add bytes to an active flow (used by streaming layers to keep a
+    /// connection's flow alive across successive requests). Returns false if
+    /// the flow already drained.
+    pub fn extend_flow(sim: &mut Sim<W>, w: &mut W, id: FlowId, extra: u64) -> bool {
+        let now = sim.now();
+        let ok = {
+            let net = w.net();
+            net.settle(now);
+            match net.flows.get_mut(&id.0) {
+                Some(f) => {
+                    f.remaining += extra as f64;
+                    net.epoch += 1;
+                    true
+                }
+                None => false,
+            }
+        };
+        if ok {
+            Self::schedule_tick(sim, w);
+        }
+        ok
+    }
+
+    /// Cancel a flow, dropping its completion callback. Returns remaining
+    /// bytes, or `None` if it had already drained.
+    pub fn cancel_flow(sim: &mut Sim<W>, w: &mut W, id: FlowId) -> Option<u64> {
+        let now = sim.now();
+        let out = {
+            let net = w.net();
+            net.settle(now);
+            let f = net.flows.remove(&id.0)?;
+            net.recompute();
+            Some(f.remaining.max(0.0) as u64)
+        };
+        if out.is_some() {
+            Self::schedule_tick(sim, w);
+        }
+        out
+    }
+
+    /// Cancel every active flow carrying `tag`, dropping their completion
+    /// callbacks. Returns how many flows were cancelled. Used by phased
+    /// workloads that replace one traffic pattern with another.
+    pub fn cancel_tagged(sim: &mut Sim<W>, w: &mut W, tag: u32) -> usize {
+        let now = sim.now();
+        let n = {
+            let net = w.net();
+            net.settle(now);
+            let ids: Vec<u64> = net
+                .flows
+                .iter()
+                .filter(|(_, f)| f.tag == tag)
+                .map(|(id, _)| *id)
+                .collect();
+            let n = ids.len();
+            for id in ids {
+                net.flows.remove(&id);
+            }
+            if n > 0 {
+                net.recompute();
+            }
+            n
+        };
+        if n > 0 {
+            Self::schedule_tick(sim, w);
+        }
+        n
+    }
+
+    /// Deliver a control-plane message: latency + serialization + fixed
+    /// overhead, no bandwidth consumption.
+    pub fn send_msg(
+        sim: &mut Sim<W>,
+        w: &mut W,
+        src: NodeId,
+        dst: NodeId,
+        bytes: u64,
+        on_deliver: impl FnOnce(&mut Sim<W>, &mut W) + 'static,
+    ) {
+        let net = w.net();
+        let path = net
+            .topo
+            .route(src, dst)
+            .unwrap_or_else(|| panic!("no route {src:?} -> {dst:?}"));
+        let mut delay = net.topo.path_delay(&path) + net.msg_overhead;
+        let cap = net.topo.path_capacity(&path);
+        if cap.is_finite() && cap > 0.0 {
+            delay += SimDuration::from_secs_f64(bytes as f64 / cap);
+        }
+        sim.after(delay, on_deliver);
+    }
+
+    // ------------------------------------------------------------------
+    // Monitoring
+    // ------------------------------------------------------------------
+
+    /// Begin periodic monitoring with the given sampling window. Monitored
+    /// links produce one bandwidth sample per window; links with a nonzero
+    /// `jitter_frac` also re-draw their effective capacity each tick.
+    pub fn enable_monitoring(sim: &mut Sim<W>, w: &mut W, window: SimDuration) {
+        {
+            let net = w.net();
+            assert!(net.monitor.is_none(), "monitoring already enabled");
+            let nl = net.topo.link_count();
+            let link_series = net
+                .topo
+                .links()
+                .iter()
+                .map(|l| RateSeries::new(l.name.clone(), window))
+                .collect();
+            net.monitor = Some(Monitor {
+                window,
+                link_series,
+                tag_series: BTreeMap::new(),
+                tag_names: BTreeMap::new(),
+                enabled_links: vec![true; nl],
+            });
+        }
+        Self::monitor_tick(sim, w);
+    }
+
+    /// Give a tag a display name; flows with this tag get their own series.
+    pub fn register_tag(&mut self, tag: u32, name: impl Into<String>) {
+        let name = name.into();
+        if let Some(m) = &mut self.monitor {
+            m.tag_names.insert(tag, name.clone());
+            m.tag_series
+                .entry(tag)
+                .or_insert_with(|| RateSeries::new(name, m.window));
+        }
+    }
+
+    fn monitor_tick(sim: &mut Sim<W>, w: &mut W) {
+        let now = sim.now();
+        let window = {
+            let net = w.net();
+            net.settle(now);
+            let Some(m) = &net.monitor else { return };
+            let window = m.window;
+            // Re-draw jittered link capacities, if any links request it.
+            let mut any_jitter = false;
+            for (i, l) in net.topo.links().iter().enumerate() {
+                if l.jitter_frac > 0.0 {
+                    net.effective_capacity[i] =
+                        l.capacity * simcore::rng::jitter(&mut net.rng, l.jitter_frac);
+                    any_jitter = true;
+                }
+            }
+            if any_jitter {
+                net.recompute();
+            }
+            window
+        };
+        Self::schedule_tick(sim, w);
+        sim.after(window, |sim, w| Self::monitor_tick(sim, w));
+    }
+
+    /// Stop monitoring and return all per-link and per-tag series
+    /// (bytes/sec samples). Links carry their topology names.
+    pub fn finish_monitoring(&mut self, t: SimTime) -> Vec<TimeSeries> {
+        self.settle(t);
+        let Some(m) = self.monitor.take() else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for (i, rs) in m.link_series.into_iter().enumerate() {
+            if m.enabled_links[i] {
+                out.push(rs.finish(t));
+            }
+        }
+        for (_tag, rs) in m.tag_series {
+            out.push(rs.finish(t));
+        }
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Internals
+    // ------------------------------------------------------------------
+
+    /// Advance all flows to `now` at their current rates, crediting monitor
+    /// accumulators.
+    fn settle(&mut self, now: SimTime) {
+        let dt = now.since(self.last_settle).as_secs_f64();
+        self.last_settle = now;
+        if dt <= 0.0 || self.flows.is_empty() {
+            return;
+        }
+        // Bytes accrued over (last_settle, now]; record them just inside
+        // the interval so a settle landing exactly on a monitoring-window
+        // boundary credits the window the bytes were earned in, not the
+        // next one.
+        let t_rec = SimTime::from_nanos(now.as_nanos().saturating_sub(1));
+        for f in self.flows.values_mut() {
+            let moved = (f.rate * dt).min(f.remaining);
+            f.remaining -= moved;
+            self.total_delivered += moved;
+            if moved > 0.0 {
+                if let Some(m) = &mut self.monitor {
+                    let b = moved as u64;
+                    for l in &f.path {
+                        m.link_series[l.0 as usize].record(t_rec, b);
+                    }
+                    if let Some(ts) = m.tag_series.get_mut(&f.tag) {
+                        ts.record(t_rec, b);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Re-solve rates for the current flow set; bumps the epoch.
+    fn recompute(&mut self) {
+        self.epoch += 1;
+        if self.flows.is_empty() {
+            return;
+        }
+        let solver_flows: Vec<SolverFlow> = self
+            .flows
+            .values()
+            .map(|f| SolverFlow {
+                path: &f.path_u32,
+                cap: f.cap,
+            })
+            .collect();
+        let rates = allocate(&self.effective_capacity, &solver_flows);
+        for (f, r) in self.flows.values_mut().zip(rates) {
+            f.rate = r.min(RATE_CLAMP);
+        }
+    }
+
+    /// Earliest instant at which some flow drains (absolute), if any.
+    fn next_drain(&self, now: SimTime) -> Option<SimTime> {
+        self.flows
+            .values()
+            .filter(|f| f.rate > 0.0)
+            .map(|f| {
+                let secs = (f.remaining.max(0.0)) / f.rate;
+                now + SimDuration::from_secs_f64(secs) + SimDuration::from_nanos(1)
+            })
+            .min()
+    }
+
+    fn schedule_tick(sim: &mut Sim<W>, w: &mut W) {
+        let net = w.net();
+        let Some(t) = net.next_drain(net.last_settle) else {
+            return;
+        };
+        let t = t.max(sim.now());
+        let epoch = net.epoch;
+        sim.at(t, move |sim, w| Self::tick(sim, w, epoch));
+    }
+
+    fn tick(sim: &mut Sim<W>, w: &mut W, epoch: u64) {
+        let now = sim.now();
+        let drained: Vec<(SimDuration, Action<W>)> = {
+            let net = w.net();
+            if net.epoch != epoch {
+                return; // stale completion event
+            }
+            net.settle(now);
+            let ids: Vec<u64> = net
+                .flows
+                .iter()
+                .filter(|(_, f)| f.remaining <= DRAIN_EPS)
+                .map(|(id, _)| *id)
+                .collect();
+            let mut done = Vec::with_capacity(ids.len());
+            for id in ids {
+                let mut f = net.flows.remove(&id).expect("id from iteration");
+                self_credit_residual(&mut net.total_delivered, &mut f);
+                if let Some(cb) = f.on_complete.take() {
+                    done.push((f.delivery_delay, cb));
+                }
+            }
+            net.recompute();
+            done
+        };
+        Self::schedule_tick(sim, w);
+        for (delay, cb) in drained {
+            sim.at(now + delay, cb);
+        }
+    }
+}
+
+/// Credit the final sub-epsilon residue so accounting stays exact.
+fn self_credit_residual<W>(total: &mut f64, f: &mut FlowState<W>) {
+    if f.remaining > 0.0 {
+        *total += f.remaining;
+        f.remaining = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::TopologyBuilder;
+    use simcore::{Bandwidth, GBYTE, MBYTE};
+
+    struct World {
+        net: Network<World>,
+        done: Vec<(SimTime, &'static str)>,
+    }
+    impl NetWorld for World {
+        fn net(&mut self) -> &mut Network<World> {
+            &mut self.net
+        }
+    }
+
+    /// a --10Gb/s,5ms-- m --1Gb/s,20ms-- c
+    fn world() -> (Sim<World>, World, NodeId, NodeId, NodeId) {
+        let mut b = TopologyBuilder::new();
+        let a = b.node("a");
+        let m = b.node("m");
+        let c = b.node("c");
+        b.duplex_link(a, m, Bandwidth::gbit(10.0), SimDuration::from_millis(5), "am");
+        b.duplex_link(m, c, Bandwidth::gbit(1.0), SimDuration::from_millis(20), "mc");
+        let w = World {
+            net: Network::new(b.build(), 1),
+            done: Vec::new(),
+        };
+        (Sim::new(), w, a, m, c)
+    }
+
+    #[test]
+    fn single_flow_completes_at_link_rate() {
+        let (mut sim, mut w, a, _m, c) = world();
+        // 125 MB over a 1 Gb/s bottleneck = 1.0 s + 25 ms delivery.
+        Network::start_flow(
+            &mut sim,
+            &mut w,
+            FlowSpec::bulk(a, c, 125 * MBYTE),
+            |sim, w: &mut World| w.done.push((sim.now(), "f")),
+        );
+        sim.run(&mut w);
+        assert_eq!(w.done.len(), 1);
+        let t = w.done[0].0.as_secs_f64();
+        assert!((t - 1.025).abs() < 1e-3, "completion at {t}");
+        assert_eq!(w.net.total_delivered(), 125 * MBYTE);
+        assert_eq!(w.net.active_flows(), 0);
+    }
+
+    #[test]
+    fn two_flows_share_bottleneck_fairly() {
+        let (mut sim, mut w, a, _m, c) = world();
+        // Two 62.5 MB flows through the 1 Gb/s link: each gets 62.5 MB/s,
+        // both finish at ~1 s.
+        for name in ["x", "y"] {
+            Network::start_flow(
+                &mut sim,
+                &mut w,
+                FlowSpec::bulk(a, c, 125 * MBYTE / 2),
+                move |sim, w: &mut World| w.done.push((sim.now(), name)),
+            );
+        }
+        sim.run(&mut w);
+        assert_eq!(w.done.len(), 2);
+        for (t, _) in &w.done {
+            assert!((t.as_secs_f64() - 1.025).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn window_cap_limits_rate() {
+        let (mut sim, mut w, a, _m, c) = world();
+        // RTT = 2*(5+20)ms + 60us ~= 50.06ms. Window 1 MB -> ~19.98 MB/s,
+        // far below the 125 MB/s link. 20 MB should take ~1.0 s.
+        Network::start_flow(
+            &mut sim,
+            &mut w,
+            FlowSpec::bulk(a, c, 20 * MBYTE).with_window(MBYTE),
+            |sim, w: &mut World| w.done.push((sim.now(), "capped")),
+        );
+        sim.run(&mut w);
+        let t = w.done[0].0.as_secs_f64();
+        assert!((1.0..1.1).contains(&t), "windowed flow completed at {t}");
+    }
+
+    #[test]
+    fn second_flow_speeds_up_when_first_finishes() {
+        let (mut sim, mut w, a, _m, c) = world();
+        // Flow1: 62.5 MB; Flow2: 125 MB. Shared until flow1 finishes at
+        // t=1s (each at 62.5 MB/s); then flow2 runs at full 125 MB/s for its
+        // remaining 62.5 MB (0.5 s). Flow2 completes ~1.5 s + delay.
+        Network::start_flow(
+            &mut sim,
+            &mut w,
+            FlowSpec::bulk(a, c, 125 * MBYTE / 2),
+            |sim, w: &mut World| w.done.push((sim.now(), "short")),
+        );
+        Network::start_flow(
+            &mut sim,
+            &mut w,
+            FlowSpec::bulk(a, c, 125 * MBYTE),
+            |sim, w: &mut World| w.done.push((sim.now(), "long")),
+        );
+        sim.run(&mut w);
+        assert_eq!(w.done.len(), 2);
+        assert_eq!(w.done[0].1, "short");
+        let t_long = w.done[1].0.as_secs_f64();
+        assert!((t_long - 1.525).abs() < 2e-3, "long flow at {t_long}");
+    }
+
+    #[test]
+    fn cancel_flow_releases_bandwidth() {
+        let (mut sim, mut w, a, _m, c) = world();
+        let id = Network::start_flow(
+            &mut sim,
+            &mut w,
+            FlowSpec::bulk(a, c, GBYTE),
+            |_s, _w: &mut World| panic!("cancelled flow must not complete"),
+        );
+        Network::start_flow(
+            &mut sim,
+            &mut w,
+            FlowSpec::bulk(a, c, 125 * MBYTE),
+            |sim, w: &mut World| w.done.push((sim.now(), "kept")),
+        );
+        // Cancel the big flow at t=0 (before any events run).
+        let remaining = Network::cancel_flow(&mut sim, &mut w, id).unwrap();
+        assert!(remaining > 0);
+        sim.run(&mut w);
+        let t = w.done[0].0.as_secs_f64();
+        assert!((t - 1.025).abs() < 1e-3, "kept flow at {t}");
+    }
+
+    #[test]
+    fn extend_flow_prolongs_completion() {
+        let (mut sim, mut w, a, _m, c) = world();
+        let id = Network::start_flow(
+            &mut sim,
+            &mut w,
+            FlowSpec::bulk(a, c, 125 * MBYTE / 2),
+            |sim, w: &mut World| w.done.push((sim.now(), "ext")),
+        );
+        assert!(Network::extend_flow(&mut sim, &mut w, id, 125 * MBYTE / 2));
+        sim.run(&mut w);
+        let t = w.done[0].0.as_secs_f64();
+        assert!((t - 1.025).abs() < 1e-3, "extended flow at {t}");
+    }
+
+    #[test]
+    fn message_delay_includes_latency_and_overhead() {
+        let (mut sim, mut w, a, _m, c) = world();
+        Network::send_msg(&mut sim, &mut w, a, c, 1000, |sim, w: &mut World| {
+            w.done.push((sim.now(), "msg"))
+        });
+        sim.run(&mut w);
+        let t = w.done[0].0.as_secs_f64();
+        // 25 ms latency + 30us overhead + 1000B/125MB/s (= 8 us)
+        assert!((t - 0.025038).abs() < 1e-5, "msg at {t}");
+    }
+
+    #[test]
+    fn rtt_is_symmetric_roundtrip() {
+        let (_sim, mut w, a, _m, c) = world();
+        let rtt = w.net().rtt(a, c);
+        assert!((rtt.as_secs_f64() - 0.05006).abs() < 1e-5);
+    }
+
+    #[test]
+    fn monitoring_produces_series() {
+        let (mut sim, mut w, a, _m, c) = world();
+        Network::enable_monitoring(&mut sim, &mut w, SimDuration::from_millis(100));
+        w.net().register_tag(7, "reads");
+        Network::start_flow(
+            &mut sim,
+            &mut w,
+            FlowSpec::bulk(a, c, 125 * MBYTE).with_tag(7),
+            |_s, _w: &mut World| {},
+        );
+        sim.set_horizon(SimTime::from_secs(2));
+        sim.run(&mut w);
+        let series = w.net.finish_monitoring(SimTime::from_secs(2));
+        let reads = series.iter().find(|s| s.name == "reads").unwrap();
+        // Mid-transfer samples should be ~125 MB/s.
+        let mid = reads.mean_between(SimTime::from_millis(200), SimTime::from_millis(800));
+        assert!(
+            (mid - 125e6).abs() < 5e6,
+            "mid-transfer rate {mid} not ~125 MB/s"
+        );
+    }
+
+    #[test]
+    fn many_small_flows_conserve_bytes() {
+        let (mut sim, mut w, a, _m, c) = world();
+        let n = 50u64;
+        for _ in 0..n {
+            Network::start_flow(
+                &mut sim,
+                &mut w,
+                FlowSpec::bulk(a, c, MBYTE),
+                |sim, w: &mut World| w.done.push((sim.now(), "s")),
+            );
+        }
+        sim.run(&mut w);
+        assert_eq!(w.done.len(), n as usize);
+        assert_eq!(w.net.total_delivered(), n * MBYTE);
+    }
+
+    #[test]
+    fn cancel_tagged_removes_only_matching_flows() {
+        let (mut sim, mut w, a, _m, c) = world();
+        for tag in [1u32, 1, 2] {
+            Network::start_flow(
+                &mut sim,
+                &mut w,
+                FlowSpec::bulk(a, c, 125 * MBYTE).with_tag(tag),
+                move |sim, w: &mut World| w.done.push((sim.now(), "f")),
+            );
+        }
+        assert_eq!(w.net.active_flows(), 3);
+        let n = Network::cancel_tagged(&mut sim, &mut w, 1);
+        assert_eq!(n, 2);
+        assert_eq!(w.net.active_flows(), 1);
+        sim.run(&mut w);
+        // Only the tag-2 flow completed, and at full link rate (~1s).
+        assert_eq!(w.done.len(), 1);
+        let t = w.done[0].0.as_secs_f64();
+        assert!((t - 1.025).abs() < 1e-3, "survivor finished at {t}");
+        // Cancelling a tag with no flows is a no-op.
+        assert_eq!(Network::cancel_tagged(&mut sim, &mut w, 9), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one byte")]
+    fn zero_byte_flow_rejected() {
+        let (mut sim, mut w, a, _m, c) = world();
+        Network::start_flow(
+            &mut sim,
+            &mut w,
+            FlowSpec::bulk(a, c, 0),
+            |_s, _w: &mut World| {},
+        );
+    }
+}

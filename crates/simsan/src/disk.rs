@@ -1,0 +1,225 @@
+//! Single-spindle disk model with FIFO service and sequential-access
+//! detection.
+//!
+//! The production system's 536 TB were 7200-rpm 250 GB Serial ATA drives
+//! inside FastT100 DS4100 trays; the SC'02 cache was Fibre Channel disk.
+//! Service time for one I/O is `overhead + (seek + rotation if random) +
+//! bytes / media_rate`, and requests queue FIFO behind `busy_until`.
+
+use serde::{Deserialize, Serialize};
+use simcore::{Bandwidth, SimDuration, SimTime};
+
+/// Identifies a disk within a world's disk table.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct DiskId(pub u32);
+
+/// Mechanical/media parameters of a drive.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DiskSpec {
+    /// Marketing name for reports.
+    pub model: String,
+    /// Formatted capacity in bytes.
+    pub capacity: u64,
+    /// Average seek time for a random access.
+    pub avg_seek: SimDuration,
+    /// Average rotational latency (half a revolution).
+    pub avg_rotation: SimDuration,
+    /// Sustained media transfer rate, bytes/sec.
+    pub media_rate: f64,
+    /// Fixed per-command controller/firmware overhead.
+    pub command_overhead: SimDuration,
+}
+
+impl DiskSpec {
+    /// A 2005-era 250 GB 7200-rpm SATA drive (the production GFS build).
+    pub fn sata_250gb_2005() -> Self {
+        DiskSpec {
+            model: "SATA-250GB-7200".into(),
+            capacity: 250 * simcore::GBYTE,
+            avg_seek: SimDuration::from_micros(8_500),
+            avg_rotation: SimDuration::from_micros(4_170), // 7200 rpm / 2
+            media_rate: Bandwidth::mbyte(55.0).bytes_per_sec(),
+            command_overhead: SimDuration::from_micros(200),
+        }
+    }
+
+    /// A 2002-era 10k-rpm Fibre Channel drive (the SC'02 disk cache).
+    pub fn fc_73gb_10k() -> Self {
+        DiskSpec {
+            model: "FC-73GB-10K".into(),
+            capacity: 73 * simcore::GBYTE,
+            avg_seek: SimDuration::from_micros(5_000),
+            avg_rotation: SimDuration::from_micros(3_000), // 10k rpm / 2
+            media_rate: Bandwidth::mbyte(70.0).bytes_per_sec(),
+            command_overhead: SimDuration::from_micros(150),
+        }
+    }
+
+    /// Pure service time of one I/O given whether it is sequential with the
+    /// previous one.
+    pub fn service_time(&self, bytes: u64, sequential: bool) -> SimDuration {
+        let mut t = self.command_overhead;
+        if !sequential {
+            t += self.avg_seek + self.avg_rotation;
+        }
+        t + SimDuration::from_secs_f64(bytes as f64 / self.media_rate)
+    }
+}
+
+/// Direction of an I/O.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum IoKind {
+    /// Data flows from media to host.
+    Read,
+    /// Data flows from host to media.
+    Write,
+}
+
+/// One disk-level request.
+#[derive(Clone, Copy, Debug)]
+pub struct DiskIo {
+    /// Read or write.
+    pub kind: IoKind,
+    /// Byte offset on the platter (used only for sequentiality detection).
+    pub offset: u64,
+    /// Transfer length.
+    pub bytes: u64,
+}
+
+/// Runtime state of one spindle.
+#[derive(Clone, Debug)]
+pub struct Disk {
+    /// Static parameters.
+    pub spec: DiskSpec,
+    /// Completion time of the last queued request.
+    busy_until: SimTime,
+    /// End offset of the last request, for sequential detection.
+    last_end: Option<u64>,
+    /// Totals for utilization reports.
+    pub total_ios: u64,
+    /// Total bytes transferred.
+    pub total_bytes: u64,
+    /// Accumulated busy time.
+    pub busy_time: SimDuration,
+}
+
+impl Disk {
+    /// New idle disk.
+    pub fn new(spec: DiskSpec) -> Self {
+        Disk {
+            spec,
+            busy_until: SimTime::ZERO,
+            last_end: None,
+            total_ios: 0,
+            total_bytes: 0,
+            busy_time: SimDuration::ZERO,
+        }
+    }
+
+    /// Enqueue one I/O at `now`; returns its absolute completion time.
+    pub fn submit(&mut self, now: SimTime, io: DiskIo) -> SimTime {
+        assert!(io.bytes > 0, "zero-byte disk I/O");
+        let sequential = self.last_end == Some(io.offset);
+        let service = self.spec.service_time(io.bytes, sequential);
+        let start = self.busy_until.max(now);
+        let done = start + service;
+        self.busy_until = done;
+        self.last_end = Some(io.offset + io.bytes);
+        self.total_ios += 1;
+        self.total_bytes += io.bytes;
+        self.busy_time += service;
+        done
+    }
+
+    /// Instant the disk becomes idle.
+    pub fn busy_until(&self) -> SimTime {
+        self.busy_until
+    }
+
+    /// Queue depth expressed as pending busy time after `now`.
+    pub fn backlog(&self, now: SimTime) -> SimDuration {
+        self.busy_until.since(now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::MBYTE;
+
+    fn disk() -> Disk {
+        Disk::new(DiskSpec::sata_250gb_2005())
+    }
+
+    #[test]
+    fn random_io_pays_seek() {
+        let spec = DiskSpec::sata_250gb_2005();
+        let rand = spec.service_time(4096, false);
+        let seq = spec.service_time(4096, true);
+        let diff = rand.saturating_sub(seq);
+        assert_eq!(diff, spec.avg_seek + spec.avg_rotation);
+    }
+
+    #[test]
+    fn sequential_stream_detected() {
+        let mut d = disk();
+        let t1 = d.submit(SimTime::ZERO, DiskIo { kind: IoKind::Read, offset: 0, bytes: MBYTE });
+        let t2 = d.submit(
+            SimTime::ZERO,
+            DiskIo { kind: IoKind::Read, offset: MBYTE, bytes: MBYTE },
+        );
+        // Second I/O is sequential: no seek, so the increment is smaller.
+        let first = t1.since(SimTime::ZERO);
+        let second = t2.since(t1);
+        assert!(second < first, "sequential I/O {second} not faster than first {first}");
+    }
+
+    #[test]
+    fn fifo_queueing_accumulates() {
+        let mut d = disk();
+        let io = DiskIo { kind: IoKind::Write, offset: 0, bytes: 512 * 1024 };
+        let t1 = d.submit(SimTime::ZERO, io);
+        let io2 = DiskIo { kind: IoKind::Write, offset: 10 * MBYTE, bytes: 512 * 1024 };
+        let t2 = d.submit(SimTime::ZERO, io2);
+        assert!(t2 > t1);
+        assert_eq!(d.total_ios, 2);
+        assert_eq!(d.total_bytes, 2 * 512 * 1024);
+    }
+
+    #[test]
+    fn idle_gap_resets_start_time() {
+        let mut d = disk();
+        let io = DiskIo { kind: IoKind::Read, offset: 0, bytes: 4096 };
+        let t1 = d.submit(SimTime::ZERO, io);
+        // Submit long after the first completes: service starts at `now`.
+        let late = SimTime::from_secs(10);
+        let io2 = DiskIo { kind: IoKind::Read, offset: 4096, bytes: 4096 };
+        let t2 = d.submit(late, io2);
+        assert!(t1 < late);
+        assert!(t2 > late);
+        assert!(t2.since(late) < SimDuration::from_millis(5));
+    }
+
+    #[test]
+    fn sustained_rate_approaches_media_rate() {
+        // 64 sequential 1 MB reads: throughput should be near media rate.
+        let mut d = disk();
+        let mut t = SimTime::ZERO;
+        let n = 64u64;
+        for i in 0..n {
+            t = d.submit(
+                SimTime::ZERO,
+                DiskIo { kind: IoKind::Read, offset: i * MBYTE, bytes: MBYTE },
+            );
+        }
+        let rate = (n * MBYTE) as f64 / t.as_secs_f64();
+        let media = d.spec.media_rate;
+        assert!(rate > 0.9 * media, "sequential rate {rate} << media {media}");
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-byte disk I/O")]
+    fn zero_byte_io_rejected() {
+        disk().submit(SimTime::ZERO, DiskIo { kind: IoKind::Read, offset: 0, bytes: 0 });
+    }
+}

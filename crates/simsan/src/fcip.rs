@@ -1,0 +1,122 @@
+//! FCIP — Fibre Channel frames encapsulated in IP (the Nishan 3000/4000
+//! gateways of the SC'02 demonstration, paper §2).
+//!
+//! Two effects govern FCIP throughput over a WAN and both are modeled:
+//!
+//! 1. **Framing efficiency.** Each FC frame (up to 2112-byte data field,
+//!    2048 typical payload) is wrapped in FC, FCIP, TCP, IP and Ethernet
+//!    headers before crossing the WAN, so the goodput of a GbE channel is
+//!    reduced by the header ratio.
+//! 2. **Credit windows.** Fibre Channel's buffer-to-buffer credit flow
+//!    control allows only `credits` unacknowledged frames per tunnel, so a
+//!    tunnel's rate is additionally capped at `credits × frame / RTT` —
+//!    exactly a TCP-window-style bandwidth-delay-product limit. The SC'02
+//!    number (720 MB/s of a possible 1 GB/s at 80 ms RTT) is the visible
+//!    consequence.
+
+use serde::{Deserialize, Serialize};
+use simcore::Bandwidth;
+
+/// Parameters of one FCIP tunnel (one Nishan gateway pair GbE channel).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FcipSpec {
+    /// FC frame payload carried per frame (bytes).
+    pub frame_payload: u64,
+    /// FC frame header + CRC + EOF overhead (bytes).
+    pub fc_overhead: u64,
+    /// FCIP + TCP + IP + Ethernet encapsulation overhead per frame (bytes).
+    pub ip_overhead: u64,
+    /// Buffer-to-buffer credits granted across the tunnel.
+    pub bb_credits: u32,
+    /// Line rate of the underlying channel.
+    pub line_rate: Bandwidth,
+}
+
+impl FcipSpec {
+    /// A Nishan-4000-class gateway channel: GbE line rate, 2048-byte
+    /// payloads, extended credit buffering for WAN distances.
+    pub fn nishan_gbe() -> Self {
+        FcipSpec {
+            frame_payload: 2048,
+            fc_overhead: 36,
+            ip_overhead: 98,
+            bb_credits: 3500,
+            line_rate: Bandwidth::gbit(1.0),
+        }
+    }
+
+    /// Fraction of line rate available to FC payload.
+    pub fn efficiency(&self) -> f64 {
+        self.frame_payload as f64 / (self.frame_payload + self.fc_overhead + self.ip_overhead) as f64
+    }
+
+    /// Payload goodput of the channel ignoring credit limits.
+    pub fn goodput(&self) -> Bandwidth {
+        self.line_rate.scaled(self.efficiency())
+    }
+
+    /// Effective window in payload bytes implied by the credit count — use
+    /// as the flow window cap so rate ≤ window / RTT.
+    pub fn window_bytes(&self) -> u64 {
+        self.bb_credits as u64 * self.frame_payload
+    }
+
+    /// Credit-limited rate at a given round-trip time.
+    pub fn credit_rate(&self, rtt_secs: f64) -> Bandwidth {
+        if rtt_secs <= 0.0 {
+            return self.goodput();
+        }
+        Bandwidth((self.window_bytes() as f64 / rtt_secs).min(self.goodput().bytes_per_sec()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn efficiency_below_one() {
+        let s = FcipSpec::nishan_gbe();
+        let e = s.efficiency();
+        assert!((0.90..0.95).contains(&e), "FCIP efficiency {e}");
+    }
+
+    #[test]
+    fn sc02_credit_limit_at_80ms() {
+        // One GbE tunnel at 80 ms RTT with Nishan credit buffering:
+        // window = 3500 × 2048 B = 7.168 MB → 89.6 MB/s, below the
+        // ~117 MB/s framing-limited goodput. Eight channels ≈ 717 MB/s —
+        // the paper's 720 MB/s.
+        let s = FcipSpec::nishan_gbe();
+        let per_channel = s.credit_rate(0.080);
+        let eight = per_channel.bytes_per_sec() * 8.0 / 1e6;
+        assert!(
+            (680.0..760.0).contains(&eight),
+            "8-channel FCIP at 80ms gives {eight} MB/s, expected ~720"
+        );
+    }
+
+    #[test]
+    fn short_rtt_is_line_limited() {
+        let s = FcipSpec::nishan_gbe();
+        let r = s.credit_rate(0.001);
+        assert!((r.bytes_per_sec() - s.goodput().bytes_per_sec()).abs() < 1.0);
+    }
+
+    #[test]
+    fn zero_rtt_degenerates_to_goodput() {
+        let s = FcipSpec::nishan_gbe();
+        assert_eq!(
+            s.credit_rate(0.0).bytes_per_sec(),
+            s.goodput().bytes_per_sec()
+        );
+    }
+
+    #[test]
+    fn window_bytes_scales_with_credits() {
+        let mut s = FcipSpec::nishan_gbe();
+        let w1 = s.window_bytes();
+        s.bb_credits *= 2;
+        assert_eq!(s.window_bytes(), 2 * w1);
+    }
+}

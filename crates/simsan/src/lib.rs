@@ -1,0 +1,27 @@
+//! # simsan — storage-area-network simulator
+//!
+//! Every storage device in the paper, rebuilt as service-time models:
+//! spindles ([`disk`]), 8+P RAID sets with parity penalties ([`raid`]),
+//! dual-controller arrays ([`mod@array`]), FCIP WAN gateways ([`fcip`]), and
+//! farm-level aggregates that plug into the flow network ([`farm`]).
+//!
+//! Two levels of abstraction, used deliberately:
+//!
+//! * **Per-I/O queue models** (`Disk`, `RaidSet`, `Array`) compute exact
+//!   completion times for individual requests — used by the filesystem's
+//!   operation path and for validating aggregates.
+//! * **Farm aggregates** (`FarmSpec`) reduce a fleet to directed capacity
+//!   links for the fluid-flow experiments that reproduce the paper's
+//!   figures.
+
+pub mod array;
+pub mod disk;
+pub mod farm;
+pub mod fcip;
+pub mod raid;
+
+pub use array::{Array, ArrayId, ArraySpec, Controller, ControllerSpec};
+pub use disk::{Disk, DiskId, DiskIo, DiskSpec, IoKind};
+pub use farm::FarmSpec;
+pub use fcip::FcipSpec;
+pub use raid::{RaidSet, RaidSetId, RaidSpec};

@@ -1,0 +1,353 @@
+//! RAID-set model: striping, parity write penalty, read-modify-write.
+//!
+//! The production filesystem sat on FastT100 DS4100 trays configured as
+//! seven 8+P RAID sets of SATA drives each (paper §5, Fig. 9). Reads fan
+//! out over the data spindles; full-stripe writes add a parity write; small
+//! writes pay the classic RAID-5 read-modify-write penalty. The asymmetry
+//! this produces is the candidate explanation for the read/write gap in the
+//! paper's Fig. 11 (ablation A4 toggles it).
+
+use crate::disk::{Disk, DiskIo, DiskSpec, IoKind};
+use serde::{Deserialize, Serialize};
+use simcore::SimTime;
+
+/// Identifies a RAID set within an array.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct RaidSetId(pub u32);
+
+/// Static geometry of a RAID-5-style set.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RaidSpec {
+    /// Number of data spindles (8 in the paper's 8+P sets).
+    pub data_disks: u32,
+    /// Parity spindles (1 for RAID 5; 0 degenerates to RAID 0).
+    pub parity_disks: u32,
+    /// Stripe unit per spindle in bytes.
+    pub stripe_unit: u64,
+    /// Member drive model.
+    pub disk: DiskSpec,
+}
+
+impl RaidSpec {
+    /// The paper's 8+P SATA set with a 256 KiB stripe unit.
+    pub fn sata_8p1() -> Self {
+        RaidSpec {
+            data_disks: 8,
+            parity_disks: 1,
+            stripe_unit: 256 * 1024,
+            disk: DiskSpec::sata_250gb_2005(),
+        }
+    }
+
+    /// RAID-0 variant used by ablation A4 (no parity penalty).
+    pub fn raid0(mut self) -> Self {
+        self.parity_disks = 0;
+        self
+    }
+
+    /// Bytes in one full stripe (data portion).
+    pub fn full_stripe(&self) -> u64 {
+        self.stripe_unit * self.data_disks as u64
+    }
+
+    /// Usable capacity.
+    pub fn capacity(&self) -> u64 {
+        self.disk.capacity * self.data_disks as u64
+    }
+}
+
+/// A live RAID set owning its member spindles.
+#[derive(Clone, Debug)]
+pub struct RaidSet {
+    /// Geometry.
+    pub spec: RaidSpec,
+    data: Vec<Disk>,
+    parity: Vec<Disk>,
+    /// Totals for reports.
+    pub total_reads: u64,
+    /// Total write operations.
+    pub total_writes: u64,
+}
+
+impl RaidSet {
+    /// Materialize a set from its spec.
+    pub fn new(spec: RaidSpec) -> Self {
+        assert!(spec.data_disks > 0, "need at least one data disk");
+        assert!(spec.stripe_unit > 0, "stripe unit must be positive");
+        let data = (0..spec.data_disks)
+            .map(|_| Disk::new(spec.disk.clone()))
+            .collect();
+        let parity = (0..spec.parity_disks)
+            .map(|_| Disk::new(spec.disk.clone()))
+            .collect();
+        RaidSet {
+            spec,
+            data,
+            parity,
+            total_reads: 0,
+            total_writes: 0,
+        }
+    }
+
+    /// Submit a logical I/O against the set at `now`; returns the completion
+    /// time (when every involved spindle has finished its share).
+    pub fn submit(&mut self, now: SimTime, kind: IoKind, offset: u64, bytes: u64) -> SimTime {
+        assert!(bytes > 0, "zero-byte RAID I/O");
+        match kind {
+            IoKind::Read => self.submit_read(now, offset, bytes),
+            IoKind::Write => self.submit_write(now, offset, bytes),
+        }
+    }
+
+    /// Per-spindle share of a logical extent: (disk-local offset, bytes) for
+    /// each data disk touching `[offset, offset+bytes)`.
+    fn shares(&self, offset: u64, bytes: u64) -> Vec<(usize, u64, u64)> {
+        let unit = self.spec.stripe_unit;
+        let nd = self.spec.data_disks as u64;
+        let mut per_disk: Vec<(u64, u64)> = vec![(u64::MAX, 0); nd as usize];
+        let mut cur = offset;
+        let end = offset + bytes;
+        while cur < end {
+            let unit_idx = cur / unit;
+            let disk = (unit_idx % nd) as usize;
+            let in_unit = cur % unit;
+            let take = (unit - in_unit).min(end - cur);
+            // Disk-local offset: which row of the stripe, scaled by unit.
+            let local = (unit_idx / nd) * unit + in_unit;
+            let (ref mut off, ref mut len) = per_disk[disk];
+            if *len == 0 {
+                *off = local;
+            }
+            *len += take;
+            cur += take;
+        }
+        per_disk
+            .into_iter()
+            .enumerate()
+            .filter(|(_, (_, len))| *len > 0)
+            .map(|(d, (off, len))| (d, off, len))
+            .collect()
+    }
+
+    fn submit_read(&mut self, now: SimTime, offset: u64, bytes: u64) -> SimTime {
+        self.total_reads += 1;
+        let mut done = now;
+        for (d, off, len) in self.shares(offset, bytes) {
+            let t = self.data[d].submit(
+                now,
+                DiskIo {
+                    kind: IoKind::Read,
+                    offset: off,
+                    bytes: len,
+                },
+            );
+            done = done.max(t);
+        }
+        done
+    }
+
+    fn submit_write(&mut self, now: SimTime, offset: u64, bytes: u64) -> SimTime {
+        self.total_writes += 1;
+        let unit = self.spec.stripe_unit;
+        let stripe = self.spec.full_stripe();
+        let mut done = now;
+
+        // Full-stripe portion: data writes + one parity-unit write per
+        // stripe row (parity computed in controller memory, no reads).
+        // Partial-stripe head/tail: read-modify-write (old data + old
+        // parity read, new data + new parity written).
+        let aligned_start = offset.next_multiple_of(stripe);
+        let aligned_end = ((offset + bytes) / stripe) * stripe;
+
+        let write_share = |set: &mut Vec<Disk>, d: usize, off: u64, len: u64, rmw: bool| {
+            let disk = &mut set[d];
+            if rmw {
+                // Read old contents first (same spindle, same location).
+                let t = disk.submit(
+                    now,
+                    DiskIo {
+                        kind: IoKind::Read,
+                        offset: off,
+                        bytes: len,
+                    },
+                );
+                let _ = t;
+            }
+            disk.submit(
+                now,
+                DiskIo {
+                    kind: IoKind::Write,
+                    offset: off,
+                    bytes: len,
+                },
+            )
+        };
+
+        let has_parity = !self.parity.is_empty();
+
+        if aligned_start < aligned_end {
+            // Full-stripe middle.
+            let mid_bytes = aligned_end - aligned_start;
+            for (d, off, len) in self.shares(aligned_start, mid_bytes) {
+                let t = write_share(&mut self.data, d, off, len, false);
+                done = done.max(t);
+            }
+            if has_parity {
+                // One parity unit per stripe row.
+                let rows = mid_bytes / stripe;
+                let p_off = (aligned_start / stripe) * unit;
+                let t = write_share(&mut self.parity, 0, p_off, rows.max(1) * unit, false);
+                done = done.max(t);
+            }
+        }
+
+        // Partial head [offset, min(aligned_start, end)) and tail.
+        let mut partials: Vec<(u64, u64)> = Vec::new();
+        let end = offset + bytes;
+        if aligned_start >= aligned_end {
+            // Entirely within one stripe (no full-stripe middle).
+            partials.push((offset, bytes));
+        } else {
+            if offset < aligned_start {
+                partials.push((offset, aligned_start - offset));
+            }
+            if aligned_end < end {
+                partials.push((aligned_end, end - aligned_end));
+            }
+        }
+        for (poff, plen) in partials {
+            for (d, off, len) in self.shares(poff, plen) {
+                let t = write_share(&mut self.data, d, off, len, has_parity);
+                done = done.max(t);
+            }
+            if has_parity {
+                let p_off = (poff / stripe) * unit;
+                let t = write_share(&mut self.parity, 0, p_off, unit.min(plen.max(1)), true);
+                done = done.max(t);
+            }
+        }
+        done
+    }
+
+    /// Sum of bytes moved by all member spindles.
+    pub fn spindle_bytes(&self) -> u64 {
+        self.data
+            .iter()
+            .chain(self.parity.iter())
+            .map(|d| d.total_bytes)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::MBYTE;
+
+    fn set() -> RaidSet {
+        RaidSet::new(RaidSpec::sata_8p1())
+    }
+
+    #[test]
+    fn shares_cover_extent_exactly() {
+        let s = set();
+        let unit = s.spec.stripe_unit;
+        // Read 3.5 units starting half a unit in.
+        let shares = s.shares(unit / 2, 3 * unit + unit / 2);
+        let total: u64 = shares.iter().map(|(_, _, len)| len).sum();
+        assert_eq!(total, 3 * unit + unit / 2);
+        // Touches exactly 4 distinct disks.
+        assert_eq!(shares.len(), 4);
+    }
+
+    #[test]
+    fn full_stripe_read_uses_all_data_disks() {
+        let s = set();
+        let shares = s.shares(0, s.spec.full_stripe());
+        assert_eq!(shares.len(), 8);
+        for (_, _, len) in shares {
+            assert_eq!(len, s.spec.stripe_unit);
+        }
+    }
+
+    #[test]
+    fn striped_read_is_faster_than_single_disk() {
+        let mut s = set();
+        let bytes = 8 * MBYTE;
+        let t_striped = s.submit(SimTime::ZERO, IoKind::Read, 0, bytes);
+        let mut single = Disk::new(DiskSpec::sata_250gb_2005());
+        let t_single = single.submit(
+            SimTime::ZERO,
+            DiskIo {
+                kind: IoKind::Read,
+                offset: 0,
+                bytes,
+            },
+        );
+        assert!(
+            t_striped.as_secs_f64() < t_single.as_secs_f64() / 4.0,
+            "striping gave {t_striped:?} vs single {t_single:?}"
+        );
+    }
+
+    #[test]
+    fn full_stripe_write_has_no_rmw_reads() {
+        let mut s = set();
+        let stripe = s.spec.full_stripe();
+        s.submit(SimTime::ZERO, IoKind::Write, 0, stripe * 4);
+        // Every data spindle plus the parity spindle wrote; no read I/Os
+        // means spindle bytes == data bytes + parity bytes.
+        let expected = stripe * 4 + 4 * s.spec.stripe_unit;
+        assert_eq!(s.spindle_bytes(), expected);
+    }
+
+    #[test]
+    fn small_write_pays_rmw_penalty() {
+        let mut rs5 = set();
+        let mut rs0 = RaidSet::new(RaidSpec::sata_8p1().raid0());
+        let t5 = rs5.submit(SimTime::ZERO, IoKind::Write, 0, 64 * 1024);
+        let t0 = rs0.submit(SimTime::ZERO, IoKind::Write, 0, 64 * 1024);
+        assert!(
+            t5 > t0,
+            "RAID5 small write {t5:?} should be slower than RAID0 {t0:?}"
+        );
+    }
+
+    #[test]
+    fn write_slower_than_read_with_parity() {
+        let mut s = set();
+        let bytes = 64 * MBYTE;
+        let tr = s.submit(SimTime::ZERO, IoKind::Read, 0, bytes);
+        let mut s2 = set();
+        let tw = s2.submit(SimTime::ZERO, IoKind::Write, 0, bytes);
+        assert!(tw > tr, "write {tw:?} not slower than read {tr:?}");
+    }
+
+    #[test]
+    fn raid0_removes_asymmetry_for_large_io() {
+        let mut s = RaidSet::new(RaidSpec::sata_8p1().raid0());
+        let bytes = 64 * MBYTE;
+        let tr = s.submit(SimTime::ZERO, IoKind::Read, 0, bytes);
+        let mut s2 = RaidSet::new(RaidSpec::sata_8p1().raid0());
+        let tw = s2.submit(SimTime::ZERO, IoKind::Write, 0, bytes);
+        let r = tr.as_secs_f64();
+        let w = tw.as_secs_f64();
+        assert!(
+            ((w - r) / r).abs() < 0.05,
+            "raid0 read {r} vs write {w} differ >5%"
+        );
+    }
+
+    #[test]
+    fn capacity_math() {
+        let spec = RaidSpec::sata_8p1();
+        assert_eq!(spec.capacity(), 8 * 250 * simcore::GBYTE);
+        assert_eq!(spec.full_stripe(), 8 * 256 * 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-byte RAID I/O")]
+    fn zero_byte_rejected() {
+        set().submit(SimTime::ZERO, IoKind::Read, 0, 0);
+    }
+}

@@ -1,0 +1,180 @@
+//! Zipf-distributed sampling for skewed access patterns.
+//!
+//! Archive access is never uniform: a few catalogs/collections are hot and
+//! the long tail is cold — which is precisely why the paper's §8 watermark
+//! HSM and the client page pool work. This sampler provides deterministic
+//! Zipf(α) draws over `n` items via inverse-CDF lookup.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A Zipf(α) distribution over ranks `0..n` (rank 0 most popular).
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build the distribution. `alpha` ≈ 0.8–1.2 for storage workloads.
+    pub fn new(n: usize, alpha: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one item");
+        assert!(alpha > 0.0, "alpha must be positive");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(alpha);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// True for the degenerate empty case (never constructed; see `new`).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draw one rank.
+    pub fn sample(&self, rng: &mut StdRng) -> usize {
+        let u: f64 = rng.gen();
+        // Binary search for the first cdf entry >= u.
+        match self
+            .cdf
+            .binary_search_by(|c| c.partial_cmp(&u).expect("cdf has no NaN"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+
+    /// Probability mass of a rank.
+    pub fn pmf(&self, rank: usize) -> f64 {
+        if rank == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[rank] - self.cdf[rank - 1]
+        }
+    }
+}
+
+/// NVO-style query workload with Zipf-skewed object popularity: `queries`
+/// reads over `objects` equal-sized objects of `object_bytes` each.
+pub fn nvo_zipf_queries(
+    rng: &mut StdRng,
+    queries: u32,
+    objects: usize,
+    object_bytes: u64,
+    alpha: f64,
+) -> super::Workload {
+    let z = Zipf::new(objects, alpha);
+    let phases = (0..queries)
+        .map(|_| {
+            let rank = z.sample(rng) as u64;
+            super::Phase::ReadAt {
+                offset: rank * object_bytes,
+                bytes: object_bytes,
+            }
+        })
+        .collect();
+    super::Workload {
+        name: "nvo-zipf".into(),
+        phases,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(9)
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let z = Zipf::new(100, 1.0);
+        let total: f64 = (0..100).map(|r| z.pmf(r)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn popularity_is_monotone() {
+        let z = Zipf::new(50, 1.1);
+        for r in 1..50 {
+            assert!(z.pmf(r) <= z.pmf(r - 1) + 1e-12, "pmf not decreasing at {r}");
+        }
+    }
+
+    #[test]
+    fn samples_match_theory_roughly() {
+        let z = Zipf::new(1000, 1.0);
+        let mut r = rng();
+        let mut rank0 = 0u32;
+        let n = 20_000;
+        for _ in 0..n {
+            if z.sample(&mut r) == 0 {
+                rank0 += 1;
+            }
+        }
+        let observed = f64::from(rank0) / f64::from(n);
+        let expected = z.pmf(0);
+        assert!(
+            (observed - expected).abs() < 0.02,
+            "rank-0 frequency {observed:.3} vs pmf {expected:.3}"
+        );
+    }
+
+    #[test]
+    fn skew_concentrates_access() {
+        // At alpha = 1, the top 10% of 1000 objects should absorb well
+        // over a third of accesses.
+        let z = Zipf::new(1000, 1.0);
+        let top10: f64 = (0..100).map(|r| z.pmf(r)).sum();
+        assert!(top10 > 0.35, "top-decile mass only {top10:.2}");
+    }
+
+    #[test]
+    fn zipf_workload_touches_hot_objects_repeatedly() {
+        let mut r = rng();
+        let wl = nvo_zipf_queries(&mut r, 500, 200, 1 << 20, 1.0);
+        assert_eq!(wl.phases.len(), 500);
+        // Distinct objects touched is far below query count (reuse).
+        let mut offsets: Vec<u64> = wl
+            .phases
+            .iter()
+            .map(|p| match p {
+                super::super::Phase::ReadAt { offset, .. } => *offset,
+                _ => unreachable!(),
+            })
+            .collect();
+        offsets.sort();
+        offsets.dedup();
+        assert!(
+            offsets.len() < 180,
+            "{} distinct objects for 500 queries — no skew?",
+            offsets.len()
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = nvo_zipf_queries(&mut rng(), 50, 100, 4096, 0.9);
+        let b = nvo_zipf_queries(&mut rng(), 50, 100, 4096, 0.9);
+        assert_eq!(a.phases, b.phases);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one item")]
+    fn empty_rejected() {
+        Zipf::new(0, 1.0);
+    }
+}

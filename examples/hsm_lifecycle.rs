@@ -1,0 +1,77 @@
+//! The §8 future-work storage hierarchy, running: a GFS disk cache in
+//! front of a tape archive with automatic watermark migration, transparent
+//! recall, and a remote second copy ("SDSC and the Pittsburgh
+//! Supercomputing Center are already providing remote second copies for
+//! each other's archives").
+//!
+//! ```text
+//! cargo run --example hsm_lifecycle
+//! ```
+
+use hsm::{Hsm, HsmFileId, HsmPolicy, Residency, TapeLibrary, TapeSpec};
+use simcore::{SimDuration, SimTime, GBYTE, TBYTE};
+
+fn main() {
+    // A 10 TB disk cache (1/100 of the eventual petabyte) over two
+    // libraries: local + the PSC remote copy.
+    let policy = HsmPolicy {
+        disk_capacity: 10 * TBYTE,
+        high_watermark: 0.90,
+        low_watermark: 0.75,
+        dual_copy: true,
+    };
+    let mut hsm = Hsm::new(
+        policy,
+        TapeLibrary::new(TapeSpec::stk_2005(), 6),
+        Some(TapeLibrary::new(TapeSpec::stk_2005(), 6)),
+    );
+
+    // A season of dataset ingest: 120 collections of 100 GB, one every
+    // "day" (compressed to 1000 s of simulated time each).
+    println!("ingesting 120 x 100 GB collections into a 10 TB cache...");
+    let mut t = SimTime::ZERO;
+    for i in 0..120u64 {
+        t += SimDuration::from_secs(1000);
+        hsm.ingest(t, HsmFileId(i), 100 * GBYTE);
+        if hsm.migrations > 0 && i % 20 == 0 {
+            println!(
+                "  after {:>3} collections: disk {:>5.1}% full, {} migrated to tape",
+                i + 1,
+                hsm.disk_fill() * 100.0,
+                hsm.migrations
+            );
+        }
+    }
+    println!(
+        "steady state: disk {:.1}% full, {} migrations, {} tape jobs (local), {} (remote copy)",
+        hsm.disk_fill() * 100.0,
+        hsm.migrations,
+        hsm.library.jobs,
+        hsm.remote_library.as_ref().unwrap().jobs,
+    );
+
+    // A researcher asks for collection 3 — long since migrated.
+    let f3 = HsmFileId(3);
+    assert_eq!(hsm.file(f3).unwrap().residency, Residency::TapeOnly);
+    let now = t + SimDuration::from_secs(500);
+    let outcome = hsm.access(now, f3).unwrap();
+    println!(
+        "\nrecall of collection 3: requested at {now}, readable at {} ({} later — robot mount + locate + 100 GB stream)",
+        outcome.available_at,
+        outcome.available_at.since(now),
+    );
+    assert!(outcome.recalled);
+
+    // Re-access is instant: the copy is back on disk.
+    let again = hsm.access(outcome.available_at, f3).unwrap();
+    assert!(!again.recalled);
+    println!("second access: instant (disk-resident, premigrated)");
+
+    // The copyright-library argument: lose the whole SDSC machine room.
+    let (survive, lost) = hsm.catastrophe_report();
+    println!(
+        "\nlocal catastrophe: {survive} collections recoverable from the remote second copy, {lost} (disk-only, not yet archived) lost",
+    );
+    println!("-> \"the equivalent of copyright libraries, which hold a guaranteed");
+    println!("   copy of a particular dataset\" (paper section 8).");
+}

@@ -1,0 +1,39 @@
+//! # globalfs — massive high-performance global file systems for Grid computing
+//!
+//! Facade crate re-exporting the whole workspace: a from-scratch
+//! reproduction of the SC'05 paper by Andrews, Kovatch and Jordan (SDSC).
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for
+//! paper-vs-measured results.
+//!
+//! Quick tour:
+//!
+//! * [`gfs`] — the wide-area shared-disk parallel filesystem (the paper's
+//!   primary artifact): NSD serving, striping, byte-range tokens, page
+//!   pool, multi-cluster RSA authentication, MPI-IO, SAN/FCIP client mode.
+//! * [`simcore`] / [`simnet`] / [`simsan`] — the deterministic simulation
+//!   substrate: event engine, flow-level WAN, Fibre Channel storage.
+//! * [`gfs_auth`] — bignum/RSA/SHA-256/cipher/GSI identity substrate.
+//! * [`gridftp`] — the wholesale-data-movement baseline.
+//! * [`hsm`] — tape archive with watermark migration (§8).
+//! * [`workloads`] — Enzo, NVO, SCEC, sort, visualization generators.
+//! * [`scenarios`] — the paper's testbeds: SC'02, SC'03, SC'04,
+//!   production 2005, DEISA.
+//!
+//! ```no_run
+//! use globalfs::scenarios;
+//! // Reproduce the paper's Fig. 11 read point at 32 nodes:
+//! let r = scenarios::production::run_scaling_point(
+//!     scenarios::production::ProductionConfig::default(), 32,
+//!     scenarios::production::Direction::Read);
+//! println!("32 nodes: {:.2} GB/s", r.aggregate_gbyte_per_sec());
+//! ```
+
+pub use gfs;
+pub use gfs_auth;
+pub use gridftp;
+pub use hsm;
+pub use scenarios;
+pub use simcore;
+pub use simnet;
+pub use simsan;
+pub use workloads;

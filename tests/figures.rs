@@ -1,0 +1,97 @@
+//! Figure-shape regression tests: every quantitative claim the paper
+//! makes, asserted end-to-end through the `scenarios` crate. These are the
+//! compact versions of the `cargo bench` harnesses; they pin the *shape*
+//! (who wins, by what factor, where ceilings sit), not absolute numbers.
+
+use globalfs::scenarios::ablations::{auth_handshake, blocksize_streams, gfs_vs_gridftp, A2Config};
+use globalfs::scenarios::production::{
+    run_anl, run_latency_sweep, run_scaling_point, Direction, ProductionConfig,
+};
+use globalfs::scenarios::{deisa, sc02, sc03, sc04};
+use globalfs::simcore::{SimDuration, MBYTE};
+
+#[test]
+fn fig2_sc02_sustained_720() {
+    let r = sc02::run(sc02::Sc02Config::default());
+    assert!((680.0..760.0).contains(&r.steady.mean), "{:.0} MB/s", r.steady.mean);
+}
+
+#[test]
+fn fig5_sc03_peak_and_dip() {
+    let r = sc03::run(sc03::Sc03Config::default());
+    assert!((8.7..9.1).contains(&r.peak_gbs));
+    assert!(r.steady_gbs > 8.0);
+    assert!(r.dip_gbs < 1.0);
+}
+
+#[test]
+fn fig8_sc04_aggregate_24() {
+    let r = sc04::run(sc04::Sc04Config::default());
+    assert!((22.0..26.0).contains(&r.aggregate_steady.mean));
+    assert!(r.peak_gbs > 25.0);
+    assert!((28.0..32.0).contains(&r.san_theoretical_gbyte));
+    assert!((13.0..17.0).contains(&r.san_achieved_gbyte));
+}
+
+#[test]
+fn fig11_read_write_asymmetry() {
+    let read = run_scaling_point(ProductionConfig::default(), 64, Direction::Read);
+    let write = run_scaling_point(ProductionConfig::default(), 64, Direction::Write);
+    let (r, w) = (
+        read.aggregate_gbyte_per_sec(),
+        write.aggregate_gbyte_per_sec(),
+    );
+    assert!((5.5..6.3).contains(&r), "read {r:.2} GB/s");
+    assert!(w < r, "write {w:.2} !< read {r:.2}");
+}
+
+#[test]
+fn anl_1_2_gbyte() {
+    let p = run_anl(32);
+    let g = p.aggregate_gbyte_per_sec();
+    assert!((1.0..1.3).contains(&g), "{g:.2} GB/s");
+}
+
+#[test]
+fn deisa_network_limited() {
+    let r = deisa::run(deisa::DeisaConfig::default());
+    assert_eq!(r.mounts.len(), 12);
+    for (_, _, mbs) in &r.io_rates {
+        assert!(*mbs > 100.0 && *mbs <= r.network_limit_mbs + 1.0);
+    }
+}
+
+#[test]
+fn a1_latency_tolerance_depends_on_windows() {
+    let deep = run_latency_sweep(&[1, 160], 16 * MBYTE);
+    let shallow = run_latency_sweep(&[1, 160], 128 * 1024);
+    assert!(deep[1].1 > 0.9 * deep[0].1, "deep windows must tolerate latency");
+    assert!(
+        shallow[1].1 < 0.2 * shallow[0].1,
+        "shallow windows must collapse with latency"
+    );
+}
+
+#[test]
+fn a2_crossover_structure() {
+    let pts = gfs_vs_gridftp(&A2Config::default(), &[0.01, 1.0]);
+    // Partial access: staging is catastrophically worse.
+    assert!(pts[0].gridftp_seconds / pts[0].gfs_seconds > 20.0);
+    // Full access: within 2x.
+    assert!(pts[1].gridftp_seconds / pts[1].gfs_seconds < 2.0);
+}
+
+#[test]
+fn a3_pipelining_required_at_distance() {
+    let sw = blocksize_streams(&[256 * 1024], &[8], false);
+    let pl = blocksize_streams(&[256 * 1024], &[8], true);
+    assert!(pl[0].mbyte_per_sec > 10.0 * sw[0].mbyte_per_sec);
+}
+
+#[test]
+fn auth_handshake_is_cheap_relative_to_data() {
+    let r = auth_handshake(SimDuration::from_millis(40));
+    // One mount costs a handful of RTTs — negligible next to any transfer.
+    assert!(r.mount_authonly_seconds < 0.5);
+    assert!(r.mount_encrypt_seconds < 0.6);
+}
