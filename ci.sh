@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# CI gate: build, test, lint — all offline (no network, no new deps).
+# Tier-1 (ROADMAP.md) is the build + root test suite; the workspace test
+# run and clippy -D warnings are the full gate.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+export CARGO_NET_OFFLINE=true
+
+echo "== cargo build --release"
+cargo build --release --offline
+
+echo "== cargo test -q (tier-1)"
+cargo test -q --offline
+
+echo "== cargo test --workspace -q"
+cargo test --workspace -q --offline
+
+echo "== cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "CI OK"

@@ -1,9 +1,12 @@
-//! Criterion micro-benchmarks for the performance-critical substrate:
-//! event engine, max-min solver, token manager, block allocator, RSA and
-//! the stream cipher. These guard the simulator's own performance (a slow
-//! solver would make the figure-scale scenarios impractical).
+//! Micro-benchmarks for the performance-critical substrate: event engine,
+//! max-min solver, token manager, block allocator, RSA and the stream
+//! cipher. These guard the simulator's own performance (a slow solver would
+//! make the figure-scale scenarios impractical).
+//!
+//! Self-timed (`harness = false`): the build is hermetic, so instead of
+//! criterion each benchmark runs a fixed warmup plus `ITERS` timed
+//! iterations and reports the median per-iteration wall time.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use gfs::fscore::{FsConfig, FsCore};
 use gfs::tokens::{ByteRange, TokenManager, TokenMode};
 use gfs::types::{ClientId, InodeId, Owner};
@@ -14,22 +17,45 @@ use rand::SeedableRng;
 use simcore::{Sim, SimTime};
 use simnet::fairshare::{allocate, SolverFlow};
 use std::hint::black_box;
+use std::time::Instant;
 
-fn bench_event_engine(c: &mut Criterion) {
-    c.bench_function("simcore: schedule+run 10k events", |b| {
-        b.iter(|| {
-            let mut sim: Sim<u64> = Sim::new();
-            let mut world = 0u64;
-            for i in 0..10_000u64 {
-                sim.at(SimTime::from_nanos(i * 7 % 1_000_000), |_s, w| *w += 1);
-            }
-            sim.run(&mut world);
-            black_box(world)
+const ITERS: usize = 20;
+
+/// Run `f` ITERS times (after 2 warmups) and print the median duration.
+fn bench(name: &str, mut f: impl FnMut()) {
+    for _ in 0..2 {
+        f();
+    }
+    let mut samples: Vec<f64> = (0..ITERS)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64()
         })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let median = samples[samples.len() / 2];
+    let unit = if median < 1e-3 {
+        format!("{:9.1} µs", median * 1e6)
+    } else {
+        format!("{:9.3} ms", median * 1e3)
+    };
+    println!("{name:<48} {unit}/iter  ({ITERS} iters)");
+}
+
+fn bench_event_engine() {
+    bench("simcore: schedule+run 10k events", || {
+        let mut sim: Sim<u64> = Sim::new();
+        let mut world = 0u64;
+        for i in 0..10_000u64 {
+            sim.at(SimTime::from_nanos(i * 7 % 1_000_000), |_s, w| *w += 1);
+        }
+        sim.run(&mut world);
+        black_box(world);
     });
 }
 
-fn bench_fairshare(c: &mut Criterion) {
+fn bench_fairshare() {
     // 256 flows over 64 links, paths of length 4.
     let caps: Vec<f64> = (0..64).map(|i| 1e9 + i as f64).collect();
     let paths: Vec<Vec<u32>> = (0..256)
@@ -43,83 +69,70 @@ fn bench_fairshare(c: &mut Criterion) {
             cap: if i % 3 == 0 { 5e7 } else { f64::INFINITY },
         })
         .collect();
-    c.bench_function("simnet: max-min solve 256 flows / 64 links", |b| {
-        b.iter(|| black_box(allocate(&caps, &flows)))
+    bench("simnet: max-min solve 256 flows / 64 links", || {
+        black_box(allocate(&caps, &flows));
     });
 }
 
-fn bench_token_manager(c: &mut Criterion) {
-    c.bench_function("gfs: 1k disjoint write-token acquires", |b| {
-        b.iter_batched(
-            TokenManager::new,
-            |mut tm| {
-                for i in 0..1000u64 {
-                    tm.acquire(
-                        InodeId(1),
-                        ClientId((i % 64) as u32),
-                        ByteRange::new(i * 1000, i * 1000 + 999),
-                        TokenMode::Write,
-                    );
-                }
-                black_box(tm.acquires)
-            },
-            BatchSize::SmallInput,
-        )
+fn bench_token_manager() {
+    bench("gfs: 1k disjoint write-token acquires", || {
+        let mut tm = TokenManager::new();
+        for i in 0..1000u64 {
+            tm.acquire(
+                InodeId(1),
+                ClientId((i % 64) as u32),
+                ByteRange::new(i * 1000, i * 1000 + 999),
+                TokenMode::Write,
+            );
+        }
+        black_box(tm.acquires);
     });
 }
 
-fn bench_allocator(c: &mut Criterion) {
-    c.bench_function("gfs: allocate 4k striped blocks", |b| {
-        b.iter_batched(
-            || {
-                let mut fs = FsCore::create(FsConfig {
-                    name: "bench".into(),
-                    block_size: 1 << 20,
-                    nsd_blocks: 1 << 16,
-                    nsd_count: 64,
-                    data_mode: gfs::fscore::DataMode::Synthetic,
-                });
-                let ino = fs.create_file("/f", Owner::local(0, 0), 0).unwrap();
-                (fs, ino)
-            },
-            |(mut fs, ino)| {
-                for blk in 0..4096 {
-                    fs.ensure_block(ino, blk).unwrap();
-                }
-                black_box(fs.free_blocks())
-            },
-            BatchSize::SmallInput,
-        )
+fn bench_allocator() {
+    bench("gfs: allocate 4k striped blocks", || {
+        let mut fs = FsCore::create(FsConfig {
+            name: "bench".into(),
+            block_size: 1 << 20,
+            nsd_blocks: 1 << 16,
+            nsd_count: 64,
+            data_mode: gfs::fscore::DataMode::Synthetic,
+        });
+        let ino = fs.create_file("/f", Owner::local(0, 0), 0).unwrap();
+        for blk in 0..4096 {
+            fs.ensure_block(ino, blk).unwrap();
+        }
+        black_box(fs.free_blocks());
     });
 }
 
-fn bench_rsa(c: &mut Criterion) {
+fn bench_rsa() {
     let mut rng = StdRng::seed_from_u64(1);
     let kp = KeyPair::generate(512, &mut rng);
     let msg = b"cluster ncsa.teragrid requests mount of gpfs-wan rw";
     let sig = kp.sign(msg);
-    c.bench_function("gfs-auth: RSA-512 sign", |b| b.iter(|| black_box(kp.sign(msg))));
-    c.bench_function("gfs-auth: RSA-512 verify", |b| {
-        b.iter(|| black_box(kp.public.verify(msg, &sig)))
+    bench("gfs-auth: RSA-512 sign", || {
+        black_box(kp.sign(msg));
     });
-    c.bench_function("gfs-auth: RSA-512 keygen", |b| {
-        let mut rng = StdRng::seed_from_u64(99);
-        b.iter(|| black_box(KeyPair::generate(512, &mut rng)))
+    bench("gfs-auth: RSA-512 verify", || {
+        black_box(kp.public.verify(msg, &sig));
+    });
+    let mut keygen_rng = StdRng::seed_from_u64(99);
+    bench("gfs-auth: RSA-512 keygen", || {
+        black_box(KeyPair::generate(512, &mut keygen_rng));
     });
 }
 
-fn bench_cipher(c: &mut Criterion) {
+fn bench_cipher() {
     let mut buf = vec![0u8; 1 << 20];
-    c.bench_function("gfs-auth: stream cipher 1 MiB", |b| {
-        let mut cipher = StreamCipher::new(b"session-key");
-        b.iter(|| {
-            cipher.apply(&mut buf);
-            black_box(buf[0])
-        })
+    let mut cipher = StreamCipher::new(b"session-key");
+    bench("gfs-auth: stream cipher 1 MiB", || {
+        cipher.apply(&mut buf);
+        black_box(buf[0]);
     });
 }
 
-fn bench_fsck(c: &mut Criterion) {
+fn bench_fsck() {
     // A 2k-file tree with 16k blocks.
     let mut fs = FsCore::create(FsConfig {
         name: "fsck-bench".into(),
@@ -138,60 +151,51 @@ fn bench_fsck(c: &mut Criterion) {
         }
         fs.note_write(id, 0, 8 << 20, 0).unwrap();
     }
-    c.bench_function("gfs: fsck 2k files / 16k blocks", |b| {
-        b.iter(|| {
-            let r = gfs::fsck::fsck(&fs);
-            assert!(r.is_clean());
-            black_box(r.blocks)
-        })
+    bench("gfs: fsck 2k files / 16k blocks", || {
+        let r = gfs::fsck::fsck(&fs);
+        assert!(r.is_clean());
+        black_box(r.blocks);
     });
 }
 
-fn bench_page_pool(c: &mut Criterion) {
+fn bench_page_pool() {
     use gfs::cache::{PageKey, PagePool};
-    use gfs::types::{FsId, InodeId};
-    c.bench_function("gfs: page pool 10k mixed ops", |b| {
-        b.iter_batched(
-            || PagePool::new(1024),
-            |mut pool| {
-                let data = bytes::Bytes::from_static(&[0u8; 64]);
-                for i in 0..10_000u64 {
-                    let key = PageKey {
-                        fs: FsId(0),
-                        inode: InodeId(i % 7),
-                        block: i % 2048,
-                    };
-                    if i % 3 == 0 {
-                        pool.insert_dirty(key, data.clone());
-                    } else if pool.get(key).is_none() {
-                        pool.insert_clean(key, data.clone());
-                    }
-                }
-                black_box(pool.hits)
-            },
-            BatchSize::SmallInput,
-        )
+    use gfs::types::FsId;
+    bench("gfs: page pool 10k mixed ops", || {
+        let mut pool = PagePool::new(1024);
+        let data = bytes::Bytes::from_static(&[0u8; 64]);
+        for i in 0..10_000u64 {
+            let key = PageKey {
+                fs: FsId(0),
+                inode: InodeId(i % 7),
+                block: i % 2048,
+            };
+            if i % 3 == 0 {
+                pool.insert_dirty(key, data.clone());
+            } else if pool.get(key).is_none() {
+                pool.insert_clean(key, data.clone());
+            }
+        }
+        black_box(pool.hits);
     });
 }
 
-fn bench_sha256(c: &mut Criterion) {
+fn bench_sha256() {
     let data = vec![0xabu8; 1 << 16];
-    c.bench_function("gfs-auth: sha256 64 KiB", |b| {
-        b.iter(|| black_box(gfs_auth::sha256(&data)))
+    bench("gfs-auth: sha256 64 KiB", || {
+        black_box(gfs_auth::sha256(&data));
     });
 }
 
-criterion_group!(
-    name = micro;
-    config = Criterion::default().sample_size(20);
-    targets = bench_event_engine,
-        bench_fairshare,
-        bench_token_manager,
-        bench_allocator,
-        bench_rsa,
-        bench_cipher,
-        bench_sha256,
-        bench_fsck,
-        bench_page_pool
-);
-criterion_main!(micro);
+fn main() {
+    println!("== micro benchmarks (median of {ITERS}) ==");
+    bench_event_engine();
+    bench_fairshare();
+    bench_token_manager();
+    bench_allocator();
+    bench_rsa();
+    bench_cipher();
+    bench_sha256();
+    bench_fsck();
+    bench_page_pool();
+}

@@ -17,12 +17,14 @@
 //!   before any data moves.
 
 use crate::cache::{DirtyPage, PageKey, PrefetchState};
+use crate::faults::RecoveryWhat;
 use crate::tokens::{ByteRange, TokenMode};
-use crate::types::{ClientId, FsError, FsId, Handle, InodeId, NsdId, OpenFlags, Owner};
+use crate::types::{BlockAddr, ClientId, FsError, FsId, Handle, InodeId, NsdId, OpenFlags, Owner};
 use crate::world::{GfsWorld, Mount};
 use bytes::Bytes;
 use gfs_auth::handshake::AccessMode;
-use simcore::Sim;
+use rand::Rng;
+use simcore::{Sim, SimDuration};
 use simnet::{FlowSpec, Network, NodeId};
 use simsan::IoKind;
 use std::cell::{Cell, RefCell};
@@ -467,7 +469,16 @@ pub fn truncate(
             // the new size must survive the truncate (POSIX), and the
             // cache is invalidated afterwards.
             let dirty = w.clients[client.0 as usize].pool.dirty_pages_of(fs, inode);
+            let flush_err: Rc<RefCell<Option<FsError>>> = Rc::new(RefCell::new(None));
+            let flush_err2 = flush_err.clone();
             let after_flush: Cb<()> = Box::new(move |sim: &mut Sim<GfsWorld>, w: &mut GfsWorld, ()| {
+                // If any write-back failed the on-disk state below the new
+                // size is not durable; surface the error instead of
+                // truncating over it.
+                if let Some(e) = flush_err2.borrow_mut().take() {
+                    cb(sim, w, Err(e));
+                    return;
+                }
                 let from = client_node(w, client);
                 let mgr = w.fss[fs.0 as usize].manager_node;
                 rpc(
@@ -493,7 +504,19 @@ pub fn truncate(
             join.maybe_done(sim, w);
             for page in dirty {
                 let join = join.clone();
-                flush_page(sim, w, client, page, Box::new(move |sim, w, ()| join.arrive(sim, w)));
+                let flush_err = flush_err.clone();
+                flush_page(
+                    sim,
+                    w,
+                    client,
+                    page,
+                    Box::new(move |sim, w, r| {
+                        if let Err(e) = r {
+                            flush_err.borrow_mut().get_or_insert(e);
+                        }
+                        join.arrive(sim, w);
+                    }),
+                );
             }
         }),
     );
@@ -661,7 +684,10 @@ fn revoke_at_holder(
         join.maybe_done(sim, w);
         for page in dirty {
             let join = join.clone();
-            flush_page(sim, w, holder, page, Box::new(move |sim, w, ()| join.arrive(sim, w)));
+            // A failed write-back does not block revocation: the token is
+            // being taken away and the cached copy is invalidated regardless;
+            // durability of the lost page is the failed flush's problem.
+            flush_page(sim, w, holder, page, Box::new(move |sim, w, _r| join.arrive(sim, w)));
         }
     }
 }
@@ -669,9 +695,50 @@ fn revoke_at_holder(
 // ---------------------------------------------------------------------
 // Data path
 // ---------------------------------------------------------------------
+//
+// Every NSD request runs under a watchdog: if no response arrives within
+// `costs.request_timeout` the attempt is abandoned and retried after a
+// bounded exponential backoff with seeded jitter, re-resolving the target
+// server each time so requests fail over to the next healthy NSD server in
+// the ring. A response arriving after its watchdog fired is dropped (the
+// retry owns the operation). `costs.max_retries` timeouts surface
+// `FsError::Timeout`; no reachable server at all is `FsError::ServerDown`.
+
+/// Shared one-shot completion slot: the watchdog and the response path race
+/// to take it.
+type Once<T> = Rc<RefCell<Option<Cb<T>>>>;
+
+fn take<T>(slot: &Once<T>) -> Option<Cb<T>> {
+    slot.borrow_mut().take()
+}
+
+/// Backoff delay before retry `attempt + 1`: `retry_base * 2^attempt`,
+/// scaled by a deterministic jitter in `[0.5, 1.5)` drawn from the world's
+/// seeded RNG (so colliding clients decorrelate but reruns reproduce).
+fn backoff_delay(w: &mut GfsWorld, attempt: u32) -> SimDuration {
+    let jitter = 0.5 + w.rng.gen::<f64>();
+    let scale = (1u64 << attempt.min(16)) as f64;
+    SimDuration::from_secs_f64(w.costs.retry_base.as_secs_f64() * scale * jitter)
+}
+
+/// Note a failover in the recovery log when a retry lands on a new server.
+fn log_failover(sim: &Sim<GfsWorld>, w: &mut GfsWorld, client: ClientId, prev: Option<NodeId>, now_srv: NodeId) {
+    if let Some(prev) = prev {
+        if prev != now_srv {
+            w.recovery.log(
+                sim.now(),
+                RecoveryWhat::FailedOver {
+                    client,
+                    from: prev,
+                    to: now_srv,
+                },
+            );
+        }
+    }
+}
 
 /// Fetch one block into the page pool (cache-aware). `cb` receives the
-/// block's full contents.
+/// block's full contents, or the error after the retry budget is spent.
 fn fetch_block(
     sim: &mut Sim<GfsWorld>,
     w: &mut GfsWorld,
@@ -679,7 +746,7 @@ fn fetch_block(
     fs: FsId,
     inode: InodeId,
     block_idx: u64,
-    cb: Cb<Bytes>,
+    cb: Cb<Result<Bytes, FsError>>,
 ) {
     let key = PageKey {
         fs,
@@ -687,7 +754,7 @@ fn fetch_block(
         block: block_idx,
     };
     if let Some(data) = w.clients[client.0 as usize].pool.get(key) {
-        cb(sim, w, data);
+        cb(sim, w, Ok(data));
         return;
     }
     let inst = &w.fss[fs.0 as usize];
@@ -700,14 +767,78 @@ fn fetch_block(
     let Some(addr) = addr else {
         // Hole or past-EOF: zeros, no I/O.
         let zeros = Bytes::from(vec![0u8; block_size as usize]);
-        cb(sim, w, zeros);
+        cb(sim, w, Ok(zeros));
         return;
     };
-    let server = inst.server_of(NsdId(addr.nsd));
+    let slot: Once<Result<Bytes, FsError>> = Rc::new(RefCell::new(Some(cb)));
+    fetch_attempt(sim, w, client, key, addr, block_size, 0, None, slot);
+}
+
+#[allow(clippy::too_many_arguments)]
+fn fetch_attempt(
+    sim: &mut Sim<GfsWorld>,
+    w: &mut GfsWorld,
+    client: ClientId,
+    key: PageKey,
+    addr: BlockAddr,
+    block_size: u64,
+    attempt: u32,
+    prev_server: Option<NodeId>,
+    cb: Once<Result<Bytes, FsError>>,
+) {
+    let fs = key.fs;
+    let Some(server) = w.fss[fs.0 as usize].try_server_of(NsdId(addr.nsd)) else {
+        if let Some(cb) = take(&cb) {
+            cb(sim, w, Err(FsError::ServerDown));
+        }
+        return;
+    };
+    log_failover(sim, w, client, prev_server, server);
     let from = client_node(w, client);
     let rpcb = w.costs.rpc_bytes;
     let window = w.costs.flow_window;
+    let settled = Rc::new(Cell::new(false));
+
+    // Watchdog.
+    let timeout = w.costs.request_timeout;
+    {
+        let settled = settled.clone();
+        let cb = cb.clone();
+        sim.after(timeout, move |sim, w| {
+            if settled.replace(true) {
+                return;
+            }
+            w.recovery
+                .log(sim.now(), RecoveryWhat::TimeoutDetected { client, server });
+            if attempt >= w.costs.max_retries {
+                if let Some(cb) = take(&cb) {
+                    cb(sim, w, Err(FsError::Timeout));
+                }
+                return;
+            }
+            let delay = backoff_delay(w, attempt);
+            sim.after(delay, move |sim, w| {
+                fetch_attempt(
+                    sim,
+                    w,
+                    client,
+                    key,
+                    addr,
+                    block_size,
+                    attempt + 1,
+                    Some(server),
+                    cb,
+                );
+            });
+        });
+    }
+
     Network::send_msg(sim, w, from, server, rpcb, move |sim, w| {
+        // A crashed server silently drops the request: the watchdog is the
+        // only way the client learns about it.
+        if w.fss[fs.0 as usize].down_servers.contains(&server) {
+            return;
+        }
         // NSD service at the server.
         let inst = &mut w.fss[fs.0 as usize];
         let done = inst.nsds[addr.nsd as usize].serve(
@@ -727,24 +858,30 @@ fn fetch_block(
                 tag: tags::NSD_READ,
             };
             Network::start_flow(sim, w, spec, move |sim, w| {
+                if settled.replace(true) {
+                    return; // watchdog fired first; a retry owns this fetch
+                }
                 let data = w.fss[fs.0 as usize].core.get_block_data(addr);
                 let evicted = w.clients[client.0 as usize]
                     .pool
                     .insert_clean(key, data.clone());
                 flush_evicted(sim, w, client, evicted);
-                cb(sim, w, data);
+                if let Some(cb) = take(&cb) {
+                    cb(sim, w, Ok(data));
+                }
             });
         });
     });
 }
 
-/// Flush one dirty page to its NSD.
+/// Flush one dirty page to its NSD, with the same timeout/retry/failover
+/// envelope as reads.
 fn flush_page(
     sim: &mut Sim<GfsWorld>,
     w: &mut GfsWorld,
     client: ClientId,
     page: DirtyPage,
-    cb: Cb<()>,
+    cb: Cb<Result<(), FsError>>,
 ) {
     let fs = page.key.fs;
     let inode = page.key.inode;
@@ -758,14 +895,74 @@ fn flush_page(
         .and_then(|m| m.first().and_then(|(_, a)| *a));
     let Some(addr) = addr else {
         // Block was freed (truncate/unlink raced the flush): drop it.
-        cb(sim, w, ());
+        cb(sim, w, Ok(()));
         return;
     };
-    let server = inst.server_of(NsdId(addr.nsd));
+    let slot: Once<Result<(), FsError>> = Rc::new(RefCell::new(Some(cb)));
+    flush_attempt(sim, w, client, page.key, page.data, addr, block_size, 0, None, slot);
+}
+
+#[allow(clippy::too_many_arguments)]
+fn flush_attempt(
+    sim: &mut Sim<GfsWorld>,
+    w: &mut GfsWorld,
+    client: ClientId,
+    key: PageKey,
+    data: Bytes,
+    addr: BlockAddr,
+    block_size: u64,
+    attempt: u32,
+    prev_server: Option<NodeId>,
+    cb: Once<Result<(), FsError>>,
+) {
+    let fs = key.fs;
+    let Some(server) = w.fss[fs.0 as usize].try_server_of(NsdId(addr.nsd)) else {
+        if let Some(cb) = take(&cb) {
+            cb(sim, w, Err(FsError::ServerDown));
+        }
+        return;
+    };
+    log_failover(sim, w, client, prev_server, server);
     let from = client_node(w, client);
     let window = w.costs.flow_window;
-    let data = page.data;
-    let key = page.key;
+    let settled = Rc::new(Cell::new(false));
+
+    // Watchdog.
+    let timeout = w.costs.request_timeout;
+    {
+        let settled = settled.clone();
+        let cb = cb.clone();
+        let data = data.clone();
+        sim.after(timeout, move |sim, w| {
+            if settled.replace(true) {
+                return;
+            }
+            w.recovery
+                .log(sim.now(), RecoveryWhat::TimeoutDetected { client, server });
+            if attempt >= w.costs.max_retries {
+                if let Some(cb) = take(&cb) {
+                    cb(sim, w, Err(FsError::Timeout));
+                }
+                return;
+            }
+            let delay = backoff_delay(w, attempt);
+            sim.after(delay, move |sim, w| {
+                flush_attempt(
+                    sim,
+                    w,
+                    client,
+                    key,
+                    data,
+                    addr,
+                    block_size,
+                    attempt + 1,
+                    Some(server),
+                    cb,
+                );
+            });
+        });
+    }
+
     let spec = FlowSpec {
         src: from,
         dst: server,
@@ -774,6 +971,10 @@ fn flush_page(
         tag: tags::NSD_WRITE,
     };
     Network::start_flow(sim, w, spec, move |sim, w| {
+        // Crashed mid-transfer: the data never lands, no ack comes back.
+        if w.fss[fs.0 as usize].down_servers.contains(&server) {
+            return;
+        }
         let inst = &mut w.fss[fs.0 as usize];
         let done = inst.nsds[addr.nsd as usize].serve(
             &mut w.arrays,
@@ -787,8 +988,13 @@ fn flush_page(
             // Ack back to the client.
             let rpcb = w.costs.rpc_bytes;
             Network::send_msg(sim, w, server, from, rpcb, move |sim, w| {
+                if settled.replace(true) {
+                    return; // a retry owns this flush now
+                }
                 w.clients[client.0 as usize].pool.mark_clean(key);
-                cb(sim, w, ());
+                if let Some(cb) = take(&cb) {
+                    cb(sim, w, Ok(()));
+                }
             });
         });
     });
@@ -801,7 +1007,9 @@ fn flush_evicted(
     evicted: Vec<DirtyPage>,
 ) {
     for page in evicted {
-        flush_page(sim, w, client, page, Box::new(|_, _, ()| {}));
+        // Background write-behind: errors surface on the next explicit
+        // fsync/close of the file, not here.
+        flush_page(sim, w, client, page, Box::new(|_, _, _| {}));
     }
 }
 
@@ -852,9 +1060,16 @@ pub fn read(
             let nblocks = (last - first) as usize;
             let parts: Rc<RefCell<Vec<Option<Bytes>>>> =
                 Rc::new(RefCell::new(vec![None; nblocks]));
+            let first_err: Rc<RefCell<Option<FsError>>> = Rc::new(RefCell::new(None));
             let finish: Cb<()> = {
                 let parts = parts.clone();
+                let first_err = first_err.clone();
                 Box::new(move |sim: &mut Sim<GfsWorld>, w: &mut GfsWorld, ()| {
+                    if let Some(e) = first_err.borrow_mut().take() {
+                        inflight_exit(w, client, fs, inode);
+                        cb(sim, w, Err(e));
+                        return;
+                    }
                     // Assemble the byte range from the block parts.
                     let mut out = Vec::with_capacity(len as usize);
                     for (i, part) in parts.borrow().iter().enumerate() {
@@ -899,6 +1114,7 @@ pub fn read(
             for i in 0..nblocks {
                 let parts = parts.clone();
                 let join = join.clone();
+                let first_err = first_err.clone();
                 fetch_block(
                     sim,
                     w,
@@ -906,8 +1122,13 @@ pub fn read(
                     fs,
                     inode,
                     first + i as u64,
-                    Box::new(move |sim, w, data| {
-                        parts.borrow_mut()[i] = Some(data);
+                    Box::new(move |sim, w, r| {
+                        match r {
+                            Ok(data) => parts.borrow_mut()[i] = Some(data),
+                            Err(e) => {
+                                first_err.borrow_mut().get_or_insert(e);
+                            }
+                        }
                         join.arrive(sim, w);
                     }),
                 );
@@ -984,9 +1205,14 @@ pub fn write(
                     // old contents first.
                     let first = offset / block_size;
                     let last = end.div_ceil(block_size);
+                    let first_err: Rc<RefCell<Option<FsError>>> = Rc::new(RefCell::new(None));
+                    let first_err_f = first_err.clone();
                     let finish: Cb<()> = Box::new(move |sim: &mut Sim<GfsWorld>, w, ()| {
                         inflight_exit(w, client, fs, inode);
-                        cb(sim, w, Ok(()))
+                        match first_err_f.borrow_mut().take() {
+                            Some(e) => cb(sim, w, Err(e)),
+                            None => cb(sim, w, Ok(())),
+                        }
                     });
                     let join = Join::new((last - first) as usize, finish);
                     join.maybe_done(sim, w);
@@ -1004,6 +1230,8 @@ pub fn write(
                             block: b,
                         };
                         let join = join.clone();
+                        let join_err = join.clone();
+                        let first_err = first_err.clone();
                         let merge = move |sim: &mut Sim<GfsWorld>,
                                           w: &mut GfsWorld,
                                           old: Bytes| {
@@ -1022,7 +1250,24 @@ pub fn write(
                         } else if let Some(old) = w.clients[client.0 as usize].pool.get(key) {
                             merge(sim, w, old);
                         } else {
-                            fetch_block(sim, w, client, fs, inode, b, Box::new(merge));
+                            // Read-modify-write: a failed fetch fails the
+                            // write for this block rather than merging into
+                            // stale or zeroed contents.
+                            fetch_block(
+                                sim,
+                                w,
+                                client,
+                                fs,
+                                inode,
+                                b,
+                                Box::new(move |sim, w, r| match r {
+                                    Ok(old) => merge(sim, w, old),
+                                    Err(e) => {
+                                        first_err.borrow_mut().get_or_insert(e);
+                                        join_err.arrive(sim, w);
+                                    }
+                                }),
+                            );
                         }
                     }
                 },
@@ -1047,12 +1292,31 @@ pub fn fsync(
         .pool
         .dirty_pages_of(of.fs, of.inode);
     let cb: Cb<Result<(), FsError>> = Box::new(cb);
-    let finish: Cb<()> = Box::new(move |sim: &mut Sim<GfsWorld>, w, ()| cb(sim, w, Ok(())));
+    let first_err: Rc<RefCell<Option<FsError>>> = Rc::new(RefCell::new(None));
+    let first_err_f = first_err.clone();
+    let finish: Cb<()> = Box::new(move |sim: &mut Sim<GfsWorld>, w, ()| {
+        match first_err_f.borrow_mut().take() {
+            Some(e) => cb(sim, w, Err(e)),
+            None => cb(sim, w, Ok(())),
+        }
+    });
     let join = Join::new(dirty.len(), finish);
     join.maybe_done(sim, w);
     for page in dirty {
         let join = join.clone();
-        flush_page(sim, w, client, page, Box::new(move |sim, w, ()| join.arrive(sim, w)));
+        let first_err = first_err.clone();
+        flush_page(
+            sim,
+            w,
+            client,
+            page,
+            Box::new(move |sim, w, r| {
+                if let Err(e) = r {
+                    first_err.borrow_mut().get_or_insert(e);
+                }
+                join.arrive(sim, w);
+            }),
+        );
     }
 }
 
@@ -1383,8 +1647,6 @@ mod tests {
                     // A writes but does NOT fsync: data is dirty in A's pool.
                     write(sim, w, a, ha, 0, payload, move |sim, w, r| {
                         r.unwrap();
-                        assert!(!w.clients[a.0 as usize].pool.dirty_pages_of(FsId(0), InodeId(1)).is_empty()
-                            || true); // dirty state verified below via read
                         // B reads: the manager must revoke A's write token,
                         // forcing A's flush, before B's read proceeds.
                         open(sim, w, b_, "gpfs-wan", "/contested", OpenFlags::Read, owner(), move |sim, w, r| {

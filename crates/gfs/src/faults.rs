@@ -1,0 +1,540 @@
+//! Deterministic fault injection and recovery accounting.
+//!
+//! A [`FaultPlan`] is a time-ordered schedule of typed [`FaultEvent`]s —
+//! link flaps and degradations in the network, disk failures with RAID
+//! rebuild traffic in the storage farm, NSD server crashes/restarts and
+//! whole-node partitions in the filesystem world. [`inject`] registers the
+//! plan with the discrete-event engine; because every event is scheduled at
+//! a fixed [`SimTime`] and all protocol randomness flows from the world's
+//! seeded RNG, a rerun with the same seed and plan replays **byte-identical**
+//! series — the property the recovery experiments in EXPERIMENTS.md rely on.
+//!
+//! Recovery is measured, not just modeled: fault application and the client
+//! layer's timeout/failover decisions append to [`GfsWorld::recovery`]
+//! (a [`RecoveryLog`]), from which time-to-detect and time-to-failover fall
+//! out directly, while throughput dip depth/duration come from
+//! [`simcore::TimeSeries::dip_below`] over the monitored link series.
+
+use crate::types::{ClientId, FsId};
+use crate::world::GfsWorld;
+use simcore::{Sim, SimDuration, SimTime};
+use simnet::{Network, NodeId};
+
+/// What a single scheduled fault does to the world.
+#[derive(Clone, Debug)]
+pub enum FaultKind {
+    /// Take every link matching `link` (duplex names resolve to both
+    /// directions) down: flows across it stall, messages on it are lost.
+    LinkDown {
+        /// Link name as given to the topology builder.
+        link: String,
+    },
+    /// Restore previously downed links; stalled flows resume.
+    LinkUp {
+        /// Link name.
+        link: String,
+    },
+    /// Scale the capacity of matching links by `factor` in `(0, 1]`.
+    LinkDegrade {
+        /// Link name.
+        link: String,
+        /// Multiplicative capacity factor.
+        factor: f64,
+    },
+    /// Crash an NSD server node of filesystem `fs`: its NSDs fail over to
+    /// the ring; in-flight and future requests to it are dropped until the
+    /// matching [`FaultKind::ServerRestart`].
+    ServerCrash {
+        /// Filesystem whose server crashes.
+        fs: FsId,
+        /// Node name of the server.
+        server: String,
+    },
+    /// Bring a crashed NSD server back.
+    ServerRestart {
+        /// Filesystem.
+        fs: FsId,
+        /// Node name.
+        server: String,
+    },
+    /// Fail one data spindle of a RAID set in a detailed array; the set
+    /// runs degraded (reconstruction reads, throttled foreground service)
+    /// until the hot-spare rebuild finishes at `rebuild_rate` bytes/sec.
+    DiskFail {
+        /// Index into `GfsWorld::arrays`.
+        array: usize,
+        /// RAID set within the array.
+        set: u32,
+        /// Data spindle index within the set.
+        disk: usize,
+        /// Hot-spare rebuild rate, bytes/sec.
+        rebuild_rate: f64,
+    },
+    /// Partition a named node off the network: every link touching it goes
+    /// down.
+    Partition {
+        /// Node name.
+        node: String,
+    },
+    /// Heal a partition: restore every link touching the node.
+    Heal {
+        /// Node name.
+        node: String,
+    },
+}
+
+/// One scheduled fault.
+#[derive(Clone, Debug)]
+pub struct FaultEvent {
+    /// When it strikes.
+    pub at: SimTime,
+    /// What it does.
+    pub kind: FaultKind,
+}
+
+/// A deterministic schedule of faults, injected once into a simulation.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    /// The schedule; order is irrelevant (the event heap orders by time).
+    pub events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// Empty plan.
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Append an arbitrary event.
+    pub fn push(&mut self, at: SimTime, kind: FaultKind) -> &mut Self {
+        self.events.push(FaultEvent { at, kind });
+        self
+    }
+
+    /// Link goes down at `at`.
+    pub fn link_down(mut self, at: SimTime, link: impl Into<String>) -> Self {
+        self.push(at, FaultKind::LinkDown { link: link.into() });
+        self
+    }
+
+    /// Link comes back at `at`.
+    pub fn link_up(mut self, at: SimTime, link: impl Into<String>) -> Self {
+        self.push(at, FaultKind::LinkUp { link: link.into() });
+        self
+    }
+
+    /// Link capacity scales by `factor` at `at`.
+    pub fn link_degrade(mut self, at: SimTime, link: impl Into<String>, factor: f64) -> Self {
+        self.push(
+            at,
+            FaultKind::LinkDegrade {
+                link: link.into(),
+                factor,
+            },
+        );
+        self
+    }
+
+    /// A link flap: down at `at`, back up `outage` later.
+    pub fn link_flap(self, at: SimTime, link: impl Into<String>, outage: SimDuration) -> Self {
+        let link = link.into();
+        self.link_down(at, link.clone()).link_up(at + outage, link)
+    }
+
+    /// NSD server crash at `at`.
+    pub fn server_crash(mut self, at: SimTime, fs: FsId, server: impl Into<String>) -> Self {
+        self.push(
+            at,
+            FaultKind::ServerCrash {
+                fs,
+                server: server.into(),
+            },
+        );
+        self
+    }
+
+    /// NSD server restart at `at`.
+    pub fn server_restart(mut self, at: SimTime, fs: FsId, server: impl Into<String>) -> Self {
+        self.push(
+            at,
+            FaultKind::ServerRestart {
+                fs,
+                server: server.into(),
+            },
+        );
+        self
+    }
+
+    /// Spindle failure with rebuild at `at`.
+    pub fn disk_fail(
+        mut self,
+        at: SimTime,
+        array: usize,
+        set: u32,
+        disk: usize,
+        rebuild_rate: f64,
+    ) -> Self {
+        self.push(
+            at,
+            FaultKind::DiskFail {
+                array,
+                set,
+                disk,
+                rebuild_rate,
+            },
+        );
+        self
+    }
+
+    /// Partition a node at `at`, heal it `outage` later.
+    pub fn partition_for(self, at: SimTime, node: impl Into<String>, outage: SimDuration) -> Self {
+        let node = node.into();
+        let mut plan = self;
+        plan.push(at, FaultKind::Partition { node: node.clone() });
+        plan.push(at + outage, FaultKind::Heal { node });
+        plan
+    }
+
+    /// Earliest scheduled fault, if any.
+    pub fn first_at(&self) -> Option<SimTime> {
+        self.events.iter().map(|e| e.at).min()
+    }
+}
+
+/// What happened, for the recovery log.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RecoveryWhat {
+    /// A fault from the plan was applied (human-readable description).
+    FaultInjected(String),
+    /// A client request to `server` hit its timeout.
+    TimeoutDetected {
+        /// The timing-out client.
+        client: ClientId,
+        /// The unresponsive server node.
+        server: NodeId,
+    },
+    /// A retry resolved to a different server than the one that failed.
+    FailedOver {
+        /// The recovering client.
+        client: ClientId,
+        /// Old (failed) server.
+        from: NodeId,
+        /// New server.
+        to: NodeId,
+    },
+    /// A restorative fault (link up, server restart, heal) was applied.
+    Restored(String),
+}
+
+/// One timestamped recovery-log entry.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RecoveryEvent {
+    /// When.
+    pub at: SimTime,
+    /// What.
+    pub what: RecoveryWhat,
+}
+
+/// Append-only world-level log of faults and the reactions to them.
+#[derive(Clone, Debug, Default)]
+pub struct RecoveryLog {
+    /// Entries in simulation-time order.
+    pub events: Vec<RecoveryEvent>,
+}
+
+impl RecoveryLog {
+    /// Append an entry.
+    pub fn log(&mut self, at: SimTime, what: RecoveryWhat) {
+        self.events.push(RecoveryEvent { at, what });
+    }
+
+    fn first_fault(&self) -> Option<SimTime> {
+        self.events
+            .iter()
+            .find(|e| matches!(e.what, RecoveryWhat::FaultInjected(_)))
+            .map(|e| e.at)
+    }
+
+    /// Time from the first injected fault to the first request timeout —
+    /// how long the client layer took to notice something was wrong.
+    pub fn time_to_detect(&self) -> Option<SimDuration> {
+        let fault = self.first_fault()?;
+        self.events
+            .iter()
+            .find(|e| e.at >= fault && matches!(e.what, RecoveryWhat::TimeoutDetected { .. }))
+            .map(|e| e.at.since(fault))
+    }
+
+    /// Time from the first injected fault to the first successful failover
+    /// to a different server.
+    pub fn time_to_failover(&self) -> Option<SimDuration> {
+        let fault = self.first_fault()?;
+        self.events
+            .iter()
+            .find(|e| e.at >= fault && matches!(e.what, RecoveryWhat::FailedOver { .. }))
+            .map(|e| e.at.since(fault))
+    }
+
+    /// Count of entries matching a predicate (convenience for assertions).
+    pub fn count(&self, f: impl Fn(&RecoveryWhat) -> bool) -> usize {
+        self.events.iter().filter(|e| f(&e.what)).count()
+    }
+}
+
+/// Schedule every event of `plan` into `sim`. Call once, before `run`;
+/// injecting the same plan into the same seeded world reproduces identical
+/// behaviour.
+pub fn inject(sim: &mut Sim<GfsWorld>, plan: &FaultPlan) {
+    for ev in &plan.events {
+        let kind = ev.kind.clone();
+        sim.at(ev.at, move |sim, w| apply(sim, w, kind));
+    }
+}
+
+fn named_node(w: &GfsWorld, name: &str) -> NodeId {
+    w.net
+        .topo()
+        .find_node(name)
+        .unwrap_or_else(|| panic!("fault plan names unknown node {name:?}"))
+}
+
+fn apply(sim: &mut Sim<GfsWorld>, w: &mut GfsWorld, kind: FaultKind) {
+    let now = sim.now();
+    match kind {
+        FaultKind::LinkDown { link } => {
+            let ids = w.net.links_named(&link);
+            assert!(!ids.is_empty(), "fault plan names unknown link {link:?}");
+            for id in ids {
+                Network::set_link_up(sim, w, id, false);
+            }
+            w.recovery
+                .log(now, RecoveryWhat::FaultInjected(format!("link {link} down")));
+        }
+        FaultKind::LinkUp { link } => {
+            let ids = w.net.links_named(&link);
+            assert!(!ids.is_empty(), "fault plan names unknown link {link:?}");
+            for id in ids {
+                Network::set_link_up(sim, w, id, true);
+            }
+            w.recovery
+                .log(now, RecoveryWhat::Restored(format!("link {link} up")));
+        }
+        FaultKind::LinkDegrade { link, factor } => {
+            let ids = w.net.links_named(&link);
+            assert!(!ids.is_empty(), "fault plan names unknown link {link:?}");
+            for id in ids {
+                Network::set_link_degraded(sim, w, id, factor);
+            }
+            w.recovery.log(
+                now,
+                RecoveryWhat::FaultInjected(format!("link {link} degraded to {factor}")),
+            );
+        }
+        FaultKind::ServerCrash { fs, server } => {
+            let node = named_node(w, &server);
+            w.fss[fs.0 as usize].fail_server(node);
+            w.recovery.log(
+                now,
+                RecoveryWhat::FaultInjected(format!("NSD server {server} crashed")),
+            );
+        }
+        FaultKind::ServerRestart { fs, server } => {
+            let node = named_node(w, &server);
+            w.fss[fs.0 as usize].restore_server(node);
+            w.recovery.log(
+                now,
+                RecoveryWhat::Restored(format!("NSD server {server} restarted")),
+            );
+        }
+        FaultKind::DiskFail {
+            array,
+            set,
+            disk,
+            rebuild_rate,
+        } => {
+            let done = w.arrays[array].fail_disk(now, set, disk, rebuild_rate);
+            w.recovery.log(
+                now,
+                RecoveryWhat::FaultInjected(format!(
+                    "disk {disk} of array {array} set {set} failed (rebuild until {:.1}s)",
+                    done.as_secs_f64()
+                )),
+            );
+            // The rebuild's completion is an observable recovery event.
+            sim.at(done, move |sim, w| {
+                w.recovery.log(
+                    sim.now(),
+                    RecoveryWhat::Restored(format!("array {array} set {set} rebuild complete")),
+                );
+            });
+        }
+        FaultKind::Partition { node } => {
+            let id = named_node(w, &node);
+            for l in w.net.links_touching(id) {
+                Network::set_link_up(sim, w, l, false);
+            }
+            w.recovery.log(
+                now,
+                RecoveryWhat::FaultInjected(format!("node {node} partitioned")),
+            );
+        }
+        FaultKind::Heal { node } => {
+            let id = named_node(w, &node);
+            for l in w.net.links_touching(id) {
+                Network::set_link_up(sim, w, l, true);
+            }
+            w.recovery
+                .log(now, RecoveryWhat::Restored(format!("node {node} healed")));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fscore::FsConfig;
+    use crate::world::{FsParams, WorldBuilder};
+    use simcore::{Bandwidth, MBYTE};
+    use simnet::FlowSpec;
+    use std::cell::Cell;
+    use std::rc::Rc;
+
+    fn world() -> (Sim<GfsWorld>, GfsWorld, NodeId, NodeId) {
+        let mut b = WorldBuilder::new(9);
+        b.key_bits(384);
+        let a = b.topo().node("a");
+        let s = b.topo().node("srv");
+        b.topo().duplex_link(
+            a,
+            s,
+            Bandwidth::mbyte(100.0),
+            SimDuration::from_millis(1),
+            "lan",
+        );
+        let cl = b.cluster("c");
+        b.filesystem(
+            cl,
+            FsParams::ideal(
+                FsConfig::small_test("f"),
+                s,
+                vec![s],
+                Bandwidth::mbyte(500.0),
+                SimDuration::from_micros(100),
+            ),
+        );
+        let (sim, w) = b.build();
+        (sim, w, a, s)
+    }
+
+    #[test]
+    fn plan_builder_orders_and_counts() {
+        let plan = FaultPlan::new()
+            .link_flap(SimTime::from_secs(2), "lan", SimDuration::from_secs(1))
+            .server_crash(SimTime::from_secs(1), FsId(0), "srv");
+        assert_eq!(plan.events.len(), 3);
+        assert_eq!(plan.first_at(), Some(SimTime::from_secs(1)));
+    }
+
+    #[test]
+    fn link_flap_stalls_and_resumes_flow() {
+        let (mut sim, mut w, a, s) = world();
+        // 100 MB at 100 MB/s = 1 s healthy; a 0.5 s outage inserts a stall.
+        let fin = Rc::new(Cell::new(0u64));
+        let f2 = fin.clone();
+        Network::start_flow(
+            &mut sim,
+            &mut w,
+            FlowSpec::bulk(a, s, 100 * MBYTE),
+            move |sim, _w| f2.set(sim.now().as_nanos()),
+        );
+        let plan = FaultPlan::new().link_flap(
+            SimTime::from_millis(200),
+            "lan",
+            SimDuration::from_millis(500),
+        );
+        inject(&mut sim, &plan);
+        sim.run(&mut w);
+        let t = fin.get() as f64 / 1e9;
+        assert!(
+            (1.45..1.6).contains(&t),
+            "flow with 0.5s outage finished at {t}s"
+        );
+        assert_eq!(
+            w.recovery
+                .count(|e| matches!(e, RecoveryWhat::FaultInjected(_))),
+            1
+        );
+        assert_eq!(w.recovery.count(|e| matches!(e, RecoveryWhat::Restored(_))), 1);
+    }
+
+    #[test]
+    fn server_crash_marks_down_and_restart_clears() {
+        let (mut sim, mut w, _a, s) = world();
+        let plan = FaultPlan::new()
+            .server_crash(SimTime::from_secs(1), FsId(0), "srv")
+            .server_restart(SimTime::from_secs(2), FsId(0), "srv");
+        inject(&mut sim, &plan);
+        sim.at(SimTime::from_millis(1500), move |_s, w: &mut GfsWorld| {
+            assert!(w.fss[0].down_servers.contains(&s));
+            assert!(w.fss[0].try_server_of(crate::types::NsdId(0)).is_none());
+        });
+        sim.run(&mut w);
+        assert!(w.fss[0].down_servers.is_empty());
+    }
+
+    #[test]
+    fn partition_downs_all_adjacent_links_and_heals() {
+        let (mut sim, mut w, _a, _s) = world();
+        let plan = FaultPlan::new().partition_for(
+            SimTime::from_secs(1),
+            "srv",
+            SimDuration::from_secs(1),
+        );
+        inject(&mut sim, &plan);
+        sim.at(SimTime::from_millis(1500), |_s, w: &mut GfsWorld| {
+            let links = w.net.links_named("lan");
+            for l in links {
+                assert!(!w.net.link_is_up(l), "adjacent link still up in partition");
+            }
+        });
+        sim.run(&mut w);
+        for l in w.net.links_named("lan") {
+            assert!(w.net.link_is_up(l), "link not healed");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown link")]
+    fn unknown_link_rejected() {
+        let (mut sim, mut w, ..) = world();
+        let plan = FaultPlan::new().link_down(SimTime::from_secs(1), "no-such-link");
+        inject(&mut sim, &plan);
+        sim.run(&mut w);
+    }
+
+    #[test]
+    fn recovery_log_metrics() {
+        let mut log = RecoveryLog::default();
+        log.log(
+            SimTime::from_secs(10),
+            RecoveryWhat::FaultInjected("x".into()),
+        );
+        log.log(
+            SimTime::from_millis(11_500),
+            RecoveryWhat::TimeoutDetected {
+                client: ClientId(0),
+                server: NodeId(1),
+            },
+        );
+        log.log(
+            SimTime::from_secs(12),
+            RecoveryWhat::FailedOver {
+                client: ClientId(0),
+                from: NodeId(1),
+                to: NodeId(2),
+            },
+        );
+        assert_eq!(log.time_to_detect(), Some(SimDuration::from_millis(1500)));
+        assert_eq!(log.time_to_failover(), Some(SimDuration::from_secs(2)));
+    }
+}

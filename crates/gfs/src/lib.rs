@@ -22,6 +22,7 @@ pub mod admin;
 pub mod cache;
 pub mod client;
 pub mod commands;
+pub mod faults;
 pub mod fscore;
 pub mod fsck;
 pub mod hsmlink;
@@ -33,6 +34,7 @@ pub mod types;
 pub mod world;
 
 pub use cache::{PagePool, PrefetchState};
+pub use faults::{inject, FaultEvent, FaultKind, FaultPlan, RecoveryLog, RecoveryWhat};
 pub use fsck::{fsck, FsckError, FsckReport};
 pub use fscore::{DataMode, FileAttr, FsConfig, FsCore};
 pub use tokens::{ByteRange, TokenManager, TokenMode};

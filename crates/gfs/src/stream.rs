@@ -207,9 +207,16 @@ pub fn gfs_stream(
 ) {
     let client_node = w.clients[client.0 as usize].node;
     let inst = &w.fss[fs.0 as usize];
+    // Crashed NSD servers drop out of the stripe: their NSDs are reached
+    // through ring successors, so the surviving endpoints carry the bytes.
     let endpoints: Vec<NodeId> = (0..inst.nsd_servers.len())
+        .filter(|&i| !inst.down_servers.contains(&inst.nsd_servers[i]))
         .map(|i| inst.stream_endpoint(i))
         .collect();
+    assert!(
+        !endpoints.is_empty(),
+        "no NSD server available: all servers failed"
+    );
     // A client streaming a striped file keeps one windowed connection per
     // NSD; when a scenario aggregates many NSD servers into one endpoint
     // node, the endpoint's flow stands for all of those connections, so

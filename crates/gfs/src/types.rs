@@ -1,7 +1,6 @@
 //! Common identifiers, flags and errors for the Global File System.
 
 use gfs_auth::identity::Dn;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifies a filesystem (a "device" like `/dev/gpfs-wan`) within a world.
@@ -29,7 +28,7 @@ pub struct ClusterId(pub u32);
 pub struct Handle(pub u64);
 
 /// A block's physical address: which NSD, which block number on it.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct BlockAddr {
     /// The NSD holding the block.
     pub nsd: u32,
@@ -109,6 +108,14 @@ pub enum FsError {
     AuthFailed(String),
     /// Offset/length invalid (e.g. read past a hole boundary rules).
     InvalidArgument(String),
+    /// An NSD request exhausted its retries without a response (server
+    /// unreachable or overwhelmed past the retry budget).
+    Timeout,
+    /// Every NSD server that could serve the request is marked failed.
+    ServerDown,
+    /// The operation completed but against degraded redundancy (e.g. a
+    /// rebuild in progress); data is correct, performance is not.
+    Degraded(String),
 }
 
 impl fmt::Display for FsError {
@@ -125,6 +132,9 @@ impl fmt::Display for FsError {
             FsError::NotMounted(d) => write!(f, "not mounted: {d}"),
             FsError::AuthFailed(m) => write!(f, "authentication failed: {m}"),
             FsError::InvalidArgument(m) => write!(f, "invalid argument: {m}"),
+            FsError::Timeout => write!(f, "request timed out after retries"),
+            FsError::ServerDown => write!(f, "no NSD server available: all servers failed"),
+            FsError::Degraded(m) => write!(f, "operating degraded: {m}"),
         }
     }
 }

@@ -91,18 +91,21 @@ pub struct FsInstance {
 impl FsInstance {
     /// The server node responsible for an NSD: its home server, or —
     /// when that server is failed — the next healthy one in the ring.
-    /// Panics when every server is down (the filesystem is unavailable,
+    /// `None` when every server is down (the filesystem is unavailable,
     /// as it would be in GPFS once quorum of NSD servers is lost).
-    pub fn server_of(&self, nsd: NsdId) -> NodeId {
+    pub fn try_server_of(&self, nsd: NsdId) -> Option<NodeId> {
         let n = self.nsd_servers.len();
         let start = nsd.0 as usize % n;
-        for k in 0..n {
-            let cand = self.nsd_servers[(start + k) % n];
-            if !self.down_servers.contains(&cand) {
-                return cand;
-            }
-        }
-        panic!("no NSD server available for {nsd:?}: all servers failed")
+        (0..n)
+            .map(|k| self.nsd_servers[(start + k) % n])
+            .find(|cand| !self.down_servers.contains(cand))
+    }
+
+    /// Like [`FsInstance::try_server_of`] but panics on total failure; for
+    /// call sites that have no error path.
+    pub fn server_of(&self, nsd: NsdId) -> NodeId {
+        self.try_server_of(nsd)
+            .unwrap_or_else(|| panic!("no NSD server available for {nsd:?}: all servers failed"))
     }
 
     /// Mark an NSD server failed (its NSDs fail over to the ring).
@@ -229,6 +232,16 @@ pub struct ProtocolCosts {
     /// TCP window for block-fetch flows (bytes); models the per-connection
     /// socket buffer GPFS configures.
     pub flow_window: u64,
+    /// How long a client waits for an NSD request before declaring it lost
+    /// and retrying (GPFS lease/ping timeout, compressed to simulation
+    /// scale).
+    pub request_timeout: SimDuration,
+    /// Base delay of the exponential retry backoff; attempt `k` waits
+    /// `retry_base * 2^k`, scaled by a seeded jitter in `[0.5, 1.5)`.
+    pub retry_base: SimDuration,
+    /// Retry budget per request; exhausting it surfaces
+    /// [`crate::types::FsError::Timeout`].
+    pub max_retries: u32,
 }
 
 impl Default for ProtocolCosts {
@@ -238,6 +251,9 @@ impl Default for ProtocolCosts {
             sign_time: SimDuration::from_millis(3),
             verify_time: SimDuration::from_millis(1),
             flow_window: 16 * 1024 * 1024,
+            request_timeout: SimDuration::from_millis(1500),
+            retry_base: SimDuration::from_millis(100),
+            max_retries: 6,
         }
     }
 }
@@ -258,6 +274,8 @@ pub struct GfsWorld {
     pub rng: StdRng,
     /// Protocol cost knobs.
     pub costs: ProtocolCosts,
+    /// Fault/recovery event log (see [`crate::faults`]).
+    pub recovery: crate::faults::RecoveryLog,
     /// Scenario/benchmark extension state.
     pub ext: Box<dyn Any>,
     pub(crate) next_handle: u64,
@@ -500,6 +518,7 @@ impl WorldBuilder {
             clients,
             rng,
             costs: ProtocolCosts::default(),
+            recovery: crate::faults::RecoveryLog::default(),
             ext: Box::new(()),
             next_handle: 0,
         };

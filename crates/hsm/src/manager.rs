@@ -9,16 +9,15 @@
 //! migrated to tape storage as it is less used and recalled when needed."
 
 use crate::tape::TapeLibrary;
-use serde::{Deserialize, Serialize};
 use simcore::SimTime;
 use std::collections::BTreeMap;
 
 /// Identifies a file in the HSM namespace.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct HsmFileId(pub u64);
 
 /// Where a file's bytes currently live.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum Residency {
     /// On disk only (not yet archived).
     DiskOnly,
@@ -51,7 +50,7 @@ pub struct AccessOutcome {
 }
 
 /// Migration/capacity policy.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct HsmPolicy {
     /// Disk capacity in bytes.
     pub disk_capacity: u64,

@@ -6,11 +6,10 @@
 //! tier. A tape job's service time is dominated by robot mount + position
 //! seek, then streams at the drive rate.
 
-use serde::{Deserialize, Serialize};
 use simcore::{Bandwidth, SimDuration, SimTime};
 
 /// Drive/robot characteristics.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct TapeSpec {
     /// Robot pick + load + thread time.
     pub mount_time: SimDuration,

@@ -1,0 +1,247 @@
+//! Hermetic stand-in for the `rand` crate.
+//!
+//! The build environment has no network and no registry cache, so the
+//! workspace path-overrides `rand` to this crate. It implements exactly the
+//! surface the simulator uses — `rngs::StdRng`, [`SeedableRng::seed_from_u64`],
+//! and the [`Rng`] methods `gen`, `gen_range`, and `fill` — with a
+//! splitmix64-seeded xoshiro256** generator. Determinism is the only hard
+//! requirement (every simulation draw flows through `simcore::det_rng`);
+//! statistical quality of xoshiro256** is far beyond what the jitter and
+//! workload models need.
+//!
+//! The stream differs from upstream `rand`'s ChaCha12-based `StdRng`; all
+//! in-repo tests assert reproducibility and distributions, never exact
+//! upstream values, so this is invisible to the test suite.
+
+use std::ops::RangeInclusive;
+
+/// Seedable random number generators.
+pub trait SeedableRng: Sized {
+    /// Create a generator from a 64-bit seed.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Sampling interface implemented by all generators.
+pub trait Rng {
+    /// The core draw: the next 64 uniform bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Sample a value of type `T` uniformly.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self.next_u64())
+    }
+
+    /// Sample uniformly from an inclusive range.
+    fn gen_range<T: UniformRange>(&mut self, range: RangeInclusive<T>) -> T {
+        T::sample_range(range, self)
+    }
+
+    /// Fill a byte slice with uniform bytes.
+    fn fill(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+/// Types samplable uniformly from 64 random bits (the `gen()` surface).
+pub trait Standard {
+    /// Map 64 uniform bits to a uniform value.
+    fn sample(bits: u64) -> Self;
+}
+
+impl Standard for u64 {
+    fn sample(bits: u64) -> Self {
+        bits
+    }
+}
+
+impl Standard for u32 {
+    fn sample(bits: u64) -> Self {
+        (bits >> 32) as u32
+    }
+}
+
+impl Standard for f64 {
+    /// Uniform in [0, 1): 53 mantissa bits scaled by 2^-53.
+    fn sample(bits: u64) -> Self {
+        (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Types samplable from an inclusive range (the `gen_range()` surface).
+pub trait UniformRange: Sized {
+    /// Sample uniformly from `range`.
+    fn sample_range<R: Rng + ?Sized>(range: RangeInclusive<Self>, rng: &mut R) -> Self;
+}
+
+impl UniformRange for u64 {
+    fn sample_range<R: Rng + ?Sized>(range: RangeInclusive<Self>, rng: &mut R) -> Self {
+        let (lo, hi) = (*range.start(), *range.end());
+        assert!(lo <= hi, "gen_range: empty range");
+        let span = hi - lo;
+        if span == u64::MAX {
+            return rng.next_u64();
+        }
+        // Rejection sampling over the largest multiple of span+1 ≤ 2^64,
+        // so every value in the range is exactly equally likely.
+        let m = span + 1;
+        let zone = u64::MAX - (u64::MAX % m);
+        loop {
+            let v = rng.next_u64();
+            if v < zone {
+                return lo + v % m;
+            }
+        }
+    }
+}
+
+impl UniformRange for u32 {
+    fn sample_range<R: Rng + ?Sized>(range: RangeInclusive<Self>, rng: &mut R) -> Self {
+        u64::sample_range(u64::from(*range.start())..=u64::from(*range.end()), rng) as u32
+    }
+}
+
+impl UniformRange for usize {
+    fn sample_range<R: Rng + ?Sized>(range: RangeInclusive<Self>, rng: &mut R) -> Self {
+        u64::sample_range(*range.start() as u64..=*range.end() as u64, rng) as usize
+    }
+}
+
+impl UniformRange for f64 {
+    fn sample_range<R: Rng + ?Sized>(range: RangeInclusive<Self>, rng: &mut R) -> Self {
+        let (lo, hi) = (*range.start(), *range.end());
+        assert!(lo <= hi && lo.is_finite() && hi.is_finite(), "gen_range: bad f64 range");
+        let u: f64 = f64::sample(rng.next_u64());
+        lo + (hi - lo) * u
+    }
+}
+
+/// Random number generator implementations.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256** seeded by splitmix64.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            // splitmix64 expansion of the 64-bit seed into full state, per
+            // the xoshiro authors' recommendation.
+            let mut sm = state;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // xoshiro256**
+            let result = self.s[1]
+                .wrapping_mul(5)
+                .rotate_left(7)
+                .wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(xs, ys);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let x: f64 = r.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn f64_mean_near_half() {
+        let mut r = StdRng::seed_from_u64(4);
+        let n = 10_000;
+        let sum: f64 = (0..n).map(|_| r.gen::<f64>()).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn gen_range_u64_inclusive_bounds() {
+        let mut r = StdRng::seed_from_u64(5);
+        let mut saw_lo = false;
+        let mut saw_hi = false;
+        for _ in 0..2000 {
+            let v = r.gen_range(10u64..=13);
+            assert!((10..=13).contains(&v));
+            saw_lo |= v == 10;
+            saw_hi |= v == 13;
+        }
+        assert!(saw_lo && saw_hi, "all inclusive-range values reachable");
+    }
+
+    #[test]
+    fn gen_range_f64_bounds() {
+        let mut r = StdRng::seed_from_u64(6);
+        for _ in 0..1000 {
+            let v = r.gen_range(-0.25f64..=0.25);
+            assert!((-0.25..=0.25).contains(&v));
+        }
+    }
+
+    #[test]
+    fn fill_covers_odd_lengths() {
+        let mut r = StdRng::seed_from_u64(8);
+        let mut buf = [0u8; 13];
+        r.fill(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0), "13 random bytes all zero is ~impossible");
+    }
+
+    #[test]
+    fn degenerate_range_is_constant() {
+        let mut r = StdRng::seed_from_u64(9);
+        for _ in 0..10 {
+            assert_eq!(r.gen_range(42u64..=42), 42);
+        }
+    }
+}

@@ -22,11 +22,15 @@
 #![allow(clippy::type_complexity)] // Sim callback signatures are inherent to the event-driven style
 #![allow(clippy::too_many_arguments)]
 pub mod ablations;
+pub mod builder;
 pub mod common;
 pub mod driver;
 pub mod deisa;
 pub mod production;
+pub mod recovery;
 pub mod sc02;
 pub mod sc03;
 pub mod sc04;
 pub mod teragrid;
+
+pub use builder::{NsdFarm, ScenarioBuilder, ScenarioRun, Workload};

@@ -1,0 +1,399 @@
+//! Recovery-metric scenarios: deterministic fault injection against the
+//! paper's infrastructure, with the three metrics EXPERIMENTS.md reports —
+//! time-to-detect, time-to-failover, and throughput dip depth/duration.
+//!
+//! Three experiments:
+//!
+//! * [`crash_one_of_n`] — crash 1 of N (default 64) NSD servers in the
+//!   middle of a per-block client write. The write must complete with no
+//!   data loss (fsck clean + byte-exact read-back), a bounded throughput
+//!   dip, and a measured time-to-failover. Same seed ⇒ byte-identical
+//!   series.
+//! * [`link_flap_during_enzo`] — the TeraGrid WAN path flaps during an
+//!   Enzo checkpoint campaign; the stalled checkpoint stream resumes and
+//!   the makespan stretches by about the outage.
+//! * [`disk_failure_during_sweep`] — a SATA spindle dies under a Fig.11-
+//!   style write run against a detailed DS4100 array; service runs
+//!   degraded (reconstruction reads, rebuild-throttled foreground I/O)
+//!   until the hot-spare rebuild completes, and the run still finishes.
+
+use crate::builder::{pattern_bytes, NsdFarm, ScenarioBuilder, Workload};
+use crate::common::series_named;
+use gfs::client;
+use gfs::types::{ClientId, FsError, OpenFlags, Owner};
+use gfs::{FaultPlan, RecoveryLog};
+use simcore::{Bandwidth, Dip, SimDuration, SimTime, TimeSeries, MBYTE};
+use simsan::ArraySpec;
+use std::cell::RefCell;
+use std::rc::Rc;
+use workloads::enzo;
+
+/// Configuration of the crash-mid-write experiment.
+#[derive(Clone, Debug)]
+pub struct CrashConfig {
+    /// NSD server count (the paper's farm has 64).
+    pub servers: u32,
+    /// Which server crashes.
+    pub crash_server: u32,
+    /// When it crashes (mid-write for the defaults below).
+    pub crash_at: SimTime,
+    /// Bytes the client writes.
+    pub bytes: u64,
+    /// Bytes per `write` call.
+    pub chunk: u64,
+    /// Determinism seed.
+    pub seed: u64,
+}
+
+impl Default for CrashConfig {
+    fn default() -> Self {
+        CrashConfig {
+            servers: 64,
+            crash_server: 3,
+            crash_at: SimTime::from_millis(200),
+            bytes: 64 * MBYTE,
+            chunk: MBYTE,
+            seed: 4242,
+        }
+    }
+}
+
+/// Everything the crash-mid-write experiment measures.
+#[derive(Clone, Debug)]
+pub struct CrashReport {
+    /// Workloads completed (1 = the write finished).
+    pub completed: usize,
+    /// Errors surfaced by the write path.
+    pub errors: Vec<(usize, FsError)>,
+    /// Post-run filesystem consistency.
+    pub fsck_clean: bool,
+    /// Post-run read-back matched the written pattern byte-for-byte.
+    pub data_intact: bool,
+    /// First fault → first request timeout.
+    pub time_to_detect: Option<SimDuration>,
+    /// First fault → first successful failover to another server.
+    pub time_to_failover: Option<SimDuration>,
+    /// Longest below-threshold excursion of the client NIC rate during the
+    /// run (the recovery stall).
+    pub dip: Option<Dip>,
+    /// The client NIC rate series (50 ms windows), truncated to `finish` —
+    /// the determinism fingerprint.
+    pub client_series: TimeSeries,
+    /// When the write completed.
+    pub finish: SimTime,
+}
+
+/// A copy of `s` truncated to points at or before `t` (monitoring pads
+/// series with zeros to the horizon; the tail after completion is idle
+/// time, not a throughput dip).
+fn truncated(s: &TimeSeries, t: SimTime) -> TimeSeries {
+    let mut out = TimeSeries::new(&s.name);
+    for p in s.points.iter().filter(|p| p.t <= t) {
+        out.push(p.t, p.value);
+    }
+    out
+}
+
+/// Crash 1 of `servers` NSD servers in the middle of a striped client
+/// write; the client's timeout/retry layer fails the lost requests over to
+/// ring successors and the write completes.
+pub fn crash_one_of_n(cfg: &CrashConfig) -> CrashReport {
+    assert!(cfg.crash_server < cfg.servers);
+    let mut sb = ScenarioBuilder::new(cfg.seed);
+    let farm = NsdFarm::new("gpfs-wan", cfg.servers)
+        .stored_data()
+        .block_size(256 * 1024);
+    let crashed = farm.server_name(cfg.crash_server);
+    let fs = sb.nsd_farm("sdsc", farm);
+    let c = sb.clients(
+        "sdsc",
+        1,
+        Bandwidth::gbit(1.0).scaled(crate::common::TCP_EFF),
+        SimDuration::from_micros(100),
+        64,
+    )[0];
+    sb.workload(Workload::file_write(c, "gpfs-wan", "/ckpt", cfg.bytes, cfg.chunk));
+    sb.faults(FaultPlan::new().server_crash(cfg.crash_at, fs, crashed));
+    sb.sample_every(SimDuration::from_millis(50));
+
+    let mut run = sb.run(SimTime::from_secs(60));
+    let fsck_clean = gfs::fsck(&run.world.fss[fs.0 as usize].core).is_clean();
+    let data_intact = run.completed == 1 && read_back_matches(&mut run, c, cfg.bytes);
+
+    let client_series = truncated(&series_named(&run.series, "nic-sdsc-0>"), run.finish);
+    // Healthy rate is ~the NIC goodput; anything under 10 MB/s is a stall.
+    let dip = client_series.dip_below(10.0 * MBYTE as f64);
+    CrashReport {
+        completed: run.completed,
+        errors: run.errors.clone(),
+        fsck_clean,
+        data_intact,
+        time_to_detect: run.recovery.time_to_detect(),
+        time_to_failover: run.recovery.time_to_failover(),
+        dip,
+        client_series,
+        finish: run.finish,
+    }
+}
+
+/// Reopen `/ckpt` on the (post-crash) world and compare every byte against
+/// the deterministic write pattern.
+fn read_back_matches(run: &mut crate::builder::ScenarioRun, c: ClientId, bytes: u64) -> bool {
+    let outcome = Rc::new(RefCell::new(None::<bool>));
+    let o = outcome.clone();
+    let (sim, w) = (&mut run.sim, &mut run.world);
+    // The scenario's horizon already elapsed; give the read-back headroom.
+    sim.set_horizon(sim.now() + SimDuration::from_secs(600));
+    client::open(
+        sim,
+        w,
+        c,
+        "gpfs-wan",
+        "/ckpt",
+        OpenFlags::Read,
+        Owner::local(0, 0),
+        move |sim, w, r| match r {
+            Ok(h) => client::read(sim, w, c, h, 0, bytes, move |_sim, _w, r| {
+                *o.borrow_mut() = Some(match r {
+                    Ok(data) => {
+                        let expect = pattern_bytes(0, bytes);
+                        if data.len() as u64 != bytes {
+                            eprintln!("read-back length {} != {}", data.len(), bytes);
+                            false
+                        } else if let Some(i) = (0..data.len()).find(|&i| data[i] != expect[i]) {
+                            eprintln!(
+                                "first mismatch at byte {} (block {}): got {:#x} want {:#x}",
+                                i,
+                                i / (256 * 1024),
+                                data[i],
+                                expect[i]
+                            );
+                            false
+                        } else {
+                            true
+                        }
+                    }
+                    Err(e) => {
+                        eprintln!("read-back error: {e:?}");
+                        false
+                    }
+                });
+            }),
+            Err(_) => *o.borrow_mut() = Some(false),
+        },
+    );
+    sim.run(w);
+    let result = outcome.borrow().unwrap_or(false);
+    result
+}
+
+/// Result of the link-flap-during-Enzo experiment.
+#[derive(Clone, Debug)]
+pub struct FlapReport {
+    /// The checkpoint campaign finished.
+    pub completed: bool,
+    /// Campaign makespan.
+    pub makespan: SimTime,
+    /// Fault + restoration events recorded.
+    pub recovery: RecoveryLog,
+    /// WAN link forward-direction rate series.
+    pub wan_series: TimeSeries,
+}
+
+/// An Enzo checkpoint campaign streams from NCSA to the SDSC farm over a
+/// 10 Gb/s TeraGrid path; the path flaps for `outage` in the middle of the
+/// first checkpoint. The stalled stream freezes, resumes on restore, and
+/// the campaign completes late by about the outage.
+pub fn link_flap_during_enzo(seed: u64, outage: SimDuration) -> FlapReport {
+    let mut sb = ScenarioBuilder::new(seed);
+    let fs = sb.nsd_farm("sdsc", NsdFarm::new("gpfs-wan", 16));
+    sb.wan(
+        "ncsa",
+        "sdsc",
+        Bandwidth::gbit(10.0),
+        SimDuration::from_millis(28),
+        "teragrid",
+    );
+    let c = sb.clients(
+        "ncsa",
+        1,
+        Bandwidth::gbit(10.0),
+        SimDuration::from_micros(100),
+        16,
+    )[0];
+    // 3 checkpoints of 2 GB with 30 s of compute between: I/O bursts at
+    // t ≈ 30, 60+, 90+ s.
+    let campaign = enzo(3, 2 * 1024 * MBYTE, SimDuration::from_secs(30));
+    sb.workload(Workload::phased(c, fs, campaign, 7));
+    // Flap mid-first-checkpoint (the burst starts at t = 30 s).
+    sb.faults(FaultPlan::new().link_flap(SimTime::from_secs(31), "teragrid", outage));
+    sb.sample_every(SimDuration::from_millis(500));
+    let run = sb.run(SimTime::from_secs(200));
+    FlapReport {
+        completed: run.completed == 1,
+        makespan: run.finish,
+        recovery: run.recovery.clone(),
+        wan_series: series_named(&run.series, "teragrid>"),
+    }
+}
+
+/// Result of the disk-failure-during-sweep experiment.
+#[derive(Clone, Debug)]
+pub struct DiskFailReport {
+    /// The write run finished.
+    pub completed: bool,
+    /// Errors surfaced (expected none: degraded ≠ failed).
+    pub errors: Vec<(usize, FsError)>,
+    /// Makespan of the faulted run.
+    pub seconds: f64,
+    /// Makespan of an identical run with no fault.
+    pub baseline_seconds: f64,
+    /// Degraded reads served by reconstruction.
+    pub degraded_reads: u64,
+    /// Whether the rebuild completed within the run (logged as Restored).
+    pub rebuild_completed: bool,
+}
+
+/// A Fig.11-style write-then-read sweep against a detailed DS4100 array;
+/// one SATA data spindle fails at the start of the read phase. Reads whose
+/// stripe share lived on the lost spindle are reconstructed from the
+/// survivors + parity, and all set I/O runs rebuild-throttled — the sweep
+/// completes, slower than the no-fault baseline.
+pub fn disk_failure_during_sweep(seed: u64) -> DiskFailReport {
+    let read_start = SimTime::from_secs(10);
+    let run_once = |plan: Option<FaultPlan>| {
+        let mut sb = ScenarioBuilder::new(seed);
+        sb.nsd_farm(
+            "sdsc",
+            NsdFarm::new("prod", 4)
+                .block_size(MBYTE)
+                .array_backed(ArraySpec::ds4100_sata()),
+        );
+        let c = sb.clients(
+            "sdsc",
+            1,
+            Bandwidth::gbit(1.0),
+            SimDuration::from_micros(100),
+            8,
+        )[0];
+        sb.workload(Workload::file_write(c, "prod", "/sweep", 64 * MBYTE, MBYTE));
+        sb.workload(
+            Workload::file_read(c, "prod", "/sweep", 64 * MBYTE, MBYTE).starting_at(read_start),
+        );
+        if let Some(p) = plan {
+            sb.faults(p);
+        }
+        sb.run(SimTime::from_secs(600))
+    };
+    let baseline = run_once(None);
+    // Fail data spindle 2 of set 0 just after the reads begin; hot-spare
+    // rebuild at 50 MB/s (2005-era SATA sequential).
+    let faulted = run_once(Some(FaultPlan::new().disk_fail(
+        read_start + SimDuration::from_millis(100),
+        0,
+        0,
+        2,
+        50.0 * MBYTE as f64,
+    )));
+    let arr = &faulted.world.arrays[0];
+    let degraded_reads: u64 = (0..arr.set_count() as u32)
+        .map(|i| arr.raid_set(i).degraded_reads)
+        .sum();
+    DiskFailReport {
+        completed: faulted.completed == 2,
+        errors: faulted.errors.clone(),
+        seconds: faulted.finish.as_secs_f64(),
+        baseline_seconds: baseline.finish.as_secs_f64(),
+        degraded_reads,
+        rebuild_completed: faulted
+            .recovery
+            .count(|e| matches!(e, gfs::RecoveryWhat::Restored(_)))
+            > 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crash_one_of_64_recovers_without_data_loss() {
+        let report = crash_one_of_n(&CrashConfig::default());
+        assert_eq!(report.completed, 1, "write failed: {:?}", report.errors);
+        assert!(report.errors.is_empty(), "errors: {:?}", report.errors);
+        assert!(report.fsck_clean, "filesystem inconsistent after crash");
+        assert!(report.data_intact, "read-back mismatch: data was lost");
+        let ttf = report.time_to_failover.expect("no failover recorded");
+        // Detection is one request timeout (1.5 s); failover follows within
+        // the backoff envelope.
+        assert!(
+            (1.0..5.0).contains(&ttf.as_secs_f64()),
+            "time-to-failover {ttf:?}"
+        );
+        let dip = report.dip.expect("no throughput dip recorded");
+        assert!(
+            dip.duration.as_secs_f64() < 4.0,
+            "recovery stall unbounded: {:?}",
+            dip.duration
+        );
+    }
+
+    #[test]
+    fn crash_experiment_is_deterministic() {
+        let a = crash_one_of_n(&CrashConfig::default());
+        let b = crash_one_of_n(&CrashConfig::default());
+        assert_eq!(a.finish, b.finish);
+        assert_eq!(a.client_series.points, b.client_series.points);
+        assert_eq!(a.time_to_failover, b.time_to_failover);
+    }
+
+    #[test]
+    fn enzo_flap_stretches_makespan_by_the_outage() {
+        let outage = SimDuration::from_secs(5);
+        let flapped = link_flap_during_enzo(21, outage);
+        assert!(flapped.completed, "campaign did not finish");
+        let clean = link_flap_during_enzo_no_fault(21);
+        let stretch = flapped.makespan.as_secs_f64() - clean.as_secs_f64();
+        assert!(
+            (0.8 * outage.as_secs_f64()..1.5 * outage.as_secs_f64() + 1.0).contains(&stretch),
+            "makespan stretched {stretch:.1}s for a {:.1}s outage",
+            outage.as_secs_f64()
+        );
+        assert!(
+            flapped
+                .recovery
+                .count(|e| matches!(e, gfs::RecoveryWhat::Restored(_)))
+                > 0,
+            "restoration not logged"
+        );
+    }
+
+    /// Baseline helper: the same campaign with no fault.
+    fn link_flap_during_enzo_no_fault(seed: u64) -> SimTime {
+        let r = link_flap_during_enzo(seed, SimDuration::from_nanos(1));
+        r.makespan
+    }
+
+    #[test]
+    fn disk_failure_degrades_but_completes() {
+        let report = disk_failure_during_sweep(31);
+        assert!(report.completed, "sweep failed: {:?}", report.errors);
+        assert!(report.errors.is_empty());
+        assert!(
+            report.degraded_reads > 0,
+            "no reads were served by reconstruction"
+        );
+        assert!(
+            report.seconds > report.baseline_seconds,
+            "degraded run {:.2}s not slower than baseline {:.2}s",
+            report.seconds,
+            report.baseline_seconds
+        );
+        assert!(
+            report.seconds < 3.0 * report.baseline_seconds,
+            "degraded run {:.2}s unbounded vs baseline {:.2}s",
+            report.seconds,
+            report.baseline_seconds
+        );
+    }
+}

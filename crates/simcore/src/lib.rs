@@ -27,7 +27,7 @@ pub mod time;
 pub mod units;
 
 pub use rng::det_rng;
-pub use series::{RateSeries, SeriesPoint, TimeSeries};
+pub use series::{Dip, RateSeries, SeriesPoint, TimeSeries};
 pub use sim::{Action, Sim};
 pub use stats::Summary;
 pub use time::{SimDuration, SimTime};

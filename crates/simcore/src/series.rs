@@ -7,10 +7,9 @@
 
 use crate::time::{SimDuration, SimTime};
 use crate::units::Bandwidth;
-use serde::{Deserialize, Serialize};
 
 /// A single `(time, value)` sample.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct SeriesPoint {
     /// Sample timestamp (window end for bucketed rates).
     pub t: SimTime,
@@ -19,7 +18,7 @@ pub struct SeriesPoint {
 }
 
 /// A generic named series of `(time, value)` points.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct TimeSeries {
     /// Display name, e.g. `"link0 Gb/s"`.
     pub name: String,
@@ -59,6 +58,52 @@ impl TimeSeries {
         self.points.iter().map(|p| p.value).sum::<f64>() / self.points.len() as f64
     }
 
+    /// The deepest contiguous excursion below `threshold` — the
+    /// recovery-analysis view of a throughput series after a fault: how far
+    /// the rate fell ([`Dip::floor`]) and for how long ([`Dip::duration`]).
+    /// Returns `None` when no sample drops below the threshold.
+    pub fn dip_below(&self, threshold: f64) -> Option<Dip> {
+        let mut best: Option<Dip> = None;
+        let mut cur: Option<(SimTime, SimTime, f64)> = None; // (start, end, floor)
+        let mut prev_t = SimTime::ZERO;
+        for p in &self.points {
+            if p.value < threshold {
+                match &mut cur {
+                    Some((_, end, floor)) => {
+                        *end = p.t;
+                        *floor = floor.min(p.value);
+                    }
+                    // The excursion starts when the previous (healthy)
+                    // sample ended, i.e. at this window's start.
+                    None => cur = Some((prev_t, p.t, p.value)),
+                }
+            } else if let Some((start, end, floor)) = cur.take() {
+                let d = Dip {
+                    start,
+                    end,
+                    floor,
+                    duration: end.since(start),
+                };
+                if best.as_ref().is_none_or(|b| d.duration > b.duration) {
+                    best = Some(d);
+                }
+            }
+            prev_t = p.t;
+        }
+        if let Some((start, end, floor)) = cur {
+            let d = Dip {
+                start,
+                end,
+                floor,
+                duration: end.since(start),
+            };
+            if best.as_ref().is_none_or(|b| d.duration > b.duration) {
+                best = Some(d);
+            }
+        }
+        best
+    }
+
     /// Mean over points with `t` in `[from, to)`.
     pub fn mean_between(&self, from: SimTime, to: SimTime) -> f64 {
         let vals: Vec<f64> = self
@@ -75,9 +120,23 @@ impl TimeSeries {
     }
 }
 
+/// A contiguous stretch of a series below a threshold — the throughput dip
+/// caused by a fault, as reported by [`TimeSeries::dip_below`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Dip {
+    /// When the series first fell below the threshold.
+    pub start: SimTime,
+    /// Last below-threshold sample time.
+    pub end: SimTime,
+    /// Lowest value reached during the dip.
+    pub floor: f64,
+    /// `end - start`.
+    pub duration: SimDuration,
+}
+
 /// Records byte completions and buckets them into fixed windows, producing a
 /// bandwidth sample per window — the SciNet-monitor view of a link.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct RateSeries {
     /// Display name, e.g. `"SDSC->Baltimore read"`.
     pub name: String,
@@ -223,5 +282,46 @@ mod tests {
     #[should_panic(expected = "rate window must be positive")]
     fn zero_window_rejected() {
         let _ = RateSeries::new("bad", SimDuration::ZERO);
+    }
+
+    #[test]
+    fn dip_below_finds_longest_excursion() {
+        let mut ts = TimeSeries::new("bw");
+        for (t, v) in [
+            (1, 10.0),
+            (2, 10.0),
+            (3, 2.0), // short dip
+            (4, 10.0),
+            (5, 4.0), // long dip: 4..=7
+            (6, 1.0),
+            (7, 3.0),
+            (8, 10.0),
+        ] {
+            ts.push(SimTime::from_secs(t), v);
+        }
+        let dip = ts.dip_below(5.0).expect("dip exists");
+        assert_eq!(dip.start, SimTime::from_secs(4));
+        assert_eq!(dip.end, SimTime::from_secs(7));
+        assert_eq!(dip.floor, 1.0);
+        assert_eq!(dip.duration, SimDuration::from_secs(3));
+    }
+
+    #[test]
+    fn dip_below_none_when_healthy() {
+        let mut ts = TimeSeries::new("bw");
+        ts.push(SimTime::from_secs(1), 10.0);
+        ts.push(SimTime::from_secs(2), 9.0);
+        assert!(ts.dip_below(5.0).is_none());
+    }
+
+    #[test]
+    fn dip_still_open_at_series_end_is_reported() {
+        let mut ts = TimeSeries::new("bw");
+        ts.push(SimTime::from_secs(1), 10.0);
+        ts.push(SimTime::from_secs(2), 1.0);
+        ts.push(SimTime::from_secs(3), 1.0);
+        let dip = ts.dip_below(5.0).expect("open dip");
+        assert_eq!(dip.start, SimTime::from_secs(1));
+        assert_eq!(dip.end, SimTime::from_secs(3));
     }
 }

@@ -1,10 +1,9 @@
 //! Small summary-statistics helper used by the benchmark harnesses when
 //! reporting paper-vs-measured numbers.
 
-use serde::{Deserialize, Serialize};
 
 /// Summary statistics over a set of samples.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct Summary {
     /// Number of samples.
     pub n: usize,

@@ -6,7 +6,6 @@
 //! for the units the paper uses.
 
 use crate::time::SimDuration;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Bytes in a kilobyte (decimal, as used for disk/network marketing numbers).
@@ -30,7 +29,7 @@ pub const MIB: u64 = 1 << 20;
 pub const GIB: u64 = 1 << 30;
 
 /// A byte count with human-readable formatting.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct ByteSize(pub u64);
 
 impl ByteSize {
@@ -92,7 +91,7 @@ impl fmt::Display for ByteSize {
 /// Stored as `f64` because rates are the output of the max-min fair-share
 /// solver; they are never used as exact quantities, only to compute
 /// durations.
-#[derive(Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, PartialOrd, Default)]
 pub struct Bandwidth(pub f64);
 
 impl Bandwidth {

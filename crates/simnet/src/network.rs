@@ -81,6 +81,16 @@ const RATE_CLAMP: f64 = 1e15;
 /// A flow with fewer remaining bytes than this is drained.
 const DRAIN_EPS: f64 = 1.0;
 
+/// Runtime health of one directed link, mutated by fault injection.
+#[derive(Clone, Copy, Debug)]
+struct LinkHealth {
+    /// A down link carries no flow bytes and drops control messages.
+    up: bool,
+    /// Multiplicative capacity factor in (0, 1]; models partial degradation
+    /// (e.g. a lambda dropping from 10 Gb/s to a protected 2.5 Gb/s path).
+    degrade: f64,
+}
+
 struct FlowState<W> {
     path: Vec<LinkId>,
     path_u32: Vec<u32>,
@@ -106,6 +116,7 @@ struct Monitor {
 pub struct Network<W> {
     topo: Topology,
     effective_capacity: Vec<f64>,
+    health: Vec<LinkHealth>,
     flows: BTreeMap<u64, FlowState<W>>,
     next_id: u64,
     epoch: u64,
@@ -121,9 +132,17 @@ impl<W: NetWorld> Network<W> {
     /// Wrap a topology. `seed` drives link-capacity jitter only.
     pub fn new(topo: Topology, seed: u64) -> Self {
         let caps: Vec<f64> = topo.links().iter().map(|l| l.capacity).collect();
+        let health = vec![
+            LinkHealth {
+                up: true,
+                degrade: 1.0
+            };
+            topo.link_count()
+        ];
         Network {
             topo,
             effective_capacity: caps,
+            health,
             flows: BTreeMap::new(),
             next_id: 0,
             epoch: 0,
@@ -183,6 +202,101 @@ impl<W: NetWorld> Network<W> {
             .map(|p| self.topo.path_delay(&p))
             .unwrap_or(SimDuration::MAX);
         fwd + back + self.msg_overhead * 2
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection
+    // ------------------------------------------------------------------
+
+    /// Whether a link is currently up.
+    pub fn link_is_up(&self, link: LinkId) -> bool {
+        self.health[link.0 as usize].up
+    }
+
+    /// Current degradation factor of a link (1.0 = full capacity).
+    pub fn link_degrade(&self, link: LinkId) -> f64 {
+        self.health[link.0 as usize].degrade
+    }
+
+    /// All directed links whose name matches `name` exactly, or is a duplex
+    /// half of it (`"{name}>"` / `"{name}<"`). Fault plans address links by
+    /// the topology-builder name, which covers both directions at once.
+    pub fn links_named(&self, name: &str) -> Vec<LinkId> {
+        let fwd = format!("{name}>");
+        let rev = format!("{name}<");
+        self.topo
+            .links()
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.name == name || l.name == fwd || l.name == rev)
+            .map(|(i, _)| LinkId(i as u32))
+            .collect()
+    }
+
+    /// Every directed link with an endpoint at `node` — the set to take
+    /// down to partition the node off the network.
+    pub fn links_touching(&self, node: NodeId) -> Vec<LinkId> {
+        self.topo
+            .links()
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.from == node || l.to == node)
+            .map(|(i, _)| LinkId(i as u32))
+            .collect()
+    }
+
+    /// Take a link down or bring it back up. While down the link carries no
+    /// flow bytes (flows routed across it stall at rate zero and resume on
+    /// restore) and control messages crossing it are silently lost — the
+    /// client-side timeout/retry machinery is responsible for recovery.
+    pub fn set_link_up(sim: &mut Sim<W>, w: &mut W, link: LinkId, up: bool) {
+        let now = sim.now();
+        {
+            let net = w.net();
+            net.settle(now);
+            net.health[link.0 as usize].up = up;
+            net.refresh_capacity(link.0 as usize);
+            net.recompute();
+        }
+        Self::schedule_tick(sim, w);
+    }
+
+    /// Degrade (or restore) a link to `factor` × nominal capacity,
+    /// `0 < factor <= 1`. Independent of up/down state.
+    pub fn set_link_degraded(sim: &mut Sim<W>, w: &mut W, link: LinkId, factor: f64) {
+        assert!(
+            factor > 0.0 && factor <= 1.0,
+            "degrade factor {factor} outside (0, 1]; use set_link_up for outages"
+        );
+        let now = sim.now();
+        {
+            let net = w.net();
+            net.settle(now);
+            net.health[link.0 as usize].degrade = factor;
+            net.refresh_capacity(link.0 as usize);
+            net.recompute();
+        }
+        Self::schedule_tick(sim, w);
+    }
+
+    /// Nominal capacity of link `i` after health (down/degrade) is applied;
+    /// jitter is layered on top of this at monitor ticks.
+    fn base_capacity(&self, i: usize) -> f64 {
+        let h = self.health[i];
+        if h.up {
+            self.topo.links()[i].capacity * h.degrade
+        } else {
+            0.0
+        }
+    }
+
+    fn refresh_capacity(&mut self, i: usize) {
+        self.effective_capacity[i] = self.base_capacity(i);
+    }
+
+    /// Whether every link of `path` is currently up.
+    fn path_is_live(&self, path: &[LinkId]) -> bool {
+        path.iter().all(|l| self.health[l.0 as usize].up)
     }
 
     // ------------------------------------------------------------------
@@ -316,7 +430,10 @@ impl<W: NetWorld> Network<W> {
     }
 
     /// Deliver a control-plane message: latency + serialization + fixed
-    /// overhead, no bandwidth consumption.
+    /// overhead, no bandwidth consumption. If any link on the route is
+    /// currently down (fault injection) the message is silently lost and
+    /// `false` is returned — exactly the failure a request timeout guards
+    /// against. Panics only when no route exists in the topology at all.
     pub fn send_msg(
         sim: &mut Sim<W>,
         w: &mut W,
@@ -324,18 +441,22 @@ impl<W: NetWorld> Network<W> {
         dst: NodeId,
         bytes: u64,
         on_deliver: impl FnOnce(&mut Sim<W>, &mut W) + 'static,
-    ) {
+    ) -> bool {
         let net = w.net();
         let path = net
             .topo
             .route(src, dst)
             .unwrap_or_else(|| panic!("no route {src:?} -> {dst:?}"));
+        if !net.path_is_live(&path) {
+            return false;
+        }
         let mut delay = net.topo.path_delay(&path) + net.msg_overhead;
         let cap = net.topo.path_capacity(&path);
         if cap.is_finite() && cap > 0.0 {
             delay += SimDuration::from_secs_f64(bytes as f64 / cap);
         }
         sim.after(delay, on_deliver);
+        true
     }
 
     // ------------------------------------------------------------------
@@ -386,11 +507,13 @@ impl<W: NetWorld> Network<W> {
             let Some(m) = &net.monitor else { return };
             let window = m.window;
             // Re-draw jittered link capacities, if any links request it.
+            // Jitter layers on top of fault state (down stays zero).
             let mut any_jitter = false;
-            for (i, l) in net.topo.links().iter().enumerate() {
-                if l.jitter_frac > 0.0 {
+            for i in 0..net.topo.link_count() {
+                if net.topo.links()[i].jitter_frac > 0.0 {
+                    let frac = net.topo.links()[i].jitter_frac;
                     net.effective_capacity[i] =
-                        l.capacity * simcore::rng::jitter(&mut net.rng, l.jitter_frac);
+                        net.base_capacity(i) * simcore::rng::jitter(&mut net.rng, frac);
                     any_jitter = true;
                 }
             }
@@ -768,6 +891,78 @@ mod tests {
         assert!((t - 1.025).abs() < 1e-3, "survivor finished at {t}");
         // Cancelling a tag with no flows is a no-op.
         assert_eq!(Network::cancel_tagged(&mut sim, &mut w, 9), 0);
+    }
+
+    #[test]
+    fn link_down_stalls_flow_and_restore_resumes() {
+        let (mut sim, mut w, a, _m, c) = world();
+        // 125 MB over the 1 Gb/s bottleneck normally takes 1 s. Take the
+        // mc link down from t=0.5 to t=1.0: the flow stalls for exactly
+        // that half second and completes ~1.525 s (incl. delivery delay).
+        Network::start_flow(
+            &mut sim,
+            &mut w,
+            FlowSpec::bulk(a, c, 125 * MBYTE),
+            |sim, w: &mut World| w.done.push((sim.now(), "f")),
+        );
+        let links = w.net().links_named("mc");
+        assert_eq!(links.len(), 2, "duplex link resolves to both directions");
+        let l2 = links.clone();
+        sim.at(SimTime::from_millis(500), move |sim, w: &mut World| {
+            for l in &links {
+                Network::set_link_up(sim, w, *l, false);
+            }
+        });
+        sim.at(SimTime::from_millis(1000), move |sim, w: &mut World| {
+            for l in &l2 {
+                Network::set_link_up(sim, w, *l, true);
+            }
+        });
+        sim.run(&mut w);
+        assert_eq!(w.done.len(), 1, "stalled flow must finish after restore");
+        let t = w.done[0].0.as_secs_f64();
+        assert!((t - 1.525).abs() < 2e-3, "flap-delayed completion at {t}");
+        assert_eq!(w.net.total_delivered(), 125 * MBYTE);
+    }
+
+    #[test]
+    fn degraded_link_scales_rate() {
+        let (mut sim, mut w, a, _m, c) = world();
+        // Degrade the bottleneck to half capacity up front: 125 MB at
+        // 62.5 MB/s takes 2 s.
+        let links = w.net().links_named("mc");
+        for l in links {
+            Network::set_link_degraded(&mut sim, &mut w, l, 0.5);
+        }
+        Network::start_flow(
+            &mut sim,
+            &mut w,
+            FlowSpec::bulk(a, c, 125 * MBYTE),
+            |sim, w: &mut World| w.done.push((sim.now(), "slow")),
+        );
+        sim.run(&mut w);
+        let t = w.done[0].0.as_secs_f64();
+        assert!((t - 2.025).abs() < 2e-3, "half-rate completion at {t}");
+    }
+
+    #[test]
+    fn messages_are_lost_on_down_links() {
+        let (mut sim, mut w, a, _m, c) = world();
+        for l in w.net().links_named("mc") {
+            Network::set_link_up(&mut sim, &mut w, l, false);
+        }
+        let delivered = Network::send_msg(&mut sim, &mut w, a, c, 1000, |_s, w: &mut World| {
+            w.done.push((SimTime::ZERO, "lost"))
+        });
+        assert!(!delivered, "message over a down link must be dropped");
+        // Unaffected segment still delivers.
+        let ok = Network::send_msg(&mut sim, &mut w, a, _m, 1000, |sim, w: &mut World| {
+            w.done.push((sim.now(), "ok"))
+        });
+        assert!(ok);
+        sim.run(&mut w);
+        assert_eq!(w.done.len(), 1);
+        assert_eq!(w.done[0].1, "ok");
     }
 
     #[test]

@@ -9,7 +9,6 @@
 
 use crate::disk::IoKind;
 use crate::raid::{RaidSet, RaidSpec};
-use serde::{Deserialize, Serialize};
 use simcore::{Bandwidth, SimDuration, SimTime};
 
 /// Identifies an array within a world's array table.
@@ -17,7 +16,7 @@ use simcore::{Bandwidth, SimDuration, SimTime};
 pub struct ArrayId(pub u32);
 
 /// Controller parameters.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct ControllerSpec {
     /// Host-port line rate (2 Gb/s FC on the DS4100).
     pub port_rate: Bandwidth,
@@ -80,7 +79,7 @@ impl Controller {
 }
 
 /// Geometry of a whole array.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct ArraySpec {
     /// Controllers (the DS4100 has 2).
     pub controllers: u32,
@@ -168,6 +167,24 @@ impl Array {
     /// Access a RAID set (for reports).
     pub fn raid_set(&self, set: u32) -> &RaidSet {
         &self.sets[set as usize]
+    }
+
+    /// Fail data spindle `disk` of RAID set `set` at `now`; the set starts a
+    /// hot-spare rebuild at `rebuild_rate` bytes/sec and serves degraded
+    /// until the returned completion time.
+    pub fn fail_disk(
+        &mut self,
+        now: SimTime,
+        set: u32,
+        disk: usize,
+        rebuild_rate: f64,
+    ) -> SimTime {
+        self.sets[set as usize].fail_data_disk(now, disk, rebuild_rate)
+    }
+
+    /// How many of this array's RAID sets are currently rebuilding.
+    pub fn degraded_sets(&self, now: SimTime) -> u32 {
+        self.sets.iter().filter(|s| s.is_degraded(now)).count() as u32
     }
 
     /// Bytes moved through all controllers.

@@ -6,7 +6,6 @@
 //! Service time for one I/O is `overhead + (seek + rotation if random) +
 //! bytes / media_rate`, and requests queue FIFO behind `busy_until`.
 
-use serde::{Deserialize, Serialize};
 use simcore::{Bandwidth, SimDuration, SimTime};
 
 /// Identifies a disk within a world's disk table.
@@ -14,7 +13,7 @@ use simcore::{Bandwidth, SimDuration, SimTime};
 pub struct DiskId(pub u32);
 
 /// Mechanical/media parameters of a drive.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct DiskSpec {
     /// Marketing name for reports.
     pub model: String,
@@ -67,7 +66,7 @@ impl DiskSpec {
 }
 
 /// Direction of an I/O.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum IoKind {
     /// Data flows from media to host.
     Read,

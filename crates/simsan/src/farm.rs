@@ -9,7 +9,6 @@
 
 use crate::array::ArraySpec;
 use crate::disk::IoKind;
-use serde::{Deserialize, Serialize};
 use simcore::{Bandwidth, SimDuration, SimTime};
 use simnet::{NodeId, TopologyBuilder};
 
@@ -20,7 +19,7 @@ use simnet::{NodeId, TopologyBuilder};
 /// 2 Gb/s as the host ports and are shared by all of a tray's drives, which
 /// is why a 67-spindle DS4100 delivers ~400 MB/s rather than its drives'
 /// ~3.7 GB/s raw streaming rate.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct FarmSpec {
     /// Number of identical arrays (32 DS4100s in production).
     pub arrays: u32,
@@ -100,6 +99,17 @@ impl FarmSpec {
                 .bytes_per_sec()
                 .min(self.raid_bandwidth(kind).bytes_per_sec()),
         )
+    }
+
+    /// Bandwidth multiplier for the farm while `rebuilding_trays` of its
+    /// trays carry an in-progress RAID rebuild: each such tray gives up
+    /// [`crate::raid::REBUILD_SHARE`] of its service rate to reconstruction
+    /// traffic. Flow-level scenarios apply this to the farm's links for the
+    /// duration of the rebuild.
+    pub fn rebuild_degrade_factor(&self, rebuilding_trays: u32) -> f64 {
+        let n = rebuilding_trays.min(self.arrays) as f64;
+        let total = self.arrays as f64;
+        ((total - n) + n * (1.0 - crate::raid::REBUILD_SHARE)) / total
     }
 
     /// Attach this farm to `server_node` in a topology: creates a `storage`

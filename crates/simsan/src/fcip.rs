@@ -14,11 +14,10 @@
 //!    number (720 MB/s of a possible 1 GB/s at 80 ms RTT) is the visible
 //!    consequence.
 
-use serde::{Deserialize, Serialize};
 use simcore::Bandwidth;
 
 /// Parameters of one FCIP tunnel (one Nishan gateway pair GbE channel).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct FcipSpec {
     /// FC frame payload carried per frame (bytes).
     pub frame_payload: u64,

@@ -24,4 +24,4 @@ pub use array::{Array, ArrayId, ArraySpec, Controller, ControllerSpec};
 pub use disk::{Disk, DiskId, DiskIo, DiskSpec, IoKind};
 pub use farm::FarmSpec;
 pub use fcip::FcipSpec;
-pub use raid::{RaidSet, RaidSetId, RaidSpec};
+pub use raid::{RaidSet, RaidSetId, RaidSpec, Rebuild, REBUILD_SHARE};

@@ -8,15 +8,19 @@
 //! paper's Fig. 11 (ablation A4 toggles it).
 
 use crate::disk::{Disk, DiskIo, DiskSpec, IoKind};
-use serde::{Deserialize, Serialize};
-use simcore::SimTime;
+use simcore::{SimDuration, SimTime};
+
+/// Fraction of each spindle's service capacity consumed by an in-progress
+/// rebuild (GPFS/DS4100 firmware throttles rebuild to keep foreground I/O
+/// alive; the paper's operations depended on exactly this behaviour).
+pub const REBUILD_SHARE: f64 = 0.3;
 
 /// Identifies a RAID set within an array.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct RaidSetId(pub u32);
 
 /// Static geometry of a RAID-5-style set.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct RaidSpec {
     /// Number of data spindles (8 in the paper's 8+P sets).
     pub data_disks: u32,
@@ -56,6 +60,17 @@ impl RaidSpec {
     }
 }
 
+/// An in-progress reconstruction after a spindle loss.
+#[derive(Clone, Copy, Debug)]
+pub struct Rebuild {
+    /// Index of the failed data spindle.
+    pub disk: usize,
+    /// When the spindle failed.
+    pub started: SimTime,
+    /// When the hot-spare rebuild completes and the set returns to normal.
+    pub done: SimTime,
+}
+
 /// A live RAID set owning its member spindles.
 #[derive(Clone, Debug)]
 pub struct RaidSet {
@@ -63,10 +78,14 @@ pub struct RaidSet {
     pub spec: RaidSpec,
     data: Vec<Disk>,
     parity: Vec<Disk>,
+    /// Active rebuild, if a data spindle has failed and not yet rebuilt.
+    rebuild: Option<Rebuild>,
     /// Totals for reports.
     pub total_reads: u64,
     /// Total write operations.
     pub total_writes: u64,
+    /// Reads served by parity reconstruction while degraded.
+    pub degraded_reads: u64,
 }
 
 impl RaidSet {
@@ -84,18 +103,78 @@ impl RaidSet {
             spec,
             data,
             parity,
+            rebuild: None,
             total_reads: 0,
             total_writes: 0,
+            degraded_reads: 0,
         }
     }
 
+    /// Fail data spindle `disk` at `now` and start a hot-spare rebuild that
+    /// copies the spindle's capacity at `rebuild_rate` bytes/sec. Returns
+    /// the rebuild completion time. Requires parity (an 8+P set keeps
+    /// serving; a RAID-0 set would simply have lost data).
+    pub fn fail_data_disk(&mut self, now: SimTime, disk: usize, rebuild_rate: f64) -> SimTime {
+        assert!(disk < self.data.len(), "no such data spindle");
+        assert!(
+            !self.parity.is_empty(),
+            "spindle failure without parity loses data; only 8+P sets are rebuildable"
+        );
+        assert!(rebuild_rate > 0.0, "rebuild rate must be positive");
+        assert!(self.rebuild.is_none(), "double spindle failure not modeled");
+        let secs = self.spec.disk.capacity as f64 / rebuild_rate;
+        let done = now + SimDuration::from_secs_f64(secs);
+        self.rebuild = Some(Rebuild {
+            disk,
+            started: now,
+            done,
+        });
+        done
+    }
+
+    /// The active rebuild, if any (not yet lazily retired).
+    pub fn rebuild(&self) -> Option<Rebuild> {
+        self.rebuild
+    }
+
+    /// Whether the set is running degraded (rebuild still in progress) at
+    /// `now`.
+    pub fn is_degraded(&self, now: SimTime) -> bool {
+        matches!(self.rebuild, Some(r) if now < r.done)
+    }
+
+    /// Retire a finished rebuild: the spare is in place and the set is
+    /// clean again. Called lazily from `submit`.
+    fn maybe_finish_rebuild(&mut self, now: SimTime) {
+        if let Some(r) = self.rebuild {
+            if now >= r.done {
+                self.rebuild = None;
+            }
+        }
+    }
+
+    /// Service-time inflation applied to foreground I/O while the rebuild
+    /// consumes [`REBUILD_SHARE`] of every spindle.
+    fn rebuild_inflation(&self) -> f64 {
+        1.0 / (1.0 - REBUILD_SHARE)
+    }
+
     /// Submit a logical I/O against the set at `now`; returns the completion
-    /// time (when every involved spindle has finished its share).
+    /// time (when every involved spindle has finished its share). While a
+    /// rebuild is in progress the completion is stretched by
+    /// [`REBUILD_SHARE`]'s worth of stolen spindle time; writes aimed at the
+    /// failed spindle land on the hot spare at the same cost.
     pub fn submit(&mut self, now: SimTime, kind: IoKind, offset: u64, bytes: u64) -> SimTime {
         assert!(bytes > 0, "zero-byte RAID I/O");
-        match kind {
+        self.maybe_finish_rebuild(now);
+        let done = match kind {
             IoKind::Read => self.submit_read(now, offset, bytes),
             IoKind::Write => self.submit_write(now, offset, bytes),
+        };
+        if self.is_degraded(now) {
+            now + SimDuration::from_secs_f64(done.since(now).as_secs_f64() * self.rebuild_inflation())
+        } else {
+            done
         }
     }
 
@@ -131,17 +210,48 @@ impl RaidSet {
 
     fn submit_read(&mut self, now: SimTime, offset: u64, bytes: u64) -> SimTime {
         self.total_reads += 1;
+        let failed = self.rebuild.map(|r| r.disk);
         let mut done = now;
         for (d, off, len) in self.shares(offset, bytes) {
-            let t = self.data[d].submit(
-                now,
-                DiskIo {
-                    kind: IoKind::Read,
-                    offset: off,
-                    bytes: len,
-                },
-            );
-            done = done.max(t);
+            if Some(d) == failed {
+                // The share lived on the lost spindle: reconstruct it from
+                // every surviving data spindle plus parity (RAID-5
+                // rebuild-on-read), which costs a same-sized read on each.
+                self.degraded_reads += 1;
+                for (i, disk) in self.data.iter_mut().enumerate() {
+                    if i == d {
+                        continue;
+                    }
+                    let t = disk.submit(
+                        now,
+                        DiskIo {
+                            kind: IoKind::Read,
+                            offset: off,
+                            bytes: len,
+                        },
+                    );
+                    done = done.max(t);
+                }
+                let t = self.parity[0].submit(
+                    now,
+                    DiskIo {
+                        kind: IoKind::Read,
+                        offset: off,
+                        bytes: len,
+                    },
+                );
+                done = done.max(t);
+            } else {
+                let t = self.data[d].submit(
+                    now,
+                    DiskIo {
+                        kind: IoKind::Read,
+                        offset: off,
+                        bytes: len,
+                    },
+                );
+                done = done.max(t);
+            }
         }
         done
     }
@@ -349,5 +459,60 @@ mod tests {
     #[should_panic(expected = "zero-byte RAID I/O")]
     fn zero_byte_rejected() {
         set().submit(SimTime::ZERO, IoKind::Read, 0, 0);
+    }
+
+    #[test]
+    fn degraded_read_reconstructs_and_is_slower() {
+        let mut healthy = set();
+        let t_ok = healthy.submit(SimTime::ZERO, IoKind::Read, 0, 8 * MBYTE);
+
+        let mut degraded = set();
+        // Long rebuild so the whole read happens degraded.
+        degraded.fail_data_disk(SimTime::ZERO, 0, 1024.0 * 1024.0);
+        let t_deg = degraded.submit(SimTime::ZERO, IoKind::Read, 0, 8 * MBYTE);
+        assert!(degraded.degraded_reads > 0, "failed spindle never touched");
+        assert!(
+            t_deg > t_ok,
+            "degraded read {t_deg:?} not slower than healthy {t_ok:?}"
+        );
+    }
+
+    #[test]
+    fn rebuild_finishes_and_set_returns_to_normal() {
+        let mut s = set();
+        // Rebuild the 250 GB spindle at 250 MB/s -> 1000 seconds.
+        let done = s.fail_data_disk(SimTime::ZERO, 3, 250.0 * MBYTE as f64);
+        assert!(s.is_degraded(SimTime::from_secs_f64(999.0)));
+        assert!(!s.is_degraded(done));
+        // An I/O after completion retires the rebuild and runs clean.
+        let after = done + SimDuration::from_secs_f64(1.0);
+        s.submit(after, IoKind::Read, 0, MBYTE);
+        assert!(s.rebuild().is_none());
+        assert_eq!(s.degraded_reads, 0);
+    }
+
+    #[test]
+    fn io_during_rebuild_is_inflated() {
+        let mut healthy = set();
+        // Touch only healthy spindles (share on disk 1, failed disk is 0).
+        let unit = healthy.spec.stripe_unit;
+        let t_ok = healthy.submit(SimTime::ZERO, IoKind::Read, unit, unit);
+
+        let mut s = set();
+        s.fail_data_disk(SimTime::ZERO, 0, 1024.0 * 1024.0);
+        let t_deg = s.submit(SimTime::ZERO, IoKind::Read, unit, unit);
+        assert_eq!(s.degraded_reads, 0, "share should avoid the failed disk");
+        let ratio = t_deg.as_secs_f64() / t_ok.as_secs_f64();
+        assert!(
+            (ratio - 1.0 / (1.0 - REBUILD_SHARE)).abs() < 1e-6,
+            "rebuild throttle ratio {ratio}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "without parity")]
+    fn raid0_spindle_loss_is_fatal() {
+        let mut s = RaidSet::new(RaidSpec::sata_8p1().raid0());
+        s.fail_data_disk(SimTime::ZERO, 0, 1.0);
     }
 }

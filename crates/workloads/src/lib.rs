@@ -23,11 +23,10 @@ pub mod zipf;
 
 use rand::rngs::StdRng;
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 use simcore::{SimDuration, GBYTE, MBYTE, TBYTE};
 
 /// One step of a workload.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Phase {
     /// Compute/think for a duration (no I/O).
     Compute(SimDuration),
@@ -61,7 +60,7 @@ impl Phase {
 }
 
 /// A named phase sequence.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Workload {
     /// Display name.
     pub name: String,

@@ -9,7 +9,9 @@
 //!
 //! * [`gfs`] — the wide-area shared-disk parallel filesystem (the paper's
 //!   primary artifact): NSD serving, striping, byte-range tokens, page
-//!   pool, multi-cluster RSA authentication, MPI-IO, SAN/FCIP client mode.
+//!   pool, multi-cluster RSA authentication, MPI-IO, SAN/FCIP client mode,
+//!   and deterministic fault injection ([`gfs::FaultPlan`], [`gfs::inject`])
+//!   with client-side timeout/retry/failover and a [`gfs::RecoveryLog`].
 //! * [`simcore`] / [`simnet`] / [`simsan`] — the deterministic simulation
 //!   substrate: event engine, flow-level WAN, Fibre Channel storage.
 //! * [`gfs_auth`] — bignum/RSA/SHA-256/cipher/GSI identity substrate.
@@ -17,7 +19,10 @@
 //! * [`hsm`] — tape archive with watermark migration (§8).
 //! * [`workloads`] — Enzo, NVO, SCEC, sort, visualization generators.
 //! * [`scenarios`] — the paper's testbeds: SC'02, SC'03, SC'04,
-//!   production 2005, DEISA.
+//!   production 2005, DEISA; plus [`scenarios::ScenarioBuilder`] for
+//!   assembling ad-hoc sites/farms/workloads with a fault plan, and
+//!   [`scenarios::recovery`] for the crash/flap/disk-failure recovery
+//!   experiments.
 //!
 //! ```no_run
 //! use globalfs::scenarios;

@@ -5,6 +5,8 @@
 //! concurrent clients (interleaved in simulated time) and check that no
 //! torn mixtures ever become visible.
 
+#![allow(clippy::type_complexity)] // Sim callback signatures are inherent to the event-driven style
+
 use bytes::Bytes;
 use globalfs::gfs::client;
 use globalfs::gfs::fscore::FsConfig;

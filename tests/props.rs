@@ -1,5 +1,9 @@
-//! Property-based tests over the core data structures and invariants,
-//! exercised from outside the crates through the public API.
+//! Randomized-but-deterministic tests over the core data structures and
+//! invariants, exercised from outside the crates through the public API.
+//!
+//! These were property-based tests; in the hermetic build they run the same
+//! invariant checks over seeded `StdRng` case generators, so every CI run
+//! exercises an identical (but broad) case set.
 
 use bytes::Bytes;
 use globalfs::gfs::fscore::{DataMode, FsConfig, FsCore};
@@ -9,57 +13,85 @@ use globalfs::gfs_auth::bigint::BigUint;
 use globalfs::gfs_auth::{sha256, StreamCipher};
 use globalfs::simcore::{RateSeries, SimDuration, SimTime};
 use globalfs::simnet::fairshare::{allocate, SolverFlow};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
 
 // ---------------------------------------------------------------------
 // BigUint: algebraic laws against u128 reference arithmetic
 // ---------------------------------------------------------------------
 
-proptest! {
-    #[test]
-    fn bigint_add_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+#[test]
+fn bigint_add_matches_u128() {
+    let mut r = rng(0xadd);
+    for _ in 0..256 {
+        let (a, b): (u64, u64) = (r.gen(), r.gen());
         let sum = BigUint::from_u64(a).add(&BigUint::from_u64(b));
         let expect = a as u128 + b as u128;
-        let got = BigUint::from_be_bytes(&expect.to_be_bytes());
-        prop_assert_eq!(sum, got);
+        assert_eq!(sum, BigUint::from_be_bytes(&expect.to_be_bytes()));
     }
+}
 
-    #[test]
-    fn bigint_mul_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+#[test]
+fn bigint_mul_matches_u128() {
+    let mut r = rng(0xa11);
+    for _ in 0..256 {
+        let (a, b): (u64, u64) = (r.gen(), r.gen());
         let prod = BigUint::from_u64(a).mul(&BigUint::from_u64(b));
         let expect = a as u128 * b as u128;
-        prop_assert_eq!(prod, BigUint::from_be_bytes(&expect.to_be_bytes()));
+        assert_eq!(prod, BigUint::from_be_bytes(&expect.to_be_bytes()));
     }
+}
 
-    #[test]
-    fn bigint_divrem_identity(a in any::<u64>(), b in 1u64..) {
-        let (q, r) = BigUint::from_u64(a).div_rem(&BigUint::from_u64(b));
-        prop_assert_eq!(q.to_u64().unwrap(), a / b);
-        prop_assert_eq!(r.to_u64().unwrap(), a % b);
+#[test]
+fn bigint_divrem_identity() {
+    let mut r = rng(0xd1f);
+    for _ in 0..256 {
+        let a: u64 = r.gen();
+        let b = r.gen_range(1u64..=u64::MAX);
+        let (q, rem) = BigUint::from_u64(a).div_rem(&BigUint::from_u64(b));
+        assert_eq!(q.to_u64().unwrap(), a / b);
+        assert_eq!(rem.to_u64().unwrap(), a % b);
     }
+}
 
-    #[test]
-    fn bigint_bytes_roundtrip(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+#[test]
+fn bigint_bytes_roundtrip() {
+    let mut r = rng(0xb17e);
+    for len in 0..64usize {
+        let mut bytes = vec![0u8; len];
+        r.fill(&mut bytes);
         let x = BigUint::from_be_bytes(&bytes);
         let back = x.to_be_bytes();
         // Leading zeros are canonicalized away; values must agree.
-        prop_assert_eq!(BigUint::from_be_bytes(&back), x);
+        assert_eq!(BigUint::from_be_bytes(&back), x);
     }
+}
 
-    #[test]
-    fn bigint_modpow_matches_reference(base in any::<u32>(), exp in 0u32..64, m in 2u64..1_000_000) {
+#[test]
+fn bigint_modpow_matches_reference() {
+    let mut r = rng(0x90d);
+    for _ in 0..128 {
+        let base: u32 = r.gen();
+        let exp = r.gen_range(0u64..=63);
+        let m = r.gen_range(2u64..=1_000_000);
         let got = BigUint::from_u64(base as u64)
-            .modpow(&BigUint::from_u64(exp as u64), &BigUint::from_u64(m));
+            .modpow(&BigUint::from_u64(exp), &BigUint::from_u64(m));
         // Reference: square-and-multiply over u128.
         let mut acc: u128 = 1;
         let mut b = base as u128 % m as u128;
         let mut e = exp;
         while e > 0 {
-            if e & 1 == 1 { acc = acc * b % m as u128; }
+            if e & 1 == 1 {
+                acc = acc * b % m as u128;
+            }
             b = b * b % m as u128;
             e >>= 1;
         }
-        prop_assert_eq!(got.to_u64().unwrap() as u128, acc);
+        assert_eq!(got.to_u64().unwrap() as u128, acc);
     }
 }
 
@@ -67,25 +99,36 @@ proptest! {
 // Crypto: roundtrips
 // ---------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-    #[test]
-    fn cipher_roundtrips_any_payload(key in proptest::collection::vec(any::<u8>(), 1..64),
-                                     msg in proptest::collection::vec(any::<u8>(), 0..4096)) {
+#[test]
+fn cipher_roundtrips_any_payload() {
+    let mut r = rng(0xc1f);
+    for _ in 0..16 {
+        let key_len = r.gen_range(1usize..=63);
+        let msg_len = r.gen_range(0usize..=4095);
+        let mut key = vec![0u8; key_len];
+        let mut msg = vec![0u8; msg_len];
+        r.fill(&mut key);
+        r.fill(&mut msg);
         let mut enc = StreamCipher::new(&key);
         let ct = enc.process(&msg);
         let mut dec = StreamCipher::new(&key);
-        prop_assert_eq!(dec.process(&ct), msg);
+        assert_eq!(dec.process(&ct), msg);
     }
+}
 
-    #[test]
-    fn sha256_is_deterministic_and_sensitive(msg in proptest::collection::vec(any::<u8>(), 1..1024), flip in 0usize..1024) {
+#[test]
+fn sha256_is_deterministic_and_sensitive() {
+    let mut r = rng(0x5a);
+    for _ in 0..16 {
+        let len = r.gen_range(1usize..=1023);
+        let mut msg = vec![0u8; len];
+        r.fill(&mut msg);
         let d1 = sha256(&msg);
-        prop_assert_eq!(d1, sha256(&msg));
+        assert_eq!(d1, sha256(&msg));
         let mut tampered = msg.clone();
-        let i = flip % tampered.len();
+        let i = r.gen_range(0usize..=len - 1);
         tampered[i] ^= 1;
-        prop_assert_ne!(d1, sha256(&tampered));
+        assert_ne!(d1, sha256(&tampered));
     }
 }
 
@@ -93,57 +136,73 @@ proptest! {
 // Max-min fairness: feasibility and work conservation
 // ---------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-    #[test]
-    fn fairshare_is_feasible_and_conserving(
-        caps in proptest::collection::vec(1.0f64..1e9, 1..12),
-        paths in proptest::collection::vec(proptest::collection::vec(any::<u16>(), 1..4), 1..24),
-        capped in proptest::collection::vec(proptest::option::of(1.0f64..1e8), 1..24),
-    ) {
-        let nl = caps.len() as u16;
+#[test]
+fn fairshare_is_feasible_and_conserving() {
+    let mut r = rng(0xfa17);
+    for _case in 0..64 {
+        let nl = r.gen_range(1usize..=11);
+        let caps: Vec<f64> = (0..nl).map(|_| r.gen_range(1.0f64..=1e9)).collect();
+        let nf = r.gen_range(1usize..=23);
         // A physical path never crosses the same directed link twice:
-        // deduplicate globally, preserving order.
-        let paths: Vec<Vec<u32>> = paths.iter().map(|p| {
-            let mut seen = std::collections::HashSet::new();
-            p.iter()
-                .map(|x| u32::from(x % nl))
-                .filter(|l| seen.insert(*l))
-                .collect()
-        }).collect();
-        let flows: Vec<SolverFlow> = paths.iter().zip(capped.iter().cycle()).map(|(p, c)| SolverFlow {
-            path: p,
-            cap: c.unwrap_or(f64::INFINITY),
-        }).collect();
+        // draw a few links per flow and deduplicate, preserving order.
+        let paths: Vec<Vec<u32>> = (0..nf)
+            .map(|_| {
+                let hops = r.gen_range(1usize..=3);
+                let mut seen = std::collections::HashSet::new();
+                (0..hops)
+                    .map(|_| r.gen_range(0u64..=(nl as u64 - 1)) as u32)
+                    .filter(|l| seen.insert(*l))
+                    .collect()
+            })
+            .collect();
+        let flows: Vec<SolverFlow> = paths
+            .iter()
+            .map(|p| SolverFlow {
+                path: p,
+                cap: if r.gen::<f64>() < 0.5 {
+                    r.gen_range(1.0f64..=1e8)
+                } else {
+                    f64::INFINITY
+                },
+            })
+            .collect();
         let rates = allocate(&caps, &flows);
-        prop_assert_eq!(rates.len(), flows.len());
+        assert_eq!(rates.len(), flows.len());
         // 1. No link exceeds capacity.
         for (l, &cap) in caps.iter().enumerate() {
-            let used: f64 = flows.iter().zip(&rates)
+            let used: f64 = flows
+                .iter()
+                .zip(&rates)
                 .filter(|(f, _)| f.path.contains(&(l as u32)))
-                .map(|(_, r)| *r).sum();
-            prop_assert!(used <= cap * (1.0 + 1e-6), "link {} used {} > cap {}", l, used, cap);
+                .map(|(_, r)| *r)
+                .sum();
+            assert!(used <= cap * (1.0 + 1e-6), "link {l} used {used} > cap {cap}");
         }
         // 2. No flow exceeds its own cap.
-        for (f, r) in flows.iter().zip(&rates) {
-            prop_assert!(*r <= f.cap * (1.0 + 1e-6));
+        for (f, rate) in flows.iter().zip(&rates) {
+            assert!(*rate <= f.cap * (1.0 + 1e-6));
         }
         // 3. Every flow gets a strictly positive rate (no starvation).
-        for r in &rates {
-            prop_assert!(*r > 0.0);
+        for rate in &rates {
+            assert!(*rate > 0.0);
         }
         // 4. Work conservation: each flow is limited by a saturated link
         //    or by its own cap.
-        for (f, r) in flows.iter().zip(&rates) {
-            let capped_by_self = *r >= f.cap * (1.0 - 1e-6);
+        for (f, rate) in flows.iter().zip(&rates) {
+            let capped_by_self = *rate >= f.cap * (1.0 - 1e-6);
             let capped_by_link = f.path.iter().any(|&l| {
-                let used: f64 = flows.iter().zip(&rates)
+                let used: f64 = flows
+                    .iter()
+                    .zip(&rates)
                     .filter(|(g, _)| g.path.contains(&l))
-                    .map(|(_, r)| *r).sum();
+                    .map(|(_, r)| *r)
+                    .sum();
                 used >= caps[l as usize] * (1.0 - 1e-6)
             });
-            prop_assert!(capped_by_self || capped_by_link,
-                "flow with rate {} is not limited by anything", r);
+            assert!(
+                capped_by_self || capped_by_link,
+                "flow with rate {rate} is not limited by anything"
+            );
         }
     }
 }
@@ -152,31 +211,42 @@ proptest! {
 // Token manager: exclusion invariant under random workloads
 // ---------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-    #[test]
-    fn tokens_never_grant_conflicts(ops in proptest::collection::vec(
-        (0u32..6, 0u64..1000, 1u64..200, any::<bool>(), any::<bool>()), 1..80)) {
+#[test]
+fn tokens_never_grant_conflicts() {
+    let mut r = rng(0x70c);
+    for _case in 0..64 {
         let mut tm = TokenManager::new();
         let ino = InodeId(1);
-        for (client, start, len, write, release) in ops {
-            let c = ClientId(client);
-            if release {
+        let ops = r.gen_range(1usize..=79);
+        for _ in 0..ops {
+            let c = ClientId(r.gen_range(0u64..=5) as u32);
+            if r.gen::<f64>() < 0.5 {
                 tm.release_all(ino, c);
                 continue;
             }
-            let mode = if write { TokenMode::Write } else { TokenMode::Read };
+            let start = r.gen_range(0u64..=999);
+            let len = r.gen_range(1u64..=199);
+            let mode = if r.gen::<f64>() < 0.5 {
+                TokenMode::Write
+            } else {
+                TokenMode::Read
+            };
             tm.acquire(ino, c, ByteRange::new(start, start + len), mode);
             // Invariant: among current grants, no write range overlaps any
             // other client's range.
             let grants = tm.grants(ino);
             for (i, g1) in grants.iter().enumerate() {
                 for g2 in grants.iter().skip(i + 1) {
-                    if g1.client == g2.client { continue; }
+                    if g1.client == g2.client {
+                        continue;
+                    }
                     let overlap = g1.range.overlaps(&g2.range);
-                    let conflicting = g1.mode == TokenMode::Write || g2.mode == TokenMode::Write;
-                    prop_assert!(!(overlap && conflicting),
-                        "conflicting grants coexist: {:?} vs {:?}", g1, g2);
+                    let conflicting =
+                        g1.mode == TokenMode::Write || g2.mode == TokenMode::Write;
+                    assert!(
+                        !(overlap && conflicting),
+                        "conflicting grants coexist: {g1:?} vs {g2:?}"
+                    );
                 }
             }
         }
@@ -187,11 +257,10 @@ proptest! {
 // FsCore: random writes against an in-memory reference model
 // ---------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-    #[test]
-    fn fscore_block_data_matches_model(writes in proptest::collection::vec(
-        (0u64..32, any::<u8>()), 1..60)) {
+#[test]
+fn fscore_block_data_matches_model() {
+    let mut r = rng(0xf5c);
+    for _case in 0..32 {
         let mut fs = FsCore::create(FsConfig {
             name: "prop".into(),
             block_size: 4096,
@@ -201,7 +270,10 @@ proptest! {
         });
         let ino = fs.create_file("/f", Owner::local(1, 1), 0).unwrap();
         let mut model: std::collections::HashMap<u64, u8> = Default::default();
-        for (block, fill) in writes {
+        let writes = r.gen_range(1usize..=59);
+        for _ in 0..writes {
+            let block = r.gen_range(0u64..=31);
+            let fill = r.gen_range(0u64..=255) as u8;
             let addr = fs.ensure_block(ino, block).unwrap();
             fs.put_block_data(addr, Bytes::from(vec![fill; 4096]));
             fs.note_write(ino, block * 4096, 4096, 1).unwrap();
@@ -212,16 +284,16 @@ proptest! {
             let map = fs.block_map(ino, block * 4096, 1).unwrap();
             let addr = map[0].1.expect("written block has an address");
             let data = fs.get_block_data(addr);
-            prop_assert!(data.iter().all(|b| b == fill));
+            assert!(data.iter().all(|b| b == fill));
         }
         // Size is the max written extent.
         let max_block = model.keys().max().unwrap();
-        prop_assert_eq!(fs.stat("/f").unwrap().size, (max_block + 1) * 4096);
+        assert_eq!(fs.stat("/f").unwrap().size, (max_block + 1) * 4096);
         // No two blocks share a physical address.
         let mut addrs = std::collections::HashSet::new();
         for block in model.keys() {
             let map = fs.block_map(ino, block * 4096, 1).unwrap();
-            prop_assert!(addrs.insert(map[0].1.unwrap()), "duplicate physical address");
+            assert!(addrs.insert(map[0].1.unwrap()), "duplicate physical address");
         }
     }
 }
@@ -230,22 +302,25 @@ proptest! {
 // RateSeries: byte conservation under arbitrary recordings
 // ---------------------------------------------------------------------
 
-proptest! {
-    #[test]
-    fn rate_series_conserves_bytes(events in proptest::collection::vec(
-        (0u64..100_000, 1u64..1_000_000), 1..100)) {
-        let mut sorted = events.clone();
-        sorted.sort();
+#[test]
+fn rate_series_conserves_bytes() {
+    let mut r = rng(0x5e12);
+    for _case in 0..32 {
+        let n = r.gen_range(1usize..=99);
+        let mut events: Vec<(u64, u64)> = (0..n)
+            .map(|_| (r.gen_range(0u64..=99_999), r.gen_range(1u64..=999_999)))
+            .collect();
+        events.sort();
         let mut rs = RateSeries::new("prop", SimDuration::from_millis(10));
         let mut total = 0u64;
-        for (t_us, bytes) in &sorted {
+        for (t_us, bytes) in &events {
             rs.record(SimTime::from_micros(*t_us), *bytes);
             total += bytes;
         }
-        prop_assert_eq!(rs.total_bytes(), total);
+        assert_eq!(rs.total_bytes(), total);
         // Integrating the series recovers the total (each window's rate ×
         // its span).
-        let end = SimTime::from_micros(sorted.last().unwrap().0 + 1);
+        let end = SimTime::from_micros(events.last().unwrap().0 + 1);
         let series = rs.finish(end);
         let mut prev = SimTime::ZERO;
         let mut integrated = 0.0;
@@ -254,6 +329,6 @@ proptest! {
             prev = p.t;
         }
         let err = (integrated - total as f64).abs() / total as f64;
-        prop_assert!(err < 1e-6, "integrated {} vs total {}", integrated, total);
+        assert!(err < 1e-6, "integrated {integrated} vs total {total}");
     }
 }
