@@ -19,4 +19,15 @@ cargo test --workspace -q --offline
 echo "== cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
+echo "== perf smoke (benches/perf.rs -> BENCH_perf.json)"
+# Runs the heavy scenarios end-to-end under a wall clock and re-checks the
+# headline paper verdicts; any [OFF] verdict is a silent-results regression.
+perf_out=$(cargo bench -q -p gfs-bench --bench perf --offline)
+echo "$perf_out"
+test -f BENCH_perf.json
+if echo "$perf_out" | grep -q '\[OFF\]'; then
+    echo "perf smoke: a figure verdict regressed from [OK ]" >&2
+    exit 1
+fi
+
 echo "CI OK"

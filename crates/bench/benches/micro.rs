@@ -15,7 +15,7 @@ use gfs_auth::rsa::KeyPair;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use simcore::{Sim, SimTime};
-use simnet::fairshare::{allocate, SolverFlow};
+use simnet::fairshare::{allocate, Solver, SolverFlow};
 use std::hint::black_box;
 use std::time::Instant;
 
@@ -72,6 +72,37 @@ fn bench_fairshare() {
     bench("simnet: max-min solve 256 flows / 64 links", || {
         black_box(allocate(&caps, &flows));
     });
+}
+
+/// Solver scaling: the same topology shape at 100 / 1 000 / 10 000 flows,
+/// solved with a reused [`Solver`] (the `Network` hot path — scratch
+/// buffers warm) and with a fresh [`allocate`] (cold allocations every
+/// call). The gap is what the scratch reuse buys per recompute.
+fn bench_solver_scaling() {
+    for &n_flows in &[100usize, 1_000, 10_000] {
+        let n_links = (n_flows / 4).max(16);
+        let caps: Vec<f64> = (0..n_links).map(|i| 1e9 + i as f64).collect();
+        let paths: Vec<Vec<u32>> = (0..n_flows)
+            .map(|i| (0..4).map(|j| ((i * 7 + j * 13) % n_links) as u32).collect())
+            .collect();
+        let flows: Vec<SolverFlow> = paths
+            .iter()
+            .enumerate()
+            .map(|(i, p)| SolverFlow {
+                path: p,
+                cap: if i % 3 == 0 { 5e7 } else { f64::INFINITY },
+            })
+            .collect();
+        let mut solver = Solver::new();
+        let mut rates = Vec::new();
+        bench(&format!("simnet: solve {n_flows} flows, reused solver"), || {
+            solver.solve(&caps, &flows, &mut rates);
+            black_box(rates.as_slice());
+        });
+        bench(&format!("simnet: solve {n_flows} flows, fresh allocate"), || {
+            black_box(allocate(&caps, &flows));
+        });
+    }
 }
 
 fn bench_token_manager() {
@@ -191,6 +222,7 @@ fn main() {
     println!("== micro benchmarks (median of {ITERS}) ==");
     bench_event_engine();
     bench_fairshare();
+    bench_solver_scaling();
     bench_token_manager();
     bench_allocator();
     bench_rsa();

@@ -1,0 +1,191 @@
+//! Wall-clock performance harness — runs the heaviest end-to-end scenarios
+//! (the Fig. 11 production sweep, the SC'04 bandwidth challenge, and the
+//! recovery trio) under `std::time::Instant`, reports runtime and
+//! events/second for each, and re-checks the headline paper verdicts so a
+//! performance change that silently alters simulated results fails loudly.
+//!
+//! Besides the console table, the harness writes a machine-readable
+//! `BENCH_perf.json` at the repository root; `ci.sh` runs this bench as its
+//! perf smoke stage and fails if any verdict regresses from `[OK ]`.
+
+use gfs_bench::{header, table, verdict};
+use scenarios::production::{run_fig11, ProductionConfig};
+use scenarios::recovery::{
+    crash_one_of_n, disk_failure_during_sweep, link_flap_during_enzo, CrashConfig,
+};
+use scenarios::sc04::{self, Sc04Config};
+use simcore::SimDuration;
+use std::time::Instant;
+
+/// One timed scenario plus its pass/fail checks.
+struct Entry {
+    name: &'static str,
+    wall_seconds: f64,
+    events: u64,
+    /// (metric, paper value, measured value, relative tolerance)
+    checks: Vec<(&'static str, f64, f64, f64)>,
+}
+
+impl Entry {
+    fn events_per_sec(&self) -> f64 {
+        self.events as f64 / self.wall_seconds.max(1e-9)
+    }
+
+    fn all_ok(&self) -> bool {
+        self.checks
+            .iter()
+            .all(|(_, paper, measured, tol)| (measured - paper).abs() / paper.abs() <= *tol)
+    }
+}
+
+fn time_scenario<R>(f: impl FnOnce() -> R) -> (R, f64) {
+    let t0 = Instant::now();
+    let r = f();
+    (r, t0.elapsed().as_secs_f64())
+}
+
+fn run_fig11_entry() -> Entry {
+    let cfg = ProductionConfig::default();
+    let counts = [1u32, 2, 4, 8, 16, 32, 48, 64, 96, 128];
+    let (points, wall) = time_scenario(|| run_fig11(&cfg, &counts));
+    let events: u64 = points.iter().map(|(r, w)| r.events + w.events).sum();
+    let (r128, _) = &points[points.len() - 1];
+    Entry {
+        name: "fig11 production sweep (1..128 nodes, r+w)",
+        wall_seconds: wall,
+        events,
+        checks: vec![(
+            "read plateau (GB/s)",
+            5.9,
+            r128.aggregate_gbyte_per_sec(),
+            0.08,
+        )],
+    }
+}
+
+fn run_sc04_entry() -> Entry {
+    let (r, wall) = time_scenario(|| sc04::run(Sc04Config::default()));
+    Entry {
+        name: "sc04 bandwidth challenge (600 s)",
+        wall_seconds: wall,
+        events: r.events,
+        checks: vec![
+            ("aggregate rate (Gb/s)", 24.0, r.aggregate_steady.mean, 0.08),
+            ("momentary peak (Gb/s)", 27.0, r.peak_gbs, 0.08),
+        ],
+    }
+}
+
+fn run_recovery_entry() -> Entry {
+    let (reports, wall) = time_scenario(|| {
+        let crash = crash_one_of_n(&CrashConfig::default());
+        let flap = link_flap_during_enzo(21, SimDuration::from_secs(5));
+        let disk = disk_failure_during_sweep(31);
+        (crash, flap, disk)
+    });
+    let (crash, flap, disk) = &reports;
+    // Booleans become 0/1 checks against 1.0 so they flow through the same
+    // verdict machinery as the throughput numbers.
+    let as_num = |b: bool| if b { 1.0 } else { 0.0 };
+    Entry {
+        name: "recovery trio (crash + flap + disk)",
+        wall_seconds: wall,
+        events: crash.events + flap.events + disk.events,
+        checks: vec![
+            ("crash write completed", 1.0, as_num(crash.completed == 1), 0.0),
+            ("crash read-back intact", 1.0, as_num(crash.data_intact), 0.0),
+            ("flap campaign completed", 1.0, as_num(flap.completed), 0.0),
+            ("disk sweep completed", 1.0, as_num(disk.completed), 0.0),
+            ("disk degraded reads served", 1.0, as_num(disk.degraded_reads > 0), 0.0),
+        ],
+    }
+}
+
+/// Minimal JSON string escape — names here are ASCII identifiers, but stay
+/// correct if one ever grows a quote.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn write_json(entries: &[Entry]) -> std::io::Result<()> {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_perf.json");
+    let mut body = String::from("{\n  \"scenarios\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        body.push_str("    {\n");
+        body.push_str(&format!("      \"name\": {},\n", json_str(e.name)));
+        body.push_str(&format!("      \"wall_seconds\": {:.6},\n", e.wall_seconds));
+        body.push_str(&format!("      \"events\": {},\n", e.events));
+        body.push_str(&format!(
+            "      \"events_per_sec\": {:.1},\n",
+            e.events_per_sec()
+        ));
+        body.push_str(&format!("      \"ok\": {},\n", e.all_ok()));
+        body.push_str("      \"checks\": [\n");
+        for (j, (metric, paper, measured, tol)) in e.checks.iter().enumerate() {
+            body.push_str(&format!(
+                "        {{\"metric\": {}, \"paper\": {paper}, \"measured\": {measured}, \"tol\": {tol}}}{}\n",
+                json_str(metric),
+                if j + 1 < e.checks.len() { "," } else { "" }
+            ));
+        }
+        body.push_str("      ]\n");
+        body.push_str(&format!(
+            "    }}{}\n",
+            if i + 1 < entries.len() { "," } else { "" }
+        ));
+    }
+    let total_wall: f64 = entries.iter().map(|e| e.wall_seconds).sum();
+    let total_events: u64 = entries.iter().map(|e| e.events).sum();
+    body.push_str("  ],\n");
+    body.push_str(&format!("  \"total_wall_seconds\": {total_wall:.6},\n"));
+    body.push_str(&format!("  \"total_events\": {total_events},\n"));
+    body.push_str(&format!(
+        "  \"all_ok\": {}\n}}\n",
+        entries.iter().all(Entry::all_ok)
+    ));
+    std::fs::write(path, body)
+}
+
+fn main() {
+    header("Wall-clock performance harness");
+    let entries = [run_fig11_entry(), run_sc04_entry(), run_recovery_entry()];
+
+    let rows: Vec<Vec<String>> = entries
+        .iter()
+        .map(|e| {
+            vec![
+                e.name.to_string(),
+                format!("{:.0} ms", e.wall_seconds * 1e3),
+                format!("{}", e.events),
+                format!("{:.0}", e.events_per_sec()),
+            ]
+        })
+        .collect();
+    table(&["scenario", "wall", "events", "events/s"], &rows);
+
+    println!();
+    for e in &entries {
+        for (metric, paper, measured, tol) in &e.checks {
+            verdict(metric, *paper, *measured, *tol);
+        }
+    }
+
+    match write_json(&entries) {
+        Ok(()) => println!("\n  wrote BENCH_perf.json"),
+        Err(e) => {
+            eprintln!("failed to write BENCH_perf.json: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -11,6 +11,22 @@ use crate::bigint::BigUint;
 use crate::prime::gen_prime;
 use crate::sha256::sha256;
 use rand::rngs::StdRng;
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+/// Memoized keygen result: the pair plus the generator state to replay.
+type CachedKeygen = (KeyPair, [u64; 4]);
+
+thread_local! {
+    // Keypair derivation is a pure function of (bits, generator state), and
+    // prime search dominates scenario setup wall-clock: a parameter sweep
+    // rebuilds the same world many times, paying the same keygen each point.
+    // Memoizing on the exact pre-call state and replaying the recorded
+    // post-call state keeps the caller's draw stream bit-identical to an
+    // uncached run.
+    static KEYGEN_CACHE: RefCell<HashMap<(u32, [u64; 4]), CachedKeygen>> =
+        RefCell::new(HashMap::new());
+}
 
 /// Public half of a keypair — what `mmauth` writes into the exchange file.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -43,8 +59,22 @@ pub enum RsaError {
 const PUBLIC_EXPONENT: u64 = 65537;
 
 impl KeyPair {
-    /// Generate a keypair with a modulus of about `bits` bits.
+    /// Generate a keypair with a modulus of about `bits` bits. Results are
+    /// memoized per thread on the exact generator state, so regenerating
+    /// from an identical seed (e.g. across sweep points) is free while the
+    /// returned key and the generator's subsequent stream stay identical.
     pub fn generate(bits: u32, rng: &mut StdRng) -> KeyPair {
+        let key = (bits, rng.state());
+        if let Some((kp, after)) = KEYGEN_CACHE.with(|c| c.borrow().get(&key).cloned()) {
+            rng.set_state(after);
+            return kp;
+        }
+        let kp = Self::generate_uncached(bits, rng);
+        KEYGEN_CACHE.with(|c| c.borrow_mut().insert(key, (kp.clone(), rng.state())));
+        kp
+    }
+
+    fn generate_uncached(bits: u32, rng: &mut StdRng) -> KeyPair {
         assert!(
             bits >= 384,
             "modulus too small for digest padding: {bits} bits (need >= 384)"
@@ -230,6 +260,22 @@ mod tests {
         let a = KeyPair::generate(384, &mut rng(42));
         let b = KeyPair::generate(384, &mut rng(42));
         assert_eq!(a.public, b.public);
+    }
+
+    #[test]
+    fn memoized_keygen_replays_rng_stream() {
+        use rand::Rng;
+        // First call misses the cache, second call (same state) hits it; the
+        // generator must land in exactly the same state either way, so draws
+        // after the call are identical.
+        let mut a = rng(123);
+        let mut b = rng(123);
+        let ka = KeyPair::generate(384, &mut a);
+        let kb = KeyPair::generate(384, &mut b);
+        assert_eq!(ka.public, kb.public);
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
     }
 
     #[test]

@@ -700,9 +700,14 @@ fn revoke_at_holder(
 // `costs.request_timeout` the attempt is abandoned and retried after a
 // bounded exponential backoff with seeded jitter, re-resolving the target
 // server each time so requests fail over to the next healthy NSD server in
-// the ring. A response arriving after its watchdog fired is dropped (the
-// retry owns the operation). `costs.max_retries` timeouts surface
-// `FsError::Timeout`; no reachable server at all is `FsError::ServerDown`.
+// the ring. The watchdog is a cancellable timer ([`Sim::timer_after`]): the
+// response path revokes it on arrival, so completed requests leave nothing
+// behind in the event queue, and a response arriving after its watchdog
+// fired finds the cancel refused and is dropped (the retry owns the
+// operation). The completion callback lives in a shared one-shot slot that
+// successive attempts hand forward; `costs.max_retries` timeouts surface
+// `FsError::Timeout`, and no reachable server at all is
+// `FsError::ServerDown`.
 
 /// Shared one-shot completion slot: the watchdog and the response path race
 /// to take it.
@@ -797,17 +802,13 @@ fn fetch_attempt(
     let from = client_node(w, client);
     let rpcb = w.costs.rpc_bytes;
     let window = w.costs.flow_window;
-    let settled = Rc::new(Cell::new(false));
 
-    // Watchdog.
+    // Watchdog: a cancellable timer the response path revokes on arrival.
+    // If it fires, this attempt is abandoned and the retry owns the slot.
     let timeout = w.costs.request_timeout;
-    {
-        let settled = settled.clone();
+    let watchdog = {
         let cb = cb.clone();
-        sim.after(timeout, move |sim, w| {
-            if settled.replace(true) {
-                return;
-            }
+        sim.timer_after(timeout, move |sim, w| {
             w.recovery
                 .log(sim.now(), RecoveryWhat::TimeoutDetected { client, server });
             if attempt >= w.costs.max_retries {
@@ -830,8 +831,8 @@ fn fetch_attempt(
                     cb,
                 );
             });
-        });
-    }
+        })
+    };
 
     Network::send_msg(sim, w, from, server, rpcb, move |sim, w| {
         // A crashed server silently drops the request: the watchdog is the
@@ -858,7 +859,7 @@ fn fetch_attempt(
                 tag: tags::NSD_READ,
             };
             Network::start_flow(sim, w, spec, move |sim, w| {
-                if settled.replace(true) {
+                if !sim.cancel_timer(watchdog) {
                     return; // watchdog fired first; a retry owns this fetch
                 }
                 let data = w.fss[fs.0 as usize].core.get_block_data(addr);
@@ -925,18 +926,13 @@ fn flush_attempt(
     log_failover(sim, w, client, prev_server, server);
     let from = client_node(w, client);
     let window = w.costs.flow_window;
-    let settled = Rc::new(Cell::new(false));
 
-    // Watchdog.
+    // Watchdog: cancelled by the ack path; on fire the retry owns the slot.
     let timeout = w.costs.request_timeout;
-    {
-        let settled = settled.clone();
+    let watchdog = {
         let cb = cb.clone();
         let data = data.clone();
-        sim.after(timeout, move |sim, w| {
-            if settled.replace(true) {
-                return;
-            }
+        sim.timer_after(timeout, move |sim, w| {
             w.recovery
                 .log(sim.now(), RecoveryWhat::TimeoutDetected { client, server });
             if attempt >= w.costs.max_retries {
@@ -960,8 +956,8 @@ fn flush_attempt(
                     cb,
                 );
             });
-        });
-    }
+        })
+    };
 
     let spec = FlowSpec {
         src: from,
@@ -988,7 +984,7 @@ fn flush_attempt(
             // Ack back to the client.
             let rpcb = w.costs.rpc_bytes;
             Network::send_msg(sim, w, server, from, rpcb, move |sim, w| {
-                if settled.replace(true) {
+                if !sim.cancel_timer(watchdog) {
                     return; // a retry owns this flush now
                 }
                 w.clients[client.0 as usize].pool.mark_clean(key);

@@ -146,6 +146,22 @@ pub mod rngs {
         }
     }
 
+    impl StdRng {
+        /// Snapshot the full 256-bit generator state. Together with
+        /// [`StdRng::set_state`] this lets callers memoize an expensive
+        /// derivation keyed by the exact state the generator was in, then
+        /// replay the stream position on a cache hit so the draw sequence is
+        /// indistinguishable from having re-run the derivation.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Restore a state previously captured with [`StdRng::state`].
+        pub fn set_state(&mut self, s: [u64; 4]) {
+            self.s = s;
+        }
+    }
+
     impl Rng for StdRng {
         fn next_u64(&mut self) -> u64 {
             // xoshiro256**

@@ -71,6 +71,9 @@ pub struct ScalingPoint {
     pub bytes: u64,
     /// Makespan in seconds.
     pub seconds: f64,
+    /// Simulation events executed producing this point (for the perf
+    /// harness's events/sec reporting).
+    pub events: u64,
 }
 
 impl ScalingPoint {
@@ -168,6 +171,7 @@ pub fn run_scaling_point(cfg: ProductionConfig, nodes: u32, direction: Direction
         direction,
         bytes: u64::from(nodes) * cfg.per_client_bytes,
         seconds: SimTime::from_nanos(finish.get()).as_secs_f64(),
+        events: sim.executed(),
     }
 }
 
@@ -298,6 +302,7 @@ pub fn run_anl(nodes: u32) -> ScalingPoint {
         direction: Direction::Read,
         bytes: u64::from(nodes) * per_client,
         seconds: SimTime::from_nanos(finish.get()).as_secs_f64(),
+        events: sim.executed(),
     }
 }
 

@@ -81,6 +81,9 @@ pub struct CrashReport {
     pub client_series: TimeSeries,
     /// When the write completed.
     pub finish: SimTime,
+    /// Simulation events executed by the main run (before read-back), for
+    /// the perf harness's events/sec reporting.
+    pub events: u64,
 }
 
 /// A copy of `s` truncated to points at or before `t` (monitoring pads
@@ -117,6 +120,7 @@ pub fn crash_one_of_n(cfg: &CrashConfig) -> CrashReport {
     sb.sample_every(SimDuration::from_millis(50));
 
     let mut run = sb.run(SimTime::from_secs(60));
+    let events = run.sim.executed();
     let fsck_clean = gfs::fsck(&run.world.fss[fs.0 as usize].core).is_clean();
     let data_intact = run.completed == 1 && read_back_matches(&mut run, c, cfg.bytes);
 
@@ -133,6 +137,7 @@ pub fn crash_one_of_n(cfg: &CrashConfig) -> CrashReport {
         dip,
         client_series,
         finish: run.finish,
+        events,
     }
 }
 
@@ -198,6 +203,9 @@ pub struct FlapReport {
     pub recovery: RecoveryLog,
     /// WAN link forward-direction rate series.
     pub wan_series: TimeSeries,
+    /// Simulation events executed (for the perf harness's events/sec
+    /// reporting).
+    pub events: u64,
 }
 
 /// An Enzo checkpoint campaign streams from NCSA to the SDSC farm over a
@@ -234,6 +242,7 @@ pub fn link_flap_during_enzo(seed: u64, outage: SimDuration) -> FlapReport {
         makespan: run.finish,
         recovery: run.recovery.clone(),
         wan_series: series_named(&run.series, "teragrid>"),
+        events: run.sim.executed(),
     }
 }
 
@@ -252,6 +261,9 @@ pub struct DiskFailReport {
     pub degraded_reads: u64,
     /// Whether the rebuild completed within the run (logged as Restored).
     pub rebuild_completed: bool,
+    /// Simulation events executed across both runs (baseline + faulted),
+    /// for the perf harness's events/sec reporting.
+    pub events: u64,
 }
 
 /// A Fig.11-style write-then-read sweep against a detailed DS4100 array;
@@ -309,6 +321,7 @@ pub fn disk_failure_during_sweep(seed: u64) -> DiskFailReport {
             .recovery
             .count(|e| matches!(e, gfs::RecoveryWhat::Restored(_)))
             > 0,
+        events: baseline.sim.executed() + faulted.sim.executed(),
     }
 }
 

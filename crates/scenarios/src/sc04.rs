@@ -76,6 +76,9 @@ pub struct Sc04Result {
     pub san_theoretical_gbyte: f64,
     /// Measured-model show-floor filesystem rate, GB/s.
     pub san_achieved_gbyte: f64,
+    /// Simulation events executed (for the perf harness's events/sec
+    /// reporting).
+    pub events: u64,
 }
 
 /// Filesystem-level efficiency of the show-floor SAN path (GPFS overhead
@@ -255,6 +258,7 @@ pub fn run(cfg: Sc04Config) -> Sc04Result {
         site_series: (sdsc_series, ncsa_series),
         san_theoretical_gbyte: 120.0 * Bandwidth::gbit(2.0).bytes_per_sec() / GBYTE as f64,
         san_achieved_gbyte: san_achieved,
+        events: sim.executed(),
     }
 }
 

@@ -28,7 +28,7 @@ pub mod units;
 
 pub use rng::det_rng;
 pub use series::{Dip, RateSeries, SeriesPoint, TimeSeries};
-pub use sim::{Action, Sim};
+pub use sim::{Action, Sim, TimerId};
 pub use stats::Summary;
 pub use time::{SimDuration, SimTime};
 pub use units::{Bandwidth, ByteSize, GBIT, GBYTE, KBYTE, MBIT, MBYTE, TBYTE};

@@ -7,10 +7,31 @@
 
 use crate::time::{SimDuration, SimTime};
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BTreeMap, BinaryHeap};
 
 /// A scheduled action: the only kind of event the engine knows about.
 pub type Action<W> = Box<dyn FnOnce(&mut Sim<W>, &mut W)>;
+
+/// Handle to a cancellable timer scheduled with [`Sim::timer_at`] /
+/// [`Sim::timer_after`]. Generation-checked: a handle kept past its timer's
+/// firing (or cancellation) safely fails to cancel instead of touching a
+/// recycled slot.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TimerId {
+    slot: u32,
+    gen: u32,
+}
+
+/// One slab slot backing a cancellable timer. `pending` is `Some` only while
+/// the timer is queued; `gen` increments every time the slot is consumed
+/// (fired or cancelled), invalidating outstanding [`TimerId`]s. `key` is the
+/// timer's (time, seq) entry in the queue, kept so cancellation stays
+/// O(log n).
+struct TimerSlot<W> {
+    gen: u32,
+    pending: Option<Action<W>>,
+    key: (SimTime, u64),
+}
 
 struct Entry<W> {
     at: SimTime,
@@ -46,6 +67,12 @@ pub struct Sim<W> {
     seq: u64,
     executed: u64,
     heap: BinaryHeap<Entry<W>>,
+    /// Cancellable timers, keyed by firing order. Shares the `seq` counter
+    /// with the heap so [`Sim::step`] can merge both sources into one global
+    /// FIFO-per-instant order.
+    timers: BTreeMap<(SimTime, u64), u32>,
+    timer_slots: Vec<TimerSlot<W>>,
+    free_timer_slots: Vec<u32>,
     /// Optional hard stop; events scheduled later than this are kept but not
     /// executed by [`Sim::run`].
     horizon: Option<SimTime>,
@@ -65,6 +92,9 @@ impl<W> Sim<W> {
             seq: 0,
             executed: 0,
             heap: BinaryHeap::new(),
+            timers: BTreeMap::new(),
+            timer_slots: Vec::new(),
+            free_timer_slots: Vec::new(),
             horizon: None,
         }
     }
@@ -79,9 +109,9 @@ impl<W> Sim<W> {
         self.executed
     }
 
-    /// Number of events still queued.
+    /// Number of events still queued (one-shot actions plus live timers).
     pub fn pending(&self) -> usize {
-        self.heap.len()
+        self.heap.len() + self.timers.len()
     }
 
     /// Set a hard horizon: [`Sim::run`] stops before executing any event
@@ -118,24 +148,107 @@ impl<W> Sim<W> {
         self.at(self.now, act);
     }
 
+    /// Schedule a cancellable timer at absolute time `at`. Fires exactly like
+    /// an [`Sim::at`] event (same global time/FIFO order) unless cancelled
+    /// first with [`Sim::cancel_timer`].
+    pub fn timer_at(
+        &mut self,
+        at: SimTime,
+        act: impl FnOnce(&mut Sim<W>, &mut W) + 'static,
+    ) -> TimerId {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: now={:?}, requested={at:?}",
+            self.now
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        let slot = match self.free_timer_slots.pop() {
+            Some(s) => s,
+            None => {
+                self.timer_slots.push(TimerSlot {
+                    gen: 0,
+                    pending: None,
+                    key: (SimTime::ZERO, 0),
+                });
+                (self.timer_slots.len() - 1) as u32
+            }
+        };
+        let s = &mut self.timer_slots[slot as usize];
+        let gen = s.gen;
+        s.pending = Some(Box::new(act));
+        s.key = (at, seq);
+        self.timers.insert((at, seq), slot);
+        TimerId { slot, gen }
+    }
+
+    /// Schedule a cancellable timer after a relative delay.
+    pub fn timer_after(
+        &mut self,
+        delay: SimDuration,
+        act: impl FnOnce(&mut Sim<W>, &mut W) + 'static,
+    ) -> TimerId {
+        self.timer_at(self.now + delay, act)
+    }
+
+    /// Cancel a live timer. Returns `true` if the timer was still queued (it
+    /// will now never fire, and its action is dropped); `false` if it already
+    /// fired or was cancelled — the handle is stale and nothing happens.
+    pub fn cancel_timer(&mut self, id: TimerId) -> bool {
+        let Some(s) = self.timer_slots.get_mut(id.slot as usize) else {
+            return false;
+        };
+        if s.gen != id.gen || s.pending.is_none() {
+            return false;
+        }
+        s.pending = None;
+        s.gen = s.gen.wrapping_add(1);
+        let key = s.key;
+        let removed = self.timers.remove(&key);
+        debug_assert!(removed == Some(id.slot));
+        self.free_timer_slots.push(id.slot);
+        true
+    }
+
     /// Execute exactly one event if any is due (and within the horizon).
-    /// Returns `false` when the queue is exhausted or the horizon reached.
+    /// Merges the one-shot heap and the timer queue into a single global
+    /// (time, seq) order. Returns `false` when both queues are exhausted or
+    /// the horizon is reached.
     pub fn step(&mut self, world: &mut W) -> bool {
+        let heap_key = self.heap.peek().map(|e| (e.at, e.seq));
+        let timer_key = self.timers.first_key_value().map(|(k, _)| *k);
+        let (at, take_timer) = match (heap_key, timer_key) {
+            (Some(h), Some(t)) => {
+                if t < h {
+                    (t.0, true)
+                } else {
+                    (h.0, false)
+                }
+            }
+            (Some(h), None) => (h.0, false),
+            (None, Some(t)) => (t.0, true),
+            (None, None) => return false,
+        };
         if let Some(h) = self.horizon {
-            if self.heap.peek().is_some_and(|e| e.at > h) {
+            if at > h {
                 return false;
             }
         }
-        match self.heap.pop() {
-            Some(e) => {
-                debug_assert!(e.at >= self.now, "event heap violated time order");
-                self.now = e.at;
-                self.executed += 1;
-                (e.act)(self, world);
-                true
-            }
-            None => false,
-        }
+        let act = if take_timer {
+            let (_, slot) = self.timers.pop_first().expect("peeked above");
+            let s = &mut self.timer_slots[slot as usize];
+            s.gen = s.gen.wrapping_add(1);
+            self.free_timer_slots.push(slot);
+            s.pending.take().expect("queued timer has an action")
+        } else {
+            let e = self.heap.pop().expect("peeked above");
+            e.act
+        };
+        debug_assert!(at >= self.now, "event queue violated time order");
+        self.now = at;
+        self.executed += 1;
+        act(self, world);
+        true
     }
 
     /// Run until the event queue drains or the horizon is reached.
@@ -255,6 +368,84 @@ mod tests {
         assert_eq!(log.entries.len(), 10);
         // The rest stay queued.
         assert_eq!(sim.pending(), 90);
+    }
+
+    #[test]
+    fn timers_fire_in_global_order_with_heap_events() {
+        let mut sim: Sim<Log> = Sim::new();
+        let mut log = Log::default();
+        let t = SimTime::from_secs(1);
+        sim.at(t, |s, w: &mut Log| w.entries.push((s.now().as_nanos(), "a")));
+        sim.timer_at(t, |s, w: &mut Log| {
+            w.entries.push((s.now().as_nanos(), "b"))
+        });
+        sim.at(t, |s, w: &mut Log| w.entries.push((s.now().as_nanos(), "c")));
+        sim.timer_at(SimTime::from_millis(500), |s, w: &mut Log| {
+            w.entries.push((s.now().as_nanos(), "early"))
+        });
+        sim.run(&mut log);
+        let names: Vec<_> = log.entries.iter().map(|e| e.1).collect();
+        // Timers interleave with heap events FIFO at the same instant.
+        assert_eq!(names, vec!["early", "a", "b", "c"]);
+        assert_eq!(sim.executed(), 4);
+        assert_eq!(sim.pending(), 0);
+    }
+
+    #[test]
+    fn cancelled_timer_never_fires_and_pending_shrinks() {
+        let mut sim: Sim<Log> = Sim::new();
+        let mut log = Log::default();
+        let id = sim.timer_at(SimTime::from_secs(5), |_s, _w: &mut Log| {
+            panic!("cancelled timer fired")
+        });
+        sim.at(SimTime::from_secs(1), move |s, _w: &mut Log| {
+            assert!(s.cancel_timer(id), "first cancel wins");
+            assert!(!s.cancel_timer(id), "second cancel is a stale no-op");
+        });
+        assert_eq!(sim.pending(), 2);
+        sim.run(&mut log);
+        assert_eq!(sim.pending(), 0);
+        assert_eq!(sim.executed(), 1, "only the cancelling event ran");
+    }
+
+    #[test]
+    fn cancel_after_fire_is_stale() {
+        let mut sim: Sim<Log> = Sim::new();
+        let mut log = Log::default();
+        let id = sim.timer_at(SimTime::from_secs(1), |s, w: &mut Log| {
+            w.entries.push((s.now().as_nanos(), "fired"))
+        });
+        sim.run(&mut log);
+        assert_eq!(log.entries.len(), 1);
+        assert!(!sim.cancel_timer(id), "fired timer cannot be cancelled");
+    }
+
+    #[test]
+    fn timer_slots_are_recycled_with_fresh_generations() {
+        let mut sim: Sim<Log> = Sim::new();
+        let mut log = Log::default();
+        let a = sim.timer_at(SimTime::from_secs(1), |_s, _w: &mut Log| {});
+        assert!(sim.cancel_timer(a));
+        // The recycled slot must not be cancellable through the old handle.
+        let b = sim.timer_at(SimTime::from_secs(2), |s, w: &mut Log| {
+            w.entries.push((s.now().as_nanos(), "b"))
+        });
+        assert!(!sim.cancel_timer(a), "stale handle must not hit slot reuse");
+        sim.run(&mut log);
+        assert_eq!(log.entries.len(), 1);
+        assert!(!sim.cancel_timer(b));
+    }
+
+    #[test]
+    fn timer_respects_horizon() {
+        let mut sim: Sim<Log> = Sim::new();
+        let mut log = Log::default();
+        sim.timer_at(SimTime::from_secs(10), |_s, _w: &mut Log| {
+            panic!("beyond horizon")
+        });
+        sim.set_horizon(SimTime::from_secs(5));
+        sim.run(&mut log);
+        assert_eq!(sim.pending(), 1, "timer stays queued past the horizon");
     }
 
     #[test]

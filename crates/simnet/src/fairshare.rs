@@ -8,6 +8,23 @@
 //! `window / RTT`. The solver raises all flow rates uniformly; the first
 //! constraint to bind is either a link saturating (freezing all flows
 //! crossing it) or a flow hitting its individual cap (freezing that flow).
+//!
+//! ## Incremental solving
+//!
+//! [`Solver`] is the reusable engine: it keeps every scratch buffer between
+//! calls (no allocation on the hot path once warmed up) and decomposes the
+//! flow set into **connected components** — flows joined transitively by
+//! shared links — solving each component with its own fill level. Two
+//! properties follow, and the network layer leans on both:
+//!
+//! 1. Components are arithmetically independent: a component's rates are a
+//!    pure function of its own flows (in order) and its own links. Re-solving
+//!    one component in isolation is therefore **bit-for-bit identical** to
+//!    solving the whole system and reading off that component's rates.
+//! 2. Constraint freezing uses exact comparisons against the per-round
+//!    level (no epsilon tolerances), and a cap-frozen flow's rate is its cap
+//!    *exactly* — which lets callers prove small mutations (an uncapped-link
+//!    add, an unsaturated-path remove) leave every other rate untouched.
 
 /// One flow as seen by the solver.
 #[derive(Clone, Debug)]
@@ -19,118 +36,324 @@ pub struct SolverFlow<'a> {
     pub cap: f64,
 }
 
-/// Compute max-min fair rates.
-///
-/// * `link_capacity[l]` — capacity of link `l` in bytes/sec.
-/// * returns one rate per flow, in bytes/sec.
-///
-/// Runs in `O(iterations × Σ|path|)`; each iteration freezes at least one
-/// link or flow, so iterations ≤ links + flows.
-pub fn allocate(link_capacity: &[f64], flows: &[SolverFlow<'_>]) -> Vec<f64> {
-    let nf = flows.len();
-    let nl = link_capacity.len();
-    if nf == 0 {
-        return Vec::new();
+/// One flow in the flat (pre-packed) solver input: its path is
+/// `path_buf[start..start + len]` in the caller-held path buffer. Callers on
+/// the hot path keep both buffers alive across solves instead of
+/// materializing `SolverFlow` slices.
+#[derive(Clone, Copy, Debug)]
+pub struct FlatFlow {
+    /// Offset of the first link index in the shared path buffer.
+    pub start: u32,
+    /// Number of links in the path.
+    pub len: u32,
+    /// Individual rate cap in bytes/sec (`f64::INFINITY` when unlimited).
+    pub cap: f64,
+}
+
+/// Reusable max-min solver: scratch buffers persist across calls so the
+/// steady-state solve performs no heap allocation.
+#[derive(Default)]
+pub struct Solver {
+    // Per-link scratch, sized to the largest link id seen (+1). Reset lazily
+    // through `touched_links` so solve cost scales with the flows' footprint,
+    // not the topology size.
+    uf_parent: Vec<u32>,
+    active: Vec<u32>,
+    frozen_sum: Vec<f64>,
+    saturated: Vec<bool>,
+    link_seen: Vec<bool>,
+    touched_links: Vec<u32>,
+    // Per-flow scratch.
+    frozen: Vec<bool>,
+    comp: Vec<u32>,
+    order: Vec<u32>,
+    round_frozen: Vec<u32>,
+    // Packing scratch for the `SolverFlow` entry point.
+    flat_paths: Vec<u32>,
+    flat_meta: Vec<FlatFlow>,
+}
+
+impl Solver {
+    /// Fresh solver with empty scratch.
+    pub fn new() -> Self {
+        Self::default()
     }
 
-    let mut rate = vec![0.0f64; nf];
-    let mut frozen = vec![false; nf];
-    // Flows with an empty path (loopback) are only cap-limited.
-    let mut active_on_link = vec![0usize; nl];
-    let mut residual: Vec<f64> = link_capacity.to_vec();
-    let mut link_saturated = vec![false; nl];
+    /// Links marked saturated (they froze at least one flow) by the last
+    /// [`Solver::solve`] call, for link ids < the scratch size. Valid until
+    /// the next call.
+    pub fn link_saturated(&self, link: u32) -> bool {
+        self.saturated.get(link as usize).copied().unwrap_or(false)
+    }
 
-    for f in flows {
-        for &l in f.path {
-            active_on_link[l as usize] += 1;
+    fn ensure_links(&mut self, nl: usize) {
+        if self.uf_parent.len() < nl {
+            self.uf_parent.resize(nl, 0);
+            self.active.resize(nl, 0);
+            self.frozen_sum.resize(nl, 0.0);
+            self.saturated.resize(nl, false);
+            self.link_seen.resize(nl, false);
         }
     }
 
-    let mut unfrozen = nf;
-    // Uniform fill level reached so far by all still-unfrozen flows.
-    let mut level = 0.0f64;
+    fn uf_find(&mut self, mut l: u32) -> u32 {
+        while self.uf_parent[l as usize] != l {
+            let p = self.uf_parent[l as usize];
+            self.uf_parent[l as usize] = self.uf_parent[p as usize];
+            l = self.uf_parent[l as usize];
+        }
+        l
+    }
 
-    while unfrozen > 0 {
-        // Smallest additional increment at which a constraint binds.
-        let mut delta = f64::INFINITY;
-        for l in 0..nl {
-            if !link_saturated[l] && active_on_link[l] > 0 {
-                delta = delta.min(residual[l] / active_on_link[l] as f64);
-            }
+    /// Compute max-min fair rates for `flows` over `link_capacity`, writing
+    /// one rate per flow into `out` (cleared first). Flows with an empty path
+    /// get their cap (or `INFINITY` when uncapped). All scratch is reused;
+    /// after warmup the call allocates nothing.
+    pub fn solve(&mut self, link_capacity: &[f64], flows: &[SolverFlow<'_>], out: &mut Vec<f64>) {
+        let mut paths = std::mem::take(&mut self.flat_paths);
+        let mut meta = std::mem::take(&mut self.flat_meta);
+        paths.clear();
+        meta.clear();
+        for f in flows {
+            let start = paths.len() as u32;
+            paths.extend_from_slice(f.path);
+            meta.push(FlatFlow {
+                start,
+                len: f.path.len() as u32,
+                cap: f.cap,
+            });
         }
-        for (i, f) in flows.iter().enumerate() {
-            if !frozen[i] {
-                delta = delta.min(f.cap - level);
-            }
+        self.solve_flat(link_capacity, &paths, &meta, out);
+        self.flat_paths = paths;
+        self.flat_meta = meta;
+    }
+
+    /// [`Solver::solve`] over pre-packed flat buffers: flow `i`'s path is
+    /// `path_buf[meta[i].start..][..meta[i].len]`. This is the actual engine;
+    /// both entry points produce bit-identical rates for the same flows.
+    pub fn solve_flat(
+        &mut self,
+        link_capacity: &[f64],
+        path_buf: &[u32],
+        meta: &[FlatFlow],
+        out: &mut Vec<f64>,
+    ) {
+        out.clear();
+        let nf = meta.len();
+        if nf == 0 {
+            return;
         }
-        if !delta.is_finite() {
-            // No binding constraint: remaining flows are unconstrained
-            // (empty paths, infinite caps). Give them "infinite" rate.
-            for i in 0..nf {
-                if !frozen[i] {
-                    rate[i] = f64::INFINITY;
+        self.ensure_links(link_capacity.len());
+        out.resize(nf, 0.0);
+
+        // Reset per-link scratch from the previous call.
+        for &l in &self.touched_links {
+            self.active[l as usize] = 0;
+            self.frozen_sum[l as usize] = 0.0;
+            self.saturated[l as usize] = false;
+            self.link_seen[l as usize] = false;
+        }
+        self.touched_links.clear();
+
+        let path = |f: &FlatFlow| &path_buf[f.start as usize..(f.start + f.len) as usize];
+
+        // Pass 1: register links, seed union-find, count active flows.
+        for f in meta {
+            for &l in path(f) {
+                let li = l as usize;
+                if !self.link_seen[li] {
+                    self.link_seen[li] = true;
+                    self.uf_parent[li] = l;
+                    self.touched_links.push(l);
                 }
-            }
-            break;
-        }
-        let delta = delta.max(0.0);
-
-        // Raise every unfrozen flow by delta.
-        level += delta;
-        for i in 0..nf {
-            if !frozen[i] {
-                rate[i] = level;
+                self.active[li] += 1;
             }
         }
-        for l in 0..nl {
-            if active_on_link[l] > 0 && !link_saturated[l] {
-                residual[l] -= delta * active_on_link[l] as f64;
-            }
-        }
-
-        // Freeze flows that hit their cap.
-        let mut newly_frozen = Vec::new();
-        for (i, f) in flows.iter().enumerate() {
-            if !frozen[i] && level >= f.cap - 1e-9 {
-                newly_frozen.push(i);
-            }
-        }
-        // Freeze links that saturated, and all unfrozen flows crossing them.
-        for l in 0..nl {
-            if !link_saturated[l] && active_on_link[l] > 0 && residual[l] <= 1e-6 {
-                link_saturated[l] = true;
-                for (i, f) in flows.iter().enumerate() {
-                    if !frozen[i] && f.path.contains(&(l as u32)) && !newly_frozen.contains(&i) {
-                        newly_frozen.push(i);
+        // Pass 2: union every flow's links into one component.
+        for f in meta {
+            if let Some((&first, rest)) = path(f).split_first() {
+                let mut root = self.uf_find(first);
+                for &l in rest {
+                    let r = self.uf_find(l);
+                    if r != root {
+                        // Deterministic union: smaller root wins.
+                        let (lo, hi) = if r < root { (r, root) } else { (root, r) };
+                        self.uf_parent[hi as usize] = lo;
+                        root = lo;
                     }
                 }
             }
         }
 
-        if newly_frozen.is_empty() {
-            // Numerical corner: delta was ~0 but nothing crossed a
-            // threshold. Freeze the flow closest to its cap to guarantee
-            // progress.
-            let i = (0..nf)
-                .filter(|&i| !frozen[i])
-                .min_by(|&a, &b| {
-                    (flows[a].cap - level)
-                        .partial_cmp(&(flows[b].cap - level))
-                        .expect("caps are not NaN")
-                })
-                .expect("unfrozen flow exists");
-            newly_frozen.push(i);
+        // Pass 3: assign flows to components; empty-path flows solve
+        // trivially to their cap.
+        self.comp.clear();
+        self.comp.resize(nf, u32::MAX);
+        for (i, f) in meta.iter().enumerate() {
+            match path(f).first() {
+                Some(&l) => self.comp[i] = self.uf_find(l),
+                None => out[i] = if f.cap.is_finite() { f.cap } else { f64::INFINITY },
+            }
         }
 
-        for i in newly_frozen {
-            frozen[i] = true;
-            unfrozen -= 1;
-            for &l in flows[i].path {
-                active_on_link[l as usize] -= 1;
+        // Group flow indices by component root, preserving relative order
+        // within each component (stable sort by root).
+        let comp = &self.comp;
+        self.order.clear();
+        self.order
+            .extend((0..nf as u32).filter(|&i| comp[i as usize] != u32::MAX));
+        self.order.sort_by_key(|&i| comp[i as usize]);
+
+        // Pass 4: water-fill each component independently.
+        let mut start = 0;
+        while start < self.order.len() {
+            let root = self.comp[self.order[start] as usize];
+            let mut end = start + 1;
+            while end < self.order.len() && self.comp[self.order[end] as usize] == root {
+                end += 1;
+            }
+            self.fill_component(link_capacity, path_buf, meta, start..end, out);
+            start = end;
+        }
+    }
+
+    /// Progressive-fill one component: `range` indexes into `self.order`.
+    fn fill_component(
+        &mut self,
+        link_capacity: &[f64],
+        path_buf: &[u32],
+        meta: &[FlatFlow],
+        range: std::ops::Range<usize>,
+        out: &mut [f64],
+    ) {
+        let path = |f: &FlatFlow| &path_buf[f.start as usize..(f.start + f.len) as usize];
+        self.frozen.resize(meta.len().max(self.frozen.len()), false);
+        for &i in &self.order[range.clone()] {
+            self.frozen[i as usize] = false;
+        }
+        let mut unfrozen = range.len();
+
+        while unfrozen > 0 {
+            // The next binding level is the smallest constraint candidate:
+            // links offer (capacity - frozen share) / active flows, flows
+            // offer their own cap. Exact comparisons throughout.
+            let mut best = f64::INFINITY;
+            for &i in &self.order[range.clone()] {
+                let fi = i as usize;
+                if self.frozen[fi] {
+                    continue;
+                }
+                if meta[fi].cap < best {
+                    best = meta[fi].cap;
+                }
+                for &l in path(&meta[fi]) {
+                    let li = l as usize;
+                    if !self.saturated[li] && self.active[li] > 0 {
+                        let cand = (link_capacity[li] - self.frozen_sum[li])
+                            / self.active[li] as f64;
+                        if cand < best {
+                            best = cand;
+                        }
+                    }
+                }
+            }
+            if !best.is_finite() {
+                // No finite constraint: the rest are unconstrained.
+                for &i in &self.order[range.clone()] {
+                    if !self.frozen[i as usize] {
+                        out[i as usize] = f64::INFINITY;
+                        self.frozen[i as usize] = true;
+                    }
+                }
+                break;
+            }
+            let best = best.max(0.0);
+
+            // Freeze, in deterministic flow order: first every flow whose own
+            // cap binds at this level (rate = cap, exactly), then every flow
+            // crossing a link that saturates at this level (rate = level).
+            // The argmin constraint always freezes at least one flow, so each
+            // round makes progress.
+            self.round_frozen.clear();
+            for &i in &self.order[range.clone()] {
+                let fi = i as usize;
+                if !self.frozen[fi] && meta[fi].cap <= best {
+                    out[fi] = meta[fi].cap;
+                    self.round_frozen.push(i);
+                }
+            }
+            for &i in &self.order[range.clone()] {
+                let fi = i as usize;
+                if self.frozen[fi] || meta[fi].cap <= best {
+                    continue;
+                }
+                // The saturation test repeats the candidate expression
+                // verbatim so it agrees with `best` bit-for-bit (a rearranged
+                // comparison could disagree after rounding and stall the
+                // round).
+                let on_saturating = path(&meta[fi]).iter().any(|&l| {
+                    let li = l as usize;
+                    !self.saturated[li]
+                        && self.active[li] > 0
+                        && (link_capacity[li] - self.frozen_sum[li]) / self.active[li] as f64
+                            <= best
+                });
+                if on_saturating {
+                    out[fi] = best;
+                    self.round_frozen.push(i);
+                }
+            }
+            // Mark saturating links before applying the freezes (the test
+            // above uses pre-freeze active counts). Only this component's
+            // links are eligible — walking the component's flow paths keeps
+            // the marking from leaking into other components.
+            for &i in &self.order[range.clone()] {
+                for &l in path(&meta[i as usize]) {
+                    let li = l as usize;
+                    if !self.saturated[li]
+                        && self.active[li] > 0
+                        && (link_capacity[li] - self.frozen_sum[li]) / self.active[li] as f64
+                            <= best
+                    {
+                        self.saturated[li] = true;
+                    }
+                }
+            }
+            debug_assert!(!self.round_frozen.is_empty(), "water-fill round stalled");
+            for k in 0..self.round_frozen.len() {
+                let i = self.round_frozen[k];
+                let fi = i as usize;
+                self.frozen[fi] = true;
+                unfrozen -= 1;
+                for &l in path(&meta[fi]) {
+                    let li = l as usize;
+                    self.active[li] -= 1;
+                    self.frozen_sum[li] += out[fi];
+                }
             }
         }
     }
-    rate
+
+    /// Links registered (crossed by some flow) in the last solve. Paired
+    /// with [`Solver::link_saturated`] this lets incremental callers merge
+    /// fresh saturation flags into their own persistent per-link state.
+    pub fn touched_links(&self) -> &[u32] {
+        &self.touched_links
+    }
+}
+
+/// Compute max-min fair rates.
+///
+/// * `link_capacity[l]` — capacity of link `l` in bytes/sec.
+/// * returns one rate per flow, in bytes/sec.
+///
+/// Thin wrapper over [`Solver`] for one-shot callers; hot paths should hold
+/// a `Solver` and call [`Solver::solve`] to reuse scratch buffers.
+pub fn allocate(link_capacity: &[f64], flows: &[SolverFlow<'_>]) -> Vec<f64> {
+    let mut solver = Solver::new();
+    let mut out = Vec::new();
+    solver.solve(link_capacity, flows, &mut out);
+    out
 }
 
 #[cfg(test)]
@@ -304,5 +527,108 @@ mod tests {
         let rates = allocate(&caps, &flows);
         let agg: f64 = rates.iter().sum();
         assert!(close(agg, 30.0));
+    }
+
+    #[test]
+    fn cap_frozen_rate_is_exact() {
+        // The network layer's fast paths rely on cap-frozen flows getting
+        // their cap bit-for-bit, not cap ± epsilon.
+        let cap = 123.456_789_012_345;
+        let rates = allocate(
+            &[1_000.0],
+            &[
+                SolverFlow {
+                    path: &[0],
+                    cap,
+                },
+                SolverFlow {
+                    path: &[0],
+                    cap: f64::INFINITY,
+                },
+            ],
+        );
+        assert_eq!(rates[0], cap);
+        assert!(close(rates[1], 1_000.0 - cap));
+    }
+
+    #[test]
+    fn down_link_zeroes_crossing_flows_only() {
+        // A zero-capacity (down) link stalls its flows at exactly 0 without
+        // affecting a disjoint component.
+        let rates = allocate(
+            &[0.0, 50.0],
+            &[
+                SolverFlow {
+                    path: &[0],
+                    cap: f64::INFINITY,
+                },
+                SolverFlow {
+                    path: &[1],
+                    cap: f64::INFINITY,
+                },
+            ],
+        );
+        assert_eq!(rates[0], 0.0);
+        assert!(close(rates[1], 50.0));
+    }
+
+    #[test]
+    fn components_solve_independently() {
+        // Two disjoint components in one call must match two separate calls
+        // bit-for-bit: the incremental network layer depends on this.
+        let caps = [10.0, 100.0, 7.0, 33.0];
+        let a = vec![vec![0u32], vec![0, 1], vec![1]];
+        let b = vec![vec![2u32, 3], vec![3]];
+        let mk = |paths: &[Vec<u32>], cap0: f64| -> Vec<f64> {
+            let flows: Vec<SolverFlow> = paths
+                .iter()
+                .enumerate()
+                .map(|(i, p)| SolverFlow {
+                    path: p,
+                    cap: if i == 0 { cap0 } else { f64::INFINITY },
+                })
+                .collect();
+            allocate(&caps, &flows)
+        };
+        let joint = {
+            let paths: Vec<Vec<u32>> = a.iter().chain(b.iter()).cloned().collect();
+            let flows: Vec<SolverFlow> = paths
+                .iter()
+                .enumerate()
+                .map(|(i, p)| SolverFlow {
+                    path: p,
+                    cap: if i == 0 || i == 3 { 4.25 } else { f64::INFINITY },
+                })
+                .collect();
+            allocate(&caps, &flows)
+        };
+        let solo_a = mk(&a, 4.25);
+        let solo_b = mk(&b, 4.25);
+        assert_eq!(&joint[..3], &solo_a[..]);
+        assert_eq!(&joint[3..], &solo_b[..]);
+    }
+
+    #[test]
+    fn solver_reuse_matches_fresh() {
+        // A warmed-up solver (dirty scratch from an unrelated solve) must
+        // produce identical bits to a fresh one.
+        let caps = [50.0, 80.0, 20.0, 100.0];
+        let paths: Vec<Vec<u32>> =
+            vec![vec![0, 1], vec![1, 2], vec![0, 2, 3], vec![3], vec![0]];
+        let flows: Vec<SolverFlow> = paths
+            .iter()
+            .enumerate()
+            .map(|(i, p)| SolverFlow {
+                path: p,
+                cap: if i % 2 == 0 { 15.0 } else { f64::INFINITY },
+            })
+            .collect();
+        let fresh = allocate(&caps, &flows);
+        let mut solver = Solver::new();
+        let mut out = Vec::new();
+        // Pollute scratch with a different problem first.
+        solver.solve(&[5.0, 5.0, 5.0, 5.0], &flows[..2], &mut out);
+        solver.solve(&caps, &flows, &mut out);
+        assert_eq!(fresh, out);
     }
 }

@@ -1,0 +1,66 @@
+//! Tour of the performance-engineering surface added to the simulation hot
+//! path: cancellable timers (`Sim::timer_after` / `Sim::cancel_timer`) and
+//! the per-scenario `events` counters that feed the wall-clock perf harness
+//! (`cargo bench -p gfs-bench --bench perf`).
+//!
+//! Run with `cargo run --release --offline --example perf_tour`.
+
+use globalfs::scenarios::production::{run_scaling_point, Direction, ProductionConfig};
+use globalfs::simcore::{Sim, SimDuration};
+use std::time::Instant;
+
+fn main() {
+    // ------------------------------------------------------------------
+    // Cancellable timers: the watchdog pattern used by the gfs client.
+    // A timeout is armed per request; the response cancels it, so the
+    // event queue does not accumulate dead timers until expiry.
+    // ------------------------------------------------------------------
+    let mut sim: Sim<Vec<&'static str>> = Sim::new();
+    let mut log: Vec<&'static str> = Vec::new();
+
+    let watchdog = sim.timer_after(SimDuration::from_secs(30), |_s, log: &mut Vec<_>| {
+        log.push("timeout fired (should not happen)");
+    });
+    // The "response" arrives long before the timeout and disarms it.
+    sim.after(SimDuration::from_millis(5), move |sim, log: &mut Vec<_>| {
+        if sim.cancel_timer(watchdog) {
+            log.push("response in time, watchdog cancelled");
+        }
+    });
+    // A second watchdog that genuinely expires: its response comes too
+    // late, notices the lost race, and stands down.
+    let watchdog = sim.timer_after(SimDuration::from_millis(1), |_s, log: &mut Vec<_>| {
+        log.push("slow request timed out");
+    });
+    sim.after(SimDuration::from_millis(2), move |sim, log: &mut Vec<_>| {
+        if !sim.cancel_timer(watchdog) {
+            log.push("late response dropped (timer already fired)");
+        }
+    });
+
+    sim.run(&mut log);
+    println!("=== cancellable timers ===");
+    for line in &log {
+        println!("  {line}");
+    }
+    assert_eq!(sim.pending(), 0, "cancelled timers leave nothing behind");
+
+    // ------------------------------------------------------------------
+    // Scenario event counters: simulated work vs. wall-clock cost. The
+    // perf harness reports events/sec for the heavy scenarios from these
+    // same fields.
+    // ------------------------------------------------------------------
+    println!("\n=== events vs. wall clock (Fig. 11 read points) ===");
+    for nodes in [8u32, 32, 128] {
+        let t0 = Instant::now();
+        let p = run_scaling_point(ProductionConfig::default(), nodes, Direction::Read);
+        let wall = t0.elapsed().as_secs_f64();
+        println!(
+            "  {nodes:>3} nodes: {:>6.1} MB/s agg, {:>4} events, {:>5.1} ms wall ({:.0} events/s)",
+            p.aggregate_mbyte_per_sec(),
+            p.events,
+            wall * 1e3,
+            p.events as f64 / wall.max(1e-9),
+        );
+    }
+}

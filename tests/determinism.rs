@@ -2,7 +2,8 @@
 //! results across the whole stack — the property that makes every number
 //! in EXPERIMENTS.md re-derivable.
 
-use globalfs::scenarios::{production, sc02, sc04};
+use globalfs::scenarios::{production, recovery, sc02, sc04};
+use globalfs::simcore::SimDuration;
 
 #[test]
 fn sc02_series_bit_identical() {
@@ -35,6 +36,57 @@ fn production_points_bit_identical() {
         production::Direction::Read,
     );
     assert_eq!(a.seconds.to_bits(), b.seconds.to_bits());
+}
+
+/// The full Fig. 11 sweep (the perf harness's headline workload): every
+/// point's makespan, byte count and event count must reproduce exactly.
+#[test]
+fn fig11_sweep_bit_identical() {
+    let cfg = production::ProductionConfig::default();
+    let counts = [1u32, 4, 16, 64, 128];
+    let a = production::run_fig11(&cfg, &counts);
+    let b = production::run_fig11(&cfg, &counts);
+    assert_eq!(a.len(), b.len());
+    for ((ra, wa), (rb, wb)) in a.iter().zip(&b) {
+        assert_eq!(ra.seconds.to_bits(), rb.seconds.to_bits());
+        assert_eq!(wa.seconds.to_bits(), wb.seconds.to_bits());
+        assert_eq!((ra.bytes, ra.events), (rb.bytes, rb.events));
+        assert_eq!((wa.bytes, wa.events), (wb.bytes, wb.events));
+    }
+}
+
+#[test]
+fn sc04_event_count_bit_identical() {
+    let a = sc04::run(sc04::Sc04Config::default());
+    let b = sc04::run(sc04::Sc04Config::default());
+    assert_eq!(a.events, b.events);
+    assert_eq!(a.peak_gbs.to_bits(), b.peak_gbs.to_bits());
+}
+
+/// The recovery scenarios run fault injection, timeout/retry and failover —
+/// the paths most entangled with the incremental solver and cancellable
+/// timers — and must still replay bit-for-bit.
+#[test]
+fn recovery_scenarios_bit_identical() {
+    let a = recovery::crash_one_of_n(&recovery::CrashConfig::default());
+    let b = recovery::crash_one_of_n(&recovery::CrashConfig::default());
+    assert_eq!(a.client_series.points, b.client_series.points);
+    assert_eq!(a.finish, b.finish);
+    assert_eq!(a.events, b.events);
+
+    let outage = SimDuration::from_secs(5);
+    let fa = recovery::link_flap_during_enzo(21, outage);
+    let fb = recovery::link_flap_during_enzo(21, outage);
+    assert_eq!(fa.wan_series.points, fb.wan_series.points);
+    assert_eq!(fa.makespan, fb.makespan);
+    assert_eq!(fa.events, fb.events);
+
+    let da = recovery::disk_failure_during_sweep(31);
+    let db = recovery::disk_failure_during_sweep(31);
+    assert_eq!(da.seconds.to_bits(), db.seconds.to_bits());
+    assert_eq!(da.baseline_seconds.to_bits(), db.baseline_seconds.to_bits());
+    assert_eq!(da.degraded_reads, db.degraded_reads);
+    assert_eq!(da.events, db.events);
 }
 
 #[test]

@@ -270,3 +270,120 @@ fn disk_failure_during_fig11_sweep_degrades_gracefully() {
         report.baseline_seconds
     );
 }
+
+// ---------------------------------------------------------------------
+// Request watchdogs: cancellable timers on the retry path
+// ---------------------------------------------------------------------
+
+/// Every data-path request arms a timeout watchdog; a successful response
+/// must cancel it outright rather than leave a dead timer in the event
+/// queue until it expires. A run of sequential reads (each far faster than
+/// the 1.5 s timeout) must therefore hold `Sim::pending()` flat instead of
+/// growing by one stale watchdog per request.
+#[test]
+fn completed_request_watchdogs_are_cancelled_not_leaked() {
+    const BLOCKS: u64 = 32;
+    const BLOCK: u64 = 64 * 1024;
+    let (mut sim, mut w, client, fs, _s1, _s2) = bed();
+    let pending_log: Rc<std::cell::RefCell<Vec<usize>>> = Rc::new(std::cell::RefCell::new(Vec::new()));
+
+    fn read_chain(
+        sim: &mut Sim<GfsWorld>,
+        w: &mut GfsWorld,
+        client: ClientId,
+        h: globalfs::gfs::types::Handle,
+        block: u64,
+        log: Rc<std::cell::RefCell<Vec<usize>>>,
+    ) {
+        if block == BLOCKS {
+            return;
+        }
+        client::read(sim, w, client, h, block * BLOCK, BLOCK, move |sim, w, r| {
+            r.unwrap();
+            log.borrow_mut().push(sim.pending());
+            read_chain(sim, w, client, h, block + 1, log);
+        });
+    }
+
+    {
+        let log = pending_log.clone();
+        client::mount_local(&mut sim, &mut w, client, "hafs", move |sim, w, r| {
+            r.unwrap();
+            client::open(sim, w, client, "hafs", "/flat", OpenFlags::ReadWrite, Owner::local(1, 1), move |sim, w, r| {
+                let h = r.unwrap();
+                client::write(sim, w, client, h, 0, Bytes::from(vec![3u8; (BLOCKS * BLOCK) as usize]), move |sim, w, r| {
+                    r.unwrap();
+                    client::fsync(sim, w, client, h, move |sim, w, r| {
+                        r.unwrap();
+                        let inode = w.clients[client.0 as usize].handles[&h].inode;
+                        w.clients[client.0 as usize].pool.invalidate_file(fs, inode);
+                        read_chain(sim, w, client, h, 0, log);
+                    });
+                });
+            });
+        });
+    }
+    sim.run(&mut w);
+    let log = pending_log.borrow();
+    assert_eq!(log.len() as u64, BLOCKS, "not every read completed");
+    // Stale watchdogs would make the queue depth climb by ~1 per read;
+    // with cancellation it stays at the steady-state handful.
+    let (first, last) = (log[0], log[log.len() - 1]);
+    assert!(
+        last <= first + 4,
+        "pending events grew across {BLOCKS} reads: first {first}, last {last} (log {log:?})"
+    );
+    assert_eq!(sim.pending(), 0, "events left after the run drained");
+}
+
+/// A request whose every attempt times out (the timeout is set below the
+/// network round trip) must surface `FsError::Timeout` exactly once, even
+/// though each attempt's response eventually arrives after its watchdog
+/// fired; the late responses hit the dead one-shot slot and are dropped.
+/// The client must remain fully usable afterwards.
+#[test]
+fn request_timeout_surfaces_exactly_once_despite_late_responses() {
+    let (mut sim, mut w, client, fs, _s1, _s2) = bed();
+    let outcomes: Rc<std::cell::RefCell<Vec<Result<usize, FsError>>>> =
+        Rc::new(std::cell::RefCell::new(Vec::new()));
+    let recovered = Rc::new(Cell::new(false));
+
+    {
+        let outcomes = outcomes.clone();
+        let recovered = recovered.clone();
+        client::mount_local(&mut sim, &mut w, client, "hafs", move |sim, w, r| {
+            r.unwrap();
+            client::open(sim, w, client, "hafs", "/flaky", OpenFlags::ReadWrite, Owner::local(1, 1), move |sim, w, r| {
+                let h = r.unwrap();
+                client::write(sim, w, client, h, 0, Bytes::from(vec![8u8; 65_536]), move |sim, w, r| {
+                    r.unwrap();
+                    client::fsync(sim, w, client, h, move |sim, w, r| {
+                        r.unwrap();
+                        let inode = w.clients[client.0 as usize].handles[&h].inode;
+                        w.clients[client.0 as usize].pool.invalidate_file(fs, inode);
+                        // Shorter than the ~600 µs round trip: every fetch
+                        // attempt times out before its response lands.
+                        w.costs.request_timeout = SimDuration::from_micros(300);
+                        client::read(sim, w, client, h, 0, 65_536, move |sim, w, r| {
+                            outcomes.borrow_mut().push(r.map(|b| b.len()));
+                            // Sane timeout again: the same handle must work.
+                            w.costs.request_timeout = SimDuration::from_millis(1500);
+                            client::read(sim, w, client, h, 0, 65_536, move |_s, _w, r| {
+                                assert_eq!(r.unwrap().len(), 65_536);
+                                recovered.set(true);
+                            });
+                        });
+                    });
+                });
+            });
+        });
+    }
+    sim.run(&mut w);
+    assert_eq!(
+        *outcomes.borrow(),
+        vec![Err(FsError::Timeout)],
+        "the timed-out read must fail exactly once"
+    );
+    assert!(recovered.get(), "client unusable after a timed-out request");
+    assert_eq!(sim.pending(), 0);
+}

@@ -208,6 +208,234 @@ fn fairshare_is_feasible_and_conserving() {
 }
 
 // ---------------------------------------------------------------------
+// Incremental network engine vs. batch solver: bit-for-bit agreement
+// ---------------------------------------------------------------------
+
+mod netprop {
+    use globalfs::simcore::{Bandwidth, Sim, SimDuration, SimTime};
+    use globalfs::simnet::fairshare::{allocate, SolverFlow};
+    use globalfs::simnet::{FlowId, FlowSpec, NetWorld, Network, NodeId, TopologyBuilder};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    struct World {
+        net: Network<World>,
+    }
+    impl NetWorld for World {
+        fn net(&mut self) -> &mut Network<World> {
+            &mut self.net
+        }
+    }
+
+    /// One pre-generated mutation (flows are referenced by start order).
+    enum Op {
+        Start { slot: usize, src: NodeId, dst: NodeId, bytes: u64, window: Option<u64> },
+        Cancel { slot: usize },
+        Degrade { link: u32, factor: f64 },
+        SetUp { link: u32, up: bool },
+    }
+
+    /// The live `Network` re-solves incrementally — dirty components only,
+    /// fast paths that skip the solver, same-instant batching. A fresh
+    /// global [`allocate`] over the identical flow set must produce the
+    /// exact same bits for every active flow, at every probe instant; any
+    /// float divergence between the two code paths fails here.
+    #[test]
+    fn incremental_rates_match_batch_solver_bitwise() {
+        for case in 0u64..24 {
+            let mut r = StdRng::seed_from_u64(0x1ec0 + case);
+
+            // Random hub-chain topology: unique routes, shared trunks.
+            let mut b = TopologyBuilder::new();
+            let n_hubs = r.gen_range(1usize..=4);
+            let hubs: Vec<NodeId> = (0..n_hubs).map(|i| b.node(format!("h{i}"))).collect();
+            for i in 1..n_hubs {
+                b.duplex_link(
+                    hubs[i - 1],
+                    hubs[i],
+                    Bandwidth::gbit(r.gen_range(1.0f64..=10.0)),
+                    SimDuration::from_millis(r.gen_range(1u64..=20)),
+                    format!("trunk{i}"),
+                );
+            }
+            let n_leaves = r.gen_range(2usize..=10);
+            let leaves: Vec<NodeId> = (0..n_leaves)
+                .map(|i| {
+                    let leaf = b.node(format!("n{i}"));
+                    let hub = hubs[r.gen_range(0usize..=n_hubs - 1)];
+                    b.duplex_link(
+                        leaf,
+                        hub,
+                        Bandwidth::gbit(r.gen_range(0.2f64..=5.0)),
+                        SimDuration::from_millis(r.gen_range(1u64..=10)),
+                        format!("edge{i}"),
+                    );
+                    leaf
+                })
+                .collect();
+            let topo = b.build();
+            let n_links = topo.link_count() as u32;
+
+            // Pre-generate bursts of same-instant mutations (the batching
+            // path) with a probe shortly after each burst.
+            let mut plan: Vec<(u64, Vec<Op>)> = Vec::new();
+            let mut slots = 0usize;
+            let n_bursts = r.gen_range(4usize..=10);
+            for k in 0..n_bursts {
+                let t_us = (k as u64 + 1) * 50_000 + r.gen_range(0u64..=9_999);
+                let mut ops = Vec::new();
+                for _ in 0..r.gen_range(1usize..=3) {
+                    match r.gen_range(0u64..=9) {
+                        0..=5 => {
+                            let src = leaves[r.gen_range(0usize..=n_leaves - 1)];
+                            let mut dst = src;
+                            while dst == src {
+                                dst = leaves[r.gen_range(0usize..=n_leaves - 1)];
+                            }
+                            ops.push(Op::Start {
+                                slot: slots,
+                                src,
+                                dst,
+                                bytes: r.gen_range(1u64..=200) * 1_000_000,
+                                window: if r.gen::<f64>() < 0.3 {
+                                    Some(r.gen_range(64u64..=4096) * 1024)
+                                } else {
+                                    None
+                                },
+                            });
+                            slots += 1;
+                        }
+                        6..=7 if slots > 0 => ops.push(Op::Cancel {
+                            slot: r.gen_range(0usize..=slots - 1),
+                        }),
+                        8 => ops.push(Op::Degrade {
+                            link: r.gen_range(0u64..=u64::from(n_links) - 1) as u32,
+                            factor: r.gen_range(0.1f64..=1.0),
+                        }),
+                        _ => ops.push(Op::SetUp {
+                            link: r.gen_range(0u64..=u64::from(n_links) - 1) as u32,
+                            up: r.gen::<f64>() < 0.7,
+                        }),
+                    }
+                }
+                plan.push((t_us, ops));
+            }
+
+            let mut sim: Sim<World> = Sim::new();
+            let mut w = World {
+                net: Network::new(topo, case),
+            };
+            // Started flows by slot: (id, src, dst, window).
+            type Started = Vec<(FlowId, NodeId, NodeId, Option<u64>)>;
+            let started: Rc<RefCell<Started>> = Rc::new(RefCell::new(Vec::new()));
+
+            for (t_us, ops) in plan {
+                let at = SimTime::from_micros(t_us);
+                for op in ops {
+                    let started = started.clone();
+                    match op {
+                        Op::Start { slot, src, dst, bytes, window } => {
+                            sim.at(at, move |sim, w| {
+                                let mut spec = FlowSpec::bulk(src, dst, bytes);
+                                if let Some(wnd) = window {
+                                    spec = spec.with_window(wnd);
+                                }
+                                let id = Network::start_flow(sim, w, spec, |_s, _w| {});
+                                let mut s = started.borrow_mut();
+                                debug_assert_eq!(s.len(), slot);
+                                s.push((id, src, dst, window));
+                            });
+                        }
+                        Op::Cancel { slot } => {
+                            sim.at(at, move |sim, w| {
+                                if let Some(&(id, ..)) = started.borrow().get(slot) {
+                                    Network::cancel_flow(sim, w, id);
+                                }
+                            });
+                        }
+                        Op::Degrade { link, factor } => {
+                            sim.at(at, move |sim, w| {
+                                Network::set_link_degraded(
+                                    sim,
+                                    w,
+                                    globalfs::simnet::LinkId(link),
+                                    factor,
+                                );
+                            });
+                        }
+                        Op::SetUp { link, up } => {
+                            sim.at(at, move |sim, w| {
+                                Network::set_link_up(sim, w, globalfs::simnet::LinkId(link), up);
+                            });
+                        }
+                    }
+                }
+                // Probe strictly after the burst's end-of-instant solve.
+                let started = started.clone();
+                sim.at(at + SimDuration::from_micros(500), move |_sim, w| {
+                    check_against_batch(case, &started.borrow(), &mut w.net);
+                });
+            }
+            sim.run(&mut w);
+        }
+    }
+
+    /// Rebuild the active flow set from scratch (paths, window caps,
+    /// effective link capacities) and demand bitwise rate agreement with
+    /// the live engine.
+    fn check_against_batch(case: u64, started: &[(FlowId, NodeId, NodeId, Option<u64>)], net: &mut Network<World>) {
+        let caps: Vec<f64> = (0..net.topo().link_count())
+            .map(|i| {
+                let l = globalfs::simnet::LinkId(i as u32);
+                if net.link_is_up(l) {
+                    net.topo().links()[i].capacity * net.link_degrade(l)
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        // Active flows in id (= insertion) order, matching the engine's
+        // own packing order.
+        let mut live: Vec<(FlowId, Vec<u32>, f64)> = Vec::new();
+        for &(id, src, dst, window) in started {
+            if net.flow_rate(id).is_none() {
+                continue;
+            }
+            let path = net.topo().route(src, dst).expect("routed at start");
+            let cap = match window {
+                Some(wnd) => {
+                    // Exactly the engine's window-cap arithmetic.
+                    let fwd = net.topo().path_delay(&path);
+                    let back = net
+                        .topo()
+                        .route(dst, src)
+                        .map(|p| net.topo().path_delay(&p))
+                        .unwrap_or(fwd);
+                    wnd as f64 / (fwd + back).as_secs_f64().max(1e-9)
+                }
+                None => f64::INFINITY,
+            };
+            live.push((id, path.iter().map(|l| l.0).collect(), cap));
+        }
+        let flows: Vec<SolverFlow> = live
+            .iter()
+            .map(|(_, p, cap)| SolverFlow { path: p, cap: *cap })
+            .collect();
+        let want = allocate(&caps, &flows);
+        for ((id, _, _), want) in live.iter().zip(&want) {
+            let got = net.flow_rate(*id).expect("still active");
+            assert_eq!(
+                got.to_bits(),
+                want.to_bits(),
+                "case {case}: flow {id:?} incremental rate {got} != batch rate {want}"
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // Token manager: exclusion invariant under random workloads
 // ---------------------------------------------------------------------
 
