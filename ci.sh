@@ -7,8 +7,10 @@ cd "$(dirname "$0")"
 
 export CARGO_NET_OFFLINE=true
 
-echo "== cargo build --release"
-cargo build --release --offline
+echo "== cargo build --release (RUSTFLAGS=-D warnings)"
+# Warnings-as-errors on the release build: a perf PR that leaves dead code
+# or unused results behind fails here, not in review.
+RUSTFLAGS="-D warnings" cargo build --release --offline
 
 echo "== cargo test -q (tier-1)"
 cargo test -q --offline
@@ -27,6 +29,22 @@ echo "$perf_out"
 test -f BENCH_perf.json
 if echo "$perf_out" | grep -q '\[OFF\]'; then
     echo "perf smoke: a figure verdict regressed from [OK ]" >&2
+    exit 1
+fi
+
+# Events/sec floor for the recovery trio: deliberately generous (the warm
+# steady state is ~15k on the 1-core CI box) so it only trips on
+# order-of-magnitude regressions, not scheduler noise or cold caches.
+trio_eps=$(python3 - <<'EOF'
+import json
+doc = json.load(open('BENCH_perf.json'))
+[s] = [s for s in doc['scenarios'] if s['name'].startswith('recovery trio')]
+print(int(s['events_per_sec']))
+EOF
+)
+echo "recovery trio: ${trio_eps} events/sec (floor 1500)"
+if [ "$trio_eps" -lt 1500 ]; then
+    echo "perf smoke: recovery trio events/sec collapsed (${trio_eps} < 1500)" >&2
     exit 1
 fi
 

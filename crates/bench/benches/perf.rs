@@ -9,6 +9,7 @@
 //! perf smoke stage and fails if any verdict regresses from `[OK ]`.
 
 use gfs_bench::{header, table, verdict};
+use scenarios::builder::DataPathStats;
 use scenarios::production::{run_fig11, ProductionConfig};
 use scenarios::recovery::{
     crash_one_of_n, disk_failure_during_sweep, link_flap_during_enzo, CrashConfig,
@@ -24,6 +25,9 @@ struct Entry {
     events: u64,
     /// (metric, paper value, measured value, relative tolerance)
     checks: Vec<(&'static str, f64, f64, f64)>,
+    /// Page-pool and NSD coalescing counters summed over the scenario's
+    /// worlds.
+    data_path: DataPathStats,
 }
 
 impl Entry {
@@ -49,6 +53,11 @@ fn run_fig11_entry() -> Entry {
     let counts = [1u32, 2, 4, 8, 16, 32, 48, 64, 96, 128];
     let (points, wall) = time_scenario(|| run_fig11(&cfg, &counts));
     let events: u64 = points.iter().map(|(r, w)| r.events + w.events).sum();
+    let data_path = points
+        .iter()
+        .fold(DataPathStats::default(), |acc, (r, w)| {
+            acc.merged(&r.data_path).merged(&w.data_path)
+        });
     let (r128, _) = &points[points.len() - 1];
     Entry {
         name: "fig11 production sweep (1..128 nodes, r+w)",
@@ -60,6 +69,7 @@ fn run_fig11_entry() -> Entry {
             r128.aggregate_gbyte_per_sec(),
             0.08,
         )],
+        data_path,
     }
 }
 
@@ -73,15 +83,25 @@ fn run_sc04_entry() -> Entry {
             ("aggregate rate (Gb/s)", 24.0, r.aggregate_steady.mean, 0.08),
             ("momentary peak (Gb/s)", 27.0, r.peak_gbs, 0.08),
         ],
+        data_path: r.data_path,
     }
 }
 
 fn run_recovery_entry() -> Entry {
+    // The three scenarios are independent seeded worlds, so they run as
+    // parallel sweep points; the wall clock measures the whole fan-out.
     let (reports, wall) = time_scenario(|| {
-        let crash = crash_one_of_n(&CrashConfig::default());
-        let flap = link_flap_during_enzo(21, SimDuration::from_secs(5));
-        let disk = disk_failure_during_sweep(31);
-        (crash, flap, disk)
+        let mut slots = (None, None, None);
+        std::thread::scope(|scope| {
+            scope.spawn(|| slots.0 = Some(crash_one_of_n(&CrashConfig::default())));
+            scope.spawn(|| slots.1 = Some(link_flap_during_enzo(21, SimDuration::from_secs(5))));
+            scope.spawn(|| slots.2 = Some(disk_failure_during_sweep(31)));
+        });
+        (
+            slots.0.expect("crash report"),
+            slots.1.expect("flap report"),
+            slots.2.expect("disk report"),
+        )
     });
     let (crash, flap, disk) = &reports;
     // Booleans become 0/1 checks against 1.0 so they flow through the same
@@ -98,6 +118,7 @@ fn run_recovery_entry() -> Entry {
             ("disk sweep completed", 1.0, as_num(disk.completed), 0.0),
             ("disk degraded reads served", 1.0, as_num(disk.degraded_reads > 0), 0.0),
         ],
+        data_path: crash.data_path.merged(&flap.data_path).merged(&disk.data_path),
     }
 }
 
@@ -131,6 +152,18 @@ fn write_json(entries: &[Entry]) -> std::io::Result<()> {
             e.events_per_sec()
         ));
         body.push_str(&format!("      \"ok\": {},\n", e.all_ok()));
+        let d = &e.data_path;
+        body.push_str(&format!(
+            "      \"data_path\": {{\"pool_hits\": {}, \"pool_misses\": {}, \"pool_hit_rate\": {:.4}, \"pool_evictions\": {}, \"nsd_requests\": {}, \"nsd_coalesced\": {}, \"nsd_blocks\": {}, \"mean_request_bytes\": {:.1}}},\n",
+            d.pool_hits,
+            d.pool_misses,
+            d.hit_rate(),
+            d.pool_evictions,
+            d.nsd_requests,
+            d.nsd_coalesced,
+            d.nsd_blocks,
+            d.mean_request_bytes(),
+        ));
         body.push_str("      \"checks\": [\n");
         for (j, (metric, paper, measured, tol)) in e.checks.iter().enumerate() {
             body.push_str(&format!(

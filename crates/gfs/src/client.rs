@@ -469,55 +469,37 @@ pub fn truncate(
             // the new size must survive the truncate (POSIX), and the
             // cache is invalidated afterwards.
             let dirty = w.clients[client.0 as usize].pool.dirty_pages_of(fs, inode);
-            let flush_err: Rc<RefCell<Option<FsError>>> = Rc::new(RefCell::new(None));
-            let flush_err2 = flush_err.clone();
-            let after_flush: Cb<()> = Box::new(move |sim: &mut Sim<GfsWorld>, w: &mut GfsWorld, ()| {
-                // If any write-back failed the on-disk state below the new
-                // size is not durable; surface the error instead of
-                // truncating over it.
-                if let Some(e) = flush_err2.borrow_mut().take() {
-                    cb(sim, w, Err(e));
-                    return;
-                }
-                let from = client_node(w, client);
-                let mgr = w.fss[fs.0 as usize].manager_node;
-                rpc(
-                    sim,
-                    w,
-                    from,
-                    mgr,
-                    move |sim, w| {
-                        let now = sim.now().as_nanos();
-                        w.fss[fs.0 as usize].core.truncate(inode, new_size, now)
-                    },
-                    move |sim, w, r| {
-                        // Cached pages past the new EOF are stale; drop the
-                        // whole file conservatively.
-                        if r.is_ok() {
-                            w.clients[client.0 as usize].pool.invalidate_file(fs, inode);
-                        }
-                        cb(sim, w, r);
-                    },
-                );
-            });
-            let join = Join::new(dirty.len(), after_flush);
-            join.maybe_done(sim, w);
-            for page in dirty {
-                let join = join.clone();
-                let flush_err = flush_err.clone();
-                flush_page(
-                    sim,
-                    w,
-                    client,
-                    page,
-                    Box::new(move |sim, w, r| {
-                        if let Err(e) = r {
-                            flush_err.borrow_mut().get_or_insert(e);
-                        }
-                        join.arrive(sim, w);
-                    }),
-                );
-            }
+            let after_flush: Cb<Result<(), FsError>> =
+                Box::new(move |sim: &mut Sim<GfsWorld>, w: &mut GfsWorld, r| {
+                    // If any write-back failed the on-disk state below the
+                    // new size is not durable; surface the error instead of
+                    // truncating over it.
+                    if let Err(e) = r {
+                        cb(sim, w, Err(e));
+                        return;
+                    }
+                    let from = client_node(w, client);
+                    let mgr = w.fss[fs.0 as usize].manager_node;
+                    rpc(
+                        sim,
+                        w,
+                        from,
+                        mgr,
+                        move |sim, w| {
+                            let now = sim.now().as_nanos();
+                            w.fss[fs.0 as usize].core.truncate(inode, new_size, now)
+                        },
+                        move |sim, w, r| {
+                            // Cached pages past the new EOF are stale; drop
+                            // the whole file conservatively.
+                            if r.is_ok() {
+                                w.clients[client.0 as usize].pool.invalidate_file(fs, inode);
+                            }
+                            cb(sim, w, r);
+                        },
+                    );
+                });
+            flush_dirty_pages(sim, w, client, dirty, after_flush);
         }),
     );
 }
@@ -672,23 +654,19 @@ fn revoke_at_holder(
     }
     {
         // Flush the holder's dirty pages for this inode, then invalidate.
+        // A failed write-back does not block revocation: the token is being
+        // taken away and the cached copy is invalidated regardless;
+        // durability of the lost page is the failed flush's problem.
         let dirty = w.clients[holder.0 as usize].pool.dirty_pages_of(fs, inode);
-        let after_flush: Cb<()> = Box::new(move |sim: &mut Sim<GfsWorld>, w: &mut GfsWorld, ()| {
-            let c = &mut w.clients[holder.0 as usize];
-            c.pool.invalidate_file(fs, inode);
-            c.held_tokens.remove(&(fs, inode));
-            let rpcb = w.costs.rpc_bytes;
-            Network::send_msg(sim, w, holder_node, mgr, rpcb, move |sim, w| cb(sim, w, ()));
-        });
-        let join = Join::new(dirty.len(), after_flush);
-        join.maybe_done(sim, w);
-        for page in dirty {
-            let join = join.clone();
-            // A failed write-back does not block revocation: the token is
-            // being taken away and the cached copy is invalidated regardless;
-            // durability of the lost page is the failed flush's problem.
-            flush_page(sim, w, holder, page, Box::new(move |sim, w, _r| join.arrive(sim, w)));
-        }
+        let after_flush: Cb<Result<(), FsError>> =
+            Box::new(move |sim: &mut Sim<GfsWorld>, w: &mut GfsWorld, _r| {
+                let c = &mut w.clients[holder.0 as usize];
+                c.pool.invalidate_file(fs, inode);
+                c.held_tokens.remove(&(fs, inode));
+                let rpcb = w.costs.rpc_bytes;
+                Network::send_msg(sim, w, holder_node, mgr, rpcb, move |sim, w| cb(sim, w, ()));
+            });
+        flush_dirty_pages(sim, w, holder, dirty, after_flush);
     }
 }
 
@@ -742,8 +720,39 @@ fn log_failover(sim: &Sim<GfsWorld>, w: &mut GfsWorld, client: ClientId, prev: O
     }
 }
 
+/// Group per-block requests into maximal scatter-gather runs: same file,
+/// same NSD, consecutive *disk* blocks. Runs are issued in file order (by
+/// each run's lowest file-block index), so a fully striped access — where
+/// consecutive file blocks land on different NSDs — degenerates to the
+/// exact one-request-per-block sequence of the uncoalesced path.
+fn coalesce<T>(mut items: Vec<(PageKey, BlockAddr, T)>) -> Vec<(BlockAddr, Vec<(PageKey, T)>)> {
+    items.sort_by_key(|(k, a, _)| (k.fs.0, k.inode.0, a.nsd, a.block));
+    let mut runs: Vec<(BlockAddr, Vec<(PageKey, T)>)> = Vec::new();
+    for (key, addr, payload) in items {
+        if let Some((base, members)) = runs.last_mut() {
+            let head = &members[0].0;
+            if head.fs == key.fs
+                && head.inode == key.inode
+                && base.nsd == addr.nsd
+                && base.block + members.len() as u64 == addr.block
+            {
+                members.push((key, payload));
+                continue;
+            }
+        }
+        runs.push((addr, vec![(key, payload)]));
+    }
+    runs.sort_by_key(|(_, members)| {
+        let head = &members[0].0;
+        let first_file_block = members.iter().map(|(k, _)| k.block).min().unwrap_or(0);
+        (head.fs.0, head.inode.0, first_file_block)
+    });
+    runs
+}
+
 /// Fetch one block into the page pool (cache-aware). `cb` receives the
 /// block's full contents, or the error after the retry budget is spent.
+/// Single-block convenience over [`fetch_run`], used by read-modify-write.
 fn fetch_block(
     sim: &mut Sim<GfsWorld>,
     w: &mut GfsWorld,
@@ -770,28 +779,56 @@ fn fetch_block(
         .ok()
         .and_then(|m| m.first().and_then(|(_, a)| *a));
     let Some(addr) = addr else {
-        // Hole or past-EOF: zeros, no I/O.
-        let zeros = Bytes::from(vec![0u8; block_size as usize]);
+        // Hole or past-EOF: zeros, no I/O (and no allocation — the zero
+        // block is a shared refcounted payload).
+        let zeros = inst.core.zero_block();
         cb(sim, w, Ok(zeros));
         return;
     };
-    let slot: Once<Result<Bytes, FsError>> = Rc::new(RefCell::new(Some(cb)));
-    fetch_attempt(sim, w, client, key, addr, block_size, 0, None, slot);
+    fetch_run(
+        sim,
+        w,
+        client,
+        vec![key],
+        addr,
+        block_size,
+        Box::new(move |sim, w, r| {
+            cb(sim, w, r.map(|mut parts| parts.pop().expect("one block requested")))
+        }),
+    );
 }
 
-#[allow(clippy::too_many_arguments)]
-fn fetch_attempt(
+/// Fetch a scatter-gather run of disk-contiguous blocks (one request
+/// message, one NSD service, one bulk flow, one watchdog for the whole
+/// run). `keys[i]` is the file block stored at disk block `addr.block + i`.
+/// `cb` receives the per-block payloads in run order.
+fn fetch_run(
     sim: &mut Sim<GfsWorld>,
     w: &mut GfsWorld,
     client: ClientId,
-    key: PageKey,
+    keys: Vec<PageKey>,
+    addr: BlockAddr,
+    block_size: u64,
+    cb: Cb<Result<Vec<Bytes>, FsError>>,
+) {
+    let slot: Once<Result<Vec<Bytes>, FsError>> = Rc::new(RefCell::new(Some(cb)));
+    fetch_run_attempt(sim, w, client, keys, addr, block_size, 0, None, slot);
+}
+
+#[allow(clippy::too_many_arguments)]
+fn fetch_run_attempt(
+    sim: &mut Sim<GfsWorld>,
+    w: &mut GfsWorld,
+    client: ClientId,
+    keys: Vec<PageKey>,
     addr: BlockAddr,
     block_size: u64,
     attempt: u32,
     prev_server: Option<NodeId>,
-    cb: Once<Result<Bytes, FsError>>,
+    cb: Once<Result<Vec<Bytes>, FsError>>,
 ) {
-    let fs = key.fs;
+    let fs = keys[0].fs;
+    let nblocks = keys.len() as u64;
     let Some(server) = w.fss[fs.0 as usize].try_server_of(NsdId(addr.nsd)) else {
         if let Some(cb) = take(&cb) {
             cb(sim, w, Err(FsError::ServerDown));
@@ -799,6 +836,7 @@ fn fetch_attempt(
         return;
     };
     log_failover(sim, w, client, prev_server, server);
+    w.nsd_stats.record(nblocks, nblocks * block_size);
     let from = client_node(w, client);
     let rpcb = w.costs.rpc_bytes;
     let window = w.costs.flow_window;
@@ -808,6 +846,7 @@ fn fetch_attempt(
     let timeout = w.costs.request_timeout;
     let watchdog = {
         let cb = cb.clone();
+        let keys = keys.clone();
         sim.timer_after(timeout, move |sim, w| {
             w.recovery
                 .log(sim.now(), RecoveryWhat::TimeoutDetected { client, server });
@@ -819,11 +858,11 @@ fn fetch_attempt(
             }
             let delay = backoff_delay(w, attempt);
             sim.after(delay, move |sim, w| {
-                fetch_attempt(
+                fetch_run_attempt(
                     sim,
                     w,
                     client,
-                    key,
+                    keys,
                     addr,
                     block_size,
                     attempt + 1,
@@ -840,21 +879,21 @@ fn fetch_attempt(
         if w.fss[fs.0 as usize].down_servers.contains(&server) {
             return;
         }
-        // NSD service at the server.
+        // NSD service at the server: one seek, `nblocks` contiguous blocks.
         let inst = &mut w.fss[fs.0 as usize];
         let done = inst.nsds[addr.nsd as usize].serve(
             &mut w.arrays,
             sim.now(),
             IoKind::Read,
             addr.block * block_size,
-            block_size,
+            nblocks * block_size,
         );
         sim.at(done, move |sim, w| {
             // Bulk data back to the client.
             let spec = FlowSpec {
                 src: server,
                 dst: from,
-                bytes: block_size,
+                bytes: nblocks * block_size,
                 window: Some(window),
                 tag: tags::NSD_READ,
             };
@@ -862,61 +901,115 @@ fn fetch_attempt(
                 if !sim.cancel_timer(watchdog) {
                     return; // watchdog fired first; a retry owns this fetch
                 }
-                let data = w.fss[fs.0 as usize].core.get_block_data(addr);
-                let evicted = w.clients[client.0 as usize]
-                    .pool
-                    .insert_clean(key, data.clone());
-                flush_evicted(sim, w, client, evicted);
+                let parts = w.fss[fs.0 as usize].core.get_block_run(addr, nblocks);
+                for (key, data) in keys.iter().zip(parts.iter()) {
+                    let evicted = w.clients[client.0 as usize]
+                        .pool
+                        .insert_clean(*key, data.clone());
+                    flush_evicted(sim, w, client, evicted);
+                }
                 if let Some(cb) = take(&cb) {
-                    cb(sim, w, Ok(data));
+                    cb(sim, w, Ok(parts));
                 }
             });
         });
     });
 }
 
-/// Flush one dirty page to its NSD, with the same timeout/retry/failover
-/// envelope as reads.
-fn flush_page(
+/// Flush a batch of dirty pages, coalescing disk-contiguous blocks into
+/// scatter-gather write runs. `done` fires once every page has settled,
+/// carrying the first flush error (if any). Pages whose blocks were freed
+/// underneath (truncate/unlink raced the flush) settle immediately.
+fn flush_dirty_pages(
     sim: &mut Sim<GfsWorld>,
     w: &mut GfsWorld,
     client: ClientId,
-    page: DirtyPage,
+    dirty: Vec<DirtyPage>,
+    done: Cb<Result<(), FsError>>,
+) {
+    let first_err: Rc<RefCell<Option<FsError>>> = Rc::new(RefCell::new(None));
+    let first_err_f = first_err.clone();
+    let finish: Cb<()> = Box::new(move |sim: &mut Sim<GfsWorld>, w: &mut GfsWorld, ()| {
+        match first_err_f.borrow_mut().take() {
+            Some(e) => done(sim, w, Err(e)),
+            None => done(sim, w, Ok(())),
+        }
+    });
+    let join = Join::new(dirty.len(), finish);
+    let mut items = Vec::with_capacity(dirty.len());
+    for page in dirty {
+        let inst = &w.fss[page.key.fs.0 as usize];
+        let block_size = inst.core.config.block_size;
+        let addr = inst
+            .core
+            .block_map(page.key.inode, page.key.block * block_size, 1)
+            .ok()
+            .and_then(|m| m.first().and_then(|(_, a)| *a));
+        match addr {
+            Some(addr) => items.push((page.key, addr, page.data)),
+            None => join.arrive(sim, w),
+        }
+    }
+    for (addr, members) in coalesce(items) {
+        let (keys, data): (Vec<PageKey>, Vec<Bytes>) = members.into_iter().unzip();
+        let block_size = w.fss[keys[0].fs.0 as usize].core.config.block_size;
+        let run_len = keys.len();
+        let join = join.clone();
+        let first_err = first_err.clone();
+        flush_run(
+            sim,
+            w,
+            client,
+            keys,
+            data,
+            addr,
+            block_size,
+            Box::new(move |sim, w, r| {
+                if let Err(e) = r {
+                    first_err.borrow_mut().get_or_insert(e);
+                }
+                for _ in 0..run_len {
+                    join.arrive(sim, w);
+                }
+            }),
+        );
+    }
+    join.maybe_done(sim, w);
+}
+
+/// Flush a scatter-gather run of dirty pages to disk-contiguous blocks on
+/// one NSD, with the same timeout/retry/failover envelope as reads: one
+/// bulk flow, one NSD service, one ack, one watchdog for the whole run.
+#[allow(clippy::too_many_arguments)]
+fn flush_run(
+    sim: &mut Sim<GfsWorld>,
+    w: &mut GfsWorld,
+    client: ClientId,
+    keys: Vec<PageKey>,
+    data: Vec<Bytes>,
+    addr: BlockAddr,
+    block_size: u64,
     cb: Cb<Result<(), FsError>>,
 ) {
-    let fs = page.key.fs;
-    let inode = page.key.inode;
-    let block_idx = page.key.block;
-    let inst = &w.fss[fs.0 as usize];
-    let block_size = inst.core.config.block_size;
-    let addr = inst
-        .core
-        .block_map(inode, block_idx * block_size, 1)
-        .ok()
-        .and_then(|m| m.first().and_then(|(_, a)| *a));
-    let Some(addr) = addr else {
-        // Block was freed (truncate/unlink raced the flush): drop it.
-        cb(sim, w, Ok(()));
-        return;
-    };
     let slot: Once<Result<(), FsError>> = Rc::new(RefCell::new(Some(cb)));
-    flush_attempt(sim, w, client, page.key, page.data, addr, block_size, 0, None, slot);
+    flush_run_attempt(sim, w, client, keys, data, addr, block_size, 0, None, slot);
 }
 
 #[allow(clippy::too_many_arguments)]
-fn flush_attempt(
+fn flush_run_attempt(
     sim: &mut Sim<GfsWorld>,
     w: &mut GfsWorld,
     client: ClientId,
-    key: PageKey,
-    data: Bytes,
+    keys: Vec<PageKey>,
+    data: Vec<Bytes>,
     addr: BlockAddr,
     block_size: u64,
     attempt: u32,
     prev_server: Option<NodeId>,
     cb: Once<Result<(), FsError>>,
 ) {
-    let fs = key.fs;
+    let fs = keys[0].fs;
+    let nblocks = keys.len() as u64;
     let Some(server) = w.fss[fs.0 as usize].try_server_of(NsdId(addr.nsd)) else {
         if let Some(cb) = take(&cb) {
             cb(sim, w, Err(FsError::ServerDown));
@@ -924,6 +1017,7 @@ fn flush_attempt(
         return;
     };
     log_failover(sim, w, client, prev_server, server);
+    w.nsd_stats.record(nblocks, nblocks * block_size);
     let from = client_node(w, client);
     let window = w.costs.flow_window;
 
@@ -931,6 +1025,7 @@ fn flush_attempt(
     let timeout = w.costs.request_timeout;
     let watchdog = {
         let cb = cb.clone();
+        let keys = keys.clone();
         let data = data.clone();
         sim.timer_after(timeout, move |sim, w| {
             w.recovery
@@ -943,11 +1038,11 @@ fn flush_attempt(
             }
             let delay = backoff_delay(w, attempt);
             sim.after(delay, move |sim, w| {
-                flush_attempt(
+                flush_run_attempt(
                     sim,
                     w,
                     client,
-                    key,
+                    keys,
                     data,
                     addr,
                     block_size,
@@ -962,7 +1057,7 @@ fn flush_attempt(
     let spec = FlowSpec {
         src: from,
         dst: server,
-        bytes: block_size,
+        bytes: nblocks * block_size,
         window: Some(window),
         tag: tags::NSD_WRITE,
     };
@@ -977,17 +1072,19 @@ fn flush_attempt(
             sim.now(),
             IoKind::Write,
             addr.block * block_size,
-            block_size,
+            nblocks * block_size,
         );
         sim.at(done, move |sim, w| {
-            w.fss[fs.0 as usize].core.put_block_data(addr, data);
+            w.fss[fs.0 as usize].core.put_block_run(addr, data);
             // Ack back to the client.
             let rpcb = w.costs.rpc_bytes;
             Network::send_msg(sim, w, server, from, rpcb, move |sim, w| {
                 if !sim.cancel_timer(watchdog) {
                     return; // a retry owns this flush now
                 }
-                w.clients[client.0 as usize].pool.mark_clean(key);
+                for key in &keys {
+                    w.clients[client.0 as usize].pool.mark_clean(*key);
+                }
                 if let Some(cb) = take(&cb) {
                     cb(sim, w, Ok(()));
                 }
@@ -1002,11 +1099,12 @@ fn flush_evicted(
     client: ClientId,
     evicted: Vec<DirtyPage>,
 ) {
-    for page in evicted {
-        // Background write-behind: errors surface on the next explicit
-        // fsync/close of the file, not here.
-        flush_page(sim, w, client, page, Box::new(|_, _, _| {}));
+    if evicted.is_empty() {
+        return;
     }
+    // Background write-behind: errors surface on the next explicit
+    // fsync/close of the file, not here.
+    flush_dirty_pages(sim, w, client, evicted, Box::new(|_, _, _| {}));
 }
 
 /// Read `len` bytes at `offset`. Returns short data at EOF (like POSIX).
@@ -1066,16 +1164,25 @@ pub fn read(
                         cb(sim, w, Err(e));
                         return;
                     }
-                    // Assemble the byte range from the block parts.
-                    let mut out = Vec::with_capacity(len as usize);
-                    for (i, part) in parts.borrow().iter().enumerate() {
-                        let block = first + i as u64;
-                        let data = part.as_ref().expect("all parts fetched");
-                        let bstart = block * block_size;
-                        let s = offset.max(bstart) - bstart;
-                        let e = (end.min(bstart + block_size)) - bstart;
-                        out.extend_from_slice(&data[s as usize..e as usize]);
-                    }
+                    // Assemble the byte range from the block parts. A read
+                    // inside one block is a zero-copy slice of the page.
+                    let out = if nblocks == 1 {
+                        let parts = parts.borrow();
+                        let data = parts[0].as_ref().expect("all parts fetched");
+                        let bstart = first * block_size;
+                        data.slice((offset - bstart) as usize..(end - bstart) as usize)
+                    } else {
+                        let mut out = Vec::with_capacity(len as usize);
+                        for (i, part) in parts.borrow().iter().enumerate() {
+                            let block = first + i as u64;
+                            let data = part.as_ref().expect("all parts fetched");
+                            let bstart = block * block_size;
+                            let s = offset.max(bstart) - bstart;
+                            let e = (end.min(bstart + block_size)) - bstart;
+                            out.extend_from_slice(&data[s as usize..e as usize]);
+                        }
+                        Bytes::from(out)
+                    };
                     // Prefetch ramp: observe the last block touched.
                     let depth = w.clients[client.0 as usize]
                         .prefetch
@@ -1087,6 +1194,7 @@ pub fn read(
                         .inode(inode)
                         .map(|i| i.size().div_ceil(block_size))
                         .unwrap_or(0);
+                    let mut ahead_misses = Vec::new();
                     for ahead in 0..u64::from(depth) {
                         let b = last + ahead;
                         if b >= total_blocks {
@@ -1097,38 +1205,88 @@ pub fn read(
                             inode,
                             block: b,
                         };
-                        if !w.clients[client.0 as usize].pool.contains(key) {
-                            fetch_block(sim, w, client, fs, inode, b, Box::new(|_, _, _| {}));
+                        if w.clients[client.0 as usize].pool.contains(key) {
+                            continue;
+                        }
+                        // Count the miss (the uncoalesced path probed the
+                        // pool per fetch), then resolve the block address.
+                        let _ = w.clients[client.0 as usize].pool.get(key);
+                        let addr = w.fss[fs.0 as usize]
+                            .core
+                            .block_map(inode, b * block_size, 1)
+                            .ok()
+                            .and_then(|m| m.first().and_then(|(_, a)| *a));
+                        if let Some(addr) = addr {
+                            ahead_misses.push((key, addr, ()));
                         }
                     }
+                    for (addr, members) in coalesce(ahead_misses) {
+                        let keys: Vec<PageKey> = members.into_iter().map(|(k, ())| k).collect();
+                        fetch_run(sim, w, client, keys, addr, block_size, Box::new(|_, _, _| {}));
+                    }
                     inflight_exit(w, client, fs, inode);
-                    cb(sim, w, Ok(Bytes::from(out)));
+                    cb(sim, w, Ok(out));
                 })
             };
             let join = Join::new(nblocks, finish);
-            join.maybe_done(sim, w);
+            // One block-map resolution for the whole range; cache hits and
+            // holes settle inline, misses coalesce into scatter-gather runs.
+            let map = w.fss[fs.0 as usize]
+                .core
+                .block_map(inode, offset, len)
+                .unwrap_or_default();
+            let mut misses = Vec::new();
             for i in 0..nblocks {
+                let key = PageKey {
+                    fs,
+                    inode,
+                    block: first + i as u64,
+                };
+                if let Some(data) = w.clients[client.0 as usize].pool.get(key) {
+                    parts.borrow_mut()[i] = Some(data);
+                    join.arrive(sim, w);
+                    continue;
+                }
+                match map.get(i).and_then(|(_, a)| *a) {
+                    None => {
+                        // Hole or past-EOF: zeros, no I/O.
+                        parts.borrow_mut()[i] = Some(w.fss[fs.0 as usize].core.zero_block());
+                        join.arrive(sim, w);
+                    }
+                    Some(addr) => misses.push((key, addr, ())),
+                }
+            }
+            for (addr, members) in coalesce(misses) {
+                let keys: Vec<PageKey> = members.into_iter().map(|(k, ())| k).collect();
                 let parts = parts.clone();
                 let join = join.clone();
                 let first_err = first_err.clone();
-                fetch_block(
+                let run_len = keys.len();
+                fetch_run(
                     sim,
                     w,
                     client,
-                    fs,
-                    inode,
-                    first + i as u64,
+                    keys.clone(),
+                    addr,
+                    block_size,
                     Box::new(move |sim, w, r| {
                         match r {
-                            Ok(data) => parts.borrow_mut()[i] = Some(data),
+                            Ok(data) => {
+                                for (key, part) in keys.iter().zip(data) {
+                                    parts.borrow_mut()[(key.block - first) as usize] = Some(part);
+                                }
+                            }
                             Err(e) => {
                                 first_err.borrow_mut().get_or_insert(e);
                             }
                         }
-                        join.arrive(sim, w);
+                        for _ in 0..run_len {
+                            join.arrive(sim, w);
+                        }
                     }),
                 );
             }
+            join.maybe_done(sim, w);
         }),
     );
 }
@@ -1230,21 +1388,30 @@ pub fn write(
                         let first_err = first_err.clone();
                         let merge = move |sim: &mut Sim<GfsWorld>,
                                           w: &mut GfsWorld,
-                                          old: Bytes| {
-                            let mut buf = old.to_vec();
-                            buf.resize(block_size as usize, 0);
-                            buf[(s - bstart) as usize..(e - bstart) as usize]
-                                .copy_from_slice(&slice);
+                                          old: Option<Bytes>| {
+                            // A fully covered block dirties the caller's
+                            // slice as-is (zero-copy); a partial write
+                            // merges into a copy of the old contents.
+                            let page = match old {
+                                None => slice.clone(),
+                                Some(old) => {
+                                    let mut buf = old.to_vec();
+                                    buf.resize(block_size as usize, 0);
+                                    buf[(s - bstart) as usize..(e - bstart) as usize]
+                                        .copy_from_slice(&slice);
+                                    Bytes::from(buf)
+                                }
+                            };
                             let evicted = w.clients[client.0 as usize]
                                 .pool
-                                .insert_dirty(key, Bytes::from(buf));
+                                .insert_dirty(key, page);
                             flush_evicted(sim, w, client, evicted);
                             join.arrive(sim, w);
                         };
                         if full_cover {
-                            merge(sim, w, Bytes::new());
+                            merge(sim, w, None);
                         } else if let Some(old) = w.clients[client.0 as usize].pool.get(key) {
-                            merge(sim, w, old);
+                            merge(sim, w, Some(old));
                         } else {
                             // Read-modify-write: a failed fetch fails the
                             // write for this block rather than merging into
@@ -1257,7 +1424,7 @@ pub fn write(
                                 inode,
                                 b,
                                 Box::new(move |sim, w, r| match r {
-                                    Ok(old) => merge(sim, w, old),
+                                    Ok(old) => merge(sim, w, Some(old)),
                                     Err(e) => {
                                         first_err.borrow_mut().get_or_insert(e);
                                         join_err.arrive(sim, w);
@@ -1287,33 +1454,7 @@ pub fn fsync(
     let dirty = w.clients[client.0 as usize]
         .pool
         .dirty_pages_of(of.fs, of.inode);
-    let cb: Cb<Result<(), FsError>> = Box::new(cb);
-    let first_err: Rc<RefCell<Option<FsError>>> = Rc::new(RefCell::new(None));
-    let first_err_f = first_err.clone();
-    let finish: Cb<()> = Box::new(move |sim: &mut Sim<GfsWorld>, w, ()| {
-        match first_err_f.borrow_mut().take() {
-            Some(e) => cb(sim, w, Err(e)),
-            None => cb(sim, w, Ok(())),
-        }
-    });
-    let join = Join::new(dirty.len(), finish);
-    join.maybe_done(sim, w);
-    for page in dirty {
-        let join = join.clone();
-        let first_err = first_err.clone();
-        flush_page(
-            sim,
-            w,
-            client,
-            page,
-            Box::new(move |sim, w, r| {
-                if let Err(e) = r {
-                    first_err.borrow_mut().get_or_insert(e);
-                }
-                join.arrive(sim, w);
-            }),
-        );
-    }
+    flush_dirty_pages(sim, w, client, dirty, Box::new(cb));
 }
 
 /// Close: flush, release tokens at the manager, drop the handle.

@@ -163,6 +163,10 @@ pub struct FsCore {
     inodes: Vec<Option<Inode>>,
     alloc: Vec<NsdAlloc>,
     data: BTreeMap<(u32, u64), Bytes>,
+    /// Shared all-zeros block payload: absent/synthetic blocks hand out
+    /// refcounted slices of this one allocation instead of zeroing a fresh
+    /// buffer per read.
+    zero_block: Bytes,
 }
 
 /// The root directory's inode id.
@@ -188,11 +192,13 @@ impl FsCore {
                 freed: Vec::new(),
             })
             .collect();
+        let zero_block = Bytes::from(vec![0u8; config.block_size as usize]);
         FsCore {
             config,
             inodes: vec![Some(root)],
             alloc,
             data: BTreeMap::new(),
+            zero_block,
         }
     }
 
@@ -630,6 +636,12 @@ impl FsCore {
         }
     }
 
+    /// A refcounted all-zeros block payload (holes and past-EOF reads hand
+    /// out slices of this instead of allocating).
+    pub fn zero_block(&self) -> Bytes {
+        self.zero_block.clone()
+    }
+
     /// Fetch a block payload; absent blocks read as zeros in Stored mode.
     pub fn get_block_data(&self, addr: BlockAddr) -> Bytes {
         match self.config.data_mode {
@@ -637,8 +649,37 @@ impl FsCore {
                 .data
                 .get(&(addr.nsd, addr.block))
                 .cloned()
-                .unwrap_or_else(|| Bytes::from(vec![0u8; self.config.block_size as usize])),
-            DataMode::Synthetic => Bytes::from(vec![0u8; self.config.block_size as usize]),
+                .unwrap_or_else(|| self.zero_block.clone()),
+            DataMode::Synthetic => self.zero_block.clone(),
+        }
+    }
+
+    /// Payloads of `n` disk-contiguous blocks starting at `addr`, one
+    /// `Bytes` handle per block — the scatter-gather list an NSD server
+    /// returns for a coalesced multi-block read. No payload is copied.
+    pub fn get_block_run(&self, addr: BlockAddr, n: u64) -> Vec<Bytes> {
+        (0..n)
+            .map(|i| {
+                self.get_block_data(BlockAddr {
+                    nsd: addr.nsd,
+                    block: addr.block + i,
+                })
+            })
+            .collect()
+    }
+
+    /// Store the payloads of `n` disk-contiguous blocks starting at `addr`
+    /// (the write half of a scatter-gather request). Payload handles are
+    /// moved, not copied.
+    pub fn put_block_run(&mut self, addr: BlockAddr, payloads: Vec<Bytes>) {
+        for (i, data) in payloads.into_iter().enumerate() {
+            self.put_block_data(
+                BlockAddr {
+                    nsd: addr.nsd,
+                    block: addr.block + i as u64,
+                },
+                data,
+            );
         }
     }
 }

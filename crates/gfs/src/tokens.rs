@@ -92,10 +92,127 @@ impl AcquireOutcome {
     }
 }
 
+/// Sort rank for grants within an inode's interval index.
+fn grant_key(g: &Grant) -> (u64, u64, u64, u8) {
+    (
+        g.range.start,
+        g.range.end,
+        g.client.0 as u64,
+        match g.mode {
+            TokenMode::Read => 0,
+            TokenMode::Write => 1,
+        },
+    )
+}
+
+/// Per-inode interval index: grants kept sorted by range start, with a
+/// prefix maximum of range ends so overlap queries binary-search to the
+/// candidate window instead of scanning every grant.
+///
+/// For a query range `[s, e)`: grants at or past the `partition_point`
+/// where `start >= e` cannot overlap, and walking backward from there stops
+/// at the first index whose prefix-max end is `<= s` — everything earlier
+/// ends at or before `s` too. Disjoint grant sets (the MPI-IO pattern of
+/// one range per rank) answer in O(log n + matches).
+#[derive(Default, Debug)]
+struct GrantSet {
+    /// Sorted by `(start, end, client, mode)`.
+    sorted: Vec<Grant>,
+    /// `prefix_max[i]` = max end over `sorted[..=i]`; rebuilt on mutation.
+    prefix_max: Vec<u64>,
+}
+
+impl GrantSet {
+    fn reindex(&mut self) {
+        self.prefix_max.clear();
+        self.prefix_max.reserve(self.sorted.len());
+        let mut max = 0u64;
+        for g in &self.sorted {
+            max = max.max(g.range.end);
+            self.prefix_max.push(max);
+        }
+    }
+
+    /// Indices of grants overlapping `range`, ascending.
+    fn overlapping(&self, range: &ByteRange) -> Vec<usize> {
+        let hi = self
+            .sorted
+            .partition_point(|g| g.range.start < range.end);
+        let mut out = Vec::new();
+        for i in (0..hi).rev() {
+            if self.prefix_max[i] <= range.start {
+                break;
+            }
+            if self.sorted[i].range.end > range.start {
+                out.push(i);
+            }
+        }
+        out.reverse();
+        out
+    }
+
+    /// Any grant overlapping `range` satisfying `pred`?
+    fn any_overlapping(&self, range: &ByteRange, pred: impl Fn(&Grant) -> bool) -> bool {
+        let hi = self
+            .sorted
+            .partition_point(|g| g.range.start < range.end);
+        for i in (0..hi).rev() {
+            if self.prefix_max[i] <= range.start {
+                break;
+            }
+            if self.sorted[i].range.end > range.start && pred(&self.sorted[i]) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Remove grants overlapping `range` that satisfy `pred`; returns them
+    /// in ascending index order.
+    fn remove_overlapping(
+        &mut self,
+        range: &ByteRange,
+        pred: impl Fn(&Grant) -> bool,
+    ) -> Vec<Grant> {
+        let idx = self.overlapping(range);
+        let mut out = Vec::with_capacity(idx.len());
+        for &i in idx.iter().rev() {
+            if pred(&self.sorted[i]) {
+                out.push(self.sorted.remove(i));
+            }
+        }
+        if !out.is_empty() {
+            out.reverse();
+            self.reindex();
+        }
+        out
+    }
+
+    fn insert(&mut self, g: Grant) {
+        let pos = self
+            .sorted
+            .partition_point(|x| grant_key(x) < grant_key(&g));
+        self.sorted.insert(pos, g);
+        self.reindex();
+    }
+
+    fn remove_client(&mut self, client: ClientId) {
+        let before = self.sorted.len();
+        self.sorted.retain(|g| g.client != client);
+        if self.sorted.len() != before {
+            self.reindex();
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+}
+
 /// The token manager for one filesystem.
 #[derive(Default, Debug)]
 pub struct TokenManager {
-    grants: BTreeMap<InodeId, Vec<Grant>>,
+    grants: BTreeMap<InodeId, GrantSet>,
     /// Counters for reports.
     pub acquires: u64,
     /// Total revocations performed.
@@ -118,11 +235,12 @@ impl TokenManager {
         mode: TokenMode,
     ) -> AcquireOutcome {
         self.acquires += 1;
-        let grants = self.grants.entry(inode).or_default();
+        let set = self.grants.entry(inode).or_default();
 
         // Fast path: an existing grant to this client already covers the
-        // request at sufficient strength.
-        let covered = grants.iter().any(|g| {
+        // request at sufficient strength. A covering grant necessarily
+        // overlaps the (non-empty) request, so the interval index finds it.
+        let covered = set.any_overlapping(&range, |g| {
             g.client == client
                 && g.range.contains(&range)
                 && (g.mode == TokenMode::Write || mode == TokenMode::Read)
@@ -135,56 +253,41 @@ impl TokenManager {
         }
 
         // Collect conflicts from other clients.
-        let conflicts = |g: &Grant| -> bool {
-            g.client != client
-                && g.range.overlaps(&range)
-                && (mode == TokenMode::Write || g.mode == TokenMode::Write)
-        };
-        let mut revoked = Vec::new();
-        grants.retain(|g| {
-            if conflicts(g) {
-                revoked.push(*g);
-                false
-            } else {
-                true
-            }
+        let revoked = set.remove_overlapping(&range, |g| {
+            g.client != client && (mode == TokenMode::Write || g.mode == TokenMode::Write)
         });
         self.revocations += revoked.len() as u64;
 
         // Subsume this client's overlapping grants of the SAME mode into
-        // one. Different-mode grants are left alone: merging a Read grant
-        // into a Write acquire would silently extend write authority over
-        // bytes whose conflicts were never revoked.
+        // one, to fixpoint (each widening can reach further own grants).
+        // Different-mode grants are left alone: merging a Read grant into a
+        // Write acquire would silently extend write authority over bytes
+        // whose conflicts were never revoked.
         let mut new_range = range;
         loop {
-            let before = new_range;
-            grants.retain(|g| {
-                if g.client == client && g.mode == mode && g.range.overlaps(&new_range) {
-                    new_range = ByteRange {
-                        start: new_range.start.min(g.range.start),
-                        end: new_range.end.max(g.range.end),
-                    };
-                    false
-                } else {
-                    true
-                }
+            let merged = set.remove_overlapping(&new_range, |g| {
+                g.client == client && g.mode == mode
             });
-            if new_range == before {
+            if merged.is_empty() {
                 break;
             }
+            for g in merged {
+                new_range = ByteRange {
+                    start: new_range.start.min(g.range.start),
+                    end: new_range.end.max(g.range.end),
+                };
+            }
         }
-        // A widened write union can newly overlap other clients' grants;
-        // clamp the union to the requested range plus same-mode merges —
-        // which is what `new_range` already is — and additionally drop own
-        // weaker grants fully contained in a new write grant (tidiness).
+        // Drop own weaker grants fully contained in a new write grant
+        // (containment implies overlap, so the index query sees them all).
         if mode == TokenMode::Write {
-            grants.retain(|g| {
-                !(g.client == client
+            set.remove_overlapping(&new_range, |g| {
+                g.client == client
                     && g.mode == TokenMode::Read
-                    && new_range.contains(&g.range))
+                    && new_range.contains(&g.range)
             });
         }
-        grants.push(Grant {
+        set.insert(Grant {
             client,
             range: new_range,
             mode,
@@ -198,9 +301,9 @@ impl TokenManager {
 
     /// Release every token `client` holds on `inode` (file close).
     pub fn release_all(&mut self, inode: InodeId, client: ClientId) {
-        if let Some(grants) = self.grants.get_mut(&inode) {
-            grants.retain(|g| g.client != client);
-            if grants.is_empty() {
+        if let Some(set) = self.grants.get_mut(&inode) {
+            set.remove_client(client);
+            if set.is_empty() {
                 self.grants.remove(&inode);
             }
         }
@@ -208,18 +311,22 @@ impl TokenManager {
 
     /// Release every token `client` holds anywhere (unmount/expel).
     pub fn release_client(&mut self, client: ClientId) {
-        self.grants.retain(|_, grants| {
-            grants.retain(|g| g.client != client);
-            !grants.is_empty()
+        self.grants.retain(|_, set| {
+            set.remove_client(client);
+            !set.is_empty()
         });
     }
 
-    /// Current grants on an inode (for tests and introspection).
+    /// Current grants on an inode, sorted by range start (for tests and
+    /// introspection).
     pub fn grants(&self, inode: InodeId) -> &[Grant] {
-        self.grants.get(&inode).map_or(&[], Vec::as_slice)
+        self.grants
+            .get(&inode)
+            .map_or(&[], |set| set.sorted.as_slice())
     }
 
     /// Does `client` hold a token covering `range` at strength `mode`?
+    /// Binary-searches the inode's interval index.
     pub fn holds(
         &self,
         inode: InodeId,
@@ -227,10 +334,12 @@ impl TokenManager {
         range: ByteRange,
         mode: TokenMode,
     ) -> bool {
-        self.grants(inode).iter().any(|g| {
-            g.client == client
-                && g.range.contains(&range)
-                && (g.mode == TokenMode::Write || mode == TokenMode::Read)
+        self.grants.get(&inode).is_some_and(|set| {
+            set.any_overlapping(&range, |g| {
+                g.client == client
+                    && g.range.contains(&range)
+                    && (g.mode == TokenMode::Write || mode == TokenMode::Read)
+            })
         })
     }
 }
@@ -398,5 +507,210 @@ mod tests {
     #[should_panic(expected = "empty byte range")]
     fn empty_range_rejected() {
         ByteRange::new(5, 5);
+    }
+
+    /// The pre-index token manager (linear `Vec<Grant>` scans), kept as the
+    /// oracle for the randomized equivalence test below.
+    mod reference {
+        use super::super::{AcquireOutcome, ByteRange, Grant, TokenMode};
+        use crate::types::{ClientId, InodeId};
+        use std::collections::BTreeMap;
+
+        #[derive(Default)]
+        pub struct RefManager {
+            grants: BTreeMap<InodeId, Vec<Grant>>,
+            pub revocations: u64,
+        }
+
+        impl RefManager {
+            pub fn acquire(
+                &mut self,
+                inode: InodeId,
+                client: ClientId,
+                range: ByteRange,
+                mode: TokenMode,
+            ) -> AcquireOutcome {
+                let grants = self.grants.entry(inode).or_default();
+                let covered = grants.iter().any(|g| {
+                    g.client == client
+                        && g.range.contains(&range)
+                        && (g.mode == TokenMode::Write || mode == TokenMode::Read)
+                });
+                if covered {
+                    return AcquireOutcome {
+                        already_held: true,
+                        revoked: Vec::new(),
+                    };
+                }
+                let conflicts = |g: &Grant| -> bool {
+                    g.client != client
+                        && g.range.overlaps(&range)
+                        && (mode == TokenMode::Write || g.mode == TokenMode::Write)
+                };
+                let mut revoked = Vec::new();
+                grants.retain(|g| {
+                    if conflicts(g) {
+                        revoked.push(*g);
+                        false
+                    } else {
+                        true
+                    }
+                });
+                self.revocations += revoked.len() as u64;
+                let mut new_range = range;
+                loop {
+                    let before = new_range;
+                    grants.retain(|g| {
+                        if g.client == client && g.mode == mode && g.range.overlaps(&new_range)
+                        {
+                            new_range = ByteRange {
+                                start: new_range.start.min(g.range.start),
+                                end: new_range.end.max(g.range.end),
+                            };
+                            false
+                        } else {
+                            true
+                        }
+                    });
+                    if new_range == before {
+                        break;
+                    }
+                }
+                if mode == TokenMode::Write {
+                    grants.retain(|g| {
+                        !(g.client == client
+                            && g.mode == TokenMode::Read
+                            && new_range.contains(&g.range))
+                    });
+                }
+                grants.push(Grant {
+                    client,
+                    range: new_range,
+                    mode,
+                });
+                AcquireOutcome {
+                    already_held: false,
+                    revoked,
+                }
+            }
+
+            pub fn release_all(&mut self, inode: InodeId, client: ClientId) {
+                if let Some(grants) = self.grants.get_mut(&inode) {
+                    grants.retain(|g| g.client != client);
+                    if grants.is_empty() {
+                        self.grants.remove(&inode);
+                    }
+                }
+            }
+
+            pub fn release_client(&mut self, client: ClientId) {
+                self.grants.retain(|_, grants| {
+                    grants.retain(|g| g.client != client);
+                    !grants.is_empty()
+                });
+            }
+
+            pub fn grants(&self, inode: InodeId) -> Vec<Grant> {
+                self.grants.get(&inode).cloned().unwrap_or_default()
+            }
+
+            pub fn holds(
+                &self,
+                inode: InodeId,
+                client: ClientId,
+                range: ByteRange,
+                mode: TokenMode,
+            ) -> bool {
+                self.grants(inode).iter().any(|g| {
+                    g.client == client
+                        && g.range.contains(&range)
+                        && (g.mode == TokenMode::Write || mode == TokenMode::Read)
+                })
+            }
+        }
+    }
+
+    #[test]
+    fn randomized_equivalence_with_linear_scan_manager() {
+        // Drive the interval-indexed manager and the old linear-scan
+        // implementation through the same randomized acquire/release
+        // trace; `already_held`, the revoked set, the resulting grants and
+        // `holds` probes must agree after every step (grants compared as
+        // sorted sets — the linear version keeps insertion order).
+        use super::grant_key;
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let sorted = |mut v: Vec<Grant>| {
+            v.sort_by_key(grant_key);
+            v
+        };
+        for seed in 0..12u64 {
+            let mut rng = StdRng::seed_from_u64(0x70c0_0000 + seed);
+            let mut a = TokenManager::new();
+            let mut b = reference::RefManager::default();
+            // Boundaries drawn from a small set so ranges overlap, nest and
+            // abut often.
+            fn bound(rng: &mut StdRng) -> u64 {
+                100 * (rng.gen::<u64>() % 12)
+            }
+            for step in 0..600 {
+                let inode = InodeId(1 + rng.gen::<u64>() % 2);
+                let client = ClientId((rng.gen::<u64>() % 4) as u32);
+                match rng.gen::<u64>() % 12 {
+                    0 => {
+                        a.release_all(inode, client);
+                        b.release_all(inode, client);
+                    }
+                    1 => {
+                        a.release_client(client);
+                        b.release_client(client);
+                    }
+                    _ => {
+                        let (x, y) = (bound(&mut rng), bound(&mut rng));
+                        let range = if x == y {
+                            ByteRange::new(x, x + 50)
+                        } else {
+                            ByteRange::new(x.min(y), x.max(y))
+                        };
+                        let mode = if rng.gen::<u64>() % 2 == 0 {
+                            TokenMode::Read
+                        } else {
+                            TokenMode::Write
+                        };
+                        let oa = a.acquire(inode, client, range, mode);
+                        let ob = b.acquire(inode, client, range, mode);
+                        assert_eq!(
+                            oa.already_held, ob.already_held,
+                            "seed {seed} step {step}: already_held"
+                        );
+                        assert_eq!(
+                            sorted(oa.revoked),
+                            sorted(ob.revoked),
+                            "seed {seed} step {step}: revoked set"
+                        );
+                    }
+                }
+                for probe_inode in [InodeId(1), InodeId(2)] {
+                    assert_eq!(
+                        a.grants(probe_inode).to_vec(),
+                        sorted(b.grants(probe_inode)),
+                        "seed {seed} step {step}: grants on {probe_inode:?}"
+                    );
+                }
+                let (x, y) = (bound(&mut rng), bound(&mut rng));
+                let probe = if x == y {
+                    ByteRange::new(x, x + 10)
+                } else {
+                    ByteRange::new(x.min(y), x.max(y))
+                };
+                for m in [TokenMode::Read, TokenMode::Write] {
+                    assert_eq!(
+                        a.holds(inode, client, probe, m),
+                        b.holds(inode, client, probe, m),
+                        "seed {seed} step {step}: holds({probe:?}, {m:?})"
+                    );
+                }
+            }
+            assert_eq!(a.revocations, b.revocations, "seed {seed}: revocations");
+        }
     }
 }

@@ -276,9 +276,48 @@ pub struct GfsWorld {
     pub costs: ProtocolCosts,
     /// Fault/recovery event log (see [`crate::faults`]).
     pub recovery: crate::faults::RecoveryLog,
+    /// Client↔NSD request accounting (coalescing effectiveness).
+    pub nsd_stats: NsdStats,
     /// Scenario/benchmark extension state.
     pub ext: Box<dyn Any>,
     pub(crate) next_handle: u64,
+}
+
+/// Counters for the client↔NSD data path: how many wire requests were
+/// issued (each coalesced scatter-gather run counts once, retries
+/// included), how many blocks and payload bytes they carried, and how many
+/// of them coalesced more than one block.
+#[derive(Default, Debug, Clone, Copy)]
+pub struct NsdStats {
+    /// Wire requests issued.
+    pub requests: u64,
+    /// File blocks carried by those requests.
+    pub blocks: u64,
+    /// Payload bytes carried.
+    pub bytes: u64,
+    /// Requests carrying more than one block.
+    pub coalesced: u64,
+}
+
+impl NsdStats {
+    /// Mean payload bytes per NSD request (0 when no requests were made).
+    pub fn mean_request_bytes(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.bytes as f64 / self.requests as f64
+        }
+    }
+
+    /// Record one wire request carrying `blocks` blocks of `bytes` payload.
+    pub fn record(&mut self, blocks: u64, bytes: u64) {
+        self.requests += 1;
+        self.blocks += blocks;
+        self.bytes += bytes;
+        if blocks > 1 {
+            self.coalesced += 1;
+        }
+    }
 }
 
 impl NetWorld for GfsWorld {
@@ -519,6 +558,7 @@ impl WorldBuilder {
             rng,
             costs: ProtocolCosts::default(),
             recovery: crate::faults::RecoveryLog::default(),
+            nsd_stats: NsdStats::default(),
             ext: Box::new(()),
             next_handle: 0,
         };

@@ -269,8 +269,36 @@ pub fn pattern_byte(off: u64) -> u8 {
 }
 
 /// `len` pattern bytes starting at file offset `off`.
+///
+/// Within one 256-byte segment `off >> 8` is constant, so the pattern is a
+/// fixed 256-entry table shifted by the segment index — each segment is a
+/// table add the compiler vectorizes, instead of a per-byte multiply.
+/// Produces exactly the same bytes as mapping [`pattern_byte`] over the
+/// range (the randomized test below pins that equivalence).
 pub fn pattern_bytes(off: u64, len: u64) -> Bytes {
-    Bytes::from((0..len).map(|i| pattern_byte(off + i)).collect::<Vec<u8>>())
+    const TABLE: [u8; 256] = {
+        let mut t = [0u8; 256];
+        let mut i = 0usize;
+        while i < 256 {
+            t[i] = (i as u64).wrapping_mul(131) as u8;
+            i += 1;
+        }
+        t
+    };
+    let mut out = vec![0u8; len as usize];
+    let mut pos = 0usize;
+    let mut cur = off;
+    while pos < len as usize {
+        let idx = (cur & 0xff) as usize;
+        let n = (256 - idx).min(len as usize - pos);
+        let shift = (cur >> 8) as u8;
+        for (o, t) in out[pos..pos + n].iter_mut().zip(&TABLE[idx..idx + n]) {
+            *o = t.wrapping_add(shift);
+        }
+        pos += n;
+        cur += n as u64;
+    }
+    Bytes::from(out)
 }
 
 /// Scenario assembly: sites, links, farms, clients, workloads, faults.
@@ -301,6 +329,86 @@ pub struct ScenarioRun {
     pub errors: Vec<(usize, FsError)>,
     /// Completion time of the last workload to finish.
     pub finish: SimTime,
+}
+
+/// Aggregated client data-path counters for one finished run: page-pool
+/// behaviour plus NSD request coalescing — the metrics the perf harness
+/// records alongside wall-clock so the trajectory captures data-path
+/// behaviour, not just runtime.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct DataPathStats {
+    /// Page-pool hits summed over all clients.
+    pub pool_hits: u64,
+    /// Page-pool misses summed over all clients.
+    pub pool_misses: u64,
+    /// Page-pool evictions summed over all clients.
+    pub pool_evictions: u64,
+    /// NSD wire requests issued (every attempt, including retries).
+    pub nsd_requests: u64,
+    /// Requests that carried more than one block (scatter-gather runs).
+    pub nsd_coalesced: u64,
+    /// Total blocks moved by NSD requests.
+    pub nsd_blocks: u64,
+    /// Total bytes moved by NSD requests.
+    pub nsd_bytes: u64,
+}
+
+impl DataPathStats {
+    /// Page-pool hit rate in `[0, 1]` (0 when the pool was never probed).
+    pub fn hit_rate(&self) -> f64 {
+        let probes = self.pool_hits + self.pool_misses;
+        if probes == 0 {
+            0.0
+        } else {
+            self.pool_hits as f64 / probes as f64
+        }
+    }
+
+    /// Mean bytes per NSD request (0 when no requests were issued).
+    pub fn mean_request_bytes(&self) -> f64 {
+        if self.nsd_requests == 0 {
+            0.0
+        } else {
+            self.nsd_bytes as f64 / self.nsd_requests as f64
+        }
+    }
+
+    /// Counter-wise sum (for scenarios that run several worlds).
+    pub fn merged(&self, other: &DataPathStats) -> DataPathStats {
+        DataPathStats {
+            pool_hits: self.pool_hits + other.pool_hits,
+            pool_misses: self.pool_misses + other.pool_misses,
+            pool_evictions: self.pool_evictions + other.pool_evictions,
+            nsd_requests: self.nsd_requests + other.nsd_requests,
+            nsd_coalesced: self.nsd_coalesced + other.nsd_coalesced,
+            nsd_blocks: self.nsd_blocks + other.nsd_blocks,
+            nsd_bytes: self.nsd_bytes + other.nsd_bytes,
+        }
+    }
+}
+
+impl ScenarioRun {
+    /// Data-path counters accumulated over the run.
+    pub fn data_path_stats(&self) -> DataPathStats {
+        data_path_stats_of(&self.world)
+    }
+}
+
+/// Data-path counters of a world (summed over its clients).
+pub fn data_path_stats_of(w: &GfsWorld) -> DataPathStats {
+    let mut s = DataPathStats {
+        nsd_requests: w.nsd_stats.requests,
+        nsd_coalesced: w.nsd_stats.coalesced,
+        nsd_blocks: w.nsd_stats.blocks,
+        nsd_bytes: w.nsd_stats.bytes,
+        ..DataPathStats::default()
+    };
+    for c in &w.clients {
+        s.pool_hits += c.pool.hits;
+        s.pool_misses += c.pool.misses;
+        s.pool_evictions += c.pool.evictions;
+    }
+    s
 }
 
 #[derive(Default)]
@@ -749,6 +857,25 @@ mod tests {
         );
         sim.run(w);
         assert!(*ok.borrow(), "read-back did not complete");
+    }
+
+    #[test]
+    fn pattern_bytes_matches_per_byte_definition() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        // Segment-aligned, unaligned, short, and segment-crossing ranges.
+        for (off, len) in [(0u64, 0u64), (0, 1), (0, 256), (255, 2), (256, 256), (1000, 5000)] {
+            let fast = pattern_bytes(off, len);
+            let slow: Vec<u8> = (0..len).map(|i| pattern_byte(off + i)).collect();
+            assert_eq!(&fast[..], &slow[..], "off={off} len={len}");
+        }
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..200 {
+            let off = rng.gen::<u64>() % (1 << 30);
+            let len = rng.gen::<u64>() % 2048;
+            let fast = pattern_bytes(off, len);
+            let slow: Vec<u8> = (0..len).map(|i| pattern_byte(off + i)).collect();
+            assert_eq!(&fast[..], &slow[..], "off={off} len={len}");
+        }
     }
 
     #[test]

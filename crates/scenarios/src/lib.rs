@@ -26,6 +26,7 @@ pub mod builder;
 pub mod common;
 pub mod driver;
 pub mod deisa;
+pub mod parallel;
 pub mod production;
 pub mod recovery;
 pub mod sc02;

@@ -74,6 +74,8 @@ pub struct ScalingPoint {
     /// Simulation events executed producing this point (for the perf
     /// harness's events/sec reporting).
     pub events: u64,
+    /// Page-pool and NSD coalescing counters for this point's world.
+    pub data_path: crate::builder::DataPathStats,
 }
 
 impl ScalingPoint {
@@ -172,19 +174,38 @@ pub fn run_scaling_point(cfg: ProductionConfig, nodes: u32, direction: Direction
         bytes: u64::from(nodes) * cfg.per_client_bytes,
         seconds: SimTime::from_nanos(finish.get()).as_secs_f64(),
         events: sim.executed(),
+        data_path: crate::builder::data_path_stats_of(&w),
     }
 }
 
 /// Run the full Fig. 11 sweep for both directions.
 pub fn run_fig11(cfg: &ProductionConfig, node_counts: &[u32]) -> Vec<(ScalingPoint, ScalingPoint)> {
-    node_counts
-        .iter()
-        .map(|&n| {
-            (
-                run_scaling_point(cfg.clone(), n, Direction::Read),
-                run_scaling_point(cfg.clone(), n, Direction::Write),
-            )
-        })
+    run_fig11_with_threads(cfg, node_counts, crate::parallel::sweep_threads())
+}
+
+/// [`run_fig11`] with an explicit worker count. Every (node count,
+/// direction) pair is an isolated seeded world, so the merged output is
+/// bit-identical for any `threads` value — the determinism tests pin the
+/// 1-thread vs N-thread equality.
+pub fn run_fig11_with_threads(
+    cfg: &ProductionConfig,
+    node_counts: &[u32],
+    threads: usize,
+) -> Vec<(ScalingPoint, ScalingPoint)> {
+    // Fan out the read and write halves of every point as separate jobs
+    // (2× the parallelism of per-count jobs), then pair them back up.
+    let points = crate::parallel::run_indexed(node_counts.len() * 2, threads, |i| {
+        let n = node_counts[i / 2];
+        let direction = if i % 2 == 0 {
+            Direction::Read
+        } else {
+            Direction::Write
+        };
+        run_scaling_point(cfg.clone(), n, direction)
+    });
+    points
+        .chunks_exact(2)
+        .map(|pair| (pair[0], pair[1]))
         .collect()
 }
 
@@ -303,6 +324,7 @@ pub fn run_anl(nodes: u32) -> ScalingPoint {
         bytes: u64::from(nodes) * per_client,
         seconds: SimTime::from_nanos(finish.get()).as_secs_f64(),
         events: sim.executed(),
+        data_path: crate::builder::data_path_stats_of(&w),
     }
 }
 

@@ -17,7 +17,7 @@
 //!   degraded (reconstruction reads, rebuild-throttled foreground I/O)
 //!   until the hot-spare rebuild completes, and the run still finishes.
 
-use crate::builder::{pattern_bytes, NsdFarm, ScenarioBuilder, Workload};
+use crate::builder::{pattern_bytes, DataPathStats, NsdFarm, ScenarioBuilder, Workload};
 use crate::common::series_named;
 use gfs::client;
 use gfs::types::{ClientId, FsError, OpenFlags, Owner};
@@ -84,6 +84,9 @@ pub struct CrashReport {
     /// Simulation events executed by the main run (before read-back), for
     /// the perf harness's events/sec reporting.
     pub events: u64,
+    /// Client data-path counters (page pool + NSD coalescing), including
+    /// the read-back phase.
+    pub data_path: DataPathStats,
 }
 
 /// A copy of `s` truncated to points at or before `t` (monitoring pads
@@ -123,6 +126,7 @@ pub fn crash_one_of_n(cfg: &CrashConfig) -> CrashReport {
     let events = run.sim.executed();
     let fsck_clean = gfs::fsck(&run.world.fss[fs.0 as usize].core).is_clean();
     let data_intact = run.completed == 1 && read_back_matches(&mut run, c, cfg.bytes);
+    let data_path = run.data_path_stats();
 
     let client_series = truncated(&series_named(&run.series, "nic-sdsc-0>"), run.finish);
     // Healthy rate is ~the NIC goodput; anything under 10 MB/s is a stall.
@@ -138,6 +142,7 @@ pub fn crash_one_of_n(cfg: &CrashConfig) -> CrashReport {
         client_series,
         finish: run.finish,
         events,
+        data_path,
     }
 }
 
@@ -165,6 +170,10 @@ fn read_back_matches(run: &mut crate::builder::ScenarioRun, c: ClientId, bytes: 
                         if data.len() as u64 != bytes {
                             eprintln!("read-back length {} != {}", data.len(), bytes);
                             false
+                        } else if data[..] == expect[..] {
+                            // Slice equality is a memcmp — the per-byte scan
+                            // below only runs to diagnose a mismatch.
+                            true
                         } else if let Some(i) = (0..data.len()).find(|&i| data[i] != expect[i]) {
                             eprintln!(
                                 "first mismatch at byte {} (block {}): got {:#x} want {:#x}",
@@ -206,6 +215,8 @@ pub struct FlapReport {
     /// Simulation events executed (for the perf harness's events/sec
     /// reporting).
     pub events: u64,
+    /// Client data-path counters (page pool + NSD coalescing).
+    pub data_path: DataPathStats,
 }
 
 /// An Enzo checkpoint campaign streams from NCSA to the SDSC farm over a
@@ -243,6 +254,7 @@ pub fn link_flap_during_enzo(seed: u64, outage: SimDuration) -> FlapReport {
         recovery: run.recovery.clone(),
         wan_series: series_named(&run.series, "teragrid>"),
         events: run.sim.executed(),
+        data_path: run.data_path_stats(),
     }
 }
 
@@ -264,6 +276,8 @@ pub struct DiskFailReport {
     /// Simulation events executed across both runs (baseline + faulted),
     /// for the perf harness's events/sec reporting.
     pub events: u64,
+    /// Client data-path counters summed across both runs.
+    pub data_path: DataPathStats,
 }
 
 /// A Fig.11-style write-then-read sweep against a detailed DS4100 array;
@@ -272,8 +286,27 @@ pub struct DiskFailReport {
 /// survivors + parity, and all set I/O runs rebuild-throttled — the sweep
 /// completes, slower than the no-fault baseline.
 pub fn disk_failure_during_sweep(seed: u64) -> DiskFailReport {
+    disk_failure_during_sweep_with_threads(seed, crate::parallel::sweep_threads())
+}
+
+/// [`disk_failure_during_sweep`] with an explicit worker count: the
+/// no-fault baseline and the faulted run are fully independent seeded
+/// worlds, so they execute as two parallel sweep points. The report is
+/// bit-identical for any `threads` value.
+pub fn disk_failure_during_sweep_with_threads(seed: u64, threads: usize) -> DiskFailReport {
     let read_start = SimTime::from_secs(10);
-    let run_once = |plan: Option<FaultPlan>| {
+    /// Plain `Send` extract of one run (worlds themselves stay on the
+    /// thread that built them).
+    struct RunSummary {
+        completed: usize,
+        errors: Vec<(usize, FsError)>,
+        finish_secs: f64,
+        events: u64,
+        degraded_reads: u64,
+        rebuild_completed: bool,
+        data_path: DataPathStats,
+    }
+    let run_once = |plan: Option<FaultPlan>| -> RunSummary {
         let mut sb = ScenarioBuilder::new(seed);
         sb.nsd_farm(
             "sdsc",
@@ -295,33 +328,49 @@ pub fn disk_failure_during_sweep(seed: u64) -> DiskFailReport {
         if let Some(p) = plan {
             sb.faults(p);
         }
-        sb.run(SimTime::from_secs(600))
+        let run = sb.run(SimTime::from_secs(600));
+        let arr = &run.world.arrays[0];
+        RunSummary {
+            completed: run.completed,
+            errors: run.errors.clone(),
+            finish_secs: run.finish.as_secs_f64(),
+            events: run.sim.executed(),
+            degraded_reads: (0..arr.set_count() as u32)
+                .map(|i| arr.raid_set(i).degraded_reads)
+                .sum(),
+            rebuild_completed: run
+                .recovery
+                .count(|e| matches!(e, gfs::RecoveryWhat::Restored(_)))
+                > 0,
+            data_path: run.data_path_stats(),
+        }
     };
-    let baseline = run_once(None);
     // Fail data spindle 2 of set 0 just after the reads begin; hot-spare
     // rebuild at 50 MB/s (2005-era SATA sequential).
-    let faulted = run_once(Some(FaultPlan::new().disk_fail(
-        read_start + SimDuration::from_millis(100),
-        0,
-        0,
-        2,
-        50.0 * MBYTE as f64,
-    )));
-    let arr = &faulted.world.arrays[0];
-    let degraded_reads: u64 = (0..arr.set_count() as u32)
-        .map(|i| arr.raid_set(i).degraded_reads)
-        .sum();
+    let mut results = crate::parallel::run_indexed(2, threads, |i| {
+        if i == 0 {
+            run_once(None)
+        } else {
+            run_once(Some(FaultPlan::new().disk_fail(
+                read_start + SimDuration::from_millis(100),
+                0,
+                0,
+                2,
+                50.0 * MBYTE as f64,
+            )))
+        }
+    });
+    let faulted = results.pop().expect("faulted run");
+    let baseline = results.pop().expect("baseline run");
     DiskFailReport {
         completed: faulted.completed == 2,
-        errors: faulted.errors.clone(),
-        seconds: faulted.finish.as_secs_f64(),
-        baseline_seconds: baseline.finish.as_secs_f64(),
-        degraded_reads,
-        rebuild_completed: faulted
-            .recovery
-            .count(|e| matches!(e, gfs::RecoveryWhat::Restored(_)))
-            > 0,
-        events: baseline.sim.executed() + faulted.sim.executed(),
+        errors: faulted.errors,
+        seconds: faulted.finish_secs,
+        baseline_seconds: baseline.finish_secs,
+        degraded_reads: faulted.degraded_reads,
+        rebuild_completed: faulted.rebuild_completed,
+        events: baseline.events + faulted.events,
+        data_path: baseline.data_path.merged(&faulted.data_path),
     }
 }
 

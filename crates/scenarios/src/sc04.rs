@@ -79,6 +79,8 @@ pub struct Sc04Result {
     /// Simulation events executed (for the perf harness's events/sec
     /// reporting).
     pub events: u64,
+    /// Page-pool and NSD coalescing counters for the run.
+    pub data_path: crate::builder::DataPathStats,
 }
 
 /// Filesystem-level efficiency of the show-floor SAN path (GPFS overhead
@@ -259,6 +261,7 @@ pub fn run(cfg: Sc04Config) -> Sc04Result {
         san_theoretical_gbyte: 120.0 * Bandwidth::gbit(2.0).bytes_per_sec() / GBYTE as f64,
         san_achieved_gbyte: san_achieved,
         events: sim.executed(),
+        data_path: crate::builder::data_path_stats_of(&w),
     }
 }
 

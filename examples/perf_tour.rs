@@ -1,11 +1,16 @@
 //! Tour of the performance-engineering surface added to the simulation hot
-//! path: cancellable timers (`Sim::timer_after` / `Sim::cancel_timer`) and
-//! the per-scenario `events` counters that feed the wall-clock perf harness
-//! (`cargo bench -p gfs-bench --bench perf`).
+//! path: cancellable timers (`Sim::timer_after` / `Sim::cancel_timer`), the
+//! per-scenario `events` counters that feed the wall-clock perf harness
+//! (`cargo bench -p gfs-bench --bench perf`), the deterministic parallel
+//! sweep runner, and the data-path counters (page pool, NSD coalescing).
 //!
 //! Run with `cargo run --release --offline --example perf_tour`.
 
-use globalfs::scenarios::production::{run_scaling_point, Direction, ProductionConfig};
+use globalfs::scenarios::parallel::run_indexed;
+use globalfs::scenarios::production::{
+    run_fig11_with_threads, run_scaling_point, Direction, ProductionConfig,
+};
+use globalfs::scenarios::recovery::{crash_one_of_n, CrashConfig};
 use globalfs::simcore::{Sim, SimDuration};
 use std::time::Instant;
 
@@ -63,4 +68,47 @@ fn main() {
             p.events as f64 / wall.max(1e-9),
         );
     }
+
+    // ------------------------------------------------------------------
+    // Deterministic parallel sweeps: every figure point is an isolated
+    // seeded world, so `run_indexed` can fan points across threads and
+    // the merged output is bit-identical at any worker count.
+    // ------------------------------------------------------------------
+    println!("\n=== parallel sweep determinism (Fig. 11, 1 vs 4 workers) ===");
+    let cfg = ProductionConfig::default();
+    let counts = [1u32, 8, 32];
+    let serial = run_fig11_with_threads(&cfg, &counts, 1);
+    let parallel = run_fig11_with_threads(&cfg, &counts, 4);
+    let identical = serial.iter().zip(&parallel).all(|((rs, ws), (rp, wp))| {
+        rs.seconds.to_bits() == rp.seconds.to_bits() && ws.seconds.to_bits() == wp.seconds.to_bits()
+    });
+    println!("  {} points, serial == parallel bitwise: {identical}", serial.len());
+    assert!(identical, "parallel sweep diverged from serial");
+    // The raw runner works for any per-index job that owns its state.
+    let squares = run_indexed(8, 4, |i| i * i);
+    println!("  run_indexed(8, 4, i*i) -> {squares:?}");
+
+    // ------------------------------------------------------------------
+    // Data-path counters: the crash scenario exercises the real block
+    // path (page pool + coalesced NSD scatter-gather), and its report
+    // carries the counters the perf harness writes to BENCH_perf.json.
+    // ------------------------------------------------------------------
+    println!("\n=== data-path counters (crash 1-of-64 scenario) ===");
+    let report = crash_one_of_n(&CrashConfig::default());
+    let d = &report.data_path;
+    println!(
+        "  pool: {} hits / {} misses (hit rate {:.1}%), {} evictions",
+        d.pool_hits,
+        d.pool_misses,
+        100.0 * d.hit_rate(),
+        d.pool_evictions,
+    );
+    println!(
+        "  NSD wire: {} requests, {} coalesced (>1 block), {} blocks, mean request {:.0} KiB",
+        d.nsd_requests,
+        d.nsd_coalesced,
+        d.nsd_blocks,
+        d.mean_request_bytes() / 1024.0,
+    );
+    assert!(d.nsd_coalesced > 0, "striped write-behind must coalesce runs");
 }

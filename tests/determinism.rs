@@ -89,6 +89,32 @@ fn recovery_scenarios_bit_identical() {
     assert_eq!(da.events, db.events);
 }
 
+/// The parallel sweep runner only decides *when* each isolated point runs,
+/// never *what* it computes — so the merged output must be bit-identical at
+/// 1 worker and at many workers, on any machine.
+#[test]
+fn parallel_sweep_matches_serial_bitwise() {
+    let cfg = production::ProductionConfig::default();
+    let counts = [1u32, 4, 16, 64];
+    let serial = production::run_fig11_with_threads(&cfg, &counts, 1);
+    let parallel = production::run_fig11_with_threads(&cfg, &counts, 4);
+    assert_eq!(serial.len(), parallel.len());
+    for ((rs, ws), (rp, wp)) in serial.iter().zip(&parallel) {
+        assert_eq!(rs.seconds.to_bits(), rp.seconds.to_bits());
+        assert_eq!(ws.seconds.to_bits(), wp.seconds.to_bits());
+        assert_eq!((rs.bytes, rs.events, rs.data_path), (rp.bytes, rp.events, rp.data_path));
+        assert_eq!((ws.bytes, ws.events, ws.data_path), (wp.bytes, wp.events, wp.data_path));
+    }
+
+    let ds = recovery::disk_failure_during_sweep_with_threads(31, 1);
+    let dp = recovery::disk_failure_during_sweep_with_threads(31, 2);
+    assert_eq!(ds.seconds.to_bits(), dp.seconds.to_bits());
+    assert_eq!(ds.baseline_seconds.to_bits(), dp.baseline_seconds.to_bits());
+    assert_eq!(ds.degraded_reads, dp.degraded_reads);
+    assert_eq!(ds.events, dp.events);
+    assert_eq!(ds.data_path, dp.data_path);
+}
+
 #[test]
 fn different_seeds_differ_where_jitter_applies() {
     let mut cfg = sc04::Sc04Config::default();
