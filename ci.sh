@@ -32,20 +32,44 @@ if echo "$perf_out" | grep -q '\[OFF\]'; then
     exit 1
 fi
 
-# Events/sec floor for the recovery trio: deliberately generous (the warm
-# steady state is ~15k on the 1-core CI box) so it only trips on
-# order-of-magnitude regressions, not scheduler noise or cold caches.
-trio_eps=$(python3 - <<'EOF'
-import json
+# Events/sec floors, one per BENCH_perf.json scenario: deliberately
+# generous (warm steady state is 4-20x higher on the CI box) so they only
+# trip on order-of-magnitude regressions, not scheduler noise or cold
+# caches. The metadata storm additionally enforces an ops/sec floor — its
+# tree-generation phase runs outside the simulator, so events/sec alone
+# would miss a resolution-speed collapse.
+python3 - <<'EOF'
+import json, sys
 doc = json.load(open('BENCH_perf.json'))
-[s] = [s for s in doc['scenarios'] if s['name'].startswith('recovery trio')]
-print(int(s['events_per_sec']))
+floors = {
+    'fig11 production sweep': 800,
+    'sc04 bandwidth challenge': 2000,
+    'recovery trio': 1500,
+    'metadata storm': 8000,
+    'resolve microbench': 100000,
+}
+by_prefix = {p: s for s in doc['scenarios'] for p in floors if s['name'].startswith(p)}
+missing = sorted(set(floors) - set(by_prefix))
+if missing:
+    sys.exit(f"perf smoke: BENCH_perf.json lost scenarios: {missing}")
+failed = False
+for prefix, floor in sorted(floors.items()):
+    eps = by_prefix[prefix]['events_per_sec']
+    print(f"{prefix}: {eps:.0f} events/sec (floor {floor})")
+    if eps < floor:
+        print(f"perf smoke: {prefix} events/sec collapsed ({eps:.0f} < {floor})", file=sys.stderr)
+        failed = True
+storm = by_prefix['metadata storm']['metadata']
+ops, ops_per_sec = storm['metadata_ops'], storm['metadata_ops_per_sec']
+print(f"metadata storm: {ops:.0f} ops, {ops_per_sec:.0f} ops/sec (floors 1000000 / 50000)")
+if ops < 1_000_000:
+    print(f"perf smoke: metadata storm below 1M ops ({ops:.0f})", file=sys.stderr)
+    failed = True
+if ops_per_sec < 50_000:
+    print(f"perf smoke: metadata storm ops/sec collapsed ({ops_per_sec:.0f} < 50000)", file=sys.stderr)
+    failed = True
+if failed:
+    sys.exit(1)
 EOF
-)
-echo "recovery trio: ${trio_eps} events/sec (floor 1500)"
-if [ "$trio_eps" -lt 1500 ]; then
-    echo "perf smoke: recovery trio events/sec collapsed (${trio_eps} < 1500)" >&2
-    exit 1
-fi
 
 echo "CI OK"

@@ -8,8 +8,12 @@
 //! `BENCH_perf.json` at the repository root; `ci.sh` runs this bench as its
 //! perf smoke stage and fails if any verdict regresses from `[OK ]`.
 
+use gfs::cache::DentryCache;
+use gfs::fscore::{DataMode, FsConfig, FsCore};
+use gfs::types::{FsId, Owner};
 use gfs_bench::{header, table, verdict};
 use scenarios::builder::DataPathStats;
+use scenarios::metadata_storm::{run_storm, StormConfig};
 use scenarios::production::{run_fig11, ProductionConfig};
 use scenarios::recovery::{
     crash_one_of_n, disk_failure_during_sweep, link_flap_during_enzo, CrashConfig,
@@ -28,6 +32,9 @@ struct Entry {
     /// Page-pool and NSD coalescing counters summed over the scenario's
     /// worlds.
     data_path: DataPathStats,
+    /// Scenario-specific extra numbers, emitted as a `"metadata"` JSON
+    /// object when non-empty.
+    extra: Vec<(&'static str, f64)>,
 }
 
 impl Entry {
@@ -70,6 +77,7 @@ fn run_fig11_entry() -> Entry {
             0.08,
         )],
         data_path,
+        extra: vec![],
     }
 }
 
@@ -84,6 +92,7 @@ fn run_sc04_entry() -> Entry {
             ("momentary peak (Gb/s)", 27.0, r.peak_gbs, 0.08),
         ],
         data_path: r.data_path,
+        extra: vec![],
     }
 }
 
@@ -119,6 +128,216 @@ fn run_recovery_entry() -> Entry {
             ("disk degraded reads served", 1.0, as_num(disk.degraded_reads > 0), 0.0),
         ],
         data_path: crash.data_path.merged(&flap.data_path).merged(&disk.data_path),
+        extra: vec![],
+    }
+}
+
+fn run_metadata_storm_entry() -> Entry {
+    let cfg = StormConfig::default();
+    let (r, wall) = time_scenario(|| run_storm(&cfg));
+    let as_num = |b: bool| if b { 1.0 } else { 0.0 };
+    Entry {
+        name: "metadata storm (8 pts x 32 clients, ~1M ops)",
+        wall_seconds: wall,
+        events: r.events,
+        checks: vec![
+            ("storm ops >= 1e6", 1.0, as_num(r.ops >= 1_000_000), 0.0),
+            ("storm fsck clean", 1.0, as_num(r.fsck_clean), 0.0),
+            ("dentry hit rate > 5%", 1.0, as_num(r.dentry_hit_rate() > 0.05), 0.0),
+        ],
+        data_path: r.data_path,
+        extra: vec![
+            ("metadata_ops", r.ops as f64),
+            ("metadata_ops_per_sec", r.ops as f64 / wall.max(1e-9)),
+            ("metadata_errors", r.errors as f64),
+            ("dentry_hit_rate", r.dentry_hit_rate()),
+            ("interned_names", r.interned_names as f64),
+            ("resolves", r.resolves as f64),
+            ("resolve_alloc_bytes", r.resolve_alloc_bytes as f64),
+        ],
+    }
+}
+
+/// The pre-interning metadata core, frozen here as the microbench baseline:
+/// directories own `String` keys in a `BTreeMap` and every resolution
+/// allocates a component vector. This is a measurement fixture, not a
+/// reference implementation (the equivalence oracle lives in
+/// `gfs::fscore::tests`).
+mod oldfs {
+    use std::collections::BTreeMap;
+
+    pub enum Kind {
+        File,
+        Dir { entries: BTreeMap<String, u64> },
+    }
+
+    pub struct OldFs {
+        inodes: Vec<Kind>,
+    }
+
+    fn split_path(path: &str) -> Result<Vec<&str>, ()> {
+        if !path.starts_with('/') {
+            return Err(());
+        }
+        let comps: Vec<&str> = path.split('/').filter(|c| !c.is_empty()).collect();
+        if comps.iter().any(|c| *c == "." || *c == "..") {
+            return Err(());
+        }
+        Ok(comps)
+    }
+
+    impl OldFs {
+        pub fn new() -> Self {
+            OldFs {
+                inodes: vec![Kind::Dir {
+                    entries: BTreeMap::new(),
+                }],
+            }
+        }
+
+        pub fn lookup(&self, path: &str) -> Result<u64, ()> {
+            let comps = split_path(path)?;
+            let mut cur = 0u64;
+            for comp in comps {
+                match &self.inodes[cur as usize] {
+                    Kind::Dir { entries } => cur = *entries.get(comp).ok_or(())?,
+                    Kind::File => return Err(()),
+                }
+            }
+            Ok(cur)
+        }
+
+        fn insert(&mut self, path: &str, kind: Kind) -> u64 {
+            let comps = split_path(path).expect("bench path");
+            let (name, parents) = comps.split_last().expect("non-root");
+            let mut cur = 0u64;
+            for comp in parents {
+                match &self.inodes[cur as usize] {
+                    Kind::Dir { entries } => cur = entries[*comp],
+                    Kind::File => panic!("file in the middle of a bench path"),
+                }
+            }
+            let id = self.inodes.len() as u64;
+            self.inodes.push(kind);
+            match &mut self.inodes[cur as usize] {
+                Kind::Dir { entries } => entries.insert(name.to_string(), id),
+                Kind::File => unreachable!(),
+            };
+            id
+        }
+
+        pub fn mkdir(&mut self, path: &str) {
+            self.insert(
+                path,
+                Kind::Dir {
+                    entries: BTreeMap::new(),
+                },
+            );
+        }
+
+        pub fn create_file(&mut self, path: &str) {
+            self.insert(path, Kind::File);
+        }
+    }
+}
+
+/// Resolve-heavy microbench: the same deep, wide namespace built in the
+/// interned core and in the frozen string-walk baseline, then the same
+/// lookup storm timed against both. The ISSUE's headline claim is a >= 10x
+/// speedup on warm resolution.
+fn run_resolve_microbench_entry() -> Entry {
+    const DEPTH: usize = 6;
+    const SIBLINGS: u32 = 512;
+    const ROUNDS: usize = 400;
+
+    let mut new_fs = FsCore::create(FsConfig {
+        name: "micro".into(),
+        block_size: 64 * 1024,
+        nsd_blocks: 1 << 16,
+        nsd_count: 4,
+        data_mode: DataMode::Synthetic,
+    });
+    let mut old_fs = oldfs::OldFs::new();
+    let owner = Owner::local(0, 0);
+
+    // A chain of directories /d0/d0d1/... with SIBLINGS files at each level,
+    // so every BTreeMap the baseline walks is genuinely populated.
+    let mut dir = String::new();
+    let mut leaf_paths: Vec<String> = Vec::new();
+    for level in 0..DEPTH {
+        dir.push_str(&format!("/level{level:02}"));
+        new_fs.mkdir(&dir, owner.clone(), 0).expect("bench mkdir");
+        old_fs.mkdir(&dir);
+        for f in 0..SIBLINGS {
+            let p = format!("{dir}/file{f:04}");
+            new_fs.create_file(&p, owner.clone(), 0).expect("bench create");
+            old_fs.create_file(&p);
+            if level == DEPTH - 1 {
+                leaf_paths.push(p);
+            }
+        }
+    }
+
+    let fs_id = FsId(0);
+    let mut dentry = DentryCache::new();
+    // Warm both sides once so the timed region measures steady state.
+    for p in &leaf_paths {
+        new_fs.lookup_via(fs_id, &mut dentry, p).expect("warm new");
+        old_fs.lookup(p).expect("warm old");
+    }
+
+    // Best-of-3 per side: the warm interned walk finishes in milliseconds,
+    // so a single sample is at the mercy of transient CI-box load; the
+    // minimum is the standard stable estimator for a fixed-work region.
+    let mut sink = 0u64;
+    let mut best = |f: &mut dyn FnMut() -> u64| {
+        (0..3)
+            .map(|_| {
+                let (s, wall) = time_scenario(&mut *f);
+                sink = sink.wrapping_add(s);
+                wall
+            })
+            .fold(f64::INFINITY, f64::min)
+    };
+    let old_wall = best(&mut || {
+        let mut s = 0u64;
+        for _ in 0..ROUNDS {
+            for p in &leaf_paths {
+                s = s.wrapping_add(old_fs.lookup(p).expect("old lookup"));
+            }
+        }
+        s
+    });
+    let new_wall = best(&mut || {
+        let mut s = 0u64;
+        for _ in 0..ROUNDS {
+            for p in &leaf_paths {
+                s = s.wrapping_add(new_fs.lookup_via(fs_id, &mut dentry, p).expect("new lookup").0);
+            }
+        }
+        s
+    });
+    std::hint::black_box(sink);
+
+    let lookups = (ROUNDS * leaf_paths.len()) as u64;
+    let speedup = old_wall / new_wall.max(1e-12);
+    let as_num = |b: bool| if b { 1.0 } else { 0.0 };
+    Entry {
+        name: "resolve microbench (interned+dentry vs string walk)",
+        wall_seconds: old_wall + new_wall,
+        events: lookups * 2,
+        checks: vec![("resolve speedup >= 10x", 1.0, as_num(speedup >= 10.0), 0.0)],
+        data_path: DataPathStats::default(),
+        extra: vec![
+            ("lookups_per_side", lookups as f64),
+            ("old_wall_seconds", old_wall),
+            ("new_wall_seconds", new_wall),
+            ("resolve_speedup", speedup),
+            (
+                "new_lookups_per_sec",
+                lookups as f64 / new_wall.max(1e-12),
+            ),
+        ],
     }
 }
 
@@ -154,16 +373,29 @@ fn write_json(entries: &[Entry]) -> std::io::Result<()> {
         body.push_str(&format!("      \"ok\": {},\n", e.all_ok()));
         let d = &e.data_path;
         body.push_str(&format!(
-            "      \"data_path\": {{\"pool_hits\": {}, \"pool_misses\": {}, \"pool_hit_rate\": {:.4}, \"pool_evictions\": {}, \"nsd_requests\": {}, \"nsd_coalesced\": {}, \"nsd_blocks\": {}, \"mean_request_bytes\": {:.1}}},\n",
+            "      \"data_path\": {{\"pool_hits\": {}, \"pool_misses\": {}, \"pool_hit_rate\": {:.4}, \"pool_evictions\": {}, \"pool_bypass\": {}, \"pool_bypass_bytes\": {}, \"nsd_requests\": {}, \"nsd_coalesced\": {}, \"nsd_blocks\": {}, \"mean_request_bytes\": {:.1}}},\n",
             d.pool_hits,
             d.pool_misses,
             d.hit_rate(),
             d.pool_evictions,
+            d.pool_bypass,
+            d.pool_bypass_bytes,
             d.nsd_requests,
             d.nsd_coalesced,
             d.nsd_blocks,
             d.mean_request_bytes(),
         ));
+        if !e.extra.is_empty() {
+            let fields: Vec<String> = e
+                .extra
+                .iter()
+                .map(|(k, v)| format!("{}: {v}", json_str(k)))
+                .collect();
+            body.push_str(&format!(
+                "      \"metadata\": {{{}}},\n",
+                fields.join(", ")
+            ));
+        }
         body.push_str("      \"checks\": [\n");
         for (j, (metric, paper, measured, tol)) in e.checks.iter().enumerate() {
             body.push_str(&format!(
@@ -192,7 +424,13 @@ fn write_json(entries: &[Entry]) -> std::io::Result<()> {
 
 fn main() {
     header("Wall-clock performance harness");
-    let entries = [run_fig11_entry(), run_sc04_entry(), run_recovery_entry()];
+    let entries = [
+        run_fig11_entry(),
+        run_sc04_entry(),
+        run_recovery_entry(),
+        run_metadata_storm_entry(),
+        run_resolve_microbench_entry(),
+    ];
 
     let rows: Vec<Vec<String>> = entries
         .iter()

@@ -330,6 +330,122 @@ impl PrefetchState {
     }
 }
 
+/// Per-client dentry cache: `(fs, parent dir, interned name) -> inode`.
+///
+/// Resolution ([`crate::fscore::FsCore::lookup_via`]) probes this before the
+/// directory map, so a warm client walks a deep path with zero directory
+/// lookups. Coherence is by explicit invalidation: remove/rename report the
+/// affected `(parent, name)` entries ([`crate::fscore::EntryChange`] /
+/// [`crate::fscore::RenameChange`]) and the client layer broadcasts the
+/// invalidation to every client, mirroring how its token revocation already
+/// works. Negative results are never cached, so `create` needs no
+/// invalidation — a miss always falls through to the authoritative
+/// directory.
+/// A second, whole-path tier sits above the per-component map: full absolute
+/// path strings map straight to an inode in one hash probe. Entries are
+/// tagged with the filesystem's namespace generation
+/// ([`crate::fscore::FsCore::ns_gen`]); unlink/rename bump the generation,
+/// which lazily invalidates every cached path at once (coarse, but a single
+/// integer compare per probe — no broadcast walk over path strings).
+/// Create/mkdir leave the generation alone: adding entries cannot make a
+/// cached positive path→inode mapping wrong.
+#[derive(Debug, Default)]
+pub struct DentryCache {
+    map: simcore::FxHashMap<(FsId, InodeId, crate::types::NameId), InodeId>,
+    /// Whole-path tier, one map per mounted filesystem (clients mount a
+    /// handful of devices, so a linear scan finds the slot faster than
+    /// another hash).
+    paths: Vec<(FsId, simcore::FxHashMap<Box<str>, (InodeId, u64)>)>,
+    /// Probe hits.
+    pub hits: u64,
+    /// Probe misses.
+    pub misses: u64,
+}
+
+impl DentryCache {
+    /// Empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Probe for `(parent, name)`; counts a hit or miss.
+    #[inline]
+    pub fn get(&mut self, fs: FsId, parent: InodeId, name: crate::types::NameId) -> Option<InodeId> {
+        match self.map.get(&(fs, parent, name)) {
+            Some(&id) => {
+                self.hits += 1;
+                Some(id)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Record a resolved entry.
+    #[inline]
+    pub fn insert(&mut self, fs: FsId, parent: InodeId, name: crate::types::NameId, id: InodeId) {
+        self.map.insert((fs, parent, name), id);
+    }
+
+    /// Probe the whole-path tier. `gen` is the filesystem's current
+    /// namespace generation; an entry tagged with an older generation is
+    /// stale (some unlink/rename happened since) and reads as a miss. Only
+    /// hits are counted here — a miss falls through to the per-component
+    /// walk, which does its own accounting.
+    #[inline]
+    pub fn get_path(&mut self, fs: FsId, path: &str, gen: u64) -> Option<InodeId> {
+        let slot = self.paths.iter().find(|(f, _)| *f == fs)?;
+        match slot.1.get(path) {
+            Some(&(id, g)) if g == gen => {
+                self.hits += 1;
+                Some(id)
+            }
+            _ => None,
+        }
+    }
+
+    /// Record a fully-resolved path at namespace generation `gen`.
+    pub fn insert_path(&mut self, fs: FsId, path: &str, id: InodeId, gen: u64) {
+        let slot = match self.paths.iter_mut().find(|(f, _)| *f == fs) {
+            Some(s) => s,
+            None => {
+                self.paths.push((fs, simcore::FxHashMap::default()));
+                self.paths.last_mut().expect("just pushed")
+            }
+        };
+        slot.1.insert(path.into(), (id, gen));
+    }
+
+    /// Drop one entry (remove/rename invalidation). The whole-path tier
+    /// needs nothing here: the generation bump that accompanies every
+    /// remove/rename already invalidates it.
+    pub fn invalidate(&mut self, fs: FsId, parent: InodeId, name: crate::types::NameId) {
+        self.map.remove(&(fs, parent, name));
+    }
+
+    /// Cached entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Fraction of probes that hit (0 when never probed).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -333,7 +333,14 @@ pub fn mkdir(
         client,
         device,
         true,
-        move |w, fs, now| w.fss[fs.0 as usize].core.mkdir(&path, owner, now),
+        move |w, fs, now| {
+            let ch = w.fss[fs.0 as usize].core.mkdir_entry(&path, owner, now)?;
+            // Seed the creator's dentry cache — it will almost always
+            // resolve the new directory next.
+            let dentry = &mut w.clients[client.0 as usize].dentry;
+            dentry.insert(fs, ch.parent, ch.name, ch.id);
+            Ok(ch.id)
+        },
         cb,
     );
 }
@@ -355,7 +362,12 @@ pub fn stat(
         client,
         device,
         false,
-        move |w, fs, _| w.fss[fs.0 as usize].core.stat(&path),
+        move |w, fs, _| {
+            let (fss, clients) = (&w.fss, &mut w.clients);
+            let core = &fss[fs.0 as usize].core;
+            let id = core.lookup_via(fs, &mut clients[client.0 as usize].dentry, &path)?;
+            core.stat_id(id)
+        },
         cb,
     );
 }
@@ -376,7 +388,17 @@ pub fn readdir(
         client,
         device,
         false,
-        move |w, fs, _| w.fss[fs.0 as usize].core.readdir(&path),
+        move |w, fs, _| {
+            let (fss, clients) = (&w.fss, &mut w.clients);
+            let core = &fss[fs.0 as usize].core;
+            let id = core.lookup_via(fs, &mut clients[client.0 as usize].dentry, &path)?;
+            core.readdir_id(id).map_err(|e| match e {
+                // readdir_id only knows the inode; report the path the
+                // caller actually asked about, as `readdir` always has.
+                FsError::NotADirectory(_) => FsError::NotADirectory(path.clone()),
+                other => other,
+            })
+        },
         cb,
     );
 }
@@ -398,13 +420,15 @@ pub fn unlink(
         device,
         true,
         move |w, fs, _| {
-            let id = w.fss[fs.0 as usize].core.lookup(&path)?;
-            w.fss[fs.0 as usize].core.unlink(&path)?;
+            let ch = w.fss[fs.0 as usize].core.unlink_entry(&path)?;
             // Invalidate everywhere (the manager broadcasts in GPFS; we
             // apply the effect directly and charge nothing extra — unlink
-            // of an open-elsewhere file is out of scope).
+            // of an open-elsewhere file is out of scope). Dentry caches
+            // drop the `(parent, name)` mapping so no client resolves the
+            // dead entry.
             for c in &mut w.clients {
-                c.pool.invalidate_file(fs, id);
+                c.pool.invalidate_file(fs, ch.id);
+                c.dentry.invalidate(fs, ch.parent, ch.name);
             }
             Ok(())
         },
@@ -430,7 +454,17 @@ pub fn rename(
         client,
         device,
         true,
-        move |w, fs, _| w.fss[fs.0 as usize].core.rename(&from, &to),
+        move |w, fs, _| {
+            let ch = w.fss[fs.0 as usize].core.rename_entry(&from, &to)?;
+            // Every client must stop resolving the old name; the mover's
+            // cache learns the new entry immediately.
+            for c in &mut w.clients {
+                c.dentry.invalidate(fs, ch.from_parent, ch.from_name);
+            }
+            let dentry = &mut w.clients[client.0 as usize].dentry;
+            dentry.insert(fs, ch.to_parent, ch.to_name, ch.id);
+            Ok(())
+        },
         cb,
     );
 }
@@ -524,8 +558,10 @@ pub fn open(
         device,
         flags.writes(),
         move |w, fs, now| {
-            let core = &mut w.fss[fs.0 as usize].core;
-            let inode = match core.lookup(&path) {
+            let (fss, clients) = (&mut w.fss, &mut w.clients);
+            let core = &mut fss[fs.0 as usize].core;
+            let dentry = &mut clients[client.0 as usize].dentry;
+            let inode = match core.lookup_via(fs, dentry, &path) {
                 Ok(id) => {
                     if core.inode(id)?.is_dir() {
                         return Err(FsError::IsADirectory(path.clone()));
@@ -533,7 +569,9 @@ pub fn open(
                     id
                 }
                 Err(FsError::NotFound(_)) if flags.writes() => {
-                    core.create_file(&path, owner, now)?
+                    let ch = core.create_file_entry(&path, owner, now)?;
+                    dentry.insert(fs, ch.parent, ch.name, ch.id);
+                    ch.id
                 }
                 Err(e) => return Err(e),
             };
@@ -1913,6 +1951,72 @@ mod tests {
         });
         run(&mut t);
         assert!(ok.get());
+    }
+
+    #[test]
+    fn dentry_invalidation_on_unlink_and_rename() {
+        // A second client's dentry cache, warmed by stat, must not serve
+        // entries another client has since removed or renamed — the
+        // broadcast invalidation in unlink/rename is what this pins.
+        let mut t = bed();
+        let (local, remote) = (t.local, t.remote);
+        let ok = Rc::new(Cell::new(false));
+        let ok2 = ok.clone();
+        mount_local(&mut t.sim, &mut t.w, local, "gpfs-wan", move |sim, w, _| {
+            mkdir(sim, w, local, "gpfs-wan", "/d", owner(), move |sim, w, r| {
+                r.unwrap();
+                open(sim, w, local, "gpfs-wan", "/d/x", OpenFlags::Write, owner(), move |sim, w, r| {
+                    let h = r.unwrap();
+                    close(sim, w, local, h, move |sim, w, r| {
+                        r.unwrap();
+                        mount_remote(sim, w, remote, "gpfs-wan", AccessMode::ReadOnly, move |sim, w, r| {
+                            r.unwrap();
+                            // Warm the remote client's dentry cache.
+                            stat(sim, w, remote, "gpfs-wan", "/d/x", move |sim, w, r| {
+                                r.unwrap();
+                                unlink(sim, w, local, "gpfs-wan", "/d/x", move |sim, w, r| {
+                                    r.unwrap();
+                                    stat(sim, w, remote, "gpfs-wan", "/d/x", move |sim, w, r| {
+                                        assert!(
+                                            matches!(r, Err(FsError::NotFound(_))),
+                                            "remote resolved an unlinked entry: {r:?}"
+                                        );
+                                        open(sim, w, local, "gpfs-wan", "/d/y", OpenFlags::Write, owner(), move |sim, w, r| {
+                                            let h = r.unwrap();
+                                            close(sim, w, local, h, move |sim, w, r| {
+                                                r.unwrap();
+                                                stat(sim, w, remote, "gpfs-wan", "/d/y", move |sim, w, r| {
+                                                    let before = r.unwrap();
+                                                    rename(sim, w, local, "gpfs-wan", "/d/y", "/d/z", move |sim, w, r| {
+                                                        r.unwrap();
+                                                        stat(sim, w, remote, "gpfs-wan", "/d/y", move |sim, w, r| {
+                                                            assert!(
+                                                                matches!(r, Err(FsError::NotFound(_))),
+                                                                "remote resolved a renamed-away entry: {r:?}"
+                                                            );
+                                                            stat(sim, w, remote, "gpfs-wan", "/d/z", move |_s, _w, r| {
+                                                                let after = r.unwrap();
+                                                                assert_eq!(after.inode, before.inode);
+                                                                ok2.set(true);
+                                                            });
+                                                        });
+                                                    });
+                                                });
+                                            });
+                                        });
+                                    });
+                                });
+                            });
+                        });
+                    });
+                });
+            });
+        });
+        run(&mut t);
+        assert!(ok.get());
+        // The remote cache was genuinely exercised, not bypassed.
+        let dc = &t.w.clients[remote.0 as usize].dentry;
+        assert!(dc.hits + dc.misses > 0, "remote dentry cache never probed");
     }
 
     #[test]

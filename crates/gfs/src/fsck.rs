@@ -86,17 +86,25 @@ pub fn fsck(fs: &FsCore) -> FsckReport {
         match &ino.kind {
             InodeKind::Dir { entries } => {
                 report.directories += 1;
-                for (name, child) in entries {
-                    *link_count.entry(*child).or_insert(0) += 1;
-                    if fs.inode(*child).is_err() {
+                // Entries live in a hash map with arbitrary (though
+                // reproducible) order; resolve and sort so reports and
+                // traversal are deterministic regardless of hashing.
+                let mut children: Vec<(&str, InodeId)> = entries
+                    .iter()
+                    .map(|(&n, &child)| (fs.names.resolve(n), child))
+                    .collect();
+                children.sort_unstable();
+                for (name, child) in children {
+                    *link_count.entry(child).or_insert(0) += 1;
+                    if fs.inode(child).is_err() {
                         report.errors.push(FsckError::DanglingEntry {
                             dir: id,
-                            name: name.clone(),
+                            name: name.to_string(),
                         });
                         continue;
                     }
-                    if reachable.insert(*child) {
-                        queue.push_back(*child);
+                    if reachable.insert(child) {
+                        queue.push_back(child);
                     }
                 }
             }

@@ -223,18 +223,19 @@ pub fn gfs_stream(
     // the effective window scales with the connections it represents.
     let conns_per_endpoint =
         (inst.core.config.nsd_count as u64).div_ceil(endpoints.len() as u64).max(1);
-    let block_size = inst.core.config.block_size;
     let window = w.costs.flow_window.saturating_mul(conns_per_endpoint);
-    // Account each endpoint connection as one maximally coalesced NSD
-    // request of its striped share (counters only; the fluid-flow model
-    // and its event sequence are untouched).
+    // Account each endpoint connection as one pool-bypassing streaming
+    // transfer (counters only; the fluid-flow model and its event sequence
+    // are untouched). These flows never touch the page pool or issue
+    // block-level NSD requests, so folding them into `record()` used to
+    // poison `mean_request_bytes` with multi-GB "requests".
     {
         let n = endpoints.len() as u64;
         let (base, rem) = (bytes / n, bytes % n);
         for i in 0..n {
             let share = base + u64::from(i < rem);
             if share > 0 {
-                w.nsd_stats.record(share.div_ceil(block_size).max(1), share);
+                w.nsd_stats.record_bypass(share);
             }
         }
     }

@@ -13,7 +13,7 @@
 //! the revocations this module reports.
 
 use crate::types::{ClientId, InodeId};
-use std::collections::BTreeMap;
+use simcore::fxhash::FxHashMap;
 
 /// Token strength.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -209,20 +209,45 @@ impl GrantSet {
     }
 }
 
+/// Number of top-level shards in the token map. A power of two so the
+/// shard pick is a mask, sized so million-inode token traffic spreads
+/// instead of funnelling through one structure.
+const TOKEN_SHARDS: usize = 64;
+
 /// The token manager for one filesystem.
-#[derive(Default, Debug)]
+///
+/// Per-inode grant sets live in a sharded top-level map: `shards[inode %
+/// 64]` is a deterministic-hash `HashMap<InodeId, GrantSet>`. Sharding
+/// keeps each map small at million-inode scale (shorter probe chains,
+/// cheaper rehashes) and gives `release_client` a partitioned walk.
+#[derive(Debug)]
 pub struct TokenManager {
-    grants: BTreeMap<InodeId, GrantSet>,
+    shards: Vec<FxHashMap<InodeId, GrantSet>>,
     /// Counters for reports.
     pub acquires: u64,
     /// Total revocations performed.
     pub revocations: u64,
 }
 
+impl Default for TokenManager {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl TokenManager {
     /// Empty manager.
     pub fn new() -> Self {
-        Self::default()
+        TokenManager {
+            shards: (0..TOKEN_SHARDS).map(|_| FxHashMap::default()).collect(),
+            acquires: 0,
+            revocations: 0,
+        }
+    }
+
+    #[inline]
+    fn shard_of(inode: InodeId) -> usize {
+        inode.0 as usize & (TOKEN_SHARDS - 1)
     }
 
     /// Acquire a token for `client` on `inode` over `range` in `mode`,
@@ -235,7 +260,9 @@ impl TokenManager {
         mode: TokenMode,
     ) -> AcquireOutcome {
         self.acquires += 1;
-        let set = self.grants.entry(inode).or_default();
+        let set = self.shards[Self::shard_of(inode)]
+            .entry(inode)
+            .or_default();
 
         // Fast path: an existing grant to this client already covers the
         // request at sufficient strength. A covering grant necessarily
@@ -301,26 +328,29 @@ impl TokenManager {
 
     /// Release every token `client` holds on `inode` (file close).
     pub fn release_all(&mut self, inode: InodeId, client: ClientId) {
-        if let Some(set) = self.grants.get_mut(&inode) {
+        let shard = &mut self.shards[Self::shard_of(inode)];
+        if let Some(set) = shard.get_mut(&inode) {
             set.remove_client(client);
             if set.is_empty() {
-                self.grants.remove(&inode);
+                shard.remove(&inode);
             }
         }
     }
 
     /// Release every token `client` holds anywhere (unmount/expel).
     pub fn release_client(&mut self, client: ClientId) {
-        self.grants.retain(|_, set| {
-            set.remove_client(client);
-            !set.is_empty()
-        });
+        for shard in &mut self.shards {
+            shard.retain(|_, set| {
+                set.remove_client(client);
+                !set.is_empty()
+            });
+        }
     }
 
     /// Current grants on an inode, sorted by range start (for tests and
     /// introspection).
     pub fn grants(&self, inode: InodeId) -> &[Grant] {
-        self.grants
+        self.shards[Self::shard_of(inode)]
             .get(&inode)
             .map_or(&[], |set| set.sorted.as_slice())
     }
@@ -334,7 +364,7 @@ impl TokenManager {
         range: ByteRange,
         mode: TokenMode,
     ) -> bool {
-        self.grants.get(&inode).is_some_and(|set| {
+        self.shards[Self::shard_of(inode)].get(&inode).is_some_and(|set| {
             set.any_overlapping(&range, |g| {
                 g.client == client
                     && g.range.contains(&range)

@@ -15,6 +15,13 @@ pub struct InodeId(pub u64);
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct NsdId(pub u32);
 
+/// An interned path component: an index into the filesystem's global name
+/// table. Directory entries, dentry caches and resolution all work on these
+/// 4-byte ids instead of `String` keys — one interning per *distinct* name
+/// ever created, zero string allocation per lookup.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct NameId(pub u32);
+
 /// Identifies a filesystem client (one mounting node).
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct ClientId(pub u32);

@@ -5,7 +5,7 @@
 //! mutated only through simulation events. Scenario- or benchmark-specific
 //! state rides in the `ext` slot so callbacks can reach it.
 
-use crate::cache::{PagePool, PrefetchState};
+use crate::cache::{DentryCache, PagePool, PrefetchState};
 use crate::fscore::{FsConfig, FsCore};
 use crate::tokens::{ByteRange, TokenManager, TokenMode};
 use crate::types::{ClientId, ClusterId, FsId, Handle, InodeId, NsdId, OpenFlags};
@@ -205,6 +205,9 @@ pub struct Client {
     /// daemon likewise completes in-flight operations before honouring a
     /// revoke, which is what makes individual writes atomic.
     pub inflight: BTreeMap<(FsId, InodeId), u32>,
+    /// Dentry cache: `(fs, parent, name) -> inode`, filled by path
+    /// resolution at the manager and invalidated on remove/rename.
+    pub dentry: DentryCache,
 }
 
 impl Client {
@@ -287,9 +290,15 @@ pub struct GfsWorld {
 /// issued (each coalesced scatter-gather run counts once, retries
 /// included), how many blocks and payload bytes they carried, and how many
 /// of them coalesced more than one block.
+///
+/// Streaming transfers that bypass the page pool entirely (the GridFTP-style
+/// bulk flows in `stream.rs`) are counted separately in the `bypass_*`
+/// fields: folding a whole multi-GB striped share into one "request" made
+/// `mean_request_bytes` report nonsense (4 GB/request on fig11) and left
+/// `pool_hit_rate` a meaningless 0/0.
 #[derive(Default, Debug, Clone, Copy)]
 pub struct NsdStats {
-    /// Wire requests issued.
+    /// Wire requests issued through the block data path.
     pub requests: u64,
     /// File blocks carried by those requests.
     pub blocks: u64,
@@ -297,10 +306,16 @@ pub struct NsdStats {
     pub bytes: u64,
     /// Requests carrying more than one block.
     pub coalesced: u64,
+    /// Streaming transfers that skipped the page pool (one per endpoint
+    /// share of a bulk flow).
+    pub bypass_transfers: u64,
+    /// Bytes moved by pool-bypassing streams.
+    pub bypass_bytes: u64,
 }
 
 impl NsdStats {
-    /// Mean payload bytes per NSD request (0 when no requests were made).
+    /// Mean payload bytes per NSD request (0 when no requests were made —
+    /// streaming-only runs issue none).
     pub fn mean_request_bytes(&self) -> f64 {
         if self.requests == 0 {
             0.0
@@ -317,6 +332,12 @@ impl NsdStats {
         if blocks > 1 {
             self.coalesced += 1;
         }
+    }
+
+    /// Record one pool-bypassing streaming transfer of `bytes`.
+    pub fn record_bypass(&mut self, bytes: u64) {
+        self.bypass_transfers += 1;
+        self.bypass_bytes += bytes;
     }
 }
 
@@ -547,6 +568,7 @@ impl WorldBuilder {
                 prefetch: BTreeMap::new(),
                 held_tokens: BTreeMap::new(),
                 inflight: BTreeMap::new(),
+                dentry: DentryCache::new(),
             })
             .collect();
         let world = GfsWorld {

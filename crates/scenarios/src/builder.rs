@@ -343,6 +343,12 @@ pub struct DataPathStats {
     pub pool_misses: u64,
     /// Page-pool evictions summed over all clients.
     pub pool_evictions: u64,
+    /// Streaming transfers that bypassed the page pool entirely (flow-level
+    /// bulk streams never probe it — without this counter a streaming run
+    /// reads as "0% hit rate" when the pool was simply not on the path).
+    pub pool_bypass: u64,
+    /// Bytes moved by pool-bypassing streams.
+    pub pool_bypass_bytes: u64,
     /// NSD wire requests issued (every attempt, including retries).
     pub nsd_requests: u64,
     /// Requests that carried more than one block (scatter-gather runs).
@@ -379,6 +385,8 @@ impl DataPathStats {
             pool_hits: self.pool_hits + other.pool_hits,
             pool_misses: self.pool_misses + other.pool_misses,
             pool_evictions: self.pool_evictions + other.pool_evictions,
+            pool_bypass: self.pool_bypass + other.pool_bypass,
+            pool_bypass_bytes: self.pool_bypass_bytes + other.pool_bypass_bytes,
             nsd_requests: self.nsd_requests + other.nsd_requests,
             nsd_coalesced: self.nsd_coalesced + other.nsd_coalesced,
             nsd_blocks: self.nsd_blocks + other.nsd_blocks,
@@ -397,6 +405,8 @@ impl ScenarioRun {
 /// Data-path counters of a world (summed over its clients).
 pub fn data_path_stats_of(w: &GfsWorld) -> DataPathStats {
     let mut s = DataPathStats {
+        pool_bypass: w.nsd_stats.bypass_transfers,
+        pool_bypass_bytes: w.nsd_stats.bypass_bytes,
         nsd_requests: w.nsd_stats.requests,
         nsd_coalesced: w.nsd_stats.coalesced,
         nsd_blocks: w.nsd_stats.blocks,

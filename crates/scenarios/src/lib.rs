@@ -25,6 +25,7 @@ pub mod ablations;
 pub mod builder;
 pub mod common;
 pub mod driver;
+pub mod metadata_storm;
 pub mod deisa;
 pub mod parallel;
 pub mod production;

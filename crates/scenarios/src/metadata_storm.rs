@@ -1,0 +1,469 @@
+//! The metadata storm: many clients racing namespace operations over a
+//! ~million-file tree.
+//!
+//! The paper's production system served a half-petabyte *namespace* to
+//! every TeraGrid site; the streaming figures never exercise that side of
+//! the system. This scenario does: each sweep point generates a three-level
+//! tree (`/tXX/sYY/fZZZZ`) of ~131k files directly on the filesystem core,
+//! then lets a crowd of clients race mkdir / create / stat / readdir /
+//! small-write / remove RPCs against it through the full client stack
+//! (mount, metadata RPCs at the manager, dentry caches, byte-range tokens,
+//! write-behind). Eight points × (131,344 tree ops + 32 clients × 128 race
+//! ops) ≈ 1.08M metadata operations per run at the defaults.
+//!
+//! Points are fully independent seeded worlds, so they fan out through
+//! [`crate::parallel::run_indexed`]; the merged [`StormReport`] — including
+//! its order-sensitive fingerprint — is bit-identical at any
+//! `GFS_SWEEP_THREADS` value.
+
+use crate::builder::{pattern_bytes, DataPathStats, NsdFarm, ScenarioBuilder};
+use gfs::client;
+use gfs::fscore::MetaSnapshot;
+use gfs::types::{ClientId, FsError, OpenFlags, Owner};
+use gfs::world::GfsWorld;
+use rand::{rngs::StdRng, Rng};
+use simcore::{det_rng, Bandwidth, Sim, SimDuration, SimTime};
+use std::cell::Cell;
+use std::rc::Rc;
+
+/// Storm shape. The defaults produce ≥1M metadata operations.
+#[derive(Clone, Copy, Debug)]
+pub struct StormConfig {
+    /// Independent sweep points (worlds).
+    pub points: u32,
+    /// Racing clients per point.
+    pub clients_per_point: u32,
+    /// Top-level directories in the generated tree.
+    pub top_dirs: u32,
+    /// Subdirectories per top-level directory.
+    pub sub_dirs: u32,
+    /// Files pre-created per subdirectory.
+    pub files_per_sub: u32,
+    /// Racing operations per client.
+    pub ops_per_client: u32,
+    /// Bytes written by a small-write op.
+    pub write_bytes: u64,
+    /// Determinism seed.
+    pub seed: u64,
+}
+
+impl Default for StormConfig {
+    fn default() -> Self {
+        StormConfig {
+            points: 8,
+            clients_per_point: 32,
+            top_dirs: 16,
+            sub_dirs: 16,
+            files_per_sub: 512,
+            ops_per_client: 128,
+            write_bytes: 4096,
+            seed: 2005,
+        }
+    }
+}
+
+impl StormConfig {
+    /// A small storm for tests: same shape, two orders of magnitude fewer
+    /// operations.
+    pub fn small() -> Self {
+        StormConfig {
+            points: 2,
+            clients_per_point: 8,
+            top_dirs: 4,
+            sub_dirs: 4,
+            files_per_sub: 32,
+            ops_per_client: 24,
+            write_bytes: 4096,
+            seed: 2005,
+        }
+    }
+
+    /// Total racing clients across all points.
+    pub fn total_clients(&self) -> u64 {
+        u64::from(self.points) * u64::from(self.clients_per_point)
+    }
+}
+
+/// Merged result of one storm run. All-integer so determinism tests can
+/// compare reports exactly.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct StormReport {
+    /// Metadata operations performed (tree generation + client races).
+    pub ops: u64,
+    /// Operations that surfaced an error (races make `AlreadyExists` /
+    /// `NotFound` expected; they are outcomes, not failures).
+    pub errors: u64,
+    /// Simulation events executed, summed over points.
+    pub events: u64,
+    /// Order-sensitive fingerprint over every operation result — the
+    /// replay-identity witness.
+    pub fingerprint: u64,
+    /// Path resolutions performed by the cores.
+    pub resolves: u64,
+    /// Bytes allocated during resolution (error rendering only).
+    pub resolve_alloc_bytes: u64,
+    /// Distinct interned names, summed over points.
+    pub interned_names: u64,
+    /// Dentry-cache hits summed over all clients.
+    pub dentry_hits: u64,
+    /// Dentry-cache misses summed over all clients.
+    pub dentry_misses: u64,
+    /// Every point's post-storm fsck came back clean.
+    pub fsck_clean: bool,
+    /// Data-path counters summed over points (small writes do real I/O).
+    pub data_path: DataPathStats,
+}
+
+impl StormReport {
+    /// Dentry hit rate in `[0, 1]`.
+    pub fn dentry_hit_rate(&self) -> f64 {
+        let probes = self.dentry_hits + self.dentry_misses;
+        if probes == 0 {
+            0.0
+        } else {
+            self.dentry_hits as f64 / probes as f64
+        }
+    }
+}
+
+/// Plain `Send` extract of one point (its world never leaves the thread).
+struct PointSummary {
+    ops: u64,
+    errors: u64,
+    events: u64,
+    fingerprint: u64,
+    meta: MetaSnapshot,
+    dentry_hits: u64,
+    dentry_misses: u64,
+    fsck_clean: bool,
+    data_path: DataPathStats,
+}
+
+/// FxHash-style mixing for the result fingerprint: order-sensitive, cheap,
+/// and with no dependence on anything but the value sequence.
+#[inline]
+fn mix(h: u64, v: u64) -> u64 {
+    (h.rotate_left(5) ^ v).wrapping_mul(0x51_7c_c1_b7_27_22_0a_95)
+}
+
+/// Small stable code per error variant, for fingerprinting.
+fn err_code(e: &FsError) -> u64 {
+    match e {
+        FsError::NotFound(_) => 1,
+        FsError::AlreadyExists(_) => 2,
+        FsError::NotADirectory(_) => 3,
+        FsError::IsADirectory(_) => 4,
+        FsError::NotEmpty(_) => 5,
+        FsError::NoSpace => 6,
+        FsError::BadHandle => 7,
+        FsError::ReadOnly => 8,
+        FsError::NotMounted(_) => 9,
+        FsError::AuthFailed(_) => 10,
+        FsError::InvalidArgument(_) => 11,
+        FsError::Timeout => 12,
+        FsError::ServerDown => 13,
+        FsError::Degraded(_) => 14,
+    }
+}
+
+/// Shared per-point accounting the op chains update.
+struct Tally {
+    ops: Cell<u64>,
+    errors: Cell<u64>,
+    fingerprint: Cell<u64>,
+    finished_clients: Cell<u32>,
+}
+
+impl Tally {
+    fn op_result(&self, code: u64, err: Option<&FsError>) {
+        self.ops.set(self.ops.get() + 1);
+        let v = match err {
+            None => code,
+            Some(e) => {
+                self.errors.set(self.errors.get() + 1);
+                code << 8 | err_code(e)
+            }
+        };
+        self.fingerprint.set(mix(self.fingerprint.get(), v));
+    }
+}
+
+/// Run the storm with [`crate::parallel::sweep_threads`] workers.
+pub fn run_storm(cfg: &StormConfig) -> StormReport {
+    run_storm_with_threads(cfg, crate::parallel::sweep_threads())
+}
+
+/// [`run_storm`] with an explicit worker count. The report is bit-identical
+/// for any `threads` value: each point is an isolated seeded world and the
+/// merge is in point order.
+pub fn run_storm_with_threads(cfg: &StormConfig, threads: usize) -> StormReport {
+    let cfg = *cfg;
+    let summaries = crate::parallel::run_indexed(cfg.points as usize, threads, |i| {
+        run_point(&cfg, i as u32)
+    });
+    let mut r = StormReport {
+        ops: 0,
+        errors: 0,
+        events: 0,
+        fingerprint: 0,
+        resolves: 0,
+        resolve_alloc_bytes: 0,
+        interned_names: 0,
+        dentry_hits: 0,
+        dentry_misses: 0,
+        fsck_clean: true,
+        data_path: DataPathStats::default(),
+    };
+    for s in &summaries {
+        r.ops += s.ops;
+        r.errors += s.errors;
+        r.events += s.events;
+        r.fingerprint = mix(r.fingerprint, s.fingerprint);
+        r.resolves += s.meta.resolves;
+        r.resolve_alloc_bytes += s.meta.resolve_alloc_bytes;
+        r.interned_names += s.meta.interned_names;
+        r.dentry_hits += s.dentry_hits;
+        r.dentry_misses += s.dentry_misses;
+        r.fsck_clean &= s.fsck_clean;
+        r.data_path = r.data_path.merged(&s.data_path);
+    }
+    r
+}
+
+/// One sweep point: generate the tree, storm it, summarize.
+fn run_point(cfg: &StormConfig, point: u32) -> PointSummary {
+    let point_seed = cfg
+        .seed
+        .wrapping_add(u64::from(point).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    let mut sb = ScenarioBuilder::new(point_seed);
+    let fs = sb.nsd_farm("site", NsdFarm::new("meta", 4).block_size(64 * 1024));
+    let clients = sb.clients(
+        "site",
+        cfg.clients_per_point,
+        Bandwidth::gbit(1.0),
+        SimDuration::from_micros(100),
+        64,
+    );
+    // No queued workloads: the builder just assembles the world; the storm
+    // drives the client API directly.
+    let mut run = sb.run(SimTime::from_secs(1));
+
+    let tally = Rc::new(Tally {
+        ops: Cell::new(0),
+        errors: Cell::new(0),
+        fingerprint: Cell::new(0),
+        finished_clients: Cell::new(0),
+    });
+
+    // Phase 1 — tree generation, straight on the core (the bulk of the
+    // operation count; each call is a full path resolution + mutation).
+    {
+        let core = &mut run.world.fss[fs.0 as usize].core;
+        let owner = Owner::local(0, 0);
+        for t in 0..cfg.top_dirs {
+            let top = format!("/t{t:02}");
+            core.mkdir(&top, owner.clone(), 0).expect("mkdir top");
+            tally.op_result(20, None);
+            for s in 0..cfg.sub_dirs {
+                let sub = format!("{top}/s{s:02}");
+                core.mkdir(&sub, owner.clone(), 0).expect("mkdir sub");
+                tally.op_result(21, None);
+                for f in 0..cfg.files_per_sub {
+                    core.create_file(&format!("{sub}/f{f:04}"), owner.clone(), 0)
+                        .expect("create file");
+                    tally.op_result(22, None);
+                }
+            }
+        }
+    }
+
+    // Phase 2 — the race: every client mounts, then runs its op chain.
+    {
+        let (sim, w) = (&mut run.sim, &mut run.world);
+        sim.set_horizon(sim.now() + SimDuration::from_secs(3600));
+        for (ci, &c) in clients.iter().enumerate() {
+            let rng = det_rng(point_seed, &format!("storm-client-{ci}"));
+            let tally = tally.clone();
+            let cfg = *cfg;
+            client::mount_local(sim, w, c, "meta", move |sim, w, r| {
+                r.expect("storm mount");
+                next_op(sim, w, c, rng, cfg.ops_per_client, cfg, tally);
+            });
+        }
+        sim.run(w);
+    }
+    assert_eq!(
+        tally.finished_clients.get(),
+        cfg.clients_per_point,
+        "storm point {point}: some client chains did not drain"
+    );
+
+    let dentry_hits = run.world.clients.iter().map(|c| c.dentry.hits).sum();
+    let dentry_misses = run.world.clients.iter().map(|c| c.dentry.misses).sum();
+    let core = &run.world.fss[fs.0 as usize].core;
+    PointSummary {
+        ops: tally.ops.get(),
+        errors: tally.errors.get(),
+        events: run.sim.executed(),
+        fingerprint: tally.fingerprint.get(),
+        meta: core.meta_snapshot(),
+        dentry_hits,
+        dentry_misses,
+        fsck_clean: gfs::fsck(core).is_clean(),
+        data_path: crate::builder::data_path_stats_of(&run.world),
+    }
+}
+
+/// One step of a client's op chain; schedules the next step from its own
+/// completion callback, so each client is a sequential stream of racing
+/// RPCs.
+fn next_op(
+    sim: &mut Sim<GfsWorld>,
+    w: &mut GfsWorld,
+    c: ClientId,
+    mut rng: StdRng,
+    remaining: u32,
+    cfg: StormConfig,
+    tally: Rc<Tally>,
+) {
+    if remaining == 0 {
+        tally.finished_clients.set(tally.finished_clients.get() + 1);
+        return;
+    }
+    // A file path, mostly inside the generated tree; the widened file index
+    // makes stat/remove miss sometimes and create fresh names sometimes.
+    let t = rng.gen::<u32>() % cfg.top_dirs;
+    let s = rng.gen::<u32>() % cfg.sub_dirs;
+    let f = rng.gen::<u32>() % (cfg.files_per_sub + cfg.files_per_sub / 4 + 1);
+    let file_path = format!("/t{t:02}/s{s:02}/f{f:04}");
+    let dir_path = format!("/t{t:02}/s{s:02}");
+    let cont = move |sim: &mut Sim<GfsWorld>, w: &mut GfsWorld, rng: StdRng, tally: Rc<Tally>| {
+        next_op(sim, w, c, rng, remaining - 1, cfg, tally);
+    };
+    match rng.gen::<u32>() % 100 {
+        // stat — the resolve-heavy staple.
+        0..=29 => {
+            client::stat(sim, w, c, "meta", &file_path, move |sim, w, r| {
+                tally.op_result(30, r.as_ref().err());
+                cont(sim, w, rng, tally);
+            });
+        }
+        // readdir of the subdirectory.
+        30..=39 => {
+            client::readdir(sim, w, c, "meta", &dir_path, move |sim, w, r| {
+                let code = 31 ^ (r.as_ref().map_or(0, |names| names.len() as u64) << 16);
+                tally.op_result(code, r.as_ref().err());
+                cont(sim, w, rng, tally);
+            });
+        }
+        // mkdir of a racing extra directory.
+        40..=44 => {
+            let d = rng.gen::<u32>() % 8;
+            let path = format!("{dir_path}/d{d}");
+            client::mkdir(sim, w, c, "meta", &path, Owner::local(0, 0), move |sim, w, r| {
+                tally.op_result(32, r.as_ref().err());
+                cont(sim, w, rng, tally);
+            });
+        }
+        // create: open-for-write (creates if absent) then close.
+        45..=64 => {
+            client::open(
+                sim,
+                w,
+                c,
+                "meta",
+                &file_path,
+                OpenFlags::Write,
+                Owner::local(0, 0),
+                move |sim, w, r| match r {
+                    Ok(h) => client::close(sim, w, c, h, move |sim, w, r| {
+                        tally.op_result(33, r.as_ref().err());
+                        cont(sim, w, rng, tally);
+                    }),
+                    Err(e) => {
+                        tally.op_result(33, Some(&e));
+                        cont(sim, w, rng, tally);
+                    }
+                },
+            );
+        }
+        // small-write: open, write `write_bytes`, close (write-behind +
+        // token traffic + real NSD I/O on the flush).
+        65..=84 => {
+            client::open(
+                sim,
+                w,
+                c,
+                "meta",
+                &file_path,
+                OpenFlags::Write,
+                Owner::local(0, 0),
+                move |sim, w, r| match r {
+                    Ok(h) => {
+                        let data = pattern_bytes(0, cfg.write_bytes);
+                        client::write(sim, w, c, h, 0, data, move |sim, w, r| {
+                            if let Err(e) = &r {
+                                tally.op_result(34, Some(e));
+                                // Still close the handle before moving on.
+                            }
+                            let wrote = r.is_ok();
+                            client::close(sim, w, c, h, move |sim, w, r| {
+                                if wrote {
+                                    tally.op_result(34, r.as_ref().err());
+                                }
+                                cont(sim, w, rng, tally);
+                            });
+                        });
+                    }
+                    Err(e) => {
+                        tally.op_result(34, Some(&e));
+                        cont(sim, w, rng, tally);
+                    }
+                },
+            );
+        }
+        // remove.
+        _ => {
+            client::unlink(sim, w, c, "meta", &file_path, move |sim, w, r| {
+                tally.op_result(35, r.as_ref().err());
+                cont(sim, w, rng, tally);
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn storm_completes_counts_and_fscks() {
+        let r = run_storm(&StormConfig::small());
+        // 2 points × (4 + 16 + 512 tree ops + 8 × 24 race ops).
+        assert!(r.ops > 1400, "ops {}", r.ops);
+        assert!(r.errors > 0, "a race with misses must surface Err outcomes");
+        assert!(r.fsck_clean, "storm left an inconsistent filesystem");
+        assert!(r.events > 0);
+        assert!(r.resolves > r.ops / 2, "resolves {}", r.resolves);
+        // The name alphabet is tiny by design: interning collapses it.
+        assert!(
+            r.interned_names < 200,
+            "interned {} names for a 2-point small storm",
+            r.interned_names
+        );
+        assert!(
+            r.dentry_hits > 0,
+            "clients never hit their dentry caches during the race"
+        );
+    }
+
+    #[test]
+    fn storm_is_bit_identical_across_sweep_thread_counts() {
+        let cfg = StormConfig::small();
+        let serial = run_storm_with_threads(&cfg, 1);
+        let parallel = run_storm_with_threads(&cfg, 8);
+        assert_eq!(serial, parallel);
+        // And across repeated runs at the same thread count.
+        assert_eq!(parallel, run_storm_with_threads(&cfg, 8));
+    }
+}

@@ -19,6 +19,7 @@
 //! * **No wall clock.** Nothing in this crate (or its dependents) reads the
 //!   host clock; all timestamps come from the engine.
 
+pub mod fxhash;
 pub mod rng;
 pub mod series;
 pub mod sim;
@@ -26,6 +27,7 @@ pub mod stats;
 pub mod time;
 pub mod units;
 
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use rng::det_rng;
 pub use series::{Dip, RateSeries, SeriesPoint, TimeSeries};
 pub use sim::{Action, Sim, TimerId};
