@@ -46,6 +46,7 @@ floors = {
     'sc04 bandwidth challenge': 2000,
     'recovery trio': 1500,
     'metadata storm': 8000,
+    'chaos storm smoke': 8000,
     'resolve microbench': 100000,
 }
 by_prefix = {p: s for s in doc['scenarios'] for p in floors if s['name'].startswith(p)}
@@ -67,6 +68,26 @@ if ops < 1_000_000:
     failed = True
 if ops_per_sec < 50_000:
     print(f"perf smoke: metadata storm ops/sec collapsed ({ops_per_sec:.0f} < 50000)", file=sys.stderr)
+    failed = True
+
+# Chaos smoke: the [OK]/[OFF] verdicts above already gate the invariants
+# (clean fsck, oracle-identical recovery); here the published counters must
+# prove faults were really taken and ridden out, and faulted throughput
+# must stay within sight of healthy.
+chaos = by_prefix['chaos storm smoke']['metadata']
+print(f"chaos storm: healthy {chaos['chaos_healthy_ops_per_sec']:.0f} ops/sec, "
+      f"crash {chaos['chaos_crash_ops_per_sec']:.0f}, flap {chaos['chaos_flap_ops_per_sec']:.0f}, "
+      f"mgr-kill {chaos['chaos_mgr_kill_ops_per_sec']:.0f}; "
+      f"timeouts {chaos['chaos_timeouts']:.0f}, failovers {chaos['chaos_failovers']:.0f}, "
+      f"wal replayed {chaos['chaos_wal_replayed']:.0f}, gave up {chaos['chaos_gave_up']:.0f}")
+if chaos['chaos_gave_up'] != 0:
+    print("perf smoke: chaos storm ops exhausted their retry budget", file=sys.stderr)
+    failed = True
+if chaos['chaos_timeouts'] == 0 or chaos['chaos_wal_replayed'] == 0:
+    print("perf smoke: chaos storm never exercised timeout/recovery paths", file=sys.stderr)
+    failed = True
+if chaos['chaos_crash_ops_per_sec'] < 10_000 or chaos['chaos_flap_ops_per_sec'] < 10_000:
+    print("perf smoke: faulted storm throughput collapsed", file=sys.stderr)
     failed = True
 if failed:
     sys.exit(1)

@@ -158,6 +158,91 @@ fn run_metadata_storm_entry() -> Entry {
     }
 }
 
+/// The chaos smoke: the same storm workload run under each fault class —
+/// an NSD crash mid-race, a WAN flap severing every client, and a
+/// namespace-manager kill/restart checked against its fault-free oracle.
+/// Verdicts pin the invariants (clean fsck, zero exhausted retry budgets,
+/// zero world-invariant violations, oracle-identical recovery); the extra
+/// metrics publish per-fault-class throughput into BENCH_perf.json.
+fn run_chaos_entry() -> Entry {
+    use scenarios::chaos::{check_chaos_storm, check_manager_recovery};
+    use scenarios::metadata_storm::ChaosSpec;
+    use gfs::faults::ProgressPlan;
+
+    let cfg = StormConfig {
+        points: 4,
+        clients_per_point: 16,
+        top_dirs: 8,
+        sub_dirs: 8,
+        files_per_sub: 128,
+        ops_per_client: 96,
+        ..StormConfig::default()
+    };
+    let outage = SimDuration::from_millis(400);
+    let crash_spec = ChaosSpec {
+        progress: ProgressPlan::new().server_crash_at_op(
+            cfg.race_op_at(0.4),
+            FsId(0),
+            "meta-srv1",
+            Some(outage),
+        ),
+        timed: Default::default(),
+        wan_clients: false,
+    };
+    let flap_spec = ChaosSpec {
+        progress: ProgressPlan::new().link_flap_at_op(cfg.race_op_at(0.7), "storm-wan", outage),
+        timed: Default::default(),
+        wan_clients: true,
+    };
+
+    let (healthy, healthy_wall) = time_scenario(|| run_storm(&cfg));
+    let (crash, crash_wall) = time_scenario(|| check_chaos_storm(&cfg, &crash_spec));
+    let (flap, flap_wall) = time_scenario(|| check_chaos_storm(&cfg, &flap_spec));
+    let (mgr, mgr_wall) =
+        time_scenario(|| check_manager_recovery(&cfg, 0.5, SimDuration::from_millis(600)));
+
+    for v in crash.violations.iter().chain(&flap.violations).chain(&mgr.violations) {
+        eprintln!("chaos smoke: invariant violated: {v}");
+    }
+    let as_num = |b: bool| if b { 1.0 } else { 0.0 };
+    let ops_per_sec = |ops: u64, wall: f64| ops as f64 / wall.max(1e-9);
+    Entry {
+        name: "chaos storm smoke (crash / flap / manager kill)",
+        wall_seconds: healthy_wall + crash_wall + flap_wall + mgr_wall,
+        events: healthy.events + crash.report.events + flap.report.events + mgr.chaos.events,
+        checks: vec![
+            ("crash storm invariants clean", 1.0, as_num(crash.is_clean()), 0.0),
+            ("flap storm invariants clean", 1.0, as_num(flap.is_clean()), 0.0),
+            ("manager recovery == oracle", 1.0, as_num(mgr.is_clean()), 0.0),
+            (
+                "faults actually injected",
+                1.0,
+                as_num(crash.report.faults_injected > 0 && flap.report.faults_injected > 0),
+                0.0,
+            ),
+        ],
+        data_path: healthy
+            .data_path
+            .merged(&crash.report.data_path)
+            .merged(&flap.report.data_path),
+        extra: vec![
+            ("chaos_healthy_ops_per_sec", ops_per_sec(healthy.ops, healthy_wall)),
+            // check_chaos_storm runs the storm twice (1 + 8 threads).
+            ("chaos_crash_ops_per_sec", ops_per_sec(2 * crash.report.ops, crash_wall)),
+            ("chaos_flap_ops_per_sec", ops_per_sec(2 * flap.report.ops, flap_wall)),
+            ("chaos_mgr_kill_ops_per_sec", ops_per_sec(2 * mgr.chaos.ops, mgr_wall)),
+            ("chaos_timeouts", (crash.report.timeouts + flap.report.timeouts + mgr.chaos.timeouts) as f64),
+            ("chaos_failovers", (crash.report.failovers + flap.report.failovers + mgr.chaos.failovers) as f64),
+            ("chaos_wal_replayed", mgr.chaos.wal_replayed as f64),
+            ("chaos_manager_epochs", mgr.chaos.manager_epochs as f64),
+            (
+                "chaos_gave_up",
+                (crash.report.gave_up + flap.report.gave_up + mgr.chaos.gave_up) as f64,
+            ),
+        ],
+    }
+}
+
 /// The pre-interning metadata core, frozen here as the microbench baseline:
 /// directories own `String` keys in a `BTreeMap` and every resolution
 /// allocates a component vector. This is a measurement fixture, not a
@@ -429,6 +514,7 @@ fn main() {
         run_sc04_entry(),
         run_recovery_entry(),
         run_metadata_storm_entry(),
+        run_chaos_entry(),
         run_resolve_microbench_entry(),
     ];
 

@@ -444,6 +444,16 @@ impl DentryCache {
             self.hits as f64 / total as f64
         }
     }
+
+    /// Every cached `(fs, parent, name) -> inode` mapping, in no particular
+    /// order. The chaos harness audits these against the live namespace:
+    /// positive entries are only ever dropped by explicit invalidation, so
+    /// a mapping the core disagrees with means a lost invalidation.
+    pub fn entries(
+        &self,
+    ) -> impl Iterator<Item = (FsId, InodeId, crate::types::NameId, InodeId)> + '_ {
+        self.map.iter().map(|(&(fs, parent, name), &id)| (fs, parent, name, id))
+    }
 }
 
 #[cfg(test)]

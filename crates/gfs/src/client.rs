@@ -280,14 +280,136 @@ fn mount_of(w: &GfsWorld, client: ClientId, device: &str) -> Result<Mount, FsErr
         .ok_or_else(|| FsError::NotMounted(device.to_string()))
 }
 
-/// Generic metadata RPC against a mounted device's manager node.
-fn meta_rpc<T: 'static>(
+/// A manager-bound RPC with the full survival envelope: watchdog timeout,
+/// exponential backoff with seeded jitter, re-resolution of the *acting*
+/// manager on every attempt (so requests follow a failover), and
+/// exactly-once semantics for mutating operations.
+///
+/// Exactly-once works the GPFS way: every client request carries a unique
+/// op ID; the manager keeps a dedup table of applied mutations and their
+/// results. A retry whose original attempt did execute (the *reply* was
+/// lost, not the request) replays the recorded result instead of running
+/// `f` twice — without this, a lost mkdir reply would retry into
+/// `AlreadyExists` and a lost rename reply into `NotFound`.
+///
+/// Requests reaching a crashed, recovering, or superseded manager are
+/// dropped at delivery; the watchdog is how the client learns. Read-only
+/// ops (`mutating == false`) skip the dedup table and simply re-execute.
+fn manager_rpc<T: Clone + 'static>(
+    sim: &mut Sim<GfsWorld>,
+    w: &mut GfsWorld,
+    client: ClientId,
+    fs: FsId,
+    mutating: bool,
+    f: impl FnMut(&mut Sim<GfsWorld>, &mut GfsWorld, FsId) -> Result<T, FsError> + 'static,
+    cb: Cb<Result<T, FsError>>,
+) {
+    let op_id = w.clients[client.0 as usize].next_op_id();
+    let slot: Once<Result<T, FsError>> = Rc::new(RefCell::new(Some(cb)));
+    let f: Rc<RefCell<dyn FnMut(&mut Sim<GfsWorld>, &mut GfsWorld, FsId) -> Result<T, FsError>>> =
+        Rc::new(RefCell::new(f));
+    manager_rpc_attempt(sim, w, client, fs, mutating, op_id, f, 0, None, slot);
+}
+
+type ManagerOp<T> =
+    Rc<RefCell<dyn FnMut(&mut Sim<GfsWorld>, &mut GfsWorld, FsId) -> Result<T, FsError>>>;
+
+#[allow(clippy::too_many_arguments)]
+fn manager_rpc_attempt<T: Clone + 'static>(
+    sim: &mut Sim<GfsWorld>,
+    w: &mut GfsWorld,
+    client: ClientId,
+    fs: FsId,
+    mutating: bool,
+    op_id: u64,
+    f: ManagerOp<T>,
+    attempt: u32,
+    prev_mgr: Option<NodeId>,
+    cb: Once<Result<T, FsError>>,
+) {
+    // Each attempt re-resolves the acting manager, so a retry lands on the
+    // recovered (possibly relocated) manager rather than the dead home.
+    let mgr = w.fss[fs.0 as usize].manager_endpoint();
+    log_failover(sim, w, client, prev_mgr, mgr);
+    let from = client_node(w, client);
+    let rpcb = w.costs.rpc_bytes;
+    let timeout = w.costs.request_timeout;
+    let watchdog = {
+        let cb = cb.clone();
+        let f = f.clone();
+        sim.timer_after(timeout, move |sim, w| {
+            w.recovery
+                .log(sim.now(), RecoveryWhat::TimeoutDetected { client, server: mgr });
+            if attempt >= w.costs.max_retries {
+                if let Some(cb) = take(&cb) {
+                    cb(sim, w, Err(FsError::Timeout));
+                }
+                return;
+            }
+            let delay = backoff_delay(w, attempt);
+            sim.after(delay, move |sim, w| {
+                manager_rpc_attempt(
+                    sim,
+                    w,
+                    client,
+                    fs,
+                    mutating,
+                    op_id,
+                    f,
+                    attempt + 1,
+                    Some(mgr),
+                    cb,
+                );
+            });
+        })
+    };
+    Network::send_msg(sim, w, from, mgr, rpcb, move |sim, w| {
+        // A crashed, recovering, or superseded manager drops the request
+        // silently; only the watchdog tells the client.
+        {
+            let inst = &w.fss[fs.0 as usize];
+            if inst.down_servers.contains(&mgr) || inst.mgr.recovering || inst.mgr.acting != mgr {
+                return;
+            }
+        }
+        // Exactly-once: if an earlier attempt of this mutating op already
+        // applied (its reply was lost in flight), replay the recorded
+        // result instead of executing twice.
+        let replay = w.fss[fs.0 as usize].mgr.applied_result(op_id);
+        let result: Result<T, FsError> = match replay {
+            Some(r) => r
+                .downcast_ref::<Result<T, FsError>>()
+                .expect("op replayed with a different result type")
+                .clone(),
+            None => {
+                let r = (f.borrow_mut())(sim, w, fs);
+                if mutating {
+                    w.fss[fs.0 as usize].mgr.record(op_id, Rc::new(r.clone()));
+                }
+                r
+            }
+        };
+        let rpcb = w.costs.rpc_bytes;
+        Network::send_msg(sim, w, mgr, from, rpcb, move |sim, w| {
+            if !sim.cancel_timer(watchdog) {
+                return; // watchdog fired first; the retry owns this op
+            }
+            if let Some(cb) = take(&cb) {
+                cb(sim, w, result);
+            }
+        });
+    });
+}
+
+/// Generic metadata RPC against a mounted device's manager, under the
+/// [`manager_rpc`] survival envelope.
+fn meta_rpc<T: Clone + 'static>(
     sim: &mut Sim<GfsWorld>,
     w: &mut GfsWorld,
     client: ClientId,
     device: &str,
     needs_write: bool,
-    f: impl FnOnce(&mut GfsWorld, FsId, u64) -> Result<T, FsError> + 'static,
+    mut f: impl FnMut(&mut GfsWorld, FsId, u64) -> Result<T, FsError> + 'static,
     cb: impl FnOnce(&mut Sim<GfsWorld>, &mut GfsWorld, Result<T, FsError>) + 'static,
 ) {
     let m = match mount_of(w, client, device) {
@@ -301,18 +423,17 @@ fn meta_rpc<T: 'static>(
         cb(sim, w, Err(FsError::ReadOnly));
         return;
     }
-    let from = client_node(w, client);
-    let to = w.fss[m.fs.0 as usize].manager_node;
-    rpc(
+    manager_rpc(
         sim,
         w,
-        from,
-        to,
-        move |sim, w| {
+        client,
+        m.fs,
+        needs_write,
+        move |sim, w, fs| {
             let now = sim.now().as_nanos();
-            f(w, m.fs, now)
+            f(w, fs, now)
         },
-        move |sim, w, r| cb(sim, w, r),
+        Box::new(cb),
     );
 }
 
@@ -334,7 +455,9 @@ pub fn mkdir(
         device,
         true,
         move |w, fs, now| {
-            let ch = w.fss[fs.0 as usize].core.mkdir_entry(&path, owner, now)?;
+            let ch = w.fss[fs.0 as usize]
+                .core
+                .mkdir_entry(&path, owner.clone(), now)?;
             // Seed the creator's dentry cache — it will almost always
             // resolve the new directory next.
             let dentry = &mut w.clients[client.0 as usize].dentry;
@@ -456,10 +579,16 @@ pub fn rename(
         true,
         move |w, fs, _| {
             let ch = w.fss[fs.0 as usize].core.rename_entry(&from, &to)?;
-            // Every client must stop resolving the old name; the mover's
-            // cache learns the new entry immediately.
+            // Every client must stop resolving the old name, and — when the
+            // rename atomically replaced an existing target — stop resolving
+            // the old target and drop its cached pages. The mover's cache
+            // learns the new entry immediately.
             for c in &mut w.clients {
                 c.dentry.invalidate(fs, ch.from_parent, ch.from_name);
+                c.dentry.invalidate(fs, ch.to_parent, ch.to_name);
+                if let Some(rid) = ch.replaced {
+                    c.pool.invalidate_file(fs, rid);
+                }
             }
             let dentry = &mut w.clients[client.0 as usize].dentry;
             dentry.insert(fs, ch.to_parent, ch.to_name, ch.id);
@@ -498,7 +627,11 @@ pub fn truncate(
         inode,
         ByteRange::whole(),
         TokenMode::Write,
-        Box::new(move |sim, w, ()| {
+        Box::new(move |sim, w, r| {
+            if let Err(e) = r {
+                cb(sim, w, Err(e));
+                return;
+            }
             // Flush this client's dirty pages first: data written below
             // the new size must survive the truncate (POSIX), and the
             // cache is invalidated afterwards.
@@ -512,25 +645,24 @@ pub fn truncate(
                         cb(sim, w, Err(e));
                         return;
                     }
-                    let from = client_node(w, client);
-                    let mgr = w.fss[fs.0 as usize].manager_node;
-                    rpc(
+                    manager_rpc(
                         sim,
                         w,
-                        from,
-                        mgr,
-                        move |sim, w| {
+                        client,
+                        fs,
+                        true,
+                        move |sim, w, fs| {
                             let now = sim.now().as_nanos();
                             w.fss[fs.0 as usize].core.truncate(inode, new_size, now)
                         },
-                        move |sim, w, r| {
+                        Box::new(move |sim, w, r| {
                             // Cached pages past the new EOF are stale; drop
                             // the whole file conservatively.
                             if r.is_ok() {
                                 w.clients[client.0 as usize].pool.invalidate_file(fs, inode);
                             }
                             cb(sim, w, r);
-                        },
+                        }),
                     );
                 });
             flush_dirty_pages(sim, w, client, dirty, after_flush);
@@ -569,7 +701,7 @@ pub fn open(
                     id
                 }
                 Err(FsError::NotFound(_)) if flags.writes() => {
-                    let ch = core.create_file_entry(&path, owner, now)?;
+                    let ch = core.create_file_entry(&path, owner.clone(), now)?;
                     dentry.insert(fs, ch.parent, ch.name, ch.id);
                     ch.id
                 }
@@ -604,6 +736,16 @@ pub fn open(
 
 /// Acquire a byte-range token, paying for revocations (including the
 /// revoked holders' dirty-page flushes).
+///
+/// The exchange runs under a two-stage watchdog. Stage one covers the
+/// request leg: if the manager never acknowledges (crashed, recovering, or
+/// the message was lost to a link flap), the attempt is retried with
+/// backoff against the re-resolved acting manager. Stage two covers the
+/// revocation phase with a much longer fuse — revoking holders legitimately
+/// takes as long as their dirty-page flushes, so only a manager that died
+/// *mid-grant* trips it. A retry after the grant was installed but the
+/// reply lost hits the token manager's `already_held` fast path, which
+/// makes re-acquisition idempotent.
 fn acquire_token(
     sim: &mut Sim<GfsWorld>,
     w: &mut GfsWorld,
@@ -612,16 +754,78 @@ fn acquire_token(
     inode: InodeId,
     range: ByteRange,
     mode: TokenMode,
-    cb: Cb<()>,
+    cb: Cb<Result<(), FsError>>,
 ) {
+    let slot: Once<Result<(), FsError>> = Rc::new(RefCell::new(Some(cb)));
+    acquire_token_attempt(sim, w, client, fs, inode, range, mode, 0, None, slot);
+}
+
+#[allow(clippy::too_many_arguments)]
+fn acquire_token_attempt(
+    sim: &mut Sim<GfsWorld>,
+    w: &mut GfsWorld,
+    client: ClientId,
+    fs: FsId,
+    inode: InodeId,
+    range: ByteRange,
+    mode: TokenMode,
+    attempt: u32,
+    prev_mgr: Option<NodeId>,
+    cb: Once<Result<(), FsError>>,
+) {
+    // Checked per attempt, not just on entry: a previous attempt may have
+    // delivered the grant even though its reply raced the watchdog.
     if w.clients[client.0 as usize].holds_token(fs, inode, range, mode) {
-        cb(sim, w, ());
+        if let Some(cb) = take(&cb) {
+            cb(sim, w, Ok(()));
+        }
         return;
     }
+    let mgr = w.fss[fs.0 as usize].manager_endpoint();
+    log_failover(sim, w, client, prev_mgr, mgr);
     let from = client_node(w, client);
-    let mgr = w.fss[fs.0 as usize].manager_node;
     let rpcb = w.costs.rpc_bytes;
+    let timeout = w.costs.request_timeout;
+
+    let retry = move |sim: &mut Sim<GfsWorld>, w: &mut GfsWorld, cb: Once<Result<(), FsError>>| {
+        w.recovery
+            .log(sim.now(), RecoveryWhat::TimeoutDetected { client, server: mgr });
+        if attempt >= w.costs.max_retries {
+            if let Some(cb) = take(&cb) {
+                cb(sim, w, Err(FsError::Timeout));
+            }
+            return;
+        }
+        let delay = backoff_delay(w, attempt);
+        sim.after(delay, move |sim, w| {
+            acquire_token_attempt(
+                sim,
+                w,
+                client,
+                fs,
+                inode,
+                range,
+                mode,
+                attempt + 1,
+                Some(mgr),
+                cb,
+            );
+        });
+    };
+
+    // Stage-one watchdog: request → manager acknowledgment.
+    let ack_watchdog = {
+        let cb = cb.clone();
+        sim.timer_after(timeout, move |sim, w| retry(sim, w, cb))
+    };
+
     Network::send_msg(sim, w, from, mgr, rpcb, move |sim, w| {
+        {
+            let inst = &w.fss[fs.0 as usize];
+            if inst.down_servers.contains(&mgr) || inst.mgr.recovering || inst.mgr.acting != mgr {
+                return; // dropped; stage-one watchdog will retry
+            }
+        }
         let outcome = w.fss[fs.0 as usize]
             .tokens
             .acquire(inode, client, range, mode);
@@ -630,16 +834,49 @@ fn acquire_token(
         holders.sort();
         holders.dedup();
 
+        // Immediate acknowledgment so the requester stops the short fuse;
+        // the grant itself arrives only after every revocation completes.
+        // The fuse slot hands the stage-two watchdog from the ack's
+        // delivery (where it is armed) to the grant's (where it is
+        // disarmed); the ack always travels first on the same path.
+        let fuse_slot: Rc<Cell<Option<simcore::TimerId>>> = Rc::new(Cell::new(None));
+        let rpcb = w.costs.rpc_bytes;
+        let cb_ack = cb.clone();
+        let fuse_arm = fuse_slot.clone();
+        Network::send_msg(sim, w, mgr, from, rpcb, move |sim, w| {
+            if !sim.cancel_timer(ack_watchdog) {
+                return; // a retry owns the acquire now
+            }
+            // Stage-two watchdog: revocations can legitimately take flush
+            // time, so the fuse is generous; it only trips if the manager
+            // (or the grant reply's path) died mid-exchange.
+            let fuse = SimDuration::from_secs_f64(
+                w.costs.request_timeout.as_secs_f64() * (2 + w.costs.max_retries) as f64,
+            );
+            fuse_arm.set(Some(sim.timer_after(fuse, move |sim, w| retry(sim, w, cb_ack))));
+        });
+
         let finish: Cb<()> = Box::new(move |sim: &mut Sim<GfsWorld>, w: &mut GfsWorld, ()| {
             // Grant reply to the requester.
             let rpcb = w.costs.rpc_bytes;
             Network::send_msg(sim, w, mgr, from, rpcb, move |sim, w| {
-                w.clients[client.0 as usize]
+                if let Some(t) = fuse_slot.take() {
+                    if !sim.cancel_timer(t) {
+                        return; // stage-two fuse fired; the retry owns this
+                    }
+                }
+                let held = w.clients[client.0 as usize]
                     .held_tokens
                     .entry((fs, inode))
-                    .or_default()
-                    .push((range, mode));
-                cb(sim, w, ());
+                    .or_default();
+                // A retried acquire can deliver the same grant twice; the
+                // mirror must not double-count it.
+                if !held.contains(&(range, mode)) {
+                    held.push((range, mode));
+                }
+                if let Some(cb) = take(&cb) {
+                    cb(sim, w, Ok(()));
+                }
             });
         });
         let join = Join::new(holders.len(), finish);
@@ -1184,7 +1421,11 @@ pub fn read(
         inode,
         ByteRange::new(offset, end),
         TokenMode::Read,
-        Box::new(move |sim, w, ()| {
+        Box::new(move |sim, w, r| {
+            if let Err(e) = r {
+                cb(sim, w, Err(e));
+                return;
+            }
             // Read atomicity: defer revocations while assembling.
             inflight_enter(w, client, fs, inode);
             let first = offset / block_size;
@@ -1365,19 +1606,22 @@ pub fn write(
         inode,
         ByteRange::new(offset, end),
         TokenMode::Write,
-        Box::new(move |sim, w, ()| {
+        Box::new(move |sim, w, r| {
+            if let Err(e) = r {
+                cb(sim, w, Err(e));
+                return;
+            }
             // The token is held: mark the operation in flight so a
             // concurrent revocation waits for us (write atomicity).
             inflight_enter(w, client, fs, inode);
             // Allocation + size RPC to the manager.
-            let from = client_node(w, client);
-            let mgr = w.fss[fs.0 as usize].manager_node;
-            rpc(
+            manager_rpc(
                 sim,
                 w,
-                from,
-                mgr,
-                move |sim, w| -> Result<(), FsError> {
+                client,
+                fs,
+                true,
+                move |sim, w, fs| -> Result<(), FsError> {
                     let now = sim.now().as_nanos();
                     let core = &mut w.fss[fs.0 as usize].core;
                     let first = offset / block_size;
@@ -1387,7 +1631,7 @@ pub fn write(
                     }
                     core.note_write(inode, offset, end - offset, now)
                 },
-                move |sim, w, alloc_result| {
+                Box::new(move |sim, w, alloc_result| {
                     if let Err(e) = alloc_result {
                         inflight_exit(w, client, fs, inode);
                         cb(sim, w, Err(e));
@@ -1471,7 +1715,7 @@ pub fn write(
                             );
                         }
                     }
-                },
+                }),
             );
         }),
     );
@@ -1514,23 +1758,27 @@ pub fn close(
             cb(sim, w, Err(e));
             return;
         }
-        let from = client_node(w, client);
-        let mgr = w.fss[fs.0 as usize].manager_node;
-        rpc(
+        manager_rpc(
             sim,
             w,
-            from,
-            mgr,
-            move |_sim, w| {
+            client,
+            fs,
+            true,
+            move |_sim, w, fs| {
                 w.fss[fs.0 as usize].tokens.release_all(inode, client);
+                Ok(())
             },
-            move |sim, w, ()| {
+            Box::new(move |sim, w, r: Result<(), FsError>| {
+                if let Err(e) = r {
+                    cb(sim, w, Err(e));
+                    return;
+                }
                 let c = &mut w.clients[client.0 as usize];
                 c.held_tokens.remove(&(fs, inode));
                 c.handles.remove(&handle);
                 c.prefetch.remove(&handle);
                 cb(sim, w, Ok(()));
-            },
+            }),
         );
     });
 }

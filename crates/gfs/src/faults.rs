@@ -141,6 +141,26 @@ impl FaultPlan {
         self.link_down(at, link.clone()).link_up(at + outage, link)
     }
 
+    /// `count` link flaps: the first goes down at `start`, each next one
+    /// `period` later, each outage lasting `outage` (must be shorter than
+    /// `period` or the link never comes up between flaps).
+    pub fn link_flap_every(
+        mut self,
+        start: SimTime,
+        period: SimDuration,
+        outage: SimDuration,
+        count: u32,
+        link: impl Into<String>,
+    ) -> Self {
+        assert!(outage < period, "outage must fit inside the flap period");
+        let link = link.into();
+        for i in 0..count {
+            let at = start + SimDuration::from_secs_f64(period.as_secs_f64() * f64::from(i));
+            self = self.link_flap(at, link.clone(), outage);
+        }
+        self
+    }
+
     /// NSD server crash at `at`.
     pub fn server_crash(mut self, at: SimTime, fs: FsId, server: impl Into<String>) -> Self {
         self.push(
@@ -198,6 +218,179 @@ impl FaultPlan {
     /// Earliest scheduled fault, if any.
     pub fn first_at(&self) -> Option<SimTime> {
         self.events.iter().map(|e| e.at).min()
+    }
+}
+
+/// A fault keyed to workload *progress* rather than wall-clock: it strikes
+/// when the driving scenario reports that `at_op` operations have
+/// completed ("kill NSD 12 at op 400k"). Progress faults compose with the
+/// time-based [`FaultPlan`]; a scenario can carry both.
+#[derive(Clone, Debug)]
+pub struct ProgressEvent {
+    /// Fires once the op counter reaches this value (`0` = before the
+    /// first op).
+    pub at_op: u64,
+    /// What it does.
+    pub kind: FaultKind,
+    /// When set, the matching restorative fault (link up, server restart,
+    /// heal) is scheduled this long after the fault strikes.
+    pub heal_after: Option<SimDuration>,
+}
+
+/// A deterministic schedule of progress-keyed faults.
+#[derive(Clone, Debug, Default)]
+pub struct ProgressPlan {
+    /// The schedule; [`ProgressInjector`] sorts it by `at_op`.
+    pub events: Vec<ProgressEvent>,
+}
+
+impl ProgressPlan {
+    /// Empty plan.
+    pub fn new() -> Self {
+        ProgressPlan::default()
+    }
+
+    /// No events?
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Append an arbitrary progress event.
+    pub fn push(&mut self, at_op: u64, kind: FaultKind, heal_after: Option<SimDuration>) -> &mut Self {
+        self.events.push(ProgressEvent {
+            at_op,
+            kind,
+            heal_after,
+        });
+        self
+    }
+
+    /// Crash an NSD server once `at_op` ops have completed; restart it
+    /// `heal_after` later when given.
+    pub fn server_crash_at_op(
+        mut self,
+        at_op: u64,
+        fs: FsId,
+        server: impl Into<String>,
+        heal_after: Option<SimDuration>,
+    ) -> Self {
+        self.push(
+            at_op,
+            FaultKind::ServerCrash {
+                fs,
+                server: server.into(),
+            },
+            heal_after,
+        );
+        self
+    }
+
+    /// Take a link down once `at_op` ops have completed, back up `outage`
+    /// later.
+    pub fn link_flap_at_op(
+        mut self,
+        at_op: u64,
+        link: impl Into<String>,
+        outage: SimDuration,
+    ) -> Self {
+        self.push(
+            at_op,
+            FaultKind::LinkDown { link: link.into() },
+            Some(outage),
+        );
+        self
+    }
+
+    /// Partition a node once `at_op` ops have completed, heal `outage`
+    /// later.
+    pub fn partition_at_op(
+        mut self,
+        at_op: u64,
+        node: impl Into<String>,
+        outage: SimDuration,
+    ) -> Self {
+        self.push(
+            at_op,
+            FaultKind::Partition { node: node.into() },
+            Some(outage),
+        );
+        self
+    }
+
+    /// Shift every threshold by `delta` ops (scenarios use this to offset
+    /// user-facing thresholds past an internal setup phase).
+    pub fn offset(mut self, delta: u64) -> Self {
+        for ev in &mut self.events {
+            ev.at_op += delta;
+        }
+        self
+    }
+}
+
+/// The restorative counterpart of a fault, for `heal_after` scheduling.
+/// `None` for faults that heal themselves (disk rebuild) or have no
+/// restorative twin.
+fn restorative_of(kind: &FaultKind) -> Option<FaultKind> {
+    match kind {
+        FaultKind::LinkDown { link } => Some(FaultKind::LinkUp { link: link.clone() }),
+        FaultKind::LinkDegrade { link, .. } => Some(FaultKind::LinkDegrade {
+            link: link.clone(),
+            factor: 1.0,
+        }),
+        FaultKind::ServerCrash { fs, server } => Some(FaultKind::ServerRestart {
+            fs: *fs,
+            server: server.clone(),
+        }),
+        FaultKind::Partition { node } => Some(FaultKind::Heal { node: node.clone() }),
+        FaultKind::LinkUp { .. }
+        | FaultKind::ServerRestart { .. }
+        | FaultKind::DiskFail { .. }
+        | FaultKind::Heal { .. } => None,
+    }
+}
+
+/// Applies a [`ProgressPlan`] as the driving scenario reports progress.
+/// The scenario calls [`ProgressInjector::advance`] with its running op
+/// count (typically from each op-completion callback); due events fire in
+/// `at_op` order, exactly once, with their restoratives scheduled on the
+/// sim clock.
+#[derive(Debug)]
+pub struct ProgressInjector {
+    events: Vec<ProgressEvent>,
+    next: usize,
+}
+
+impl ProgressInjector {
+    /// Build from a plan (sorts a copy of the schedule by `at_op`,
+    /// preserving insertion order among equal thresholds).
+    pub fn new(plan: &ProgressPlan) -> Self {
+        let mut events = plan.events.clone();
+        events.sort_by_key(|e| e.at_op);
+        ProgressInjector { events, next: 0 }
+    }
+
+    /// Fire every not-yet-fired event whose threshold is `<= ops_done`.
+    pub fn advance(&mut self, sim: &mut Sim<GfsWorld>, w: &mut GfsWorld, ops_done: u64) {
+        while self.next < self.events.len() && self.events[self.next].at_op <= ops_done {
+            let ev = self.events[self.next].clone();
+            self.next += 1;
+            apply_fault(sim, w, ev.kind.clone());
+            if let Some(outage) = ev.heal_after {
+                if let Some(restore) = restorative_of(&ev.kind) {
+                    sim.after(outage, move |sim, w| apply_fault(sim, w, restore));
+                }
+            }
+        }
+    }
+
+    /// Events fired so far.
+    pub fn fired(&self) -> usize {
+        self.next
+    }
+
+    /// Has every event fired?
+    pub fn done(&self) -> bool {
+        self.next == self.events.len()
     }
 }
 
@@ -287,7 +480,7 @@ impl RecoveryLog {
 pub fn inject(sim: &mut Sim<GfsWorld>, plan: &FaultPlan) {
     for ev in &plan.events {
         let kind = ev.kind.clone();
-        sim.at(ev.at, move |sim, w| apply(sim, w, kind));
+        sim.at(ev.at, move |sim, w| apply_fault(sim, w, kind));
     }
 }
 
@@ -298,7 +491,10 @@ fn named_node(w: &GfsWorld, name: &str) -> NodeId {
         .unwrap_or_else(|| panic!("fault plan names unknown node {name:?}"))
 }
 
-fn apply(sim: &mut Sim<GfsWorld>, w: &mut GfsWorld, kind: FaultKind) {
+/// Apply one fault to the world right now. [`inject`] and
+/// [`ProgressInjector::advance`] both funnel through this; scenarios may
+/// also call it directly.
+pub fn apply_fault(sim: &mut Sim<GfsWorld>, w: &mut GfsWorld, kind: FaultKind) {
     let now = sim.now();
     match kind {
         FaultKind::LinkDown { link } => {
@@ -337,6 +533,21 @@ fn apply(sim: &mut Sim<GfsWorld>, w: &mut GfsWorld, kind: FaultKind) {
                 now,
                 RecoveryWhat::FaultInjected(format!("NSD server {server} crashed")),
             );
+            // Killing the acting namespace manager also starts namespace
+            // recovery: the dedup table is gone, a takeover is scheduled,
+            // and metadata RPCs are dropped (clients retry) until the WAL
+            // has been replayed on the new manager.
+            let inst = &mut w.fss[fs.0 as usize];
+            if inst.mgr.acting == node && !inst.mgr.recovering {
+                inst.mgr.crash();
+                w.recovery.log(
+                    now,
+                    RecoveryWhat::FaultInjected(format!(
+                        "namespace manager {server} lost; WAL recovery started"
+                    )),
+                );
+                schedule_manager_recovery(sim, w, fs);
+            }
         }
         FaultKind::ServerRestart { fs, server } => {
             let node = named_node(w, &server);
@@ -387,6 +598,40 @@ fn apply(sim: &mut Sim<GfsWorld>, w: &mut GfsWorld, kind: FaultKind) {
                 .log(now, RecoveryWhat::Restored(format!("node {node} healed")));
         }
     }
+}
+
+/// Schedule the end of a namespace-manager recovery: a fixed takeover cost
+/// plus a per-WAL-entry replay charge.
+fn schedule_manager_recovery(sim: &mut Sim<GfsWorld>, w: &GfsWorld, fs: FsId) {
+    let inst = &w.fss[fs.0 as usize];
+    let delay = SimDuration::from_secs_f64(
+        w.costs.manager_recovery_base.as_secs_f64()
+            + w.costs.manager_replay_per_op.as_secs_f64() * inst.mgr.wal_len() as f64,
+    );
+    sim.after(delay, move |sim, w| finish_manager_recovery(sim, w, fs));
+}
+
+/// Recovery timer fired: hand the namespace to the first healthy server in
+/// the ring. With every server still down, probe again after the base
+/// takeover delay (a restart will eventually supply a candidate).
+fn finish_manager_recovery(sim: &mut Sim<GfsWorld>, w: &mut GfsWorld, fs: FsId) {
+    let inst = &mut w.fss[fs.0 as usize];
+    if !inst.mgr.recovering {
+        return;
+    }
+    let Some(candidate) = inst.manager_candidate() else {
+        let delay = w.costs.manager_recovery_base;
+        sim.after(delay, move |sim, w| finish_manager_recovery(sim, w, fs));
+        return;
+    };
+    let replayed = inst.mgr.recover(candidate);
+    let epoch = inst.mgr.epoch;
+    w.recovery.log(
+        sim.now(),
+        RecoveryWhat::Restored(format!(
+            "namespace manager recovered (epoch {epoch}, replayed {replayed} ops)"
+        )),
+    );
 }
 
 #[cfg(test)]

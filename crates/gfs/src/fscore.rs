@@ -282,6 +282,9 @@ pub struct RenameChange {
     pub to_parent: InodeId,
     /// Destination entry name.
     pub to_name: NameId,
+    /// Inode atomically replaced at the destination (POSIX rename over an
+    /// existing target), if any — callers must drop its cached pages.
+    pub replaced: Option<InodeId>,
 }
 
 /// The filesystem core.
@@ -731,20 +734,88 @@ impl FsCore {
     }
 
     /// Rename, reporting both entries for dentry invalidation.
+    ///
+    /// POSIX semantics: an existing target is atomically replaced (file over
+    /// file; directory over *empty* directory), renaming a path onto itself
+    /// is a no-op success, and moving a directory into its own subtree is
+    /// rejected (`InvalidArgument`) — the cycle check walks the destination's
+    /// parent chain, which is exactly the to-path's directory prefix since
+    /// paths here have no `..` components.
     pub fn rename_entry(&mut self, from: &str, to: &str) -> Result<RenameChange, FsError> {
         let id = self.lookup(from)?;
+        let (from_parent, from_name) = self.parent_of(from)?;
+        let from_nid = self.names.get(from_name).expect("resolved above");
         let (to_parent, to_name) = self.parent_of(to)?;
         if !self.inode(to_parent)?.is_dir() {
             return Err(self.err_not_a_directory(to));
         }
-        let to_nid = self.names.intern(to_name);
-        if let InodeKind::Dir { entries } = &self.inode(to_parent)?.kind {
-            if entries.contains_key(&to_nid) {
-                return Err(self.err_already_exists(to));
+        let src_is_dir = self.inode(id)?.is_dir();
+        if src_is_dir {
+            // Walk the destination's directory prefix; hitting `id` means
+            // `to` lives inside the tree being moved.
+            let trimmed = to.trim_end_matches('/');
+            let cut = trimmed.rfind('/').expect("validated absolute above");
+            let mut cur = ROOT;
+            let mut cycle = cur == id;
+            for comp in trimmed[..cut].split('/') {
+                if comp.is_empty() {
+                    continue;
+                }
+                cur = self.step(cur, comp, to)?;
+                cycle |= cur == id;
+            }
+            if cycle {
+                self.meta.bump_alloc(from.len() + to.len());
+                return Err(FsError::InvalidArgument(format!(
+                    "rename would create a cycle: {from} -> {to}"
+                )));
             }
         }
-        let (from_parent, from_name) = self.parent_of(from)?;
-        let from_nid = self.names.get(from_name).expect("resolved above");
+        let to_nid = self.names.intern(to_name);
+        let existing = match &self.inode(to_parent)?.kind {
+            InodeKind::Dir { entries } => entries.get(&to_nid).copied(),
+            InodeKind::File { .. } => unreachable!("checked is_dir above"),
+        };
+        let mut replaced = None;
+        if let Some(tid) = existing {
+            if tid == id {
+                // Renaming a path onto itself: POSIX says do nothing.
+                return Ok(RenameChange {
+                    id,
+                    from_parent,
+                    from_name: from_nid,
+                    to_parent,
+                    to_name: to_nid,
+                    replaced: None,
+                });
+            }
+            match &self.inode(tid)?.kind {
+                InodeKind::Dir { entries } => {
+                    if !src_is_dir {
+                        self.meta.bump_alloc(to.len());
+                        return Err(FsError::IsADirectory(to.to_string()));
+                    }
+                    if !entries.is_empty() {
+                        self.meta.bump_alloc(to.len());
+                        return Err(FsError::NotEmpty(to.to_string()));
+                    }
+                }
+                InodeKind::File { .. } => {
+                    if src_is_dir {
+                        return Err(self.err_not_a_directory(to));
+                    }
+                }
+            }
+            // Atomic replace: the target inode dies; free its blocks.
+            if let InodeKind::File { blocks, .. } = &self.inode(tid)?.kind {
+                for addr in blocks.iter().flatten().copied().collect::<Vec<_>>() {
+                    self.alloc[addr.nsd as usize].free(addr.block);
+                    self.data[addr.nsd as usize].remove(&addr.block);
+                }
+            }
+            self.inodes[tid.0 as usize] = None;
+            replaced = Some(tid);
+        }
         if let InodeKind::Dir { entries } = &mut self.inode_mut(from_parent)?.kind {
             entries.remove(&from_nid);
         }
@@ -758,6 +829,7 @@ impl FsCore {
             from_name: from_nid,
             to_parent,
             to_name: to_nid,
+            replaced,
         })
     }
 
@@ -971,6 +1043,54 @@ impl FsCore {
             .enumerate()
             .filter(|(_, i)| i.is_some())
             .map(|(idx, _)| InodeId(idx as u64))
+    }
+
+    /// Structural fingerprint of the whole namespace: a name-sorted
+    /// recursive walk from the root mixing every entry's name, kind, and
+    /// file size. Two cores fingerprint equal iff their visible trees agree
+    /// — the chaos harness compares a crash-recovered namespace against a
+    /// fault-free oracle run with this. Timestamps are deliberately
+    /// excluded: a retried op lands at a later sim-time than in the oracle
+    /// run, but must produce the same tree.
+    pub fn tree_fingerprint(&self) -> u64 {
+        fn mix(h: u64, v: u64) -> u64 {
+            (h.rotate_left(5) ^ v).wrapping_mul(0x51_7c_c1_b7_27_22_0a_95)
+        }
+        fn walk(fs: &FsCore, id: InodeId, mut h: u64) -> u64 {
+            let ino = fs.inode(id).expect("walk only visits live inodes");
+            match &ino.kind {
+                InodeKind::File { size, .. } => {
+                    h = mix(h, 1);
+                    h = mix(h, *size);
+                }
+                InodeKind::Dir { entries } => {
+                    h = mix(h, 2);
+                    let mut named: Vec<(&str, InodeId)> = entries
+                        .iter()
+                        .map(|(&n, &c)| (fs.names.resolve(n), c))
+                        .collect();
+                    named.sort_unstable_by_key(|&(n, _)| n);
+                    for (name, child) in named {
+                        h = mix(h, name.len() as u64);
+                        for b in name.bytes() {
+                            h = mix(h, u64::from(b));
+                        }
+                        h = walk(fs, child, h);
+                    }
+                }
+            }
+            h
+        }
+        walk(self, ROOT, 0xcbf2_9ce4_8422_2325)
+    }
+
+    /// Child of directory `parent` named `name`, if both exist — the oracle
+    /// the chaos harness audits client dentry caches against.
+    pub fn dir_child(&self, parent: InodeId, name: NameId) -> Option<InodeId> {
+        match &self.inode(parent).ok()?.kind {
+            InodeKind::Dir { entries } => entries.get(&name).copied(),
+            InodeKind::File { .. } => None,
+        }
     }
 
     /// Test hook: overwrite a block pointer without freeing the old block,
@@ -1251,6 +1371,128 @@ mod tests {
         f.rename("/a/x", "/b/y").unwrap();
         assert!(f.lookup("/a/x").is_err());
         assert_eq!(f.lookup("/b/y").unwrap(), id);
+    }
+
+    #[test]
+    fn rename_replaces_file_and_frees_its_blocks() {
+        let mut f = fs();
+        let before = f.free_blocks();
+        let src = f.create_file("/src", owner(), 1).unwrap();
+        let dst = f.create_file("/dst", owner(), 1).unwrap();
+        for b in 0..6 {
+            f.ensure_block(dst, b).unwrap();
+        }
+        f.note_write(dst, 0, 6 * f.config.block_size, 2).unwrap();
+        assert_eq!(f.free_blocks(), before - 6);
+        let ch = f.rename_entry("/src", "/dst").unwrap();
+        assert_eq!(ch.replaced, Some(dst));
+        // The replaced file's blocks are back on the free list, its inode
+        // slot is dead, and the source now answers at the destination.
+        assert_eq!(f.free_blocks(), before);
+        assert!(f.stat_id(dst).is_err());
+        assert!(f.lookup("/src").is_err());
+        assert_eq!(f.lookup("/dst").unwrap(), src);
+        assert!(crate::fsck::fsck(&f).is_clean());
+    }
+
+    #[test]
+    fn rename_replaces_empty_dir_but_not_nonempty() {
+        let mut f = fs();
+        f.mkdir("/a", owner(), 1).unwrap();
+        f.mkdir("/empty", owner(), 1).unwrap();
+        f.mkdir("/full", owner(), 1).unwrap();
+        f.create_file("/full/x", owner(), 2).unwrap();
+        assert!(matches!(
+            f.rename("/a", "/full"),
+            Err(FsError::NotEmpty(_))
+        ));
+        let a = f.lookup("/a").unwrap();
+        let ch = f.rename_entry("/a", "/empty").unwrap();
+        assert!(ch.replaced.is_some());
+        assert_eq!(f.lookup("/empty").unwrap(), a);
+        assert!(f.lookup("/a").is_err());
+        assert!(crate::fsck::fsck(&f).is_clean());
+    }
+
+    #[test]
+    fn rename_kind_mismatch_rejected() {
+        let mut f = fs();
+        f.mkdir("/d", owner(), 1).unwrap();
+        f.create_file("/f", owner(), 1).unwrap();
+        // File over directory: EISDIR. Directory over file: ENOTDIR.
+        assert!(matches!(
+            f.rename("/f", "/d"),
+            Err(FsError::IsADirectory(_))
+        ));
+        assert!(matches!(
+            f.rename("/d", "/f"),
+            Err(FsError::NotADirectory(_))
+        ));
+        // Both survive untouched.
+        assert!(f.lookup("/d").is_ok());
+        assert!(f.lookup("/f").is_ok());
+    }
+
+    #[test]
+    fn rename_into_own_subtree_rejected() {
+        let mut f = fs();
+        f.mkdir("/a", owner(), 1).unwrap();
+        f.mkdir("/a/b", owner(), 1).unwrap();
+        f.mkdir("/a/b/c", owner(), 1).unwrap();
+        for to in ["/a/d", "/a/b/d", "/a/b/c/d"] {
+            assert!(
+                matches!(f.rename("/a", to), Err(FsError::InvalidArgument(_))),
+                "rename /a -> {to} must be a cycle error"
+            );
+        }
+        // A *file* inside the moved dir's old location is fine, as is
+        // moving a dir sideways.
+        f.mkdir("/e", owner(), 1).unwrap();
+        f.rename("/a/b", "/e/b").unwrap();
+        assert!(f.lookup("/e/b/c").is_ok());
+        assert!(crate::fsck::fsck(&f).is_clean());
+    }
+
+    #[test]
+    fn rename_onto_itself_is_noop() {
+        let mut f = fs();
+        f.mkdir("/d", owner(), 1).unwrap();
+        let id = f.create_file("/d/x", owner(), 2).unwrap();
+        let gen_before = f.ns_gen();
+        let ch = f.rename_entry("/d/x", "/d/x").unwrap();
+        assert_eq!(ch.id, id);
+        assert_eq!(ch.replaced, None);
+        assert_eq!(f.lookup("/d/x").unwrap(), id);
+        assert_eq!(
+            f.ns_gen(),
+            gen_before,
+            "a no-op rename must not invalidate path caches"
+        );
+    }
+
+    #[test]
+    fn tree_fingerprint_tracks_visible_tree() {
+        let mut a = fs();
+        let mut b = fs();
+        for f in [&mut a, &mut b] {
+            f.mkdir("/d", owner(), 1).unwrap();
+            f.create_file("/d/x", owner(), 2).unwrap();
+        }
+        assert_eq!(a.tree_fingerprint(), b.tree_fingerprint());
+        // Same shape built in a different op order converges.
+        let mut c = fs();
+        c.mkdir("/d", owner(), 9).unwrap();
+        c.create_file("/d/y", owner(), 9).unwrap();
+        c.create_file("/d/x", owner(), 9).unwrap();
+        c.unlink("/d/y").unwrap();
+        assert_eq!(a.tree_fingerprint(), c.tree_fingerprint());
+        // Any visible difference moves it: extra entry, different name,
+        // different size.
+        b.create_file("/d/z", owner(), 3).unwrap();
+        assert_ne!(a.tree_fingerprint(), b.tree_fingerprint());
+        let id = a.lookup("/d/x").unwrap();
+        a.note_write(id, 0, 100, 4).unwrap();
+        assert_ne!(a.tree_fingerprint(), c.tree_fingerprint());
     }
 
     #[test]
@@ -1644,22 +1886,61 @@ mod tests {
                 Ok(())
             }
 
+            /// Mirrors [`FsCore::rename_entry`]'s POSIX semantics and check
+            /// order exactly (the equivalence test compares error payloads).
             pub fn rename(&mut self, from: &str, to: &str) -> Result<(), FsError> {
                 let id = self.lookup(from)?;
-                let (to_parent, to_name) = self.parent_of(to)?;
-                let to_name = to_name.to_string();
-                match &self.inode(to_parent)?.kind {
-                    RefKind::Dir { entries } => {
-                        if entries.contains_key(&to_name) {
-                            return Err(FsError::AlreadyExists(to.to_string()));
-                        }
-                    }
-                    RefKind::File { .. } => {
-                        return Err(FsError::NotADirectory(to.to_string()));
-                    }
-                }
                 let (from_parent, from_name) = self.parent_of(from)?;
                 let from_name = from_name.to_string();
+                let (to_parent, to_name) = self.parent_of(to)?;
+                let to_name = to_name.to_string();
+                if !matches!(self.inode(to_parent)?.kind, RefKind::Dir { .. }) {
+                    return Err(FsError::NotADirectory(to.to_string()));
+                }
+                let src_is_dir = matches!(self.inode(id)?.kind, RefKind::Dir { .. });
+                if src_is_dir {
+                    let comps = split_path(to)?;
+                    let (_, dirs) = comps.split_last().expect("parent_of succeeded above");
+                    let mut cur = InodeId(0);
+                    let mut cycle = cur == id;
+                    for c in dirs {
+                        let RefKind::Dir { entries } = &self.inode(cur)?.kind else {
+                            unreachable!("prefix resolved by parent_of above")
+                        };
+                        cur = *entries.get(*c).expect("prefix resolved by parent_of above");
+                        cycle |= cur == id;
+                    }
+                    if cycle {
+                        return Err(FsError::InvalidArgument(format!(
+                            "rename would create a cycle: {from} -> {to}"
+                        )));
+                    }
+                }
+                let existing = match &self.inode(to_parent)?.kind {
+                    RefKind::Dir { entries } => entries.get(&to_name).copied(),
+                    RefKind::File { .. } => unreachable!("checked is_dir above"),
+                };
+                if let Some(tid) = existing {
+                    if tid == id {
+                        return Ok(());
+                    }
+                    match &self.inode(tid)?.kind {
+                        RefKind::Dir { entries } => {
+                            if !src_is_dir {
+                                return Err(FsError::IsADirectory(to.to_string()));
+                            }
+                            if !entries.is_empty() {
+                                return Err(FsError::NotEmpty(to.to_string()));
+                            }
+                        }
+                        RefKind::File { .. } => {
+                            if src_is_dir {
+                                return Err(FsError::NotADirectory(to.to_string()));
+                            }
+                        }
+                    }
+                    self.inodes[tid.0 as usize] = None;
+                }
                 let Some(Some(p)) = self.inodes.get_mut(from_parent.0 as usize) else {
                     unreachable!()
                 };

@@ -34,7 +34,10 @@ pub mod types;
 pub mod world;
 
 pub use cache::{PagePool, PrefetchState};
-pub use faults::{inject, FaultEvent, FaultKind, FaultPlan, RecoveryLog, RecoveryWhat};
+pub use faults::{
+    apply_fault, inject, FaultEvent, FaultKind, FaultPlan, ProgressEvent, ProgressInjector,
+    ProgressPlan, RecoveryLog, RecoveryWhat,
+};
 pub use fsck::{fsck, FsckError, FsckReport};
 pub use fscore::{DataMode, FileAttr, FsConfig, FsCore};
 pub use tokens::{ByteRange, TokenManager, TokenMode};
@@ -42,4 +45,4 @@ pub use types::{
     BlockAddr, ClientId, ClusterId, FsError, FsId, Handle, InodeId, NsdId, OpenFlags, Owner,
 };
 pub use stream::{gfs_stream, run_stream, StreamDir, StreamSpec};
-pub use world::{FsParams, GfsWorld, NsdBacking, ProtocolCosts, WorldBuilder};
+pub use world::{FsParams, GfsWorld, ManagerState, NsdBacking, ProtocolCosts, WorldBuilder};

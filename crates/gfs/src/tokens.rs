@@ -355,6 +355,33 @@ impl TokenManager {
             .map_or(&[], |set| set.sorted.as_slice())
     }
 
+    /// Grant pairs that conflict: same inode, overlapping ranges, distinct
+    /// clients, at least one side Write. Revocation exists to make this
+    /// impossible, so the chaos harness asserts it stays 0 — even while
+    /// servers crash and links flap mid-acquire. O(n²) per inode over sets
+    /// that are nearly always a handful of grants.
+    pub fn conflicting_grants(&self) -> usize {
+        let mut n = 0;
+        for shard in &self.shards {
+            for set in shard.values() {
+                let gs = set.sorted.as_slice();
+                for (i, a) in gs.iter().enumerate() {
+                    for b in &gs[i + 1..] {
+                        if b.range.start >= a.range.end {
+                            break; // sorted by start: nothing later overlaps `a`
+                        }
+                        if a.client != b.client
+                            && (a.mode == TokenMode::Write || b.mode == TokenMode::Write)
+                        {
+                            n += 1;
+                        }
+                    }
+                }
+            }
+        }
+        n
+    }
+
     /// Does `client` hold a token covering `range` at strength `mode`?
     /// Binary-searches the inode's interval index.
     pub fn holds(

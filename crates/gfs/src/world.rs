@@ -13,9 +13,11 @@ use gfs_auth::handshake::{AccessMode, ClusterAuth};
 use rand::rngs::StdRng;
 use simcore::{det_rng, Bandwidth, Sim, SimDuration, SimTime};
 use simnet::{NetWorld, Network, NodeId, Topology, TopologyBuilder};
+use simcore::fxhash::FxHashMap;
 use simsan::{Array, ArraySpec};
 use std::any::Any;
 use std::collections::BTreeMap;
+use std::rc::Rc;
 
 /// How an NSD's physical service time is modeled.
 #[derive(Clone, Debug)]
@@ -62,14 +64,102 @@ impl NsdState {
     }
 }
 
+/// The namespace manager's failover state: which node is currently acting
+/// as manager, plus the write-ahead op log that makes manager crashes
+/// survivable.
+///
+/// The namespace itself ([`FsCore`]) models GPFS shared-disk metadata — it
+/// is not lost when the manager node dies. What *is* lost is the manager's
+/// volatile duplicate-suppression table: the record of which client op ids
+/// have already been applied, which is what lets a client safely retry a
+/// mutation whose reply was lost in the crash. Every acknowledged mutation
+/// is therefore appended to a WAL at application time; recovery re-reads
+/// the log (charged per entry, see
+/// [`ProtocolCosts::manager_replay_per_op`]) to rebuild the table before
+/// the new manager starts answering. Token state survives for the same
+/// reason real GPFS recovers it: the surviving clients' token mirrors are
+/// replayed to the new manager during the same window.
+pub struct ManagerState {
+    /// Node currently acting as namespace manager. Starts as the
+    /// configured [`FsInstance::manager_node`]; changes on failover.
+    pub acting: NodeId,
+    /// Manager incarnation, bumped each time recovery completes.
+    pub epoch: u64,
+    /// True between a manager crash and the end of WAL replay; requests
+    /// arriving in this window are dropped (clients retry).
+    pub recovering: bool,
+    /// Write-ahead log: `(op id, recorded result)` per acknowledged
+    /// mutation, in application order. Survives crashes.
+    wal: Vec<(u64, Rc<dyn Any>)>,
+    /// Volatile dedup table: op id → recorded result. Wiped by a crash,
+    /// rebuilt from the WAL by recovery.
+    applied: FxHashMap<u64, Rc<dyn Any>>,
+    /// Total WAL entries replayed across all recoveries (observability).
+    pub replayed: u64,
+}
+
+impl ManagerState {
+    /// Fresh state with `acting` as the configured manager.
+    pub fn new(acting: NodeId) -> Self {
+        ManagerState {
+            acting,
+            epoch: 0,
+            recovering: false,
+            wal: Vec::new(),
+            applied: FxHashMap::default(),
+            replayed: 0,
+        }
+    }
+
+    /// The recorded result of an already-applied op, if any.
+    pub fn applied_result(&self, op_id: u64) -> Option<Rc<dyn Any>> {
+        self.applied.get(&op_id).cloned()
+    }
+
+    /// Record a mutation's result: WAL append + dedup-table insert.
+    pub fn record(&mut self, op_id: u64, result: Rc<dyn Any>) {
+        self.wal.push((op_id, result.clone()));
+        self.applied.insert(op_id, result);
+    }
+
+    /// Number of ops in the WAL (drives the replay-time charge).
+    pub fn wal_len(&self) -> usize {
+        self.wal.len()
+    }
+
+    /// The manager node died: volatile state is gone.
+    pub fn crash(&mut self) {
+        self.applied.clear();
+        self.recovering = true;
+    }
+
+    /// Recovery completed on `new_acting`: rebuild the dedup table from
+    /// the WAL (the observable replay) and start answering again. Returns
+    /// the number of entries replayed.
+    pub fn recover(&mut self, new_acting: NodeId) -> u64 {
+        let mut n = 0u64;
+        for (op, r) in &self.wal {
+            self.applied.insert(*op, r.clone());
+            n += 1;
+        }
+        self.acting = new_acting;
+        self.recovering = false;
+        self.epoch += 1;
+        self.replayed += n;
+        n
+    }
+}
+
 /// One filesystem instance: core state plus its serving infrastructure.
 pub struct FsInstance {
     /// On-disk state.
     pub core: FsCore,
     /// Byte-range token manager (runs on the manager node).
     pub tokens: TokenManager,
-    /// Filesystem/token/configuration manager node.
+    /// Configured (home) filesystem/token/configuration manager node.
     pub manager_node: NodeId,
+    /// Namespace-manager failover state (acting node, WAL, dedup table).
+    pub mgr: ManagerState,
     /// The owning (serving) cluster.
     pub owning_cluster: ClusterId,
     /// NSD server nodes; NSD `i` is served by `nsd_servers[i % len]`.
@@ -116,6 +206,42 @@ impl FsInstance {
     /// Bring a failed server back.
     pub fn restore_server(&mut self, node: NodeId) {
         self.down_servers.remove(&node);
+    }
+
+    /// Is the acting namespace manager able to answer right now? False
+    /// while the acting node is down or WAL replay is in progress —
+    /// requests in that window are dropped and clients ride their retry
+    /// timers through it.
+    pub fn manager_available(&self) -> bool {
+        !self.mgr.recovering && !self.down_servers.contains(&self.mgr.acting)
+    }
+
+    /// The next healthy server in the ring to take over as namespace
+    /// manager, preferring the configured home node.
+    pub fn manager_candidate(&self) -> Option<NodeId> {
+        std::iter::once(self.manager_node)
+            .chain(self.nsd_servers.iter().copied())
+            .find(|n| !self.down_servers.contains(n))
+    }
+
+    /// Resolve the manager endpoint for a client request.
+    ///
+    /// When the acting manager is dead but no timed recovery is underway —
+    /// a direct [`FsInstance::fail_server`] with no fault-plan bookkeeping
+    /// — a new acting manager is elected on the spot, modeling GPFS's
+    /// configuration manager reassigning the fs-manager role
+    /// instantaneously. Fault-plan crashes instead go through
+    /// [`ManagerState::crash`] + WAL replay, and requests during that
+    /// window keep targeting the dead node (and time out) until recovery
+    /// finishes.
+    pub fn manager_endpoint(&mut self) -> NodeId {
+        if !self.mgr.recovering && self.down_servers.contains(&self.mgr.acting) {
+            if let Some(c) = self.manager_candidate() {
+                self.mgr.crash();
+                self.mgr.recover(c);
+            }
+        }
+        self.mgr.acting
     }
 
     /// The streaming endpoint behind server slot `i`: the storage
@@ -208,9 +334,20 @@ pub struct Client {
     /// Dentry cache: `(fs, parent, name) -> inode`, filled by path
     /// resolution at the manager and invalidated on remove/rename.
     pub dentry: DentryCache,
+    /// Sequence number for manager-op ids (see [`Client::next_op_id`]).
+    pub next_op_seq: u64,
 }
 
 impl Client {
+    /// A fresh globally-unique op id for a manager RPC: the client id in
+    /// the high 32 bits, a per-client sequence below. Retries of one
+    /// operation reuse the id — that is what the manager's dedup table
+    /// keys on for exactly-once semantics.
+    pub fn next_op_id(&mut self) -> u64 {
+        self.next_op_seq += 1;
+        (u64::from(self.id.0) << 32) | (self.next_op_seq & 0xffff_ffff)
+    }
+
     /// Does the client-side token mirror cover the request?
     pub fn holds_token(&self, fs: FsId, inode: InodeId, range: ByteRange, mode: TokenMode) -> bool {
         self.held_tokens
@@ -245,6 +382,12 @@ pub struct ProtocolCosts {
     /// Retry budget per request; exhausting it surfaces
     /// [`crate::types::FsError::Timeout`].
     pub max_retries: u32,
+    /// Fixed cost of a namespace-manager takeover (leader election + log
+    /// open) before WAL replay starts.
+    pub manager_recovery_base: SimDuration,
+    /// Per-WAL-entry replay cost during manager recovery; total recovery
+    /// time is `manager_recovery_base + manager_replay_per_op × wal_len`.
+    pub manager_replay_per_op: SimDuration,
 }
 
 impl Default for ProtocolCosts {
@@ -257,6 +400,8 @@ impl Default for ProtocolCosts {
             request_timeout: SimDuration::from_millis(1500),
             retry_base: SimDuration::from_millis(100),
             max_retries: 6,
+            manager_recovery_base: SimDuration::from_millis(250),
+            manager_replay_per_op: SimDuration::from_micros(2),
         }
     }
 }
@@ -545,6 +690,7 @@ impl WorldBuilder {
                     core: FsCore::create(p.config),
                     tokens: TokenManager::new(),
                     manager_node: p.manager,
+                    mgr: ManagerState::new(p.manager),
                     owning_cluster: ClusterId(cl as u32),
                     nsd_servers: p.nsd_servers,
                     storage_nodes: p.storage_nodes,
@@ -569,6 +715,7 @@ impl WorldBuilder {
                 held_tokens: BTreeMap::new(),
                 inflight: BTreeMap::new(),
                 dentry: DentryCache::new(),
+                next_op_seq: 0,
             })
             .collect();
         let world = GfsWorld {

@@ -1,0 +1,345 @@
+//! # chaos — the invariant-checking harness for fault-injected storms
+//!
+//! The metadata storm proves the namespace scales; this module proves it
+//! *survives*. A chaos run is an ordinary storm with a [`ChaosSpec`]
+//! attached — NSD servers crash at op thresholds, WAN links flap, the
+//! namespace manager dies and replays its WAL — and the harness checks the
+//! invariants that must hold anyway:
+//!
+//! * **Determinism** — the same `ChaosSpec` + seed produces a bit-identical
+//!   [`StormReport`] at any sweep-thread count. Faults, timeouts, backoffs
+//!   and recoveries are all simulation events inside isolated per-point
+//!   worlds, so chaos does not get to be flaky.
+//! * **Eventual success** — every client RPC eventually lands: `gave_up`
+//!   (ops that exhausted the retry budget) stays 0 as long as outages are
+//!   shorter than the retry window.
+//! * **Post-storm health** — fsck comes back clean, op chains drain, no
+//!   watchdog timers leak, token state is conflict-free and client token
+//!   mirrors / dentry caches agree with the manager and the live tree
+//!   ([`world_invariants`], also evaluated inside every storm point).
+//! * **Exactly-once** — a manager kill/restart mid-storm recovers by WAL
+//!   replay and leaves the tree *identical* to a fault-free oracle run
+//!   ([`check_manager_recovery`]): retried mutations are deduplicated, not
+//!   reapplied.
+//!
+//! The checks return human-readable violation lists instead of panicking,
+//! so tests, the perf harness and ci smoke stages can all reuse them.
+
+use crate::metadata_storm::{
+    run_chaos_storm_with_threads, ChaosSpec, StormConfig, StormReport,
+};
+use gfs::faults::ProgressPlan;
+use gfs::world::GfsWorld;
+use simcore::{Sim, SimDuration};
+
+/// Audit a drained storm world. Returns one message per violated
+/// invariant; empty means healthy. Cheap relative to the storm itself
+/// (linear in clients × cached entries), so every storm point runs it —
+/// healthy runs assert the same invariants chaos runs do.
+pub fn world_invariants(sim: &Sim<GfsWorld>, w: &GfsWorld) -> Vec<String> {
+    let mut v = Vec::new();
+
+    // Every armed watchdog/fuse must have fired or been cancelled by the
+    // exchange that created it.
+    if sim.timers_pending() != 0 {
+        v.push(format!(
+            "{} watchdog timers still live after drain",
+            sim.timers_pending()
+        ));
+    }
+
+    for c in &w.clients {
+        // Op chains completed, so no data operation can still be pinning a
+        // token against revocation.
+        if !c.inflight.is_empty() {
+            v.push(format!(
+                "client {} still marks {} inode(s) in-flight after drain",
+                c.id.0,
+                c.inflight.len()
+            ));
+        }
+
+        // The client-side token mirror must be a subset of what the manager
+        // actually granted: believing in a token the manager revoked (or
+        // never granted) is how silent data corruption starts.
+        for ((fs, inode), grants) in &c.held_tokens {
+            let tm = &w.fss[fs.0 as usize].tokens;
+            for (range, mode) in grants {
+                if !tm.holds(*inode, c.id, *range, *mode) {
+                    v.push(format!(
+                        "client {} mirrors a token the manager does not hold: \
+                         inode {} {range:?} {mode:?}",
+                        c.id.0, inode.0
+                    ));
+                }
+            }
+        }
+
+        // Dentry coherence: positive entries are only dropped by explicit
+        // invalidation broadcasts, so any disagreement with the live tree
+        // means an unlink/rename invalidation was lost along the way.
+        for (fs, parent, name, cached) in c.dentry.entries() {
+            let live = w.fss[fs.0 as usize].core.dir_child(parent, name);
+            if live != Some(cached) {
+                v.push(format!(
+                    "client {} dentry stale: ({}, name {}) cached inode {} but tree has {:?}",
+                    c.id.0, parent.0, name.0, cached.0, live
+                ));
+            }
+        }
+    }
+
+    // No two clients may end up with overlapping write authority, no matter
+    // how many acquire retries and revocations raced through the faults.
+    for (i, inst) in w.fss.iter().enumerate() {
+        let n = inst.tokens.conflicting_grants();
+        if n != 0 {
+            v.push(format!("fs {i}: {n} conflicting token grant pair(s) coexist"));
+        }
+        if inst.mgr.recovering {
+            v.push(format!("fs {i}: manager still mid-recovery after drain"));
+        }
+    }
+
+    v
+}
+
+/// Verdict of a chaos storm: the (serial) report plus every violated
+/// invariant. Clean means the storm survived the faults with all
+/// guarantees intact.
+#[derive(Clone, Debug)]
+pub struct ChaosVerdict {
+    /// The storm's merged report (from the single-thread run).
+    pub report: StormReport,
+    /// Violations, empty when every invariant held.
+    pub violations: Vec<String>,
+}
+
+impl ChaosVerdict {
+    /// Did every invariant hold?
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Panic with the full violation list unless clean — the one-liner for
+    /// tests.
+    pub fn assert_clean(&self) {
+        assert!(
+            self.is_clean(),
+            "chaos storm violated {} invariant(s):\n  {}",
+            self.violations.len(),
+            self.violations.join("\n  ")
+        );
+    }
+}
+
+/// Run `cfg` under `chaos` once serially and once with 8 sweep workers,
+/// then check every cross-run invariant: thread-count determinism, clean
+/// fsck, zero exhausted retry budgets, zero in-world invariant violations,
+/// and — when the spec is non-empty — that faults actually fired.
+pub fn check_chaos_storm(cfg: &StormConfig, chaos: &ChaosSpec) -> ChaosVerdict {
+    let serial = run_chaos_storm_with_threads(cfg, chaos, 1);
+    let threaded = run_chaos_storm_with_threads(cfg, chaos, 8);
+    let mut violations = Vec::new();
+    if serial != threaded {
+        violations.push(format!(
+            "report is not sweep-thread-invariant:\n  1 thread: {serial:?}\n  8 threads: {threaded:?}"
+        ));
+    }
+    if !serial.fsck_clean {
+        violations.push("post-storm fsck found inconsistencies".into());
+    }
+    if serial.gave_up != 0 {
+        violations.push(format!(
+            "{} op(s) exhausted the retry budget — outages outlasted the retry window",
+            serial.gave_up
+        ));
+    }
+    if serial.invariant_violations != 0 {
+        violations.push(format!(
+            "{} world-invariant violation(s) inside storm points (see stderr)",
+            serial.invariant_violations
+        ));
+    }
+    if !chaos.is_empty() && serial.faults_injected == 0 {
+        violations.push("chaos spec was non-empty but injected no faults".into());
+    }
+    ChaosVerdict {
+        report: serial,
+        violations,
+    }
+}
+
+/// The acceptance-criteria schedule: crash an NSD server at 40% of the
+/// race (healing after `outage`), flap the WAN at 70%. With `wan_clients`
+/// set, the flap severs every client from the farm at once.
+pub fn canonical_chaos(cfg: &StormConfig, outage: SimDuration) -> ChaosSpec {
+    ChaosSpec {
+        progress: ProgressPlan::new()
+            // "meta-srv1" serves data only — "meta-srv0" is the manager,
+            // whose death is `check_manager_recovery`'s dedicated subject.
+            .server_crash_at_op(cfg.race_op_at(0.4), gfs::FsId(0), "meta-srv1", Some(outage))
+            .link_flap_at_op(cfg.race_op_at(0.7), "storm-wan", outage),
+        timed: Default::default(),
+        wan_clients: true,
+    }
+}
+
+/// Verdict of the exactly-once recovery check.
+#[derive(Clone, Debug)]
+pub struct RecoveryVerdict {
+    /// The faulted run (manager killed and recovered mid-storm).
+    pub chaos: StormReport,
+    /// The fault-free oracle run of the identical workload.
+    pub oracle: StormReport,
+    /// Violations, empty when recovery was exactly-once.
+    pub violations: Vec<String>,
+}
+
+impl RecoveryVerdict {
+    /// Did recovery leave the namespace identical to the oracle's?
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Panic with the violation list unless clean.
+    pub fn assert_clean(&self) {
+        assert!(
+            self.is_clean(),
+            "manager recovery violated {} invariant(s):\n  {}",
+            self.violations.len(),
+            self.violations.join("\n  ")
+        );
+    }
+}
+
+/// Kill the acting namespace manager at `crash_frac` of the race, restart
+/// it `outage` later, and compare the recovered world against a fault-free
+/// oracle run of the *same* workload.
+///
+/// The config is forced to a single client per point so the op sequence is
+/// timing-independent: with one sequential chain, the only way the faulted
+/// run can diverge from the oracle is a correctness bug — a retried
+/// mutation applied twice (WAL dedup failure), a lost mutation, or an op
+/// result that changed across the crash. So the check can demand *exact*
+/// equality: the op-result fingerprint, the structural tree fingerprint,
+/// and the op/error counts must all match, while the epoch/WAL counters
+/// must prove a real crash-recovery actually happened.
+pub fn check_manager_recovery(
+    cfg: &StormConfig,
+    crash_frac: f64,
+    outage: SimDuration,
+) -> RecoveryVerdict {
+    let mut cfg = *cfg;
+    cfg.clients_per_point = 1;
+    let oracle = run_chaos_storm_with_threads(&cfg, &ChaosSpec::none(), 1);
+    let chaos_spec = ChaosSpec {
+        progress: ProgressPlan::new().server_crash_at_op(
+            cfg.race_op_at(crash_frac),
+            gfs::FsId(0),
+            "meta-srv0", // the configured manager home
+            Some(outage),
+        ),
+        timed: Default::default(),
+        wan_clients: false,
+    };
+    let chaos = run_chaos_storm_with_threads(&cfg, &chaos_spec, 1);
+
+    let mut violations = Vec::new();
+    if chaos.gave_up != 0 {
+        violations.push(format!(
+            "{} op(s) gave up — recovery outlasted the retry window",
+            chaos.gave_up
+        ));
+    }
+    if chaos.tree_fingerprint != oracle.tree_fingerprint {
+        violations.push(format!(
+            "recovered tree differs from oracle: {:#x} vs {:#x} — a mutation was lost or replayed twice",
+            chaos.tree_fingerprint, oracle.tree_fingerprint
+        ));
+    }
+    if chaos.fingerprint != oracle.fingerprint {
+        violations.push(format!(
+            "op-result fingerprint differs from oracle: {:#x} vs {:#x} — some op observed the crash",
+            chaos.fingerprint, oracle.fingerprint
+        ));
+    }
+    if (chaos.ops, chaos.errors) != (oracle.ops, oracle.errors) {
+        violations.push(format!(
+            "op/error counts differ from oracle: ({}, {}) vs ({}, {})",
+            chaos.ops, chaos.errors, oracle.ops, oracle.errors
+        ));
+    }
+    if !chaos.fsck_clean {
+        violations.push("post-recovery fsck found inconsistencies".into());
+    }
+    if chaos.invariant_violations != 0 {
+        violations.push(format!(
+            "{} world-invariant violation(s) inside storm points (see stderr)",
+            chaos.invariant_violations
+        ));
+    }
+    // Prove the scenario exercised what it claims to: a real takeover with
+    // a real WAL replay, observed by clients as timeouts they rode out.
+    if chaos.manager_epochs == 0 {
+        violations.push("manager epoch never advanced — no takeover happened".into());
+    }
+    if chaos.wal_replayed == 0 {
+        violations.push("WAL replayed no entries — dedup state was never rebuilt".into());
+    }
+    if chaos.timeouts == 0 {
+        violations.push("no client ever timed out — the crash window was invisible".into());
+    }
+    RecoveryVerdict {
+        chaos,
+        oracle,
+        violations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metadata_storm::StormMix;
+
+    /// The acceptance scenario: NSD crash at 40% + WAN flap at 70%, storm
+    /// completes fsck-clean with every client RPC eventually succeeding,
+    /// bit-identical across sweep-thread counts.
+    #[test]
+    fn canonical_chaos_storm_survives_and_is_deterministic() {
+        let cfg = StormConfig::small();
+        let spec = canonical_chaos(&cfg, SimDuration::from_millis(400));
+        let verdict = check_chaos_storm(&cfg, &spec);
+        verdict.assert_clean();
+        let r = &verdict.report;
+        assert!(r.faults_injected >= 2, "faults {}", r.faults_injected);
+        assert!(r.restores >= 2, "restores {}", r.restores);
+        assert!(
+            r.timeouts > 0,
+            "a crash plus a flap should strand at least one in-flight RPC"
+        );
+        assert_eq!(r.gave_up, 0, "every RPC must eventually succeed");
+    }
+
+    /// Exactly-once across manager death: kill/restart mid-storm, recover
+    /// via WAL replay, end up with the oracle's tree bit-for-bit.
+    #[test]
+    fn manager_recovery_matches_fault_free_oracle() {
+        let v = check_manager_recovery(
+            &StormConfig::small(),
+            0.5,
+            SimDuration::from_millis(600),
+        );
+        v.assert_clean();
+        assert!(v.chaos.wal_replayed > 0);
+        assert!(v.chaos.manager_epochs >= 1);
+    }
+
+    /// The same guarantees hold under the trace-shaped mix.
+    #[test]
+    fn trace_mix_chaos_storm_survives() {
+        let cfg = StormConfig::small().with_mix(StormMix::Trace);
+        let spec = canonical_chaos(&cfg, SimDuration::from_millis(400));
+        check_chaos_storm(&cfg, &spec).assert_clean();
+    }
+}

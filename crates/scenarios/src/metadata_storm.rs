@@ -18,13 +18,28 @@
 
 use crate::builder::{pattern_bytes, DataPathStats, NsdFarm, ScenarioBuilder};
 use gfs::client;
+use gfs::faults::{FaultPlan, ProgressInjector, ProgressPlan, RecoveryWhat};
 use gfs::fscore::MetaSnapshot;
 use gfs::types::{ClientId, FsError, OpenFlags, Owner};
 use gfs::world::GfsWorld;
 use rand::{rngs::StdRng, Rng};
 use simcore::{det_rng, Bandwidth, Sim, SimDuration, SimTime};
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::rc::Rc;
+
+/// How each client picks its next operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StormMix {
+    /// Uniform random paths and a fixed op distribution — every probe is
+    /// equally likely to land anywhere in the tree.
+    Uniform,
+    /// Trace-shaped: each client works through untar-like (sequential
+    /// creates), build-like (stat + small-write), and `ls -R`-like
+    /// (readdir + stat) phases, pinned to a working directory that changes
+    /// only every 16 ops. Locality concentrates dentry-cache hits the way
+    /// real client traces do.
+    Trace,
+}
 
 /// Storm shape. The defaults produce ≥1M metadata operations.
 #[derive(Clone, Copy, Debug)]
@@ -43,6 +58,8 @@ pub struct StormConfig {
     pub ops_per_client: u32,
     /// Bytes written by a small-write op.
     pub write_bytes: u64,
+    /// Op-selection shape.
+    pub mix: StormMix,
     /// Determinism seed.
     pub seed: u64,
 }
@@ -57,6 +74,7 @@ impl Default for StormConfig {
             files_per_sub: 512,
             ops_per_client: 128,
             write_bytes: 4096,
+            mix: StormMix::Uniform,
             seed: 2005,
         }
     }
@@ -74,13 +92,67 @@ impl StormConfig {
             files_per_sub: 32,
             ops_per_client: 24,
             write_bytes: 4096,
+            mix: StormMix::Uniform,
             seed: 2005,
         }
+    }
+
+    /// Same config with a different op-selection shape.
+    pub fn with_mix(mut self, mix: StormMix) -> Self {
+        self.mix = mix;
+        self
     }
 
     /// Total racing clients across all points.
     pub fn total_clients(&self) -> u64 {
         u64::from(self.points) * u64::from(self.clients_per_point)
+    }
+
+    /// Tree-generation operations per point (phase 1, all counted before
+    /// any race op). Progress-keyed fault thresholds are measured against
+    /// the per-point op counter, which starts at this value when the race
+    /// begins.
+    pub fn tree_ops(&self) -> u64 {
+        u64::from(self.top_dirs)
+            * (1 + u64::from(self.sub_dirs) * (1 + u64::from(self.files_per_sub)))
+    }
+
+    /// Race operations per point (phase 2), assuming every chain drains.
+    pub fn race_ops(&self) -> u64 {
+        u64::from(self.clients_per_point) * u64::from(self.ops_per_client)
+    }
+
+    /// The per-point op count at `frac` (in `[0, 1]`) of the race — the
+    /// natural unit for "crash the NSD server at 40% of the storm".
+    pub fn race_op_at(&self, frac: f64) -> u64 {
+        self.tree_ops() + (self.race_ops() as f64 * frac) as u64
+    }
+}
+
+/// Fault schedule for a chaos storm. Progress-keyed events fire when the
+/// per-point op counter crosses their threshold; time-keyed events fire at
+/// absolute simulation times (the race starts near t = 0). With
+/// `wan_clients` the clients sit behind a single flappable WAN link named
+/// `"storm-wan"`, so `timed` plans can cut every client off at once.
+#[derive(Clone, Debug, Default)]
+pub struct ChaosSpec {
+    /// Storm-progress-keyed faults ("kill the server at op 400k").
+    pub progress: ProgressPlan,
+    /// Sim-time-keyed faults ("flap the WAN link every 30 s").
+    pub timed: FaultPlan,
+    /// Route all storm clients through the `"storm-wan"` link.
+    pub wan_clients: bool,
+}
+
+impl ChaosSpec {
+    /// No faults at all — `run_storm`'s implicit spec.
+    pub fn none() -> Self {
+        ChaosSpec::default()
+    }
+
+    /// Is this spec fault-free?
+    pub fn is_empty(&self) -> bool {
+        self.progress.is_empty() && self.timed.events.is_empty() && !self.wan_clients
     }
 }
 
@@ -112,6 +184,32 @@ pub struct StormReport {
     pub fsck_clean: bool,
     /// Data-path counters summed over points (small writes do real I/O).
     pub data_path: DataPathStats,
+    /// Client watchdog timeouts detected (0 on a healthy run).
+    pub timeouts: u64,
+    /// Client retries that landed on a different server.
+    pub failovers: u64,
+    /// Faults applied, from both progress-keyed and time-keyed plans
+    /// (manager-loss markers included).
+    pub faults_injected: u64,
+    /// Restorations logged (link up, server restart, manager recovery).
+    pub restores: u64,
+    /// Namespace-manager takeovers (epoch bumps summed over points).
+    pub manager_epochs: u64,
+    /// WAL records replayed while rebuilding manager state.
+    pub wal_replayed: u64,
+    /// Ops that exhausted the retry budget and surfaced
+    /// `Timeout`/`ServerDown` — the storm's "eventually succeeded" check
+    /// wants this at 0.
+    pub gave_up: u64,
+    /// Structural fingerprint of every point's final namespace (name-sorted
+    /// recursive walk; timestamps excluded), merged in point order. The
+    /// exactly-once witness: a crash-recovered run must match its
+    /// fault-free oracle here.
+    pub tree_fingerprint: u64,
+    /// World-invariant violations found by [`crate::chaos::world_invariants`]
+    /// after each point drained (details go to stderr). 0 on any correct
+    /// run, faulted or not.
+    pub invariant_violations: u64,
 }
 
 impl StormReport {
@@ -137,6 +235,15 @@ struct PointSummary {
     dentry_misses: u64,
     fsck_clean: bool,
     data_path: DataPathStats,
+    timeouts: u64,
+    failovers: u64,
+    faults_injected: u64,
+    restores: u64,
+    manager_epochs: u64,
+    wal_replayed: u64,
+    gave_up: u64,
+    tree_fingerprint: u64,
+    invariant_violations: u64,
 }
 
 /// FxHash-style mixing for the result fingerprint: order-sensitive, cheap,
@@ -172,6 +279,7 @@ struct Tally {
     errors: Cell<u64>,
     fingerprint: Cell<u64>,
     finished_clients: Cell<u32>,
+    gave_up: Cell<u64>,
 }
 
 impl Tally {
@@ -181,6 +289,9 @@ impl Tally {
             None => code,
             Some(e) => {
                 self.errors.set(self.errors.get() + 1);
+                if matches!(e, FsError::Timeout | FsError::ServerDown) {
+                    self.gave_up.set(self.gave_up.get() + 1);
+                }
                 code << 8 | err_code(e)
             }
         };
@@ -197,9 +308,26 @@ pub fn run_storm(cfg: &StormConfig) -> StormReport {
 /// for any `threads` value: each point is an isolated seeded world and the
 /// merge is in point order.
 pub fn run_storm_with_threads(cfg: &StormConfig, threads: usize) -> StormReport {
+    run_chaos_storm_with_threads(cfg, &ChaosSpec::none(), threads)
+}
+
+/// A storm under a fault schedule, with the default worker count.
+pub fn run_chaos_storm(cfg: &StormConfig, chaos: &ChaosSpec) -> StormReport {
+    run_chaos_storm_with_threads(cfg, chaos, crate::parallel::sweep_threads())
+}
+
+/// [`run_chaos_storm`] with an explicit worker count. The same fault spec
+/// and seed produce bit-identical reports across runs and thread counts:
+/// faults, timeouts, backoffs and recoveries are all simulation events in
+/// isolated per-point worlds.
+pub fn run_chaos_storm_with_threads(
+    cfg: &StormConfig,
+    chaos: &ChaosSpec,
+    threads: usize,
+) -> StormReport {
     let cfg = *cfg;
     let summaries = crate::parallel::run_indexed(cfg.points as usize, threads, |i| {
-        run_point(&cfg, i as u32)
+        run_point(&cfg, chaos, i as u32)
     });
     let mut r = StormReport {
         ops: 0,
@@ -213,6 +341,15 @@ pub fn run_storm_with_threads(cfg: &StormConfig, threads: usize) -> StormReport 
         dentry_misses: 0,
         fsck_clean: true,
         data_path: DataPathStats::default(),
+        timeouts: 0,
+        failovers: 0,
+        faults_injected: 0,
+        restores: 0,
+        manager_epochs: 0,
+        wal_replayed: 0,
+        gave_up: 0,
+        tree_fingerprint: 0,
+        invariant_violations: 0,
     };
     for s in &summaries {
         r.ops += s.ops;
@@ -226,24 +363,48 @@ pub fn run_storm_with_threads(cfg: &StormConfig, threads: usize) -> StormReport 
         r.dentry_misses += s.dentry_misses;
         r.fsck_clean &= s.fsck_clean;
         r.data_path = r.data_path.merged(&s.data_path);
+        r.timeouts += s.timeouts;
+        r.failovers += s.failovers;
+        r.faults_injected += s.faults_injected;
+        r.restores += s.restores;
+        r.manager_epochs += s.manager_epochs;
+        r.wal_replayed += s.wal_replayed;
+        r.gave_up += s.gave_up;
+        r.tree_fingerprint = mix(r.tree_fingerprint, s.tree_fingerprint);
+        r.invariant_violations += s.invariant_violations;
     }
     r
 }
 
 /// One sweep point: generate the tree, storm it, summarize.
-fn run_point(cfg: &StormConfig, point: u32) -> PointSummary {
+fn run_point(cfg: &StormConfig, chaos: &ChaosSpec, point: u32) -> PointSummary {
     let point_seed = cfg
         .seed
         .wrapping_add(u64::from(point).wrapping_mul(0x9e37_79b9_7f4a_7c15));
     let mut sb = ScenarioBuilder::new(point_seed);
     let fs = sb.nsd_farm("site", NsdFarm::new("meta", 4).block_size(64 * 1024));
+    // Chaos storms can interpose a WAN hop so one link flap severs every
+    // client at once; the link is named for fault plans to target.
+    let client_site = if chaos.wan_clients {
+        sb.wan(
+            "edge",
+            "site",
+            Bandwidth::gbit(10.0),
+            SimDuration::from_millis(2),
+            "storm-wan",
+        );
+        "edge"
+    } else {
+        "site"
+    };
     let clients = sb.clients(
-        "site",
+        client_site,
         cfg.clients_per_point,
         Bandwidth::gbit(1.0),
         SimDuration::from_micros(100),
         64,
     );
+    sb.faults(chaos.timed.clone());
     // No queued workloads: the builder just assembles the world; the storm
     // drives the client API directly.
     let mut run = sb.run(SimTime::from_secs(1));
@@ -253,7 +414,10 @@ fn run_point(cfg: &StormConfig, point: u32) -> PointSummary {
         errors: Cell::new(0),
         fingerprint: Cell::new(0),
         finished_clients: Cell::new(0),
+        gave_up: Cell::new(0),
     });
+    let injector = (!chaos.progress.is_empty())
+        .then(|| Rc::new(RefCell::new(ProgressInjector::new(&chaos.progress))));
 
     // Phase 1 — tree generation, straight on the core (the bulk of the
     // operation count; each call is a full path resolution + mutation).
@@ -281,13 +445,19 @@ fn run_point(cfg: &StormConfig, point: u32) -> PointSummary {
     {
         let (sim, w) = (&mut run.sim, &mut run.world);
         sim.set_horizon(sim.now() + SimDuration::from_secs(3600));
+        // Progress events at or below the tree-op count fire before the
+        // first race op ("kill the server at op 0").
+        if let Some(inj) = &injector {
+            inj.borrow_mut().advance(sim, w, tally.ops.get());
+        }
         for (ci, &c) in clients.iter().enumerate() {
             let rng = det_rng(point_seed, &format!("storm-client-{ci}"));
             let tally = tally.clone();
             let cfg = *cfg;
+            let inj = injector.clone();
             client::mount_local(sim, w, c, "meta", move |sim, w, r| {
                 r.expect("storm mount");
-                next_op(sim, w, c, rng, cfg.ops_per_client, cfg, tally);
+                next_op(sim, w, c, rng, cfg.ops_per_client, cfg, tally, inj);
             });
         }
         sim.run(w);
@@ -300,7 +470,15 @@ fn run_point(cfg: &StormConfig, point: u32) -> PointSummary {
 
     let dentry_hits = run.world.clients.iter().map(|c| c.dentry.hits).sum();
     let dentry_misses = run.world.clients.iter().map(|c| c.dentry.misses).sum();
-    let core = &run.world.fss[fs.0 as usize].core;
+    let w = &run.world;
+    let core = &w.fss[fs.0 as usize].core;
+    // Every point — healthy or faulted — is audited against the world
+    // invariants; violations are reported in the summary and detailed on
+    // stderr so a failing chaos test names the broken guarantee.
+    let violations = crate::chaos::world_invariants(&run.sim, w);
+    for msg in &violations {
+        eprintln!("storm point {point}: invariant violated: {msg}");
+    }
     PointSummary {
         ops: tally.ops.get(),
         errors: tally.errors.get(),
@@ -310,13 +488,30 @@ fn run_point(cfg: &StormConfig, point: u32) -> PointSummary {
         dentry_hits,
         dentry_misses,
         fsck_clean: gfs::fsck(core).is_clean(),
-        data_path: crate::builder::data_path_stats_of(&run.world),
+        data_path: crate::builder::data_path_stats_of(w),
+        timeouts: w
+            .recovery
+            .count(|e| matches!(e, RecoveryWhat::TimeoutDetected { .. })) as u64,
+        failovers: w
+            .recovery
+            .count(|e| matches!(e, RecoveryWhat::FailedOver { .. })) as u64,
+        faults_injected: w
+            .recovery
+            .count(|e| matches!(e, RecoveryWhat::FaultInjected(_))) as u64,
+        restores: w.recovery.count(|e| matches!(e, RecoveryWhat::Restored(_))) as u64,
+        manager_epochs: w.fss.iter().map(|i| i.mgr.epoch).sum(),
+        wal_replayed: w.fss.iter().map(|i| i.mgr.replayed).sum(),
+        gave_up: tally.gave_up.get(),
+        tree_fingerprint: core.tree_fingerprint(),
+        invariant_violations: violations.len() as u64,
     }
 }
 
 /// One step of a client's op chain; schedules the next step from its own
 /// completion callback, so each client is a sequential stream of racing
-/// RPCs.
+/// RPCs. Progress-keyed faults are advanced here, so "at op N" thresholds
+/// are evaluated against the shared per-point op counter between ops.
+#[allow(clippy::too_many_arguments)]
 fn next_op(
     sim: &mut Sim<GfsWorld>,
     w: &mut GfsWorld,
@@ -325,22 +520,65 @@ fn next_op(
     remaining: u32,
     cfg: StormConfig,
     tally: Rc<Tally>,
+    inj: Option<Rc<RefCell<ProgressInjector>>>,
 ) {
+    if let Some(inj) = &inj {
+        inj.borrow_mut().advance(sim, w, tally.ops.get());
+    }
     if remaining == 0 {
         tally.finished_clients.set(tally.finished_clients.get() + 1);
         return;
     }
-    // A file path, mostly inside the generated tree; the widened file index
-    // makes stat/remove miss sometimes and create fresh names sometimes.
-    let t = rng.gen::<u32>() % cfg.top_dirs;
-    let s = rng.gen::<u32>() % cfg.sub_dirs;
-    let f = rng.gen::<u32>() % (cfg.files_per_sub + cfg.files_per_sub / 4 + 1);
+    let done = cfg.ops_per_client - remaining;
+    let (t, s, f, sel) = match cfg.mix {
+        // Uniform: a file path anywhere in the generated tree; the widened
+        // file index makes stat/remove miss sometimes and create fresh
+        // names sometimes.
+        StormMix::Uniform => {
+            let t = rng.gen::<u32>() % cfg.top_dirs;
+            let s = rng.gen::<u32>() % cfg.sub_dirs;
+            let f = rng.gen::<u32>() % (cfg.files_per_sub + cfg.files_per_sub / 4 + 1);
+            (t, s, f, rng.gen::<u32>() % 100)
+        }
+        // Trace: a working directory pinned for 16-op windows, and op kinds
+        // that move through untar → build → ls -R phases. The selector
+        // values index into the same arms as the uniform distribution.
+        StormMix::Trace => {
+            let window = u64::from(done / 16);
+            let h = mix(mix(0x7472_6163, u64::from(c.0)), window);
+            let t = ((h >> 8) as u32) % cfg.top_dirs;
+            let s = ((h >> 24) as u32) % cfg.sub_dirs;
+            let frac = u64::from(done) * 100 / u64::from(cfg.ops_per_client.max(1));
+            if frac < 40 {
+                // untar: sequential fresh creates with a sprinkle of mkdir
+                // and stat.
+                let sel = match rng.gen::<u32>() % 10 {
+                    0 => 40, // mkdir
+                    1 => 0,  // stat
+                    _ => 45, // create
+                };
+                (t, s, cfg.files_per_sub + done % 997, sel)
+            } else if frac < 70 {
+                // build: stat-heavy with small writes and the odd readdir.
+                let sel = match rng.gen::<u32>() % 10 {
+                    0..=3 => 0,  // stat
+                    4..=7 => 65, // small write
+                    _ => 30,     // readdir
+                };
+                (t, s, rng.gen::<u32>() % cfg.files_per_sub.max(1), sel)
+            } else {
+                // ls -R: readdir-dominated, stats of what it lists.
+                let sel = if rng.gen::<u32>() % 10 < 6 { 30 } else { 0 };
+                (t, s, rng.gen::<u32>() % cfg.files_per_sub.max(1), sel)
+            }
+        }
+    };
     let file_path = format!("/t{t:02}/s{s:02}/f{f:04}");
     let dir_path = format!("/t{t:02}/s{s:02}");
     let cont = move |sim: &mut Sim<GfsWorld>, w: &mut GfsWorld, rng: StdRng, tally: Rc<Tally>| {
-        next_op(sim, w, c, rng, remaining - 1, cfg, tally);
+        next_op(sim, w, c, rng, remaining - 1, cfg, tally, inj);
     };
-    match rng.gen::<u32>() % 100 {
+    match sel {
         // stat — the resolve-heavy staple.
         0..=29 => {
             client::stat(sim, w, c, "meta", &file_path, move |sim, w, r| {
@@ -454,6 +692,20 @@ mod tests {
         assert!(
             r.dentry_hits > 0,
             "clients never hit their dentry caches during the race"
+        );
+    }
+
+    #[test]
+    fn trace_mix_concentrates_dentry_hits() {
+        let uniform = run_storm(&StormConfig::small());
+        let trace = run_storm(&StormConfig::small().with_mix(StormMix::Trace));
+        assert!(trace.fsck_clean);
+        assert!(
+            trace.dentry_hit_rate() > uniform.dentry_hit_rate() + 0.05,
+            "trace locality should lift the dentry hit rate measurably: \
+             trace {:.3} vs uniform {:.3}",
+            trace.dentry_hit_rate(),
+            uniform.dentry_hit_rate()
         );
     }
 

@@ -114,6 +114,14 @@ impl<W> Sim<W> {
         self.heap.len() + self.timers.len()
     }
 
+    /// Number of live (uncancelled, unfired) timers. After a full drain the
+    /// only way this is nonzero is a leaked watchdog — a retry/grant timer
+    /// armed by an exchange that completed without cancelling it — which is
+    /// exactly what the chaos harness probes for.
+    pub fn timers_pending(&self) -> usize {
+        self.timers.len()
+    }
+
     /// Set a hard horizon: [`Sim::run`] stops before executing any event
     /// scheduled strictly after `t`.
     pub fn set_horizon(&mut self, t: SimTime) {

@@ -494,3 +494,149 @@ fn request_timeout_surfaces_exactly_once_despite_late_responses() {
     assert!(recovered.get(), "client unusable after a timed-out request");
     assert_eq!(sim.pending(), 0);
 }
+
+// ---------------------------------------------------------------------
+// Manager crash/recovery and progress-keyed fault boundaries
+// ---------------------------------------------------------------------
+
+/// The namespace manager dies through the fault plan — so recovery is the
+/// timed WAL replay on a surviving server, not the instant election that a
+/// bare `fail_server` models. A metadata op issued into the outage is
+/// dropped, times out, retries with backoff, and lands exactly once on the
+/// recovered manager: the client just experiences a slow mkdir.
+#[test]
+fn metadata_op_rides_out_manager_crash_and_wal_recovery() {
+    use globalfs::gfs::{apply_fault, FaultKind, RecoveryWhat};
+    let (mut sim, mut w, client, fs, _s1, s2) = bed();
+    let ok = Rc::new(Cell::new(false));
+    let ok2 = ok.clone();
+    client::mount_local(&mut sim, &mut w, client, "hafs", move |sim, w, r| {
+        r.unwrap();
+        // An acknowledged mutation, so the WAL has something to replay.
+        client::mkdir(sim, w, client, "hafs", "/pre", Owner::local(1, 1), move |sim, w, r| {
+            r.unwrap();
+            apply_fault(sim, w, FaultKind::ServerCrash { fs, server: "nsd-1".into() });
+            assert!(
+                w.fss[fs.0 as usize].mgr.recovering,
+                "fault-plan manager crash must enter the WAL-recovery window"
+            );
+            // Issued straight into the outage: dropped at the dead manager,
+            // retried until the replacement finishes replay.
+            client::mkdir(sim, w, client, "hafs", "/during", Owner::local(1, 1), move |sim, w, r| {
+                r.unwrap();
+                client::stat(sim, w, client, "hafs", "/during", move |_s, w, r| {
+                    r.unwrap();
+                    let mgr = &w.fss[fs.0 as usize].mgr;
+                    assert_eq!(mgr.acting, s2, "takeover did not move the manager role");
+                    assert_eq!(mgr.epoch, 1, "recovery must bump the manager epoch");
+                    assert!(mgr.replayed >= 1, "WAL replay rebuilt no dedup state");
+                    assert!(!mgr.recovering);
+                    ok2.set(true);
+                });
+            });
+        });
+    });
+    sim.run(&mut w);
+    assert!(ok.get(), "metadata op never completed across the crash");
+    assert!(
+        w.recovery.count(|e| matches!(e, RecoveryWhat::TimeoutDetected { .. })) >= 1,
+        "the outage was invisible: no watchdog ever fired"
+    );
+    assert!(
+        w.recovery.count(|e| matches!(e, RecoveryWhat::FailedOver { .. })) >= 1,
+        "no retry was recorded as landing on the new manager"
+    );
+    assert_eq!(sim.pending(), 0, "events left after the run drained");
+}
+
+/// A transient crash shorter than the detection window: the server is
+/// restored *before* the read's watchdog fires, so the retry lands on the
+/// same (now healthy) server — byte-intact data, a timeout detection, and
+/// no failover, because there was never anywhere else to go.
+#[test]
+fn coalesced_read_retries_to_restored_server_after_transient_crash() {
+    use globalfs::gfs::RecoveryWhat;
+    const BLOCK: u64 = 64 * 1024;
+    const BLOCKS: u64 = 16;
+    let (mut sim, mut w, client, fs, s1, _s2) = bed();
+    let pattern = |i: usize| (i % 241) as u8;
+    let payload = Bytes::from((0..(BLOCKS * BLOCK) as usize).map(pattern).collect::<Vec<_>>());
+    let intact = Rc::new(Cell::new(false));
+    {
+        let intact = intact.clone();
+        client::mount_local(&mut sim, &mut w, client, "hafs", move |sim, w, r| {
+            r.unwrap();
+            client::open(sim, w, client, "hafs", "/transient", OpenFlags::ReadWrite, Owner::local(1, 1), move |sim, w, r| {
+                let h = r.unwrap();
+                client::write(sim, w, client, h, 0, payload, move |sim, w, r| {
+                    r.unwrap();
+                    client::fsync(sim, w, client, h, move |sim, w, r| {
+                        r.unwrap();
+                        let inode = w.clients[client.0 as usize].handles[&h].inode;
+                        w.clients[client.0 as usize].pool.invalidate_file(fs, inode);
+                        // One coalesced full-file read; the server dies while
+                        // the scatter-gather runs are on the wire and comes
+                        // back 1.2 s later — inside the 1.5 s timeout.
+                        client::read(sim, w, client, h, 0, BLOCKS * BLOCK, move |_s, _w, r| {
+                            let got = r.unwrap();
+                            intact.set(got.iter().enumerate().all(|(i, b)| *b == pattern(i)));
+                        });
+                        let crash_at = sim.now() + SimDuration::from_micros(50);
+                        sim.at(crash_at, move |sim, w| {
+                            w.fss[fs.0 as usize].fail_server(s1);
+                            sim.after(SimDuration::from_millis(1200), move |_s, w| {
+                                w.fss[fs.0 as usize].restore_server(s1);
+                            });
+                        });
+                    });
+                });
+            });
+        });
+    }
+    sim.run(&mut w);
+    assert!(intact.get(), "read-back not byte-intact across the transient crash");
+    assert!(
+        w.recovery.count(|e| matches!(e, RecoveryWhat::TimeoutDetected { .. })) > 0,
+        "the crash produced no timeout detections"
+    );
+    assert_eq!(
+        w.recovery.count(|e| matches!(e, RecoveryWhat::FailedOver { .. })),
+        0,
+        "retries should have landed on the restored primary, not failed over"
+    );
+    assert_eq!(sim.pending(), 0, "events left after the run drained");
+}
+
+/// Progress-keyed fault boundaries: an event at op 0 fires before the race
+/// begins (during the pre-mount advance), an event at the very last op
+/// fires from the final chain step — each applied exactly once per point,
+/// with the storm still draining fsck-clean.
+#[test]
+fn progress_plan_fires_at_op_zero_and_final_op() {
+    use globalfs::gfs::faults::ProgressPlan;
+    use globalfs::scenarios::metadata_storm::{run_chaos_storm, ChaosSpec, StormConfig};
+    let cfg = StormConfig::small();
+    let total = cfg.tree_ops() + cfg.race_ops();
+    let spec = ChaosSpec {
+        progress: ProgressPlan::new()
+            .server_crash_at_op(0, FsId(0), "meta-srv1", Some(SimDuration::from_millis(300)))
+            .link_flap_at_op(total, "storm-wan", SimDuration::from_millis(100)),
+        timed: Default::default(),
+        wan_clients: true,
+    };
+    let r = run_chaos_storm(&cfg, &spec);
+    let points = u64::from(cfg.points);
+    assert_eq!(
+        r.faults_injected,
+        2 * points,
+        "both boundary events must fire exactly once per point"
+    );
+    assert_eq!(
+        r.restores,
+        2 * points,
+        "both heals must fire exactly once per point"
+    );
+    assert!(r.fsck_clean, "boundary faults left an inconsistent filesystem");
+    assert_eq!(r.gave_up, 0, "every RPC must eventually succeed");
+    assert_eq!(r.invariant_violations, 0);
+}
