@@ -13,7 +13,7 @@ use gfs::fscore::{DataMode, FsConfig, FsCore};
 use gfs::types::{FsId, Owner};
 use gfs_bench::{header, table, verdict};
 use scenarios::builder::DataPathStats;
-use scenarios::metadata_storm::{run_storm, StormConfig};
+use scenarios::metadata_storm::{run_storm, run_storm_with_threads, StormConfig};
 use scenarios::production::{run_fig11, ProductionConfig};
 use scenarios::recovery::{
     crash_one_of_n, disk_failure_during_sweep, link_flap_during_enzo, CrashConfig,
@@ -154,6 +154,66 @@ fn run_metadata_storm_entry() -> Entry {
             ("interned_names", r.interned_names as f64),
             ("resolves", r.resolves as f64),
             ("resolve_alloc_bytes", r.resolve_alloc_bytes as f64),
+        ],
+    }
+}
+
+/// The flyweight-session storm: 100k+ sessions multiplexed over 256 mount
+/// contexts (8 points x 32 contexts x 400 sessions) firing ~10M metadata
+/// ops through the manager RPC fan-in path. The timed run uses the default
+/// sweep-thread count; a second single-threaded run must produce a
+/// bit-identical report, which is the determinism half of the headline
+/// claim (the throughput half is the >1M ops/sec gate in `ci.sh`).
+fn run_storm_100k_entry() -> Entry {
+    let cfg = StormConfig::massive();
+    let (parallel, parallel_wall) = time_scenario(|| run_storm(&cfg));
+    let (serial, serial_wall) = time_scenario(|| run_storm_with_threads(&cfg, 1));
+    let bit_identical = serial == parallel;
+    if !bit_identical {
+        eprintln!(
+            "storm_100k: serial/parallel divergence: fp {} vs {}, events {} vs {}",
+            serial.fingerprint, parallel.fingerprint, serial.events, parallel.events
+        );
+    }
+    let as_num = |b: bool| if b { 1.0 } else { 0.0 };
+    Entry {
+        name: "storm 100k sessions (8 pts x 12.8k sess, ~10M ops)",
+        wall_seconds: parallel_wall + serial_wall,
+        events: parallel.events,
+        checks: vec![
+            ("sessions >= 100k", 1.0, as_num(parallel.sessions >= 100_000), 0.0),
+            ("storm ops >= 1e7", 1.0, as_num(parallel.ops >= 10_000_000), 0.0),
+            ("storm fsck clean", 1.0, as_num(parallel.fsck_clean), 0.0),
+            (
+                "fan-in batched (envelopes < ops)",
+                1.0,
+                as_num(parallel.envelopes > 0 && parallel.envelopes < parallel.envelope_ops),
+                0.0,
+            ),
+            ("1-thread == n-thread", 1.0, as_num(bit_identical), 0.0),
+        ],
+        data_path: parallel.data_path,
+        extra: vec![
+            ("storm100k_sessions", parallel.sessions as f64),
+            ("storm100k_ops", parallel.ops as f64),
+            // The headline rate is *modeled* cluster throughput: storm ops
+            // over the slowest point's simulated duration, with the manager
+            // service charge (`manager_op_service`) as the bottleneck. It is
+            // deterministic — identical on any host and thread count —
+            // which is what lets ci.sh gate on it. Host wall rate rides
+            // along as observability only.
+            ("storm100k_ops_per_sec", parallel.sim_ops_per_sec()),
+            ("storm100k_sim_seconds", parallel.sim_ns as f64 / 1e9),
+            ("storm100k_wall_ops_per_sec", parallel.ops as f64 / parallel_wall.max(1e-9)),
+            ("storm100k_envelopes", parallel.envelopes as f64),
+            ("storm100k_envelope_ops", parallel.envelope_ops as f64),
+            (
+                "storm100k_ops_per_envelope",
+                parallel.envelope_ops as f64 / (parallel.envelopes as f64).max(1.0),
+            ),
+            ("storm100k_errors", parallel.errors as f64),
+            ("storm100k_gave_up", parallel.gave_up as f64),
+            ("storm100k_serial_wall_seconds", serial_wall),
         ],
     }
 }
@@ -514,6 +574,7 @@ fn main() {
         run_sc04_entry(),
         run_recovery_entry(),
         run_metadata_storm_entry(),
+        run_storm_100k_entry(),
         run_chaos_entry(),
         run_resolve_microbench_entry(),
     ];

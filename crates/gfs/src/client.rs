@@ -41,7 +41,7 @@ pub mod tags {
     pub const NSD_WRITE: u32 = 2;
 }
 
-fn client_node(w: &GfsWorld, c: ClientId) -> NodeId {
+pub(crate) fn client_node(w: &GfsWorld, c: ClientId) -> NodeId {
     w.clients[c.0 as usize].node
 }
 
@@ -127,48 +127,13 @@ impl Join {
 // Mounting
 // ---------------------------------------------------------------------
 
-/// Mount a filesystem local to the client's own cluster (one RPC to the
-/// configuration manager).
-pub fn mount_local(
-    sim: &mut Sim<GfsWorld>,
-    w: &mut GfsWorld,
-    client: ClientId,
-    device: &str,
-    cb: impl FnOnce(&mut Sim<GfsWorld>, &mut GfsWorld, Result<(), FsError>) + 'static,
-) {
-    let cl = w.clients[client.0 as usize].cluster;
-    let device = device.to_string();
-    let Some((fs, remote)) = w.resolve_device(cl, &device) else {
-        cb(sim, w, Err(FsError::NotMounted(device)));
-        return;
-    };
-    assert!(!remote, "use mount_remote for mmremotefs devices");
-    let from = client_node(w, client);
-    let to = w.fss[fs.0 as usize].manager_node;
-    rpc(
-        sim,
-        w,
-        from,
-        to,
-        move |_sim, _w| (),
-        move |sim, w, ()| {
-            w.clients[client.0 as usize].mounts.insert(
-                device,
-                Mount {
-                    fs,
-                    mode: AccessMode::ReadWrite,
-                    session_key: None,
-                },
-            );
-            cb(sim, w, Ok(()));
-        },
-    );
-}
-
-/// Mount a remote cluster's filesystem (an `mmremotefs` device): runs the
-/// full RSA challenge–response of paper §6.2 over the WAN before
-/// installing the mount.
-pub fn mount_remote(
+/// Mount a device, dispatching on what the name means for the client's
+/// cluster ([`GfsWorld::resolve_device`]): a locally-owned filesystem costs
+/// one RPC to the configuration manager; an `mmremotefs` device runs the
+/// full §6.2 RSA challenge–response over the WAN before installing the
+/// mount. Unknown devices surface [`FsError::NotMounted`]; export/grant
+/// problems surface [`FsError::AuthFailed`] — no variant-mismatch panics.
+pub fn mount(
     sim: &mut Sim<GfsWorld>,
     w: &mut GfsWorld,
     client: ClientId,
@@ -182,7 +147,29 @@ pub fn mount_remote(
         cb(sim, w, Err(FsError::NotMounted(device)));
         return;
     };
-    assert!(remote, "use mount_local for locally owned devices");
+    if !remote {
+        let from = client_node(w, client);
+        let to = w.fss[fs.0 as usize].manager_node;
+        rpc(
+            sim,
+            w,
+            from,
+            to,
+            move |_sim, _w| (),
+            move |sim, w, ()| {
+                w.clients[client.0 as usize].mounts.insert(
+                    device,
+                    Mount {
+                        fs,
+                        mode,
+                        session_key: None,
+                    },
+                );
+                cb(sim, w, Ok(()));
+            },
+        );
+        return;
+    }
     let inst = &w.fss[fs.0 as usize];
     if !inst.exported {
         cb(
@@ -268,16 +255,295 @@ pub fn mount_remote(
     });
 }
 
+/// Mount a filesystem local to the client's own cluster.
+#[deprecated(note = "use client::mount, which dispatches on resolve_device")]
+pub fn mount_local(
+    sim: &mut Sim<GfsWorld>,
+    w: &mut GfsWorld,
+    client: ClientId,
+    device: &str,
+    cb: impl FnOnce(&mut Sim<GfsWorld>, &mut GfsWorld, Result<(), FsError>) + 'static,
+) {
+    mount(sim, w, client, device, AccessMode::ReadWrite, cb);
+}
+
+/// Mount a remote cluster's filesystem (an `mmremotefs` device).
+#[deprecated(note = "use client::mount, which dispatches on resolve_device")]
+pub fn mount_remote(
+    sim: &mut Sim<GfsWorld>,
+    w: &mut GfsWorld,
+    client: ClientId,
+    device: &str,
+    mode: AccessMode,
+    cb: impl FnOnce(&mut Sim<GfsWorld>, &mut GfsWorld, Result<(), FsError>) + 'static,
+) {
+    mount(sim, w, client, device, mode, cb);
+}
+
 // ---------------------------------------------------------------------
 // Metadata operations
 // ---------------------------------------------------------------------
 
-fn mount_of(w: &GfsWorld, client: ClientId, device: &str) -> Result<Mount, FsError> {
+pub(crate) fn mount_of(w: &GfsWorld, client: ClientId, device: &str) -> Result<Mount, FsError> {
     w.clients[client.0 as usize]
         .mounts
         .get(device)
         .cloned()
         .ok_or_else(|| FsError::NotMounted(device.to_string()))
+}
+
+// Manager-side op bodies, shared between the per-client free functions
+// below (one `meta_rpc` each) and the session fan-in envelopes
+// (`crate::session`), so both call surfaces apply byte-identical state
+// changes. `client` is the mount context whose dentry cache resolution
+// warms/seeds.
+
+pub(crate) fn mkdir_apply(
+    w: &mut GfsWorld,
+    fs: FsId,
+    now: u64,
+    client: ClientId,
+    path: &str,
+    owner: &Owner,
+) -> Result<InodeId, FsError> {
+    let ch = w.fss[fs.0 as usize].core.mkdir_entry(path, owner.clone(), now)?;
+    // Seed the creator's dentry cache — it will almost always resolve the
+    // new directory next.
+    let dentry = &mut w.clients[client.0 as usize].dentry;
+    dentry.insert(fs, ch.parent, ch.name, ch.id);
+    Ok(ch.id)
+}
+
+pub(crate) fn stat_apply(
+    w: &mut GfsWorld,
+    fs: FsId,
+    client: ClientId,
+    path: &str,
+) -> Result<crate::fscore::FileAttr, FsError> {
+    let (fss, clients) = (&w.fss, &mut w.clients);
+    let core = &fss[fs.0 as usize].core;
+    let id = core.lookup_via(fs, &mut clients[client.0 as usize].dentry, path)?;
+    core.stat_id(id)
+}
+
+pub(crate) fn readdir_apply(
+    w: &mut GfsWorld,
+    fs: FsId,
+    client: ClientId,
+    path: &str,
+) -> Result<Vec<String>, FsError> {
+    let (fss, clients) = (&w.fss, &mut w.clients);
+    let core = &fss[fs.0 as usize].core;
+    let id = core.lookup_via(fs, &mut clients[client.0 as usize].dentry, path)?;
+    core.readdir_id(id).map_err(|e| match e {
+        // readdir_id only knows the inode; report the path the caller
+        // actually asked about, as `readdir` always has.
+        FsError::NotADirectory(_) => FsError::NotADirectory(path.to_string()),
+        other => other,
+    })
+}
+
+pub(crate) fn unlink_apply(w: &mut GfsWorld, fs: FsId, path: &str) -> Result<(), FsError> {
+    let ch = {
+        let inst = &mut w.fss[fs.0 as usize];
+        let ch = inst.core.unlink_entry(path)?;
+        // Keep the manager's envelope path cache coherent when legacy
+        // clients and sessions share a filesystem (no-op when empty).
+        inst.mgr.uncache_path(path);
+        ch
+    };
+    // Invalidate everywhere (the manager broadcasts in GPFS; we apply the
+    // effect directly and charge nothing extra — unlink of an
+    // open-elsewhere file is out of scope). Dentry caches drop the
+    // `(parent, name)` mapping so no client resolves the dead entry.
+    for c in &mut w.clients {
+        c.pool.invalidate_file(fs, ch.id);
+        c.dentry.invalidate(fs, ch.parent, ch.name);
+    }
+    Ok(())
+}
+
+pub(crate) fn rename_apply(
+    w: &mut GfsWorld,
+    fs: FsId,
+    client: ClientId,
+    from: &str,
+    to: &str,
+) -> Result<(), FsError> {
+    let ch = {
+        let inst = &mut w.fss[fs.0 as usize];
+        let ch = inst.core.rename_entry(from, to)?;
+        inst.mgr.uncache_all_paths();
+        ch
+    };
+    // Every client must stop resolving the old name, and — when the rename
+    // atomically replaced an existing target — stop resolving the old
+    // target and drop its cached pages. The mover's cache learns the new
+    // entry immediately.
+    for c in &mut w.clients {
+        c.dentry.invalidate(fs, ch.from_parent, ch.from_name);
+        c.dentry.invalidate(fs, ch.to_parent, ch.to_name);
+        if let Some(rid) = ch.replaced {
+            c.pool.invalidate_file(fs, rid);
+        }
+    }
+    let dentry = &mut w.clients[client.0 as usize].dentry;
+    dentry.insert(fs, ch.to_parent, ch.to_name, ch.id);
+    Ok(())
+}
+
+pub(crate) fn open_apply(
+    w: &mut GfsWorld,
+    fs: FsId,
+    now: u64,
+    client: ClientId,
+    path: &str,
+    flags: OpenFlags,
+    owner: &Owner,
+) -> Result<(FsId, InodeId), FsError> {
+    let (fss, clients) = (&mut w.fss, &mut w.clients);
+    let core = &mut fss[fs.0 as usize].core;
+    let dentry = &mut clients[client.0 as usize].dentry;
+    let inode = match core.lookup_via(fs, dentry, path) {
+        Ok(id) => {
+            if core.inode(id)?.is_dir() {
+                return Err(FsError::IsADirectory(path.to_string()));
+            }
+            id
+        }
+        Err(FsError::NotFound(_)) if flags.writes() => {
+            let ch = core.create_file_entry(path, owner.clone(), now)?;
+            dentry.insert(fs, ch.parent, ch.name, ch.id);
+            ch.id
+        }
+        Err(e) => return Err(e),
+    };
+    Ok((fs, inode))
+}
+
+// Manager-side op bodies for fan-in envelopes. Envelopes execute *at* the
+// manager, which resolves against its own precisely-invalidated path
+// cache (see `ManagerState::cached_path`) instead of modeling a client
+// dentry walk — the per-client free functions above keep their exact
+// resolution behavior. Mutating bodies invalidate both the manager cache
+// and, via the shared broadcast, every client cache, so mixed
+// legacy+session workloads on one filesystem stay coherent.
+
+/// Resolve through the manager's path cache, filling it on miss.
+fn lookup_mgr(
+    core: &crate::fscore::FsCore,
+    mgr: &mut crate::world::ManagerState,
+    path: &str,
+) -> Result<InodeId, FsError> {
+    if let Some(id) = mgr.cached_path(path) {
+        core.meta_bump_resolve();
+        return Ok(id);
+    }
+    let id = core.lookup(path)?;
+    mgr.cache_path(path, id);
+    Ok(id)
+}
+
+pub(crate) fn mkdir_apply_mgr(
+    w: &mut GfsWorld,
+    fs: FsId,
+    now: u64,
+    path: &str,
+    owner: &Owner,
+) -> Result<InodeId, FsError> {
+    let inst = &mut w.fss[fs.0 as usize];
+    let ch = inst.core.mkdir_entry(path, owner.clone(), now)?;
+    // Seed the manager cache — the creator (or a sibling session) will
+    // almost always resolve the new directory next.
+    inst.mgr.cache_path(path, ch.id);
+    Ok(ch.id)
+}
+
+pub(crate) fn stat_apply_mgr(
+    w: &mut GfsWorld,
+    fs: FsId,
+    path: &str,
+) -> Result<crate::fscore::FileAttr, FsError> {
+    let inst = &mut w.fss[fs.0 as usize];
+    let id = lookup_mgr(&inst.core, &mut inst.mgr, path)?;
+    inst.core.stat_id(id)
+}
+
+pub(crate) fn readdir_apply_mgr(
+    w: &mut GfsWorld,
+    fs: FsId,
+    path: &str,
+) -> Result<Vec<String>, FsError> {
+    let inst = &mut w.fss[fs.0 as usize];
+    let id = lookup_mgr(&inst.core, &mut inst.mgr, path)?;
+    inst.core.readdir_id(id).map_err(|e| match e {
+        FsError::NotADirectory(_) => FsError::NotADirectory(path.to_string()),
+        other => other,
+    })
+}
+
+pub(crate) fn unlink_apply_mgr(w: &mut GfsWorld, fs: FsId, path: &str) -> Result<(), FsError> {
+    let ch = {
+        let inst = &mut w.fss[fs.0 as usize];
+        let ch = inst.core.unlink_entry(path)?;
+        inst.mgr.uncache_path(path);
+        ch
+    };
+    for c in &mut w.clients {
+        c.pool.invalidate_file(fs, ch.id);
+        c.dentry.invalidate(fs, ch.parent, ch.name);
+    }
+    Ok(())
+}
+
+pub(crate) fn rename_apply_mgr(
+    w: &mut GfsWorld,
+    fs: FsId,
+    from: &str,
+    to: &str,
+) -> Result<(), FsError> {
+    let ch = {
+        let inst = &mut w.fss[fs.0 as usize];
+        let ch = inst.core.rename_entry(from, to)?;
+        // A rename moves a whole subtree; every cached path under it is
+        // suspect, so the manager drops its cache wholesale.
+        inst.mgr.uncache_all_paths();
+        ch
+    };
+    for c in &mut w.clients {
+        c.dentry.invalidate(fs, ch.from_parent, ch.from_name);
+        c.dentry.invalidate(fs, ch.to_parent, ch.to_name);
+        if let Some(rid) = ch.replaced {
+            c.pool.invalidate_file(fs, rid);
+        }
+    }
+    Ok(())
+}
+
+pub(crate) fn open_apply_mgr(
+    w: &mut GfsWorld,
+    fs: FsId,
+    now: u64,
+    path: &str,
+    flags: OpenFlags,
+    owner: &Owner,
+) -> Result<(FsId, InodeId), FsError> {
+    let inst = &mut w.fss[fs.0 as usize];
+    let inode = match lookup_mgr(&inst.core, &mut inst.mgr, path) {
+        Ok(id) => {
+            if inst.core.inode(id)?.is_dir() {
+                return Err(FsError::IsADirectory(path.to_string()));
+            }
+            id
+        }
+        Err(FsError::NotFound(_)) if flags.writes() => {
+            let ch = inst.core.create_file_entry(path, owner.clone(), now)?;
+            inst.mgr.cache_path(path, ch.id);
+            ch.id
+        }
+        Err(e) => return Err(e),
+    };
+    Ok((fs, inode))
 }
 
 /// A manager-bound RPC with the full survival envelope: watchdog timeout,
@@ -454,16 +720,7 @@ pub fn mkdir(
         client,
         device,
         true,
-        move |w, fs, now| {
-            let ch = w.fss[fs.0 as usize]
-                .core
-                .mkdir_entry(&path, owner.clone(), now)?;
-            // Seed the creator's dentry cache — it will almost always
-            // resolve the new directory next.
-            let dentry = &mut w.clients[client.0 as usize].dentry;
-            dentry.insert(fs, ch.parent, ch.name, ch.id);
-            Ok(ch.id)
-        },
+        move |w, fs, now| mkdir_apply(w, fs, now, client, &path, &owner),
         cb,
     );
 }
@@ -485,12 +742,7 @@ pub fn stat(
         client,
         device,
         false,
-        move |w, fs, _| {
-            let (fss, clients) = (&w.fss, &mut w.clients);
-            let core = &fss[fs.0 as usize].core;
-            let id = core.lookup_via(fs, &mut clients[client.0 as usize].dentry, &path)?;
-            core.stat_id(id)
-        },
+        move |w, fs, _| stat_apply(w, fs, client, &path),
         cb,
     );
 }
@@ -511,17 +763,7 @@ pub fn readdir(
         client,
         device,
         false,
-        move |w, fs, _| {
-            let (fss, clients) = (&w.fss, &mut w.clients);
-            let core = &fss[fs.0 as usize].core;
-            let id = core.lookup_via(fs, &mut clients[client.0 as usize].dentry, &path)?;
-            core.readdir_id(id).map_err(|e| match e {
-                // readdir_id only knows the inode; report the path the
-                // caller actually asked about, as `readdir` always has.
-                FsError::NotADirectory(_) => FsError::NotADirectory(path.clone()),
-                other => other,
-            })
-        },
+        move |w, fs, _| readdir_apply(w, fs, client, &path),
         cb,
     );
 }
@@ -542,19 +784,7 @@ pub fn unlink(
         client,
         device,
         true,
-        move |w, fs, _| {
-            let ch = w.fss[fs.0 as usize].core.unlink_entry(&path)?;
-            // Invalidate everywhere (the manager broadcasts in GPFS; we
-            // apply the effect directly and charge nothing extra — unlink
-            // of an open-elsewhere file is out of scope). Dentry caches
-            // drop the `(parent, name)` mapping so no client resolves the
-            // dead entry.
-            for c in &mut w.clients {
-                c.pool.invalidate_file(fs, ch.id);
-                c.dentry.invalidate(fs, ch.parent, ch.name);
-            }
-            Ok(())
-        },
+        move |w, fs, _| unlink_apply(w, fs, &path),
         cb,
     );
 }
@@ -577,23 +807,7 @@ pub fn rename(
         client,
         device,
         true,
-        move |w, fs, _| {
-            let ch = w.fss[fs.0 as usize].core.rename_entry(&from, &to)?;
-            // Every client must stop resolving the old name, and — when the
-            // rename atomically replaced an existing target — stop resolving
-            // the old target and drop its cached pages. The mover's cache
-            // learns the new entry immediately.
-            for c in &mut w.clients {
-                c.dentry.invalidate(fs, ch.from_parent, ch.from_name);
-                c.dentry.invalidate(fs, ch.to_parent, ch.to_name);
-                if let Some(rid) = ch.replaced {
-                    c.pool.invalidate_file(fs, rid);
-                }
-            }
-            let dentry = &mut w.clients[client.0 as usize].dentry;
-            dentry.insert(fs, ch.to_parent, ch.to_name, ch.id);
-            Ok(())
-        },
+        move |w, fs, _| rename_apply(w, fs, client, &from, &to),
         cb,
     );
 }
@@ -689,26 +903,7 @@ pub fn open(
         client,
         device,
         flags.writes(),
-        move |w, fs, now| {
-            let (fss, clients) = (&mut w.fss, &mut w.clients);
-            let core = &mut fss[fs.0 as usize].core;
-            let dentry = &mut clients[client.0 as usize].dentry;
-            let inode = match core.lookup_via(fs, dentry, &path) {
-                Ok(id) => {
-                    if core.inode(id)?.is_dir() {
-                        return Err(FsError::IsADirectory(path.clone()));
-                    }
-                    id
-                }
-                Err(FsError::NotFound(_)) if flags.writes() => {
-                    let ch = core.create_file_entry(&path, owner.clone(), now)?;
-                    dentry.insert(fs, ch.parent, ch.name, ch.id);
-                    ch.id
-                }
-                Err(e) => return Err(e),
-            };
-            Ok((fs, inode))
-        },
+        move |w, fs, now| open_apply(w, fs, now, client, &path, flags, &owner),
         move |sim, w, r| match r {
             Ok((fs, inode)) => {
                 let h = w.alloc_handle();
@@ -973,14 +1168,14 @@ fn take<T>(slot: &Once<T>) -> Option<Cb<T>> {
 /// Backoff delay before retry `attempt + 1`: `retry_base * 2^attempt`,
 /// scaled by a deterministic jitter in `[0.5, 1.5)` drawn from the world's
 /// seeded RNG (so colliding clients decorrelate but reruns reproduce).
-fn backoff_delay(w: &mut GfsWorld, attempt: u32) -> SimDuration {
+pub(crate) fn backoff_delay(w: &mut GfsWorld, attempt: u32) -> SimDuration {
     let jitter = 0.5 + w.rng.gen::<f64>();
     let scale = (1u64 << attempt.min(16)) as f64;
     SimDuration::from_secs_f64(w.costs.retry_base.as_secs_f64() * scale * jitter)
 }
 
 /// Note a failover in the recovery log when a retry lands on a new server.
-fn log_failover(sim: &Sim<GfsWorld>, w: &mut GfsWorld, client: ClientId, prev: Option<NodeId>, now_srv: NodeId) {
+pub(crate) fn log_failover(sim: &Sim<GfsWorld>, w: &mut GfsWorld, client: ClientId, prev: Option<NodeId>, now_srv: NodeId) {
     if let Some(prev) = prev {
         if prev != now_srv {
             w.recovery.log(
@@ -1880,7 +2075,7 @@ mod tests {
         let done: Slot<Bytes> = slot();
         let d2 = done.clone();
         let local = t.local;
-        mount_local(&mut t.sim, &mut t.w, local, "gpfs-wan", move |sim, w, r| {
+        mount(&mut t.sim, &mut t.w, local, "gpfs-wan", AccessMode::ReadWrite, move |sim, w, r| {
             r.unwrap();
             open(
                 sim,
@@ -1919,7 +2114,7 @@ mod tests {
         // 200 KB spanning four 64 KiB blocks, written at an unaligned offset.
         let payload: Vec<u8> = (0..200_000u32).map(|i| (i % 251) as u8).collect();
         let payload = Bytes::from(payload);
-        mount_local(&mut t.sim, &mut t.w, local, "gpfs-wan", move |sim, w, _| {
+        mount(&mut t.sim, &mut t.w, local, "gpfs-wan", AccessMode::ReadWrite, move |sim, w, _| {
             open(
                 sim,
                 w,
@@ -1958,7 +2153,7 @@ mod tests {
         let ok = Rc::new(Cell::new(false));
         let ok2 = ok.clone();
         // Local writes; remote mounts over the WAN and reads the data back.
-        mount_local(&mut t.sim, &mut t.w, local, "gpfs-wan", move |sim, w, _| {
+        mount(&mut t.sim, &mut t.w, local, "gpfs-wan", AccessMode::ReadWrite, move |sim, w, _| {
             open(
                 sim,
                 w,
@@ -1974,7 +2169,7 @@ mod tests {
                         r.unwrap();
                         close(sim, w, local, h, move |sim, w, r| {
                             r.unwrap();
-                            mount_remote(
+                            mount(
                                 sim,
                                 w,
                                 remote,
@@ -2025,7 +2220,7 @@ mod tests {
         let ok = Rc::new(Cell::new(false));
         let ok2 = ok.clone();
         // RW mount must fail; RO mount succeeds but write-opens fail.
-        mount_remote(
+        mount(
             &mut t.sim,
             &mut t.w,
             remote,
@@ -2033,7 +2228,7 @@ mod tests {
             AccessMode::ReadWrite,
             move |sim, w, r| {
                 assert!(matches!(r, Err(FsError::AuthFailed(_))));
-                mount_remote(sim, w, remote, "gpfs-wan", AccessMode::ReadOnly, move |sim, w, r| {
+                mount(sim, w, remote, "gpfs-wan", AccessMode::ReadOnly, move |sim, w, r| {
                     r.unwrap();
                     open(
                         sim,
@@ -2061,8 +2256,8 @@ mod tests {
         let (a, b_) = (t.local, t.remote);
         let ok = Rc::new(Cell::new(false));
         let ok2 = ok.clone();
-        mount_local(&mut t.sim, &mut t.w, a, "gpfs-wan", move |sim, w, _| {
-            mount_remote(sim, w, b_, "gpfs-wan", AccessMode::ReadWrite, move |sim, w, r| {
+        mount(&mut t.sim, &mut t.w, a, "gpfs-wan", AccessMode::ReadWrite, move |sim, w, _| {
+            mount(sim, w, b_, "gpfs-wan", AccessMode::ReadWrite, move |sim, w, r| {
                 r.unwrap();
                 open(sim, w, a, "gpfs-wan", "/contested", OpenFlags::ReadWrite, owner(), move |sim, w, r| {
                     let ha = r.unwrap();
@@ -2098,7 +2293,7 @@ mod tests {
         let local = t.local;
         let ok = Rc::new(Cell::new(false));
         let ok2 = ok.clone();
-        mount_local(&mut t.sim, &mut t.w, local, "gpfs-wan", move |sim, w, _| {
+        mount(&mut t.sim, &mut t.w, local, "gpfs-wan", AccessMode::ReadWrite, move |sim, w, _| {
             open(sim, w, local, "gpfs-wan", "/c", OpenFlags::ReadWrite, owner(), move |sim, w, r| {
                 let h = r.unwrap();
                 write(sim, w, local, h, 0, Bytes::from(vec![1u8; 65536]), move |sim, w, r| {
@@ -2125,7 +2320,7 @@ mod tests {
         let local = t.local;
         let ok = Rc::new(Cell::new(false));
         let ok2 = ok.clone();
-        mount_local(&mut t.sim, &mut t.w, local, "gpfs-wan", move |sim, w, _| {
+        mount(&mut t.sim, &mut t.w, local, "gpfs-wan", AccessMode::ReadWrite, move |sim, w, _| {
             open(sim, w, local, "gpfs-wan", "/seq", OpenFlags::ReadWrite, owner(), move |sim, w, r| {
                 let h = r.unwrap();
                 // 1 MB file = 16 blocks of 64 KiB.
@@ -2169,7 +2364,7 @@ mod tests {
         let local = t.local;
         let ok = Rc::new(Cell::new(false));
         let ok2 = ok.clone();
-        mount_local(&mut t.sim, &mut t.w, local, "gpfs-wan", move |sim, w, _| {
+        mount(&mut t.sim, &mut t.w, local, "gpfs-wan", AccessMode::ReadWrite, move |sim, w, _| {
             mkdir(sim, w, local, "gpfs-wan", "/data", owner(), move |sim, w, r| {
                 r.unwrap();
                 open(sim, w, local, "gpfs-wan", "/data/f1", OpenFlags::Write, owner(), move |sim, w, r| {
@@ -2210,14 +2405,14 @@ mod tests {
         let (local, remote) = (t.local, t.remote);
         let ok = Rc::new(Cell::new(false));
         let ok2 = ok.clone();
-        mount_local(&mut t.sim, &mut t.w, local, "gpfs-wan", move |sim, w, _| {
+        mount(&mut t.sim, &mut t.w, local, "gpfs-wan", AccessMode::ReadWrite, move |sim, w, _| {
             mkdir(sim, w, local, "gpfs-wan", "/d", owner(), move |sim, w, r| {
                 r.unwrap();
                 open(sim, w, local, "gpfs-wan", "/d/x", OpenFlags::Write, owner(), move |sim, w, r| {
                     let h = r.unwrap();
                     close(sim, w, local, h, move |sim, w, r| {
                         r.unwrap();
-                        mount_remote(sim, w, remote, "gpfs-wan", AccessMode::ReadOnly, move |sim, w, r| {
+                        mount(sim, w, remote, "gpfs-wan", AccessMode::ReadOnly, move |sim, w, r| {
                             r.unwrap();
                             // Warm the remote client's dentry cache.
                             stat(sim, w, remote, "gpfs-wan", "/d/x", move |sim, w, r| {
@@ -2273,7 +2468,7 @@ mod tests {
         let local = t.local;
         let ok = Rc::new(Cell::new(false));
         let ok2 = ok.clone();
-        mount_local(&mut t.sim, &mut t.w, local, "gpfs-wan", move |sim, w, _| {
+        mount(&mut t.sim, &mut t.w, local, "gpfs-wan", AccessMode::ReadWrite, move |sim, w, _| {
             open(sim, w, local, "gpfs-wan", "/short", OpenFlags::ReadWrite, owner(), move |sim, w, r| {
                 let h = r.unwrap();
                 write(sim, w, local, h, 0, Bytes::from(vec![3u8; 100]), move |sim, w, r| {
@@ -2301,7 +2496,7 @@ mod tests {
         let t_local = Rc::new(Cell::new(0u64));
         let t_remote = Rc::new(Cell::new(0u64));
         let (tl, tr) = (t_local.clone(), t_remote.clone());
-        mount_local(&mut t.sim, &mut t.w, local, "gpfs-wan", move |sim, w, _| {
+        mount(&mut t.sim, &mut t.w, local, "gpfs-wan", AccessMode::ReadWrite, move |sim, w, _| {
             let start = sim.now();
             open(sim, w, local, "gpfs-wan", "/lat", OpenFlags::ReadWrite, owner(), move |sim, w, r| {
                 let h = r.unwrap();
@@ -2311,7 +2506,7 @@ mod tests {
                         r.unwrap();
                         tl.set(sim.now().since(start).as_nanos());
                         // Now remote does a read of the same file.
-                        mount_remote(sim, w, remote, "gpfs-wan", AccessMode::ReadOnly, move |sim, w, r| {
+                        mount(sim, w, remote, "gpfs-wan", AccessMode::ReadOnly, move |sim, w, r| {
                             r.unwrap();
                             let start_r = sim.now();
                             open(sim, w, remote, "gpfs-wan", "/lat", OpenFlags::Read, owner(), move |sim, w, r| {
@@ -2365,5 +2560,71 @@ mod tests {
         });
         run(&mut t);
         assert!(ok.get());
+    }
+
+    #[test]
+    fn unified_mount_dispatches_and_errors_typed() {
+        // Unknown device: typed NotMounted, no panic.
+        let mut t = bed();
+        let local = t.local;
+        let remote = t.remote;
+        let ok = Rc::new(Cell::new(0u32));
+        let ok2 = ok.clone();
+        mount(&mut t.sim, &mut t.w, local, "no-such-dev", AccessMode::ReadWrite, move |_s, _w, r| {
+            assert!(matches!(r, Err(FsError::NotMounted(_))));
+            ok2.set(ok2.get() + 1);
+        });
+        // One call surface dispatches both ways: local device on the SDSC
+        // client, mmremotefs device on the NCSA client.
+        let ok3 = ok.clone();
+        mount(&mut t.sim, &mut t.w, local, "gpfs-wan", AccessMode::ReadWrite, move |_s, w, r| {
+            r.unwrap();
+            assert!(w.clients[local.0 as usize].mounts["gpfs-wan"].session_key.is_none());
+            ok3.set(ok3.get() + 1);
+        });
+        let ok4 = ok.clone();
+        mount(&mut t.sim, &mut t.w, remote, "gpfs-wan", AccessMode::ReadWrite, move |_s, w, r| {
+            r.unwrap();
+            assert_eq!(w.clients[remote.0 as usize].mounts["gpfs-wan"].mode, AccessMode::ReadWrite);
+            ok4.set(ok4.get() + 1);
+        });
+        run(&mut t);
+        assert_eq!(ok.get(), 3);
+    }
+
+    #[test]
+    fn unexported_device_fails_auth_not_panics() {
+        let mut t = bed();
+        let remote = t.remote;
+        t.w.fss[0].exported = false;
+        let ok = Rc::new(Cell::new(false));
+        let ok2 = ok.clone();
+        mount(&mut t.sim, &mut t.w, remote, "gpfs-wan", AccessMode::ReadWrite, move |_s, _w, r| {
+            assert!(matches!(r, Err(FsError::AuthFailed(_))));
+            ok2.set(true);
+        });
+        run(&mut t);
+        assert!(ok.get());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_mount_shims_still_work() {
+        let mut t = bed();
+        let local = t.local;
+        let remote = t.remote;
+        let ok = Rc::new(Cell::new(0u32));
+        let ok2 = ok.clone();
+        mount_local(&mut t.sim, &mut t.w, local, "gpfs-wan", move |_s, _w, r| {
+            r.unwrap();
+            ok2.set(ok2.get() + 1);
+        });
+        let ok3 = ok.clone();
+        mount_remote(&mut t.sim, &mut t.w, remote, "gpfs-wan", AccessMode::ReadOnly, move |_s, _w, r| {
+            r.unwrap();
+            ok3.set(ok3.get() + 1);
+        });
+        run(&mut t);
+        assert_eq!(ok.get(), 2);
     }
 }

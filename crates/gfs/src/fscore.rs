@@ -349,6 +349,13 @@ impl FsCore {
         }
     }
 
+    /// Count a resolution served by an external cache tier (the manager's
+    /// envelope path cache) so `resolves` keeps meaning "paths resolved",
+    /// not "paths walked".
+    pub fn meta_bump_resolve(&self) {
+        self.meta.bump_resolves();
+    }
+
     /// Current namespace generation (see the `ns_gen` field).
     #[inline]
     pub fn ns_gen(&self) -> u64 {

@@ -28,6 +28,8 @@ pub mod fsck;
 pub mod hsmlink;
 pub mod mpiio;
 pub mod sanfs;
+pub mod session;
+pub mod slab;
 pub mod stream;
 pub mod tokens;
 pub mod types;
@@ -41,8 +43,11 @@ pub use faults::{
 pub use fsck::{fsck, FsckError, FsckReport};
 pub use fscore::{DataMode, FileAttr, FsConfig, FsCore};
 pub use tokens::{ByteRange, TokenManager, TokenMode};
+pub use session::{FanIn, Session, SessionState};
+pub use slab::Slab;
 pub use types::{
     BlockAddr, ClientId, ClusterId, FsError, FsId, Handle, InodeId, NsdId, OpenFlags, Owner,
+    SessionId,
 };
 pub use stream::{gfs_stream, run_stream, StreamDir, StreamSpec};
 pub use world::{FsParams, GfsWorld, ManagerState, NsdBacking, ProtocolCosts, WorldBuilder};

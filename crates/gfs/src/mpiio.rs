@@ -331,7 +331,7 @@ mod tests {
         let done = Rc::new(Cell::new(0));
         for &r in &ranks {
             let done = done.clone();
-            client::mount_local(&mut sim, &mut w, r, "pfs", move |_s, _w, res| {
+            client::mount(&mut sim, &mut w, r, "pfs", gfs_auth::handshake::AccessMode::ReadWrite, move |_s, _w, res| {
                 res.unwrap();
                 done.set(done.get() + 1);
             });

@@ -1,0 +1,1103 @@
+//! Flyweight sessions and manager-RPC fan-in: the million-client envelope.
+//!
+//! The storm scenarios topped out at tens of clients because every
+//! [`crate::world::Client`] is a heavyweight mount context — its own page
+//! pool, token mirror, dentry cache and mount table — and every operation
+//! is a one-shot free function taking a [`ClientId`]. Real wide-area
+//! deployments (XUFS-style per-user sessions over shared per-site state,
+//! Grid Datafarm's worldwide user counts) need thousands of *users* per
+//! mounting node.
+//!
+//! A [`Session`] is a flyweight over one mount context: thousands of
+//! sessions share a `Client`'s pool / tokens / dentry cache, while
+//! per-session state is just a slab-allocated handle table, a cwd, a bound
+//! device and an in-flight counter ([`SessionState`]). The facade methods
+//! (`sess.mkdir(sim, w, path, cb)` …) replace the loose `client::*` free
+//! functions as the scenario-facing call surface; the old `ClientId` paths
+//! remain as single-session delegates, byte-identical to the pre-session
+//! event sequences.
+//!
+//! **Fan-in**: on mount contexts built with
+//! [`crate::world::WorldBuilder::mount_context`], sessions batch
+//! same-instant metadata RPCs into one *envelope* per `(context, fs)` —
+//! one request message, one watchdog, one response for the whole batch,
+//! with per-op results demuxed in submission order. Exactly-once semantics
+//! are preserved per session op id: a retried envelope replays recorded
+//! results from the manager's dedup table instead of re-running mutations.
+//! This is what makes a 100k-session, 10M-op storm affordable: the
+//! simulator pays a handful of events per *envelope* instead of four per
+//! op.
+
+use crate::cache::PrefetchState;
+use crate::client;
+use crate::faults::RecoveryWhat;
+use crate::types::{ClientId, FsError, FsId, Handle, InodeId, OpenFlags, Owner, SessionId};
+use crate::world::{GfsWorld, OpenFile};
+use bytes::Bytes;
+use gfs_auth::handshake::AccessMode;
+use simcore::fxhash::FxHashMap;
+use simcore::Sim;
+use simnet::Network;
+use std::any::Any;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Per-session state: everything a simulated user owns that is *not*
+/// shared with the other users of the mount context. Deliberately tiny —
+/// the design target is 100k+ live sessions per world.
+#[derive(Debug, Clone)]
+pub struct SessionState {
+    /// The shared mount context this session rides on.
+    pub ctx: ClientId,
+    /// Open handles, slab-allocated (session-local fd → shared [`Handle`]).
+    pub handles: crate::slab::Slab<Handle>,
+    /// Current working directory for relative-path resolution.
+    pub cwd: String,
+    /// Device name ops resolve against (bound by `mount`/`bind_device`).
+    pub device: Option<String>,
+    /// Facade operations currently in flight (invariant: drains to 0).
+    pub inflight_ops: u32,
+    /// Sequence for session op ids (high bit set, session id in bits
+    /// 62..32, sequence below — disjoint from per-client op ids, so both
+    /// populations share one manager dedup table safely).
+    pub next_op_seq: u64,
+    /// Highest sequence this session has told the manager to retire:
+    /// every result at or below it was delivered, so the manager may drop
+    /// its recorded copy (see [`crate::world::ManagerState::retire`]).
+    pub acked_seq: u64,
+}
+
+impl SessionState {
+    /// Fresh session state on mount context `ctx`.
+    pub fn new(ctx: ClientId) -> Self {
+        SessionState {
+            ctx,
+            handles: crate::slab::Slab::new(),
+            cwd: "/".to_string(),
+            device: None,
+            inflight_ops: 0,
+            next_op_seq: 0,
+            acked_seq: 0,
+        }
+    }
+}
+
+/// One operation inside a fan-in envelope: a type-erased manager-side body
+/// plus the client-side demux callback. `run` returns the op's
+/// `Result<T, FsError>` boxed as `Rc<dyn Any>` — the exact representation
+/// the manager's dedup table stores, so replay hands the recorded `Rc`
+/// straight back to `deliver`.
+pub struct BatchOp {
+    op_id: u64,
+    mutating: bool,
+    /// Op-id range the manager may retire before running this op: the
+    /// session acks delivered results so the dedup table stays bounded.
+    ack: Option<(u64, u64)>,
+    run: Box<dyn FnMut(&mut Sim<GfsWorld>, &mut GfsWorld, FsId) -> Rc<dyn Any>>,
+    deliver: Option<Box<dyn FnOnce(&mut Sim<GfsWorld>, &mut GfsWorld, Result<Rc<dyn Any>, FsError>)>>,
+}
+
+/// Manager-RPC fan-in state on the world: per-`(mount ctx, fs)` batches
+/// open in the current instant, plus envelope accounting.
+#[derive(Default)]
+pub struct FanIn {
+    /// Batches still collecting ops this instant (flushed by a scheduled
+    /// same-instant event).
+    pending: FxHashMap<(u32, u32), Vec<BatchOp>>,
+    /// Envelopes sent (first attempts; retries counted separately).
+    pub envelopes: u64,
+    /// Total ops carried by those envelopes.
+    pub envelope_ops: u64,
+    /// Whole-envelope retries after a watchdog timeout.
+    pub retries: u64,
+    /// Largest single envelope seen.
+    pub max_batch: u64,
+}
+
+impl FanIn {
+    /// Ops sitting in not-yet-flushed batches (invariant: 0 once the sim
+    /// drains — every submit schedules a same-instant flush).
+    pub fn pending_ops(&self) -> usize {
+        self.pending.values().map(Vec::len).sum()
+    }
+}
+
+impl GfsWorld {
+    /// Open a new flyweight session on mount context `ctx`.
+    pub fn open_session(&mut self, ctx: ClientId) -> Session {
+        assert!(
+            (ctx.0 as usize) < self.clients.len(),
+            "open_session on unknown client {ctx:?}"
+        );
+        Session(SessionId(self.sessions.insert(SessionState::new(ctx))))
+    }
+
+    /// Close a session. Panics if it still has open handles or in-flight
+    /// operations — sessions must quiesce before ending.
+    pub fn end_session(&mut self, s: SessionId) {
+        let st = self.sessions.remove(s.0).expect("end_session on unknown session");
+        assert!(st.handles.is_empty(), "session {s:?} ended with open handles");
+        assert_eq!(st.inflight_ops, 0, "session {s:?} ended with in-flight ops");
+    }
+}
+
+/// A copyable handle to one flyweight session. All filesystem operations
+/// hang off this — it is the redesigned client call surface.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Session(pub SessionId);
+
+impl Session {
+    /// The session's id.
+    pub fn id(self) -> SessionId {
+        self.0
+    }
+
+    /// The shared mount context this session rides on.
+    pub fn ctx(self, w: &GfsWorld) -> ClientId {
+        self.state(w).ctx
+    }
+
+    fn state(self, w: &GfsWorld) -> &SessionState {
+        w.sessions.get(self.0 .0).expect("session no longer exists")
+    }
+
+    fn state_mut(self, w: &mut GfsWorld) -> &mut SessionState {
+        w.sessions.get_mut(self.0 .0).expect("session no longer exists")
+    }
+
+    /// A fresh op id in the session space (see
+    /// [`SessionState::next_op_seq`]) plus the retirement range this op
+    /// carries to the manager. When nothing else is in flight for the
+    /// session, every sequence below the new one has been delivered —
+    /// the op acks them so the manager can drop their recorded results.
+    fn next_op_id(self, w: &mut GfsWorld) -> (u64, Option<(u64, u64)>) {
+        let base = (1u64 << 63) | (u64::from(self.0 .0) << 32);
+        let st = self.state_mut(w);
+        st.next_op_seq += 1;
+        let seq = st.next_op_seq & 0xffff_ffff;
+        let ack = if st.inflight_ops == 1 && st.acked_seq + 1 < seq {
+            let lo = st.acked_seq + 1;
+            st.acked_seq = seq - 1;
+            Some((base | lo, base | (seq - 1)))
+        } else {
+            None
+        };
+        (base | seq, ack)
+    }
+
+    fn enter(self, w: &mut GfsWorld) {
+        self.state_mut(w).inflight_ops += 1;
+    }
+
+    fn exit(self, w: &mut GfsWorld) {
+        let st = self.state_mut(w);
+        debug_assert!(st.inflight_ops > 0, "session inflight underflow");
+        st.inflight_ops -= 1;
+    }
+
+    /// Bind `device` as the session's target without mounting — the
+    /// flyweight path when another session already mounted it on the
+    /// shared context.
+    pub fn bind_device(self, w: &mut GfsWorld, device: &str) {
+        self.state_mut(w).device = Some(device.to_string());
+    }
+
+    /// Change the working directory (no resolution round-trip is charged;
+    /// the next op pays for any lookup as usual).
+    pub fn chdir(self, w: &mut GfsWorld, path: &str) {
+        let abs = self.resolve(w, path);
+        self.state_mut(w).cwd = abs;
+    }
+
+    /// Resolve a possibly-relative path against the session cwd.
+    fn resolve(self, w: &GfsWorld, path: &str) -> String {
+        if path.starts_with('/') {
+            return path.to_string();
+        }
+        let cwd = &self.state(w).cwd;
+        if cwd == "/" {
+            format!("/{path}")
+        } else {
+            format!("{cwd}/{path}")
+        }
+    }
+
+    fn device(self, w: &GfsWorld) -> Result<String, FsError> {
+        self.state(w)
+            .device
+            .clone()
+            .ok_or_else(|| FsError::NotMounted("no device bound to session".to_string()))
+    }
+
+    /// Does this session's context batch manager RPCs?
+    fn fan_in(self, w: &GfsWorld) -> bool {
+        w.clients[self.ctx(w).0 as usize].fan_in
+    }
+
+    /// Mount `device` on the shared context ([`client::mount`] dispatches
+    /// local vs remote) and bind it as the session's target.
+    pub fn mount(
+        self,
+        sim: &mut Sim<GfsWorld>,
+        w: &mut GfsWorld,
+        device: &str,
+        mode: AccessMode,
+        cb: impl FnOnce(&mut Sim<GfsWorld>, &mut GfsWorld, Result<(), FsError>) + 'static,
+    ) {
+        self.enter(w);
+        let ctx = self.ctx(w);
+        let dev = device.to_string();
+        client::mount(sim, w, ctx, device, mode, move |sim, w, r| {
+            if r.is_ok() {
+                self.state_mut(w).device = Some(dev);
+            }
+            self.exit(w);
+            cb(sim, w, r);
+        });
+    }
+
+    /// Create a directory.
+    pub fn mkdir(
+        self,
+        sim: &mut Sim<GfsWorld>,
+        w: &mut GfsWorld,
+        path: &str,
+        owner: Owner,
+        cb: impl FnOnce(&mut Sim<GfsWorld>, &mut GfsWorld, Result<InodeId, FsError>) + 'static,
+    ) {
+        let path = self.resolve(w, path);
+        let ctx = self.ctx(w);
+        if !self.fan_in(w) {
+            self.enter(w);
+            let device = match self.device(w) {
+                Ok(d) => d,
+                Err(e) => {
+                    self.exit(w);
+                    cb(sim, w, Err(e));
+                    return;
+                }
+            };
+            client::mkdir(sim, w, ctx, &device, &path, owner, move |sim, w, r| {
+                self.exit(w);
+                cb(sim, w, r);
+            });
+            return;
+        }
+        self.submit_meta(sim, w, true, move |sim, w, fs| {
+            let now = sim.now().as_nanos();
+            client::mkdir_apply_mgr(w, fs, now, &path, &owner)
+        }, cb);
+    }
+
+    /// `stat` a path.
+    pub fn stat(
+        self,
+        sim: &mut Sim<GfsWorld>,
+        w: &mut GfsWorld,
+        path: &str,
+        cb: impl FnOnce(&mut Sim<GfsWorld>, &mut GfsWorld, Result<crate::fscore::FileAttr, FsError>)
+            + 'static,
+    ) {
+        let path = self.resolve(w, path);
+        let ctx = self.ctx(w);
+        if !self.fan_in(w) {
+            self.enter(w);
+            let device = match self.device(w) {
+                Ok(d) => d,
+                Err(e) => {
+                    self.exit(w);
+                    cb(sim, w, Err(e));
+                    return;
+                }
+            };
+            client::stat(sim, w, ctx, &device, &path, move |sim, w, r| {
+                self.exit(w);
+                cb(sim, w, r);
+            });
+            return;
+        }
+        self.submit_meta(sim, w, false, move |_sim, w, fs| {
+            client::stat_apply_mgr(w, fs, &path)
+        }, cb);
+    }
+
+    /// List a directory.
+    pub fn readdir(
+        self,
+        sim: &mut Sim<GfsWorld>,
+        w: &mut GfsWorld,
+        path: &str,
+        cb: impl FnOnce(&mut Sim<GfsWorld>, &mut GfsWorld, Result<Vec<String>, FsError>) + 'static,
+    ) {
+        let path = self.resolve(w, path);
+        let ctx = self.ctx(w);
+        if !self.fan_in(w) {
+            self.enter(w);
+            let device = match self.device(w) {
+                Ok(d) => d,
+                Err(e) => {
+                    self.exit(w);
+                    cb(sim, w, Err(e));
+                    return;
+                }
+            };
+            client::readdir(sim, w, ctx, &device, &path, move |sim, w, r| {
+                self.exit(w);
+                cb(sim, w, r);
+            });
+            return;
+        }
+        self.submit_meta(sim, w, false, move |_sim, w, fs| {
+            client::readdir_apply_mgr(w, fs, &path)
+        }, cb);
+    }
+
+    /// Remove a file or empty directory.
+    pub fn unlink(
+        self,
+        sim: &mut Sim<GfsWorld>,
+        w: &mut GfsWorld,
+        path: &str,
+        cb: impl FnOnce(&mut Sim<GfsWorld>, &mut GfsWorld, Result<(), FsError>) + 'static,
+    ) {
+        let path = self.resolve(w, path);
+        let ctx = self.ctx(w);
+        if !self.fan_in(w) {
+            self.enter(w);
+            let device = match self.device(w) {
+                Ok(d) => d,
+                Err(e) => {
+                    self.exit(w);
+                    cb(sim, w, Err(e));
+                    return;
+                }
+            };
+            client::unlink(sim, w, ctx, &device, &path, move |sim, w, r| {
+                self.exit(w);
+                cb(sim, w, r);
+            });
+            return;
+        }
+        self.submit_meta(sim, w, true, move |_sim, w, fs| {
+            client::unlink_apply_mgr(w, fs, &path)
+        }, cb);
+    }
+
+    /// Rename within the bound filesystem.
+    pub fn rename(
+        self,
+        sim: &mut Sim<GfsWorld>,
+        w: &mut GfsWorld,
+        from: &str,
+        to: &str,
+        cb: impl FnOnce(&mut Sim<GfsWorld>, &mut GfsWorld, Result<(), FsError>) + 'static,
+    ) {
+        let from = self.resolve(w, from);
+        let to = self.resolve(w, to);
+        let ctx = self.ctx(w);
+        if !self.fan_in(w) {
+            self.enter(w);
+            let device = match self.device(w) {
+                Ok(d) => d,
+                Err(e) => {
+                    self.exit(w);
+                    cb(sim, w, Err(e));
+                    return;
+                }
+            };
+            client::rename(sim, w, ctx, &device, &from, &to, move |sim, w, r| {
+                self.exit(w);
+                cb(sim, w, r);
+            });
+            return;
+        }
+        self.submit_meta(sim, w, true, move |_sim, w, fs| {
+            client::rename_apply_mgr(w, fs, &from, &to)
+        }, cb);
+    }
+
+    /// Open (and possibly create) a file. The handle is shared-context
+    /// scoped (usable by `read`/`write`) and tracked in the session's slab
+    /// handle table until `close`.
+    pub fn open(
+        self,
+        sim: &mut Sim<GfsWorld>,
+        w: &mut GfsWorld,
+        path: &str,
+        flags: OpenFlags,
+        owner: Owner,
+        cb: impl FnOnce(&mut Sim<GfsWorld>, &mut GfsWorld, Result<Handle, FsError>) + 'static,
+    ) {
+        let path = self.resolve(w, path);
+        let ctx = self.ctx(w);
+        if !self.fan_in(w) {
+            self.enter(w);
+            let device = match self.device(w) {
+                Ok(d) => d,
+                Err(e) => {
+                    self.exit(w);
+                    cb(sim, w, Err(e));
+                    return;
+                }
+            };
+            client::open(sim, w, ctx, &device, &path, flags, owner, move |sim, w, r| {
+                if let Ok(h) = r {
+                    self.state_mut(w).handles.insert(h);
+                }
+                self.exit(w);
+                cb(sim, w, r);
+            });
+            return;
+        }
+        let path2 = path.clone();
+        self.submit_meta(
+            sim,
+            w,
+            flags.writes(),
+            move |sim, w, fs| {
+                let now = sim.now().as_nanos();
+                client::open_apply_mgr(w, fs, now, &path, flags, &owner)
+            },
+            move |sim, w, r: Result<(FsId, InodeId), FsError>| match r {
+                Ok((fs, inode)) => {
+                    let h = w.alloc_handle();
+                    let c = &mut w.clients[ctx.0 as usize];
+                    c.handles.insert(
+                        h,
+                        OpenFile {
+                            fs,
+                            inode,
+                            flags,
+                            path: path2,
+                        },
+                    );
+                    c.prefetch.insert(h, PrefetchState::new(16));
+                    self.state_mut(w).handles.insert(h);
+                    cb(sim, w, Ok(h));
+                }
+                Err(e) => cb(sim, w, Err(e)),
+            },
+        );
+    }
+
+    /// Close: flush, release tokens at the manager, drop the handle from
+    /// both the shared context and the session table.
+    pub fn close(
+        self,
+        sim: &mut Sim<GfsWorld>,
+        w: &mut GfsWorld,
+        handle: Handle,
+        cb: impl FnOnce(&mut Sim<GfsWorld>, &mut GfsWorld, Result<(), FsError>) + 'static,
+    ) {
+        let ctx = self.ctx(w);
+        if !self.fan_in(w) {
+            self.enter(w);
+            client::close(sim, w, ctx, handle, move |sim, w, r| {
+                if r.is_ok() {
+                    self.forget_handle(w, handle);
+                }
+                self.exit(w);
+                cb(sim, w, degrade(r));
+            });
+            return;
+        }
+        let Some(of) = w.clients[ctx.0 as usize].handles.get(&handle).cloned() else {
+            self.enter(w);
+            self.exit(w);
+            cb(sim, w, Err(FsError::BadHandle));
+            return;
+        };
+        let (fs, inode) = (of.fs, of.inode);
+        self.enter(w);
+        // Write-behind pages flush first, exactly as the per-client path
+        // does; the token release then rides a fan-in envelope.
+        client::fsync(sim, w, ctx, handle, move |sim, w, r| {
+            if let Err(e) = r {
+                self.exit(w);
+                cb(sim, w, Err(degrade_err(e)));
+                return;
+            }
+            // Pure-metadata close: if the shared context holds no tokens
+            // on this inode there is nothing to release at the manager —
+            // complete locally instead of spending an envelope slot. (The
+            // common case for the create/stat/list storms, where opens
+            // never touch data.)
+            if !w.clients[ctx.0 as usize].held_tokens.contains_key(&(fs, inode)) {
+                let c = &mut w.clients[ctx.0 as usize];
+                c.handles.remove(&handle);
+                c.prefetch.remove(&handle);
+                self.forget_handle(w, handle);
+                self.exit(w);
+                cb(sim, w, Ok(()));
+                return;
+            }
+            self.submit_mgr(
+                sim,
+                w,
+                fs,
+                true,
+                move |_sim, w, fs| {
+                    w.fss[fs.0 as usize].tokens.release_all(inode, ctx);
+                    Ok(())
+                },
+                move |sim, w, r: Result<(), FsError>| {
+                    if r.is_ok() {
+                        let c = &mut w.clients[ctx.0 as usize];
+                        c.held_tokens.remove(&(fs, inode));
+                        c.handles.remove(&handle);
+                        c.prefetch.remove(&handle);
+                        self.forget_handle(w, handle);
+                    }
+                    cb(sim, w, r);
+                },
+            );
+        });
+    }
+
+    /// Read through the shared page pool. Total NSD-server loss surfaces
+    /// as [`FsError::Degraded`] at the session surface.
+    pub fn read(
+        self,
+        sim: &mut Sim<GfsWorld>,
+        w: &mut GfsWorld,
+        handle: Handle,
+        offset: u64,
+        len: u64,
+        cb: impl FnOnce(&mut Sim<GfsWorld>, &mut GfsWorld, Result<Bytes, FsError>) + 'static,
+    ) {
+        self.enter(w);
+        let ctx = self.ctx(w);
+        client::read(sim, w, ctx, handle, offset, len, move |sim, w, r| {
+            self.exit(w);
+            cb(sim, w, degrade(r));
+        });
+    }
+
+    /// Write-behind through the shared page pool. Total NSD-server loss
+    /// surfaces as [`FsError::Degraded`] at the session surface.
+    pub fn write(
+        self,
+        sim: &mut Sim<GfsWorld>,
+        w: &mut GfsWorld,
+        handle: Handle,
+        offset: u64,
+        data: Bytes,
+        cb: impl FnOnce(&mut Sim<GfsWorld>, &mut GfsWorld, Result<(), FsError>) + 'static,
+    ) {
+        self.enter(w);
+        let ctx = self.ctx(w);
+        client::write(sim, w, ctx, handle, offset, data, move |sim, w, r| {
+            self.exit(w);
+            cb(sim, w, degrade(r));
+        });
+    }
+
+    /// Flush the handle's dirty pages.
+    pub fn fsync(
+        self,
+        sim: &mut Sim<GfsWorld>,
+        w: &mut GfsWorld,
+        handle: Handle,
+        cb: impl FnOnce(&mut Sim<GfsWorld>, &mut GfsWorld, Result<(), FsError>) + 'static,
+    ) {
+        self.enter(w);
+        let ctx = self.ctx(w);
+        client::fsync(sim, w, ctx, handle, move |sim, w, r| {
+            self.exit(w);
+            cb(sim, w, degrade(r));
+        });
+    }
+
+    /// Truncate an open file.
+    pub fn truncate(
+        self,
+        sim: &mut Sim<GfsWorld>,
+        w: &mut GfsWorld,
+        handle: Handle,
+        new_size: u64,
+        cb: impl FnOnce(&mut Sim<GfsWorld>, &mut GfsWorld, Result<(), FsError>) + 'static,
+    ) {
+        self.enter(w);
+        let ctx = self.ctx(w);
+        client::truncate(sim, w, ctx, handle, new_size, move |sim, w, r| {
+            self.exit(w);
+            cb(sim, w, degrade(r));
+        });
+    }
+
+    fn forget_handle(self, w: &mut GfsWorld, handle: Handle) {
+        let st = self.state_mut(w);
+        let key = st
+            .handles
+            .iter()
+            .find(|(_, h)| **h == handle)
+            .map(|(k, _)| k);
+        if let Some(k) = key {
+            st.handles.remove(k);
+        }
+    }
+
+    /// Fan-in metadata submit against the session's bound device: mount +
+    /// access-mode preflight, then one [`BatchOp`] into the context's
+    /// current-instant envelope.
+    fn submit_meta<T: Clone + 'static>(
+        self,
+        sim: &mut Sim<GfsWorld>,
+        w: &mut GfsWorld,
+        needs_write: bool,
+        run: impl FnMut(&mut Sim<GfsWorld>, &mut GfsWorld, FsId) -> Result<T, FsError> + 'static,
+        cb: impl FnOnce(&mut Sim<GfsWorld>, &mut GfsWorld, Result<T, FsError>) + 'static,
+    ) {
+        self.enter(w);
+        let ctx = self.ctx(w);
+        // Borrow the bound device in place — no per-op String clone.
+        let m = match self.state(w).device.as_deref() {
+            Some(dev) => client::mount_of(w, ctx, dev),
+            None => Err(FsError::NotMounted("no device bound to session".to_string())),
+        };
+        let m = match m {
+            Ok(m) => m,
+            Err(e) => {
+                self.exit(w);
+                cb(sim, w, Err(e));
+                return;
+            }
+        };
+        if needs_write && m.mode == AccessMode::ReadOnly {
+            self.exit(w);
+            cb(sim, w, Err(FsError::ReadOnly));
+            return;
+        }
+        self.submit_mgr(sim, w, m.fs, needs_write, run, cb);
+    }
+
+    /// Enqueue one manager op into the `(ctx, fs)` envelope forming this
+    /// instant (the caller has already done any preflight). The first op
+    /// of an instant schedules the same-instant flush event.
+    fn submit_mgr<T: Clone + 'static>(
+        self,
+        sim: &mut Sim<GfsWorld>,
+        w: &mut GfsWorld,
+        fs: FsId,
+        mutating: bool,
+        mut run: impl FnMut(&mut Sim<GfsWorld>, &mut GfsWorld, FsId) -> Result<T, FsError> + 'static,
+        cb: impl FnOnce(&mut Sim<GfsWorld>, &mut GfsWorld, Result<T, FsError>) + 'static,
+    ) {
+        let ctx = self.ctx(w);
+        let (op_id, ack) = self.next_op_id(w);
+        let op = BatchOp {
+            op_id,
+            mutating,
+            ack,
+            run: Box::new(move |sim, w, fs| Rc::new(run(sim, w, fs)) as Rc<dyn Any>),
+            deliver: Some(Box::new(move |sim, w, r| {
+                // Move the result out of the `Rc` when this delivery holds
+                // the only reference (always true for unrecorded reads —
+                // the readdir name vector is never cloned); fall back to a
+                // clone when the dedup table still holds the other one.
+                let out: Result<T, FsError> = match r {
+                    Ok(rc) => match rc.downcast::<Result<T, FsError>>() {
+                        Ok(rc) => Rc::try_unwrap(rc).unwrap_or_else(|rc| (*rc).clone()),
+                        Err(_) => panic!("batch op replayed with a different result type"),
+                    },
+                    Err(e) => Err(e),
+                };
+                self.exit(w);
+                cb(sim, w, out);
+            })),
+        };
+        submit_batch(sim, w, ctx, fs, op);
+    }
+}
+
+/// Map total-server-loss to the session surface's degraded-service error.
+fn degrade<T>(r: Result<T, FsError>) -> Result<T, FsError> {
+    r.map_err(degrade_err)
+}
+
+fn degrade_err(e: FsError) -> FsError {
+    match e {
+        FsError::ServerDown => {
+            FsError::Degraded("all NSD servers for the filesystem are down".to_string())
+        }
+        other => other,
+    }
+}
+
+/// Push one op into the `(ctx, fs)` batch; the first op of an instant
+/// schedules the flush. `sim.immediately` runs *after* every event already
+/// queued at the current instant, so all same-instant submits land in the
+/// same envelope.
+fn submit_batch(sim: &mut Sim<GfsWorld>, w: &mut GfsWorld, ctx: ClientId, fs: FsId, op: BatchOp) {
+    let key = (ctx.0, fs.0);
+    let q = w.fanin.pending.entry(key).or_default();
+    q.push(op);
+    if q.len() == 1 {
+        sim.immediately(move |sim, w| {
+            let ops = w.fanin.pending.remove(&key).unwrap_or_default();
+            if ops.is_empty() {
+                return;
+            }
+            w.fanin.envelopes += 1;
+            w.fanin.envelope_ops += ops.len() as u64;
+            w.fanin.max_batch = w.fanin.max_batch.max(ops.len() as u64);
+            let env = Rc::new(RefCell::new(ops));
+            envelope_attempt(sim, w, ctx, fs, env, 0, None);
+        });
+    }
+}
+
+/// One wire attempt of a whole envelope, under the same survival rules as
+/// [`client`]'s per-op `manager_rpc`: watchdog timeout, exponential
+/// backoff, acting-manager re-resolution per attempt, drop at a crashed /
+/// recovering / superseded manager, per-op exactly-once via the dedup
+/// table. One message out, one watchdog, one message back — per *batch*.
+fn envelope_attempt(
+    sim: &mut Sim<GfsWorld>,
+    w: &mut GfsWorld,
+    ctx: ClientId,
+    fs: FsId,
+    env: Rc<RefCell<Vec<BatchOp>>>,
+    attempt: u32,
+    prev_mgr: Option<simnet::NodeId>,
+) {
+    let mgr = w.fss[fs.0 as usize].manager_endpoint();
+    client::log_failover(sim, w, ctx, prev_mgr, mgr);
+    let from = client::client_node(w, ctx);
+    let rpcb = w.costs.rpc_bytes;
+    let timeout = w.costs.request_timeout;
+    let watchdog = {
+        let env = env.clone();
+        sim.timer_after(timeout, move |sim, w| {
+            w.recovery.log(
+                sim.now(),
+                RecoveryWhat::TimeoutDetected { client: ctx, server: mgr },
+            );
+            if attempt >= w.costs.max_retries {
+                let delivers: Vec<_> = env
+                    .borrow_mut()
+                    .iter_mut()
+                    .map(|op| op.deliver.take())
+                    .collect();
+                for d in delivers.into_iter().flatten() {
+                    d(sim, w, Err(FsError::Timeout));
+                }
+                return;
+            }
+            w.fanin.retries += 1;
+            let delay = client::backoff_delay(w, attempt);
+            sim.after(delay, move |sim, w| {
+                envelope_attempt(sim, w, ctx, fs, env, attempt + 1, Some(mgr));
+            });
+        })
+    };
+    let env2 = env.clone();
+    Network::send_msg(sim, w, from, mgr, rpcb, move |sim, w| {
+        // A crashed, recovering, or superseded manager drops the whole
+        // envelope silently; only the watchdog tells the sessions.
+        {
+            let inst = &w.fss[fs.0 as usize];
+            if inst.down_servers.contains(&mgr) || inst.mgr.recovering || inst.mgr.acting != mgr {
+                return;
+            }
+        }
+        // Manager CPU: envelopes serialize FIFO through the acting
+        // manager's service queue, `manager_op_service` per op. Execution
+        // happens at the slot's *end*, so cross-envelope op ordering is
+        // exactly arrival order — the same interleaving the uncharged
+        // model produced, just later on the clock.
+        let n = env2.borrow().len() as u64;
+        let start = w.fss[fs.0 as usize].mgr.busy_until.max(sim.now());
+        let done = start + w.costs.manager_op_service * n;
+        w.fss[fs.0 as usize].mgr.busy_until = done;
+        sim.at(done, move |sim, w| {
+            // Re-check: the manager may have died while this envelope sat
+            // in its queue. The crash wiped the queue; whatever was in it
+            // dies with the node and the watchdogs drive the retries.
+            {
+                let inst = &w.fss[fs.0 as usize];
+                if inst.down_servers.contains(&mgr)
+                    || inst.mgr.recovering
+                    || inst.mgr.acting != mgr
+                {
+                    return;
+                }
+            }
+            // Apply (or replay) every op in submission order. Results
+            // travel to the response event as the same `Rc<dyn Any>` the
+            // dedup table records, so a retried envelope demuxes
+            // identically.
+            let n = env2.borrow().len();
+            let mut results: Vec<Rc<dyn Any>> = Vec::with_capacity(n);
+            for i in 0..n {
+                let (op_id, mutating, ack) = {
+                    let ops = env2.borrow();
+                    (ops[i].op_id, ops[i].mutating, ops[i].ack)
+                };
+                // Acked history first: results the session has proven
+                // delivered are retired before anything else runs. Re-runs
+                // on an envelope retry are no-ops (the ids are already
+                // gone).
+                if let Some((lo, hi)) = ack {
+                    w.fss[fs.0 as usize].mgr.retire(lo, hi);
+                }
+                let r = match w.fss[fs.0 as usize].mgr.applied_result(op_id) {
+                    Some(r) => r,
+                    None => {
+                        let r = {
+                            let mut ops = env2.borrow_mut();
+                            let run = &mut ops[i].run;
+                            run(sim, w, fs)
+                        };
+                        if mutating {
+                            w.fss[fs.0 as usize].mgr.record(op_id, r.clone());
+                        }
+                        r
+                    }
+                };
+                results.push(r);
+            }
+            let rpcb = w.costs.rpc_bytes;
+            Network::send_msg(sim, w, mgr, from, rpcb, move |sim, w| {
+                if !sim.cancel_timer(watchdog) {
+                    return; // watchdog fired first; the retry owns the envelope
+                }
+                let delivers: Vec<_> = env2
+                    .borrow_mut()
+                    .iter_mut()
+                    .map(|op| op.deliver.take())
+                    .collect();
+                for (d, r) in delivers.into_iter().zip(results) {
+                    if let Some(d) = d {
+                        d(sim, w, Ok(r));
+                    }
+                }
+            });
+        });
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fscore::FsConfig;
+    use crate::types::NsdId;
+    use crate::world::{FsParams, WorldBuilder};
+    use bytes::Bytes;
+    use simcore::{Bandwidth, SimDuration};
+    use std::cell::Cell;
+
+    struct Bed {
+        sim: Sim<GfsWorld>,
+        w: GfsWorld,
+        sessions: Vec<Session>,
+    }
+
+    /// One cluster, one manager/NSD node, one mount context carrying
+    /// `n_sessions` flyweight sessions.
+    fn bed(n_sessions: usize) -> Bed {
+        let mut b = WorldBuilder::new(7);
+        b.key_bits(384);
+        let mgr = b.topo().node("mgr");
+        let cn = b.topo().node("ctx");
+        b.topo().duplex_link(
+            cn,
+            mgr,
+            Bandwidth::gbit(1.0),
+            SimDuration::from_micros(50),
+            "lan",
+        );
+        let site = b.cluster("site.teragrid");
+        b.filesystem(
+            site,
+            FsParams::ideal(
+                FsConfig::small_test("gpfs0"),
+                mgr,
+                vec![mgr],
+                Bandwidth::mbyte(400.0),
+                SimDuration::from_micros(300),
+            ),
+        );
+        let ctx = b.mount_context(site, cn, 256);
+        let ids: Vec<_> = (0..n_sessions).map(|_| b.session(ctx)).collect();
+        let (sim, w) = b.build();
+        Bed {
+            sim,
+            w,
+            sessions: ids.into_iter().map(Session).collect(),
+        }
+    }
+
+    fn owner() -> Owner {
+        Owner::local(500, 100)
+    }
+
+    /// Mount via the first session, bind the rest, then hand control to
+    /// `body` in a single event (so everything it submits shares one
+    /// instant).
+    fn mounted(bed: &mut Bed, body: impl FnOnce(&mut Sim<GfsWorld>, &mut GfsWorld) + 'static) {
+        let sessions = bed.sessions.clone();
+        let s0 = sessions[0];
+        s0.mount(
+            &mut bed.sim,
+            &mut bed.w,
+            "gpfs0",
+            AccessMode::ReadWrite,
+            move |sim, w, r| {
+                r.unwrap();
+                for s in &sessions[1..] {
+                    s.bind_device(w, "gpfs0");
+                }
+                body(sim, w);
+            },
+        );
+        bed.sim.run(&mut bed.w);
+    }
+
+    #[test]
+    fn same_instant_ops_share_one_envelope() {
+        let mut t = bed(4);
+        let sessions = t.sessions.clone();
+        let oks = Rc::new(Cell::new(0u32));
+        let oks2 = oks.clone();
+        mounted(&mut t, move |sim, w| {
+            for (i, s) in sessions.iter().enumerate() {
+                let oks = oks2.clone();
+                s.mkdir(sim, w, &format!("/d{i}"), owner(), move |_s, _w, r| {
+                    r.unwrap();
+                    oks.set(oks.get() + 1);
+                });
+            }
+        });
+        assert_eq!(oks.get(), 4, "every batched op must demux its result");
+        assert_eq!(t.w.fanin.envelopes, 1, "same-instant ops must share one envelope");
+        assert_eq!(t.w.fanin.envelope_ops, 4);
+        assert_eq!(t.w.fanin.max_batch, 4);
+        assert_eq!(t.w.fanin.pending_ops(), 0);
+        for s in &t.sessions {
+            assert_eq!(s.state(&t.w).inflight_ops, 0);
+        }
+    }
+
+    #[test]
+    fn retried_envelope_replays_from_dedup_table() {
+        let mut t = bed(1);
+        let s = t.sessions[0];
+        let ran = Rc::new(Cell::new(0u32));
+        let ran2 = ran.clone();
+        let got = Rc::new(Cell::new(0u32));
+        let got2 = got.clone();
+        mounted(&mut t, move |sim, w| {
+            // Starve attempt 0: the watchdog fires before the ~100µs RTT
+            // completes, so the response is dropped and the envelope
+            // retries — but the manager has already applied + recorded the
+            // op, so the retry must replay, not re-run.
+            w.costs.request_timeout = SimDuration::from_micros(1);
+            s.enter(w);
+            s.submit_mgr(
+                sim,
+                w,
+                FsId(0),
+                true,
+                move |_sim, _w, _fs| {
+                    ran2.set(ran2.get() + 1);
+                    Ok(42u32)
+                },
+                move |_sim, _w, r: Result<u32, FsError>| {
+                    got2.set(r.unwrap());
+                },
+            );
+            // Restore a sane timeout before the backoff (>= 50ms) fires,
+            // so attempt 1 can actually complete.
+            sim.after(SimDuration::from_millis(10), |_sim, w| {
+                w.costs.request_timeout = SimDuration::from_millis(1500);
+            });
+        });
+        assert_eq!(got.get(), 42, "retried op must still deliver its result");
+        assert_eq!(ran.get(), 1, "mutating op must run exactly once across retries");
+        assert!(t.w.fanin.retries >= 1, "the starved attempt must have retried");
+        assert_eq!(t.sessions[0].state(&t.w).inflight_ops, 0);
+    }
+
+    #[test]
+    fn total_server_loss_surfaces_as_degraded() {
+        let mut t = bed(1);
+        let s = t.sessions[0];
+        let saw = Rc::new(Cell::new(false));
+        let saw2 = saw.clone();
+        mounted(&mut t, move |sim, w| {
+            let saw = saw2;
+            s.open(sim, w, "/f", OpenFlags::Write, owner(), move |sim, w, r| {
+                let h = r.unwrap();
+                s.write(sim, w, h, 0, Bytes::from(vec![7u8; 4096]), move |sim, w, r| {
+                    r.unwrap();
+                    let servers = w.fss[0].nsd_servers.clone();
+                    for n in servers {
+                        w.fss[0].fail_server(n);
+                    }
+                    assert!(w.fss[0].try_server_of(NsdId(0)).is_none());
+                    s.fsync(sim, w, h, move |_sim, _w, r| {
+                        assert!(
+                            matches!(r, Err(FsError::Degraded(_))),
+                            "total server loss must surface as Degraded, got {r:?}"
+                        );
+                        saw.set(true);
+                    });
+                });
+            });
+        });
+        assert!(saw.get());
+    }
+
+    #[test]
+    fn open_write_read_close_roundtrip_with_relative_paths() {
+        let mut t = bed(2);
+        let s = t.sessions[1];
+        let data = Rc::new(Cell::new(0usize));
+        let data2 = data.clone();
+        mounted(&mut t, move |sim, w| {
+            let data = data2;
+            s.mkdir(sim, w, "/home", owner(), move |sim, w, r| {
+                r.unwrap();
+                s.chdir(w, "/home");
+                s.open(sim, w, "out.dat", OpenFlags::Write, owner(), move |sim, w, r| {
+                    let h = r.unwrap();
+                    assert_eq!(s.state(w).handles.len(), 1);
+                    s.write(sim, w, h, 0, Bytes::from(vec![3u8; 8192]), move |sim, w, r| {
+                        r.unwrap();
+                        s.read(sim, w, h, 0, 8192, move |sim, w, r| {
+                            let bytes = r.unwrap();
+                            data.set(bytes.len());
+                            s.close(sim, w, h, move |_sim, w, r| {
+                                r.unwrap();
+                                assert!(s.state(w).handles.is_empty());
+                            });
+                        });
+                    });
+                });
+            });
+        });
+        assert_eq!(data.get(), 8192);
+        // The cwd-relative open must have landed under /home.
+        let ids = t.w.fss[0].core.lookup("/home/out.dat");
+        assert!(ids.is_ok(), "relative open should create /home/out.dat");
+        assert_eq!(t.sessions[1].state(&t.w).inflight_ops, 0);
+        let sid = t.sessions[1].id();
+        t.w.end_session(sid);
+        assert_eq!(t.w.sessions.len(), 1);
+    }
+
+    #[test]
+    fn unbound_session_errors_with_not_mounted() {
+        let mut t = bed(1);
+        let s = t.sessions[0];
+        let saw = Rc::new(Cell::new(false));
+        let saw2 = saw.clone();
+        s.stat(&mut t.sim, &mut t.w, "/x", move |_sim, _w, r| {
+            assert!(matches!(r, Err(FsError::NotMounted(_))));
+            saw2.set(true);
+        });
+        t.sim.run(&mut t.w);
+        assert!(saw.get());
+    }
+}

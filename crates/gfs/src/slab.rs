@@ -1,0 +1,137 @@
+//! A minimal deterministic slab allocator.
+//!
+//! Backs the flyweight-session tables ([`crate::session`]): 100k+ sessions
+//! each carry a handle table, and the per-mount fan-in layer tracks
+//! in-flight envelopes — `BTreeMap`-per-session would cost an allocation
+//! and a pointer chase per entry. A slab stores entries in one `Vec`,
+//! reuses freed slots LIFO (deterministic — no hashing, no randomized
+//! layout), and hands out dense `u32` keys.
+
+/// Vec-backed slab with LIFO free-slot reuse.
+#[derive(Debug, Clone, Default)]
+pub struct Slab<T> {
+    slots: Vec<Option<T>>,
+    free: Vec<u32>,
+    len: usize,
+}
+
+impl<T> Slab<T> {
+    /// An empty slab.
+    pub fn new() -> Self {
+        Slab { slots: Vec::new(), free: Vec::new(), len: 0 }
+    }
+
+    /// An empty slab with room for `cap` entries before reallocating.
+    pub fn with_capacity(cap: usize) -> Self {
+        Slab { slots: Vec::with_capacity(cap), free: Vec::new(), len: 0 }
+    }
+
+    /// Insert a value; returns its key. Freed keys are reused LIFO.
+    pub fn insert(&mut self, value: T) -> u32 {
+        self.len += 1;
+        match self.free.pop() {
+            Some(k) => {
+                self.slots[k as usize] = Some(value);
+                k
+            }
+            None => {
+                let k = self.slots.len() as u32;
+                self.slots.push(Some(value));
+                k
+            }
+        }
+    }
+
+    /// Remove and return the value at `key`, freeing the slot.
+    pub fn remove(&mut self, key: u32) -> Option<T> {
+        let v = self.slots.get_mut(key as usize)?.take();
+        if v.is_some() {
+            self.free.push(key);
+            self.len -= 1;
+        }
+        v
+    }
+
+    /// Shared access to the value at `key`.
+    pub fn get(&self, key: u32) -> Option<&T> {
+        self.slots.get(key as usize)?.as_ref()
+    }
+
+    /// Mutable access to the value at `key`.
+    pub fn get_mut(&mut self, key: u32) -> Option<&mut T> {
+        self.slots.get_mut(key as usize)?.as_mut()
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no entries are live.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Iterate live `(key, &value)` pairs in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &T)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|v| (i as u32, v)))
+    }
+
+    /// Iterate live `(key, &mut value)` pairs in key order.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (u32, &mut T)> {
+        self.slots
+            .iter_mut()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_mut().map(|v| (i as u32, v)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut s = Slab::new();
+        let a = s.insert("a");
+        let b = s.insert("b");
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.get(a), Some(&"a"));
+        assert_eq!(s.remove(a), Some("a"));
+        assert_eq!(s.get(a), None);
+        assert_eq!(s.remove(a), None);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.get(b), Some(&"b"));
+    }
+
+    #[test]
+    fn freed_slots_are_reused_lifo() {
+        let mut s = Slab::new();
+        let keys: Vec<u32> = (0..4).map(|i| s.insert(i)).collect();
+        assert_eq!(keys, vec![0, 1, 2, 3]);
+        s.remove(1);
+        s.remove(2);
+        // Most recently freed slot comes back first.
+        assert_eq!(s.insert(20), 2);
+        assert_eq!(s.insert(10), 1);
+        assert_eq!(s.insert(40), 4);
+    }
+
+    #[test]
+    fn iter_skips_holes_in_key_order() {
+        let mut s = Slab::new();
+        for i in 0..5 {
+            s.insert(i * 10);
+        }
+        s.remove(3);
+        let got: Vec<(u32, i32)> = s.iter().map(|(k, v)| (k, *v)).collect();
+        assert_eq!(got, vec![(0, 0), (1, 10), (2, 20), (4, 40)]);
+        for (_, v) in s.iter_mut() {
+            *v += 1;
+        }
+        assert_eq!(s.get(4), Some(&41));
+    }
+}

@@ -26,6 +26,12 @@ pub struct NameId(pub u32);
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct ClientId(pub u32);
 
+/// Identifies a flyweight session: one simulated user sharing a mount
+/// context's page pool, token mirror and dentry cache (see
+/// [`crate::session`]). Thousands of sessions ride on one [`ClientId`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct SessionId(pub u32);
+
 /// Identifies a GPFS cluster (an administrative domain).
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct ClusterId(pub u32);

@@ -13,7 +13,7 @@ use gfs_auth::handshake::{AccessMode, ClusterAuth};
 use rand::rngs::StdRng;
 use simcore::{det_rng, Bandwidth, Sim, SimDuration, SimTime};
 use simnet::{NetWorld, Network, NodeId, Topology, TopologyBuilder};
-use simcore::fxhash::FxHashMap;
+use simcore::fxhash::{FxFinalHashMap, FxHashMap};
 use simsan::{Array, ArraySpec};
 use std::any::Any;
 use std::collections::BTreeMap;
@@ -92,10 +92,34 @@ pub struct ManagerState {
     /// mutation, in application order. Survives crashes.
     wal: Vec<(u64, Rc<dyn Any>)>,
     /// Volatile dedup table: op id → recorded result. Wiped by a crash,
-    /// rebuilt from the WAL by recovery.
-    applied: FxHashMap<u64, Rc<dyn Any>>,
+    /// rebuilt from the WAL by recovery. Keyed by composed op ids (actor
+    /// in the high bits, sequence low), so it needs the finalizing hasher
+    /// — plain multiplicative Fx collapses this population onto a few
+    /// buckets once sessions number in the thousands.
+    applied: FxFinalHashMap<u64, Rc<dyn Any>>,
+    /// WAL entries whose results have been retired (see [`Self::retire`])
+    /// but not yet reclaimed by compaction.
+    retired: u64,
     /// Total WAL entries replayed across all recoveries (observability).
     pub replayed: u64,
+    /// The acting manager's own path → inode cache, used when applying
+    /// fan-in envelopes (`crate::session`). Client dentry caches stay
+    /// coherent through invalidation broadcasts plus the namespace
+    /// generation (a wholesale tag that any unlink bumps); the manager
+    /// needs neither, because it applies every namespace mutation itself
+    /// and can therefore invalidate *exactly*: unlink removes the one
+    /// dead path (an unlinked directory is empty, so no cached descendant
+    /// can exist — each was removed at its own unlink), rename moves a
+    /// whole subtree and clears wholesale, and create/mkdir can never
+    /// make a cached positive mapping wrong. Volatile: wiped on crash.
+    paths: FxHashMap<Box<str>, crate::types::InodeId>,
+    /// Service queue head for fan-in envelopes: the instant the manager's
+    /// CPU frees up. Arriving envelopes start at
+    /// `max(now, busy_until)` and run for
+    /// `ops × ProtocolCosts::manager_op_service`, FIFO in arrival order.
+    /// Volatile — a crash empties the queue (the in-flight envelopes die
+    /// with the node and their watchdogs retry against the successor).
+    pub busy_until: SimTime,
 }
 
 impl ManagerState {
@@ -106,9 +130,34 @@ impl ManagerState {
             epoch: 0,
             recovering: false,
             wal: Vec::new(),
-            applied: FxHashMap::default(),
+            applied: FxFinalHashMap::default(),
+            retired: 0,
             replayed: 0,
+            paths: FxHashMap::default(),
+            busy_until: SimTime::from_nanos(0),
         }
+    }
+
+    /// Probe the manager's path cache (see the `paths` field).
+    pub fn cached_path(&self, path: &str) -> Option<crate::types::InodeId> {
+        self.paths.get(path).copied()
+    }
+
+    /// Remember a successful resolution.
+    pub fn cache_path(&mut self, path: &str, id: crate::types::InodeId) {
+        self.paths.insert(path.into(), id);
+    }
+
+    /// Exact invalidation: the entry at `path` is gone (unlink).
+    pub fn uncache_path(&mut self, path: &str) {
+        if !self.paths.is_empty() {
+            self.paths.remove(path);
+        }
+    }
+
+    /// Wholesale invalidation: a subtree moved (rename).
+    pub fn uncache_all_paths(&mut self) {
+        self.paths.clear();
     }
 
     /// The recorded result of an already-applied op, if any.
@@ -127,9 +176,37 @@ impl ManagerState {
         self.wal.len()
     }
 
+    /// Retire the recorded results in the op-id range `lo..=hi`: the
+    /// submitting session has proven (by sending a later op with nothing
+    /// else in flight) that every result below its current sequence point
+    /// was delivered, so no retry can ever ask for them again. Dropping
+    /// acked history keeps the dedup table O(live sessions) instead of
+    /// O(total ops) — the retirement-floor scheme real fan-in managers
+    /// use. Only session-space op ids (bit 63 set) are ever passed here;
+    /// legacy per-client ops keep their full history, so WAL length and
+    /// recovery-replay accounting for the chaos scenarios are unchanged.
+    pub fn retire(&mut self, lo: u64, hi: u64) {
+        for id in lo..=hi {
+            if self.applied.remove(&id).is_some() {
+                self.retired += 1;
+            }
+        }
+        // Compact once dead entries dominate the log — the checkpoint+
+        // truncate a real manager performs when its acked floor advances.
+        // The WAL stays within 2x its live size, bounding both memory and
+        // the modeled replay charge for session-heavy workloads.
+        if self.retired >= 1024 && self.retired * 2 >= self.wal.len() as u64 {
+            let applied = &self.applied;
+            self.wal.retain(|(id, _)| applied.contains_key(id));
+            self.retired = 0;
+        }
+    }
+
     /// The manager node died: volatile state is gone.
     pub fn crash(&mut self) {
         self.applied.clear();
+        self.paths.clear();
+        self.busy_until = SimTime::from_nanos(0);
         self.recovering = true;
     }
 
@@ -191,8 +268,10 @@ impl FsInstance {
             .find(|cand| !self.down_servers.contains(cand))
     }
 
-    /// Like [`FsInstance::try_server_of`] but panics on total failure; for
-    /// call sites that have no error path.
+    /// Like [`FsInstance::try_server_of`] but panics on total failure.
+    #[deprecated(
+        note = "use try_server_of and surface total server loss as FsError::Degraded/ServerDown"
+    )]
     pub fn server_of(&self, nsd: NsdId) -> NodeId {
         self.try_server_of(nsd)
             .unwrap_or_else(|| panic!("no NSD server available for {nsd:?}: all servers failed"))
@@ -336,6 +415,10 @@ pub struct Client {
     pub dentry: DentryCache,
     /// Sequence number for manager-op ids (see [`Client::next_op_id`]).
     pub next_op_seq: u64,
+    /// When true, sessions sharing this mount context batch same-instant
+    /// manager RPCs into fan-in envelopes (see [`crate::session`]).
+    /// Plain one-user clients keep the direct per-op RPC path.
+    pub fan_in: bool,
 }
 
 impl Client {
@@ -388,6 +471,15 @@ pub struct ProtocolCosts {
     /// Per-WAL-entry replay cost during manager recovery; total recovery
     /// time is `manager_recovery_base + manager_replay_per_op × wal_len`.
     pub manager_replay_per_op: SimDuration,
+    /// Manager CPU per metadata op inside a fan-in envelope. Envelopes
+    /// serialize through the acting manager's service queue
+    /// ([`ManagerState::busy_until`]): an envelope of `n` ops occupies the
+    /// manager for `n × manager_op_service`, so one site manager sustains
+    /// at most `1/manager_op_service` metadata ops per simulated second
+    /// (200k/s at the 5µs default — a directory op on 2004-era SMP
+    /// hardware). The legacy per-op RPC path keeps its original costing;
+    /// only batched envelopes are charged here.
+    pub manager_op_service: SimDuration,
 }
 
 impl Default for ProtocolCosts {
@@ -402,6 +494,7 @@ impl Default for ProtocolCosts {
             max_retries: 6,
             manager_recovery_base: SimDuration::from_millis(250),
             manager_replay_per_op: SimDuration::from_micros(2),
+            manager_op_service: SimDuration::from_micros(5),
         }
     }
 }
@@ -426,6 +519,12 @@ pub struct GfsWorld {
     pub recovery: crate::faults::RecoveryLog,
     /// Client↔NSD request accounting (coalescing effectiveness).
     pub nsd_stats: NsdStats,
+    /// Flyweight sessions (see [`crate::session`]), slab-keyed by
+    /// [`crate::types::SessionId`].
+    pub sessions: crate::slab::Slab<crate::session::SessionState>,
+    /// Manager-RPC fan-in state: open per-`(mount ctx, fs)` batches plus
+    /// envelope counters.
+    pub fanin: crate::session::FanIn,
     /// Scenario/benchmark extension state.
     pub ext: Box<dyn Any>,
     pub(crate) next_handle: u64,
@@ -591,7 +690,8 @@ pub struct WorldBuilder {
     key_bits: u32,
     clusters: Vec<(String, Vec<NodeId>)>,
     fss: Vec<(usize, FsParams)>,
-    clients: Vec<(usize, NodeId, usize)>,
+    clients: Vec<(usize, NodeId, usize, bool)>,
+    sessions: Vec<u32>,
     arrays: Vec<ArraySpec>,
 }
 
@@ -605,6 +705,7 @@ impl WorldBuilder {
             clusters: Vec::new(),
             fss: Vec::new(),
             clients: Vec::new(),
+            sessions: Vec::new(),
             arrays: Vec::new(),
         }
     }
@@ -650,7 +751,30 @@ impl WorldBuilder {
     /// `pool_pages` blocks.
     pub fn client(&mut self, cluster: ClusterId, node: NodeId, pool_pages: usize) -> ClientId {
         let id = ClientId(self.clients.len() as u32);
-        self.clients.push((cluster.0 as usize, node, pool_pages));
+        self.clients.push((cluster.0 as usize, node, pool_pages, false));
+        id
+    }
+
+    /// Declare a fan-in mount context: like [`WorldBuilder::client`], but
+    /// sessions riding on it batch same-instant manager RPCs into shared
+    /// envelopes (see [`crate::session`]).
+    pub fn mount_context(&mut self, cluster: ClusterId, node: NodeId, pool_pages: usize) -> ClientId {
+        let id = ClientId(self.clients.len() as u32);
+        self.clients.push((cluster.0 as usize, node, pool_pages, true));
+        id
+    }
+
+    /// Declare a flyweight session on mount context `ctx`. Sessions may
+    /// also be opened after build via [`GfsWorld::open_session`]; builder
+    /// declarations exist so scenario code can hand out session handles
+    /// before the world is materialized.
+    pub fn session(&mut self, ctx: ClientId) -> crate::types::SessionId {
+        assert!(
+            (ctx.0 as usize) < self.clients.len(),
+            "session declared on unknown client {ctx:?}"
+        );
+        let id = crate::types::SessionId(self.sessions.len() as u32);
+        self.sessions.push(ctx.0);
         id
     }
 
@@ -704,7 +828,7 @@ impl WorldBuilder {
             .clients
             .into_iter()
             .enumerate()
-            .map(|(i, (cl, node, pool))| Client {
+            .map(|(i, (cl, node, pool, fan_in))| Client {
                 id: ClientId(i as u32),
                 node,
                 cluster: ClusterId(cl as u32),
@@ -716,8 +840,13 @@ impl WorldBuilder {
                 inflight: BTreeMap::new(),
                 dentry: DentryCache::new(),
                 next_op_seq: 0,
+                fan_in,
             })
             .collect();
+        let mut sessions = crate::slab::Slab::with_capacity(self.sessions.len());
+        for ctx in self.sessions {
+            sessions.insert(crate::session::SessionState::new(ClientId(ctx)));
+        }
         let world = GfsWorld {
             net: Network::new(topo, self.seed),
             arrays,
@@ -728,6 +857,8 @@ impl WorldBuilder {
             costs: ProtocolCosts::default(),
             recovery: crate::faults::RecoveryLog::default(),
             nsd_stats: NsdStats::default(),
+            sessions,
+            fanin: crate::session::FanIn::default(),
             ext: Box::new(()),
             next_handle: 0,
         };
@@ -790,7 +921,8 @@ mod tests {
         let (_sim, w, _c, fs) = tiny();
         let inst = &w.fss[fs.0 as usize];
         // One server serves all NSDs here.
-        assert_eq!(inst.server_of(NsdId(0)), inst.server_of(NsdId(7)));
+        assert_eq!(inst.try_server_of(NsdId(0)), inst.try_server_of(NsdId(7)));
+        assert!(inst.try_server_of(NsdId(0)).is_some());
     }
 
     #[test]

@@ -25,12 +25,13 @@
 
 use crate::common::{NSD_SERVER_EFF, TCP_EFF};
 use bytes::Bytes;
-use gfs::client;
 use gfs::fscore::{DataMode, FsConfig};
+use gfs::session::Session;
 use gfs::stream::{gfs_stream, StreamDir};
-use gfs::types::{ClientId, FsError, FsId, Handle, OpenFlags, Owner};
+use gfs::types::{FsError, FsId, Handle, OpenFlags, Owner};
 use gfs::world::{FsParams, GfsWorld, NsdBacking, WorldBuilder};
 use gfs::{inject, FaultPlan, RecoveryLog};
+use gfs_auth::handshake::AccessMode;
 use simcore::{Bandwidth, Sim, SimDuration, SimTime, TimeSeries};
 use simnet::{Network, NodeId};
 use simsan::ArraySpec;
@@ -119,14 +120,15 @@ impl NsdFarm {
     }
 }
 
-/// One driven workload.
+/// One driven workload. Workloads are addressed by [`Session`] — the
+/// redesigned client surface — never by raw `ClientId`.
 #[derive(Clone, Debug)]
 pub enum Workload {
     /// Flow-level stream (the figure-scale path): `bytes` across every
     /// live NSD connection of `fs`.
     Stream {
-        /// Streaming client.
-        client: ClientId,
+        /// Streaming session.
+        session: Session,
         /// Target filesystem.
         fs: FsId,
         /// Total bytes.
@@ -142,8 +144,8 @@ pub enum Workload {
     /// streaming path via [`crate::driver::run_streamed`] (compute gaps
     /// honoured, reads/writes as flow-level streams).
     Phased {
-        /// Driving client.
-        client: ClientId,
+        /// Driving session.
+        session: Session,
         /// Target filesystem.
         fs: FsId,
         /// The phase list.
@@ -158,8 +160,8 @@ pub enum Workload {
     /// (which flushes). Exercises tokens, caching, and the NSD
     /// timeout/retry/failover machinery.
     FileWrite {
-        /// Writing client.
-        client: ClientId,
+        /// Writing session.
+        session: Session,
         /// Device to mount.
         device: String,
         /// File path.
@@ -174,8 +176,8 @@ pub enum Workload {
     /// Per-block sequential read of an existing file in `chunk`-sized
     /// calls (pair with an earlier [`Workload::FileWrite`]).
     FileRead {
-        /// Reading client.
-        client: ClientId,
+        /// Reading session.
+        session: Session,
         /// Device to mount.
         device: String,
         /// File path.
@@ -191,9 +193,9 @@ pub enum Workload {
 
 impl Workload {
     /// Convenience: a read/write stream starting at t=0.
-    pub fn stream(client: ClientId, fs: FsId, bytes: u64, dir: StreamDir, tag: u32) -> Self {
+    pub fn stream(session: Session, fs: FsId, bytes: u64, dir: StreamDir, tag: u32) -> Self {
         Workload::Stream {
-            client,
+            session,
             fs,
             bytes,
             dir,
@@ -203,9 +205,9 @@ impl Workload {
     }
 
     /// Convenience: a phased workload starting at t=0.
-    pub fn phased(client: ClientId, fs: FsId, workload: workloads::Workload, tag: u32) -> Self {
+    pub fn phased(session: Session, fs: FsId, workload: workloads::Workload, tag: u32) -> Self {
         Workload::Phased {
-            client,
+            session,
             fs,
             workload,
             tag,
@@ -215,14 +217,14 @@ impl Workload {
 
     /// Convenience: a chunked file write starting at t=0.
     pub fn file_write(
-        client: ClientId,
+        session: Session,
         device: impl Into<String>,
         path: impl Into<String>,
         bytes: u64,
         chunk: u64,
     ) -> Self {
         Workload::FileWrite {
-            client,
+            session,
             device: device.into(),
             path: path.into(),
             bytes,
@@ -233,14 +235,14 @@ impl Workload {
 
     /// Convenience: a chunked file read starting at t=0.
     pub fn file_read(
-        client: ClientId,
+        session: Session,
         device: impl Into<String>,
         path: impl Into<String>,
         bytes: u64,
         chunk: u64,
     ) -> Self {
         Workload::FileRead {
-            client,
+            session,
             device: device.into(),
             path: path.into(),
             bytes,
@@ -531,6 +533,8 @@ impl ScenarioBuilder {
 
     /// `count` client nodes at a site, each on its own `nic`-rate link
     /// (`"nic-{site}-{i}"`), with `pool_pages` pages of block cache.
+    /// Returns one [`Session`] per node: a 1:1 session over a dedicated
+    /// mount context, byte-identical to the pre-session per-client paths.
     pub fn clients(
         &mut self,
         site: &str,
@@ -538,7 +542,7 @@ impl ScenarioBuilder {
         nic: Bandwidth,
         delay: SimDuration,
         pool_pages: usize,
-    ) -> Vec<ClientId> {
+    ) -> Vec<Session> {
         let sw = self.site(site);
         let mut out = Vec::with_capacity(count as usize);
         for _ in 0..count {
@@ -548,7 +552,36 @@ impl ScenarioBuilder {
             self.b
                 .topo()
                 .duplex_link(n, sw, nic, delay, format!("nic-{site}-{i}"));
-            out.push(self.b.client(self.cluster, n, pool_pages));
+            let c = self.b.client(self.cluster, n, pool_pages);
+            out.push(Session(self.b.session(c)));
+        }
+        out
+    }
+
+    /// `count` flyweight sessions at a site, packed `per_mount` to a shared
+    /// mount context (node `"mc-{site}-{i}"`, GbE NIC, 64-page pool).
+    /// Sessions on a shared context batch same-instant metadata RPCs into
+    /// fan-in envelopes — this is how a site hosts 100k simulated users.
+    pub fn sessions(&mut self, site: &str, count: u32, per_mount: u32) -> Vec<Session> {
+        assert!(per_mount > 0, "sessions need a positive per_mount");
+        let sw = self.site(site);
+        let mut out = Vec::with_capacity(count as usize);
+        let mut ctx = None;
+        for j in 0..count {
+            if j % per_mount == 0 {
+                let i = self.client_seq;
+                self.client_seq += 1;
+                let n = self.b.topo().node(format!("mc-{site}-{i}"));
+                self.b.topo().duplex_link(
+                    n,
+                    sw,
+                    Bandwidth::gbit(1.0),
+                    SimDuration::from_micros(100),
+                    format!("nic-mc-{site}-{i}"),
+                );
+                ctx = Some(self.b.mount_context(self.cluster, n, 64));
+            }
+            out.push(Session(self.b.session(ctx.expect("context exists"))));
         }
         out
     }
@@ -610,7 +643,7 @@ impl ScenarioBuilder {
             };
             match wl {
                 Workload::Stream {
-                    client,
+                    session,
                     fs,
                     bytes,
                     dir,
@@ -618,23 +651,27 @@ impl ScenarioBuilder {
                     tag,
                 } => {
                     sim.at(start, move |sim, w| {
-                        gfs_stream(sim, w, client, fs, bytes, dir, tag, move |sim, w| {
+                        // Flow-level streams ride the session's shared
+                        // mount context directly.
+                        let ctx = session.ctx(w);
+                        gfs_stream(sim, w, ctx, fs, bytes, dir, tag, move |sim, w| {
                             settle(sim, w, Ok(()))
                         });
                     });
                 }
                 Workload::Phased {
-                    client,
+                    session,
                     fs,
                     workload,
                     tag,
                     start,
                 } => {
                     sim.at(start, move |sim, w| {
+                        let ctx = session.ctx(w);
                         crate::driver::run_streamed(
                             sim,
                             w,
-                            client,
+                            ctx,
                             fs,
                             workload,
                             tag,
@@ -643,7 +680,7 @@ impl ScenarioBuilder {
                     });
                 }
                 Workload::FileWrite {
-                    client,
+                    session,
                     device,
                     path,
                     bytes,
@@ -651,11 +688,11 @@ impl ScenarioBuilder {
                     start,
                 } => {
                     sim.at(start, move |sim, w| {
-                        run_file_write(sim, w, client, device, path, bytes, chunk, Box::new(settle));
+                        run_file_write(sim, w, session, device, path, bytes, chunk, Box::new(settle));
                     });
                 }
                 Workload::FileRead {
-                    client,
+                    session,
                     device,
                     path,
                     bytes,
@@ -663,7 +700,7 @@ impl ScenarioBuilder {
                     start,
                 } => {
                     sim.at(start, move |sim, w| {
-                        run_file_read(sim, w, client, device, path, bytes, chunk, Box::new(settle));
+                        run_file_read(sim, w, session, device, path, bytes, chunk, Box::new(settle));
                     });
                 }
             }
@@ -691,11 +728,12 @@ impl ScenarioBuilder {
 
 type DoneCb = Box<dyn FnOnce(&mut Sim<GfsWorld>, &mut GfsWorld, Result<(), FsError>)>;
 
-/// Mount → open → chunked pattern writes → close.
+/// Mount → open → chunked pattern writes → close, all through the session
+/// facade.
 fn run_file_write(
     sim: &mut Sim<GfsWorld>,
     w: &mut GfsWorld,
-    client: ClientId,
+    sess: Session,
     device: String,
     path: String,
     bytes: u64,
@@ -703,23 +741,19 @@ fn run_file_write(
     done: DoneCb,
 ) {
     assert!(chunk > 0, "file write needs a positive chunk");
-    let dev = device.clone();
-    client::mount_local(sim, w, client, &device, move |sim, w, r| {
+    sess.mount(sim, w, &device, AccessMode::ReadWrite, move |sim, w, r| {
         if let Err(e) = r {
             done(sim, w, Err(e));
             return;
         }
-        let dev2 = dev.clone();
-        client::open(
+        sess.open(
             sim,
             w,
-            client,
-            &dev2,
             &path,
             OpenFlags::Write,
             Owner::local(0, 0),
             move |sim, w, r| match r {
-                Ok(h) => write_chunks(sim, w, client, h, 0, bytes, chunk, done),
+                Ok(h) => write_chunks(sim, w, sess, h, 0, bytes, chunk, done),
                 Err(e) => done(sim, w, Err(e)),
             },
         );
@@ -729,7 +763,7 @@ fn run_file_write(
 fn write_chunks(
     sim: &mut Sim<GfsWorld>,
     w: &mut GfsWorld,
-    client: ClientId,
+    sess: Session,
     h: Handle,
     offset: u64,
     remaining: u64,
@@ -737,25 +771,26 @@ fn write_chunks(
     done: DoneCb,
 ) {
     if remaining == 0 {
-        client::close(sim, w, client, h, move |sim, w, r| done(sim, w, r));
+        sess.close(sim, w, h, move |sim, w, r| done(sim, w, r));
         return;
     }
     let this = remaining.min(chunk);
     let data = pattern_bytes(offset, this);
-    client::write(sim, w, client, h, offset, data, move |sim, w, r| {
+    sess.write(sim, w, h, offset, data, move |sim, w, r| {
         if let Err(e) = r {
             done(sim, w, Err(e));
             return;
         }
-        write_chunks(sim, w, client, h, offset + this, remaining - this, chunk, done)
+        write_chunks(sim, w, sess, h, offset + this, remaining - this, chunk, done)
     });
 }
 
-/// Mount → open → chunked sequential reads → close.
+/// Mount → open → chunked sequential reads → close, all through the
+/// session facade.
 fn run_file_read(
     sim: &mut Sim<GfsWorld>,
     w: &mut GfsWorld,
-    client: ClientId,
+    sess: Session,
     device: String,
     path: String,
     bytes: u64,
@@ -763,23 +798,19 @@ fn run_file_read(
     done: DoneCb,
 ) {
     assert!(chunk > 0, "file read needs a positive chunk");
-    let dev = device.clone();
-    client::mount_local(sim, w, client, &device, move |sim, w, r| {
+    sess.mount(sim, w, &device, AccessMode::ReadWrite, move |sim, w, r| {
         if let Err(e) = r {
             done(sim, w, Err(e));
             return;
         }
-        let dev2 = dev.clone();
-        client::open(
+        sess.open(
             sim,
             w,
-            client,
-            &dev2,
             &path,
             OpenFlags::Read,
             Owner::local(0, 0),
             move |sim, w, r| match r {
-                Ok(h) => read_chunks(sim, w, client, h, 0, bytes, chunk, done),
+                Ok(h) => read_chunks(sim, w, sess, h, 0, bytes, chunk, done),
                 Err(e) => done(sim, w, Err(e)),
             },
         );
@@ -789,7 +820,7 @@ fn run_file_read(
 fn read_chunks(
     sim: &mut Sim<GfsWorld>,
     w: &mut GfsWorld,
-    client: ClientId,
+    sess: Session,
     h: Handle,
     offset: u64,
     remaining: u64,
@@ -797,16 +828,16 @@ fn read_chunks(
     done: DoneCb,
 ) {
     if remaining == 0 {
-        client::close(sim, w, client, h, move |sim, w, r| done(sim, w, r));
+        sess.close(sim, w, h, move |sim, w, r| done(sim, w, r));
         return;
     }
     let this = remaining.min(chunk);
-    client::read(sim, w, client, h, offset, this, move |sim, w, r| {
+    sess.read(sim, w, h, offset, this, move |sim, w, r| {
         if let Err(e) = r {
             done(sim, w, Err(e));
             return;
         }
-        read_chunks(sim, w, client, h, offset + this, remaining - this, chunk, done)
+        read_chunks(sim, w, sess, h, offset + this, remaining - this, chunk, done)
     });
 }
 
@@ -843,21 +874,20 @@ mod tests {
         assert_eq!(run.completed, 1, "errors: {:?}", run.errors);
         let report = fsck(&run.world.fss[0].core);
         assert!(report.is_clean(), "fsck: {report:?}");
-        // Read the file back and compare against the pattern.
+        // Read the file back through the same session and compare against
+        // the pattern (the session keeps its device binding after the run).
         let ok = Rc::new(RefCell::new(false));
         let ok2 = ok.clone();
         let (sim, w) = (&mut run.sim, &mut run.world);
-        client::open(
+        c.open(
             sim,
             w,
-            c,
-            "d",
             "/f",
             OpenFlags::Read,
             Owner::local(0, 0),
             move |sim, w, r| {
                 let h = r.expect("reopen");
-                client::read(sim, w, c, h, 0, MBYTE, move |_sim, _w, r| {
+                c.read(sim, w, h, 0, MBYTE, move |_sim, _w, r| {
                     let data = r.expect("read back");
                     assert_eq!(data.len() as u64, MBYTE);
                     assert_eq!(&data[..], &pattern_bytes(0, MBYTE)[..], "payload mismatch");

@@ -89,6 +89,37 @@ pub fn world_invariants(sim: &Sim<GfsWorld>, w: &GfsWorld) -> Vec<String> {
         }
     }
 
+    // Flyweight sessions must have quiesced: no in-flight facade ops, and
+    // every session-tracked handle must still exist on its shared mount
+    // context (a dangling session fd means close/forget bookkeeping
+    // diverged from the context's handle table).
+    for (sid, st) in w.sessions.iter() {
+        if st.inflight_ops != 0 {
+            v.push(format!(
+                "session {sid} still has {} facade op(s) in flight after drain",
+                st.inflight_ops
+            ));
+        }
+        let ctx = &w.clients[st.ctx.0 as usize];
+        for (_, h) in st.handles.iter() {
+            if !ctx.handles.contains_key(h) {
+                v.push(format!(
+                    "session {sid} holds handle {} unknown to its mount context {}",
+                    h.0, st.ctx.0
+                ));
+            }
+        }
+    }
+
+    // Every same-instant batch must have been flushed by its scheduled
+    // envelope event; ops parked in a pending batch were lost.
+    if w.fanin.pending_ops() != 0 {
+        v.push(format!(
+            "{} fan-in op(s) still parked in unflushed envelopes after drain",
+            w.fanin.pending_ops()
+        ));
+    }
+
     // No two clients may end up with overlapping write authority, no matter
     // how many acquire retries and revocations raced through the faults.
     for (i, inst) in w.fss.iter().enumerate() {

@@ -148,7 +148,7 @@ pub fn run(cfg: DeisaConfig) -> DeisaResult {
             let device = format!("gpfs-{exp_name}");
             mounts.push((SITES[j].to_string(), device.clone()));
             let mounted = mounted.clone();
-            client::mount_remote(
+            client::mount(
                 &mut sim,
                 &mut w,
                 site.client,

@@ -187,6 +187,7 @@ mod tests {
     use gfs::fscore::FsConfig;
     use gfs::types::{OpenFlags, Owner};
     use gfs::world::{FsParams, WorldBuilder};
+    use gfs_auth::handshake::AccessMode;
     use simcore::{Bandwidth, SimDuration, GBYTE, MBYTE};
     use std::cell::RefCell;
     use workloads::{scec, sort, visualization};
@@ -263,7 +264,7 @@ mod tests {
         let _ = fs;
         let done: Rc<RefCell<Option<WorkloadStats>>> = Rc::new(RefCell::new(None));
         let d = done.clone();
-        client::mount_local(&mut sim, &mut w, client, "wl", move |sim, w, r| {
+        client::mount(&mut sim, &mut w, client, "wl", AccessMode::ReadWrite, move |sim, w, r| {
             r.unwrap();
             client::open(sim, w, client, "wl", "/mixed", OpenFlags::ReadWrite, Owner::local(1, 1), move |sim, w, r| {
                 let h = r.unwrap();

@@ -17,11 +17,12 @@
 //! `GFS_SWEEP_THREADS` value.
 
 use crate::builder::{pattern_bytes, DataPathStats, NsdFarm, ScenarioBuilder};
-use gfs::client;
 use gfs::faults::{FaultPlan, ProgressInjector, ProgressPlan, RecoveryWhat};
 use gfs::fscore::MetaSnapshot;
-use gfs::types::{ClientId, FsError, OpenFlags, Owner};
+use gfs::session::Session;
+use gfs::types::{FsError, OpenFlags, Owner};
 use gfs::world::GfsWorld;
+use gfs_auth::handshake::AccessMode;
 use rand::{rngs::StdRng, Rng};
 use simcore::{det_rng, Bandwidth, Sim, SimDuration, SimTime};
 use std::cell::{Cell, RefCell};
@@ -46,15 +47,20 @@ pub enum StormMix {
 pub struct StormConfig {
     /// Independent sweep points (worlds).
     pub points: u32,
-    /// Racing clients per point.
+    /// Racing mount contexts per point.
     pub clients_per_point: u32,
+    /// Flyweight sessions per mount context. `1` (the default) is the
+    /// legacy one-session-per-client storm, byte-identical to the
+    /// pre-session runs; `> 1` packs that many fan-in sessions onto each
+    /// shared context, batching same-instant metadata RPCs into envelopes.
+    pub sessions_per_client: u32,
     /// Top-level directories in the generated tree.
     pub top_dirs: u32,
     /// Subdirectories per top-level directory.
     pub sub_dirs: u32,
     /// Files pre-created per subdirectory.
     pub files_per_sub: u32,
-    /// Racing operations per client.
+    /// Racing operations per session.
     pub ops_per_client: u32,
     /// Bytes written by a small-write op.
     pub write_bytes: u64,
@@ -69,6 +75,7 @@ impl Default for StormConfig {
         StormConfig {
             points: 8,
             clients_per_point: 32,
+            sessions_per_client: 1,
             top_dirs: 16,
             sub_dirs: 16,
             files_per_sub: 512,
@@ -87,10 +94,30 @@ impl StormConfig {
         StormConfig {
             points: 2,
             clients_per_point: 8,
+            sessions_per_client: 1,
             top_dirs: 4,
             sub_dirs: 4,
             files_per_sub: 32,
             ops_per_client: 24,
+            write_bytes: 4096,
+            mix: StormMix::Uniform,
+            seed: 2005,
+        }
+    }
+
+    /// The flyweight-session storm: 8 points × 32 mount contexts × 400
+    /// sessions = 102,400 sessions racing 10.27M metadata operations over
+    /// a small shared tree, every same-instant batch riding one fan-in
+    /// envelope. This is the scale the session layer exists for.
+    pub fn massive() -> Self {
+        StormConfig {
+            points: 8,
+            clients_per_point: 32,
+            sessions_per_client: 400,
+            top_dirs: 8,
+            sub_dirs: 8,
+            files_per_sub: 64,
+            ops_per_client: 100,
             write_bytes: 4096,
             mix: StormMix::Uniform,
             seed: 2005,
@@ -103,9 +130,20 @@ impl StormConfig {
         self
     }
 
-    /// Total racing clients across all points.
+    /// Same config with `n` flyweight sessions per mount context.
+    pub fn with_sessions_per_client(mut self, n: u32) -> Self {
+        self.sessions_per_client = n;
+        self
+    }
+
+    /// Total mount contexts across all points.
     pub fn total_clients(&self) -> u64 {
         u64::from(self.points) * u64::from(self.clients_per_point)
+    }
+
+    /// Total flyweight sessions across all points.
+    pub fn total_sessions(&self) -> u64 {
+        self.total_clients() * u64::from(self.sessions_per_client.max(1))
     }
 
     /// Tree-generation operations per point (phase 1, all counted before
@@ -119,7 +157,9 @@ impl StormConfig {
 
     /// Race operations per point (phase 2), assuming every chain drains.
     pub fn race_ops(&self) -> u64 {
-        u64::from(self.clients_per_point) * u64::from(self.ops_per_client)
+        u64::from(self.clients_per_point)
+            * u64::from(self.sessions_per_client.max(1))
+            * u64::from(self.ops_per_client)
     }
 
     /// The per-point op count at `frac` (in `[0, 1]`) of the race — the
@@ -210,9 +250,34 @@ pub struct StormReport {
     /// after each point drained (details go to stderr). 0 on any correct
     /// run, faulted or not.
     pub invariant_violations: u64,
+    /// Flyweight sessions that raced, summed over points.
+    pub sessions: u64,
+    /// Fan-in envelopes sent (first attempts), summed over points. 0 on a
+    /// legacy one-session-per-client storm.
+    pub envelopes: u64,
+    /// Metadata ops those envelopes carried, summed over points.
+    pub envelope_ops: u64,
+    /// Simulated race-phase duration, **max** over points: points model
+    /// independent sites storming concurrently, so the slowest site bounds
+    /// the storm's end-to-end time on the modeled cluster. Deterministic
+    /// (it is simulation time, not wall time), so it is safe to compare
+    /// across thread counts and machines.
+    pub sim_ns: u64,
 }
 
 impl StormReport {
+    /// Aggregate modeled metadata throughput: every op in the storm
+    /// divided by the slowest point's simulated race duration (the points
+    /// run concurrently on the modeled cluster). This is the rate the
+    /// manager service model ([`gfs::world::ProtocolCosts::manager_op_service`])
+    /// admits — a deterministic quantity, unlike host-dependent wall rates.
+    pub fn sim_ops_per_sec(&self) -> f64 {
+        if self.sim_ns == 0 {
+            return 0.0;
+        }
+        self.ops as f64 * 1e9 / self.sim_ns as f64
+    }
+
     /// Dentry hit rate in `[0, 1]`.
     pub fn dentry_hit_rate(&self) -> f64 {
         let probes = self.dentry_hits + self.dentry_misses;
@@ -244,6 +309,10 @@ struct PointSummary {
     gave_up: u64,
     tree_fingerprint: u64,
     invariant_violations: u64,
+    sessions: u64,
+    envelopes: u64,
+    envelope_ops: u64,
+    sim_ns: u64,
 }
 
 /// FxHash-style mixing for the result fingerprint: order-sensitive, cheap,
@@ -289,7 +358,10 @@ impl Tally {
             None => code,
             Some(e) => {
                 self.errors.set(self.errors.get() + 1);
-                if matches!(e, FsError::Timeout | FsError::ServerDown) {
+                if matches!(
+                    e,
+                    FsError::Timeout | FsError::ServerDown | FsError::Degraded(_)
+                ) {
                     self.gave_up.set(self.gave_up.get() + 1);
                 }
                 code << 8 | err_code(e)
@@ -350,6 +422,10 @@ pub fn run_chaos_storm_with_threads(
         gave_up: 0,
         tree_fingerprint: 0,
         invariant_violations: 0,
+        sessions: 0,
+        envelopes: 0,
+        envelope_ops: 0,
+        sim_ns: 0,
     };
     for s in &summaries {
         r.ops += s.ops;
@@ -372,6 +448,10 @@ pub fn run_chaos_storm_with_threads(
         r.gave_up += s.gave_up;
         r.tree_fingerprint = mix(r.tree_fingerprint, s.tree_fingerprint);
         r.invariant_violations += s.invariant_violations;
+        r.sessions += s.sessions;
+        r.envelopes += s.envelopes;
+        r.envelope_ops += s.envelope_ops;
+        r.sim_ns = r.sim_ns.max(s.sim_ns);
     }
     r
 }
@@ -397,13 +477,24 @@ fn run_point(cfg: &StormConfig, chaos: &ChaosSpec, point: u32) -> PointSummary {
     } else {
         "site"
     };
-    let clients = sb.clients(
-        client_site,
-        cfg.clients_per_point,
-        Bandwidth::gbit(1.0),
-        SimDuration::from_micros(100),
-        64,
-    );
+    // One session per client (legacy, byte-identical event stream), or
+    // `sessions_per_client` fan-in sessions packed onto each shared mount
+    // context (the flyweight scale path).
+    let sessions = if cfg.sessions_per_client > 1 {
+        sb.sessions(
+            client_site,
+            cfg.clients_per_point * cfg.sessions_per_client,
+            cfg.sessions_per_client,
+        )
+    } else {
+        sb.clients(
+            client_site,
+            cfg.clients_per_point,
+            Bandwidth::gbit(1.0),
+            SimDuration::from_micros(100),
+            64,
+        )
+    };
     sb.faults(chaos.timed.clone());
     // No queued workloads: the builder just assembles the world; the storm
     // drives the client API directly.
@@ -441,7 +532,12 @@ fn run_point(cfg: &StormConfig, chaos: &ChaosSpec, point: u32) -> PointSummary {
         }
     }
 
-    // Phase 2 — the race: every client mounts, then runs its op chain.
+    // Phase 2 — the race: each mount context is mounted once (by its first
+    // session), the rest of its sessions bind the device, then every
+    // session runs its op chain. Chains launched from one callback share
+    // the instant, so a fan-in context's first round is already one
+    // envelope.
+    let race_start = run.sim.now();
     {
         let (sim, w) = (&mut run.sim, &mut run.world);
         sim.set_horizon(sim.now() + SimDuration::from_secs(3600));
@@ -450,22 +546,39 @@ fn run_point(cfg: &StormConfig, chaos: &ChaosSpec, point: u32) -> PointSummary {
         if let Some(inj) = &injector {
             inj.borrow_mut().advance(sim, w, tally.ops.get());
         }
-        for (ci, &c) in clients.iter().enumerate() {
-            let rng = det_rng(point_seed, &format!("storm-client-{ci}"));
+        let spc = cfg.sessions_per_client.max(1) as usize;
+        for (gi, group) in sessions.chunks(spc).enumerate() {
+            let group = group.to_vec();
             let tally = tally.clone();
             let cfg = *cfg;
             let inj = injector.clone();
-            client::mount_local(sim, w, c, "meta", move |sim, w, r| {
+            group[0].mount(sim, w, "meta", AccessMode::ReadWrite, move |sim, w, r| {
                 r.expect("storm mount");
-                next_op(sim, w, c, rng, cfg.ops_per_client, cfg, tally, inj);
+                for (j, &sess) in group.iter().enumerate() {
+                    if j > 0 {
+                        sess.bind_device(w, "meta");
+                    }
+                    let si = gi * spc + j;
+                    let rng = det_rng(point_seed, &format!("storm-client-{si}"));
+                    next_op(
+                        sim,
+                        w,
+                        sess,
+                        rng,
+                        cfg.ops_per_client,
+                        cfg,
+                        tally.clone(),
+                        inj.clone(),
+                    );
+                }
             });
         }
         sim.run(w);
     }
     assert_eq!(
         tally.finished_clients.get(),
-        cfg.clients_per_point,
-        "storm point {point}: some client chains did not drain"
+        cfg.clients_per_point * cfg.sessions_per_client.max(1),
+        "storm point {point}: some session chains did not drain"
     );
 
     let dentry_hits = run.world.clients.iter().map(|c| c.dentry.hits).sum();
@@ -504,18 +617,24 @@ fn run_point(cfg: &StormConfig, chaos: &ChaosSpec, point: u32) -> PointSummary {
         gave_up: tally.gave_up.get(),
         tree_fingerprint: core.tree_fingerprint(),
         invariant_violations: violations.len() as u64,
+        sessions: w.sessions.len() as u64,
+        envelopes: w.fanin.envelopes,
+        envelope_ops: w.fanin.envelope_ops,
+        sim_ns: run.sim.now().since(race_start).as_nanos(),
     }
 }
 
-/// One step of a client's op chain; schedules the next step from its own
-/// completion callback, so each client is a sequential stream of racing
+/// One step of a session's op chain; schedules the next step from its own
+/// completion callback, so each session is a sequential stream of racing
 /// RPCs. Progress-keyed faults are advanced here, so "at op N" thresholds
 /// are evaluated against the shared per-point op counter between ops.
+/// Legacy sessions delegate straight to the per-client paths; fan-in
+/// sessions route metadata through batched envelopes.
 #[allow(clippy::too_many_arguments)]
 fn next_op(
     sim: &mut Sim<GfsWorld>,
     w: &mut GfsWorld,
-    c: ClientId,
+    sess: Session,
     mut rng: StdRng,
     remaining: u32,
     cfg: StormConfig,
@@ -529,6 +648,7 @@ fn next_op(
         tally.finished_clients.set(tally.finished_clients.get() + 1);
         return;
     }
+    let c = sess.ctx(w);
     let done = cfg.ops_per_client - remaining;
     let (t, s, f, sel) = match cfg.mix {
         // Uniform: a file path anywhere in the generated tree; the widened
@@ -576,19 +696,19 @@ fn next_op(
     let file_path = format!("/t{t:02}/s{s:02}/f{f:04}");
     let dir_path = format!("/t{t:02}/s{s:02}");
     let cont = move |sim: &mut Sim<GfsWorld>, w: &mut GfsWorld, rng: StdRng, tally: Rc<Tally>| {
-        next_op(sim, w, c, rng, remaining - 1, cfg, tally, inj);
+        next_op(sim, w, sess, rng, remaining - 1, cfg, tally, inj);
     };
     match sel {
         // stat — the resolve-heavy staple.
         0..=29 => {
-            client::stat(sim, w, c, "meta", &file_path, move |sim, w, r| {
+            sess.stat(sim, w, &file_path, move |sim, w, r| {
                 tally.op_result(30, r.as_ref().err());
                 cont(sim, w, rng, tally);
             });
         }
         // readdir of the subdirectory.
         30..=39 => {
-            client::readdir(sim, w, c, "meta", &dir_path, move |sim, w, r| {
+            sess.readdir(sim, w, &dir_path, move |sim, w, r| {
                 let code = 31 ^ (r.as_ref().map_or(0, |names| names.len() as u64) << 16);
                 tally.op_result(code, r.as_ref().err());
                 cont(sim, w, rng, tally);
@@ -598,23 +718,21 @@ fn next_op(
         40..=44 => {
             let d = rng.gen::<u32>() % 8;
             let path = format!("{dir_path}/d{d}");
-            client::mkdir(sim, w, c, "meta", &path, Owner::local(0, 0), move |sim, w, r| {
+            sess.mkdir(sim, w, &path, Owner::local(0, 0), move |sim, w, r| {
                 tally.op_result(32, r.as_ref().err());
                 cont(sim, w, rng, tally);
             });
         }
         // create: open-for-write (creates if absent) then close.
         45..=64 => {
-            client::open(
+            sess.open(
                 sim,
                 w,
-                c,
-                "meta",
                 &file_path,
                 OpenFlags::Write,
                 Owner::local(0, 0),
                 move |sim, w, r| match r {
-                    Ok(h) => client::close(sim, w, c, h, move |sim, w, r| {
+                    Ok(h) => sess.close(sim, w, h, move |sim, w, r| {
                         tally.op_result(33, r.as_ref().err());
                         cont(sim, w, rng, tally);
                     }),
@@ -626,26 +744,46 @@ fn next_op(
             );
         }
         // small-write: open, write `write_bytes`, close (write-behind +
-        // token traffic + real NSD I/O on the flush).
+        // token traffic + real NSD I/O on the flush). Scaled fan-in storms
+        // keep this arm pure-metadata — a second create population — so
+        // 10M ops stay on the envelope path.
         65..=84 => {
-            client::open(
+            if cfg.sessions_per_client > 1 {
+                sess.open(
+                    sim,
+                    w,
+                    &file_path,
+                    OpenFlags::Write,
+                    Owner::local(0, 0),
+                    move |sim, w, r| match r {
+                        Ok(h) => sess.close(sim, w, h, move |sim, w, r| {
+                            tally.op_result(34, r.as_ref().err());
+                            cont(sim, w, rng, tally);
+                        }),
+                        Err(e) => {
+                            tally.op_result(34, Some(&e));
+                            cont(sim, w, rng, tally);
+                        }
+                    },
+                );
+                return;
+            }
+            sess.open(
                 sim,
                 w,
-                c,
-                "meta",
                 &file_path,
                 OpenFlags::Write,
                 Owner::local(0, 0),
                 move |sim, w, r| match r {
                     Ok(h) => {
                         let data = pattern_bytes(0, cfg.write_bytes);
-                        client::write(sim, w, c, h, 0, data, move |sim, w, r| {
+                        sess.write(sim, w, h, 0, data, move |sim, w, r| {
                             if let Err(e) = &r {
                                 tally.op_result(34, Some(e));
                                 // Still close the handle before moving on.
                             }
                             let wrote = r.is_ok();
-                            client::close(sim, w, c, h, move |sim, w, r| {
+                            sess.close(sim, w, h, move |sim, w, r| {
                                 if wrote {
                                     tally.op_result(34, r.as_ref().err());
                                 }
@@ -662,7 +800,7 @@ fn next_op(
         }
         // remove.
         _ => {
-            client::unlink(sim, w, c, "meta", &file_path, move |sim, w, r| {
+            sess.unlink(sim, w, &file_path, move |sim, w, r| {
                 tally.op_result(35, r.as_ref().err());
                 cont(sim, w, rng, tally);
             });
@@ -717,5 +855,39 @@ mod tests {
         assert_eq!(serial, parallel);
         // And across repeated runs at the same thread count.
         assert_eq!(parallel, run_storm_with_threads(&cfg, 8));
+    }
+
+    #[test]
+    fn flyweight_storm_batches_envelopes_and_fscks() {
+        // 2 points × 8 contexts × 25 sessions = 400 flyweight sessions.
+        let cfg = StormConfig::small().with_sessions_per_client(25);
+        let r = run_storm(&cfg);
+        assert_eq!(r.sessions, cfg.total_sessions(), "sessions {}", r.sessions);
+        assert_eq!(
+            r.ops,
+            u64::from(cfg.points) * cfg.tree_ops() + u64::from(cfg.points) * cfg.race_ops(),
+            "every chain must drain"
+        );
+        assert!(r.fsck_clean, "flyweight storm left an inconsistent fs");
+        assert_eq!(r.gave_up, 0);
+        assert_eq!(r.invariant_violations, 0);
+        // The whole point: many ops per manager message. Race ops all ride
+        // envelopes (plus close-releases), in far fewer messages.
+        let race = u64::from(cfg.points) * cfg.race_ops();
+        assert!(r.envelope_ops >= race, "envelope ops {} < race {race}", r.envelope_ops);
+        assert!(
+            r.envelopes * 4 < r.envelope_ops,
+            "batching too thin: {} envelopes for {} ops",
+            r.envelopes,
+            r.envelope_ops
+        );
+    }
+
+    #[test]
+    fn flyweight_storm_is_bit_identical_across_sweep_thread_counts() {
+        let cfg = StormConfig::small().with_sessions_per_client(25);
+        let serial = run_storm_with_threads(&cfg, 1);
+        let parallel = run_storm_with_threads(&cfg, 8);
+        assert_eq!(serial, parallel);
     }
 }

@@ -19,8 +19,8 @@
 
 use crate::builder::{pattern_bytes, DataPathStats, NsdFarm, ScenarioBuilder, Workload};
 use crate::common::series_named;
-use gfs::client;
-use gfs::types::{ClientId, FsError, OpenFlags, Owner};
+use gfs::session::Session;
+use gfs::types::{FsError, OpenFlags, Owner};
 use gfs::{FaultPlan, RecoveryLog};
 use simcore::{Bandwidth, Dip, SimDuration, SimTime, TimeSeries, MBYTE};
 use simsan::ArraySpec;
@@ -146,24 +146,22 @@ pub fn crash_one_of_n(cfg: &CrashConfig) -> CrashReport {
     }
 }
 
-/// Reopen `/ckpt` on the (post-crash) world and compare every byte against
-/// the deterministic write pattern.
-fn read_back_matches(run: &mut crate::builder::ScenarioRun, c: ClientId, bytes: u64) -> bool {
+/// Reopen `/ckpt` through the writing session on the (post-crash) world
+/// and compare every byte against the deterministic write pattern.
+fn read_back_matches(run: &mut crate::builder::ScenarioRun, c: Session, bytes: u64) -> bool {
     let outcome = Rc::new(RefCell::new(None::<bool>));
     let o = outcome.clone();
     let (sim, w) = (&mut run.sim, &mut run.world);
     // The scenario's horizon already elapsed; give the read-back headroom.
     sim.set_horizon(sim.now() + SimDuration::from_secs(600));
-    client::open(
+    c.open(
         sim,
         w,
-        c,
-        "gpfs-wan",
         "/ckpt",
         OpenFlags::Read,
         Owner::local(0, 0),
         move |sim, w, r| match r {
-            Ok(h) => client::read(sim, w, c, h, 0, bytes, move |_sim, _w, r| {
+            Ok(h) => c.read(sim, w, h, 0, bytes, move |_sim, _w, r| {
                 *o.borrow_mut() = Some(match r {
                     Ok(data) => {
                         let expect = pattern_bytes(0, bytes);

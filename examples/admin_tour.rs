@@ -55,7 +55,7 @@ fn main() {
     println!("## mmremotecluster/mmremotefs show (at ncsa)\n{}", mmremote_show(&w, c_ncsa));
 
     // Mount from NCSA and do some I/O so the views have content.
-    client::mount_remote(&mut sim, &mut w, ncsa_client, "gpfs-wan", AccessMode::ReadWrite, move |sim, w, r| {
+    client::mount(&mut sim, &mut w, ncsa_client, "gpfs-wan", AccessMode::ReadWrite, move |sim, w, r| {
         r.expect("mount");
         client::open(sim, w, ncsa_client, "gpfs-wan", "/tour.dat", OpenFlags::ReadWrite, Owner::local(71003, 100), move |sim, w, r| {
             let h = r.unwrap();
@@ -85,7 +85,7 @@ fn main() {
         .mmauth_finalize_key("ncsa.teragrid");
     let new_fp = w.clusters[c_ncsa.0 as usize].auth.public_key().fingerprint();
     println!("  ncsa key rotated: {old_fp} -> {new_fp}");
-    client::mount_remote(&mut sim, &mut w, ncsa_client, "gpfs-wan", AccessMode::ReadOnly, |_s, _w, r| {
+    client::mount(&mut sim, &mut w, ncsa_client, "gpfs-wan", AccessMode::ReadOnly, |_s, _w, r| {
         println!("  remount under new key: ok = {}\n", r.is_ok());
     });
     sim.run(&mut w);

@@ -99,9 +99,9 @@ fn main() {
     );
 
     println!("\n--- mounts over the WAN ---");
-    client::mount_remote(&mut sim, &mut w, ncsa_client, "gpfs-wan", AccessMode::ReadWrite, move |sim, w, r| {
+    client::mount(&mut sim, &mut w, ncsa_client, "gpfs-wan", AccessMode::ReadWrite, move |sim, w, r| {
         println!("[{}] ncsa rw mount:  {:?}  (grant is read-only — PTF 2 enforcement)", sim.now(), r.err().map(|e| e.to_string()));
-        client::mount_remote(sim, w, ncsa_client, "gpfs-wan", AccessMode::ReadOnly, move |sim, w, r| {
+        client::mount(sim, w, ncsa_client, "gpfs-wan", AccessMode::ReadOnly, move |sim, w, r| {
             println!("[{}] ncsa ro mount:  ok = {}", sim.now(), r.is_ok());
             let key = w.clients[ncsa_client.0 as usize]
                 .mounts
@@ -112,7 +112,7 @@ fn main() {
                 sim.now(),
                 key.map(|k| k.len()).unwrap_or(0)
             );
-            client::mount_remote(sim, w, rogue_client, "gpfs-wan", AccessMode::ReadOnly, move |sim, _w, r| {
+            client::mount(sim, w, rogue_client, "gpfs-wan", AccessMode::ReadOnly, move |sim, _w, r| {
                 println!(
                     "[{}] rogue mount:    {:?}",
                     sim.now(),
@@ -134,7 +134,7 @@ fn main() {
             remote_device: "gpfs-wan".into(),
         },
     );
-    client::mount_remote(&mut sim, &mut w, ncsa_client, "gpfs-wan", AccessMode::ReadOnly, move |sim, _w, r| {
+    client::mount(&mut sim, &mut w, ncsa_client, "gpfs-wan", AccessMode::ReadOnly, move |sim, _w, r| {
         println!(
             "[{}] ncsa after deny: {:?}",
             sim.now(),

@@ -63,7 +63,7 @@ fn main() {
     // ------------------------------------------------------------------
     let payload = Bytes::from_static(b"Massive High-Performance Global File Systems for Grid computing");
     let expect = payload.clone();
-    client::mount_local(&mut sim, &mut w, writer, "gpfs-wan", move |sim, w, r| {
+    client::mount(&mut sim, &mut w, writer, "gpfs-wan", gfs_auth::handshake::AccessMode::ReadWrite, move |sim, w, r| {
         r.expect("local mount");
         println!("[{:>9}] SDSC mounted gpfs-wan locally", sim.now());
         client::open(
@@ -82,7 +82,7 @@ fn main() {
                         r.expect("close flushes to the NSDs");
                         println!("[{:>9}] SDSC wrote and closed /hello.dat", sim.now());
                         // Remote side: RSA challenge-response, then read.
-                        client::mount_remote(
+                        client::mount(
                             sim,
                             w,
                             reader,

@@ -83,7 +83,7 @@ fn run_case(ops: Vec<Op>) {
         let model = model.clone();
         let failures = failures.clone();
         let finished = finished.clone();
-        client::mount_local(&mut sim, &mut w, client, "m", move |sim, w, r| {
+        client::mount(&mut sim, &mut w, client, "m", gfs_auth::handshake::AccessMode::ReadWrite, move |sim, w, r| {
             r.unwrap();
             client::open(
                 sim,
@@ -240,7 +240,7 @@ fn rename_is_visible_through_the_op_path() {
     let (mut sim, mut w, client) = world();
     let ok = Rc::new(std::cell::Cell::new(false));
     let ok2 = ok.clone();
-    client::mount_local(&mut sim, &mut w, client, "m", move |sim, w, r| {
+    client::mount(&mut sim, &mut w, client, "m", gfs_auth::handshake::AccessMode::ReadWrite, move |sim, w, r| {
         r.unwrap();
         client::open(sim, w, client, "m", "/a", OpenFlags::Write, Owner::local(1, 1), move |sim, w, r| {
             let h = r.unwrap();

@@ -66,7 +66,7 @@ fn with_open_handles(
     for &cid in clients {
         let opened = opened.clone();
         let body = body.clone();
-        client::mount_local(sim, w, cid, "cfs", move |sim, w, r| {
+        client::mount(sim, w, cid, "cfs", gfs_auth::handshake::AccessMode::ReadWrite, move |sim, w, r| {
             r.unwrap();
             client::open(sim, w, cid, "cfs", "/contested", OpenFlags::ReadWrite, Owner::local(1, 1), move |sim, w, r| {
                 let h = r.unwrap();

@@ -62,7 +62,7 @@ fn one_filesystem_three_administrative_domains() {
     let expect1 = payload.clone();
     let expect2 = payload.clone();
 
-    client::mount_local(&mut sim, &mut w, local, "gpfs-wan", move |sim, w, r| {
+    client::mount(&mut sim, &mut w, local, "gpfs-wan", gfs_auth::handshake::AccessMode::ReadWrite, move |sim, w, r| {
         r.unwrap();
         client::open(sim, w, local, "gpfs-wan", "/enzo.out", OpenFlags::ReadWrite, owner(), move |sim, w, r| {
             let h = r.unwrap();
@@ -71,9 +71,9 @@ fn one_filesystem_three_administrative_domains() {
                 client::close(sim, w, local, h, move |sim, w, r| {
                     r.unwrap();
                     // Both remote sites mount and verify the same bytes.
-                    client::mount_remote(sim, w, ncsa, "gpfs-wan", AccessMode::ReadWrite, move |sim, w, r| {
+                    client::mount(sim, w, ncsa, "gpfs-wan", AccessMode::ReadWrite, move |sim, w, r| {
                         r.unwrap();
-                        client::mount_remote(sim, w, anl, "gpfs-wan", AccessMode::ReadWrite, move |sim, w, r| {
+                        client::mount(sim, w, anl, "gpfs-wan", AccessMode::ReadWrite, move |sim, w, r| {
                             r.unwrap();
                             client::open(sim, w, ncsa, "gpfs-wan", "/enzo.out", OpenFlags::Read, owner(), move |sim, w, r| {
                                 let hn = r.unwrap();
@@ -107,11 +107,11 @@ fn cross_site_write_sharing_is_coherent() {
     let (mut sim, mut w, local, ncsa, anl) = three_site_world();
     let done = Rc::new(Cell::new(false));
     let d = done.clone();
-    client::mount_local(&mut sim, &mut w, local, "gpfs-wan", move |sim, w, r| {
+    client::mount(&mut sim, &mut w, local, "gpfs-wan", gfs_auth::handshake::AccessMode::ReadWrite, move |sim, w, r| {
         r.unwrap();
-        client::mount_remote(sim, w, ncsa, "gpfs-wan", AccessMode::ReadWrite, move |sim, w, r| {
+        client::mount(sim, w, ncsa, "gpfs-wan", AccessMode::ReadWrite, move |sim, w, r| {
             r.unwrap();
-            client::mount_remote(sim, w, anl, "gpfs-wan", AccessMode::ReadWrite, move |sim, w, r| {
+            client::mount(sim, w, anl, "gpfs-wan", AccessMode::ReadWrite, move |sim, w, r| {
                 r.unwrap();
                 client::open(sim, w, ncsa, "gpfs-wan", "/shared", OpenFlags::ReadWrite, owner(), move |sim, w, r| {
                     let hn = r.unwrap();
@@ -144,7 +144,7 @@ fn grid_identity_ownership_travels_with_files() {
     let done = Rc::new(Cell::new(false));
     let d = done.clone();
     let dn2 = dn.clone();
-    client::mount_local(&mut sim, &mut w, local, "gpfs-wan", move |sim, w, r| {
+    client::mount(&mut sim, &mut w, local, "gpfs-wan", gfs_auth::handshake::AccessMode::ReadWrite, move |sim, w, r| {
         r.unwrap();
         client::open(
             sim,
@@ -204,9 +204,9 @@ fn errors_surface_cleanly_across_the_stack() {
     let checks = Rc::new(RefCell::new(Vec::new()));
     let c1 = checks.clone();
     // Reading a file that does not exist, from a remote site.
-    client::mount_local(&mut sim, &mut w, local, "gpfs-wan", move |sim, w, r| {
+    client::mount(&mut sim, &mut w, local, "gpfs-wan", gfs_auth::handshake::AccessMode::ReadWrite, move |sim, w, r| {
         r.unwrap();
-        client::mount_remote(sim, w, ncsa, "gpfs-wan", AccessMode::ReadWrite, move |sim, w, r| {
+        client::mount(sim, w, ncsa, "gpfs-wan", AccessMode::ReadWrite, move |sim, w, r| {
             r.unwrap();
             client::open(sim, w, ncsa, "gpfs-wan", "/missing", OpenFlags::Read, owner(), move |sim, w, r| {
                 c1.borrow_mut().push(matches!(r, Err(FsError::NotFound(_))));

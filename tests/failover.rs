@@ -59,14 +59,14 @@ fn nsds_fail_over_to_surviving_server() {
     let (mut sim, mut w, client, fs, s1, s2) = bed();
     // Before failure: NSDs split across both servers.
     let inst = &w.fss[fs.0 as usize];
-    assert_eq!(inst.server_of(NsdId(0)), s1);
-    assert_eq!(inst.server_of(NsdId(1)), s2);
+    assert_eq!(inst.try_server_of(NsdId(0)), Some(s1));
+    assert_eq!(inst.try_server_of(NsdId(1)), Some(s2));
 
     let ok = Rc::new(Cell::new(false));
     let ok2 = ok.clone();
     let payload = Bytes::from(vec![0x77u8; 300_000]);
     let expect = payload.clone();
-    client::mount_local(&mut sim, &mut w, client, "hafs", move |sim, w, r| {
+    client::mount(&mut sim, &mut w, client, "hafs", gfs_auth::handshake::AccessMode::ReadWrite, move |sim, w, r| {
         r.unwrap();
         client::open(sim, w, client, "hafs", "/survive", OpenFlags::ReadWrite, Owner::local(1, 1), move |sim, w, r| {
             let h = r.unwrap();
@@ -87,7 +87,7 @@ fn nsds_fail_over_to_surviving_server() {
                         // Every NSD now routes to s2.
                         let inst = &w.fss[fs.0 as usize];
                         for i in 0..8 {
-                            assert_eq!(inst.server_of(NsdId(i)), s2);
+                            assert_eq!(inst.try_server_of(NsdId(i)), Some(s2));
                         }
                         ok2.set(true);
                     });
@@ -103,23 +103,41 @@ fn nsds_fail_over_to_surviving_server() {
 fn restore_rebalances_service() {
     let (_sim, mut w, _client, fs, s1, s2) = bed();
     w.fss[fs.0 as usize].fail_server(s1);
-    assert_eq!(w.fss[fs.0 as usize].server_of(NsdId(0)), s2);
+    assert_eq!(w.fss[fs.0 as usize].try_server_of(NsdId(0)), Some(s2));
     w.fss[fs.0 as usize].restore_server(s1);
-    assert_eq!(w.fss[fs.0 as usize].server_of(NsdId(0)), s1);
+    assert_eq!(w.fss[fs.0 as usize].try_server_of(NsdId(0)), Some(s1));
 }
 
 #[test]
 fn total_failure_is_unavailability() {
-    // The infallible accessor still panics for call sites with no error
-    // path...
-    let (_sim, mut w, _client, fs, s1, s2) = bed();
-    w.fss[fs.0 as usize].fail_server(s1);
-    w.fss[fs.0 as usize].fail_server(s2);
-    assert!(w.fss[fs.0 as usize].try_server_of(NsdId(0)).is_none());
-    let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        w.fss[fs.0 as usize].server_of(NsdId(0))
-    }));
-    assert!(r.is_err(), "server_of must panic on total failure");
+    // Losing every NSD server is typed unavailability, not a crash: the
+    // routing query returns None, and the session surface reports the
+    // filesystem as Degraded.
+    let (mut sim, mut w, client, fs, s1, s2) = bed();
+    let sess = w.open_session(client);
+    let saw = Rc::new(std::cell::RefCell::new(None::<FsError>));
+    let saw2 = saw.clone();
+    sess.mount(&mut sim, &mut w, "hafs", gfs_auth::handshake::AccessMode::ReadWrite, move |sim, w, r| {
+        r.unwrap();
+        sess.open(sim, w, "/degraded", OpenFlags::ReadWrite, Owner::local(1, 1), move |sim, w, r| {
+            let h = r.unwrap();
+            sess.write(sim, w, h, 0, Bytes::from(vec![5u8; 200_000]), move |sim, w, r| {
+                r.unwrap();
+                w.fss[fs.0 as usize].fail_server(s1);
+                w.fss[fs.0 as usize].fail_server(s2);
+                assert!(w.fss[fs.0 as usize].try_server_of(NsdId(0)).is_none());
+                sess.fsync(sim, w, h, move |_s, _w, r| {
+                    *saw2.borrow_mut() = Some(r.unwrap_err());
+                });
+            });
+        });
+    });
+    sim.run(&mut w);
+    assert!(
+        matches!(saw.borrow().as_ref(), Some(FsError::Degraded(_))),
+        "session surface must report total server loss as Degraded, got {:?}",
+        saw.borrow()
+    );
 }
 
 #[test]
@@ -129,7 +147,7 @@ fn total_failure_surfaces_server_down_to_the_client() {
     let (mut sim, mut w, client, fs, s1, s2) = bed();
     let seen = Rc::new(std::cell::RefCell::new(None::<FsError>));
     let seen2 = seen.clone();
-    client::mount_local(&mut sim, &mut w, client, "hafs", move |sim, w, r| {
+    client::mount(&mut sim, &mut w, client, "hafs", gfs_auth::handshake::AccessMode::ReadWrite, move |sim, w, r| {
         r.unwrap();
         client::open(sim, w, client, "hafs", "/doomed", OpenFlags::ReadWrite, Owner::local(1, 1), move |sim, w, r| {
             let h = r.unwrap();
@@ -159,7 +177,7 @@ fn writes_after_failover_land_and_survive_restore() {
     let (mut sim, mut w, client, fs, s1, _s2) = bed();
     let ok = Rc::new(Cell::new(false));
     let ok2 = ok.clone();
-    client::mount_local(&mut sim, &mut w, client, "hafs", move |sim, w, r| {
+    client::mount(&mut sim, &mut w, client, "hafs", gfs_auth::handshake::AccessMode::ReadWrite, move |sim, w, r| {
         r.unwrap();
         // Fail the primary before any I/O.
         w.fss[fs.0 as usize].fail_server(s1);
@@ -303,7 +321,7 @@ fn coalesced_scatter_gather_fails_over_like_per_block() {
         let errors = Rc::new(Cell::new(0usize));
         {
             let (intact, errors) = (intact.clone(), errors.clone());
-            client::mount_local(&mut sim, &mut w, client, "hafs", move |sim, w, r| {
+            client::mount(&mut sim, &mut w, client, "hafs", gfs_auth::handshake::AccessMode::ReadWrite, move |sim, w, r| {
                 r.unwrap();
                 client::open(sim, w, client, "hafs", "/sg", OpenFlags::ReadWrite, Owner::local(1, 1), move |sim, w, r| {
                     let h = r.unwrap();
@@ -414,7 +432,7 @@ fn completed_request_watchdogs_are_cancelled_not_leaked() {
 
     {
         let log = pending_log.clone();
-        client::mount_local(&mut sim, &mut w, client, "hafs", move |sim, w, r| {
+        client::mount(&mut sim, &mut w, client, "hafs", gfs_auth::handshake::AccessMode::ReadWrite, move |sim, w, r| {
             r.unwrap();
             client::open(sim, w, client, "hafs", "/flat", OpenFlags::ReadWrite, Owner::local(1, 1), move |sim, w, r| {
                 let h = r.unwrap();
@@ -458,7 +476,7 @@ fn request_timeout_surfaces_exactly_once_despite_late_responses() {
     {
         let outcomes = outcomes.clone();
         let recovered = recovered.clone();
-        client::mount_local(&mut sim, &mut w, client, "hafs", move |sim, w, r| {
+        client::mount(&mut sim, &mut w, client, "hafs", gfs_auth::handshake::AccessMode::ReadWrite, move |sim, w, r| {
             r.unwrap();
             client::open(sim, w, client, "hafs", "/flaky", OpenFlags::ReadWrite, Owner::local(1, 1), move |sim, w, r| {
                 let h = r.unwrap();
@@ -510,7 +528,7 @@ fn metadata_op_rides_out_manager_crash_and_wal_recovery() {
     let (mut sim, mut w, client, fs, _s1, s2) = bed();
     let ok = Rc::new(Cell::new(false));
     let ok2 = ok.clone();
-    client::mount_local(&mut sim, &mut w, client, "hafs", move |sim, w, r| {
+    client::mount(&mut sim, &mut w, client, "hafs", gfs_auth::handshake::AccessMode::ReadWrite, move |sim, w, r| {
         r.unwrap();
         // An acknowledged mutation, so the WAL has something to replay.
         client::mkdir(sim, w, client, "hafs", "/pre", Owner::local(1, 1), move |sim, w, r| {
@@ -564,7 +582,7 @@ fn coalesced_read_retries_to_restored_server_after_transient_crash() {
     let intact = Rc::new(Cell::new(false));
     {
         let intact = intact.clone();
-        client::mount_local(&mut sim, &mut w, client, "hafs", move |sim, w, r| {
+        client::mount(&mut sim, &mut w, client, "hafs", gfs_auth::handshake::AccessMode::ReadWrite, move |sim, w, r| {
             r.unwrap();
             client::open(sim, w, client, "hafs", "/transient", OpenFlags::ReadWrite, Owner::local(1, 1), move |sim, w, r| {
                 let h = r.unwrap();

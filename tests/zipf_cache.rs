@@ -57,7 +57,7 @@ fn run_queries(pool_pages: usize, wl: Workload) -> (f64, u64, u64) {
     let d = done.clone();
     let started = Rc::new(RefCell::new(None::<globalfs::simcore::SimTime>));
     let st = started.clone();
-    client::mount_local(&mut sim, &mut w, client, "catalog", move |sim, w, r| {
+    client::mount(&mut sim, &mut w, client, "catalog", gfs_auth::handshake::AccessMode::ReadWrite, move |sim, w, r| {
         r.unwrap();
         client::open(sim, w, client, "catalog", "/objects", OpenFlags::ReadWrite, Owner::local(1, 1), move |sim, w, r| {
             let h = r.unwrap();
