@@ -47,6 +47,7 @@ floors = {
     'recovery trio': 1500,
     'metadata storm': 8000,
     'storm 100k sessions': 1000,
+    'storm partitioned': 20000,
     'chaos storm smoke': 8000,
     'resolve microbench': 100000,
 }
@@ -95,6 +96,33 @@ if s100k['storm100k_ops_per_sec'] < 1_000_000:
     failed = True
 if not (0 < s100k['storm100k_envelopes'] < s100k['storm100k_envelope_ops']):
     print("perf smoke: fan-in batching degraded to one envelope per op", file=sys.stderr)
+    failed = True
+
+# Partitioned storm: the PR-7 claim is that M=4 subtree-sharded managers
+# lift the modeled storm rate at least 3x over the single-manager ceiling
+# measured in the same run (storm 100k, ~1.6M ops/sec -> floor 4.8M). Like
+# the 100k gate this is the *modeled* rate, so it is host-independent.
+# Cross-shard ops must be non-zero — if the rename mix stops straddling
+# shard boundaries the two-phase commit path is silently untested — and
+# nothing may exhaust its retry budget in a fault-free run.
+spart = by_prefix['storm partitioned']['metadata']
+print(f"storm partitioned: {spart['storm_part_ops']:.0f} ops in "
+      f"{spart['storm_part_sim_seconds']:.2f} simulated s -> "
+      f"{spart['storm_part_ops_per_sec']:.0f} modeled ops/sec "
+      f"({spart['storm_part_speedup_vs_single']:.2f}x single-manager; floor 3x), "
+      f"{spart['storm_part_cross_shard_ops']:.0f} cross-shard ops, "
+      f"gave up {spart['storm_part_gave_up']:.0f}")
+if spart['storm_part_ops_per_sec'] < 4_800_000:
+    print(f"perf smoke: partitioned storm below 4.8M modeled ops/sec ({spart['storm_part_ops_per_sec']:.0f})", file=sys.stderr)
+    failed = True
+if spart['storm_part_speedup_vs_single'] < 3.0:
+    print(f"perf smoke: partitioned storm speedup fell under 3x ({spart['storm_part_speedup_vs_single']:.2f})", file=sys.stderr)
+    failed = True
+if spart['storm_part_cross_shard_ops'] <= 0:
+    print("perf smoke: partitioned storm never crossed a shard boundary", file=sys.stderr)
+    failed = True
+if spart['storm_part_gave_up'] != 0:
+    print("perf smoke: partitioned storm ops exhausted their retry budget fault-free", file=sys.stderr)
     failed = True
 
 # Chaos smoke: the [OK]/[OFF] verdicts above already gate the invariants

@@ -255,31 +255,6 @@ pub fn mount(
     });
 }
 
-/// Mount a filesystem local to the client's own cluster.
-#[deprecated(note = "use client::mount, which dispatches on resolve_device")]
-pub fn mount_local(
-    sim: &mut Sim<GfsWorld>,
-    w: &mut GfsWorld,
-    client: ClientId,
-    device: &str,
-    cb: impl FnOnce(&mut Sim<GfsWorld>, &mut GfsWorld, Result<(), FsError>) + 'static,
-) {
-    mount(sim, w, client, device, AccessMode::ReadWrite, cb);
-}
-
-/// Mount a remote cluster's filesystem (an `mmremotefs` device).
-#[deprecated(note = "use client::mount, which dispatches on resolve_device")]
-pub fn mount_remote(
-    sim: &mut Sim<GfsWorld>,
-    w: &mut GfsWorld,
-    client: ClientId,
-    device: &str,
-    mode: AccessMode,
-    cb: impl FnOnce(&mut Sim<GfsWorld>, &mut GfsWorld, Result<(), FsError>) + 'static,
-) {
-    mount(sim, w, client, device, mode, cb);
-}
-
 // ---------------------------------------------------------------------
 // Metadata operations
 // ---------------------------------------------------------------------
@@ -346,10 +321,11 @@ pub(crate) fn readdir_apply(
 pub(crate) fn unlink_apply(w: &mut GfsWorld, fs: FsId, path: &str) -> Result<(), FsError> {
     let ch = {
         let inst = &mut w.fss[fs.0 as usize];
+        let shard = inst.core.shards.shard_of(path) as usize;
         let ch = inst.core.unlink_entry(path)?;
-        // Keep the manager's envelope path cache coherent when legacy
-        // clients and sessions share a filesystem (no-op when empty).
-        inst.mgr.uncache_path(path);
+        // Keep the owning manager's envelope path cache coherent when
+        // legacy clients and sessions share a filesystem (no-op when empty).
+        inst.mgrs[shard].uncache_path(path);
         ch
     };
     // Invalidate everywhere (the manager broadcasts in GPFS; we apply the
@@ -373,7 +349,9 @@ pub(crate) fn rename_apply(
     let ch = {
         let inst = &mut w.fss[fs.0 as usize];
         let ch = inst.core.rename_entry(from, to)?;
-        inst.mgr.uncache_all_paths();
+        for mgr in &mut inst.mgrs {
+            mgr.uncache_all_paths();
+        }
         ch
     };
     // Every client must stop resolving the old name, and — when the rename
@@ -447,46 +425,54 @@ fn lookup_mgr(
 pub(crate) fn mkdir_apply_mgr(
     w: &mut GfsWorld,
     fs: FsId,
+    shard: u32,
     now: u64,
     path: &str,
     owner: &Owner,
 ) -> Result<InodeId, FsError> {
     let inst = &mut w.fss[fs.0 as usize];
     let ch = inst.core.mkdir_entry(path, owner.clone(), now)?;
-    // Seed the manager cache — the creator (or a sibling session) will
-    // almost always resolve the new directory next.
-    inst.mgr.cache_path(path, ch.id);
+    // Seed the owning manager's cache — the creator (or a sibling session)
+    // will almost always resolve the new directory next.
+    inst.mgrs[shard as usize].cache_path(path, ch.id);
     Ok(ch.id)
 }
 
 pub(crate) fn stat_apply_mgr(
     w: &mut GfsWorld,
     fs: FsId,
+    shard: u32,
     path: &str,
 ) -> Result<crate::fscore::FileAttr, FsError> {
     let inst = &mut w.fss[fs.0 as usize];
-    let id = lookup_mgr(&inst.core, &mut inst.mgr, path)?;
+    let id = lookup_mgr(&inst.core, &mut inst.mgrs[shard as usize], path)?;
     inst.core.stat_id(id)
 }
 
 pub(crate) fn readdir_apply_mgr(
     w: &mut GfsWorld,
     fs: FsId,
+    shard: u32,
     path: &str,
 ) -> Result<Vec<String>, FsError> {
     let inst = &mut w.fss[fs.0 as usize];
-    let id = lookup_mgr(&inst.core, &mut inst.mgr, path)?;
+    let id = lookup_mgr(&inst.core, &mut inst.mgrs[shard as usize], path)?;
     inst.core.readdir_id(id).map_err(|e| match e {
         FsError::NotADirectory(_) => FsError::NotADirectory(path.to_string()),
         other => other,
     })
 }
 
-pub(crate) fn unlink_apply_mgr(w: &mut GfsWorld, fs: FsId, path: &str) -> Result<(), FsError> {
+pub(crate) fn unlink_apply_mgr(
+    w: &mut GfsWorld,
+    fs: FsId,
+    shard: u32,
+    path: &str,
+) -> Result<(), FsError> {
     let ch = {
         let inst = &mut w.fss[fs.0 as usize];
         let ch = inst.core.unlink_entry(path)?;
-        inst.mgr.uncache_path(path);
+        inst.mgrs[shard as usize].uncache_path(path);
         ch
     };
     for c in &mut w.clients {
@@ -506,8 +492,11 @@ pub(crate) fn rename_apply_mgr(
         let inst = &mut w.fss[fs.0 as usize];
         let ch = inst.core.rename_entry(from, to)?;
         // A rename moves a whole subtree; every cached path under it is
-        // suspect, so the manager drops its cache wholesale.
-        inst.mgr.uncache_all_paths();
+        // suspect, so every manager drops its cache wholesale (a cross-shard
+        // rename invalidates on both the source and destination owner).
+        for mgr in &mut inst.mgrs {
+            mgr.uncache_all_paths();
+        }
         ch
     };
     for c in &mut w.clients {
@@ -523,13 +512,14 @@ pub(crate) fn rename_apply_mgr(
 pub(crate) fn open_apply_mgr(
     w: &mut GfsWorld,
     fs: FsId,
+    shard: u32,
     now: u64,
     path: &str,
     flags: OpenFlags,
     owner: &Owner,
 ) -> Result<(FsId, InodeId), FsError> {
     let inst = &mut w.fss[fs.0 as usize];
-    let inode = match lookup_mgr(&inst.core, &mut inst.mgr, path) {
+    let inode = match lookup_mgr(&inst.core, &mut inst.mgrs[shard as usize], path) {
         Ok(id) => {
             if inst.core.inode(id)?.is_dir() {
                 return Err(FsError::IsADirectory(path.to_string()));
@@ -538,7 +528,7 @@ pub(crate) fn open_apply_mgr(
         }
         Err(FsError::NotFound(_)) if flags.writes() => {
             let ch = inst.core.create_file_entry(path, owner.clone(), now)?;
-            inst.mgr.cache_path(path, ch.id);
+            inst.mgrs[shard as usize].cache_path(path, ch.id);
             ch.id
         }
         Err(e) => return Err(e),
@@ -566,6 +556,7 @@ fn manager_rpc<T: Clone + 'static>(
     w: &mut GfsWorld,
     client: ClientId,
     fs: FsId,
+    shard: u32,
     mutating: bool,
     f: impl FnMut(&mut Sim<GfsWorld>, &mut GfsWorld, FsId) -> Result<T, FsError> + 'static,
     cb: Cb<Result<T, FsError>>,
@@ -574,7 +565,7 @@ fn manager_rpc<T: Clone + 'static>(
     let slot: Once<Result<T, FsError>> = Rc::new(RefCell::new(Some(cb)));
     let f: Rc<RefCell<dyn FnMut(&mut Sim<GfsWorld>, &mut GfsWorld, FsId) -> Result<T, FsError>>> =
         Rc::new(RefCell::new(f));
-    manager_rpc_attempt(sim, w, client, fs, mutating, op_id, f, 0, None, slot);
+    manager_rpc_attempt(sim, w, client, fs, shard, mutating, op_id, f, 0, None, slot);
 }
 
 type ManagerOp<T> =
@@ -586,6 +577,7 @@ fn manager_rpc_attempt<T: Clone + 'static>(
     w: &mut GfsWorld,
     client: ClientId,
     fs: FsId,
+    shard: u32,
     mutating: bool,
     op_id: u64,
     f: ManagerOp<T>,
@@ -593,9 +585,10 @@ fn manager_rpc_attempt<T: Clone + 'static>(
     prev_mgr: Option<NodeId>,
     cb: Once<Result<T, FsError>>,
 ) {
-    // Each attempt re-resolves the acting manager, so a retry lands on the
-    // recovered (possibly relocated) manager rather than the dead home.
-    let mgr = w.fss[fs.0 as usize].manager_endpoint();
+    // Each attempt re-resolves the shard's acting manager, so a retry lands
+    // on the recovered (possibly relocated) manager rather than the dead
+    // home.
+    let mgr = w.fss[fs.0 as usize].manager_endpoint(shard);
     log_failover(sim, w, client, prev_mgr, mgr);
     let from = client_node(w, client);
     let rpcb = w.costs.rpc_bytes;
@@ -619,6 +612,7 @@ fn manager_rpc_attempt<T: Clone + 'static>(
                     w,
                     client,
                     fs,
+                    shard,
                     mutating,
                     op_id,
                     f,
@@ -634,14 +628,15 @@ fn manager_rpc_attempt<T: Clone + 'static>(
         // silently; only the watchdog tells the client.
         {
             let inst = &w.fss[fs.0 as usize];
-            if inst.down_servers.contains(&mgr) || inst.mgr.recovering || inst.mgr.acting != mgr {
+            let ms = &inst.mgrs[shard as usize];
+            if inst.down_servers.contains(&mgr) || ms.recovering || ms.acting != mgr {
                 return;
             }
         }
         // Exactly-once: if an earlier attempt of this mutating op already
         // applied (its reply was lost in flight), replay the recorded
         // result instead of executing twice.
-        let replay = w.fss[fs.0 as usize].mgr.applied_result(op_id);
+        let replay = w.fss[fs.0 as usize].mgrs[shard as usize].applied_result(op_id);
         let result: Result<T, FsError> = match replay {
             Some(r) => r
                 .downcast_ref::<Result<T, FsError>>()
@@ -650,7 +645,7 @@ fn manager_rpc_attempt<T: Clone + 'static>(
             None => {
                 let r = (f.borrow_mut())(sim, w, fs);
                 if mutating {
-                    w.fss[fs.0 as usize].mgr.record(op_id, Rc::new(r.clone()));
+                    w.fss[fs.0 as usize].mgrs[shard as usize].record(op_id, Rc::new(r.clone()));
                 }
                 r
             }
@@ -668,12 +663,17 @@ fn manager_rpc_attempt<T: Clone + 'static>(
 }
 
 /// Generic metadata RPC against a mounted device's manager, under the
-/// [`manager_rpc`] survival envelope.
+/// [`manager_rpc`] survival envelope. `route_path` picks the owning
+/// manager shard (cross-shard legacy ops — a rename whose destination
+/// lives on another shard — run at the source's owner; the shared-disk
+/// `FsCore` makes that correct, and only sessions model the two-phase
+/// peer charge).
 fn meta_rpc<T: Clone + 'static>(
     sim: &mut Sim<GfsWorld>,
     w: &mut GfsWorld,
     client: ClientId,
     device: &str,
+    route_path: &str,
     needs_write: bool,
     mut f: impl FnMut(&mut GfsWorld, FsId, u64) -> Result<T, FsError> + 'static,
     cb: impl FnOnce(&mut Sim<GfsWorld>, &mut GfsWorld, Result<T, FsError>) + 'static,
@@ -689,11 +689,13 @@ fn meta_rpc<T: Clone + 'static>(
         cb(sim, w, Err(FsError::ReadOnly));
         return;
     }
+    let shard = w.fss[m.fs.0 as usize].core.shards.shard_of(route_path);
     manager_rpc(
         sim,
         w,
         client,
         m.fs,
+        shard,
         needs_write,
         move |sim, w, fs| {
             let now = sim.now().as_nanos();
@@ -714,11 +716,13 @@ pub fn mkdir(
     cb: impl FnOnce(&mut Sim<GfsWorld>, &mut GfsWorld, Result<InodeId, FsError>) + 'static,
 ) {
     let path = path.to_string();
+    let route = path.clone();
     meta_rpc(
         sim,
         w,
         client,
         device,
+        &route,
         true,
         move |w, fs, now| mkdir_apply(w, fs, now, client, &path, &owner),
         cb,
@@ -736,11 +740,13 @@ pub fn stat(
         + 'static,
 ) {
     let path = path.to_string();
+    let route = path.clone();
     meta_rpc(
         sim,
         w,
         client,
         device,
+        &route,
         false,
         move |w, fs, _| stat_apply(w, fs, client, &path),
         cb,
@@ -757,11 +763,13 @@ pub fn readdir(
     cb: impl FnOnce(&mut Sim<GfsWorld>, &mut GfsWorld, Result<Vec<String>, FsError>) + 'static,
 ) {
     let path = path.to_string();
+    let route = path.clone();
     meta_rpc(
         sim,
         w,
         client,
         device,
+        &route,
         false,
         move |w, fs, _| readdir_apply(w, fs, client, &path),
         cb,
@@ -778,11 +786,13 @@ pub fn unlink(
     cb: impl FnOnce(&mut Sim<GfsWorld>, &mut GfsWorld, Result<(), FsError>) + 'static,
 ) {
     let path = path.to_string();
+    let route = path.clone();
     meta_rpc(
         sim,
         w,
         client,
         device,
+        &route,
         true,
         move |w, fs, _| unlink_apply(w, fs, &path),
         cb,
@@ -801,13 +811,27 @@ pub fn rename(
 ) {
     let from = from.to_string();
     let to = to.to_string();
+    let route = from.clone();
     meta_rpc(
         sim,
         w,
         client,
         device,
+        &route,
         true,
-        move |w, fs, _| rename_apply(w, fs, client, &from, &to),
+        move |w, fs, _| {
+            let r = rename_apply(w, fs, client, &from, &to);
+            // The destination may live on another shard. The legacy path
+            // runs the whole op at the source's owner (correct over the
+            // shared-disk core) and only *counts* the cross-shard commit;
+            // the session envelope path models the peer's two-phase
+            // service charge and journal record.
+            let inst = &mut w.fss[fs.0 as usize];
+            if inst.core.shards.shard_of(&from) != inst.core.shards.shard_of(&to) {
+                inst.cross_shard_ops += 1;
+            }
+            r
+        },
         cb,
     );
 }
@@ -859,11 +883,14 @@ pub fn truncate(
                         cb(sim, w, Err(e));
                         return;
                     }
+                    // Size changes ride the same channel as tokens: shard 0,
+                    // which doubles as the filesystem's block/token manager.
                     manager_rpc(
                         sim,
                         w,
                         client,
                         fs,
+                        0,
                         true,
                         move |sim, w, fs| {
                             let now = sim.now().as_nanos();
@@ -897,11 +924,13 @@ pub fn open(
 ) {
     let path = path.to_string();
     let path2 = path.clone();
+    let route = path.clone();
     meta_rpc(
         sim,
         w,
         client,
         device,
+        &route,
         flags.writes(),
         move |w, fs, now| open_apply(w, fs, now, client, &path, flags, &owner),
         move |sim, w, r| match r {
@@ -976,7 +1005,9 @@ fn acquire_token_attempt(
         }
         return;
     }
-    let mgr = w.fss[fs.0 as usize].manager_endpoint();
+    // Tokens are a whole-filesystem concern; shard 0's manager serves them
+    // regardless of how the namespace is partitioned.
+    let mgr = w.fss[fs.0 as usize].manager_endpoint(0);
     log_failover(sim, w, client, prev_mgr, mgr);
     let from = client_node(w, client);
     let rpcb = w.costs.rpc_bytes;
@@ -1017,7 +1048,8 @@ fn acquire_token_attempt(
     Network::send_msg(sim, w, from, mgr, rpcb, move |sim, w| {
         {
             let inst = &w.fss[fs.0 as usize];
-            if inst.down_servers.contains(&mgr) || inst.mgr.recovering || inst.mgr.acting != mgr {
+            let ms = &inst.mgrs[0];
+            if inst.down_servers.contains(&mgr) || ms.recovering || ms.acting != mgr {
                 return; // dropped; stage-one watchdog will retry
             }
         }
@@ -1137,6 +1169,216 @@ fn revoke_at_holder(
                 Network::send_msg(sim, w, holder_node, mgr, rpcb, move |sim, w| cb(sim, w, ()));
             });
         flush_dirty_pages(sim, w, holder, dirty, after_flush);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Subtree leases
+// ---------------------------------------------------------------------
+//
+// A per-site subtree lease (XUFS-style delegation) lets a mount context
+// run metadata ops on a top-level subtree against a *local delegate*
+// instead of crossing the WAN to the owning manager: the session layer
+// checks the client's lease mirror and, on a hit, charges only the
+// delegate's service queue. The manager keeps the authoritative lease
+// table; a conflicting op from anyone else breaks the lease exactly like
+// a token revocation (message out, deferral while the delegate has ops
+// in flight, ack back). A holder that never acks — partitioned or dead —
+// is *expelled* when its lease term runs out: the manager reclaims the
+// subtree and releases every token the node held, and the node itself,
+// knowing its term expired, stops trusting its mirror without needing to
+// hear from anyone. The next word from the expelled client re-admits it.
+
+/// Acquire a subtree lease on the top-level component of `path` for this
+/// client's site. Runs against the owning shard's manager without the
+/// retry envelope — leasing is an optimization, callers acquire from a
+/// healthy manager or simply keep paying the remote path.
+pub fn acquire_lease(
+    sim: &mut Sim<GfsWorld>,
+    w: &mut GfsWorld,
+    client: ClientId,
+    device: &str,
+    path: &str,
+    cb: impl FnOnce(&mut Sim<GfsWorld>, &mut GfsWorld, Result<(), FsError>) + 'static,
+) {
+    let m = match mount_of(w, client, device) {
+        Ok(m) => m,
+        Err(e) => {
+            cb(sim, w, Err(e));
+            return;
+        }
+    };
+    if m.mode == AccessMode::ReadOnly {
+        cb(sim, w, Err(FsError::ReadOnly));
+        return;
+    }
+    let top = crate::fscore::top_component(path);
+    if top.is_empty() {
+        // The root itself is never leased — that would privatize the
+        // entire namespace to one site.
+        cb(sim, w, Err(FsError::InvalidArgument(path.to_string())));
+        return;
+    }
+    acquire_lease_attempt(sim, w, client, m.fs, top.into(), Box::new(cb));
+}
+
+fn acquire_lease_attempt(
+    sim: &mut Sim<GfsWorld>,
+    w: &mut GfsWorld,
+    client: ClientId,
+    fs: FsId,
+    top: Box<str>,
+    cb: Cb<Result<(), FsError>>,
+) {
+    let shard = w.fss[fs.0 as usize].core.shards.shard_of(&top);
+    let mgr = w.fss[fs.0 as usize].manager_endpoint(shard);
+    let from = client_node(w, client);
+    let rpcb = w.costs.rpc_bytes;
+    Network::send_msg(sim, w, from, mgr, rpcb, move |sim, w| {
+        {
+            let inst = &w.fss[fs.0 as usize];
+            let ms = &inst.mgrs[shard as usize];
+            if inst.down_servers.contains(&mgr) || ms.recovering || ms.acting != mgr {
+                // Dropped at a dead manager; re-poll after a timeout.
+                let t = w.costs.request_timeout;
+                sim.after(t, move |sim, w| {
+                    acquire_lease_attempt(sim, w, client, fs, top, cb);
+                });
+                return;
+            }
+        }
+        // An expelled client asking for a lease is back on the air; the
+        // manager re-admits it before considering the grant.
+        readmit_if_expelled(sim, w, fs, client);
+        let holder = w.fss[fs.0 as usize].leases.get(&top).copied();
+        match holder {
+            Some(h) if h != client => {
+                // Someone else's delegate owns the subtree: break its
+                // lease, then come back for the grant.
+                start_lease_break(sim, w, fs, top.clone(), h);
+                sim.after(SimDuration::from_millis(10), move |sim, w| {
+                    acquire_lease_attempt(sim, w, client, fs, top, cb);
+                });
+            }
+            _ => {
+                let inst = &mut w.fss[fs.0 as usize];
+                if inst.leases.insert(top.clone(), client).is_none() {
+                    inst.lease_grants += 1;
+                }
+                let rpcb = w.costs.rpc_bytes;
+                Network::send_msg(sim, w, mgr, from, rpcb, move |sim, w| {
+                    w.clients[client.0 as usize].leases.insert((fs, top));
+                    cb(sim, w, Ok(()));
+                });
+            }
+        }
+    });
+}
+
+/// Break `holder`'s lease on `top` (manager side). Idempotent while a
+/// break is already in flight. Arms the expulsion fuse: a holder that
+/// does not ack within `costs.lease_break_timeout` loses its membership,
+/// not just the lease.
+pub(crate) fn start_lease_break(
+    sim: &mut Sim<GfsWorld>,
+    w: &mut GfsWorld,
+    fs: FsId,
+    top: Box<str>,
+    holder: ClientId,
+) {
+    {
+        let inst = &mut w.fss[fs.0 as usize];
+        if !inst.breaking.insert(top.clone()) {
+            return; // a break for this subtree is already under way
+        }
+        inst.lease_breaks += 1;
+    }
+    let shard = w.fss[fs.0 as usize].core.shards.shard_of(&top);
+    let mgr = w.fss[fs.0 as usize].mgrs[shard as usize].acting;
+    let holder_node = client_node(w, holder);
+    let rpcb = w.costs.rpc_bytes;
+    let fuse = {
+        let top = top.clone();
+        sim.timer_after(w.costs.lease_break_timeout, move |sim, w| {
+            expel(sim, w, fs, top, holder);
+        })
+    };
+    Network::send_msg(sim, w, mgr, holder_node, rpcb, move |sim, w| {
+        lease_break_at_holder(sim, w, fs, top, holder, mgr, holder_node, fuse);
+    });
+}
+
+/// Runs at the lease holder: defers until the local delegate drains its
+/// in-flight ops (GPFS revocation semantics), drops the mirror entry,
+/// acks back to the manager.
+#[allow(clippy::too_many_arguments)]
+fn lease_break_at_holder(
+    sim: &mut Sim<GfsWorld>,
+    w: &mut GfsWorld,
+    fs: FsId,
+    top: Box<str>,
+    holder: ClientId,
+    mgr: NodeId,
+    holder_node: NodeId,
+    fuse: simcore::TimerId,
+) {
+    if w.clients[holder.0 as usize].delegate_inflight > 0 {
+        sim.after(SimDuration::from_micros(500), move |sim, w| {
+            lease_break_at_holder(sim, w, fs, top, holder, mgr, holder_node, fuse);
+        });
+        return;
+    }
+    w.clients[holder.0 as usize].leases.remove(&(fs, top.clone()));
+    let rpcb = w.costs.rpc_bytes;
+    Network::send_msg(sim, w, holder_node, mgr, rpcb, move |sim, w| {
+        if !sim.cancel_timer(fuse) {
+            return; // the term expired first; the expulsion owns this lease
+        }
+        let inst = &mut w.fss[fs.0 as usize];
+        if inst.leases.get(&top) == Some(&holder) {
+            inst.leases.remove(&top);
+        }
+        inst.breaking.remove(&top);
+    });
+}
+
+/// Lease-term expiry: the holder never acked the break. The manager
+/// reclaims the subtree and expels the node — every token it held is
+/// released so nobody else blocks on a dead delegate. The node side
+/// needs no message: its own term clock tells it the lease (and its
+/// cluster membership) lapsed, so it stops trusting every cached grant.
+fn expel(sim: &mut Sim<GfsWorld>, w: &mut GfsWorld, fs: FsId, top: Box<str>, holder: ClientId) {
+    {
+        let inst = &mut w.fss[fs.0 as usize];
+        inst.breaking.remove(&top);
+        if inst.leases.get(&top) != Some(&holder) {
+            return; // the break completed on another path after all
+        }
+        inst.leases.remove(&top);
+        inst.expelled.insert(holder);
+        inst.expulsions += 1;
+        inst.tokens.release_client(holder);
+    }
+    let c = &mut w.clients[holder.0 as usize];
+    c.leases.retain(|(f, _)| *f != fs);
+    c.held_tokens.retain(|(f, _), _| *f != fs);
+    w.recovery
+        .log(sim.now(), RecoveryWhat::Expelled { client: holder });
+}
+
+/// First contact from an expelled client lifts the expulsion — GPFS
+/// re-admits a node the moment it rejoins quorum, and its caches were
+/// already discarded at expulsion time.
+pub(crate) fn readmit_if_expelled(
+    sim: &mut Sim<GfsWorld>,
+    w: &mut GfsWorld,
+    fs: FsId,
+    client: ClientId,
+) {
+    if w.fss[fs.0 as usize].expelled.remove(&client) {
+        w.fss[fs.0 as usize].readmissions += 1;
+        w.recovery
+            .log(sim.now(), RecoveryWhat::Readmitted { client });
     }
 }
 
@@ -1809,12 +2051,14 @@ pub fn write(
             // The token is held: mark the operation in flight so a
             // concurrent revocation waits for us (write atomicity).
             inflight_enter(w, client, fs, inode);
-            // Allocation + size RPC to the manager.
+            // Allocation + size RPC to the manager — block allocation is
+            // shard 0's job regardless of namespace partitioning.
             manager_rpc(
                 sim,
                 w,
                 client,
                 fs,
+                0,
                 true,
                 move |sim, w, fs| -> Result<(), FsError> {
                     let now = sim.now().as_nanos();
@@ -1953,11 +2197,13 @@ pub fn close(
             cb(sim, w, Err(e));
             return;
         }
+        // Token releases go where tokens live: shard 0's manager.
         manager_rpc(
             sim,
             w,
             client,
             fs,
+            0,
             true,
             move |_sim, w, fs| {
                 w.fss[fs.0 as usize].tokens.release_all(inode, client);
@@ -2607,24 +2853,4 @@ mod tests {
         assert!(ok.get());
     }
 
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_mount_shims_still_work() {
-        let mut t = bed();
-        let local = t.local;
-        let remote = t.remote;
-        let ok = Rc::new(Cell::new(0u32));
-        let ok2 = ok.clone();
-        mount_local(&mut t.sim, &mut t.w, local, "gpfs-wan", move |_s, _w, r| {
-            r.unwrap();
-            ok2.set(ok2.get() + 1);
-        });
-        let ok3 = ok.clone();
-        mount_remote(&mut t.sim, &mut t.w, remote, "gpfs-wan", AccessMode::ReadOnly, move |_s, _w, r| {
-            r.unwrap();
-            ok3.set(ok3.get() + 1);
-        });
-        run(&mut t);
-        assert_eq!(ok.get(), 2);
-    }
 }

@@ -417,6 +417,19 @@ pub enum RecoveryWhat {
     },
     /// A restorative fault (link up, server restart, heal) was applied.
     Restored(String),
+    /// A mount context was expelled after not answering a lease break
+    /// within [`crate::world::ProtocolCosts::lease_break_timeout`]; its
+    /// leases and tokens were force-released.
+    Expelled {
+        /// The unresponsive context.
+        client: ClientId,
+    },
+    /// A previously-expelled context contacted the manager again and was
+    /// re-admitted.
+    Readmitted {
+        /// The returning context.
+        client: ClientId,
+    },
 }
 
 /// One timestamped recovery-log entry.
@@ -533,20 +546,31 @@ pub fn apply_fault(sim: &mut Sim<GfsWorld>, w: &mut GfsWorld, kind: FaultKind) {
                 now,
                 RecoveryWhat::FaultInjected(format!("NSD server {server} crashed")),
             );
-            // Killing the acting namespace manager also starts namespace
-            // recovery: the dedup table is gone, a takeover is scheduled,
-            // and metadata RPCs are dropped (clients retry) until the WAL
-            // has been replayed on the new manager.
-            let inst = &mut w.fss[fs.0 as usize];
-            if inst.mgr.acting == node && !inst.mgr.recovering {
-                inst.mgr.crash();
-                w.recovery.log(
-                    now,
-                    RecoveryWhat::FaultInjected(format!(
-                        "namespace manager {server} lost; WAL recovery started"
-                    )),
-                );
-                schedule_manager_recovery(sim, w, fs);
+            // Killing an acting namespace manager also starts namespace
+            // recovery for every shard it was serving: the shard's dedup
+            // table is gone, a takeover is scheduled, and its metadata
+            // RPCs are dropped (clients retry) until the WAL has been
+            // replayed on the new manager. Other shards keep answering.
+            let shards = w.fss[fs.0 as usize].shard_count();
+            for shard in 0..shards {
+                let hit = {
+                    let mgr = &mut w.fss[fs.0 as usize].mgrs[shard as usize];
+                    if mgr.acting == node && !mgr.recovering {
+                        mgr.crash();
+                        true
+                    } else {
+                        false
+                    }
+                };
+                if hit {
+                    w.recovery.log(
+                        now,
+                        RecoveryWhat::FaultInjected(format!(
+                            "namespace manager {server} lost; WAL recovery started"
+                        )),
+                    );
+                    schedule_manager_recovery(sim, w, fs, shard);
+                }
             }
         }
         FaultKind::ServerRestart { fs, server } => {
@@ -600,32 +624,37 @@ pub fn apply_fault(sim: &mut Sim<GfsWorld>, w: &mut GfsWorld, kind: FaultKind) {
     }
 }
 
-/// Schedule the end of a namespace-manager recovery: a fixed takeover cost
-/// plus a per-WAL-entry replay charge.
-fn schedule_manager_recovery(sim: &mut Sim<GfsWorld>, w: &GfsWorld, fs: FsId) {
+/// Schedule the end of one shard's namespace-manager recovery: a fixed
+/// takeover cost plus a per-WAL-entry replay charge.
+fn schedule_manager_recovery(sim: &mut Sim<GfsWorld>, w: &GfsWorld, fs: FsId, shard: u32) {
     let inst = &w.fss[fs.0 as usize];
     let delay = SimDuration::from_secs_f64(
         w.costs.manager_recovery_base.as_secs_f64()
-            + w.costs.manager_replay_per_op.as_secs_f64() * inst.mgr.wal_len() as f64,
+            + w.costs.manager_replay_per_op.as_secs_f64()
+                * inst.mgrs[shard as usize].wal_len() as f64,
     );
-    sim.after(delay, move |sim, w| finish_manager_recovery(sim, w, fs));
+    sim.after(delay, move |sim, w| {
+        finish_manager_recovery(sim, w, fs, shard)
+    });
 }
 
-/// Recovery timer fired: hand the namespace to the first healthy server in
+/// Recovery timer fired: hand the shard to the first healthy server in
 /// the ring. With every server still down, probe again after the base
 /// takeover delay (a restart will eventually supply a candidate).
-fn finish_manager_recovery(sim: &mut Sim<GfsWorld>, w: &mut GfsWorld, fs: FsId) {
+fn finish_manager_recovery(sim: &mut Sim<GfsWorld>, w: &mut GfsWorld, fs: FsId, shard: u32) {
     let inst = &mut w.fss[fs.0 as usize];
-    if !inst.mgr.recovering {
+    if !inst.mgrs[shard as usize].recovering {
         return;
     }
-    let Some(candidate) = inst.manager_candidate() else {
+    let Some(candidate) = inst.manager_candidate(shard) else {
         let delay = w.costs.manager_recovery_base;
-        sim.after(delay, move |sim, w| finish_manager_recovery(sim, w, fs));
+        sim.after(delay, move |sim, w| {
+            finish_manager_recovery(sim, w, fs, shard)
+        });
         return;
     };
-    let replayed = inst.mgr.recover(candidate);
-    let epoch = inst.mgr.epoch;
+    let replayed = inst.mgrs[shard as usize].recover(candidate);
+    let epoch = inst.mgrs[shard as usize].epoch;
     w.recovery.log(
         sim.now(),
         RecoveryWhat::Restored(format!(

@@ -287,6 +287,141 @@ pub struct RenameChange {
     pub replaced: Option<InodeId>,
 }
 
+/// The leading path component — the subtree granularity at which the
+/// namespace is sharded across managers and leased to sites. Root and
+/// relative fragments map to `""` (owned by shard 0).
+#[inline]
+pub fn top_component(path: &str) -> &str {
+    path.trim_start_matches('/')
+        .split('/')
+        .next()
+        .unwrap_or("")
+}
+
+/// Deterministic subtree → manager-shard placement map.
+///
+/// The namespace is partitioned at top-level-directory granularity: every
+/// path under `/proj` belongs to `shard_of("/proj/...")`. Placement is a
+/// seeded byte-fold hash of the top component modulo the shard count, with
+/// an explicit override table layered on top for deliberate placement and
+/// hotspot rebalancing. Shard 0 always owns the root (and, by convention,
+/// every non-namespace manager role: tokens, mounts, data-path control).
+///
+/// Per-subtree heat counters accumulate at envelope execution;
+/// [`ShardMap::rebalance`] deterministically moves the hottest subtree of
+/// the hottest shard onto the coolest shard.
+#[derive(Debug, Default)]
+pub struct ShardMap {
+    shards: u32,
+    overrides: FxHashMap<Box<str>, u32>,
+    heat: FxHashMap<Box<str>, u64>,
+}
+
+impl ShardMap {
+    /// Splitmix64-style fold of the top component's bytes — deterministic
+    /// across runs, platforms, and thread counts.
+    fn hash_top(top: &str) -> u64 {
+        let mut h: u64 = 0x9e37_79b9_7f4a_7c15;
+        for &b in top.as_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            h ^= h >> 27;
+        }
+        h ^ (h >> 31)
+    }
+
+    /// Set the cooperating shard count (clamped to ≥ 1). Called once at
+    /// world build; with 1 shard every path maps to shard 0 and the map is
+    /// inert.
+    pub fn set_shards(&mut self, shards: u32) {
+        self.shards = shards.max(1);
+    }
+
+    /// Cooperating shard count.
+    pub fn shards(&self) -> u32 {
+        self.shards.max(1)
+    }
+
+    /// The manager shard owning `path`'s subtree.
+    pub fn shard_of(&self, path: &str) -> u32 {
+        if self.shards <= 1 {
+            return 0;
+        }
+        let top = top_component(path);
+        if top.is_empty() {
+            return 0;
+        }
+        if let Some(&s) = self.overrides.get(top) {
+            return s;
+        }
+        (Self::hash_top(top) % u64::from(self.shards)) as u32
+    }
+
+    /// Pin `top` to `shard` explicitly (deliberate placement; also how
+    /// [`ShardMap::rebalance`] records its moves).
+    pub fn assign(&mut self, top: impl Into<Box<str>>, shard: u32) {
+        let shard = shard % self.shards.max(1);
+        self.overrides.insert(top.into(), shard);
+    }
+
+    /// Bump the hotspot counter for the subtree owning `path`.
+    pub fn note_heat(&mut self, path: &str) {
+        let top = top_component(path);
+        if top.is_empty() {
+            return;
+        }
+        match self.heat.get_mut(top) {
+            Some(h) => *h += 1,
+            None => {
+                self.heat.insert(top.into(), 1);
+            }
+        }
+    }
+
+    /// Accumulated heat of one subtree.
+    pub fn heat_of(&self, top: &str) -> u64 {
+        self.heat.get(top).copied().unwrap_or(0)
+    }
+
+    /// Rebalance one step: move the hottest subtree of the hottest shard
+    /// onto the coolest shard, provided the move actually changes owners.
+    /// Fully deterministic — ties break on subtree name — and returns the
+    /// `(subtree, from, to)` move when one was made. Callers re-run it
+    /// until it returns `None` (or on a cadence) to chase hotspots.
+    pub fn rebalance(&mut self) -> Option<(Box<str>, u32, u32)> {
+        if self.shards <= 1 || self.heat.is_empty() {
+            return None;
+        }
+        let mut load = vec![0u64; self.shards as usize];
+        // Deterministic iteration: sort the heat table by name.
+        let mut by_name: Vec<(&str, u64)> =
+            self.heat.iter().map(|(k, &v)| (k.as_ref(), v)).collect();
+        by_name.sort();
+        for (top, h) in &by_name {
+            load[self.shard_of(top) as usize] += h;
+        }
+        let hot_shard = (0..self.shards).max_by_key(|&s| (load[s as usize], s))?;
+        let cool_shard = (0..self.shards).min_by_key(|&s| (load[s as usize], s))?;
+        if hot_shard == cool_shard || load[hot_shard as usize] == load[cool_shard as usize] {
+            return None;
+        }
+        // Hottest subtree currently living on the hot shard; name-ordered
+        // scan keeps ties deterministic.
+        let (top, heat) = by_name
+            .iter()
+            .filter(|(t, _)| self.shard_of(t) == hot_shard)
+            .max_by_key(|(t, h)| (*h, std::cmp::Reverse(*t)))
+            .map(|(t, h)| (t.to_string().into_boxed_str(), *h))?;
+        // Only move if it narrows the gap (avoid ping-ponging a subtree
+        // bigger than the imbalance).
+        if heat >= load[hot_shard as usize] - load[cool_shard as usize] {
+            return None;
+        }
+        self.overrides.insert(top.clone(), cool_shard);
+        Some((top, hot_shard, cool_shard))
+    }
+}
+
 /// The filesystem core.
 #[derive(Debug)]
 pub struct FsCore {
@@ -294,6 +429,10 @@ pub struct FsCore {
     pub config: FsConfig,
     /// The global name intern table.
     pub names: NameTable,
+    /// Subtree → manager-shard placement (see [`ShardMap`]). Lives with
+    /// the core because, like the namespace itself, it is shared-disk
+    /// configuration every manager instance reads.
+    pub shards: ShardMap,
     /// Resolution counters.
     pub meta: MetaStats,
     inodes: Vec<Option<Inode>>,
@@ -340,6 +479,7 @@ impl FsCore {
         FsCore {
             config,
             names: NameTable::default(),
+            shards: ShardMap::default(),
             meta: MetaStats::default(),
             inodes: vec![Some(root)],
             ns_gen: 0,
@@ -1184,6 +1324,67 @@ mod tests {
 
     fn owner() -> Owner {
         Owner::local(500, 100)
+    }
+
+    #[test]
+    fn shard_map_routes_by_top_component() {
+        let mut sm = ShardMap::default();
+        // Unsharded: everything is shard 0, whatever the path.
+        assert_eq!(sm.shard_of("/a/b/c"), 0);
+        sm.set_shards(4);
+        // Same top component → same shard, at any depth.
+        let s = sm.shard_of("/proj");
+        assert_eq!(sm.shard_of("/proj/sub/file"), s);
+        assert_eq!(sm.shard_of("proj"), s);
+        // Root itself stays on shard 0.
+        assert_eq!(sm.shard_of("/"), 0);
+        // Overrides beat the hash, and wrap modulo the shard count.
+        sm.assign("proj", 7);
+        assert_eq!(sm.shard_of("/proj/x"), 3);
+        // Placement must spread a small alphabet over all shards.
+        let mut seen = std::collections::BTreeSet::new();
+        for t in 0..16 {
+            seen.insert(sm.shard_of(&format!("/t{t:02}")));
+        }
+        assert_eq!(seen.len(), 4, "16 tops should land on all 4 shards");
+    }
+
+    #[test]
+    fn shard_map_rebalances_hotspots_deterministically() {
+        let mut sm = ShardMap::default();
+        sm.set_shards(2);
+        // Shard 0 carries two subtrees (350 + 250), shard 1 one (100).
+        sm.assign("a", 0);
+        sm.assign("b", 0);
+        sm.assign("c", 1);
+        for _ in 0..350 {
+            sm.note_heat("/a/f");
+        }
+        for _ in 0..250 {
+            sm.note_heat("/b/f");
+        }
+        for _ in 0..100 {
+            sm.note_heat("/c/f");
+        }
+        assert_eq!(sm.heat_of("a"), 350);
+        // Gap is 500; moving the hottest subtree "a" (350) narrows it, so
+        // that is the deterministic move: a → shard 1 (250 vs 450 after).
+        let mv = sm.rebalance().expect("imbalance must produce a move");
+        assert_eq!(mv, ("a".into(), 0, 1));
+        assert_eq!(sm.shard_of("/a/f"), 1);
+        // Next step: shard 1 is now hot by 200, but its hottest subtree
+        // "a" (350) would overshoot the gap — the no-ping-pong guard
+        // refuses the move.
+        assert_eq!(sm.rebalance(), None);
+    }
+
+    #[test]
+    fn top_component_trims_slashes() {
+        assert_eq!(top_component("/a/b"), "a");
+        assert_eq!(top_component("a/b"), "a");
+        assert_eq!(top_component("/"), "");
+        assert_eq!(top_component(""), "");
+        assert_eq!(top_component("solo"), "solo");
     }
 
     #[test]

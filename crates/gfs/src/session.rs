@@ -93,17 +93,30 @@ pub struct BatchOp {
     /// Op-id range the manager may retire before running this op: the
     /// session acks delivered results so the dedup table stays bounded.
     ack: Option<(u64, u64)>,
-    run: Box<dyn FnMut(&mut Sim<GfsWorld>, &mut GfsWorld, FsId) -> Rc<dyn Any>>,
+    /// Top-level namespace component the op touches, for lease-conflict
+    /// detection at the owning manager (empty for ops outside the
+    /// namespace, e.g. token releases).
+    top: Box<str>,
+    /// Owning shard of the *other* path of a cross-shard op (rename whose
+    /// destination lives elsewhere, mkdir at a shard boundary). `None` for
+    /// single-shard ops.
+    peer: Option<u32>,
+    /// Times this op was deferred and re-queued (lease break in progress,
+    /// peer shard recovering); bounded so a wedged peer surfaces as
+    /// `Timeout` instead of an endless re-poll.
+    defers: u32,
+    run: Box<dyn FnMut(&mut Sim<GfsWorld>, &mut GfsWorld, FsId, u32) -> Rc<dyn Any>>,
     deliver: Option<Box<dyn FnOnce(&mut Sim<GfsWorld>, &mut GfsWorld, Result<Rc<dyn Any>, FsError>)>>,
 }
 
-/// Manager-RPC fan-in state on the world: per-`(mount ctx, fs)` batches
-/// open in the current instant, plus envelope accounting.
+/// Manager-RPC fan-in state on the world: per-`(mount ctx, fs, shard)`
+/// batches open in the current instant, plus envelope accounting.
 #[derive(Default)]
 pub struct FanIn {
     /// Batches still collecting ops this instant (flushed by a scheduled
-    /// same-instant event).
-    pending: FxHashMap<(u32, u32), Vec<BatchOp>>,
+    /// same-instant event), keyed by `(ctx, fs, manager shard)` — each
+    /// envelope travels to the one manager that owns every op inside it.
+    pending: FxHashMap<(u32, u32, u32), Vec<BatchOp>>,
     /// Envelopes sent (first attempts; retries counted separately).
     pub envelopes: u64,
     /// Total ops carried by those envelopes.
@@ -112,6 +125,9 @@ pub struct FanIn {
     pub retries: u64,
     /// Largest single envelope seen.
     pub max_batch: u64,
+    /// Ops served by a site-local subtree-lease delegate instead of a
+    /// manager envelope.
+    pub delegated: u64,
 }
 
 impl FanIn {
@@ -283,9 +299,17 @@ impl Session {
             });
             return;
         }
-        self.submit_meta(sim, w, true, move |sim, w, fs| {
+        // The parent directory may live on a different shard (a mkdir at
+        // the namespace's first level); routing carries it as the peer so
+        // the envelope runs the boundary op as a two-phase record.
+        let parent = match path.rfind('/') {
+            Some(0) | None => "/".to_string(),
+            Some(i) => path[..i].to_string(),
+        };
+        let route = path.clone();
+        self.submit_meta(sim, w, true, route, Some(parent), move |sim, w, fs, shard| {
             let now = sim.now().as_nanos();
-            client::mkdir_apply_mgr(w, fs, now, &path, &owner)
+            client::mkdir_apply_mgr(w, fs, shard, now, &path, &owner)
         }, cb);
     }
 
@@ -316,8 +340,9 @@ impl Session {
             });
             return;
         }
-        self.submit_meta(sim, w, false, move |_sim, w, fs| {
-            client::stat_apply_mgr(w, fs, &path)
+        let route = path.clone();
+        self.submit_meta(sim, w, false, route, None, move |_sim, w, fs, shard| {
+            client::stat_apply_mgr(w, fs, shard, &path)
         }, cb);
     }
 
@@ -347,8 +372,9 @@ impl Session {
             });
             return;
         }
-        self.submit_meta(sim, w, false, move |_sim, w, fs| {
-            client::readdir_apply_mgr(w, fs, &path)
+        let route = path.clone();
+        self.submit_meta(sim, w, false, route, None, move |_sim, w, fs, shard| {
+            client::readdir_apply_mgr(w, fs, shard, &path)
         }, cb);
     }
 
@@ -378,8 +404,9 @@ impl Session {
             });
             return;
         }
-        self.submit_meta(sim, w, true, move |_sim, w, fs| {
-            client::unlink_apply_mgr(w, fs, &path)
+        let route = path.clone();
+        self.submit_meta(sim, w, true, route, None, move |_sim, w, fs, shard| {
+            client::unlink_apply_mgr(w, fs, shard, &path)
         }, cb);
     }
 
@@ -411,7 +438,12 @@ impl Session {
             });
             return;
         }
-        self.submit_meta(sim, w, true, move |_sim, w, fs| {
+        // A rename coordinates at the source's owning shard; when the
+        // destination hashes elsewhere the envelope runs it as a two-phase
+        // op, charging and journaling on both managers.
+        let route = from.clone();
+        let peer = to.clone();
+        self.submit_meta(sim, w, true, route, Some(peer), move |_sim, w, fs, _shard| {
             client::rename_apply_mgr(w, fs, &from, &to)
         }, cb);
     }
@@ -450,13 +482,16 @@ impl Session {
             return;
         }
         let path2 = path.clone();
+        let route = path.clone();
         self.submit_meta(
             sim,
             w,
             flags.writes(),
-            move |sim, w, fs| {
+            route,
+            None,
+            move |sim, w, fs, shard| {
                 let now = sim.now().as_nanos();
-                client::open_apply_mgr(w, fs, now, &path, flags, &owner)
+                client::open_apply_mgr(w, fs, shard, now, &path, flags, &owner)
             },
             move |sim, w, r: Result<(FsId, InodeId), FsError>| match r {
                 Ok((fs, inode)) => {
@@ -531,12 +566,16 @@ impl Session {
                 cb(sim, w, Ok(()));
                 return;
             }
+            // Token releases go where tokens live: shard 0's manager.
             self.submit_mgr(
                 sim,
                 w,
                 fs,
+                0,
+                "".into(),
+                None,
                 true,
-                move |_sim, w, fs| {
+                move |_sim, w, fs, _shard| {
                     w.fss[fs.0 as usize].tokens.release_all(inode, ctx);
                     Ok(())
                 },
@@ -638,14 +677,21 @@ impl Session {
     }
 
     /// Fan-in metadata submit against the session's bound device: mount +
-    /// access-mode preflight, then one [`BatchOp`] into the context's
-    /// current-instant envelope.
+    /// access-mode preflight, then shard routing. `route` is the path the
+    /// op primarily touches (it picks the owning manager), `peer_route`
+    /// the secondary path of a potentially cross-shard op. When the mount
+    /// context holds a subtree lease covering `route` and the op stays
+    /// within one shard, the op runs at the site-local delegate instead of
+    /// crossing to the manager at all.
+    #[allow(clippy::too_many_arguments)]
     fn submit_meta<T: Clone + 'static>(
         self,
         sim: &mut Sim<GfsWorld>,
         w: &mut GfsWorld,
         needs_write: bool,
-        run: impl FnMut(&mut Sim<GfsWorld>, &mut GfsWorld, FsId) -> Result<T, FsError> + 'static,
+        route: String,
+        peer_route: Option<String>,
+        mut run: impl FnMut(&mut Sim<GfsWorld>, &mut GfsWorld, FsId, u32) -> Result<T, FsError> + 'static,
         cb: impl FnOnce(&mut Sim<GfsWorld>, &mut GfsWorld, Result<T, FsError>) + 'static,
     ) {
         self.enter(w);
@@ -668,19 +714,63 @@ impl Session {
             cb(sim, w, Err(FsError::ReadOnly));
             return;
         }
-        self.submit_mgr(sim, w, m.fs, needs_write, run, cb);
+        let (shard, peer, top) = {
+            let sm = &w.fss[m.fs.0 as usize].core.shards;
+            let shard = sm.shard_of(&route);
+            let peer = peer_route
+                .as_deref()
+                .map(|p| sm.shard_of(p))
+                .filter(|&b| b != shard);
+            let top: Box<str> = crate::fscore::top_component(&route).into();
+            (shard, peer, top)
+        };
+        if w.fss[m.fs.0 as usize].core.shards.shards() > 1 {
+            w.fss[m.fs.0 as usize].core.shards.note_heat(&route);
+        }
+        // Delegate fast path: the context leases this subtree and the op
+        // does not reach across shards — serve it at the site-local
+        // delegate, paying only the delegate's service queue. Expulsion
+        // needs no check here: losing the lease term clears the mirror.
+        let delegate = {
+            let c = &w.clients[ctx.0 as usize];
+            peer.is_none()
+                && !c.leases.is_empty()
+                && c.leases.contains(&(m.fs, top.clone()))
+        };
+        if delegate {
+            let fs = m.fs;
+            let c = &mut w.clients[ctx.0 as usize];
+            let start = c.delegate_busy_until.max(sim.now());
+            let done = start + w.costs.manager_op_service;
+            c.delegate_busy_until = done;
+            c.delegate_inflight += 1;
+            w.fss[fs.0 as usize].delegated_ops += 1;
+            w.fanin.delegated += 1;
+            sim.at(done, move |sim, w| {
+                let r = run(sim, w, fs, shard);
+                w.clients[ctx.0 as usize].delegate_inflight -= 1;
+                self.exit(w);
+                cb(sim, w, r);
+            });
+            return;
+        }
+        self.submit_mgr(sim, w, m.fs, shard, top, peer, needs_write, run, cb);
     }
 
-    /// Enqueue one manager op into the `(ctx, fs)` envelope forming this
-    /// instant (the caller has already done any preflight). The first op
-    /// of an instant schedules the same-instant flush event.
+    /// Enqueue one manager op into the `(ctx, fs, shard)` envelope forming
+    /// this instant (the caller has already done any preflight). The first
+    /// op of an instant schedules the same-instant flush event.
+    #[allow(clippy::too_many_arguments)]
     fn submit_mgr<T: Clone + 'static>(
         self,
         sim: &mut Sim<GfsWorld>,
         w: &mut GfsWorld,
         fs: FsId,
+        shard: u32,
+        top: Box<str>,
+        peer: Option<u32>,
         mutating: bool,
-        mut run: impl FnMut(&mut Sim<GfsWorld>, &mut GfsWorld, FsId) -> Result<T, FsError> + 'static,
+        mut run: impl FnMut(&mut Sim<GfsWorld>, &mut GfsWorld, FsId, u32) -> Result<T, FsError> + 'static,
         cb: impl FnOnce(&mut Sim<GfsWorld>, &mut GfsWorld, Result<T, FsError>) + 'static,
     ) {
         let ctx = self.ctx(w);
@@ -689,7 +779,10 @@ impl Session {
             op_id,
             mutating,
             ack,
-            run: Box::new(move |sim, w, fs| Rc::new(run(sim, w, fs)) as Rc<dyn Any>),
+            top,
+            peer,
+            defers: 0,
+            run: Box::new(move |sim, w, fs, shard| Rc::new(run(sim, w, fs, shard)) as Rc<dyn Any>),
             deliver: Some(Box::new(move |sim, w, r| {
                 // Move the result out of the `Rc` when this delivery holds
                 // the only reference (always true for unrecorded reads —
@@ -706,7 +799,34 @@ impl Session {
                 cb(sim, w, out);
             })),
         };
-        submit_batch(sim, w, ctx, fs, op);
+        submit_batch(sim, w, ctx, fs, shard, op);
+    }
+
+    /// Acquire a subtree lease (on the top-level component of `path`) for
+    /// this session's mount context, enabling the delegate fast path for
+    /// every session sharing the context.
+    pub fn acquire_lease(
+        self,
+        sim: &mut Sim<GfsWorld>,
+        w: &mut GfsWorld,
+        path: &str,
+        cb: impl FnOnce(&mut Sim<GfsWorld>, &mut GfsWorld, Result<(), FsError>) + 'static,
+    ) {
+        let path = self.resolve(w, path);
+        self.enter(w);
+        let ctx = self.ctx(w);
+        let device = match self.device(w) {
+            Ok(d) => d,
+            Err(e) => {
+                self.exit(w);
+                cb(sim, w, Err(e));
+                return;
+            }
+        };
+        client::acquire_lease(sim, w, ctx, &device, &path, move |sim, w, r| {
+            self.exit(w);
+            cb(sim, w, r);
+        });
     }
 }
 
@@ -724,12 +844,19 @@ fn degrade_err(e: FsError) -> FsError {
     }
 }
 
-/// Push one op into the `(ctx, fs)` batch; the first op of an instant
-/// schedules the flush. `sim.immediately` runs *after* every event already
-/// queued at the current instant, so all same-instant submits land in the
-/// same envelope.
-fn submit_batch(sim: &mut Sim<GfsWorld>, w: &mut GfsWorld, ctx: ClientId, fs: FsId, op: BatchOp) {
-    let key = (ctx.0, fs.0);
+/// Push one op into the `(ctx, fs, shard)` batch; the first op of an
+/// instant schedules the flush. `sim.immediately` runs *after* every event
+/// already queued at the current instant, so all same-instant submits land
+/// in the same envelope.
+fn submit_batch(
+    sim: &mut Sim<GfsWorld>,
+    w: &mut GfsWorld,
+    ctx: ClientId,
+    fs: FsId,
+    shard: u32,
+    op: BatchOp,
+) {
+    let key = (ctx.0, fs.0, shard);
     let q = w.fanin.pending.entry(key).or_default();
     q.push(op);
     if q.len() == 1 {
@@ -742,9 +869,20 @@ fn submit_batch(sim: &mut Sim<GfsWorld>, w: &mut GfsWorld, ctx: ClientId, fs: Fs
             w.fanin.envelope_ops += ops.len() as u64;
             w.fanin.max_batch = w.fanin.max_batch.max(ops.len() as u64);
             let env = Rc::new(RefCell::new(ops));
-            envelope_attempt(sim, w, ctx, fs, env, 0, None);
+            envelope_attempt(sim, w, ctx, fs, shard, env, 0, None);
         });
     }
+}
+
+/// How many times an op may be deferred (lease break in flight, peer shard
+/// recovering) before it fails with `Timeout`. At the 10ms re-poll cadence
+/// this gives a wedged dependency two full seconds to clear — more than
+/// any modeled recovery, far less than forever.
+const MAX_DEFERS: u32 = 200;
+
+/// Deferred-op re-poll cadence.
+fn requeue_delay() -> simcore::SimDuration {
+    simcore::SimDuration::from_millis(10)
 }
 
 /// One wire attempt of a whole envelope, under the same survival rules as
@@ -752,16 +890,28 @@ fn submit_batch(sim: &mut Sim<GfsWorld>, w: &mut GfsWorld, ctx: ClientId, fs: Fs
 /// backoff, acting-manager re-resolution per attempt, drop at a crashed /
 /// recovering / superseded manager, per-op exactly-once via the dedup
 /// table. One message out, one watchdog, one message back — per *batch*.
+///
+/// The envelope travels to `shard`'s acting manager. At the service slot's
+/// end each op may additionally:
+/// - hit a subtree lease held by another context — the manager starts a
+///   lease break (revocation-style) and the op is re-queued after a
+///   re-poll delay rather than executed over the delegate's head;
+/// - reach across to a peer shard (two-phase op): if the peer is healthy
+///   the op runs now, charges the peer's service queue, and journals on
+///   *both* managers under the same op id (the commit record); if the
+///   peer is down the op is re-queued until the peer recovers.
+#[allow(clippy::too_many_arguments)]
 fn envelope_attempt(
     sim: &mut Sim<GfsWorld>,
     w: &mut GfsWorld,
     ctx: ClientId,
     fs: FsId,
+    shard: u32,
     env: Rc<RefCell<Vec<BatchOp>>>,
     attempt: u32,
     prev_mgr: Option<simnet::NodeId>,
 ) {
-    let mgr = w.fss[fs.0 as usize].manager_endpoint();
+    let mgr = w.fss[fs.0 as usize].manager_endpoint(shard);
     client::log_failover(sim, w, ctx, prev_mgr, mgr);
     let from = client::client_node(w, ctx);
     let rpcb = w.costs.rpc_bytes;
@@ -787,7 +937,7 @@ fn envelope_attempt(
             w.fanin.retries += 1;
             let delay = client::backoff_delay(w, attempt);
             sim.after(delay, move |sim, w| {
-                envelope_attempt(sim, w, ctx, fs, env, attempt + 1, Some(mgr));
+                envelope_attempt(sim, w, ctx, fs, shard, env, attempt + 1, Some(mgr));
             });
         })
     };
@@ -797,82 +947,171 @@ fn envelope_attempt(
         // envelope silently; only the watchdog tells the sessions.
         {
             let inst = &w.fss[fs.0 as usize];
-            if inst.down_servers.contains(&mgr) || inst.mgr.recovering || inst.mgr.acting != mgr {
+            let ms = &inst.mgrs[shard as usize];
+            if inst.down_servers.contains(&mgr) || ms.recovering || ms.acting != mgr {
                 return;
             }
         }
-        // Manager CPU: envelopes serialize FIFO through the acting
-        // manager's service queue, `manager_op_service` per op. Execution
-        // happens at the slot's *end*, so cross-envelope op ordering is
-        // exactly arrival order — the same interleaving the uncharged
-        // model produced, just later on the clock.
+        // First word from an expelled context re-admits it before anything
+        // else happens at the manager.
+        client::readmit_if_expelled(sim, w, fs, ctx);
+        // Manager CPU: envelopes serialize FIFO through this shard's
+        // acting manager, `manager_op_service` per op. Execution happens
+        // at the slot's *end*, so cross-envelope op ordering is exactly
+        // arrival order — the same interleaving the uncharged model
+        // produced, just later on the clock.
         let n = env2.borrow().len() as u64;
-        let start = w.fss[fs.0 as usize].mgr.busy_until.max(sim.now());
+        let start = w.fss[fs.0 as usize].mgrs[shard as usize].busy_until.max(sim.now());
         let done = start + w.costs.manager_op_service * n;
-        w.fss[fs.0 as usize].mgr.busy_until = done;
+        w.fss[fs.0 as usize].mgrs[shard as usize].busy_until = done;
         sim.at(done, move |sim, w| {
             // Re-check: the manager may have died while this envelope sat
             // in its queue. The crash wiped the queue; whatever was in it
             // dies with the node and the watchdogs drive the retries.
             {
                 let inst = &w.fss[fs.0 as usize];
-                if inst.down_servers.contains(&mgr)
-                    || inst.mgr.recovering
-                    || inst.mgr.acting != mgr
-                {
+                let ms = &inst.mgrs[shard as usize];
+                if inst.down_servers.contains(&mgr) || ms.recovering || ms.acting != mgr {
                     return;
                 }
             }
             // Apply (or replay) every op in submission order. Results
             // travel to the response event as the same `Rc<dyn Any>` the
             // dedup table records, so a retried envelope demuxes
-            // identically.
+            // identically. `None` marks an op deferred by a lease conflict
+            // or an unavailable peer shard — delivered to nobody, it is
+            // re-queued when the response lands.
             let n = env2.borrow().len();
-            let mut results: Vec<Rc<dyn Any>> = Vec::with_capacity(n);
+            let mut results: Vec<Option<Rc<dyn Any>>> = Vec::with_capacity(n);
+            // Two-phase ops wait for their peer's service slot; the
+            // envelope's response leaves when the last peer commit is in.
+            let mut response_at = sim.now();
             for i in 0..n {
-                let (op_id, mutating, ack) = {
+                let (op_id, mutating, ack, peer) = {
                     let ops = env2.borrow();
-                    (ops[i].op_id, ops[i].mutating, ops[i].ack)
+                    (ops[i].op_id, ops[i].mutating, ops[i].ack, ops[i].peer)
                 };
                 // Acked history first: results the session has proven
                 // delivered are retired before anything else runs. Re-runs
                 // on an envelope retry are no-ops (the ids are already
                 // gone).
                 if let Some((lo, hi)) = ack {
-                    w.fss[fs.0 as usize].mgr.retire(lo, hi);
+                    w.fss[fs.0 as usize].mgrs[shard as usize].retire(lo, hi);
                 }
-                let r = match w.fss[fs.0 as usize].mgr.applied_result(op_id) {
+                // A subtree leased to someone else's delegate: the op must
+                // not run behind the delegate's back. Break the lease
+                // (token-revocation style) and re-poll.
+                let conflict = {
+                    let inst = &w.fss[fs.0 as usize];
+                    if inst.leases.is_empty() {
+                        None
+                    } else {
+                        let top = &env2.borrow()[i].top;
+                        inst.leases.get(top).copied().filter(|&h| h != ctx)
+                    }
+                };
+                if let Some(holder) = conflict {
+                    let top = env2.borrow()[i].top.clone();
+                    client::start_lease_break(sim, w, fs, top, holder);
+                    results.push(None);
+                    continue;
+                }
+                // A cross-shard op needs its peer manager up to take the
+                // commit record; during the peer's WAL replay the op waits.
+                if let Some(b) = peer {
+                    if !w.fss[fs.0 as usize].manager_available(b) {
+                        results.push(None);
+                        continue;
+                    }
+                }
+                let r = match w.fss[fs.0 as usize].mgrs[shard as usize].applied_result(op_id) {
                     Some(r) => r,
                     None => {
                         let r = {
                             let mut ops = env2.borrow_mut();
                             let run = &mut ops[i].run;
-                            run(sim, w, fs)
+                            run(sim, w, fs, shard)
                         };
                         if mutating {
-                            w.fss[fs.0 as usize].mgr.record(op_id, r.clone());
+                            w.fss[fs.0 as usize].mgrs[shard as usize].record(op_id, r.clone());
+                        }
+                        if let Some(b) = peer {
+                            // Two-phase commit record: the peer charges one
+                            // service slot and journals the same result
+                            // under the same op id, so either manager can
+                            // replay the op after a crash.
+                            let inst = &mut w.fss[fs.0 as usize];
+                            let pm = &mut inst.mgrs[b as usize];
+                            let pdone =
+                                pm.busy_until.max(sim.now()) + w.costs.manager_op_service;
+                            pm.busy_until = pdone;
+                            if mutating {
+                                pm.record(op_id, r.clone());
+                            }
+                            inst.cross_shard_ops += 1;
+                            response_at = response_at.max(pdone);
                         }
                         r
                     }
                 };
-                results.push(r);
+                results.push(Some(r));
             }
-            let rpcb = w.costs.rpc_bytes;
-            Network::send_msg(sim, w, mgr, from, rpcb, move |sim, w| {
-                if !sim.cancel_timer(watchdog) {
-                    return; // watchdog fired first; the retry owns the envelope
-                }
-                let delivers: Vec<_> = env2
-                    .borrow_mut()
-                    .iter_mut()
-                    .map(|op| op.deliver.take())
-                    .collect();
-                for (d, r) in delivers.into_iter().zip(results) {
-                    if let Some(d) = d {
-                        d(sim, w, Ok(r));
+            let respond = move |sim: &mut Sim<GfsWorld>, w: &mut GfsWorld| {
+                let rpcb = w.costs.rpc_bytes;
+                Network::send_msg(sim, w, mgr, from, rpcb, move |sim, w| {
+                    if !sim.cancel_timer(watchdog) {
+                        return; // watchdog fired first; the retry owns the envelope
                     }
-                }
-            });
+                    // This delivery now owns the envelope exclusively:
+                    // deferred ops are peeled off and re-queued as fresh
+                    // envelopes (same op id — exactly-once holds), the
+                    // rest demux their results.
+                    let n = env2.borrow().len();
+                    for (i, r) in results.into_iter().enumerate() {
+                        match r {
+                            Some(r) => {
+                                let d = env2.borrow_mut()[i].deliver.take();
+                                if let Some(d) = d {
+                                    d(sim, w, Ok(r));
+                                }
+                            }
+                            None => {
+                                let mut ops = env2.borrow_mut();
+                                let op = &mut ops[i];
+                                let mut requeued = BatchOp {
+                                    op_id: op.op_id,
+                                    mutating: op.mutating,
+                                    ack: None,
+                                    top: op.top.clone(),
+                                    peer: op.peer,
+                                    defers: op.defers + 1,
+                                    run: std::mem::replace(
+                                        &mut op.run,
+                                        Box::new(|_, _, _, _| unreachable!("requeued op re-run")),
+                                    ),
+                                    deliver: op.deliver.take(),
+                                };
+                                drop(ops);
+                                if requeued.defers > MAX_DEFERS {
+                                    if let Some(d) = requeued.deliver.take() {
+                                        d(sim, w, Err(FsError::Timeout));
+                                    }
+                                    continue;
+                                }
+                                sim.after(requeue_delay(), move |sim, w| {
+                                    submit_batch(sim, w, ctx, fs, shard, requeued);
+                                });
+                            }
+                        }
+                    }
+                    debug_assert_eq!(n, env2.borrow().len());
+                });
+            };
+            if response_at > sim.now() {
+                sim.at(response_at, respond);
+            } else {
+                respond(sim, w);
+            }
         });
     });
 }
@@ -998,8 +1237,11 @@ mod tests {
                 sim,
                 w,
                 FsId(0),
+                0,
+                "".into(),
+                None,
                 true,
-                move |_sim, _w, _fs| {
+                move |_sim, _w, _fs, _shard| {
                     ran2.set(ran2.get() + 1);
                     Ok(42u32)
                 },

@@ -234,9 +234,41 @@ pub struct FsInstance {
     /// Byte-range token manager (runs on the manager node).
     pub tokens: TokenManager,
     /// Configured (home) filesystem/token/configuration manager node.
+    /// Shard 0's home; also the token/configuration manager and the target
+    /// of mount handshakes and data-path control RPCs.
     pub manager_node: NodeId,
-    /// Namespace-manager failover state (acting node, WAL, dedup table).
-    pub mgr: ManagerState,
+    /// Namespace-manager shards (acting node, WAL, dedup table — one
+    /// [`ManagerState`] per cooperating manager instance). The namespace is
+    /// partitioned by top-level subtree ([`crate::fscore::ShardMap`]);
+    /// shard 0 additionally owns the root and every non-namespace manager
+    /// role. Length 1 reproduces the single-manager world exactly.
+    pub mgrs: Vec<ManagerState>,
+    /// Per-site subtree leases: top-level subtree → the mount context
+    /// currently delegated to run its metadata ops locally. Granted by the
+    /// owning shard; broken (like a token revocation) when any other
+    /// context touches the subtree.
+    pub leases: BTreeMap<Box<str>, ClientId>,
+    /// Subtrees with a lease break in flight (break messages sent, ack or
+    /// expulsion pending).
+    pub breaking: std::collections::BTreeSet<Box<str>>,
+    /// Mount contexts expelled for not answering a lease break within
+    /// [`ProtocolCosts::lease_break_timeout`]. Their leases and tokens are
+    /// force-released; their next manager contact re-admits them.
+    pub expelled: std::collections::BTreeSet<ClientId>,
+    /// Subtree leases granted (observability).
+    pub lease_grants: u64,
+    /// Lease breaks initiated (observability).
+    pub lease_breaks: u64,
+    /// Holders expelled after an unanswered lease break.
+    pub expulsions: u64,
+    /// Expelled contexts re-admitted on their next manager contact.
+    pub readmissions: u64,
+    /// Namespace ops that spanned two manager shards (two-phase commit:
+    /// coordinator + participant each charged and journaled).
+    pub cross_shard_ops: u64,
+    /// Metadata ops served by a site-local lease delegate instead of a
+    /// manager envelope.
+    pub delegated_ops: u64,
     /// The owning (serving) cluster.
     pub owning_cluster: ClusterId,
     /// NSD server nodes; NSD `i` is served by `nsd_servers[i % len]`.
@@ -287,23 +319,41 @@ impl FsInstance {
         self.down_servers.remove(&node);
     }
 
-    /// Is the acting namespace manager able to answer right now? False
-    /// while the acting node is down or WAL replay is in progress —
+    /// Number of cooperating namespace-manager shards.
+    pub fn shard_count(&self) -> u32 {
+        self.mgrs.len() as u32
+    }
+
+    /// The configured home node of a manager shard: shard 0 lives on the
+    /// filesystem's manager node; higher shards spread round-robin over the
+    /// NSD servers (so four shards on a four-server farm each get their own
+    /// node).
+    pub fn manager_home(&self, shard: u32) -> NodeId {
+        if shard == 0 || self.nsd_servers.is_empty() {
+            self.manager_node
+        } else {
+            self.nsd_servers[shard as usize % self.nsd_servers.len()]
+        }
+    }
+
+    /// Is `shard`'s acting namespace manager able to answer right now?
+    /// False while the acting node is down or WAL replay is in progress —
     /// requests in that window are dropped and clients ride their retry
     /// timers through it.
-    pub fn manager_available(&self) -> bool {
-        !self.mgr.recovering && !self.down_servers.contains(&self.mgr.acting)
+    pub fn manager_available(&self, shard: u32) -> bool {
+        let mgr = &self.mgrs[shard as usize];
+        !mgr.recovering && !self.down_servers.contains(&mgr.acting)
     }
 
     /// The next healthy server in the ring to take over as namespace
-    /// manager, preferring the configured home node.
-    pub fn manager_candidate(&self) -> Option<NodeId> {
-        std::iter::once(self.manager_node)
+    /// manager for `shard`, preferring the shard's configured home node.
+    pub fn manager_candidate(&self, shard: u32) -> Option<NodeId> {
+        std::iter::once(self.manager_home(shard))
             .chain(self.nsd_servers.iter().copied())
             .find(|n| !self.down_servers.contains(n))
     }
 
-    /// Resolve the manager endpoint for a client request.
+    /// Resolve the manager endpoint of `shard` for a client request.
     ///
     /// When the acting manager is dead but no timed recovery is underway —
     /// a direct [`FsInstance::fail_server`] with no fault-plan bookkeeping
@@ -313,14 +363,18 @@ impl FsInstance {
     /// [`ManagerState::crash`] + WAL replay, and requests during that
     /// window keep targeting the dead node (and time out) until recovery
     /// finishes.
-    pub fn manager_endpoint(&mut self) -> NodeId {
-        if !self.mgr.recovering && self.down_servers.contains(&self.mgr.acting) {
-            if let Some(c) = self.manager_candidate() {
-                self.mgr.crash();
-                self.mgr.recover(c);
+    pub fn manager_endpoint(&mut self, shard: u32) -> NodeId {
+        let down = self
+            .down_servers
+            .contains(&self.mgrs[shard as usize].acting);
+        if !self.mgrs[shard as usize].recovering && down {
+            if let Some(c) = self.manager_candidate(shard) {
+                let mgr = &mut self.mgrs[shard as usize];
+                mgr.crash();
+                mgr.recover(c);
             }
         }
-        self.mgr.acting
+        self.mgrs[shard as usize].acting
     }
 
     /// The streaming endpoint behind server slot `i`: the storage
@@ -419,6 +473,20 @@ pub struct Client {
     /// manager RPCs into fan-in envelopes (see [`crate::session`]).
     /// Plain one-user clients keep the direct per-op RPC path.
     pub fan_in: bool,
+    /// Client-side mirror of held subtree leases: `(fs, top-level
+    /// subtree)`. While an entry is present, this context's metadata ops
+    /// under the subtree run against the local delegate (no manager
+    /// round-trip). Cleared by a lease break ack — or wholesale when the
+    /// lease term lapses during an expulsion.
+    pub leases: std::collections::BTreeSet<(FsId, Box<str>)>,
+    /// Service queue head of the local lease delegate (the site-local
+    /// metadata server a leased subtree's ops run through). Same FIFO
+    /// model as [`ManagerState::busy_until`].
+    pub delegate_busy_until: SimTime,
+    /// Delegate ops currently applying. Lease breaks are deferred while
+    /// this is nonzero, exactly like token revocations waiting out
+    /// [`Client::inflight`].
+    pub delegate_inflight: u32,
 }
 
 impl Client {
@@ -480,6 +548,13 @@ pub struct ProtocolCosts {
     /// hardware). The legacy per-op RPC path keeps its original costing;
     /// only batched envelopes are charged here.
     pub manager_op_service: SimDuration,
+    /// How long the owning manager waits for a lease-break ack before
+    /// expelling the unresponsive holder: its leases and tokens are
+    /// force-released and the blocked remote op proceeds. Generous — a
+    /// healthy holder only needs to drain in-flight delegate ops — so only
+    /// a dead or partitioned holder ever trips it (the stuck-revocation
+    /// window the chaos invariants used to merely watch).
+    pub lease_break_timeout: SimDuration,
 }
 
 impl Default for ProtocolCosts {
@@ -495,6 +570,7 @@ impl Default for ProtocolCosts {
             manager_recovery_base: SimDuration::from_millis(250),
             manager_replay_per_op: SimDuration::from_micros(2),
             manager_op_service: SimDuration::from_micros(5),
+            lease_break_timeout: SimDuration::from_secs(2),
         }
     }
 }
@@ -657,6 +733,9 @@ pub struct FsParams {
     pub backing: Vec<NsdBacking>,
     /// Export to remote clusters?
     pub exported: bool,
+    /// Cooperating namespace-manager shards (≥ 1). Shard 0 lives on
+    /// `manager`; higher shards home round-robin on the NSD servers.
+    pub managers: u32,
 }
 
 impl FsParams {
@@ -678,6 +757,7 @@ impl FsParams {
                 latency,
             }],
             exported: true,
+            managers: 1,
         }
     }
 }
@@ -810,11 +890,34 @@ impl WorldBuilder {
                     p.storage_nodes.is_empty() || p.storage_nodes.len() == p.nsd_servers.len(),
                     "storage_nodes must be empty or match nsd_servers"
                 );
+                let managers = p.managers.max(1);
+                let mut core = FsCore::create(p.config);
+                core.shards.set_shards(managers);
+                // Shard homes mirror FsInstance::manager_home: shard 0 on
+                // the manager node, higher shards round-robin on servers.
+                let mgrs = (0..managers)
+                    .map(|s| {
+                        ManagerState::new(if s == 0 || p.nsd_servers.is_empty() {
+                            p.manager
+                        } else {
+                            p.nsd_servers[s as usize % p.nsd_servers.len()]
+                        })
+                    })
+                    .collect();
                 FsInstance {
-                    core: FsCore::create(p.config),
+                    core,
                     tokens: TokenManager::new(),
                     manager_node: p.manager,
-                    mgr: ManagerState::new(p.manager),
+                    mgrs,
+                    leases: BTreeMap::new(),
+                    breaking: std::collections::BTreeSet::new(),
+                    expelled: std::collections::BTreeSet::new(),
+                    lease_grants: 0,
+                    lease_breaks: 0,
+                    expulsions: 0,
+                    readmissions: 0,
+                    cross_shard_ops: 0,
+                    delegated_ops: 0,
                     owning_cluster: ClusterId(cl as u32),
                     nsd_servers: p.nsd_servers,
                     storage_nodes: p.storage_nodes,
@@ -841,6 +944,9 @@ impl WorldBuilder {
                 dentry: DentryCache::new(),
                 next_op_seq: 0,
                 fan_in,
+                leases: std::collections::BTreeSet::new(),
+                delegate_busy_until: SimTime::from_nanos(0),
+                delegate_inflight: 0,
             })
             .collect();
         let mut sessions = crate::slab::Slab::with_capacity(self.sessions.len());
@@ -935,6 +1041,59 @@ mod tests {
         // Distinct NSD has its own queue.
         let t3 = inst.nsds[1].serve(&mut w.arrays, SimTime::ZERO, simsan::IoKind::Read, 0, MBYTE);
         assert_eq!(t3, t1);
+    }
+
+    #[test]
+    fn partitioned_managers_spread_homes_and_elect_on_loss() {
+        let mut b = WorldBuilder::new(3);
+        b.key_bits(384);
+        let m0 = b.topo().node("m0");
+        let m1 = b.topo().node("m1");
+        let m2 = b.topo().node("m2");
+        let sw = b.topo().node("sw");
+        for (n, l) in [(m0, "l0"), (m1, "l1"), (m2, "l2")] {
+            b.topo()
+                .duplex_link(n, sw, Bandwidth::gbit(1.0), SimDuration::from_micros(100), l);
+        }
+        let cl = b.cluster("part");
+        let mut p = FsParams::ideal(
+            FsConfig::small_test("pfs"),
+            m0,
+            vec![m0, m1, m2],
+            Bandwidth::mbyte(400.0),
+            SimDuration::from_micros(500),
+        );
+        p.managers = 3;
+        let fs = b.filesystem(cl, p);
+        let (_sim, mut w) = b.build();
+        let inst = &mut w.fss[fs.0 as usize];
+        // The core's routing map and the manager vector agree on the count.
+        assert_eq!(inst.shard_count(), 3);
+        assert_eq!(inst.core.shards.shards(), 3);
+        // Shard 0 lives on the fs manager node; higher shards round-robin
+        // over the NSD servers, each starting on its home.
+        assert_eq!(inst.manager_home(0), m0);
+        assert_eq!(inst.manager_home(1), m1);
+        assert_eq!(inst.manager_home(2), m2);
+        for s in 0..3 {
+            assert_eq!(inst.mgrs[s as usize].acting, inst.manager_home(s));
+            assert!(inst.manager_available(s));
+        }
+        // Losing one shard's node leaves the others serving; resolving the
+        // dead shard's endpoint elects the next healthy server on the spot
+        // (the bare fail_server models an instant GPFS election).
+        inst.fail_server(m1);
+        assert!(!inst.manager_available(1));
+        assert!(inst.manager_available(0) && inst.manager_available(2));
+        let elected = inst.manager_endpoint(1);
+        assert_eq!(elected, m0, "ring order prefers the first healthy server");
+        assert_eq!(inst.mgrs[1].acting, m0);
+        assert_eq!(inst.mgrs[1].epoch, 1, "takeover must bump the shard epoch");
+        assert!(inst.manager_available(1));
+        // Restoring the home does not fail back: the elected manager keeps
+        // the role until the next takeover.
+        inst.restore_server(m1);
+        assert_eq!(inst.manager_endpoint(1), m0);
     }
 
     #[test]

@@ -68,6 +68,10 @@ pub struct NsdFarm {
     /// RAID set `i % raid_sets`) instead of the Ideal queue — required for
     /// [`gfs::FaultKind::DiskFail`] experiments.
     pub array: Option<ArraySpec>,
+    /// Cooperating namespace manager instances (subtree-sharded). Shard 0
+    /// lives on the farm's first server; shards 1.. are homed round-robin
+    /// across the rest.
+    pub managers: u32,
 }
 
 impl NsdFarm {
@@ -86,6 +90,7 @@ impl NsdFarm {
             media_latency: SimDuration::from_micros(200),
             data_mode: DataMode::Synthetic,
             array: None,
+            managers: 1,
         }
     }
 
@@ -111,6 +116,13 @@ impl NsdFarm {
     /// fault injection).
     pub fn array_backed(mut self, spec: ArraySpec) -> Self {
         self.array = Some(spec);
+        self
+    }
+
+    /// Partition the namespace across `m` cooperating manager instances.
+    pub fn managers(mut self, m: u32) -> Self {
+        assert!(m > 0, "need at least one namespace manager");
+        self.managers = m;
         self
     }
 
@@ -381,6 +393,19 @@ impl DataPathStats {
         }
     }
 
+    /// Mean bytes per pool-bypassing bulk stream (0 when none ran). The
+    /// figure-scale scenarios move their terabytes through these streams,
+    /// not through per-block NSD requests — reporting only
+    /// [`Self::mean_request_bytes`] made those runs read as "0 bytes
+    /// moved".
+    pub fn mean_bypass_bytes(&self) -> f64 {
+        if self.pool_bypass == 0 {
+            0.0
+        } else {
+            self.pool_bypass_bytes as f64 / self.pool_bypass as f64
+        }
+    }
+
     /// Counter-wise sum (for scenarios that run several worlds).
     pub fn merged(&self, other: &DataPathStats) -> DataPathStats {
         DataPathStats {
@@ -523,6 +548,7 @@ impl ScenarioBuilder {
                     data_mode: farm.data_mode,
                 },
                 manager: servers[0],
+                managers: farm.managers,
                 nsd_servers: servers,
                 storage_nodes: vec![],
                 backing,

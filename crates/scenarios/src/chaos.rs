@@ -127,8 +127,43 @@ pub fn world_invariants(sim: &Sim<GfsWorld>, w: &GfsWorld) -> Vec<String> {
         if n != 0 {
             v.push(format!("fs {i}: {n} conflicting token grant pair(s) coexist"));
         }
-        if inst.mgr.recovering {
-            v.push(format!("fs {i}: manager still mid-recovery after drain"));
+        for (shard, m) in inst.mgrs.iter().enumerate() {
+            if m.recovering {
+                v.push(format!(
+                    "fs {i}: manager shard {shard} still mid-recovery after drain"
+                ));
+            }
+        }
+        // Subtree-lease coherence: every break must have completed (ack or
+        // expulsion fuse), and the manager's lease table must agree with
+        // the holders' client-side mirrors in both directions — a one-sided
+        // lease is delegated authority nobody can revoke.
+        if !inst.breaking.is_empty() {
+            v.push(format!(
+                "fs {i}: {} subtree lease break(s) still unresolved after drain",
+                inst.breaking.len()
+            ));
+        }
+        for (top, holder) in &inst.leases {
+            let c = &w.clients[holder.0 as usize];
+            if !c.leases.contains(&(gfs::FsId(i as u32), top.clone())) {
+                v.push(format!(
+                    "fs {i}: manager grants subtree lease {top:?} to client {} \
+                     but the client does not mirror it",
+                    holder.0
+                ));
+            }
+        }
+    }
+    for c in &w.clients {
+        for (fs, top) in &c.leases {
+            if w.fss[fs.0 as usize].leases.get(top) != Some(&c.id) {
+                v.push(format!(
+                    "client {} mirrors subtree lease {top:?} on fs {} \
+                     that the manager does not grant it",
+                    c.id.0, fs.0
+                ));
+            }
         }
     }
 
@@ -207,8 +242,11 @@ pub fn check_chaos_storm(cfg: &StormConfig, chaos: &ChaosSpec) -> ChaosVerdict {
 pub fn canonical_chaos(cfg: &StormConfig, outage: SimDuration) -> ChaosSpec {
     ChaosSpec {
         progress: ProgressPlan::new()
-            // "meta-srv1" serves data only — "meta-srv0" is the manager,
-            // whose death is `check_manager_recovery`'s dedicated subject.
+            // "meta-srv1" serves data only in the single-manager storm —
+            // "meta-srv0" is the manager, whose death is
+            // `check_manager_recovery`'s dedicated subject. In a
+            // partitioned storm "meta-srv1" also hosts manager shard 1, so
+            // the same schedule doubles as the kill-one-shard chaos run.
             .server_crash_at_op(cfg.race_op_at(0.4), gfs::FsId(0), "meta-srv1", Some(outage))
             .link_flap_at_op(cfg.race_op_at(0.7), "storm-wan", outage),
         timed: Default::default(),
@@ -261,6 +299,19 @@ pub fn check_manager_recovery(
     crash_frac: f64,
     outage: SimDuration,
 ) -> RecoveryVerdict {
+    check_manager_recovery_on(cfg, crash_frac, outage, "meta-srv0")
+}
+
+/// [`check_manager_recovery`] with an explicit crash target. `"meta-srv0"`
+/// is the shard-0 (single-manager) home; in a partitioned storm
+/// `"meta-srvN"` hosts shard `N`, so crashing it exercises the
+/// kill-one-shard recovery path while the other shards keep serving.
+pub fn check_manager_recovery_on(
+    cfg: &StormConfig,
+    crash_frac: f64,
+    outage: SimDuration,
+    server: &str,
+) -> RecoveryVerdict {
     let mut cfg = *cfg;
     cfg.clients_per_point = 1;
     let oracle = run_chaos_storm_with_threads(&cfg, &ChaosSpec::none(), 1);
@@ -268,7 +319,7 @@ pub fn check_manager_recovery(
         progress: ProgressPlan::new().server_crash_at_op(
             cfg.race_op_at(crash_frac),
             gfs::FsId(0),
-            "meta-srv0", // the configured manager home
+            server,
             Some(outage),
         ),
         timed: Default::default(),
@@ -372,5 +423,43 @@ mod tests {
         let cfg = StormConfig::small().with_mix(StormMix::Trace);
         let spec = canonical_chaos(&cfg, SimDuration::from_millis(400));
         check_chaos_storm(&cfg, &spec).assert_clean();
+    }
+
+    /// Kill-one-shard chaos: in a 4-shard partitioned storm, the canonical
+    /// schedule's "meta-srv1" crash takes down the shard-1 manager while
+    /// shards 0/2/3 keep serving. Cross-shard two-phase ops must defer and
+    /// re-drive rather than give up, and the storm stays deterministic.
+    #[test]
+    fn partitioned_chaos_storm_survives_shard_loss() {
+        let cfg = StormConfig::small()
+            .with_sessions_per_client(25)
+            .with_managers(4);
+        let spec = canonical_chaos(&cfg, SimDuration::from_millis(400));
+        let verdict = check_chaos_storm(&cfg, &spec);
+        verdict.assert_clean();
+        let r = &verdict.report;
+        assert!(
+            r.cross_shard_ops > 0,
+            "shard loss must not starve the two-phase rename arm"
+        );
+        assert_eq!(r.gave_up, 0, "every RPC must eventually succeed");
+    }
+
+    /// Exactly-once across the death of a *non-zero* shard's manager: kill
+    /// "meta-srv1" (home of shard 1 at `managers = 4`) mid-storm and
+    /// demand the recovered tree and op results match the fault-free
+    /// oracle bit-for-bit — WAL dedup must hold per shard, not just on the
+    /// legacy shard 0.
+    #[test]
+    fn shard_manager_recovery_matches_fault_free_oracle() {
+        let mut cfg = StormConfig::small().with_managers(4);
+        // One sequential chain (the check forces one client); more ops so
+        // plenty of them route to shard 1 on both sides of the crash.
+        cfg.ops_per_client = 96;
+        let v = check_manager_recovery_on(&cfg, 0.5, SimDuration::from_millis(600), "meta-srv1");
+        v.assert_clean();
+        assert!(v.chaos.wal_replayed > 0);
+        assert!(v.chaos.manager_epochs >= 1);
+        assert!(v.chaos.cross_shard_ops > 0);
     }
 }

@@ -62,6 +62,12 @@ pub struct StormConfig {
     pub files_per_sub: u32,
     /// Racing operations per session.
     pub ops_per_client: u32,
+    /// Cooperating namespace-manager shards. `1` (the default) is the
+    /// single-manager storm, byte-identical to pre-partition runs; `> 1`
+    /// spreads the top-level directories across `managers` shards
+    /// (deterministic placement, `tXX → XX mod managers`) and unlocks the
+    /// cross-shard rename arm of the op mix.
+    pub managers: u32,
     /// Bytes written by a small-write op.
     pub write_bytes: u64,
     /// Op-selection shape.
@@ -80,6 +86,7 @@ impl Default for StormConfig {
             sub_dirs: 16,
             files_per_sub: 512,
             ops_per_client: 128,
+            managers: 1,
             write_bytes: 4096,
             mix: StormMix::Uniform,
             seed: 2005,
@@ -99,6 +106,7 @@ impl StormConfig {
             sub_dirs: 4,
             files_per_sub: 32,
             ops_per_client: 24,
+            managers: 1,
             write_bytes: 4096,
             mix: StormMix::Uniform,
             seed: 2005,
@@ -118,6 +126,7 @@ impl StormConfig {
             sub_dirs: 8,
             files_per_sub: 64,
             ops_per_client: 100,
+            managers: 1,
             write_bytes: 4096,
             mix: StormMix::Uniform,
             seed: 2005,
@@ -133,6 +142,13 @@ impl StormConfig {
     /// Same config with `n` flyweight sessions per mount context.
     pub fn with_sessions_per_client(mut self, n: u32) -> Self {
         self.sessions_per_client = n;
+        self
+    }
+
+    /// Same config partitioned across `m` namespace-manager shards.
+    pub fn with_managers(mut self, m: u32) -> Self {
+        assert!(m > 0, "storm needs at least one manager shard");
+        self.managers = m;
         self
     }
 
@@ -241,6 +257,22 @@ pub struct StormReport {
     /// `Timeout`/`ServerDown` — the storm's "eventually succeeded" check
     /// wants this at 0.
     pub gave_up: u64,
+    /// Errors that were `NotFound` — expected race outcomes (a probe
+    /// landed on a name another client removed or never created).
+    pub err_not_found: u64,
+    /// Errors that were `AlreadyExists` — expected race outcomes
+    /// (two clients created the same name).
+    pub err_exists: u64,
+    /// Every other non-gave-up error kind (`NotEmpty`, `IsADirectory`,
+    /// ...): still race outcomes, broken out so a fault-free storm can
+    /// assert `errors == err_not_found + err_exists + err_races`.
+    pub err_races: u64,
+    /// Namespace ops that spanned two manager shards (two-phase rename /
+    /// boundary mkdir), summed over points. 0 when `managers == 1`.
+    pub cross_shard_ops: u64,
+    /// Metadata ops absorbed by client-side subtree-lease delegates
+    /// without touching a manager queue, summed over points.
+    pub delegated_ops: u64,
     /// Structural fingerprint of every point's final namespace (name-sorted
     /// recursive walk; timestamps excluded), merged in point order. The
     /// exactly-once witness: a crash-recovered run must match its
@@ -307,6 +339,11 @@ struct PointSummary {
     manager_epochs: u64,
     wal_replayed: u64,
     gave_up: u64,
+    err_not_found: u64,
+    err_exists: u64,
+    err_races: u64,
+    cross_shard_ops: u64,
+    delegated_ops: u64,
     tree_fingerprint: u64,
     invariant_violations: u64,
     sessions: u64,
@@ -349,6 +386,9 @@ struct Tally {
     fingerprint: Cell<u64>,
     finished_clients: Cell<u32>,
     gave_up: Cell<u64>,
+    err_not_found: Cell<u64>,
+    err_exists: Cell<u64>,
+    err_races: Cell<u64>,
 }
 
 impl Tally {
@@ -358,11 +398,20 @@ impl Tally {
             None => code,
             Some(e) => {
                 self.errors.set(self.errors.get() + 1);
-                if matches!(
-                    e,
-                    FsError::Timeout | FsError::ServerDown | FsError::Degraded(_)
-                ) {
-                    self.gave_up.set(self.gave_up.get() + 1);
+                // Per-kind breakdown: expected race outcomes vs gave-up.
+                // Every error lands in exactly one bucket, so
+                // `errors == not_found + exists + races + gave_up`.
+                match e {
+                    FsError::NotFound(_) => {
+                        self.err_not_found.set(self.err_not_found.get() + 1)
+                    }
+                    FsError::AlreadyExists(_) => {
+                        self.err_exists.set(self.err_exists.get() + 1)
+                    }
+                    FsError::Timeout | FsError::ServerDown | FsError::Degraded(_) => {
+                        self.gave_up.set(self.gave_up.get() + 1)
+                    }
+                    _ => self.err_races.set(self.err_races.get() + 1),
                 }
                 code << 8 | err_code(e)
             }
@@ -420,6 +469,11 @@ pub fn run_chaos_storm_with_threads(
         manager_epochs: 0,
         wal_replayed: 0,
         gave_up: 0,
+        err_not_found: 0,
+        err_exists: 0,
+        err_races: 0,
+        cross_shard_ops: 0,
+        delegated_ops: 0,
         tree_fingerprint: 0,
         invariant_violations: 0,
         sessions: 0,
@@ -446,6 +500,11 @@ pub fn run_chaos_storm_with_threads(
         r.manager_epochs += s.manager_epochs;
         r.wal_replayed += s.wal_replayed;
         r.gave_up += s.gave_up;
+        r.err_not_found += s.err_not_found;
+        r.err_exists += s.err_exists;
+        r.err_races += s.err_races;
+        r.cross_shard_ops += s.cross_shard_ops;
+        r.delegated_ops += s.delegated_ops;
         r.tree_fingerprint = mix(r.tree_fingerprint, s.tree_fingerprint);
         r.invariant_violations += s.invariant_violations;
         r.sessions += s.sessions;
@@ -462,7 +521,12 @@ fn run_point(cfg: &StormConfig, chaos: &ChaosSpec, point: u32) -> PointSummary {
         .seed
         .wrapping_add(u64::from(point).wrapping_mul(0x9e37_79b9_7f4a_7c15));
     let mut sb = ScenarioBuilder::new(point_seed);
-    let fs = sb.nsd_farm("site", NsdFarm::new("meta", 4).block_size(64 * 1024));
+    let fs = sb.nsd_farm(
+        "site",
+        NsdFarm::new("meta", 4)
+            .block_size(64 * 1024)
+            .managers(cfg.managers),
+    );
     // Chaos storms can interpose a WAN hop so one link flap severs every
     // client at once; the link is named for fault plans to target.
     let client_site = if chaos.wan_clients {
@@ -506,6 +570,9 @@ fn run_point(cfg: &StormConfig, chaos: &ChaosSpec, point: u32) -> PointSummary {
         fingerprint: Cell::new(0),
         finished_clients: Cell::new(0),
         gave_up: Cell::new(0),
+        err_not_found: Cell::new(0),
+        err_exists: Cell::new(0),
+        err_races: Cell::new(0),
     });
     let injector = (!chaos.progress.is_empty())
         .then(|| Rc::new(RefCell::new(ProgressInjector::new(&chaos.progress))));
@@ -514,6 +581,14 @@ fn run_point(cfg: &StormConfig, chaos: &ChaosSpec, point: u32) -> PointSummary {
     // operation count; each call is a full path resolution + mutation).
     {
         let core = &mut run.world.fss[fs.0 as usize].core;
+        // Deterministic placement map for the partitioned storm: top dir
+        // `tXX` lives on shard `XX mod managers`, a perfectly balanced
+        // round-robin that makes every cross-top rename a two-phase op.
+        if cfg.managers > 1 {
+            for t in 0..cfg.top_dirs {
+                core.shards.assign(format!("t{t:02}"), t % cfg.managers);
+            }
+        }
         let owner = Owner::local(0, 0);
         for t in 0..cfg.top_dirs {
             let top = format!("/t{t:02}");
@@ -612,9 +687,22 @@ fn run_point(cfg: &StormConfig, chaos: &ChaosSpec, point: u32) -> PointSummary {
             .recovery
             .count(|e| matches!(e, RecoveryWhat::FaultInjected(_))) as u64,
         restores: w.recovery.count(|e| matches!(e, RecoveryWhat::Restored(_))) as u64,
-        manager_epochs: w.fss.iter().map(|i| i.mgr.epoch).sum(),
-        wal_replayed: w.fss.iter().map(|i| i.mgr.replayed).sum(),
+        manager_epochs: w
+            .fss
+            .iter()
+            .map(|i| i.mgrs.iter().map(|m| m.epoch).sum::<u64>())
+            .sum(),
+        wal_replayed: w
+            .fss
+            .iter()
+            .map(|i| i.mgrs.iter().map(|m| m.replayed).sum::<u64>())
+            .sum(),
         gave_up: tally.gave_up.get(),
+        err_not_found: tally.err_not_found.get(),
+        err_exists: tally.err_exists.get(),
+        err_races: tally.err_races.get(),
+        cross_shard_ops: w.fss.iter().map(|i| i.cross_shard_ops).sum(),
+        delegated_ops: w.fss.iter().map(|i| i.delegated_ops).sum(),
         tree_fingerprint: core.tree_fingerprint(),
         invariant_violations: violations.len() as u64,
         sessions: w.sessions.len() as u64,
@@ -798,6 +886,20 @@ fn next_op(
                 },
             );
         }
+        // cross-top rename — partitioned storms only. The target's top dir
+        // is always different from the source's, and with the round-robin
+        // placement map that makes every one of these a two-phase
+        // cross-shard op (source shard coordinates, target shard commits).
+        // With `managers == 1` the guard fails and the selector falls
+        // through to unlink, preserving the single-manager event stream.
+        85..=89 if cfg.managers > 1 && cfg.top_dirs > 1 => {
+            let t2 = (t + 1 + rng.gen::<u32>() % (cfg.top_dirs - 1)) % cfg.top_dirs;
+            let to = format!("/t{t2:02}/s{s:02}/f{f:04}");
+            sess.rename(sim, w, &file_path, &to, move |sim, w, r| {
+                tally.op_result(36, r.as_ref().err());
+                cont(sim, w, rng, tally);
+            });
+        }
         // remove.
         _ => {
             sess.unlink(sim, w, &file_path, move |sim, w, r| {
@@ -818,6 +920,15 @@ mod tests {
         // 2 points × (4 + 16 + 512 tree ops + 8 × 24 race ops).
         assert!(r.ops > 1400, "ops {}", r.ops);
         assert!(r.errors > 0, "a race with misses must surface Err outcomes");
+        // The per-kind breakdown is exhaustive, and a fault-free storm's
+        // errors are all expected race outcomes — none gave up.
+        assert_eq!(
+            r.errors,
+            r.err_not_found + r.err_exists + r.err_races + r.gave_up,
+            "error breakdown must partition the error count"
+        );
+        assert_eq!(r.gave_up, 0, "fault-free storm must not time out");
+        assert!(r.err_not_found > 0, "uniform probes must miss sometimes");
         assert!(r.fsck_clean, "storm left an inconsistent filesystem");
         assert!(r.events > 0);
         assert!(r.resolves > r.ops / 2, "resolves {}", r.resolves);
@@ -889,5 +1000,58 @@ mod tests {
         let serial = run_storm_with_threads(&cfg, 1);
         let parallel = run_storm_with_threads(&cfg, 8);
         assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn partitioned_storm_crosses_shards_and_fscks() {
+        // 4 manager shards over 4 top dirs: every cross-top rename is a
+        // two-phase op, and every chain still drains exactly once.
+        let cfg = StormConfig::small()
+            .with_sessions_per_client(25)
+            .with_managers(4);
+        let r = run_storm(&cfg);
+        assert_eq!(
+            r.ops,
+            u64::from(cfg.points) * cfg.tree_ops() + u64::from(cfg.points) * cfg.race_ops(),
+            "every chain must drain exactly once under partitioning"
+        );
+        assert!(r.fsck_clean, "partitioned storm left an inconsistent fs");
+        assert_eq!(r.gave_up, 0);
+        assert_eq!(r.invariant_violations, 0);
+        assert!(
+            r.cross_shard_ops > 0,
+            "the rename arm must exercise two-phase cross-shard commits"
+        );
+        assert_eq!(
+            r.errors,
+            r.err_not_found + r.err_exists + r.err_races + r.gave_up
+        );
+    }
+
+    #[test]
+    fn partitioned_storm_is_bit_identical_across_sweep_thread_counts() {
+        let cfg = StormConfig::small()
+            .with_sessions_per_client(25)
+            .with_managers(4);
+        let serial = run_storm_with_threads(&cfg, 1);
+        let parallel = run_storm_with_threads(&cfg, 8);
+        assert_eq!(serial, parallel);
+        assert_eq!(parallel, run_storm_with_threads(&cfg, 8));
+    }
+
+    #[test]
+    fn partitioned_storm_beats_single_manager_throughput() {
+        // The whole point of the shards: the same op load drains in less
+        // simulated time because four manager queues serve it. Modeled
+        // throughput must scale, not just stay level.
+        let base = StormConfig::small().with_sessions_per_client(25);
+        let single = run_storm(&base);
+        let sharded = run_storm(&base.with_managers(4));
+        assert!(
+            sharded.sim_ops_per_sec() > single.sim_ops_per_sec() * 2.0,
+            "4-shard storm should out-run one manager by >2x: {:.0} vs {:.0} ops/s",
+            sharded.sim_ops_per_sec(),
+            single.sim_ops_per_sec()
+        );
     }
 }

@@ -116,6 +116,7 @@ fn build(cfg: &ProductionConfig, nodes: u32) -> (Sim<GfsWorld>, GfsWorld, Vec<Cl
                 data_mode: DataMode::Synthetic,
             },
             manager: servers,
+            managers: 1,
             nsd_servers: vec![servers],
             storage_nodes: vec![storage],
             backing: vec![NsdBacking::Ideal {
@@ -282,6 +283,7 @@ pub fn run_anl(nodes: u32) -> ScalingPoint {
                 data_mode: DataMode::Synthetic,
             },
             manager: servers,
+            managers: 1,
             nsd_servers: vec![servers],
             storage_nodes: vec![storage],
             backing: vec![NsdBacking::Ideal {
@@ -359,6 +361,7 @@ pub fn run_latency_sweep(rtts_ms: &[u64], window: u64) -> Vec<(u64, f64)> {
                         data_mode: DataMode::Synthetic,
                     },
                     manager: servers,
+                    managers: 1,
                     nsd_servers: vec![servers],
                     storage_nodes: vec![],
                     backing: vec![NsdBacking::Ideal {

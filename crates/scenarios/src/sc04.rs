@@ -147,6 +147,7 @@ pub fn run(cfg: Sc04Config) -> Sc04Result {
                 data_mode: DataMode::Synthetic,
             },
             manager: servers[0],
+            managers: 1,
             nsd_servers: servers.clone(),
             storage_nodes: storages,
             backing: vec![gfs::world::NsdBacking::Ideal {

@@ -97,7 +97,33 @@ fn main() {
     );
 
     // ------------------------------------------------------------------
-    // 3. The same machinery at scale: a mini version of the 100k-session
+    // 3. Per-site subtree leases (PR 7): the mount context acquires a
+    //    lease on /u00 from its shard manager; metadata ops under the
+    //    subtree then run against a local delegate — no manager envelope,
+    //    no manager service charge.
+    // ------------------------------------------------------------------
+    s0.acquire_lease(&mut sim, &mut w, "/u00", move |sim, w, r| {
+        r.expect("lease on /u00");
+        s0.mkdir(sim, w, "/u00/scratch", Owner::local(500, 100), |_sim, w, r| {
+            r.expect("delegated mkdir");
+            let inst = &w.fss[0];
+            println!(
+                "\nsubtree lease on /u00: grants {}   delegated ops {}   \
+                 manager lease table: {:?}",
+                inst.lease_grants,
+                inst.delegated_ops,
+                inst.leases.keys().collect::<Vec<_>>()
+            );
+        });
+    });
+    sim.run(&mut w);
+    assert!(
+        w.fss[0].delegated_ops >= 1,
+        "leased subtree ops must take the delegate fast path"
+    );
+
+    // ------------------------------------------------------------------
+    // 4. The same machinery at scale: a mini version of the 100k-session
     //    storm (2 points × 8 contexts × 50 sessions racing 20 ops each).
     //    The reported rate is modeled cluster throughput — ops over the
     //    slowest point's simulated duration — identical on any machine.
@@ -125,4 +151,29 @@ fn main() {
         r.fsck_clean
     );
     assert!(r.fsck_clean, "storm must leave a consistent namespace");
+
+    // ------------------------------------------------------------------
+    // 5. Break the single-manager ceiling: the same mini-storm with the
+    //    namespace partitioned across M=4 cooperating manager shards
+    //    (top-level dirs placed round-robin; renames that straddle a
+    //    shard boundary run a two-phase envelope charging both managers).
+    // ------------------------------------------------------------------
+    let pr = run_storm_with_threads(&cfg.with_managers(4), 1);
+    println!(
+        "\npartitioned mini-storm (M=4): {} ops in {:.3} simulated s -> \
+         {:.0} modeled ops/s ({:.2}x single-manager), {} cross-shard commits, \
+         fsck clean: {}",
+        pr.ops,
+        pr.sim_ns as f64 / 1e9,
+        pr.sim_ops_per_sec(),
+        pr.sim_ops_per_sec() / r.sim_ops_per_sec(),
+        pr.cross_shard_ops,
+        pr.fsck_clean
+    );
+    assert!(pr.fsck_clean, "partitioned storm must leave a consistent namespace");
+    assert!(pr.cross_shard_ops > 0, "rename mix must cross shard boundaries");
+    assert!(
+        pr.sim_ops_per_sec() > r.sim_ops_per_sec(),
+        "partitioning the manager must lift the modeled rate"
+    );
 }

@@ -40,6 +40,7 @@ fn bed() -> (Sim<GfsWorld>, GfsWorld, ClientId, FsId, NodeId, NodeId) {
                 data_mode: DataMode::Stored,
             },
             manager: s1,
+            managers: 1,
             nsd_servers: vec![s1, s2],
             storage_nodes: vec![],
             backing: vec![NsdBacking::Ideal {
@@ -535,7 +536,7 @@ fn metadata_op_rides_out_manager_crash_and_wal_recovery() {
             r.unwrap();
             apply_fault(sim, w, FaultKind::ServerCrash { fs, server: "nsd-1".into() });
             assert!(
-                w.fss[fs.0 as usize].mgr.recovering,
+                w.fss[fs.0 as usize].mgrs[0].recovering,
                 "fault-plan manager crash must enter the WAL-recovery window"
             );
             // Issued straight into the outage: dropped at the dead manager,
@@ -544,7 +545,7 @@ fn metadata_op_rides_out_manager_crash_and_wal_recovery() {
                 r.unwrap();
                 client::stat(sim, w, client, "hafs", "/during", move |_s, w, r| {
                     r.unwrap();
-                    let mgr = &w.fss[fs.0 as usize].mgr;
+                    let mgr = &w.fss[fs.0 as usize].mgrs[0];
                     assert_eq!(mgr.acting, s2, "takeover did not move the manager role");
                     assert_eq!(mgr.epoch, 1, "recovery must bump the manager epoch");
                     assert!(mgr.replayed >= 1, "WAL replay rebuilt no dedup state");
@@ -622,6 +623,187 @@ fn coalesced_read_retries_to_restored_server_after_transient_crash() {
         0,
         "retries should have landed on the restored primary, not failed over"
     );
+    assert_eq!(sim.pending(), 0, "events left after the run drained");
+}
+
+// ---------------------------------------------------------------------
+// Per-site subtree leases: delegate fast path, break, expulsion,
+// re-admission
+// ---------------------------------------------------------------------
+
+/// The full subtree-lease lifecycle, staged over one world: a context
+/// acquires a lease and serves ops at its local delegate; a conflicting
+/// remote op breaks the lease like a token revocation (the responsive
+/// holder acks and the remote op proceeds); an *unresponsive* holder —
+/// partitioned off the network with the lease re-acquired — is expelled
+/// when the break fuse burns down, its leases and tokens force-released;
+/// and its next word to the manager after the heal re-admits it.
+#[test]
+fn subtree_lease_lifecycle_break_expel_readmit() {
+    use globalfs::gfs::{apply_fault, FaultKind, RecoveryWhat};
+    let mut b = WorldBuilder::new(56);
+    b.key_bits(384);
+    let sw = b.topo().node("sw");
+    let s1 = b.topo().node("nsd-1");
+    let s2 = b.topo().node("nsd-2");
+    let ca = b.topo().node("client-a");
+    let cb = b.topo().node("client-b");
+    for (n, name) in [(s1, "l1"), (s2, "l2"), (ca, "la"), (cb, "lb")] {
+        b.topo()
+            .duplex_link(n, sw, Bandwidth::gbit(1.0), SimDuration::from_micros(100), name);
+    }
+    let c = b.cluster("ha");
+    let fs = b.filesystem(
+        c,
+        FsParams {
+            config: FsConfig {
+                name: "hafs".into(),
+                block_size: 64 * 1024,
+                nsd_blocks: 4096,
+                nsd_count: 8,
+                data_mode: DataMode::Stored,
+            },
+            manager: s1,
+            managers: 2,
+            nsd_servers: vec![s1, s2],
+            storage_nodes: vec![],
+            backing: vec![NsdBacking::Ideal {
+                rate: Bandwidth::mbyte(400.0).bytes_per_sec(),
+                latency: SimDuration::from_micros(200),
+            }],
+            exported: false,
+        },
+    );
+    let a = b.client(c, ca, 256);
+    let bc = b.client(c, cb, 256);
+    let (mut sim, mut w) = b.build();
+    // Fan-in contexts so metadata rides envelopes — the path that checks
+    // lease conflicts and runs the delegate.
+    w.clients[a.0 as usize].fan_in = true;
+    w.clients[bc.0 as usize].fan_in = true;
+    let sa = w.open_session(a);
+    let sb = w.open_session(bc);
+    w.fss[fs.0 as usize]
+        .core
+        .mkdir("/proj", Owner::local(1, 1), 0)
+        .unwrap();
+
+    // Phase 1 — both contexts mount; A leases /proj and serves a mkdir at
+    // its delegate without a manager round trip.
+    let leased = Rc::new(Cell::new(false));
+    {
+        let leased = leased.clone();
+        sa.mount(&mut sim, &mut w, "hafs", gfs_auth::handshake::AccessMode::ReadWrite, move |sim, w, r| {
+            r.unwrap();
+            sa.acquire_lease(sim, w, "/proj", move |sim, w, r| {
+                r.unwrap();
+                sa.mkdir(sim, w, "/proj/d0", Owner::local(1, 1), move |_s, _w, r| {
+                    r.unwrap();
+                    leased.set(true);
+                });
+            });
+        });
+    }
+    sb.mount(&mut sim, &mut w, "hafs", gfs_auth::handshake::AccessMode::ReadWrite, |_s, _w, r| {
+        r.unwrap();
+    });
+    sim.run(&mut w);
+    assert!(leased.get(), "lease + delegated mkdir never completed");
+    {
+        let inst = &w.fss[fs.0 as usize];
+        assert_eq!(inst.lease_grants, 1);
+        assert_eq!(inst.leases.get("proj"), Some(&a), "manager must record the holder");
+        assert!(
+            inst.delegated_ops >= 1,
+            "the leased mkdir should have run at the delegate"
+        );
+        assert!(w.clients[a.0 as usize].leases.contains(&(fs, "proj".into())));
+    }
+
+    // Phase 2 — a conflicting remote op from B breaks the lease like a
+    // token revocation: A (responsive) acks, B's deferred op then lands.
+    let saw_b = Rc::new(Cell::new(false));
+    {
+        let saw_b = saw_b.clone();
+        sb.stat(&mut sim, &mut w, "/proj/d0", move |_s, _w, r| {
+            r.unwrap();
+            saw_b.set(true);
+        });
+    }
+    sim.run(&mut w);
+    assert!(saw_b.get(), "remote op never completed after the lease break");
+    {
+        let inst = &w.fss[fs.0 as usize];
+        assert_eq!(inst.lease_breaks, 1);
+        assert!(inst.leases.is_empty(), "break must clear the grant");
+        assert!(inst.breaking.is_empty(), "break must resolve");
+        assert!(w.clients[a.0 as usize].leases.is_empty(), "ack must clear the mirror");
+        assert_eq!(inst.expulsions, 0, "a responsive holder is never expelled");
+    }
+
+    // Phase 3 — A re-acquires, then drops off the network. B's next
+    // conflicting op starts a break nobody can ack; the fuse burns down
+    // and the manager expels A, force-releasing its leases and tokens.
+    let reacquired = Rc::new(Cell::new(false));
+    {
+        let reacquired = reacquired.clone();
+        sa.acquire_lease(&mut sim, &mut w, "/proj", move |_s, _w, r| {
+            r.unwrap();
+            reacquired.set(true);
+        });
+    }
+    sim.run(&mut w);
+    assert!(reacquired.get());
+    apply_fault(&mut sim, &mut w, FaultKind::Partition { node: "client-a".into() });
+    let saw_b2 = Rc::new(Cell::new(false));
+    {
+        let saw_b2 = saw_b2.clone();
+        sb.stat(&mut sim, &mut w, "/proj/d0", move |_s, _w, r| {
+            r.unwrap();
+            saw_b2.set(true);
+        });
+    }
+    sim.run(&mut w);
+    assert!(saw_b2.get(), "remote op must land once the holder is expelled");
+    {
+        let inst = &w.fss[fs.0 as usize];
+        assert_eq!(inst.expulsions, 1, "unresponsive holder must be expelled");
+        assert!(inst.expelled.contains(&a));
+        assert!(inst.leases.is_empty() && inst.breaking.is_empty());
+        let ac = &w.clients[a.0 as usize];
+        assert!(ac.leases.is_empty(), "expulsion lapses the holder's lease term");
+        assert!(
+            ac.held_tokens.iter().all(|((f, _), _)| *f != fs),
+            "expulsion must force-release the holder's tokens"
+        );
+        assert_eq!(
+            w.recovery.count(|e| matches!(e, RecoveryWhat::Expelled { .. })),
+            1
+        );
+    }
+
+    // Phase 4 — heal the partition; A's first op re-admits it.
+    apply_fault(&mut sim, &mut w, FaultKind::Heal { node: "client-a".into() });
+    let back = Rc::new(Cell::new(false));
+    {
+        let back = back.clone();
+        sa.stat(&mut sim, &mut w, "/proj/d0", move |_s, _w, r| {
+            r.unwrap();
+            back.set(true);
+        });
+    }
+    sim.run(&mut w);
+    assert!(back.get(), "re-admitted client's op never completed");
+    {
+        let inst = &w.fss[fs.0 as usize];
+        assert_eq!(inst.readmissions, 1);
+        assert!(inst.expelled.is_empty(), "first contact must lift the expulsion");
+        assert_eq!(
+            w.recovery.count(|e| matches!(e, RecoveryWhat::Readmitted { .. })),
+            1
+        );
+        assert_eq!(inst.lease_breaks, 2, "both conflicts must have started breaks");
+    }
     assert_eq!(sim.pending(), 0, "events left after the run drained");
 }
 

@@ -47,6 +47,7 @@ fn thirty_two_client_storm_matches_presession_baseline() {
         sub_dirs: 4,
         files_per_sub: 32,
         ops_per_client: 24,
+        managers: 1,
         write_bytes: 4096,
         mix: StormMix::Uniform,
         seed: 2005,
