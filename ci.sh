@@ -47,7 +47,10 @@ floors = {
     'recovery trio': 1500,
     'metadata storm': 8000,
     'storm 100k sessions': 1000,
-    'storm partitioned': 20000,
+    # Envelope batching collapsed this storm's event count ~10x on purpose
+    # (one gate-gather-flush cycle per ~55-op envelope instead of one event
+    # per op); the wall gate below is the real regression fence for it.
+    'storm partitioned': 6000,
     'chaos storm smoke': 8000,
     'resolve microbench': 100000,
 }
@@ -111,7 +114,13 @@ print(f"storm partitioned: {spart['storm_part_ops']:.0f} ops in "
       f"{spart['storm_part_ops_per_sec']:.0f} modeled ops/sec "
       f"({spart['storm_part_speedup_vs_single']:.2f}x single-manager; floor 3x), "
       f"{spart['storm_part_cross_shard_ops']:.0f} cross-shard ops, "
-      f"gave up {spart['storm_part_gave_up']:.0f}")
+      f"{spart['storm_part_envelopes']:.0f} envelopes "
+      f"({spart['storm_part_ops_per_envelope']:.1f} ops/envelope), "
+      f"delegated {spart['storm_part_delegated_ops']:.0f}, "
+      f"reconciled {spart['storm_part_reconcile_ops']:.0f}, "
+      f"migrations {spart['storm_part_rebalance_migrations']:.0f}, "
+      f"gave up {spart['storm_part_gave_up']:.0f}, "
+      f"host wall {spart['storm_part_wall_ops_per_sec']:.0f}/s")
 if spart['storm_part_ops_per_sec'] < 4_800_000:
     print(f"perf smoke: partitioned storm below 4.8M modeled ops/sec ({spart['storm_part_ops_per_sec']:.0f})", file=sys.stderr)
     failed = True
@@ -123,6 +132,26 @@ if spart['storm_part_cross_shard_ops'] <= 0:
     failed = True
 if spart['storm_part_gave_up'] != 0:
     print("perf smoke: partitioned storm ops exhausted their retry budget fault-free", file=sys.stderr)
+    failed = True
+# PR-8 batching gates: the per-shard fan-in must keep the partitioned
+# path batched (PR 7 regressed to ~1 op/envelope); writeback delegation
+# and its journal reconciliation must both be live in the massive storm;
+# and the in-storm rebalance policy must have migrated at least one hot
+# subtree while the race ran.
+if spart['storm_part_ops_per_envelope'] < 50:
+    print(f"perf smoke: partitioned storm batching too thin ({spart['storm_part_ops_per_envelope']:.1f} ops/envelope, floor 50)", file=sys.stderr)
+    failed = True
+if spart['storm_part_delegated_ops'] <= 0:
+    print("perf smoke: no ops took the writeback-delegation fast path", file=sys.stderr)
+    failed = True
+if spart['storm_part_reconcile_ops'] <= 0:
+    print("perf smoke: delegate journals were never reconciled through the manager", file=sys.stderr)
+    failed = True
+if spart['storm_part_rebalance_migrations'] < 1:
+    print("perf smoke: the live rebalance policy never migrated a subtree", file=sys.stderr)
+    failed = True
+if spart['storm_part_wall_ops_per_sec'] < 130_000:
+    print(f"perf smoke: partitioned storm wall rate collapsed ({spart['storm_part_wall_ops_per_sec']:.0f} < 130000)", file=sys.stderr)
     failed = True
 
 # Chaos smoke: the [OK]/[OFF] verdicts above already gate the invariants

@@ -265,6 +265,15 @@ fn run_storm_partitioned_entry(single_ops_per_sec: f64) -> Entry {
             ("storm_part_cross_shard_ops", parallel.cross_shard_ops as f64),
             ("storm_part_delegated_ops", parallel.delegated_ops as f64),
             ("storm_part_envelopes", parallel.envelopes as f64),
+            ("storm_part_envelope_ops", parallel.envelope_ops as f64),
+            ("storm_part_ops_per_envelope", parallel.ops_per_envelope()),
+            ("storm_part_lease_acquires", parallel.lease_acquires as f64),
+            ("storm_part_lease_breaks", parallel.lease_breaks as f64),
+            ("storm_part_reconcile_ops", parallel.reconcile_ops as f64),
+            (
+                "storm_part_rebalance_migrations",
+                parallel.rebalance_migrations as f64,
+            ),
             ("storm_part_errors", parallel.errors as f64),
             ("storm_part_err_not_found", parallel.err_not_found as f64),
             ("storm_part_err_exists", parallel.err_exists as f64),

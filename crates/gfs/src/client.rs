@@ -690,6 +690,12 @@ fn meta_rpc<T: Clone + 'static>(
         return;
     }
     let shard = w.fss[m.fs.0 as usize].core.shards.shard_of(route_path);
+    // The legacy path votes on hotspot placement too — without this,
+    // single-session storms never accumulate heat and the rebalance
+    // policy is blind to them.
+    if w.fss[m.fs.0 as usize].core.shards.shards() > 1 {
+        w.fss[m.fs.0 as usize].core.shards.note_heat(route_path);
+    }
     manager_rpc(
         sim,
         w,
@@ -1310,7 +1316,8 @@ pub(crate) fn start_lease_break(
 
 /// Runs at the lease holder: defers until the local delegate drains its
 /// in-flight ops (GPFS revocation semantics), drops the mirror entry,
-/// acks back to the manager.
+/// reconciles the writeback journal with the owning manager (one bulk
+/// envelope through the dedup table), then acks back to the manager.
 #[allow(clippy::too_many_arguments)]
 fn lease_break_at_holder(
     sim: &mut Sim<GfsWorld>,
@@ -1329,17 +1336,28 @@ fn lease_break_at_holder(
         return;
     }
     w.clients[holder.0 as usize].leases.remove(&(fs, top.clone()));
-    let rpcb = w.costs.rpc_bytes;
-    Network::send_msg(sim, w, holder_node, mgr, rpcb, move |sim, w| {
-        if !sim.cancel_timer(fuse) {
-            return; // the term expired first; the expulsion owns this lease
-        }
-        let inst = &mut w.fss[fs.0 as usize];
-        if inst.leases.get(&top) == Some(&holder) {
-            inst.leases.remove(&top);
-        }
-        inst.breaking.remove(&top);
-    });
+    let ack_top = top.clone();
+    crate::session::reconcile_journal(
+        sim,
+        w,
+        holder,
+        fs,
+        top,
+        Box::new(move |sim, w| {
+            let top = ack_top;
+            let rpcb = w.costs.rpc_bytes;
+            Network::send_msg(sim, w, holder_node, mgr, rpcb, move |sim, w| {
+                if !sim.cancel_timer(fuse) {
+                    return; // the term expired first; the expulsion owns this lease
+                }
+                let inst = &mut w.fss[fs.0 as usize];
+                if inst.leases.get(&top) == Some(&holder) {
+                    inst.leases.remove(&top);
+                }
+                inst.breaking.remove(&top);
+            });
+        }),
+    );
 }
 
 /// Lease-term expiry: the holder never acked the break. The manager
@@ -1362,8 +1380,20 @@ fn expel(sim: &mut Sim<GfsWorld>, w: &mut GfsWorld, fs: FsId, top: Box<str>, hol
     let c = &mut w.clients[holder.0 as usize];
     c.leases.retain(|(f, _)| *f != fs);
     c.held_tokens.retain(|(f, _), _| *f != fs);
+    // The writeback journal dies with the membership: an expelled node's
+    // locally-applied mutations will never reconcile (the shared-disk
+    // state already holds them; only the manager-side records are lost) —
+    // journaled so operators can see what the expulsion cost.
+    let dropped = c.journal.iter().filter(|e| e.fs == fs).count() as u64;
+    c.journal.retain(|e| e.fs != fs);
     w.recovery
         .log(sim.now(), RecoveryWhat::Expelled { client: holder });
+    if dropped > 0 {
+        w.recovery.log(
+            sim.now(),
+            RecoveryWhat::JournalDiscarded { client: holder, ops: dropped },
+        );
+    }
 }
 
 /// First contact from an expelled client lifts the expulsion — GPFS
@@ -1380,6 +1410,146 @@ pub(crate) fn readmit_if_expelled(
         w.recovery
             .log(sim.now(), RecoveryWhat::Readmitted { client });
     }
+}
+
+/// Voluntarily give a subtree lease back: drain the local delegate,
+/// reconcile the writeback journal with the owning shard, then release
+/// the lease at the manager. Completes with `Ok` immediately when the
+/// client no longer holds the lease (a break or expulsion won the race).
+pub fn surrender_lease(
+    sim: &mut Sim<GfsWorld>,
+    w: &mut GfsWorld,
+    client: ClientId,
+    device: &str,
+    path: &str,
+    cb: impl FnOnce(&mut Sim<GfsWorld>, &mut GfsWorld, Result<(), FsError>) + 'static,
+) {
+    let m = match mount_of(w, client, device) {
+        Ok(m) => m,
+        Err(e) => {
+            cb(sim, w, Err(e));
+            return;
+        }
+    };
+    let top = crate::fscore::top_component(path);
+    if top.is_empty() {
+        cb(sim, w, Err(FsError::InvalidArgument(path.to_string())));
+        return;
+    }
+    surrender_drain(sim, w, client, m.fs, top.into(), Box::new(cb));
+}
+
+/// Surrender stage 1: wait out in-flight delegate ops (including batches
+/// still parked this instant — they count in `delegate_inflight` from
+/// park time), like a lease break does.
+fn surrender_drain(
+    sim: &mut Sim<GfsWorld>,
+    w: &mut GfsWorld,
+    client: ClientId,
+    fs: FsId,
+    top: Box<str>,
+    cb: Cb<Result<(), FsError>>,
+) {
+    if !w.clients[client.0 as usize].leases.contains(&(fs, top.clone())) {
+        cb(sim, w, Ok(()));
+        return;
+    }
+    if w.clients[client.0 as usize].delegate_inflight > 0 {
+        sim.after(SimDuration::from_micros(500), move |sim, w| {
+            surrender_drain(sim, w, client, fs, top, cb);
+        });
+        return;
+    }
+    // Mirror entry goes first: from here no new op delegates, so the
+    // journal taken by the reconcile below is complete.
+    w.clients[client.0 as usize].leases.remove(&(fs, top.clone()));
+    let release_top = top.clone();
+    crate::session::reconcile_journal(
+        sim,
+        w,
+        client,
+        fs,
+        top,
+        Box::new(move |sim, w| {
+            surrender_release(sim, w, client, fs, release_top, cb);
+        }),
+    );
+}
+
+/// Surrender stage 2 (post-reconcile): release the lease at the owning
+/// shard's acting manager. A dead or recovering manager re-polls — the
+/// release must eventually land or the manager-side grant would leak.
+fn surrender_release(
+    sim: &mut Sim<GfsWorld>,
+    w: &mut GfsWorld,
+    client: ClientId,
+    fs: FsId,
+    top: Box<str>,
+    cb: Cb<Result<(), FsError>>,
+) {
+    let shard = w.fss[fs.0 as usize].core.shards.shard_of(&top);
+    let mgr = w.fss[fs.0 as usize].manager_endpoint(shard);
+    let from = client_node(w, client);
+    let rpcb = w.costs.rpc_bytes;
+    Network::send_msg(sim, w, from, mgr, rpcb, move |sim, w| {
+        {
+            let inst = &w.fss[fs.0 as usize];
+            let ms = &inst.mgrs[shard as usize];
+            if inst.down_servers.contains(&mgr) || ms.recovering || ms.acting != mgr {
+                let t = w.costs.request_timeout;
+                sim.after(t, move |sim, w| {
+                    surrender_release(sim, w, client, fs, top, cb);
+                });
+                return;
+            }
+        }
+        let inst = &mut w.fss[fs.0 as usize];
+        if inst.leases.get(&top) == Some(&client) {
+            inst.leases.remove(&top);
+        }
+        let rpcb = w.costs.rpc_bytes;
+        Network::send_msg(sim, w, mgr, from, rpcb, move |sim, w| {
+            cb(sim, w, Ok(()));
+        });
+    });
+}
+
+/// One step of the live rebalance policy: plan the next authority
+/// migration from accumulated heat, drain both managers' queued
+/// envelopes, then commit — flipping the subtree's owner and journaling a
+/// migration record in *both* shards' WALs (either manager can prove the
+/// handoff after a crash). Ops already routed keep their captured shard:
+/// the shared-disk core and per-shard dedup tables make the straggler
+/// window correct, exactly like a cross-shard op. Returns whether a
+/// migration was planned (commit lands once both queues drain).
+pub fn maybe_rebalance(sim: &mut Sim<GfsWorld>, w: &mut GfsWorld, fs: FsId) -> bool {
+    if w.fss[fs.0 as usize].migrating {
+        return false; // previous migration still draining
+    }
+    let Some((top, from, to)) = w.fss[fs.0 as usize].core.shards.plan_rebalance() else {
+        return false;
+    };
+    let inst = &mut w.fss[fs.0 as usize];
+    inst.migrating = true;
+    let drain = inst.mgrs[from as usize]
+        .busy_until
+        .max(inst.mgrs[to as usize].busy_until)
+        .max(sim.now());
+    sim.at(drain, move |_sim, w| {
+        let inst = &mut w.fss[fs.0 as usize];
+        // Migration records live in the bit-62 op-id namespace — disjoint
+        // from legacy client ids and bit-63 session ids, so they can never
+        // collide with (or be retired by) ordinary op acks.
+        let op_id = (1u64 << 62) | inst.migration_seq;
+        inst.migration_seq += 1;
+        let rec: std::rc::Rc<dyn std::any::Any> =
+            std::rc::Rc::new(format!("migrate /{top}: shard {from} -> {to}"));
+        inst.mgrs[from as usize].record(op_id, rec.clone());
+        inst.mgrs[to as usize].record(op_id, rec);
+        inst.core.shards.commit_move(&top, to);
+        inst.migrating = false;
+    });
+    true
 }
 
 // ---------------------------------------------------------------------
@@ -2313,6 +2483,39 @@ mod tests {
     type Slot<T> = Rc<RefCell<Option<T>>>;
     fn slot<T>() -> Slot<T> {
         Rc::new(RefCell::new(None))
+    }
+
+    #[test]
+    fn legacy_meta_path_votes_shard_heat() {
+        // Single-session (fan_in = false) clients route metadata through
+        // the legacy `meta_rpc` path, which must still vote subtree heat —
+        // otherwise a storm of legacy clients leaves the rebalance policy
+        // blind to the hotspot they create.
+        let mut t = bed();
+        let local = t.local;
+        t.w.fss[0].core.shards.set_shards(2);
+        // Pin the test top to shard 0 so the one-manager bed still serves
+        // it; the vote, not the placement, is under test.
+        t.w.fss[0].core.shards.assign("d", 0);
+        let ok = Rc::new(Cell::new(false));
+        let ok2 = ok.clone();
+        mount(&mut t.sim, &mut t.w, local, "gpfs-wan", AccessMode::ReadWrite, move |sim, w, r| {
+            r.unwrap();
+            mkdir(sim, w, local, "gpfs-wan", "/d", owner(), move |sim, w, r| {
+                r.unwrap();
+                stat(sim, w, local, "gpfs-wan", "/d", move |_sim, _w, r| {
+                    r.unwrap();
+                    ok2.set(true);
+                });
+            });
+        });
+        run(&mut t);
+        assert!(ok.get(), "legacy op chain did not complete");
+        assert!(
+            t.w.fss[0].core.shards.heat_of("d") >= 2,
+            "legacy mkdir + stat must each vote heat, got {}",
+            t.w.fss[0].core.shards.heat_of("d")
+        );
     }
 
     #[test]

@@ -430,6 +430,16 @@ pub enum RecoveryWhat {
         /// The returning context.
         client: ClientId,
     },
+    /// An expelled context's writeback delegate journal was discarded:
+    /// `ops` locally-applied mutations under its revoked leases will never
+    /// reconcile with the manager (the shared-disk state already holds
+    /// them; only the manager-side records are lost).
+    JournalDiscarded {
+        /// The expelled context whose journal was dropped.
+        client: ClientId,
+        /// How many journal entries were discarded.
+        ops: u64,
+    },
 }
 
 /// One timestamped recovery-log entry.

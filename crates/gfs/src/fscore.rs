@@ -315,6 +315,13 @@ pub struct ShardMap {
     shards: u32,
     overrides: FxHashMap<Box<str>, u32>,
     heat: FxHashMap<Box<str>, u64>,
+    /// Where each moved subtree last lived: a planned move is refused when
+    /// its destination is the subtree's previous source, so an adversarial
+    /// alternating-heat workload cannot ping-pong a subtree between two
+    /// shards — it needs a fresh destination every time.
+    last_from: FxHashMap<Box<str>, u32>,
+    /// Authority migrations committed (observability; fed to reports).
+    migrations: u64,
 }
 
 impl ShardMap {
@@ -383,12 +390,16 @@ impl ShardMap {
         self.heat.get(top).copied().unwrap_or(0)
     }
 
-    /// Rebalance one step: move the hottest subtree of the hottest shard
-    /// onto the coolest shard, provided the move actually changes owners.
-    /// Fully deterministic — ties break on subtree name — and returns the
-    /// `(subtree, from, to)` move when one was made. Callers re-run it
-    /// until it returns `None` (or on a cadence) to chase hotspots.
-    pub fn rebalance(&mut self) -> Option<(Box<str>, u32, u32)> {
+    /// Plan one rebalance step without committing it: the hottest
+    /// *movable* subtree of the hottest shard goes to the coolest shard.
+    /// Fully deterministic — ties break on subtree name. A candidate is
+    /// movable when its heat is strictly below the load gap (so the move
+    /// narrows the imbalance rather than inverting it) and the coolest
+    /// shard is not the shard the subtree last moved *from* (the
+    /// one-step-memory ping-pong guard). Pure: call
+    /// [`ShardMap::commit_move`] to take the move, after draining whatever
+    /// the caller has in flight against the subtree.
+    pub fn plan_rebalance(&self) -> Option<(Box<str>, u32, u32)> {
         if self.shards <= 1 || self.heat.is_empty() {
             return None;
         }
@@ -405,20 +416,54 @@ impl ShardMap {
         if hot_shard == cool_shard || load[hot_shard as usize] == load[cool_shard as usize] {
             return None;
         }
-        // Hottest subtree currently living on the hot shard; name-ordered
-        // scan keeps ties deterministic.
-        let (top, heat) = by_name
-            .iter()
-            .filter(|(t, _)| self.shard_of(t) == hot_shard)
-            .max_by_key(|(t, h)| (*h, std::cmp::Reverse(*t)))
-            .map(|(t, h)| (t.to_string().into_boxed_str(), *h))?;
-        // Only move if it narrows the gap (avoid ping-ponging a subtree
-        // bigger than the imbalance).
-        if heat >= load[hot_shard as usize] - load[cool_shard as usize] {
+        // Hysteresis: act only on a real hotspot (hot > 1.5× cool). Near
+        // balance, uniform traffic always shows *some* gap; migrating on
+        // noise would shuffle evenly-placed subtrees forever.
+        if load[hot_shard as usize] * 2 <= load[cool_shard as usize] * 3 {
             return None;
         }
-        self.overrides.insert(top.clone(), cool_shard);
-        Some((top, hot_shard, cool_shard))
+        let gap = load[hot_shard as usize] - load[cool_shard as usize];
+        // Hottest movable subtree currently living on the hot shard;
+        // name-ordered scan keeps ties deterministic.
+        let mut candidates: Vec<(&str, u64)> = by_name
+            .iter()
+            .filter(|(t, h)| {
+                self.shard_of(t) == hot_shard
+                    && *h < gap
+                    && self.last_from.get(*t).copied() != Some(cool_shard)
+            })
+            .copied()
+            .collect();
+        candidates.sort_by_key(|(t, h)| (std::cmp::Reverse(*h), t.to_string()));
+        let (top, _) = candidates.first()?;
+        Some((top.to_string().into_boxed_str(), hot_shard, cool_shard))
+    }
+
+    /// Commit a planned move: flip the subtree's authority to `to`,
+    /// remember where it came from (the ping-pong guard's one-step
+    /// memory), and reset the heat epoch — post-move traffic votes on the
+    /// next move from a clean slate, so stale pre-move heat can never
+    /// justify reversing it.
+    pub fn commit_move(&mut self, top: &str, to: u32) {
+        let from = self.shard_of(top);
+        self.overrides.insert(top.into(), to % self.shards.max(1));
+        self.last_from.insert(top.into(), from);
+        self.heat.clear();
+        self.migrations += 1;
+    }
+
+    /// Authority migrations committed so far.
+    pub fn migrations(&self) -> u64 {
+        self.migrations
+    }
+
+    /// Plan and immediately commit one rebalance step (no drain — callers
+    /// with in-flight traffic should plan, drain, then commit). Returns
+    /// the `(subtree, from, to)` move when one was made.
+    pub fn rebalance(&mut self) -> Option<(Box<str>, u32, u32)> {
+        let (top, from, to) = self.plan_rebalance()?;
+        self.commit_move(&top, to);
+        Some((top, from, to))
     }
 }
 
@@ -1376,6 +1421,79 @@ mod tests {
         // "a" (350) would overshoot the gap — the no-ping-pong guard
         // refuses the move.
         assert_eq!(sm.rebalance(), None);
+    }
+
+    #[test]
+    fn shard_map_adversarial_alternation_cannot_ping_pong() {
+        // Property: an adversary that alternates the hot side every round
+        // cannot make the policy thrash. Three sub-properties, checked
+        // over 200 rounds of LCG-jittered adversarial heat:
+        //   1. every committed move strictly narrows the pre-move load gap
+        //      (the `h < gap` movability rule guarantees |gap − 2h| < gap);
+        //   2. no subtree ever bounces straight back where it came from on
+        //      the next migration (the one-step-memory guard);
+        //   3. total migrations stay bounded well below the round count
+        //      (the 1.5× hysteresis refuses noise-level gaps).
+        let mut sm = ShardMap::default();
+        sm.set_shards(2);
+        let tops = ["a", "b", "c", "d", "e", "f"];
+        for (i, t) in tops.iter().enumerate() {
+            sm.assign(*t, (i % 2) as u32);
+        }
+        let loads = |sm: &ShardMap| {
+            let mut l = [0u64; 2];
+            for t in tops {
+                l[sm.shard_of(t) as usize] += sm.heat_of(t);
+            }
+            l
+        };
+        let mut lcg: u64 = 0x243F_6A88_85A3_08D3;
+        let mut step = move || {
+            lcg = lcg
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            lcg >> 33
+        };
+        let mut last: Option<(Box<str>, u32, u32)> = None;
+        let mut committed = 0u64;
+        for round in 0..200u32 {
+            // The adversary pours heat on an alternating side, jittering
+            // which subtrees and how much; the cool side gets a trickle.
+            let hot_side = round % 2;
+            for _ in 0..3 {
+                let pick = tops[step() as usize % tops.len()];
+                let n = 50 + step() % 200;
+                let votes = if sm.shard_of(pick) == hot_side { n } else { n / 4 };
+                for _ in 0..votes {
+                    sm.note_heat(&format!("/{pick}/f"));
+                }
+            }
+            if let Some((top, from, to)) = sm.plan_rebalance() {
+                let before = loads(&sm);
+                let gap = before[from as usize].abs_diff(before[to as usize]);
+                let h = sm.heat_of(&top);
+                let after = (before[from as usize] - h).abs_diff(before[to as usize] + h);
+                assert!(
+                    after < gap,
+                    "round {round}: moving {top} widens the gap ({gap} -> {after})"
+                );
+                if let Some((pt, pf, pto)) = &last {
+                    assert!(
+                        !(*pt == top && *pto == from && *pf == to),
+                        "round {round}: {top} bounced straight back {from} -> {to}"
+                    );
+                }
+                last = Some((top.clone(), from, to));
+                sm.commit_move(&top, to);
+                committed += 1;
+            }
+        }
+        assert_eq!(committed, sm.migrations());
+        assert!(
+            committed <= 100,
+            "adversarial alternation forced {committed} migrations in 200 rounds"
+        );
+        assert!(committed >= 1, "the adversary's hotspots must draw some response");
     }
 
     #[test]

@@ -35,8 +35,8 @@ use crate::types::{ClientId, FsError, FsId, Handle, InodeId, OpenFlags, Owner, S
 use crate::world::{GfsWorld, OpenFile};
 use bytes::Bytes;
 use gfs_auth::handshake::AccessMode;
-use simcore::fxhash::FxHashMap;
-use simcore::Sim;
+use simcore::fxhash::{FxHashMap, FxHashSet};
+use simcore::{Sim, SimDuration};
 use simnet::Network;
 use std::any::Any;
 use std::cell::RefCell;
@@ -105,6 +105,11 @@ pub struct BatchOp {
     /// peer shard recovering); bounded so a wedged peer surfaces as
     /// `Timeout` instead of an endless re-poll.
     defers: u32,
+    /// Journal-reconcile replay: the mutation already ran under the lease
+    /// and this op only installs its recorded result (WAL append + dedup
+    /// insert, no path resolution), so the manager charges
+    /// `manager_replay_per_op` instead of the full op service cost.
+    replay: bool,
     run: Box<dyn FnMut(&mut Sim<GfsWorld>, &mut GfsWorld, FsId, u32) -> Rc<dyn Any>>,
     deliver: Option<Box<dyn FnOnce(&mut Sim<GfsWorld>, &mut GfsWorld, Result<Rc<dyn Any>, FsError>)>>,
 }
@@ -117,6 +122,25 @@ pub struct FanIn {
     /// same-instant event), keyed by `(ctx, fs, manager shard)` — each
     /// envelope travels to the one manager that owns every op inside it.
     pending: FxHashMap<(u32, u32, u32), Vec<BatchOp>>,
+    /// Per-shard envelope gate (multi-shard worlds only): envelopes in
+    /// flight per `(ctx, fs, shard)`. While nonzero, newly-submitted ops
+    /// for that shard park in `pending` instead of flushing — they re-form
+    /// as the next envelope the instant the in-flight one returns. Gating
+    /// per shard (rather than one barrier across the whole context) keeps
+    /// batching without a convoy: a slow envelope — say one carrying a
+    /// multi-hop two-phase rename — stalls only its own shard's stream
+    /// while the other shards keep pipelining. Without any gate, per-shard
+    /// routing fragments the PR-6 batching: each shard's queue completes
+    /// at a different instant, the session cohort splinters ~M-ways per
+    /// round, and envelopes degenerate to one op each.
+    outstanding: FxHashMap<(u32, u32, u32), u32>,
+    /// `(ctx, fs, shard)` keys with a same-instant flush already scheduled
+    /// (dedups the flush event across many same-instant submits).
+    armed: FxHashSet<(u32, u32, u32)>,
+    /// Delegate batches collecting this instant, keyed by `(ctx, fs)` —
+    /// writeback-delegated ops batch exactly like envelopes do, paying a
+    /// couple of simulator events per *batch* on the local delegate queue.
+    dpending: FxHashMap<(u32, u32), Vec<BatchOp>>,
     /// Envelopes sent (first attempts; retries counted separately).
     pub envelopes: u64,
     /// Total ops carried by those envelopes.
@@ -131,10 +155,19 @@ pub struct FanIn {
 }
 
 impl FanIn {
-    /// Ops sitting in not-yet-flushed batches (invariant: 0 once the sim
-    /// drains — every submit schedules a same-instant flush).
+    /// Ops sitting in not-yet-flushed batches. Unlike the single-shard
+    /// world this is *not* zero between events in wave mode (parked ops
+    /// wait out the in-flight wave), but it still drains to 0 with the
+    /// sim — every park either has a flush armed or a wave outstanding
+    /// whose return arms one.
     pub fn pending_ops(&self) -> usize {
         self.pending.values().map(Vec::len).sum()
+    }
+
+    /// Delegate ops sitting in not-yet-flushed batches (invariant: 0 once
+    /// the sim drains — every submit schedules a same-instant flush).
+    pub fn delegate_pending_ops(&self) -> usize {
+        self.dpending.values().map(Vec::len).sum()
     }
 }
 
@@ -199,6 +232,18 @@ impl Session {
             None
         };
         (base | seq, ack)
+    }
+
+    /// A fresh op id for a writeback-delegated op: same session id space
+    /// (the reconcile envelope will present it to the manager dedup
+    /// table), but no retirement ack — the manager has not seen this
+    /// session's earlier results delivered, and `acked_seq` must not skip
+    /// past envelope results the manager still holds.
+    fn next_delegate_op_id(self, w: &mut GfsWorld) -> u64 {
+        let base = (1u64 << 63) | (u64::from(self.0 .0) << 32);
+        let st = self.state_mut(w);
+        st.next_op_seq += 1;
+        base | (st.next_op_seq & 0xffff_ffff)
     }
 
     fn enter(self, w: &mut GfsWorld) {
@@ -724,35 +769,65 @@ impl Session {
             let top: Box<str> = crate::fscore::top_component(&route).into();
             (shard, peer, top)
         };
-        if w.fss[m.fs.0 as usize].core.shards.shards() > 1 {
-            w.fss[m.fs.0 as usize].core.shards.note_heat(&route);
-        }
-        // Delegate fast path: the context leases this subtree and the op
-        // does not reach across shards — serve it at the site-local
-        // delegate, paying only the delegate's service queue. Expulsion
-        // needs no check here: losing the lease term clears the mirror.
+        // Writeback-delegate fast path: the context leases this subtree
+        // and the op stays entirely inside it — serve it at the site-local
+        // delegate with zero manager events. Mutations additionally journal
+        // their recorded result; the journal reconciles with the owning
+        // shard (as bulk envelopes through the dedup table) when the lease
+        // is surrendered or broken. Expulsion needs no check here: losing
+        // the lease term clears the mirror. Ops whose secondary path leaves
+        // the subtree (cross-top renames, even same-shard ones) never
+        // delegate — the lease does not cover the other end.
         let delegate = {
+            let same_subtree = peer.is_none()
+                && peer_route
+                    .as_deref()
+                    .is_none_or(|p| crate::fscore::top_component(p) == top.as_ref());
             let c = &w.clients[ctx.0 as usize];
-            peer.is_none()
-                && !c.leases.is_empty()
-                && c.leases.contains(&(m.fs, top.clone()))
+            same_subtree && !c.leases.is_empty() && c.leases.contains(&(m.fs, top.clone()))
         };
         if delegate {
             let fs = m.fs;
-            let c = &mut w.clients[ctx.0 as usize];
-            let start = c.delegate_busy_until.max(sim.now());
-            let done = start + w.costs.manager_op_service;
-            c.delegate_busy_until = done;
-            c.delegate_inflight += 1;
+            let op_id = self.next_delegate_op_id(w);
             w.fss[fs.0 as usize].delegated_ops += 1;
             w.fanin.delegated += 1;
-            sim.at(done, move |sim, w| {
-                let r = run(sim, w, fs, shard);
-                w.clients[ctx.0 as usize].delegate_inflight -= 1;
-                self.exit(w);
-                cb(sim, w, r);
-            });
+            let op = BatchOp {
+                op_id,
+                mutating: needs_write,
+                ack: None,
+                top,
+                peer: None,
+                defers: 0,
+                replay: false,
+                // Capture the routed shard: delegate application charges no
+                // manager, but run bodies key path caches by shard.
+                run: Box::new(move |sim, w, fs, _s| {
+                    Rc::new(run(sim, w, fs, shard)) as Rc<dyn Any>
+                }),
+                deliver: Some(Box::new(move |sim, w, r| {
+                    let out: Result<T, FsError> = match r {
+                        Ok(rc) => match rc.downcast::<Result<T, FsError>>() {
+                            Ok(rc) => Rc::try_unwrap(rc).unwrap_or_else(|rc| (*rc).clone()),
+                            Err(_) => panic!("delegate op journaled a different result type"),
+                        },
+                        Err(e) => Err(e),
+                    };
+                    self.exit(w);
+                    cb(sim, w, out);
+                })),
+            };
+            submit_delegate(sim, w, ctx, fs, op);
             return;
+        }
+        // Heat votes feed the rebalance policy, so they track *manager*
+        // load: only ops that actually travel to a shard vote here.
+        // Delegated ops cost the manager nothing until reconciliation —
+        // their journal replay votes in `reconcile_journal` instead;
+        // letting them vote at full weight here would make the policy
+        // strip the delegates' home shard of far more authority than the
+        // cheap replays ever put on it.
+        if w.fss[m.fs.0 as usize].core.shards.shards() > 1 {
+            w.fss[m.fs.0 as usize].core.shards.note_heat(&route);
         }
         self.submit_mgr(sim, w, m.fs, shard, top, peer, needs_write, run, cb);
     }
@@ -782,6 +857,7 @@ impl Session {
             top,
             peer,
             defers: 0,
+            replay: false,
             run: Box::new(move |sim, w, fs, shard| Rc::new(run(sim, w, fs, shard)) as Rc<dyn Any>),
             deliver: Some(Box::new(move |sim, w, r| {
                 // Move the result out of the `Rc` when this delivery holds
@@ -828,6 +904,35 @@ impl Session {
             cb(sim, w, r);
         });
     }
+
+    /// Surrender a subtree lease voluntarily: drain in-flight delegate
+    /// ops, reconcile the writeback journal with the owning manager shard
+    /// (one bulk envelope through the dedup table), then release the lease
+    /// at the manager. A context that no longer holds the lease (broken or
+    /// expelled meanwhile) completes immediately with `Ok`.
+    pub fn surrender_lease(
+        self,
+        sim: &mut Sim<GfsWorld>,
+        w: &mut GfsWorld,
+        path: &str,
+        cb: impl FnOnce(&mut Sim<GfsWorld>, &mut GfsWorld, Result<(), FsError>) + 'static,
+    ) {
+        let path = self.resolve(w, path);
+        self.enter(w);
+        let ctx = self.ctx(w);
+        let device = match self.device(w) {
+            Ok(d) => d,
+            Err(e) => {
+                self.exit(w);
+                cb(sim, w, Err(e));
+                return;
+            }
+        };
+        client::surrender_lease(sim, w, ctx, &device, &path, move |sim, w, r| {
+            self.exit(w);
+            cb(sim, w, r);
+        });
+    }
 }
 
 /// Map total-server-loss to the session surface's degraded-service error.
@@ -844,10 +949,19 @@ fn degrade_err(e: FsError) -> FsError {
     }
 }
 
-/// Push one op into the `(ctx, fs, shard)` batch; the first op of an
-/// instant schedules the flush. `sim.immediately` runs *after* every event
-/// already queued at the current instant, so all same-instant submits land
-/// in the same envelope.
+/// Push one op into the `(ctx, fs, shard)` batch.
+///
+/// Single-shard worlds keep the PR-6 rule byte-for-byte: the first op of
+/// an instant schedules the same-instant flush (`sim.immediately` runs
+/// *after* every event already queued at the current instant, so all
+/// same-instant submits land in the same envelope).
+///
+/// Multi-shard worlds run the **per-shard gate** instead: ops park while
+/// an envelope of this `(ctx, fs, shard)` is in flight and flush the
+/// instant it returns. Each shard stream pipelines back-to-back envelopes
+/// independently — a slow envelope holds only its own shard. Without the
+/// gate, staggered per-shard completions splinter the session cohort into
+/// ever-smaller batches until every envelope carries one op.
 fn submit_batch(
     sim: &mut Sim<GfsWorld>,
     w: &mut GfsWorld,
@@ -857,20 +971,227 @@ fn submit_batch(
     op: BatchOp,
 ) {
     let key = (ctx.0, fs.0, shard);
+    let wave = w.fss[fs.0 as usize].core.shards.shards() > 1;
     let q = w.fanin.pending.entry(key).or_default();
+    q.push(op);
+    if !wave {
+        if q.len() == 1 {
+            sim.immediately(move |sim, w| flush_shard_batch(sim, w, ctx, fs, shard));
+        }
+        return;
+    }
+    if w.fanin.outstanding.get(&key).copied().unwrap_or(0) == 0 {
+        arm_shard_flush(sim, w, ctx, fs, shard);
+    }
+}
+
+/// Schedule (once) the same-instant event that flushes the parked batch of
+/// `(ctx, fs, shard)`. No-op if a flush is already armed for this instant;
+/// the flush itself is a no-op if a racing event emptied the batch or
+/// launched an envelope first.
+fn arm_shard_flush(sim: &mut Sim<GfsWorld>, w: &mut GfsWorld, ctx: ClientId, fs: FsId, shard: u32) {
+    let key = (ctx.0, fs.0, shard);
+    if !w.fanin.armed.insert(key) {
+        return;
+    }
+    // Nagle-style gather window: hold the launch for `envelope_gather` so
+    // ops submitted just after the gate freed (staggered envelope returns,
+    // delegate batch deliveries) ride this envelope instead of the next
+    // one. The window trades per-op latency for batch mass — a lone op on
+    // an idle stream still pays it — which is the right trade for the
+    // saturated storms this path exists for; latency-sensitive callers
+    // can zero `envelope_gather` (single-shard namespaces never take this
+    // path at all, so the M=1 flows are unaffected either way).
+    let delay = w.costs.envelope_gather;
+    let fire = move |sim: &mut Sim<GfsWorld>, w: &mut GfsWorld| {
+        w.fanin.armed.remove(&key);
+        if w.fanin.outstanding.get(&key).copied().unwrap_or(0) > 0 {
+            return; // a racing flush already launched an envelope
+        }
+        flush_shard_batch(sim, w, ctx, fs, shard);
+    };
+    if delay == SimDuration::ZERO {
+        sim.immediately(fire);
+    } else {
+        sim.after(delay, fire);
+    }
+}
+
+/// Flush one `(ctx, fs, shard)` batch as an envelope (shared by both the
+/// single-shard immediate flush and the wave flush).
+fn flush_shard_batch(sim: &mut Sim<GfsWorld>, w: &mut GfsWorld, ctx: ClientId, fs: FsId, shard: u32) {
+    let ops = w.fanin.pending.remove(&(ctx.0, fs.0, shard)).unwrap_or_default();
+    if ops.is_empty() {
+        return;
+    }
+    w.fanin.envelopes += 1;
+    w.fanin.envelope_ops += ops.len() as u64;
+    w.fanin.max_batch = w.fanin.max_batch.max(ops.len() as u64);
+    if w.fss[fs.0 as usize].core.shards.shards() > 1 {
+        *w.fanin.outstanding.entry((ctx.0, fs.0, shard)).or_insert(0) += 1;
+    }
+    let env = Rc::new(RefCell::new(ops));
+    envelope_attempt(sim, w, ctx, fs, shard, env, 0, None);
+}
+
+/// One envelope of `(ctx, fs, shard)` reached a terminal state (response
+/// accepted or retry budget exhausted). In gated mode this re-arms the
+/// shard's flush — the deliveries running in this same event re-submit
+/// their follow-up ops first, so the armed flush sweeps them all into the
+/// next envelope.
+fn envelope_done(sim: &mut Sim<GfsWorld>, w: &mut GfsWorld, ctx: ClientId, fs: FsId, shard: u32) {
+    if w.fss[fs.0 as usize].core.shards.shards() <= 1 {
+        return;
+    }
+    let o = w
+        .fanin
+        .outstanding
+        .get_mut(&(ctx.0, fs.0, shard))
+        .expect("envelope_done without an outstanding envelope");
+    *o -= 1;
+    if *o == 0 {
+        w.fanin.outstanding.remove(&(ctx.0, fs.0, shard));
+        arm_shard_flush(sim, w, ctx, fs, shard);
+    }
+}
+
+/// Park one writeback-delegated op into the `(ctx, fs)` delegate batch;
+/// the first op of an instant schedules the same-instant flush. The whole
+/// batch charges the delegate's FIFO service queue in one slot
+/// (`manager_op_service` per op, like an envelope at the manager) and
+/// applies at the slot's end: each mutation runs against the shared-disk
+/// core (the lease guarantees exclusivity) and journals its recorded
+/// result for later reconciliation. Two simulator events per batch —
+/// that is the entire cost; no message, no watchdog, no manager.
+fn submit_delegate(sim: &mut Sim<GfsWorld>, w: &mut GfsWorld, ctx: ClientId, fs: FsId, op: BatchOp) {
+    // Counted at park time so a lease break arriving between park and
+    // apply defers (`delegate_inflight > 0`) instead of slipping past a
+    // batch whose journal entries it would strand.
+    w.clients[ctx.0 as usize].delegate_inflight += 1;
+    let key = (ctx.0, fs.0);
+    let q = w.fanin.dpending.entry(key).or_default();
     q.push(op);
     if q.len() == 1 {
         sim.immediately(move |sim, w| {
-            let ops = w.fanin.pending.remove(&key).unwrap_or_default();
+            let ops = w.fanin.dpending.remove(&key).unwrap_or_default();
             if ops.is_empty() {
                 return;
             }
-            w.fanin.envelopes += 1;
-            w.fanin.envelope_ops += ops.len() as u64;
-            w.fanin.max_batch = w.fanin.max_batch.max(ops.len() as u64);
-            let env = Rc::new(RefCell::new(ops));
-            envelope_attempt(sim, w, ctx, fs, shard, env, 0, None);
+            let n = ops.len() as u64;
+            let c = &mut w.clients[ctx.0 as usize];
+            let start = c.delegate_busy_until.max(sim.now());
+            let done = start + w.costs.manager_op_service * n;
+            c.delegate_busy_until = done;
+            sim.at(done, move |sim, w| {
+                for mut op in ops {
+                    let r = (op.run)(sim, w, fs, 0);
+                    let c = &mut w.clients[ctx.0 as usize];
+                    c.delegate_inflight -= 1;
+                    // Journal mutations only while the lease still stands —
+                    // an expulsion mid-batch already discarded the journal,
+                    // and a record with no lease would never reconcile.
+                    if op.mutating && c.leases.contains(&(fs, op.top.clone())) {
+                        c.journal.push(crate::world::JournalEntry {
+                            fs,
+                            top: op.top.clone(),
+                            op_id: op.op_id,
+                            result: r.clone(),
+                        });
+                    }
+                    if let Some(d) = op.deliver.take() {
+                        d(sim, w, Ok(r));
+                    }
+                }
+                // Watermark writeback: once the journal grows past the
+                // high-water mark, replay it now (the entries are already
+                // applied; reconciling early just trickles the bulk
+                // envelopes through the race instead of dumping one giant
+                // replay on the owning shard at surrender time).
+                if w.clients[ctx.0 as usize].journal.len() >= DELEGATE_JOURNAL_WATERMARK {
+                    let mut tops: Vec<Box<str>> = w.clients[ctx.0 as usize]
+                        .journal
+                        .iter()
+                        .filter(|e| e.fs == fs)
+                        .map(|e| e.top.clone())
+                        .collect();
+                    tops.sort_unstable();
+                    tops.dedup();
+                    for top in tops {
+                        reconcile_journal(sim, w, ctx, fs, top, Box::new(|_, _| {}));
+                    }
+                }
+            });
         });
+    }
+}
+
+/// Replay the context's delegate journal for `(fs, top)` to the subtree's
+/// owning manager shard as one bulk envelope, then run `done`. Each
+/// journal entry becomes a result-returning batch op under its original
+/// session op id: the manager records it through the ordinary dedup
+/// table, so a crash mid-reconcile retries the whole envelope and replays
+/// — never re-records — entries the first attempt already landed.
+/// Exactly-once costs nothing new here; it is the same machinery every
+/// envelope mutation already rides.
+pub(crate) fn reconcile_journal(
+    sim: &mut Sim<GfsWorld>,
+    w: &mut GfsWorld,
+    ctx: ClientId,
+    fs: FsId,
+    top: Box<str>,
+    done: Box<dyn FnOnce(&mut Sim<GfsWorld>, &mut GfsWorld)>,
+) {
+    let mut entries: Vec<(u64, Rc<dyn Any>)> = Vec::new();
+    w.clients[ctx.0 as usize].journal.retain(|e| {
+        if e.fs == fs && e.top == top {
+            entries.push((e.op_id, e.result.clone()));
+            false
+        } else {
+            true
+        }
+    });
+    if entries.is_empty() {
+        done(sim, w);
+        return;
+    }
+    // Route by the subtree's *current* owner — a migration between journal
+    // time and reconcile time just redirects the whole envelope.
+    let shard = w.fss[fs.0 as usize].core.shards.shard_of(&top);
+    // Replays are the moment delegated work actually lands on a manager,
+    // so this is where it votes heat (cheap appends — one vote per two
+    // entries keeps the weight roughly proportional to service cost).
+    for _ in 0..entries.len().div_ceil(2) {
+        w.fss[fs.0 as usize].core.shards.note_heat(&top);
+    }
+    let left = Rc::new(std::cell::Cell::new(entries.len()));
+    let done = Rc::new(RefCell::new(Some(done)));
+    for (op_id, result) in entries {
+        let left = left.clone();
+        let done = done.clone();
+        let op = BatchOp {
+            op_id,
+            mutating: true,
+            ack: None,
+            top: top.clone(),
+            peer: None,
+            defers: 0,
+            replay: true,
+            run: Box::new(move |_sim, w, fs, _shard| {
+                // Executed only when the dedup table has no record yet —
+                // the counter is the proof each entry applied exactly once.
+                w.fss[fs.0 as usize].reconcile_ops += 1;
+                result.clone()
+            }),
+            deliver: Some(Box::new(move |sim, w, _r| {
+                left.set(left.get() - 1);
+                if left.get() == 0 {
+                    if let Some(d) = done.borrow_mut().take() {
+                        d(sim, w);
+                    }
+                }
+            })),
+        };
+        submit_batch(sim, w, ctx, fs, shard, op);
     }
 }
 
@@ -879,6 +1200,12 @@ fn submit_batch(
 /// this gives a wedged dependency two full seconds to clear — more than
 /// any modeled recovery, far less than forever.
 const MAX_DEFERS: u32 = 200;
+
+/// Delegate journal high-water mark: a delegate batch whose client journal
+/// reaches this many entries kicks an early reconcile of every journaled
+/// subtree on that filesystem. Keeps surrender/break replay envelopes
+/// bounded and spreads the replay load across the run.
+const DELEGATE_JOURNAL_WATERMARK: usize = 4096;
 
 /// Deferred-op re-poll cadence.
 fn requeue_delay() -> simcore::SimDuration {
@@ -924,6 +1251,10 @@ fn envelope_attempt(
                 RecoveryWhat::TimeoutDetected { client: ctx, server: mgr },
             );
             if attempt >= w.costs.max_retries {
+                // Terminal: the shard's gate slot frees *before* the error
+                // deliveries run, so any ops they re-submit start a fresh
+                // envelope instead of deadlocking on this dead one.
+                envelope_done(sim, w, ctx, fs, shard);
                 let delivers: Vec<_> = env
                     .borrow_mut()
                     .iter_mut()
@@ -960,10 +1291,17 @@ fn envelope_attempt(
         // at the slot's *end*, so cross-envelope op ordering is exactly
         // arrival order — the same interleaving the uncharged model
         // produced, just later on the clock.
-        let n = env2.borrow().len() as u64;
+        let (n_live, n_replay) = {
+            let ops = env2.borrow();
+            let nr = ops.iter().filter(|o| o.replay).count() as u64;
+            (ops.len() as u64 - nr, nr)
+        };
+        let svc = w.costs.manager_op_service * n_live + w.costs.manager_replay_per_op * n_replay;
         let start = w.fss[fs.0 as usize].mgrs[shard as usize].busy_until.max(sim.now());
-        let done = start + w.costs.manager_op_service * n;
-        w.fss[fs.0 as usize].mgrs[shard as usize].busy_until = done;
+        let done = start + svc;
+        let ms = &mut w.fss[fs.0 as usize].mgrs[shard as usize];
+        ms.busy_until = done;
+        ms.service_ns += svc.as_nanos();
         sim.at(done, move |sim, w| {
             // Re-check: the manager may have died while this envelope sat
             // in its queue. The crash wiped the queue; whatever was in it
@@ -1036,15 +1374,20 @@ fn envelope_attempt(
                             w.fss[fs.0 as usize].mgrs[shard as usize].record(op_id, r.clone());
                         }
                         if let Some(b) = peer {
-                            // Two-phase commit record: the peer charges one
-                            // service slot and journals the same result
-                            // under the same op id, so either manager can
-                            // replay the op after a crash.
+                            // Two-phase commit record: the peer journals the
+                            // already-validated result under the same op id,
+                            // so either manager can replay the op after a
+                            // crash. The append is *priority* work — it
+                            // holds the coordinator's locks, so it cuts
+                            // ahead of the peer's ordinary envelope backlog
+                            // (which is pushed back by the same amount)
+                            // rather than waiting out the whole queue; the
+                            // response waits only for the append itself.
+                            let pdone = sim.now() + w.costs.manager_replay_per_op;
                             let inst = &mut w.fss[fs.0 as usize];
                             let pm = &mut inst.mgrs[b as usize];
-                            let pdone =
-                                pm.busy_until.max(sim.now()) + w.costs.manager_op_service;
-                            pm.busy_until = pdone;
+                            pm.busy_until =
+                                pm.busy_until.max(sim.now()) + w.costs.manager_replay_per_op;
                             if mutating {
                                 pm.record(op_id, r.clone());
                             }
@@ -1062,6 +1405,10 @@ fn envelope_attempt(
                     if !sim.cancel_timer(watchdog) {
                         return; // watchdog fired first; the retry owns the envelope
                     }
+                    // Terminal: free the shard's gate slot first, so deliveries
+                    // below park their follow-up ops into the next
+                    // envelope (armed as this one completes).
+                    envelope_done(sim, w, ctx, fs, shard);
                     // This delivery now owns the envelope exclusively:
                     // deferred ops are peeled off and re-queued as fresh
                     // envelopes (same op id — exactly-once holds), the
@@ -1085,6 +1432,7 @@ fn envelope_attempt(
                                     top: op.top.clone(),
                                     peer: op.peer,
                                     defers: op.defers + 1,
+                                    replay: op.replay,
                                     run: std::mem::replace(
                                         &mut op.run,
                                         Box::new(|_, _, _, _| unreachable!("requeued op re-run")),

@@ -120,6 +120,10 @@ pub struct ManagerState {
     /// Volatile — a crash empties the queue (the in-flight envelopes die
     /// with the node and their watchdogs retry against the successor).
     pub busy_until: SimTime,
+    /// Total envelope service time charged to this manager (sum of the
+    /// `busy_until` advances) — utilization telemetry for the storm
+    /// debug output; no behavior reads it.
+    pub service_ns: u64,
 }
 
 impl ManagerState {
@@ -135,6 +139,7 @@ impl ManagerState {
             replayed: 0,
             paths: FxHashMap::default(),
             busy_until: SimTime::from_nanos(0),
+            service_ns: 0,
         }
     }
 
@@ -269,6 +274,17 @@ pub struct FsInstance {
     /// Metadata ops served by a site-local lease delegate instead of a
     /// manager envelope.
     pub delegated_ops: u64,
+    /// Journaled delegate mutations replayed to a manager shard as bulk
+    /// reconcile envelopes on lease surrender/break (counted once per
+    /// journal entry applied at the manager; dedup replays don't recount).
+    pub reconcile_ops: u64,
+    /// A subtree-authority migration is mid-drain (planned, not yet
+    /// committed). Guards the live rebalance policy against double-planning
+    /// while queued envelopes flush.
+    pub migrating: bool,
+    /// Sequence for migration WAL record ids (bit 62 namespace — disjoint
+    /// from both legacy client ids and bit-63 session op ids).
+    pub migration_seq: u64,
     /// The owning (serving) cluster.
     pub owning_cluster: ClusterId,
     /// NSD server nodes; NSD `i` is served by `nsd_servers[i % len]`.
@@ -487,6 +503,28 @@ pub struct Client {
     /// this is nonzero, exactly like token revocations waiting out
     /// [`Client::inflight`].
     pub delegate_inflight: u32,
+    /// Writeback delegate journal: every mutation a leased subtree applied
+    /// locally, in application order, awaiting reconciliation with the
+    /// owning manager shard. Replayed as bulk envelopes (through the
+    /// manager dedup table, so retries stay exactly-once) on lease
+    /// surrender or break; discarded with a journaled
+    /// [`crate::faults::RecoveryWhat::JournalDiscarded`] on expulsion.
+    pub journal: Vec<JournalEntry>,
+}
+
+/// One delegate-journal entry: a mutation applied under a subtree lease,
+/// pending reconciliation with the subtree's manager shard.
+pub struct JournalEntry {
+    /// Filesystem the lease belongs to.
+    pub fs: FsId,
+    /// Leased top-level subtree the mutation ran under.
+    pub top: Box<str>,
+    /// The session-space op id the mutation was applied with — reused by
+    /// the reconcile envelope so the manager dedup table sees retries.
+    pub op_id: u64,
+    /// The recorded result, exactly what an envelope execution would have
+    /// journaled at the manager.
+    pub result: std::rc::Rc<dyn std::any::Any>,
 }
 
 impl Client {
@@ -548,6 +586,12 @@ pub struct ProtocolCosts {
     /// hardware). The legacy per-op RPC path keeps its original costing;
     /// only batched envelopes are charged here.
     pub manager_op_service: SimDuration,
+    /// Gather window for gated (multi-shard) envelope flushes: when a
+    /// shard's gate frees, the next envelope waits this long collecting
+    /// ops before it launches. A pure batching/latency dial — it fattens
+    /// envelopes without changing per-op service cost; single-shard
+    /// fan-in keeps its same-instant flush and never reads this.
+    pub envelope_gather: SimDuration,
     /// How long the owning manager waits for a lease-break ack before
     /// expelling the unresponsive holder: its leases and tokens are
     /// force-released and the blocked remote op proceeds. Generous — a
@@ -570,6 +614,7 @@ impl Default for ProtocolCosts {
             manager_recovery_base: SimDuration::from_millis(250),
             manager_replay_per_op: SimDuration::from_micros(2),
             manager_op_service: SimDuration::from_micros(5),
+            envelope_gather: SimDuration::from_micros(4000),
             lease_break_timeout: SimDuration::from_secs(2),
         }
     }
@@ -918,6 +963,9 @@ impl WorldBuilder {
                     readmissions: 0,
                     cross_shard_ops: 0,
                     delegated_ops: 0,
+                    reconcile_ops: 0,
+                    migrating: false,
+                    migration_seq: 0,
                     owning_cluster: ClusterId(cl as u32),
                     nsd_servers: p.nsd_servers,
                     storage_nodes: p.storage_nodes,
@@ -947,6 +995,7 @@ impl WorldBuilder {
                 leases: std::collections::BTreeSet::new(),
                 delegate_busy_until: SimTime::from_nanos(0),
                 delegate_inflight: 0,
+                journal: Vec::new(),
             })
             .collect();
         let mut sessions = crate::slab::Slab::with_capacity(self.sessions.len());

@@ -1,0 +1,37 @@
+//! Batching probe for the partitioned massive storm: runs
+//! `StormConfig::massive().with_managers(4)` at the given sweep thread
+//! count (default 8) and prints every counter the ci.sh gates read —
+//! envelopes, ops/envelope, delegation, reconciliation, migrations,
+//! fingerprints and the modeled rate. Set `GFS_STORM_DEBUG=1` for
+//! per-shard utilization on stderr.
+use scenarios::metadata_storm::{run_storm_with_threads, StormConfig};
+
+fn main() {
+    let threads: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8);
+    let cfg = StormConfig::massive().with_managers(4);
+    let t0 = std::time::Instant::now();
+    let r = run_storm_with_threads(&cfg, threads as usize);
+    let wall = t0.elapsed().as_secs_f64();
+    println!("threads               {threads}");
+    println!("ops                   {}", r.ops);
+    println!("envelopes             {}", r.envelopes);
+    println!("envelope_ops          {}", r.envelope_ops);
+    println!("ops_per_envelope      {:.2}", r.ops_per_envelope());
+    println!("delegated_ops         {}", r.delegated_ops);
+    println!("reconcile_ops         {}", r.reconcile_ops);
+    println!("lease_acquires        {}", r.lease_acquires);
+    println!("lease_breaks          {}", r.lease_breaks);
+    println!("rebalance_migrations  {}", r.rebalance_migrations);
+    println!("cross_shard_ops       {}", r.cross_shard_ops);
+    println!("gave_up               {}", r.gave_up);
+    println!("errors                {}", r.errors);
+    println!("fingerprint           {}", r.fingerprint);
+    println!("tree_fingerprint      {}", r.tree_fingerprint);
+    println!("events                {}", r.events);
+    println!("sim_ns                {}", r.sim_ns);
+    println!("ops_per_sec(model)    {:.0}", r.ops as f64 / (r.sim_ns as f64 / 1e9));
+    println!("wall_secs             {wall:.2}");
+}

@@ -119,6 +119,14 @@ pub fn world_invariants(sim: &Sim<GfsWorld>, w: &GfsWorld) -> Vec<String> {
             w.fanin.pending_ops()
         ));
     }
+    // Likewise for the writeback path: delegate batches drain within two
+    // events of parking, so none may survive the run.
+    if w.fanin.delegate_pending_ops() != 0 {
+        v.push(format!(
+            "{} delegated op(s) still parked in unflushed writeback batches after drain",
+            w.fanin.delegate_pending_ops()
+        ));
+    }
 
     // No two clients may end up with overlapping write authority, no matter
     // how many acquire retries and revocations raced through the faults.
@@ -162,6 +170,18 @@ pub fn world_invariants(sim: &Sim<GfsWorld>, w: &GfsWorld) -> Vec<String> {
                     "client {} mirrors subtree lease {top:?} on fs {} \
                      that the manager does not grant it",
                     c.id.0, fs.0
+                ));
+            }
+        }
+        // Journal entries are writeback state under a held lease; any entry
+        // for a subtree the client no longer holds is a mutation that was
+        // neither reconciled (surrender/break) nor discarded (expulsion).
+        for e in &c.journal {
+            if !c.leases.contains(&(e.fs, e.top.clone())) {
+                v.push(format!(
+                    "client {} retains a delegate journal entry for {:?} on fs {} \
+                     without holding the subtree lease",
+                    c.id.0, e.top, e.fs.0
                 ));
             }
         }

@@ -68,6 +68,19 @@ pub struct StormConfig {
     /// (deterministic placement, `tXX → XX mod managers`) and unlocks the
     /// cross-shard rename arm of the op mix.
     pub managers: u32,
+    /// Mount contexts (session groups) that acquire a writeback subtree
+    /// lease before racing: group `gi < lease_contexts` leases a private
+    /// top `/wNN`, runs 3/4 of its ops inside it through the local
+    /// delegate journal, and surrenders (reconciling the journal as bulk
+    /// envelopes) when its last chain drains. Effective only with
+    /// `managers > 1` — the single-manager storm stays byte-identical.
+    pub lease_contexts: u32,
+    /// Cadence (ms) of the live rebalance policy: every tick plans the
+    /// next authority migration from accumulated subtree heat, drains both
+    /// managers and commits with WAL records on each. `0` disables; only
+    /// effective with `managers > 1`. The private `/wNN` subtrees all
+    /// start on shard 0, so a leased storm always has migrations to find.
+    pub rebalance_every_ms: u64,
     /// Bytes written by a small-write op.
     pub write_bytes: u64,
     /// Op-selection shape.
@@ -87,6 +100,8 @@ impl Default for StormConfig {
             files_per_sub: 512,
             ops_per_client: 128,
             managers: 1,
+            lease_contexts: 0,
+            rebalance_every_ms: 0,
             write_bytes: 4096,
             mix: StormMix::Uniform,
             seed: 2005,
@@ -107,6 +122,8 @@ impl StormConfig {
             files_per_sub: 32,
             ops_per_client: 24,
             managers: 1,
+            lease_contexts: 0,
+            rebalance_every_ms: 0,
             write_bytes: 4096,
             mix: StormMix::Uniform,
             seed: 2005,
@@ -127,6 +144,12 @@ impl StormConfig {
             files_per_sub: 64,
             ops_per_client: 100,
             managers: 1,
+            // Inert at the default M=1 (`effective_lease_contexts` and the
+            // rebalance tick both gate on `managers > 1`, so the 100k
+            // single-manager storm stays byte-identical); switched on by
+            // `with_managers(4)` in the partitioned bench.
+            lease_contexts: 16,
+            rebalance_every_ms: 100,
             write_bytes: 4096,
             mix: StormMix::Uniform,
             seed: 2005,
@@ -152,6 +175,30 @@ impl StormConfig {
         self
     }
 
+    /// Same config with `n` writeback-leased mount contexts per point.
+    pub fn with_leases(mut self, n: u32) -> Self {
+        self.lease_contexts = n;
+        self
+    }
+
+    /// Same config with the live rebalance policy ticking every `ms`.
+    pub fn with_rebalance_every(mut self, ms: u64) -> Self {
+        self.rebalance_every_ms = ms;
+        self
+    }
+
+    /// Lease contexts actually in effect: clamped to the context count and
+    /// zero unless the namespace is partitioned (the delegate/reconcile
+    /// machinery is a partition-era feature; M=1 storms must stay
+    /// byte-identical to their pins).
+    pub fn effective_lease_contexts(&self) -> u32 {
+        if self.managers > 1 {
+            self.lease_contexts.min(self.clients_per_point)
+        } else {
+            0
+        }
+    }
+
     /// Total mount contexts across all points.
     pub fn total_clients(&self) -> u64 {
         u64::from(self.points) * u64::from(self.clients_per_point)
@@ -167,8 +214,10 @@ impl StormConfig {
     /// the per-point op counter, which starts at this value when the race
     /// begins.
     pub fn tree_ops(&self) -> u64 {
-        u64::from(self.top_dirs)
-            * (1 + u64::from(self.sub_dirs) * (1 + u64::from(self.files_per_sub)))
+        // Leased contexts each get a private `/wNN` subtree of the same
+        // shape as a `/tNN`, generated in the same phase.
+        let tops = u64::from(self.top_dirs) + u64::from(self.effective_lease_contexts());
+        tops * (1 + u64::from(self.sub_dirs) * (1 + u64::from(self.files_per_sub)))
     }
 
     /// Race operations per point (phase 2), assuming every chain drains.
@@ -273,6 +322,18 @@ pub struct StormReport {
     /// Metadata ops absorbed by client-side subtree-lease delegates
     /// without touching a manager queue, summed over points.
     pub delegated_ops: u64,
+    /// Subtree leases granted, summed over points.
+    pub lease_acquires: u64,
+    /// Lease breaks initiated (conflicting op forced a reconcile), summed
+    /// over points.
+    pub lease_breaks: u64,
+    /// Writeback-journal entries applied at a manager during lease
+    /// surrender/break reconciliation (each counted once — dedup replays
+    /// of a retried reconcile envelope don't recount), summed over points.
+    pub reconcile_ops: u64,
+    /// Live subtree-authority migrations committed by the in-storm
+    /// rebalance policy, summed over points.
+    pub rebalance_migrations: u64,
     /// Structural fingerprint of every point's final namespace (name-sorted
     /// recursive walk; timestamps excluded), merged in point order. The
     /// exactly-once witness: a crash-recovered run must match its
@@ -310,6 +371,16 @@ impl StormReport {
         self.ops as f64 * 1e9 / self.sim_ns as f64
     }
 
+    /// Mean ops per fan-in envelope — the batching-efficiency headline.
+    /// 0.0 on a legacy storm that sent no envelopes at all.
+    pub fn ops_per_envelope(&self) -> f64 {
+        if self.envelopes == 0 {
+            0.0
+        } else {
+            self.envelope_ops as f64 / self.envelopes as f64
+        }
+    }
+
     /// Dentry hit rate in `[0, 1]`.
     pub fn dentry_hit_rate(&self) -> f64 {
         let probes = self.dentry_hits + self.dentry_misses;
@@ -344,6 +415,10 @@ struct PointSummary {
     err_races: u64,
     cross_shard_ops: u64,
     delegated_ops: u64,
+    lease_acquires: u64,
+    lease_breaks: u64,
+    reconcile_ops: u64,
+    rebalance_migrations: u64,
     tree_fingerprint: u64,
     invariant_violations: u64,
     sessions: u64,
@@ -389,6 +464,11 @@ struct Tally {
     err_not_found: Cell<u64>,
     err_exists: Cell<u64>,
     err_races: Cell<u64>,
+    /// Instant the last piece of race work completed (chain drain or lease
+    /// surrender): the honest end of the race, excluding bookkeeping events
+    /// like the periodic rebalance tick that can fire after all chains are
+    /// done and would otherwise inflate the measured duration.
+    race_end: Cell<SimTime>,
 }
 
 impl Tally {
@@ -474,6 +554,10 @@ pub fn run_chaos_storm_with_threads(
         err_races: 0,
         cross_shard_ops: 0,
         delegated_ops: 0,
+        lease_acquires: 0,
+        lease_breaks: 0,
+        reconcile_ops: 0,
+        rebalance_migrations: 0,
         tree_fingerprint: 0,
         invariant_violations: 0,
         sessions: 0,
@@ -505,6 +589,10 @@ pub fn run_chaos_storm_with_threads(
         r.err_races += s.err_races;
         r.cross_shard_ops += s.cross_shard_ops;
         r.delegated_ops += s.delegated_ops;
+        r.lease_acquires += s.lease_acquires;
+        r.lease_breaks += s.lease_breaks;
+        r.reconcile_ops += s.reconcile_ops;
+        r.rebalance_migrations += s.rebalance_migrations;
         r.tree_fingerprint = mix(r.tree_fingerprint, s.tree_fingerprint);
         r.invariant_violations += s.invariant_violations;
         r.sessions += s.sessions;
@@ -573,6 +661,7 @@ fn run_point(cfg: &StormConfig, chaos: &ChaosSpec, point: u32) -> PointSummary {
         err_not_found: Cell::new(0),
         err_exists: Cell::new(0),
         err_races: Cell::new(0),
+        race_end: Cell::new(SimTime::ZERO),
     });
     let injector = (!chaos.progress.is_empty())
         .then(|| Rc::new(RefCell::new(ProgressInjector::new(&chaos.progress))));
@@ -590,8 +679,7 @@ fn run_point(cfg: &StormConfig, chaos: &ChaosSpec, point: u32) -> PointSummary {
             }
         }
         let owner = Owner::local(0, 0);
-        for t in 0..cfg.top_dirs {
-            let top = format!("/t{t:02}");
+        let gen_top = |core: &mut gfs::FsCore, top: String| {
             core.mkdir(&top, owner.clone(), 0).expect("mkdir top");
             tally.op_result(20, None);
             for s in 0..cfg.sub_dirs {
@@ -604,6 +692,16 @@ fn run_point(cfg: &StormConfig, chaos: &ChaosSpec, point: u32) -> PointSummary {
                     tally.op_result(22, None);
                 }
             }
+        };
+        for t in 0..cfg.top_dirs {
+            gen_top(core, format!("/t{t:02}"));
+        }
+        // Private writeback subtrees, one per leased context — all pinned
+        // to shard 0, a deliberate hotspot the live rebalance policy gets
+        // to discover and migrate mid-storm.
+        for i in 0..cfg.effective_lease_contexts() {
+            core.shards.assign(format!("w{i:02}"), 0);
+            gen_top(core, format!("/w{i:02}"));
         }
     }
 
@@ -622,6 +720,7 @@ fn run_point(cfg: &StormConfig, chaos: &ChaosSpec, point: u32) -> PointSummary {
             inj.borrow_mut().advance(sim, w, tally.ops.get());
         }
         let spc = cfg.sessions_per_client.max(1) as usize;
+        let lease_n = cfg.effective_lease_contexts() as usize;
         for (gi, group) in sessions.chunks(spc).enumerate() {
             let group = group.to_vec();
             let tally = tally.clone();
@@ -629,24 +728,56 @@ fn run_point(cfg: &StormConfig, chaos: &ChaosSpec, point: u32) -> PointSummary {
             let inj = injector.clone();
             group[0].mount(sim, w, "meta", AccessMode::ReadWrite, move |sim, w, r| {
                 r.expect("storm mount");
-                for (j, &sess) in group.iter().enumerate() {
-                    if j > 0 {
-                        sess.bind_device(w, "meta");
+                let g0 = group[0];
+                let glen = group.len() as u32;
+                let launch = move |sim: &mut Sim<GfsWorld>,
+                                   w: &mut GfsWorld,
+                                   lease: Option<Rc<LeaseGroup>>| {
+                    for (j, &sess) in group.iter().enumerate() {
+                        if j > 0 {
+                            sess.bind_device(w, "meta");
+                        }
+                        let si = gi * spc + j;
+                        let rng = det_rng(point_seed, &format!("storm-client-{si}"));
+                        next_op(
+                            sim,
+                            w,
+                            sess,
+                            rng,
+                            cfg.ops_per_client,
+                            cfg,
+                            tally.clone(),
+                            inj.clone(),
+                            lease.clone(),
+                        );
                     }
-                    let si = gi * spc + j;
-                    let rng = det_rng(point_seed, &format!("storm-client-{si}"));
-                    next_op(
-                        sim,
-                        w,
-                        sess,
-                        rng,
-                        cfg.ops_per_client,
-                        cfg,
-                        tally.clone(),
-                        inj.clone(),
-                    );
+                };
+                if gi < lease_n {
+                    // Writeback-leased group: take the lease on the private
+                    // subtree first, then launch every chain — the group
+                    // surrenders (reconciling its journal) when the last
+                    // chain drains.
+                    let top = format!("/w{gi:02}");
+                    let lease = Rc::new(LeaseGroup {
+                        wi: gi as u32,
+                        top: top.clone(),
+                        sess: g0,
+                        left: Cell::new(glen),
+                    });
+                    g0.acquire_lease(sim, w, &top, move |sim, w, r| {
+                        r.expect("storm lease acquire");
+                        launch(sim, w, Some(lease));
+                    });
+                } else {
+                    launch(sim, w, None);
                 }
             });
+        }
+        // The live rebalance policy: a deterministic in-sim tick, so both
+        // the migrations and everything they shift stay bit-identical
+        // across thread counts.
+        if cfg.managers > 1 && cfg.rebalance_every_ms > 0 {
+            schedule_rebalance(sim, fs, *cfg, tally.clone());
         }
         sim.run(w);
     }
@@ -656,6 +787,32 @@ fn run_point(cfg: &StormConfig, chaos: &ChaosSpec, point: u32) -> PointSummary {
         "storm point {point}: some session chains did not drain"
     );
 
+    if std::env::var_os("GFS_STORM_DEBUG").is_some() {
+        let w = &run.world;
+        let inst = &w.fss[fs.0 as usize];
+        let busy: Vec<f64> = inst
+            .mgrs
+            .iter()
+            .map(|m| m.busy_until.since(SimTime::ZERO).as_nanos() as f64 / 1e6)
+            .collect();
+        let svc: Vec<f64> = inst
+            .mgrs
+            .iter()
+            .map(|m| m.service_ns as f64 / 1e6)
+            .collect();
+        eprintln!("point {point}: shard_service(ms)={svc:?}");
+        let dlg: Vec<f64> = w
+            .clients
+            .iter()
+            .filter(|c| c.delegate_busy_until > SimTime::ZERO)
+            .map(|c| c.delegate_busy_until.since(SimTime::ZERO).as_nanos() as f64 / 1e6)
+            .collect();
+        eprintln!(
+            "point {point}: race_end={:.1}ms shard_busy_until(ms)={busy:?} delegate_busy(ms)={dlg:?} migrations={}",
+            tally.race_end.get().max(race_start).since(race_start).as_nanos() as f64 / 1e6,
+            inst.core.shards.migrations(),
+        );
+    }
     let dentry_hits = run.world.clients.iter().map(|c| c.dentry.hits).sum();
     let dentry_misses = run.world.clients.iter().map(|c| c.dentry.misses).sum();
     let w = &run.world;
@@ -703,13 +860,61 @@ fn run_point(cfg: &StormConfig, chaos: &ChaosSpec, point: u32) -> PointSummary {
         err_races: tally.err_races.get(),
         cross_shard_ops: w.fss.iter().map(|i| i.cross_shard_ops).sum(),
         delegated_ops: w.fss.iter().map(|i| i.delegated_ops).sum(),
+        lease_acquires: w.fss.iter().map(|i| i.lease_grants).sum(),
+        lease_breaks: w.fss.iter().map(|i| i.lease_breaks).sum(),
+        reconcile_ops: w.fss.iter().map(|i| i.reconcile_ops).sum(),
+        rebalance_migrations: w.fss.iter().map(|i| i.core.shards.migrations()).sum(),
         tree_fingerprint: core.tree_fingerprint(),
         invariant_violations: violations.len() as u64,
         sessions: w.sessions.len() as u64,
         envelopes: w.fanin.envelopes,
         envelope_ops: w.fanin.envelope_ops,
-        sim_ns: run.sim.now().since(race_start).as_nanos(),
+        sim_ns: tally
+            .race_end
+            .get()
+            .max(race_start)
+            .since(race_start)
+            .as_nanos(),
     }
+}
+
+/// A writeback-leased session group: the first session of the group holds
+/// the subtree lease on `/w{wi:02}` while every chain in the group runs;
+/// the last chain to drain surrenders it, replaying the delegate journal
+/// back to the manager as bulk reconcile envelopes.
+struct LeaseGroup {
+    /// Index of the group's private subtree (`/w{wi:02}`).
+    wi: u32,
+    /// Absolute path of the leased top directory.
+    top: String,
+    /// The lease-holding session (first of the group).
+    sess: Session,
+    /// Chains still running; surrender fires when this hits zero.
+    left: Cell<u32>,
+}
+
+/// Periodic in-storm rebalance tick: consult the shard map's heat counters
+/// and migrate at most one subtree per tick. The tick is an ordinary sim
+/// event, so the migrations — and everything they shift — are part of the
+/// deterministic event stream. Stops rescheduling once every chain has
+/// drained so the point's horizon isn't held open.
+fn schedule_rebalance(
+    sim: &mut Sim<GfsWorld>,
+    fs: gfs::types::FsId,
+    cfg: StormConfig,
+    tally: Rc<Tally>,
+) {
+    let total = cfg.clients_per_point * cfg.sessions_per_client.max(1);
+    sim.after(
+        SimDuration::from_millis(cfg.rebalance_every_ms),
+        move |sim, w| {
+            if tally.finished_clients.get() >= total {
+                return;
+            }
+            gfs::client::maybe_rebalance(sim, w, fs);
+            schedule_rebalance(sim, fs, cfg, tally);
+        },
+    );
 }
 
 /// One step of a session's op chain; schedules the next step from its own
@@ -728,12 +933,26 @@ fn next_op(
     cfg: StormConfig,
     tally: Rc<Tally>,
     inj: Option<Rc<RefCell<ProgressInjector>>>,
+    lease: Option<Rc<LeaseGroup>>,
 ) {
     if let Some(inj) = &inj {
         inj.borrow_mut().advance(sim, w, tally.ops.get());
     }
     if remaining == 0 {
         tally.finished_clients.set(tally.finished_clients.get() + 1);
+        tally.race_end.set(sim.now());
+        if let Some(g) = lease {
+            // Last chain in a leased group drains: surrender the subtree
+            // lease, which replays the writeback journal to the manager
+            // as bulk reconcile envelopes.
+            g.left.set(g.left.get() - 1);
+            if g.left.get() == 0 {
+                g.sess.surrender_lease(sim, w, &g.top, move |sim, _w, r| {
+                    r.expect("storm lease surrender");
+                    tally.race_end.set(sim.now());
+                });
+            }
+        }
         return;
     }
     let c = sess.ctx(w);
@@ -781,10 +1000,18 @@ fn next_op(
             }
         }
     };
-    let file_path = format!("/t{t:02}/s{s:02}/f{f:04}");
-    let dir_path = format!("/t{t:02}/s{s:02}");
+    // Leased chains bias 3:1 toward their private writeback subtree, so
+    // most of their traffic rides the delegate journal (zero manager
+    // events); the rest keeps hammering the shared tree. Unleased chains
+    // never draw here, keeping their rng stream byte-identical to PR 7.
+    let top_str = match &lease {
+        Some(g) if rng.gen::<u32>() % 4 != 0 => format!("w{:02}", g.wi),
+        _ => format!("t{t:02}"),
+    };
+    let file_path = format!("/{top_str}/s{s:02}/f{f:04}");
+    let dir_path = format!("/{top_str}/s{s:02}");
     let cont = move |sim: &mut Sim<GfsWorld>, w: &mut GfsWorld, rng: StdRng, tally: Rc<Tally>| {
-        next_op(sim, w, sess, rng, remaining - 1, cfg, tally, inj);
+        next_op(sim, w, sess, rng, remaining - 1, cfg, tally, inj, lease);
     };
     match sel {
         // stat — the resolve-heavy staple.
@@ -1040,11 +1267,64 @@ mod tests {
     }
 
     #[test]
+    fn delegated_storm_reconciles_and_rebalances_live() {
+        // Leased contexts queue mutations in local delegate journals and
+        // reconcile them as bulk replay envelopes; the in-storm rebalance
+        // policy migrates hot subtrees while the race is still running.
+        // Every chain must still drain exactly once and the tree must fsck.
+        let cfg = StormConfig::small()
+            .with_sessions_per_client(25)
+            .with_managers(4)
+            .with_leases(2)
+            .with_rebalance_every(2);
+        let r = run_storm(&cfg);
+        assert_eq!(
+            r.ops,
+            u64::from(cfg.points) * cfg.tree_ops() + u64::from(cfg.points) * cfg.race_ops(),
+            "every chain must drain exactly once under delegation"
+        );
+        assert!(r.fsck_clean, "delegated storm left an inconsistent fs");
+        assert_eq!(r.gave_up, 0);
+        assert_eq!(r.invariant_violations, 0);
+        assert!(r.delegated_ops > 0, "leased contexts must take the writeback path");
+        assert!(
+            r.reconcile_ops > 0,
+            "surrender must replay journaled mutations through the manager"
+        );
+        assert_eq!(
+            r.lease_acquires,
+            u64::from(cfg.points) * u64::from(cfg.effective_lease_contexts()),
+            "one subtree lease per leased context"
+        );
+        assert!(
+            r.rebalance_migrations >= 1,
+            "the in-storm policy must migrate at least one hot subtree"
+        );
+    }
+
+    #[test]
+    fn delegated_storm_is_bit_identical_across_sweep_thread_counts() {
+        let cfg = StormConfig::small()
+            .with_sessions_per_client(25)
+            .with_managers(4)
+            .with_leases(2)
+            .with_rebalance_every(2);
+        let serial = run_storm_with_threads(&cfg, 1);
+        let parallel = run_storm_with_threads(&cfg, 8);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
     fn partitioned_storm_beats_single_manager_throughput() {
         // The whole point of the shards: the same op load drains in less
         // simulated time because four manager queues serve it. Modeled
-        // throughput must scale, not just stay level.
-        let base = StormConfig::small().with_sessions_per_client(25);
+        // throughput must scale, not just stay level. The comparison only
+        // means anything when the manager is the bottleneck: the sharded
+        // side batches behind a fixed gather window, so a lightly-loaded
+        // storm is latency-bound and would measure the window, not the
+        // queues. 400 sessions per context (the massive-storm shape) keeps
+        // every manager saturated on both sides of the comparison.
+        let base = StormConfig::small().with_sessions_per_client(400);
         let single = run_storm(&base);
         let sharded = run_storm(&base.with_managers(4));
         assert!(

@@ -124,14 +124,18 @@ fn main() {
 
     // ------------------------------------------------------------------
     // 4. The same machinery at scale: a mini version of the 100k-session
-    //    storm (2 points × 8 contexts × 50 sessions racing 20 ops each).
-    //    The reported rate is modeled cluster throughput — ops over the
-    //    slowest point's simulated duration — identical on any machine.
+    //    storm (2 points × 8 contexts × 400 sessions racing 20 ops each;
+    //    the full 400-session context depth matters — the partitioned
+    //    path batches behind a gather window, so a thin context would be
+    //    window-bound instead of manager-bound and step 5's comparison
+    //    would measure latency, not queue capacity). The reported rate is
+    //    modeled cluster throughput — ops over the slowest point's
+    //    simulated duration — identical on any machine.
     // ------------------------------------------------------------------
     let cfg = StormConfig {
         points: 2,
         clients_per_point: 8,
-        sessions_per_client: 50,
+        sessions_per_client: 400,
         ops_per_client: 20,
         ..StormConfig::massive()
     };
@@ -170,8 +174,21 @@ fn main() {
         pr.cross_shard_ops,
         pr.fsck_clean
     );
+    println!(
+        "  {} envelopes ({:.1} ops each), {} ops writeback-delegated, \
+         {} reconciled as bulk replays, {} live rebalance migrations",
+        pr.envelopes,
+        pr.envelope_ops as f64 / pr.envelopes as f64,
+        pr.delegated_ops,
+        pr.reconcile_ops,
+        pr.rebalance_migrations
+    );
     assert!(pr.fsck_clean, "partitioned storm must leave a consistent namespace");
     assert!(pr.cross_shard_ops > 0, "rename mix must cross shard boundaries");
+    assert!(
+        pr.delegated_ops > 0 && pr.reconcile_ops > 0,
+        "leased contexts must journal locally and reconcile in bulk"
+    );
     assert!(
         pr.sim_ops_per_sec() > r.sim_ops_per_sec(),
         "partitioning the manager must lift the modeled rate"

@@ -807,6 +807,179 @@ fn subtree_lease_lifecycle_break_expel_readmit() {
     assert_eq!(sim.pending(), 0, "events left after the run drained");
 }
 
+/// Writeback reconciliation is exactly-once across a manager crash. The
+/// surrender's bulk replay envelope is applied and WAL-logged at the
+/// manager, but the reply starves (the watchdog fires first); before the
+/// retry lands, the manager crashes — wiping the volatile dedup table.
+/// The retry must replay every journaled op from the WAL-rebuilt table
+/// rather than re-running it, and the final tree must match a fault-free
+/// twin bit for bit.
+#[test]
+fn reconcile_replay_is_exactly_once_across_manager_crash() {
+    use globalfs::gfs::{apply_fault, FaultKind};
+
+    // Returns (tree_fingerprint, reconcile_ops, envelope retries, WAL
+    // entries replayed by recovery).
+    fn run(faulty: bool) -> (u64, u64, u64, u64) {
+        let mut b = WorldBuilder::new(57);
+        b.key_bits(384);
+        let sw = b.topo().node("sw");
+        let s1 = b.topo().node("nsd-1");
+        let s2 = b.topo().node("nsd-2");
+        let ca = b.topo().node("client-a");
+        for (n, name) in [(s1, "l1"), (s2, "l2"), (ca, "la")] {
+            b.topo()
+                .duplex_link(n, sw, Bandwidth::gbit(1.0), SimDuration::from_micros(100), name);
+        }
+        let c = b.cluster("ha");
+        let fs = b.filesystem(
+            c,
+            FsParams {
+                config: FsConfig {
+                    name: "hafs".into(),
+                    block_size: 64 * 1024,
+                    nsd_blocks: 4096,
+                    nsd_count: 8,
+                    data_mode: DataMode::Stored,
+                },
+                manager: s1,
+                managers: 2,
+                nsd_servers: vec![s1, s2],
+                storage_nodes: vec![],
+                backing: vec![NsdBacking::Ideal {
+                    rate: Bandwidth::mbyte(400.0).bytes_per_sec(),
+                    latency: SimDuration::from_micros(200),
+                }],
+                exported: false,
+            },
+        );
+        let a = b.client(c, ca, 256);
+        let (mut sim, mut w) = b.build();
+        w.clients[a.0 as usize].fan_in = true;
+        let sa = w.open_session(a);
+        w.fss[fs.0 as usize]
+            .core
+            .mkdir("/proj", Owner::local(1, 1), 0)
+            .unwrap();
+
+        let done = Rc::new(Cell::new(false));
+        {
+            let done = done.clone();
+            sa.mount(
+                &mut sim,
+                &mut w,
+                "hafs",
+                gfs_auth::handshake::AccessMode::ReadWrite,
+                move |sim, w, r| {
+                    r.unwrap();
+                    sa.acquire_lease(sim, w, "/proj", move |sim, w, r| {
+                        r.unwrap();
+                        // Six mutations journal at the delegate with zero
+                        // manager events.
+                        let left = Rc::new(Cell::new(6u32));
+                        for i in 0..6 {
+                            let left = left.clone();
+                            let done = done.clone();
+                            sa.mkdir(
+                                sim,
+                                w,
+                                &format!("/proj/d{i}"),
+                                Owner::local(1, 1),
+                                move |sim, w, r| {
+                                    r.unwrap();
+                                    left.set(left.get() - 1);
+                                    if left.get() > 0 {
+                                        return;
+                                    }
+                                    assert_eq!(
+                                        w.clients[0].journal.len(),
+                                        6,
+                                        "all six mutations must be journaled before surrender"
+                                    );
+                                    // Starve the reconcile envelope's first
+                                    // attempt: its watchdog fires before the
+                                    // ~400µs round trip completes.
+                                    if faulty {
+                                        w.costs.request_timeout = SimDuration::from_micros(1);
+                                    }
+                                    let done = done.clone();
+                                    sa.surrender_lease(sim, w, "/proj", move |_s, _w, r| {
+                                        r.expect("surrender must survive the crash");
+                                        done.set(true);
+                                    });
+                                    if faulty {
+                                        // Heal the timeout before the ≥50ms
+                                        // retry backoff expires...
+                                        sim.after(SimDuration::from_millis(10), |_s, w| {
+                                            w.costs.request_timeout =
+                                                SimDuration::from_millis(1500);
+                                        });
+                                        // ...then crash the manager that
+                                        // owns /proj, wiping its volatile
+                                        // dedup table. The WAL survives;
+                                        // recovery replays it.
+                                        sim.after(SimDuration::from_millis(20), move |sim, w| {
+                                            let inst = &w.fss[fs.0 as usize];
+                                            let shard = inst.core.shards.shard_of("/proj");
+                                            let node = inst.mgrs[shard as usize].acting;
+                                            let server =
+                                                if node == s1 { "nsd-1" } else { "nsd-2" };
+                                            apply_fault(
+                                                sim,
+                                                w,
+                                                FaultKind::ServerCrash {
+                                                    fs,
+                                                    server: server.into(),
+                                                },
+                                            );
+                                        });
+                                    }
+                                },
+                            );
+                        }
+                    });
+                },
+            );
+        }
+        sim.run(&mut w);
+        assert!(done.get(), "surrender never completed (faulty={faulty})");
+        assert_eq!(sim.pending(), 0, "events left after the run drained");
+        let inst = &w.fss[fs.0 as usize];
+        assert!(
+            w.clients[a.0 as usize].journal.is_empty(),
+            "reconcile must drain the delegate journal"
+        );
+        assert!(
+            w.clients[a.0 as usize].leases.is_empty(),
+            "surrender must clear the lease mirror"
+        );
+        let replayed = inst.mgrs.iter().map(|m| m.replayed).sum();
+        (
+            inst.core.tree_fingerprint(),
+            inst.reconcile_ops,
+            w.fanin.retries,
+            replayed,
+        )
+    }
+
+    let (oracle_fp, oracle_rec, _, _) = run(false);
+    let (fp, rec, retries, replayed) = run(true);
+    assert_eq!(oracle_rec, 6, "fault-free twin replays each journaled op once");
+    assert_eq!(
+        rec, 6,
+        "each journaled op must execute exactly once across the crash-retry"
+    );
+    assert!(retries >= 1, "the starved reply must force an envelope retry");
+    assert!(
+        replayed >= 6,
+        "recovery must rebuild the dedup table from the WAL ({replayed} replayed)"
+    );
+    assert_eq!(
+        fp, oracle_fp,
+        "crash-retry tree must match the fault-free twin"
+    );
+}
+
 /// Progress-keyed fault boundaries: an event at op 0 fires before the race
 /// begins (during the pre-mount advance), an event at the very last op
 /// fires from the final chain step — each applied exactly once per point,

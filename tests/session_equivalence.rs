@@ -51,6 +51,8 @@ fn thirty_two_client_storm_matches_presession_baseline() {
         write_bytes: 4096,
         mix: StormMix::Uniform,
         seed: 2005,
+        lease_contexts: 0,
+        rebalance_every_ms: 0,
     };
     let r = run_storm(&cfg);
     assert_eq!(r.ops, 1300);
