@@ -52,6 +52,10 @@ floors = {
     # per op); the wall gate below is the real regression fence for it.
     'storm partitioned': 6000,
     'chaos storm smoke': 8000,
+    # The campaign entry times a parallel + a serial sweep in one wall
+    # figure and its event count is small (long flows, few events), so
+    # its events/sec sits near ~500; the floor only catches a collapse.
+    'replication campaign': 50,
     'resolve microbench': 100000,
 }
 by_prefix = {p: s for s in doc['scenarios'] for p in floors if s['name'].startswith(p)}
@@ -172,6 +176,38 @@ if chaos['chaos_timeouts'] == 0 or chaos['chaos_wal_replayed'] == 0:
     failed = True
 if chaos['chaos_crash_ops_per_sec'] < 10_000 or chaos['chaos_flap_ops_per_sec'] < 10_000:
     print("perf smoke: faulted storm throughput collapsed", file=sys.stderr)
+    failed = True
+
+# Replication campaign: the PR-9 claim is a replica-aware global data
+# path. Hot-set reads against 3-site replicas must run >= 2x the
+# single-home rate measured in the same simulated run; no read may ever
+# be served from an invalidated copy (stale_reads == 0 is the coherence
+# tripwire — the catalog records any such serve permanently); the
+# write-invalidate path, the nearest-replica scheduler, the split
+# fan-out, and the disk->tape migration tier must all have actually
+# fired, or the campaign is silently not exercising the subsystem.
+rep = by_prefix['replication campaign']['metadata']
+print(f"replication campaign: speedup {rep['replica_read_speedup']:.2f}x "
+      f"(home {rep['replica_home_rate_mb_s']:.0f} MB/s -> replica {rep['replica_rate_mb_s']:.0f} MB/s; floor 2x), "
+      f"{rep['replica_campaign_tb']:.1f} TB fanned out, "
+      f"installs {rep['replica_installs']:.0f}, invalidations {rep['replica_invalidations']:.0f}, "
+      f"remote picks {rep['replica_remote_picks']:.0f}, splits {rep['replica_split_fanouts']:.0f}, "
+      f"stale reads {rep['replica_stale_reads']:.0f}, stale fallbacks {rep['replica_stale_fallbacks']:.0f}, "
+      f"migrated {rep['replica_migrated_bytes']/1e12:.1f} TB to tape")
+if rep['replica_read_speedup'] < 2.0:
+    print(f"perf smoke: replica read speedup fell under 2x ({rep['replica_read_speedup']:.2f})", file=sys.stderr)
+    failed = True
+if rep['replica_stale_reads'] != 0:
+    print(f"perf smoke: a read was served from an invalidated replica ({rep['replica_stale_reads']:.0f})", file=sys.stderr)
+    failed = True
+if rep['replica_installs'] <= 0 or rep['replica_invalidations'] <= 0:
+    print("perf smoke: the campaign never installed or invalidated a replica copy", file=sys.stderr)
+    failed = True
+if rep['replica_remote_picks'] <= 0 or rep['replica_split_fanouts'] <= 0:
+    print("perf smoke: the replica scheduler never picked a remote source or split a run", file=sys.stderr)
+    failed = True
+if rep['replica_migrated_bytes'] <= 0:
+    print("perf smoke: the cold tier never migrated campaign bytes to tape", file=sys.stderr)
     failed = True
 if failed:
     sys.exit(1)

@@ -555,6 +555,79 @@ fn run_resolve_microbench_entry() -> Entry {
     }
 }
 
+/// The worldwide replication campaign: a multi-TB NVO catalog fans out to
+/// three remote sites over GridFTP while two read cohorts measure the same
+/// hot set single-homed and replicated, a write invalidates every copy
+/// mid-campaign, and arriving bulk replicas migrate disk -> tape through
+/// the cold tier. Gates: replicated reads >= 2x the single-home rate in
+/// the same run, zero stale replica serves, migration exercised, clean
+/// fsck + world invariants, and a bit-identical report at 1 vs N sweep
+/// threads.
+fn run_replication_entry() -> Entry {
+    use scenarios::replication::{run_campaign, run_campaign_with_threads, ReplicationConfig};
+
+    let cfg = ReplicationConfig::default();
+    let (parallel, parallel_wall) = time_scenario(|| run_campaign(&cfg));
+    let (serial, serial_wall) = time_scenario(|| run_campaign_with_threads(&cfg, 1));
+    let bit_identical = serial == parallel;
+    if !bit_identical {
+        eprintln!("replication: serial/parallel campaign reports diverge");
+    }
+
+    let sum = |f: fn(&scenarios::replication::CampaignReport) -> u64| -> u64 {
+        parallel.iter().map(f).sum()
+    };
+    let min_speedup = parallel
+        .iter()
+        .map(|r| r.speedup())
+        .fold(f64::INFINITY, f64::min);
+    let mean_home_rate =
+        parallel.iter().map(|r| r.home_rate()).sum::<f64>() / parallel.len().max(1) as f64;
+    let mean_replica_rate =
+        parallel.iter().map(|r| r.replica_rate()).sum::<f64>() / parallel.len().max(1) as f64;
+    let mean_pick_ms =
+        parallel.iter().map(|r| r.mean_pick_ms()).sum::<f64>() / parallel.len().max(1) as f64;
+    let campaign_tb = sum(|r| r.campaign_bytes) as f64 / 1e12;
+    let clean = parallel.iter().all(|r| r.is_clean());
+    let data_path = parallel
+        .iter()
+        .fold(DataPathStats::default(), |acc, r| acc.merged(&r.data_path));
+
+    let as_num = |b: bool| if b { 1.0 } else { 0.0 };
+    Entry {
+        name: "replication campaign (3 sites, hot set + bulk tier)",
+        wall_seconds: parallel_wall + serial_wall,
+        events: sum(|r| r.events),
+        checks: vec![
+            ("replica read speedup >= 2x", 1.0, as_num(min_speedup >= 2.0), 0.0),
+            ("zero stale replica serves", 1.0, as_num(sum(|r| r.stale_reads) == 0), 0.0),
+            ("tier migration exercised", 1.0, as_num(sum(|r| r.migrated_bytes) > 0), 0.0),
+            ("fsck + invariants clean", 1.0, as_num(clean), 0.0),
+            ("1-thread == n-thread", 1.0, as_num(bit_identical), 0.0),
+        ],
+        data_path,
+        extra: vec![
+            ("replica_read_speedup", min_speedup),
+            ("replica_home_rate_mb_s", mean_home_rate / 1e6),
+            ("replica_rate_mb_s", mean_replica_rate / 1e6),
+            ("replica_campaign_tb", campaign_tb),
+            ("replica_installs", sum(|r| r.installs) as f64),
+            ("replica_invalidations", sum(|r| r.invalidations) as f64),
+            ("replica_stale_reads", sum(|r| r.stale_reads) as f64),
+            ("replica_stale_fallbacks", sum(|r| r.stale_fallbacks) as f64),
+            ("replica_migrated_bytes", sum(|r| r.migrated_bytes) as f64),
+            ("replica_replicated_bytes", sum(|r| r.replicated_bytes) as f64),
+            ("replica_split_fanouts", sum(|r| r.split_fanouts) as f64),
+            ("replica_remote_picks", sum(|r| r.remote_picks) as f64),
+            ("replica_home_picks", sum(|r| r.home_picks) as f64),
+            ("replica_catalog_hits", sum(|r| r.catalog_hits) as f64),
+            ("replica_catalog_misses", sum(|r| r.catalog_misses) as f64),
+            ("replica_current_copies", sum(|r| r.current_copies) as f64),
+            ("replica_mean_pick_ms", mean_pick_ms),
+        ],
+    }
+}
+
 /// Minimal JSON string escape — names here are ASCII identifiers, but stay
 /// correct if one ever grows a quote.
 fn json_str(s: &str) -> String {
@@ -656,6 +729,7 @@ fn main() {
         storm_100k,
         run_storm_partitioned_entry(single_rate),
         run_chaos_entry(),
+        run_replication_entry(),
         run_resolve_microbench_entry(),
     ];
 

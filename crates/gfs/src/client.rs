@@ -18,13 +18,14 @@
 
 use crate::cache::{DirtyPage, PageKey, PrefetchState};
 use crate::faults::RecoveryWhat;
+use crate::replica;
 use crate::tokens::{ByteRange, TokenMode};
 use crate::types::{BlockAddr, ClientId, FsError, FsId, Handle, InodeId, NsdId, OpenFlags, Owner};
 use crate::world::{GfsWorld, Mount};
 use bytes::Bytes;
 use gfs_auth::handshake::AccessMode;
 use rand::Rng;
-use simcore::{Sim, SimDuration};
+use simcore::{Sim, SimDuration, SimTime};
 use simnet::{FlowSpec, Network, NodeId};
 use simsan::IoKind;
 use std::cell::{Cell, RefCell};
@@ -1514,39 +1515,54 @@ fn surrender_release(
     });
 }
 
+/// How many subtree moves one rebalance drain cycle may batch. A single
+/// move cannot close a gap wider than twice the hottest movable subtree;
+/// batching the top-K drains a pile-up in one cycle instead of K.
+const REBALANCE_MOVES_PER_STEP: usize = 3;
+
 /// One step of the live rebalance policy: plan the next authority
-/// migration from accumulated heat, drain both managers' queued
-/// envelopes, then commit — flipping the subtree's owner and journaling a
-/// migration record in *both* shards' WALs (either manager can prove the
-/// handoff after a crash). Ops already routed keep their captured shard:
-/// the shared-disk core and per-shard dedup tables make the straggler
-/// window correct, exactly like a cross-shard op. Returns whether a
-/// migration was planned (commit lands once both queues drain).
+/// migration batch from accumulated heat (up to
+/// [`REBALANCE_MOVES_PER_STEP`] subtrees when a single move cannot close
+/// the load gap), drain every involved manager's queued envelopes, then
+/// commit — flipping each subtree's owner and journaling a migration
+/// record in *both* shards' WALs (either manager can prove the handoff
+/// after a crash). Ops already routed keep their captured shard: the
+/// shared-disk core and per-shard dedup tables make the straggler window
+/// correct, exactly like a cross-shard op. Returns whether a migration
+/// was planned (commit lands once the involved queues drain).
 pub fn maybe_rebalance(sim: &mut Sim<GfsWorld>, w: &mut GfsWorld, fs: FsId) -> bool {
     if w.fss[fs.0 as usize].migrating {
         return false; // previous migration still draining
     }
-    let Some((top, from, to)) = w.fss[fs.0 as usize].core.shards.plan_rebalance() else {
+    let moves = w.fss[fs.0 as usize]
+        .core
+        .shards
+        .plan_rebalance_moves(REBALANCE_MOVES_PER_STEP);
+    if moves.is_empty() {
         return false;
-    };
+    }
     let inst = &mut w.fss[fs.0 as usize];
     inst.migrating = true;
-    let drain = inst.mgrs[from as usize]
-        .busy_until
-        .max(inst.mgrs[to as usize].busy_until)
-        .max(sim.now());
+    let drain = moves
+        .iter()
+        .flat_map(|&(_, from, to)| [from, to])
+        .map(|s| inst.mgrs[s as usize].busy_until)
+        .fold(sim.now(), SimTime::max);
     sim.at(drain, move |_sim, w| {
         let inst = &mut w.fss[fs.0 as usize];
-        // Migration records live in the bit-62 op-id namespace — disjoint
-        // from legacy client ids and bit-63 session ids, so they can never
-        // collide with (or be retired by) ordinary op acks.
-        let op_id = (1u64 << 62) | inst.migration_seq;
-        inst.migration_seq += 1;
-        let rec: std::rc::Rc<dyn std::any::Any> =
-            std::rc::Rc::new(format!("migrate /{top}: shard {from} -> {to}"));
-        inst.mgrs[from as usize].record(op_id, rec.clone());
-        inst.mgrs[to as usize].record(op_id, rec);
-        inst.core.shards.commit_move(&top, to);
+        for (top, from, to) in &moves {
+            // Migration records live in the bit-62 op-id namespace —
+            // disjoint from legacy client ids and bit-63 session ids, so
+            // they can never collide with (or be retired by) ordinary op
+            // acks.
+            let op_id = (1u64 << 62) | inst.migration_seq;
+            inst.migration_seq += 1;
+            let rec: std::rc::Rc<dyn std::any::Any> =
+                std::rc::Rc::new(format!("migrate /{top}: shard {from} -> {to}"));
+            inst.mgrs[*from as usize].record(op_id, rec.clone());
+            inst.mgrs[*to as usize].record(op_id, rec);
+        }
+        inst.core.shards.commit_moves(&moves);
         inst.migrating = false;
     });
     true
@@ -1782,6 +1798,158 @@ fn fetch_run_attempt(
             Network::start_flow(sim, w, spec, move |sim, w| {
                 if !sim.cancel_timer(watchdog) {
                     return; // watchdog fired first; a retry owns this fetch
+                }
+                let parts = w.fss[fs.0 as usize].core.get_block_run(addr, nblocks);
+                for (key, data) in keys.iter().zip(parts.iter()) {
+                    let evicted = w.clients[client.0 as usize]
+                        .pool
+                        .insert_clean(*key, data.clone());
+                    flush_evicted(sim, w, client, evicted);
+                }
+                if let Some(cb) = take(&cb) {
+                    cb(sim, w, Ok(parts));
+                }
+            });
+        });
+    });
+}
+
+/// Fetch a scatter-gather run from a replica site — the nearest-replica
+/// read path. Identical envelope to [`fetch_run`] (one request message,
+/// one service queue pass, one bulk flow, one watchdog) except the
+/// request targets the replica site's server and queues instead of the
+/// home farm's. Two guarantees on top:
+///
+/// * **Never serve stale.** The copy's currency
+///   ([`crate::replica::ReplicaCatalog::copy_current`]) is re-checked at
+///   issue and again at completion; a write that invalidated the copy in
+///   between makes the fetch fall back to the home farm (counted as a
+///   `stale_fallback`), so `stale_reads` stays zero by construction.
+/// * **No availability regression.** A watchdog timeout retries against
+///   the *home* farm with the shared retry budget — a dead or
+///   partitioned replica site degrades to the single-home path instead
+///   of failing the read.
+fn fetch_run_replica(
+    sim: &mut Sim<GfsWorld>,
+    w: &mut GfsWorld,
+    client: ClientId,
+    keys: Vec<PageKey>,
+    addr: BlockAddr,
+    block_size: u64,
+    site: u32,
+    cb: Cb<Result<Vec<Bytes>, FsError>>,
+) {
+    let slot: Once<Result<Vec<Bytes>, FsError>> = Rc::new(RefCell::new(Some(cb)));
+    fetch_run_replica_attempt(sim, w, client, keys, addr, block_size, site, 0, slot);
+}
+
+fn fetch_run_replica_attempt(
+    sim: &mut Sim<GfsWorld>,
+    w: &mut GfsWorld,
+    client: ClientId,
+    keys: Vec<PageKey>,
+    addr: BlockAddr,
+    block_size: u64,
+    site: u32,
+    attempt: u32,
+    cb: Once<Result<Vec<Bytes>, FsError>>,
+) {
+    let fs = keys[0].fs;
+    let inode = keys[0].inode;
+    let nblocks = keys.len() as u64;
+    let (server, current) = {
+        let inst = &w.fss[fs.0 as usize];
+        let s = &inst.replicas.sites[site as usize];
+        (
+            s.servers[addr.nsd as usize % s.servers.len()],
+            inst.replicas.copy_current(inode, site),
+        )
+    };
+    if !current || w.fss[fs.0 as usize].down_servers.contains(&server) {
+        // The plan raced a write (or the site's server is down): never
+        // serve a non-current copy — re-fetch from the home farm.
+        if !current {
+            w.fss[fs.0 as usize].replicas.counters.stale_fallbacks += 1;
+        }
+        fetch_run_attempt(sim, w, client, keys, addr, block_size, attempt, None, cb);
+        return;
+    }
+    w.nsd_stats.record(nblocks, nblocks * block_size);
+    let from = client_node(w, client);
+    let rpcb = w.costs.rpc_bytes;
+    let window = w.costs.flow_window;
+
+    // Watchdog: like the home path's, but the retry goes *home* — the
+    // replica site already failed to answer once.
+    let timeout = w.costs.request_timeout;
+    let watchdog = {
+        let cb = cb.clone();
+        let keys = keys.clone();
+        sim.timer_after(timeout, move |sim, w| {
+            w.recovery
+                .log(sim.now(), RecoveryWhat::TimeoutDetected { client, server });
+            if attempt >= w.costs.max_retries {
+                if let Some(cb) = take(&cb) {
+                    cb(sim, w, Err(FsError::Timeout));
+                }
+                return;
+            }
+            let delay = backoff_delay(w, attempt);
+            sim.after(delay, move |sim, w| {
+                fetch_run_attempt(
+                    sim,
+                    w,
+                    client,
+                    keys,
+                    addr,
+                    block_size,
+                    attempt + 1,
+                    Some(server),
+                    cb,
+                );
+            });
+        })
+    };
+
+    Network::send_msg(sim, w, from, server, rpcb, move |sim, w| {
+        if w.fss[fs.0 as usize].down_servers.contains(&server) {
+            return; // crashed mid-flight; the watchdog handles it
+        }
+        // Service at the replica site's own queue for this stripe slot.
+        let inst = &mut w.fss[fs.0 as usize];
+        let nq = inst.replicas.sites[site as usize].nsds.len();
+        let done = inst.replicas.sites[site as usize].nsds[addr.nsd as usize % nq].serve(
+            &mut w.arrays,
+            sim.now(),
+            IoKind::Read,
+            addr.block * block_size,
+            nblocks * block_size,
+        );
+        sim.at(done, move |sim, w| {
+            let spec = FlowSpec {
+                src: server,
+                dst: from,
+                bytes: nblocks * block_size,
+                window: Some(window),
+                tag: tags::NSD_READ,
+            };
+            Network::start_flow(sim, w, spec, move |sim, w| {
+                if !sim.cancel_timer(watchdog) {
+                    return; // watchdog fired first; a retry owns this fetch
+                }
+                // Completion-side currency check: a write that landed
+                // while the data was in flight invalidated this copy.
+                // Serving it now would be exactly the stale-after-
+                // invalidate read the invariants forbid — go home.
+                if !w.fss[fs.0 as usize].replicas.copy_current(inode, site) {
+                    w.fss[fs.0 as usize].replicas.counters.stale_fallbacks += 1;
+                    fetch_run_attempt(sim, w, client, keys, addr, block_size, 0, None, cb);
+                    return;
+                }
+                {
+                    let s = &mut w.fss[fs.0 as usize].replicas.sites[site as usize];
+                    s.reads += 1;
+                    s.bytes_served += nblocks * block_size;
                 }
                 let parts = w.fss[fs.0 as usize].core.get_block_run(addr, nblocks);
                 for (key, data) in keys.iter().zip(parts.iter()) {
@@ -2106,9 +2274,39 @@ pub fn read(
                             ahead_misses.push((key, addr, ()));
                         }
                     }
+                    let plan_now = sim.now();
+                    let from_node = client_node(w, client);
                     for (addr, members) in coalesce(ahead_misses) {
                         let keys: Vec<PageKey> = members.into_iter().map(|(k, ())| k).collect();
-                        fetch_run(sim, w, client, keys, addr, block_size, Box::new(|_, _, _| {}));
+                        let segs = {
+                            let topo = w.net.topo();
+                            let inst = &mut w.fss[fs.0 as usize];
+                            replica::plan_run(topo, inst, from_node, inode, addr, keys.len(), plan_now)
+                        };
+                        for seg in segs {
+                            let seg_keys: Vec<PageKey> = keys[seg.first..seg.first + seg.len].to_vec();
+                            let seg_addr = BlockAddr {
+                                nsd: addr.nsd,
+                                block: addr.block + seg.first as u64,
+                            };
+                            let run_len = seg_keys.len();
+                            let done: Cb<Result<Vec<Bytes>, FsError>> =
+                                Box::new(move |_sim, w, _r| {
+                                    if seg.tracked {
+                                        w.fss[fs.0 as usize]
+                                            .replicas
+                                            .release_pending(seg.source, run_len as u64);
+                                    }
+                                });
+                            match seg.source {
+                                replica::Source::Home => {
+                                    fetch_run(sim, w, client, seg_keys, seg_addr, block_size, done)
+                                }
+                                replica::Source::Site(s) => fetch_run_replica(
+                                    sim, w, client, seg_keys, seg_addr, block_size, s, done,
+                                ),
+                            }
+                        }
                     }
                     inflight_exit(w, client, fs, inode);
                     cb(sim, w, Ok(out));
@@ -2142,23 +2340,40 @@ pub fn read(
                     Some(addr) => misses.push((key, addr, ())),
                 }
             }
+            // Replica-aware dispatch: each coalesced run is planned across
+            // the home farm and any current replica copies by modeled RTT
+            // plus queue depth. With an inert catalog the planner returns a
+            // single untracked Home segment and this reduces to exactly the
+            // legacy one-fetch-per-run path.
+            let plan_now = sim.now();
+            let from_node = client_node(w, client);
             for (addr, members) in coalesce(misses) {
                 let keys: Vec<PageKey> = members.into_iter().map(|(k, ())| k).collect();
-                let parts = parts.clone();
-                let join = join.clone();
-                let first_err = first_err.clone();
-                let run_len = keys.len();
-                fetch_run(
-                    sim,
-                    w,
-                    client,
-                    keys.clone(),
-                    addr,
-                    block_size,
-                    Box::new(move |sim, w, r| {
+                let segs = {
+                    let topo = w.net.topo();
+                    let inst = &mut w.fss[fs.0 as usize];
+                    replica::plan_run(topo, inst, from_node, inode, addr, keys.len(), plan_now)
+                };
+                for seg in segs {
+                    let seg_keys: Vec<PageKey> = keys[seg.first..seg.first + seg.len].to_vec();
+                    let seg_addr = BlockAddr {
+                        nsd: addr.nsd,
+                        block: addr.block + seg.first as u64,
+                    };
+                    let parts = parts.clone();
+                    let join = join.clone();
+                    let first_err = first_err.clone();
+                    let run_len = seg_keys.len();
+                    let done_keys = seg_keys.clone();
+                    let done: Cb<Result<Vec<Bytes>, FsError>> = Box::new(move |sim, w, r| {
+                        if seg.tracked {
+                            w.fss[fs.0 as usize]
+                                .replicas
+                                .release_pending(seg.source, run_len as u64);
+                        }
                         match r {
                             Ok(data) => {
-                                for (key, part) in keys.iter().zip(data) {
+                                for (key, part) in done_keys.iter().zip(data) {
                                     parts.borrow_mut()[(key.block - first) as usize] = Some(part);
                                 }
                             }
@@ -2169,8 +2384,18 @@ pub fn read(
                         for _ in 0..run_len {
                             join.arrive(sim, w);
                         }
-                    }),
-                );
+                    });
+                    match seg.source {
+                        replica::Source::Home => {
+                            fetch_run(sim, w, client, seg_keys, seg_addr, block_size, done);
+                        }
+                        replica::Source::Site(s) => {
+                            fetch_run_replica(
+                                sim, w, client, seg_keys, seg_addr, block_size, s, done,
+                            );
+                        }
+                    }
+                }
             }
             join.maybe_done(sim, w);
         }),
@@ -2232,13 +2457,19 @@ pub fn write(
                 true,
                 move |sim, w, fs| -> Result<(), FsError> {
                     let now = sim.now().as_nanos();
-                    let core = &mut w.fss[fs.0 as usize].core;
+                    let inst = &mut w.fss[fs.0 as usize];
                     let first = offset / block_size;
                     let last = end.div_ceil(block_size);
                     for b in first..last {
-                        core.ensure_block(inode, b)?;
+                        inst.core.ensure_block(inode, b)?;
                     }
-                    core.note_write(inode, offset, end - offset, now)
+                    inst.core.note_write(inode, offset, end - offset, now)?;
+                    // Write-consistency hook: bump the file generation and
+                    // invalidate (or patch, under Update policy) replica
+                    // copies. Rides the byte-range token revocation that
+                    // already serialized this write against readers.
+                    inst.replicas.on_write(inode, end - offset);
+                    Ok(())
                 },
                 Box::new(move |sim, w, alloc_result| {
                     if let Err(e) = alloc_result {

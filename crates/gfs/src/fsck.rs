@@ -44,6 +44,9 @@ pub enum FsckError {
     },
     /// A file's size exceeds what its block pointers can address.
     SizeBeyondBlocks(InodeId),
+    /// The replica catalog is incoherent with respect to the file tree
+    /// (stale read served, non-monotone generation, dangling site, ...).
+    ReplicaIncoherent(String),
 }
 
 /// Result of a check.
@@ -145,6 +148,19 @@ pub fn fsck(fs: &FsCore) -> FsckReport {
             reported,
             derived: derived_free,
         });
+    }
+    report
+}
+
+/// Check a mounted instance: the core walk plus replica-coherence
+/// validation over the instance's catalog. A stale read ever having been
+/// served, a generation moving backwards, or a "current" copy whose
+/// generation disagrees with its file all surface as
+/// [`FsckError::ReplicaIncoherent`].
+pub fn fsck_instance(inst: &crate::world::FsInstance) -> FsckReport {
+    let mut report = fsck(&inst.core);
+    for v in inst.replicas.coherence_violations() {
+        report.errors.push(FsckError::ReplicaIncoherent(v));
     }
     report
 }

@@ -400,56 +400,112 @@ impl ShardMap {
     /// [`ShardMap::commit_move`] to take the move, after draining whatever
     /// the caller has in flight against the subtree.
     pub fn plan_rebalance(&self) -> Option<(Box<str>, u32, u32)> {
-        if self.shards <= 1 || self.heat.is_empty() {
-            return None;
+        self.plan_rebalance_moves(1).pop()
+    }
+
+    /// Plan up to `max_moves` authority migrations in one drain cycle.
+    ///
+    /// The single-move planner stops after the hottest movable subtree
+    /// even when one move cannot close a large gap; here the plan
+    /// continues greedily against *simulated* post-move loads: after each
+    /// pick the hot/cool pair is recomputed, the hysteresis re-checked,
+    /// and the next pick made as if the previous moves had committed. The
+    /// per-move rules are unchanged — a candidate must narrow the
+    /// remaining gap (`h < gap`) and must not return to the shard it last
+    /// moved *from* — so every planned move individually satisfies the
+    /// no-ping-pong property, and the whole batch commits under a single
+    /// drain. Fully deterministic; ties break on subtree name.
+    pub fn plan_rebalance_moves(&self, max_moves: usize) -> Vec<(Box<str>, u32, u32)> {
+        let mut moves = Vec::new();
+        if self.shards <= 1 || self.heat.is_empty() || max_moves == 0 {
+            return moves;
         }
-        let mut load = vec![0u64; self.shards as usize];
-        // Deterministic iteration: sort the heat table by name.
+        // Deterministic iteration: sort the heat table by name, then by
+        // descending heat for candidate scans.
         let mut by_name: Vec<(&str, u64)> =
             self.heat.iter().map(|(k, &v)| (k.as_ref(), v)).collect();
         by_name.sort();
+        let mut load = vec![0u64; self.shards as usize];
+        // Simulated placement: planned moves overlay the committed map.
+        let mut placed: std::collections::BTreeMap<&str, u32> = std::collections::BTreeMap::new();
         for (top, h) in &by_name {
             load[self.shard_of(top) as usize] += h;
         }
-        let hot_shard = (0..self.shards).max_by_key(|&s| (load[s as usize], s))?;
-        let cool_shard = (0..self.shards).min_by_key(|&s| (load[s as usize], s))?;
-        if hot_shard == cool_shard || load[hot_shard as usize] == load[cool_shard as usize] {
-            return None;
-        }
-        // Hysteresis: act only on a real hotspot (hot > 1.5× cool). Near
-        // balance, uniform traffic always shows *some* gap; migrating on
-        // noise would shuffle evenly-placed subtrees forever.
-        if load[hot_shard as usize] * 2 <= load[cool_shard as usize] * 3 {
-            return None;
-        }
-        let gap = load[hot_shard as usize] - load[cool_shard as usize];
-        // Hottest movable subtree currently living on the hot shard;
-        // name-ordered scan keeps ties deterministic.
-        let mut candidates: Vec<(&str, u64)> = by_name
-            .iter()
-            .filter(|(t, h)| {
-                self.shard_of(t) == hot_shard
+        let mut by_heat = by_name.clone();
+        by_heat.sort_by_key(|(t, h)| (std::cmp::Reverse(*h), *t));
+        while moves.len() < max_moves {
+            let Some(hot_shard) = (0..self.shards).max_by_key(|&s| (load[s as usize], s)) else {
+                break;
+            };
+            let Some(cool_shard) = (0..self.shards).min_by_key(|&s| (load[s as usize], s)) else {
+                break;
+            };
+            if hot_shard == cool_shard || load[hot_shard as usize] == load[cool_shard as usize] {
+                break;
+            }
+            // Hysteresis: act only on a real hotspot (hot > 1.5× cool).
+            // Near balance, uniform traffic always shows *some* gap;
+            // migrating on noise would shuffle evenly-placed subtrees
+            // forever.
+            if load[hot_shard as usize] * 2 <= load[cool_shard as usize] * 3 {
+                break;
+            }
+            let gap = load[hot_shard as usize] - load[cool_shard as usize];
+            // Hottest movable subtree currently (in simulation) living on
+            // the hot shard; heat-ordered scan keeps ties deterministic.
+            let pick = by_heat.iter().find(|(t, h)| {
+                placed.get(t).copied().unwrap_or_else(|| self.shard_of(t)) == hot_shard
                     && *h < gap
+                    && *h > 0
                     && self.last_from.get(*t).copied() != Some(cool_shard)
-            })
-            .copied()
-            .collect();
-        candidates.sort_by_key(|(t, h)| (std::cmp::Reverse(*h), t.to_string()));
-        let (top, _) = candidates.first()?;
-        Some((top.to_string().into_boxed_str(), hot_shard, cool_shard))
+                    && !placed.contains_key(t)
+            });
+            let Some(&(top, h)) = pick else {
+                break;
+            };
+            load[hot_shard as usize] -= h;
+            load[cool_shard as usize] += h;
+            placed.insert(top, cool_shard);
+            moves.push((top.to_string().into_boxed_str(), hot_shard, cool_shard));
+        }
+        moves
     }
 
-    /// Commit a planned move: flip the subtree's authority to `to`,
+    /// Age every heat counter geometrically (`h → h/8`, zeros dropped).
+    /// Runs once per commit cycle: fresh post-move traffic dominates the
+    /// next planning round quickly, but a sustained-hot subtree keeps a
+    /// visible (decayed) share instead of restarting from a cleared
+    /// epoch — the planner no longer goes blind after every commit.
+    fn decay_heat(&mut self) {
+        self.heat.retain(|_, h| {
+            *h >>= 3;
+            *h > 0
+        });
+    }
+
+    /// Commit a planned move: flip the subtree's authority to `to` and
     /// remember where it came from (the ping-pong guard's one-step
-    /// memory), and reset the heat epoch — post-move traffic votes on the
-    /// next move from a clean slate, so stale pre-move heat can never
-    /// justify reversing it.
+    /// memory), then age the heat epoch geometrically.
     pub fn commit_move(&mut self, top: &str, to: u32) {
-        let from = self.shard_of(top);
-        self.overrides.insert(top.into(), to % self.shards.max(1));
-        self.last_from.insert(top.into(), from);
-        self.heat.clear();
-        self.migrations += 1;
+        let mv = (Box::<str>::from(top), self.shard_of(top), to);
+        self.commit_moves(std::slice::from_ref(&mv));
+    }
+
+    /// Commit a batch of planned moves from one drain cycle. Heat is
+    /// decayed once for the whole batch (not once per move), so a
+    /// multi-subtree commit ages the epoch exactly like a single-subtree
+    /// one.
+    pub fn commit_moves(&mut self, moves: &[(Box<str>, u32, u32)]) {
+        for (top, _, to) in moves {
+            let from = self.shard_of(top);
+            self.overrides
+                .insert(top.clone(), to % self.shards.max(1));
+            self.last_from.insert(top.clone(), from);
+            self.migrations += 1;
+        }
+        if !moves.is_empty() {
+            self.decay_heat();
+        }
     }
 
     /// Authority migrations committed so far.
@@ -1417,10 +1473,91 @@ mod tests {
         let mv = sm.rebalance().expect("imbalance must produce a move");
         assert_eq!(mv, ("a".into(), 0, 1));
         assert_eq!(sm.shard_of("/a/f"), 1);
-        // Next step: shard 1 is now hot by 200, but its hottest subtree
-        // "a" (350) would overshoot the gap — the no-ping-pong guard
-        // refuses the move.
+        // Commit aged the epoch geometrically (÷8): a=43, b=31, c=12.
+        // Shard 1 (a+c = 55) is still hot over shard 0 (b = 31); "a"
+        // overshoots the gap of 24 and is also blocked by the ping-pong
+        // guard, so the cooler "c" narrows it instead.
+        assert_eq!(sm.rebalance(), Some(("c".into(), 1, 0)));
+        // Another decay (a=5, b=3, c=1) drops the gap under the 1.5×
+        // hysteresis: no further move.
         assert_eq!(sm.rebalance(), None);
+    }
+
+    #[test]
+    fn heat_decay_keeps_sustained_hot_subtree_visible() {
+        let mut sm = ShardMap::default();
+        sm.set_shards(2);
+        sm.assign("hot", 0);
+        sm.assign("warm", 0);
+        sm.assign("cold", 1);
+        for _ in 0..4000 {
+            sm.note_heat("/hot/f");
+        }
+        for _ in 0..900 {
+            sm.note_heat("/warm/f");
+        }
+        for _ in 0..100 {
+            sm.note_heat("/cold/f");
+        }
+        // gap = 4800; "hot" (4000 < 4800) narrows it and is the hottest
+        // movable subtree, so it is the deterministic move.
+        let (top, _, _) = sm.rebalance().expect("hotspot must move");
+        assert_eq!(&*top, "hot");
+        // The wholesale-clear policy would leave heat_of("hot") == 0 here
+        // and the planner blind until new traffic votes. Geometric aging
+        // keeps the sustained-hot subtree visibly hot across the commit.
+        assert_eq!(sm.heat_of("hot"), 500);
+        assert_eq!(sm.heat_of("warm"), 112);
+        assert!(
+            sm.heat_of("hot") > sm.heat_of("warm") + sm.heat_of("cold"),
+            "sustained-hot subtree must stay the dominant signal after a commit"
+        );
+        // And fresh traffic accumulates on top of the aged base, not a
+        // cleared epoch.
+        for _ in 0..10 {
+            sm.note_heat("/hot/f");
+        }
+        assert_eq!(sm.heat_of("hot"), 510);
+    }
+
+    #[test]
+    fn multi_move_plan_closes_gap_one_move_cannot() {
+        let mut sm = ShardMap::default();
+        sm.set_shards(2);
+        for t in ["a", "b", "c", "d"] {
+            sm.assign(t, 0);
+        }
+        sm.assign("e", 1);
+        // Shard 0: 4 × 300 = 1200; shard 1: 100. Gap 1100. A single move
+        // narrows it to 500 — still over the 1.5× hysteresis, so one move
+        // per drain cycle leaves the imbalance standing.
+        for t in ["a", "b", "c", "d"] {
+            for _ in 0..300 {
+                sm.note_heat(&format!("/{t}/f"));
+            }
+        }
+        for _ in 0..100 {
+            sm.note_heat("/e/f");
+        }
+        let single = sm.plan_rebalance_moves(1);
+        assert_eq!(single.len(), 1);
+        // Top-K planning drains the gap in one cycle: a (gap 1100),
+        // b (gap 500) — after which 600 vs 700 is inside hysteresis.
+        let moves = sm.plan_rebalance_moves(4);
+        assert_eq!(
+            moves,
+            vec![("a".into(), 0, 1), ("b".into(), 0, 1)],
+            "plan must move exactly the top-2 hottest subtrees"
+        );
+        // Every planned move individually narrows the simulated gap
+        // (the no-ping-pong movability rule, applied per pick).
+        sm.commit_moves(&moves);
+        assert_eq!(sm.migrations(), 2);
+        assert_eq!(sm.shard_of("/a/x"), 1);
+        assert_eq!(sm.shard_of("/b/x"), 1);
+        // Post-commit loads (aged ÷8): shard 0 = c+d = 74, shard 1 =
+        // a+b+e = 86 — balanced inside hysteresis, no further move.
+        assert_eq!(sm.plan_rebalance_moves(4), Vec::new());
     }
 
     #[test]

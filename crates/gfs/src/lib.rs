@@ -27,6 +27,7 @@ pub mod fscore;
 pub mod fsck;
 pub mod hsmlink;
 pub mod mpiio;
+pub mod replica;
 pub mod sanfs;
 pub mod session;
 pub mod slab;
@@ -40,7 +41,8 @@ pub use faults::{
     apply_fault, inject, FaultEvent, FaultKind, FaultPlan, ProgressEvent, ProgressInjector,
     ProgressPlan, RecoveryLog, RecoveryWhat,
 };
-pub use fsck::{fsck, FsckError, FsckReport};
+pub use fsck::{fsck, fsck_instance, FsckError, FsckReport};
+pub use replica::{ReplicaCatalog, ReplicaCopy, ReplicaSite, WritePolicy};
 pub use fscore::{DataMode, FileAttr, FsConfig, FsCore};
 pub use tokens::{ByteRange, TokenManager, TokenMode};
 pub use session::{FanIn, Session, SessionState};

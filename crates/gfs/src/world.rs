@@ -301,6 +301,11 @@ pub struct FsInstance {
     /// NSD server nodes currently marked failed; requests route to the
     /// next healthy server in the ring (GPFS primary/backup NSD serving).
     pub down_servers: std::collections::BTreeSet<NodeId>,
+    /// Cross-site replica catalog ([`crate::replica`]). Empty (inert) in
+    /// every world that does not attach replica sites — the read path
+    /// takes a single early-return and stays byte-identical to the
+    /// single-home data path.
+    pub replicas: crate::replica::ReplicaCatalog,
 }
 
 impl FsInstance {
@@ -972,6 +977,7 @@ impl WorldBuilder {
                     nsds,
                     exported: p.exported,
                     down_servers: std::collections::BTreeSet::new(),
+                    replicas: crate::replica::ReplicaCatalog::default(),
                 }
             })
             .collect();

@@ -142,6 +142,13 @@ pub fn world_invariants(sim: &Sim<GfsWorld>, w: &GfsWorld) -> Vec<String> {
                 ));
             }
         }
+        // Replica coherence: no read may ever have been served from an
+        // invalidated copy, file generations stay under the monotone
+        // watermark, every copy's generation trails its file's, and no
+        // planned segment leaked its in-flight pressure.
+        for msg in inst.replicas.coherence_violations() {
+            v.push(format!("fs {i}: replica catalog: {msg}"));
+        }
         // Subtree-lease coherence: every break must have completed (ack or
         // expulsion fuse), and the manager's lease table must agree with
         // the holders' client-side mirrors in both directions — a one-sided

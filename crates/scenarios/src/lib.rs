@@ -31,6 +31,7 @@ pub mod deisa;
 pub mod parallel;
 pub mod production;
 pub mod recovery;
+pub mod replication;
 pub mod sc02;
 pub mod sc03;
 pub mod sc04;
