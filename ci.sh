@@ -56,6 +56,9 @@ floors = {
     # figure and its event count is small (long flows, few events), so
     # its events/sec sits near ~500; the floor only catches a collapse.
     'replication campaign': 50,
+    # 24 short replays (3 corpora x 2 manager counts x 4 schedules) plus
+    # oracle differencing on every op; warm steady state is ~450k ev/s.
+    'trace replay differential': 20000,
     'resolve microbench': 100000,
 }
 by_prefix = {p: s for s in doc['scenarios'] for p in floors if s['name'].startswith(p)}
@@ -208,6 +211,35 @@ if rep['replica_remote_picks'] <= 0 or rep['replica_split_fanouts'] <= 0:
     failed = True
 if rep['replica_migrated_bytes'] <= 0:
     print("perf smoke: the cold tier never migrated campaign bytes to tape", file=sys.stderr)
+    failed = True
+# Trace replay differential: the PR-10 claim is that every captured trace
+# is a correctness test. The bench entry replays all three corpora at M=1
+# and M=4 (leases + replica catalog on) under healthy, manager-kill,
+# NSD-crash and partition schedules, differencing each op against the
+# in-memory model filesystem. Zero tolerance here: one divergence or one
+# exhausted retry budget means replay and oracle disagree about POSIX-level
+# behavior, which is exactly the silent-corruption class the harness
+# exists to catch. Faults must also have really fired, or the schedules
+# quietly degraded to healthy runs.
+trace = by_prefix['trace replay differential']['metadata']
+print(f"trace replay: {trace['trace_replays']:.0f} replays, {trace['trace_ops']:.0f} ops "
+      f"({trace['trace_corpus_untar_build_ops']:.0f} untar-build / "
+      f"{trace['trace_corpus_nvo_scan_ops']:.0f} nvo-scan / "
+      f"{trace['trace_corpus_enzo_checkpoint_ops']:.0f} enzo-checkpoint per replay), "
+      f"{trace['trace_ops_per_sec']:.0f} ops/sec wall, "
+      f"divergences {trace['trace_divergences']:.0f}, gave up {trace['trace_gave_up']:.0f}, "
+      f"faults {trace['trace_faults_injected']:.0f}, leases {trace['trace_lease_acquires']:.0f}")
+if trace['trace_divergences'] != 0:
+    print(f"perf smoke: trace replay diverged from the oracle ({trace['trace_divergences']:.0f} op(s))", file=sys.stderr)
+    failed = True
+if trace['trace_gave_up'] != 0:
+    print(f"perf smoke: trace replay ops exhausted their retry budget ({trace['trace_gave_up']:.0f})", file=sys.stderr)
+    failed = True
+if trace['trace_replays'] < 24:
+    print(f"perf smoke: trace differential lost schedules ({trace['trace_replays']:.0f} replays < 24)", file=sys.stderr)
+    failed = True
+if trace['trace_faults_injected'] <= 0:
+    print("perf smoke: trace fault schedules never injected a fault", file=sys.stderr)
     failed = True
 if failed:
     sys.exit(1)

@@ -628,6 +628,85 @@ fn run_replication_entry() -> Entry {
     }
 }
 
+/// Trace replay + oracle differential: the three captured-trace corpora
+/// (untar/build tree, NVO catalog scan, Enzo checkpoint cadence) replayed
+/// through the full session stack at M=1 and M=4 manager shards — leases
+/// and the replica catalog on — under healthy, manager-kill, NSD-crash and
+/// partition schedules, every op differenced against the in-memory model
+/// filesystem. Verdicts pin zero op-level divergence, zero exhausted retry
+/// budgets and oracle-identical final trees across all 27 replays; the
+/// extras publish corpus sizes and replay throughput into BENCH_perf.json.
+fn run_trace_replay_entry() -> Entry {
+    use scenarios::trace::{check_trace_differential, TraceCorpus};
+
+    let (verdicts, wall) = time_scenario(|| {
+        TraceCorpus::ALL.map(|c| (c, check_trace_differential(c)))
+    });
+    for (c, v) in &verdicts {
+        for viol in &v.violations {
+            eprintln!("trace replay [{}]: {viol}", c.name());
+        }
+    }
+    let sum = |f: fn(&scenarios::trace::ReplayReport) -> u64| -> u64 {
+        verdicts
+            .iter()
+            .flat_map(|(_, v)| v.reports.iter().map(|(_, r)| r))
+            .map(f)
+            .sum()
+    };
+    let total_ops: u64 = verdicts.iter().map(|(_, v)| v.total_ops()).sum();
+    // Modeled replay rate: ops over simulated time, summed over every
+    // schedule — deterministic on any host, like the storm gates.
+    let sim_seconds: f64 = verdicts
+        .iter()
+        .flat_map(|(_, v)| v.reports.iter())
+        .map(|(_, r)| r.sim_ns as f64 / 1e9)
+        .sum();
+    let replays: usize = verdicts.iter().map(|(_, v)| v.reports.len()).sum();
+    let all_clean = verdicts.iter().all(|(_, v)| v.is_clean());
+
+    let as_num = |b: bool| if b { 1.0 } else { 0.0 };
+    let mut extra = vec![
+        ("trace_replays", replays as f64),
+        ("trace_ops", total_ops as f64),
+        ("trace_ops_per_sec", total_ops as f64 / wall.max(1e-9)),
+        ("trace_sim_ops_per_sec", total_ops as f64 / sim_seconds.max(1e-12)),
+        ("trace_divergences", sum(|r| r.divergences) as f64),
+        ("trace_gave_up", sum(|r| r.gave_up) as f64),
+        ("trace_faults_injected", sum(|r| r.faults_injected) as f64),
+        ("trace_lease_acquires", sum(|r| r.lease_acquires) as f64),
+        ("trace_replica_remote_picks", sum(|r| r.replica_remote_picks) as f64),
+    ];
+    for (c, _) in &verdicts {
+        // One size per corpus (the generated op count a single replay sees),
+        // keyed by corpus name so EXPERIMENTS.md can quote them directly.
+        let ops = c.generate(4, 2, 2005).len() as f64;
+        extra.push(match c {
+            TraceCorpus::UntarBuild => ("trace_corpus_untar_build_ops", ops),
+            TraceCorpus::NvoScan => ("trace_corpus_nvo_scan_ops", ops),
+            TraceCorpus::EnzoCheckpoint => ("trace_corpus_enzo_checkpoint_ops", ops),
+        });
+    }
+    Entry {
+        name: "trace replay differential (3 corpora, M=1/4, 4 schedules)",
+        wall_seconds: wall,
+        events: sum(|r| r.events),
+        checks: vec![
+            ("zero oracle divergence", 1.0, as_num(sum(|r| r.divergences) == 0), 0.0),
+            ("zero exhausted retries", 1.0, as_num(sum(|r| r.gave_up) == 0), 0.0),
+            ("all verdicts clean", 1.0, as_num(all_clean), 0.0),
+            (
+                "faults actually injected",
+                1.0,
+                as_num(sum(|r| r.faults_injected) > 0),
+                0.0,
+            ),
+        ],
+        data_path: DataPathStats::default(),
+        extra,
+    }
+}
+
 /// Minimal JSON string escape — names here are ASCII identifiers, but stay
 /// correct if one ever grows a quote.
 fn json_str(s: &str) -> String {
@@ -730,6 +809,7 @@ fn main() {
         run_storm_partitioned_entry(single_rate),
         run_chaos_entry(),
         run_replication_entry(),
+        run_trace_replay_entry(),
         run_resolve_microbench_entry(),
     ];
 

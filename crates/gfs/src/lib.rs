@@ -27,6 +27,7 @@ pub mod fscore;
 pub mod fsck;
 pub mod hsmlink;
 pub mod mpiio;
+pub mod oracle;
 pub mod replica;
 pub mod sanfs;
 pub mod session;
@@ -42,6 +43,7 @@ pub use faults::{
     ProgressPlan, RecoveryLog, RecoveryWhat,
 };
 pub use fsck::{fsck, fsck_instance, FsckError, FsckReport};
+pub use oracle::{ModelAttr, ModelFs, ModelId};
 pub use replica::{ReplicaCatalog, ReplicaCopy, ReplicaSite, WritePolicy};
 pub use fscore::{DataMode, FileAttr, FsConfig, FsCore};
 pub use tokens::{ByteRange, TokenManager, TokenMode};

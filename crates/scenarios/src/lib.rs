@@ -36,5 +36,6 @@ pub mod sc02;
 pub mod sc03;
 pub mod sc04;
 pub mod teragrid;
+pub mod trace;
 
 pub use builder::{NsdFarm, ScenarioBuilder, ScenarioRun, Workload};

@@ -39,7 +39,17 @@ pub enum StormMix {
     /// (readdir + stat) phases, pinned to a working directory that changes
     /// only every 16 ops. Locality concentrates dentry-cache hits the way
     /// real client traces do.
+    ///
+    /// Kept byte-identical to its pre-corpus pins; the real-corpus path
+    /// is the separate [`StormMix::Corpus`] variant.
     Trace,
+    /// Replay a generated [`TraceCorpus`] shape: each op of the corpus is
+    /// mapped onto the storm's `(top, sub, file, selector)` coordinates by
+    /// hashing its path components, and every client walks the script
+    /// sequentially from its own offset. Path locality — and therefore
+    /// dentry-cache behavior — is the *corpus's*, not a synthetic
+    /// working-directory schedule's.
+    Corpus(crate::trace::TraceCorpus),
 }
 
 /// Storm shape. The defaults produce ≥1M metadata operations.
@@ -665,6 +675,16 @@ fn run_point(cfg: &StormConfig, chaos: &ChaosSpec, point: u32) -> PointSummary {
     });
     let injector = (!chaos.progress.is_empty())
         .then(|| Rc::new(RefCell::new(ProgressInjector::new(&chaos.progress))));
+    // Corpus-shaped storms compile the trace once per point into storm
+    // coordinates; every client then walks the same script from its own
+    // offset, so the op stream carries the corpus's real path locality.
+    let script: Option<Rc<Vec<(u32, u32, u32, u32)>>> = match cfg.mix {
+        StormMix::Corpus(c) => Some(Rc::new(corpus_script(
+            &c.generate(4, 2, cfg.seed),
+            cfg,
+        ))),
+        _ => None,
+    };
 
     // Phase 1 — tree generation, straight on the core (the bulk of the
     // operation count; each call is a full path resolution + mutation).
@@ -726,6 +746,7 @@ fn run_point(cfg: &StormConfig, chaos: &ChaosSpec, point: u32) -> PointSummary {
             let tally = tally.clone();
             let cfg = *cfg;
             let inj = injector.clone();
+            let script = script.clone();
             group[0].mount(sim, w, "meta", AccessMode::ReadWrite, move |sim, w, r| {
                 r.expect("storm mount");
                 let g0 = group[0];
@@ -749,6 +770,7 @@ fn run_point(cfg: &StormConfig, chaos: &ChaosSpec, point: u32) -> PointSummary {
                             tally.clone(),
                             inj.clone(),
                             lease.clone(),
+                            script.clone(),
                         );
                     }
                 };
@@ -917,6 +939,48 @@ fn schedule_rebalance(
     );
 }
 
+/// Compile a trace corpus into storm coordinates: each op's path
+/// components hash to a `(top, sub, file)` cell of the generated tree and
+/// its kind maps onto the storm's selector arms. The mapping is
+/// deterministic and order-preserving, so consecutive script entries keep
+/// the corpus's directory locality.
+fn corpus_script(
+    ops: &[crate::trace::TraceOp],
+    cfg: &StormConfig,
+) -> Vec<(u32, u32, u32, u32)> {
+    use crate::trace::TraceOpKind;
+    let h = |s: &str| {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in s.bytes() {
+            h = mix(h, u64::from(b));
+        }
+        h
+    };
+    ops.iter()
+        .map(|op| {
+            let p = op.path.trim_start_matches('/');
+            let comps: Vec<&str> = p.split('/').collect();
+            let t = (h(comps[0]) as u32) % cfg.top_dirs.max(1);
+            let s = comps
+                .get(1)
+                .map_or(0, |c| (h(c) as u32) % cfg.sub_dirs.max(1));
+            let f = comps.last().map_or(0, |c| {
+                (h(c) as u32) % (cfg.files_per_sub + cfg.files_per_sub / 4 + 1).max(1)
+            });
+            let sel = match op.kind {
+                TraceOpKind::Stat | TraceOpKind::Read => 0,
+                TraceOpKind::Readdir => 30,
+                TraceOpKind::Mkdir => 40,
+                TraceOpKind::Create => 45,
+                TraceOpKind::Write => 65,
+                TraceOpKind::Rename => 85,
+                TraceOpKind::Unlink => 90,
+            };
+            (t, s, f, sel)
+        })
+        .collect()
+}
+
 /// One step of a session's op chain; schedules the next step from its own
 /// completion callback, so each session is a sequential stream of racing
 /// RPCs. Progress-keyed faults are advanced here, so "at op N" thresholds
@@ -934,6 +998,7 @@ fn next_op(
     tally: Rc<Tally>,
     inj: Option<Rc<RefCell<ProgressInjector>>>,
     lease: Option<Rc<LeaseGroup>>,
+    script: Option<Rc<Vec<(u32, u32, u32, u32)>>>,
 ) {
     if let Some(inj) = &inj {
         inj.borrow_mut().advance(sim, w, tally.ops.get());
@@ -999,6 +1064,18 @@ fn next_op(
                 (t, s, rng.gen::<u32>() % cfg.files_per_sub.max(1), sel)
             }
         }
+        // Corpus: walk the compiled trace script sequentially from this
+        // client's offset — consecutive ops carry the corpus's real
+        // directory locality, so the dentry cache sees what a captured
+        // client trace would actually show it.
+        StormMix::Corpus(_) => {
+            let sc = script.as_ref().expect("corpus mix compiles a script");
+            let idx = (u64::from(c.0)
+                .wrapping_mul(101)
+                .wrapping_add(u64::from(done))
+                % sc.len() as u64) as usize;
+            sc[idx]
+        }
     };
     // Leased chains bias 3:1 toward their private writeback subtree, so
     // most of their traffic rides the delegate journal (zero manager
@@ -1011,7 +1088,7 @@ fn next_op(
     let file_path = format!("/{top_str}/s{s:02}/f{f:04}");
     let dir_path = format!("/{top_str}/s{s:02}");
     let cont = move |sim: &mut Sim<GfsWorld>, w: &mut GfsWorld, rng: StdRng, tally: Rc<Tally>| {
-        next_op(sim, w, sess, rng, remaining - 1, cfg, tally, inj, lease);
+        next_op(sim, w, sess, rng, remaining - 1, cfg, tally, inj, lease, script);
     };
     match sel {
         // stat — the resolve-heavy staple.
@@ -1183,6 +1260,27 @@ mod tests {
             trace.dentry_hit_rate(),
             uniform.dentry_hit_rate()
         );
+    }
+
+    #[test]
+    fn corpus_mix_carries_real_trace_locality() {
+        // The real-corpus script must beat uniform probing on dentry
+        // locality the same way the synthetic trace phases do — the
+        // locality now comes from the generated untar/build paths, not a
+        // hand-tuned working-directory schedule.
+        let uniform = run_storm(&StormConfig::small());
+        for corpus in crate::trace::TraceCorpus::ALL {
+            let r = run_storm(&StormConfig::small().with_mix(StormMix::Corpus(corpus)));
+            assert!(r.fsck_clean, "{corpus:?} storm left an inconsistent fs");
+            assert_eq!(r.gave_up, 0);
+            assert!(
+                r.dentry_hit_rate() > uniform.dentry_hit_rate() + 0.05,
+                "{corpus:?} locality should lift the dentry hit rate: \
+                 corpus {:.3} vs uniform {:.3}",
+                r.dentry_hit_rate(),
+                uniform.dentry_hit_rate()
+            );
+        }
     }
 
     #[test]

@@ -1013,3 +1013,58 @@ fn progress_plan_fires_at_op_zero_and_final_op() {
     assert_eq!(r.gave_up, 0, "every RPC must eventually succeed");
     assert_eq!(r.invariant_violations, 0);
 }
+
+/// The manager-crash scenario above, replayed as an oracle differential:
+/// the untar/build trace corpus runs through the full session stack while a
+/// progress-keyed fault kills the server hosting manager shard 0 mid-trace.
+/// Recovery must be *semantically* invisible — every op returns the same
+/// typed result the in-memory model filesystem computes, and the final
+/// trees fingerprint-identical — while the counters prove the crash, the
+/// epoch bump and the WAL replay actually happened.
+#[test]
+fn manager_crash_replay_is_oracle_equivalent() {
+    use globalfs::gfs::faults::ProgressPlan;
+    use globalfs::scenarios::metadata_storm::ChaosSpec;
+    use globalfs::scenarios::trace::{replay_trace, ReplayConfig, TraceCorpus};
+
+    let ops = TraceCorpus::UntarBuild.generate(3, 2, 4242);
+    let total = ops.len() as u64;
+    let cfg = ReplayConfig {
+        managers: 1,
+        leases: false,
+        replicate: false,
+        per_mount: 2,
+        seed: 4242,
+    };
+    // Shard 0 — the only manager at M=1 — lives on trace-srv0.
+    let spec = ChaosSpec {
+        progress: ProgressPlan::new().server_crash_at_op(
+            total * 2 / 5,
+            FsId(0),
+            "trace-srv0",
+            Some(SimDuration::from_millis(600)),
+        ),
+        timed: Default::default(),
+        wan_clients: false,
+    };
+    let r = replay_trace(&ops, &cfg, &spec);
+    // A crash on a manager-hosting server logs both the crash and the
+    // manager-loss marker, so >= rather than == here.
+    assert!(r.faults_injected >= 1, "the mid-trace manager kill never fired");
+    assert!(r.restores >= 1, "the crashed server was never restored");
+    assert!(r.manager_epochs >= 1, "recovery must bump the manager epoch");
+    assert!(r.wal_replayed >= 1, "takeover replayed nothing from the WAL");
+    assert_eq!(
+        r.divergences, 0,
+        "op results diverged from the oracle across the crash:\n{}",
+        r.divergence_samples.join("\n")
+    );
+    assert!(
+        r.tree_matches_oracle,
+        "faulted final tree {:#x} != oracle {:#x}",
+        r.tree_fingerprint, r.oracle_fingerprint
+    );
+    assert_eq!(r.gave_up, 0, "an op exhausted its retry budget");
+    assert!(r.fsck_clean, "post-replay fsck found inconsistencies");
+    assert_eq!(r.invariant_violations, 0);
+}
